@@ -1,0 +1,34 @@
+# ACORN reproduction — build/test/bench entry points.
+
+GO ?= go
+
+.PHONY: all build vet test race bench cover experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark harness: regenerates every paper artifact once and
+# measures each experiment.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+# Regenerate every table, figure, ablation and extension.
+experiments:
+	$(GO) run ./cmd/experiments all
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

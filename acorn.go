@@ -1,0 +1,155 @@
+// Package acorn is the public API of the ACORN reproduction — an
+// auto-configuration framework for enterprise 802.11n WLANs with channel
+// bonding, after "Auto-configuration of 802.11n WLANs" (ACM CoNEXT 2010).
+//
+// ACORN jointly performs user association and channel allocation. Channel
+// bonding (40 MHz channels) helps only links whose SNR can absorb the ≈3 dB
+// per-subcarrier penalty of spreading the same transmit power over twice
+// the subcarriers; a single poor client in a bonded cell drags the whole
+// cell down through the 802.11 performance anomaly. ACORN therefore groups
+// clients of similar link quality into the same cell (Algorithm 1, utility
+// Eq. 4) and grants 40 MHz channels only to cells that profit (Algorithm 2,
+// a greedy max-improvement search over the NP-complete coloring problem
+// with O(1/(Δ+1)) worst-case approximation).
+//
+// # Quick start
+//
+//	net := acorn.NewNetwork(
+//		[]*acorn.AP{{ID: "AP1", Pos: acorn.Point{X: 0, Y: 0}, TxPower: 18}},
+//		[]*acorn.Client{{ID: "u1", Pos: acorn.Point{X: 5, Y: 3}}},
+//	)
+//	ctrl, err := acorn.NewController(net, 1)
+//	if err != nil { ... }
+//	report := ctrl.AutoConfigure(net.Clients)
+//	fmt.Println(report.TotalUDP)
+//
+// The facade re-exports the types a consumer needs: the network model
+// (wlan), the controller and its algorithms (core), the channel plan
+// (spectrum), and the legacy baselines used for comparison (baseline). The
+// full experiment harnesses that regenerate every table and figure of the
+// paper live in internal/experiments and are driven by cmd/experiments and
+// the benchmarks in bench_test.go.
+package acorn
+
+import (
+	"time"
+
+	"acorn/internal/baseline"
+	"acorn/internal/core"
+	"acorn/internal/rf"
+	"acorn/internal/spectrum"
+	"acorn/internal/stats"
+	"acorn/internal/units"
+	"acorn/internal/wlan"
+)
+
+// Re-exported model types.
+type (
+	// AP is an access point of the managed WLAN.
+	AP = wlan.AP
+	// Client is a WLAN user.
+	Client = wlan.Client
+	// Network is the deployment description (radios, geometry, band).
+	Network = wlan.Network
+	// Config is a complete configuration: channels plus associations.
+	Config = wlan.Config
+	// NetworkReport is an evaluated configuration.
+	NetworkReport = wlan.NetworkReport
+	// CellReport is one AP's evaluation within a NetworkReport.
+	CellReport = wlan.CellReport
+	// Point is a floor-plan position in meters.
+	Point = rf.Point
+
+	// Controller is the ACORN engine: admission (Algorithm 1) plus
+	// periodic channel allocation (Algorithm 2).
+	Controller = core.Controller
+	// AssociationDecision is the outcome of Algorithm 1 for one client.
+	AssociationDecision = core.AssociationDecision
+	// AllocOptions tunes Algorithm 2.
+	AllocOptions = core.AllocOptions
+	// AllocStats reports an Algorithm 2 run.
+	AllocStats = core.AllocStats
+	// WidthAdapter makes the opportunistic 20/40 MHz decision for an AP
+	// holding a bonded allocation (mobility scenarios).
+	WidthAdapter = core.WidthAdapter
+
+	// Channel is a basic 20 MHz or composite 40 MHz channel.
+	Channel = spectrum.Channel
+	// Band is the set of available channels.
+	Band = spectrum.Band
+	// Width is a channel width (Width20 or Width40).
+	Width = spectrum.Width
+
+	// DB and DBm are decibel ratio and absolute power types.
+	DB = units.DB
+	// DBm is an absolute power level in dB-milliwatts.
+	DBm = units.DBm
+)
+
+// Channel widths.
+const (
+	Width20 = spectrum.Width20
+	Width40 = spectrum.Width40
+)
+
+// DefaultPeriod is the channel-reallocation period derived from the
+// association-duration trace analysis (30 minutes).
+const DefaultPeriod = core.DefaultPeriod
+
+// NewNetwork builds a WLAN with the standard defaults (12-channel 5 GHz
+// band, indoor propagation, 1500-byte saturated downlink traffic).
+func NewNetwork(aps []*AP, clients []*Client) *Network {
+	return wlan.NewNetwork(aps, clients)
+}
+
+// NewController creates an ACORN controller over the network with a random
+// initial channel assignment drawn from seed.
+func NewController(n *Network, seed int64) (*Controller, error) {
+	return core.NewController(n, seed)
+}
+
+// NewConfig returns an empty configuration.
+func NewConfig() *Config { return wlan.NewConfig() }
+
+// DefaultBand5GHz returns the paper's 12-channel 5 GHz plan with six
+// bondable 40 MHz pairs.
+func DefaultBand5GHz() *Band { return spectrum.DefaultBand5GHz() }
+
+// NewChannel20 and NewChannel40 construct channels.
+func NewChannel20(id int) Channel { return spectrum.NewChannel20(spectrum.ChannelID(id)) }
+
+// NewChannel40 returns the bonded channel combining two 20 MHz channels.
+func NewChannel40(a, b int) Channel {
+	return spectrum.NewChannel40(spectrum.ChannelID(a), spectrum.ChannelID(b))
+}
+
+// Associate runs ACORN's Algorithm 1 for one client against a configuration
+// without applying the decision.
+func Associate(n *Network, cfg *Config, u *Client) AssociationDecision {
+	return core.Associate(n, cfg, u)
+}
+
+// LegacyConfigure runs the modified Kauffmann et al. [17] baseline (delay-
+// based association + greedy single-width 40 MHz channel scan) and returns
+// its configuration — the comparison scheme of the paper's evaluation.
+func LegacyConfigure(n *Network, clients []*Client) *Config {
+	return baseline.Configure(n, clients)
+}
+
+// RandomConfigure returns one random manual configuration (random channels,
+// uniform random association), as used in the Table 3 comparison.
+func RandomConfigure(n *Network, seed int64) *Config {
+	return baseline.RandomConfig(n, stats.NewRand(seed))
+}
+
+// NewWidthAdapter returns an adapter for an AP granted the given 40 MHz
+// channel; it panics if the channel is not composite.
+func NewWidthAdapter(allocated Channel) *WidthAdapter {
+	return core.NewWidthAdapter(allocated)
+}
+
+// RecommendedPeriodFromMedian converts a median association duration into
+// an allocation period the way Section 4.2 of the paper does.
+func RecommendedPeriodFromMedian(median time.Duration) time.Duration {
+	return median.Truncate(5 * time.Minute)
+}

@@ -1,0 +1,135 @@
+package acorn_test
+
+import (
+	"math"
+	"testing"
+
+	"acorn"
+)
+
+// publicNetwork builds a two-cell WLAN through the public API only.
+func publicNetwork() (*acorn.Network, []*acorn.Client) {
+	aps := []*acorn.AP{
+		{ID: "A", Pos: acorn.Point{X: 0, Y: 0}, TxPower: 18},
+		{ID: "B", Pos: acorn.Point{X: 600, Y: 0}, TxPower: 18},
+	}
+	wall := func(db float64) map[string]acorn.DB {
+		return map[string]acorn.DB{"A": acorn.DB(db), "B": acorn.DB(db)}
+	}
+	clients := []*acorn.Client{
+		{ID: "g1", Pos: acorn.Point{X: 4, Y: 2}},
+		{ID: "g2", Pos: acorn.Point{X: 7, Y: -3}},
+		{ID: "p1", Pos: acorn.Point{X: 603, Y: 2}, ExtraLoss: wall(56.5)},
+		{ID: "p2", Pos: acorn.Point{X: 598, Y: -4}, ExtraLoss: wall(56)},
+	}
+	return acorn.NewNetwork(aps, clients), clients
+}
+
+func TestPublicAutoConfigure(t *testing.T) {
+	net, clients := publicNetwork()
+	ctrl, err := acorn.NewController(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ctrl.AutoConfigure(clients)
+	if rep.TotalUDP <= 0 {
+		t.Fatal("no throughput")
+	}
+	cfg := ctrl.Config()
+	if err := cfg.Validate(net); err != nil {
+		t.Fatalf("invalid config: %v", err)
+	}
+	// Good cell bonds, poor cell does not.
+	if cfg.Channels["A"].Width != acorn.Width40 {
+		t.Errorf("good cell width = %v, want 40 MHz", cfg.Channels["A"].Width)
+	}
+	if cfg.Channels["B"].Width != acorn.Width20 {
+		t.Errorf("poor cell width = %v, want 20 MHz", cfg.Channels["B"].Width)
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	net, clients := publicNetwork()
+	legacy := acorn.LegacyConfigure(net, clients)
+	if err := legacy.Validate(net); err != nil {
+		t.Fatalf("legacy config invalid: %v", err)
+	}
+	random := acorn.RandomConfigure(net, 9)
+	if err := random.Validate(net); err != nil {
+		t.Fatalf("random config invalid: %v", err)
+	}
+	// ACORN beats the CB-agnostic legacy scheme on this topology.
+	ctrl, _ := acorn.NewController(net, 3)
+	acornRep := ctrl.AutoConfigure(clients)
+	legacyRep := net.Evaluate(legacy)
+	if acornRep.TotalUDP < legacyRep.TotalUDP {
+		t.Errorf("ACORN %v below legacy %v", acornRep.TotalUDP, legacyRep.TotalUDP)
+	}
+}
+
+func TestPublicAssociateDoesNotMutate(t *testing.T) {
+	net, clients := publicNetwork()
+	cfg := acorn.NewConfig()
+	cfg.Channels["A"] = acorn.NewChannel20(36)
+	cfg.Channels["B"] = acorn.NewChannel20(44)
+	d := acorn.Associate(net, cfg, clients[0])
+	if d.APID != "A" {
+		t.Errorf("g1 → %s, want A", d.APID)
+	}
+	if len(cfg.Assoc) != 0 {
+		t.Error("Associate mutated the config")
+	}
+}
+
+func TestPublicChannels(t *testing.T) {
+	band := acorn.DefaultBand5GHz()
+	if band.NumChannels20() != 12 || len(band.Channels40()) != 6 {
+		t.Error("default band shape wrong")
+	}
+	if !acorn.NewChannel20(36).Conflicts(acorn.NewChannel40(36, 40)) {
+		t.Error("conflict relation broken through the facade")
+	}
+}
+
+func TestPublicPHYSurface(t *testing.T) {
+	if p := float64(acorn.BondingSNRPenalty()); p < 2.9 || p > 3.2 {
+		t.Errorf("bonding penalty = %v", p)
+	}
+	gap := float64(acorn.NoiseFloor(acorn.Width40) - acorn.NoiseFloor(acorn.Width20))
+	if math.Abs(gap-3.01) > 0.01 {
+		t.Errorf("noise floor gap = %v, want 3.01", gap)
+	}
+	if b := acorn.TheoreticalBER(acorn.QPSK, 6); b < 0.01 || b > 0.05 {
+		t.Errorf("QPSK BER at 6 dB = %v, want ≈0.023", b)
+	}
+}
+
+func TestPublicMeasureBaseband(t *testing.T) {
+	tx := acorn.DBm(15)
+	m20 := acorn.MeasureBaseband(acorn.BasebandConfig{
+		Width: acorn.Width20, Modulation: acorn.QPSK, STBC: true,
+		TxPower: tx, PathLoss: acorn.PathLossFor(tx, 5, acorn.Width20),
+		Packets: 25, PacketBytes: 300, Seed: 2,
+	})
+	m40 := acorn.MeasureBaseband(acorn.BasebandConfig{
+		Width: acorn.Width40, Modulation: acorn.QPSK, STBC: true,
+		TxPower: tx, PathLoss: acorn.PathLossFor(tx, 5, acorn.Width20),
+		Packets: 25, PacketBytes: 300, Seed: 2,
+	})
+	if m40.BER() <= m20.BER() {
+		t.Errorf("same Tx: 40 MHz BER %v should exceed 20 MHz %v", m40.BER(), m20.BER())
+	}
+}
+
+func TestPublicWidthAdapter(t *testing.T) {
+	net, _ := publicNetwork()
+	ad := acorn.NewWidthAdapter(acorn.NewChannel40(36, 40))
+	ch := ad.Decide(net, map[string]acorn.DB{"x": 30})
+	if ch.Width != acorn.Width40 {
+		t.Errorf("strong client width = %v", ch.Width)
+	}
+	ch = ad.Decide(net, map[string]acorn.DB{"x": 30, "y": -2})
+	if ch.Width != acorn.Width20 {
+		t.Errorf("poor client width = %v", ch.Width)
+	}
+}

@@ -1,0 +1,226 @@
+package acorn_test
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each bench regenerates its artifact through
+// internal/experiments and, on the first iteration, prints the same
+// rows/series the paper reports (run with -v or read the bench log).
+//
+//	go test -bench=. -benchmem
+//
+// Absolute numbers come from the simulated substrate; the shapes — who
+// wins, by what factor, where the crossovers fall — are the reproduction
+// targets recorded in EXPERIMENTS.md.
+
+import (
+	"sync"
+	"testing"
+
+	"acorn/internal/experiments"
+)
+
+// printOnce emits an experiment's formatted output a single time per
+// process so the bench log carries every regenerated artifact exactly once.
+var printOnce sync.Map
+
+func report(b *testing.B, id, formatted string) {
+	if _, loaded := printOnce.LoadOrStore(id, true); !loaded {
+		b.Logf("\n%s", formatted)
+	}
+}
+
+// benchPHY are reduced Monte-Carlo settings so the full bench suite stays
+// in CI budgets; cmd/experiments -packets 9000 reproduces at paper scale.
+var benchPHY = experiments.PHYOptions{Packets: 60, PacketBytes: 400, Seed: 1}
+
+func BenchmarkFig1PSD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig1(benchPHY)
+		report(b, "fig1", r.Format())
+	}
+}
+
+func BenchmarkFig2Constellation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig2(benchPHY)
+		report(b, "fig2", r.Format())
+	}
+}
+
+func BenchmarkFig3aBERvsSNR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig3a(benchPHY)
+		report(b, "fig3a", r.Format())
+	}
+}
+
+func BenchmarkFig3bBERvsTx(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig3b(benchPHY)
+		report(b, "fig3b", r.Format())
+	}
+}
+
+func BenchmarkFig4PER(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig4(benchPHY)
+		report(b, "fig4", r.Format())
+	}
+}
+
+func BenchmarkFig5Sigma(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig5()
+		report(b, "fig5", r.Format())
+	}
+}
+
+func BenchmarkTable1Transitions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable1()
+		report(b, "table1", r.Format())
+	}
+}
+
+func BenchmarkFig6aThroughputScatter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig6(42)
+		report(b, "fig6", r.Format())
+	}
+}
+
+func BenchmarkFig6bOptimalMCS(b *testing.B) {
+	// Fig 6(b) shares RunFig6; this bench isolates the exhaustive
+	// optimal-MCS search cost via a distinct seed.
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig6(43)
+		_ = r.Links[0].OptMCS40
+	}
+}
+
+func BenchmarkFig8ChannelFlatness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig8()
+		report(b, "fig8", r.Format())
+	}
+}
+
+func BenchmarkFig9AssocCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig9(1)
+		report(b, "fig9", r.Format())
+	}
+}
+
+func BenchmarkFig10Topology1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig10Topology1(1)
+		report(b, "fig10a", r.Format())
+	}
+}
+
+func BenchmarkFig10Topology2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig10Topology2(1)
+		report(b, "fig10b", r.Format())
+	}
+}
+
+func BenchmarkFig11Interference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig11(1)
+		report(b, "fig11", r.Format())
+	}
+}
+
+func BenchmarkTable3RandomConfigs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable3(7)
+		report(b, "table3", r.Format())
+	}
+}
+
+func BenchmarkFig13MobilityAway(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig13Away()
+		report(b, "fig13away", r.Format())
+	}
+}
+
+func BenchmarkFig13MobilityToward(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig13Toward()
+		report(b, "fig13toward", r.Format())
+	}
+}
+
+func BenchmarkFig14Approximation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig14(3)
+		report(b, "fig14", r.Format())
+	}
+}
+
+// ------------------------- ablations and extensions (beyond the paper) --
+
+func BenchmarkAblationEpsilon(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := experiments.AblationEpsilon(7)
+		report(b, "abl-epsilon", experiments.FormatEpsilon(points))
+	}
+}
+
+func BenchmarkAblationAssociation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := experiments.AblationAssociation(7)
+		report(b, "abl-assoc", experiments.FormatAssociation(points))
+	}
+}
+
+func BenchmarkAblationRestarts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := experiments.AblationRestarts(7)
+		report(b, "abl-restart", experiments.FormatRestarts(points))
+	}
+}
+
+func BenchmarkPeriodicitySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunPeriodicity(11)
+		report(b, "periodicity", r.Format())
+	}
+}
+
+func BenchmarkJammerSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunJammerSweep(benchPHY)
+		report(b, "jammer", r.Format())
+	}
+}
+
+func BenchmarkModelValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunModelValidation(1)
+		report(b, "validation", r.Format())
+	}
+}
+
+func BenchmarkCSIAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunCSIAblation(benchPHY)
+		report(b, "csi", r.Format())
+	}
+}
+
+func BenchmarkCodedValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunCodedValidation(benchPHY)
+		report(b, "codedval", r.Format())
+	}
+}
+
+func BenchmarkAblationScanning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := experiments.AblationScanning(7)
+		report(b, "abl-scan", experiments.FormatScanning(points))
+	}
+}

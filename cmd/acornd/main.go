@@ -1,0 +1,122 @@
+// Command acornd runs the ACORN controller on a WLAN described in a JSON
+// topology file (or a built-in demo topology) and prints the resulting
+// configuration and throughput report, optionally alongside the legacy
+// baseline for comparison.
+//
+// Usage:
+//
+//	acornd [-topology file.json] [-seed N] [-compare] [-json]
+//
+// Topology file format:
+//
+//	{
+//	  "aps":     [{"id": "AP1", "x": 0, "y": 0, "txPower": 18}, ...],
+//	  "clients": [{"id": "u1", "x": 5, "y": 3,
+//	               "extraLoss": {"AP1": 20}}, ...]
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"acorn"
+	"acorn/internal/topofile"
+	"acorn/internal/units"
+)
+
+func main() {
+	topoPath := flag.String("topology", "", "JSON topology file (empty = built-in demo)")
+	seed := flag.Int64("seed", 1, "seed for the random initial channel assignment")
+	compare := flag.Bool("compare", false, "also run the legacy [17] baseline")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	dot := flag.Bool("dot", false, "emit the configured interference graph in Graphviz DOT")
+	flag.Parse()
+
+	net, clients, err := loadTopology(*topoPath)
+	if err != nil {
+		log.Fatalf("acornd: %v", err)
+	}
+
+	ctrl, err := acorn.NewController(net, *seed)
+	if err != nil {
+		log.Fatalf("acornd: %v", err)
+	}
+	report := ctrl.AutoConfigure(clients)
+	cfg := ctrl.Config()
+
+	if *asJSON {
+		out := map[string]any{"acorn": report}
+		if *compare {
+			legacy := acorn.LegacyConfigure(net, clients)
+			out["legacy"] = net.Evaluate(legacy)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatalf("acornd: %v", err)
+		}
+		return
+	}
+
+	if *dot {
+		fmt.Print(net.InterferenceDOT(cfg))
+		return
+	}
+
+	fmt.Println("ACORN configuration:")
+	printReport(net, cfg, report)
+	if *compare {
+		legacyCfg := acorn.LegacyConfigure(net, clients)
+		legacyRep := net.Evaluate(legacyCfg)
+		fmt.Println("\nLegacy [17] configuration:")
+		printReport(net, legacyCfg, legacyRep)
+		fmt.Printf("\nACORN/legacy total UDP throughput: %.2f / %.2f Mbit/s (%.2fx)\n",
+			report.TotalUDP, legacyRep.TotalUDP, report.TotalUDP/legacyRep.TotalUDP)
+	}
+}
+
+func printReport(net *acorn.Network, cfg *acorn.Config, rep *acorn.NetworkReport) {
+	for _, cell := range rep.Cells {
+		fmt.Printf("  %-6s %-14v M=%.2f  UDP %7.2f  TCP %7.2f  clients %v\n",
+			cell.APID, cell.Channel, cell.AccessShare,
+			cell.ThroughputUDP, cell.ThroughputTCP, cfg.ClientsOf(cell.APID))
+	}
+	fmt.Printf("  total: UDP %.2f Mbit/s, TCP %.2f Mbit/s\n", rep.TotalUDP, rep.TotalTCP)
+}
+
+func loadTopology(path string) (*acorn.Network, []*acorn.Client, error) {
+	if path == "" {
+		return demoTopology()
+	}
+	return topofile.Load(path)
+}
+
+// demoTopology is a small mixed-quality WLAN showing off both ACORN
+// mechanisms: quality grouping and width selection.
+func demoTopology() (*acorn.Network, []*acorn.Client, error) {
+	aps := []*acorn.AP{
+		{ID: "AP1", Pos: acorn.Point{X: 0, Y: 0}, TxPower: 18},
+		{ID: "AP2", Pos: acorn.Point{X: 120, Y: 0}, TxPower: 18},
+		{ID: "AP3", Pos: acorn.Point{X: 60, Y: 100}, TxPower: 18},
+	}
+	wall := func(db float64) map[string]units.DB {
+		m := make(map[string]units.DB, len(aps))
+		for _, ap := range aps {
+			m[ap.ID] = units.DB(db)
+		}
+		return m
+	}
+	clients := []*acorn.Client{
+		{ID: "u1", Pos: acorn.Point{X: 4, Y: 3}},
+		{ID: "u2", Pos: acorn.Point{X: 7, Y: -4}},
+		{ID: "u3", Pos: acorn.Point{X: 116, Y: 5}},
+		{ID: "u4", Pos: acorn.Point{X: 124, Y: -3}, ExtraLoss: wall(18)},
+		{ID: "u5", Pos: acorn.Point{X: 63, Y: 104}, ExtraLoss: wall(54)},
+		{ID: "u6", Pos: acorn.Point{X: 55, Y: 97}, ExtraLoss: wall(53)},
+	}
+	return acorn.NewNetwork(aps, clients), clients, nil
+}

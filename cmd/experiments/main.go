@@ -1,0 +1,125 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-seed N] [-packets N] [list | all | <id>...]
+//
+// Ids: fig1 fig2 fig3a fig3b fig4 fig5 table1 fig6 fig8 fig9 fig10a fig10b
+// fig11 table3 fig13away fig13toward fig14.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"acorn/internal/experiments"
+	"acorn/internal/report"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "base RNG seed for the system experiments")
+	packets := flag.Int("packets", 0, "packets per Monte-Carlo point for the PHY experiments (0 = fast default; the paper uses 9000)")
+	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+	htmlPath := flag.String("html", "", "also write a self-contained HTML report to this path")
+	flag.Parse()
+
+	phyOpts := experiments.PHYOptions{Packets: *packets, Seed: *seed}
+	runners := map[string]func() string{
+		"fig1":        func() string { return experiments.RunFig1(phyOpts).Format() },
+		"fig2":        func() string { return experiments.RunFig2(phyOpts).Format() },
+		"fig3a":       func() string { return experiments.RunFig3a(phyOpts).Format() },
+		"fig3b":       func() string { return experiments.RunFig3b(phyOpts).Format() },
+		"fig4":        func() string { return experiments.RunFig4(phyOpts).Format() },
+		"fig5":        func() string { return experiments.RunFig5().Format() },
+		"table1":      func() string { return experiments.RunTable1().Format() },
+		"fig6":        func() string { return experiments.RunFig6(*seed).Format() },
+		"fig8":        func() string { return experiments.RunFig8().Format() },
+		"fig9":        func() string { return experiments.RunFig9(*seed).Format() },
+		"fig10a":      func() string { return experiments.RunFig10Topology1(*seed).Format() },
+		"fig10b":      func() string { return experiments.RunFig10Topology2(*seed).Format() },
+		"fig11":       func() string { return experiments.RunFig11(*seed).Format() },
+		"fig12":       func() string { return experiments.RunFig12().Format() },
+		"table3":      func() string { return experiments.RunTable3(*seed).Format() },
+		"fig13away":   func() string { return experiments.RunFig13Away().Format() },
+		"fig13toward": func() string { return experiments.RunFig13Toward().Format() },
+		"fig14":       func() string { return experiments.RunFig14(*seed).Format() },
+		// Ablations and extensions (not paper figures).
+		"abl-epsilon": func() string { return experiments.FormatEpsilon(experiments.AblationEpsilon(*seed)) },
+		"abl-assoc":   func() string { return experiments.FormatAssociation(experiments.AblationAssociation(*seed)) },
+		"abl-restart": func() string { return experiments.FormatRestarts(experiments.AblationRestarts(*seed)) },
+		"abl-scan":    func() string { return experiments.FormatScanning(experiments.AblationScanning(*seed)) },
+		"periodicity": func() string { return experiments.RunPeriodicity(*seed).Format() },
+		"jammer":      func() string { return experiments.RunJammerSweep(phyOpts).Format() },
+		"validation":  func() string { return experiments.RunModelValidation(*seed).Format() },
+		"codedval":    func() string { return experiments.RunCodedValidation(phyOpts).Format() },
+		"csi":         func() string { return experiments.RunCSIAblation(phyOpts).Format() },
+	}
+	ids := make([]string, 0, len(runners))
+	for id := range runners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	args := flag.Args()
+	if len(args) == 0 || args[0] == "list" {
+		fmt.Println("available experiments:")
+		for _, id := range ids {
+			fmt.Println("  " + id)
+		}
+		return
+	}
+	want := args
+	if args[0] == "all" {
+		want = ids
+	}
+	var entries []report.Entry
+	for _, id := range want {
+		run, ok := runners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		out := run()
+		elapsed := time.Since(start)
+		fmt.Printf("==================== %s ====================\n", id)
+		fmt.Println(out)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, id+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *htmlPath != "" {
+			entries = append(entries, report.Entry{
+				ID: id, Title: report.TitleOf(out), Body: out, Elapsed: elapsed.Round(time.Millisecond),
+			})
+		}
+	}
+	if *htmlPath != "" {
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		page := report.Page{
+			GeneratedBy: fmt.Sprintf("go run ./cmd/experiments (seed %d, packets %d)", *seed, *packets),
+			Entries:     entries,
+		}
+		if err := report.Write(f, page); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *htmlPath)
+	}
+}

@@ -1,0 +1,83 @@
+package acorn_test
+
+import (
+	"fmt"
+
+	"acorn"
+)
+
+// ExampleController_AutoConfigure configures a two-cell WLAN: the cell of
+// good clients gets a bonded 40 MHz channel, the cell of shielded clients a
+// plain 20 MHz channel.
+func ExampleController_AutoConfigure() {
+	aps := []*acorn.AP{
+		{ID: "office", Pos: acorn.Point{X: 0, Y: 0}, TxPower: 18},
+		{ID: "lab", Pos: acorn.Point{X: 600, Y: 0}, TxPower: 18},
+	}
+	shielded := func(db float64) map[string]acorn.DB {
+		return map[string]acorn.DB{"office": acorn.DB(db), "lab": acorn.DB(db)}
+	}
+	clients := []*acorn.Client{
+		{ID: "d1", Pos: acorn.Point{X: 4, Y: 2}},
+		{ID: "d2", Pos: acorn.Point{X: 7, Y: -3}},
+		{ID: "b1", Pos: acorn.Point{X: 604, Y: 3}, ExtraLoss: shielded(56)},
+		{ID: "b2", Pos: acorn.Point{X: 597, Y: -2}, ExtraLoss: shielded(55.5)},
+	}
+	net := acorn.NewNetwork(aps, clients)
+	ctrl, err := acorn.NewController(net, 42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ctrl.AutoConfigure(clients)
+	cfg := ctrl.Config()
+	fmt.Println("office width:", cfg.Channels["office"].Width)
+	fmt.Println("lab width:", cfg.Channels["lab"].Width)
+	// Output:
+	// office width: 40 MHz
+	// lab width: 20 MHz
+}
+
+// ExampleBondingSNRPenalty shows the micro-effect the whole system design
+// flows from: spreading a fixed transmit power over a 40 MHz channel's
+// subcarriers costs ≈3 dB of per-subcarrier SNR.
+func ExampleBondingSNRPenalty() {
+	fmt.Printf("penalty: %.1f dB\n", float64(acorn.BondingSNRPenalty()))
+	fmt.Printf("noise floor 20 MHz: %.0f dBm\n", float64(acorn.NoiseFloor(acorn.Width20)))
+	fmt.Printf("noise floor 40 MHz: %.0f dBm\n", float64(acorn.NoiseFloor(acorn.Width40)))
+	// Output:
+	// penalty: 3.1 dB
+	// noise floor 20 MHz: -101 dBm
+	// noise floor 40 MHz: -98 dBm
+}
+
+// ExampleChannel_Conflicts demonstrates the coloring rules of the channel
+// allocation problem: distinct 20 MHz channels don't conflict, but a bonded
+// channel conflicts with each of its components.
+func ExampleChannel_Conflicts() {
+	c36 := acorn.NewChannel20(36)
+	c40 := acorn.NewChannel20(40)
+	bonded := acorn.NewChannel40(36, 40)
+	fmt.Println(c36.Conflicts(c40))
+	fmt.Println(c36.Conflicts(bonded))
+	fmt.Println(c40.Conflicts(bonded))
+	// Output:
+	// false
+	// true
+	// true
+}
+
+// ExampleAssociate runs Algorithm 1 for one client against a configuration
+// without applying the decision.
+func ExampleAssociate() {
+	net := acorn.NewNetwork(
+		[]*acorn.AP{{ID: "AP1", Pos: acorn.Point{X: 0, Y: 0}, TxPower: 18}},
+		[]*acorn.Client{{ID: "u1", Pos: acorn.Point{X: 5, Y: 3}}},
+	)
+	cfg := acorn.NewConfig()
+	cfg.Channels["AP1"] = acorn.NewChannel20(36)
+	d := acorn.Associate(net, cfg, net.Clients[0])
+	fmt.Println(d.APID)
+	// Output:
+	// AP1
+}

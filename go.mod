@@ -1,0 +1,3 @@
+module acorn
+
+go 1.22

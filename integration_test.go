@@ -1,0 +1,138 @@
+package acorn_test
+
+// Integration tests at the scale of the paper's testbed and beyond,
+// exercising the full pipeline through the public API.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"acorn"
+)
+
+// buildCampus places nAPs on a grid with clientsPerAP clients each, a
+// third of them behind obstructions heavy enough that bonding hurts.
+func buildCampus(seed int64, nAPs, clientsPerAP int) (*acorn.Network, []*acorn.Client) {
+	rng := rand.New(rand.NewSource(seed))
+	var aps []*acorn.AP
+	cols := 4
+	for i := 0; i < nAPs; i++ {
+		aps = append(aps, &acorn.AP{
+			ID:      fmt.Sprintf("AP%02d", i+1),
+			Pos:     acorn.Point{X: float64(i%cols) * 90, Y: float64(i/cols) * 90},
+			TxPower: 18,
+		})
+	}
+	var clients []*acorn.Client
+	for i, ap := range aps {
+		for j := 0; j < clientsPerAP; j++ {
+			c := &acorn.Client{
+				ID: fmt.Sprintf("u%02d_%02d", i+1, j+1),
+				Pos: acorn.Point{
+					X: ap.Pos.X + rng.Float64()*26 - 13,
+					Y: ap.Pos.Y + rng.Float64()*26 - 13,
+				},
+			}
+			if rng.Float64() < 0.33 {
+				wall := acorn.DB(45 + rng.Float64()*9)
+				c.ExtraLoss = map[string]acorn.DB{}
+				for _, a := range aps {
+					c.ExtraLoss[a.ID] = wall
+				}
+			}
+			clients = append(clients, c)
+		}
+	}
+	return acorn.NewNetwork(aps, clients), clients
+}
+
+func TestEnterpriseScale(t *testing.T) {
+	// A 12-AP, 48-client campus: the full pipeline must finish fast,
+	// produce a valid configuration, and beat both baselines.
+	net, clients := buildCampus(3, 12, 4)
+	start := time.Now()
+	ctrl, err := acorn.NewController(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ctrl.AutoConfigure(clients)
+	elapsed := time.Since(start)
+	if elapsed > 20*time.Second {
+		t.Errorf("auto-configuration took %v — too slow for a 12-AP campus", elapsed)
+	}
+	cfg := ctrl.Config()
+	if err := cfg.Validate(net); err != nil {
+		t.Fatalf("invalid config: %v", err)
+	}
+
+	legacy := net.Evaluate(acorn.LegacyConfigure(net, clients))
+	if rep.TotalUDP <= legacy.TotalUDP {
+		t.Errorf("ACORN %v did not beat legacy %v at campus scale", rep.TotalUDP, legacy.TotalUDP)
+	}
+	bestRandom := 0.0
+	for i := int64(0); i < 20; i++ {
+		if r := net.Evaluate(acorn.RandomConfigure(net, 100+i)); r.TotalUDP > bestRandom {
+			bestRandom = r.TotalUDP
+		}
+	}
+	if rep.TotalUDP <= bestRandom {
+		t.Errorf("ACORN %v did not beat best-of-20 random %v", rep.TotalUDP, bestRandom)
+	}
+
+	// Every AP with at least one poor-majority cell should run 20 MHz;
+	// spot-check the global width mix is not degenerate.
+	w20, w40 := 0, 0
+	for _, ap := range net.APs {
+		if cfg.Channels[ap.ID].Width == acorn.Width40 {
+			w40++
+		} else {
+			w20++
+		}
+	}
+	if w40 == 0 {
+		t.Error("no cell bonded — implausible for a campus with good clients")
+	}
+	t.Logf("campus: ACORN %.1f vs legacy %.1f vs random %.1f (%d×40MHz, %d×20MHz, %v)",
+		rep.TotalUDP, legacy.TotalUDP, bestRandom, w40, w20, elapsed)
+}
+
+func TestFairnessTradeoffVisible(t *testing.T) {
+	// The paper trades fairness for total throughput. Quantify: ACORN's
+	// Jain index may be below the legacy scheme's, but its throughput
+	// must be above; and fairness must stay meaningfully positive.
+	net, clients := buildCampus(9, 6, 4)
+	ctrl, err := acorn.NewController(net, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ctrl.AutoConfigure(clients)
+	j := rep.FairnessIndex()
+	if j <= 0.05 || j > 1 {
+		t.Errorf("Jain index %v out of plausible range", j)
+	}
+	legacy := net.Evaluate(acorn.LegacyConfigure(net, clients))
+	t.Logf("ACORN: %.1f Mb/s @ J=%.2f; legacy: %.1f Mb/s @ J=%.2f",
+		rep.TotalUDP, j, legacy.TotalUDP, legacy.FairnessIndex())
+	if rep.TotalUDP < legacy.TotalUDP {
+		t.Errorf("throughput objective violated: %v < %v", rep.TotalUDP, legacy.TotalUDP)
+	}
+}
+
+func TestEmpiricalEvaluateAgreesAtScale(t *testing.T) {
+	net, clients := buildCampus(5, 6, 3)
+	ctrl, err := acorn.NewController(net, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ctrl.AutoConfigure(clients)
+	emp := acorn.EmpiricalEvaluate(net, ctrl.Config(), 5, 20)
+	if rep.TotalUDP == 0 || emp.TotalMbps == 0 {
+		t.Fatal("degenerate evaluation")
+	}
+	ratio := emp.TotalMbps / rep.TotalUDP
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("empirical/analytic ratio %v outside ±15%%", ratio)
+	}
+}

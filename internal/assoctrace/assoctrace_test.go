@@ -1,0 +1,158 @@
+package assoctrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"acorn/internal/stats"
+)
+
+func smallGen() Generator {
+	g := DefaultGenerator()
+	g.NumAPs = 40
+	g.Span = 30 * 24 * time.Hour
+	return g
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := smallGen()
+	a := g.Generate(3)
+	b := g.Generate(3)
+	if len(a) != len(b) {
+		t.Fatalf("different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+	c := g.Generate(4)
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestTraceWithinSpan(t *testing.T) {
+	g := smallGen()
+	for _, r := range g.Generate(1) {
+		if r.Start < 0 || r.Start > g.Span {
+			t.Fatalf("session start %v outside span", r.Start)
+		}
+		if r.Duration <= 0 {
+			t.Fatalf("non-positive duration %v", r.Duration)
+		}
+		if r.APIndex < 0 || r.APIndex >= g.NumAPs {
+			t.Fatalf("AP index %d out of range", r.APIndex)
+		}
+	}
+}
+
+func TestDurationStatisticsMatchPaper(t *testing.T) {
+	// Fig 9: median ≈31 min, >90% of associations under 40 min.
+	g := smallGen()
+	durations := Durations(g.Generate(7))
+	if len(durations) < 500 {
+		t.Fatalf("trace too small for statistics: %d sessions", len(durations))
+	}
+	medianMin := stats.Median(durations) / 60
+	if medianMin < 28 || medianMin > 34 {
+		t.Errorf("median duration = %.1f min, want ≈31", medianMin)
+	}
+	under40 := stats.NewECDF(durations).At(40 * 60)
+	if under40 < 0.88 {
+		t.Errorf("fraction under 40 min = %.2f, want > 0.88", under40)
+	}
+}
+
+func TestRecommendedPeriod(t *testing.T) {
+	g := smallGen()
+	period := RecommendedPeriod(g.Generate(7))
+	if period != 30*time.Minute {
+		t.Errorf("recommended period = %v, want 30m (paper's choice)", period)
+	}
+	if got := RecommendedPeriod(nil); got != 30*time.Minute {
+		t.Errorf("empty-trace fallback = %v, want 30m", got)
+	}
+}
+
+func TestSampleDurationPositive(t *testing.T) {
+	g := smallGen()
+	rng := stats.NewRand(11)
+	for i := 0; i < 1000; i++ {
+		if d := g.SampleDuration(rng); d <= 0 {
+			t.Fatalf("non-positive sampled duration %v", d)
+		}
+	}
+}
+
+func TestLognormalParamsDegenerate(t *testing.T) {
+	g := smallGen()
+	g.P90Duration = g.MedianDuration // degenerate: σ would be ≤ 0
+	mu, sigma := g.lognormalParams()
+	if sigma <= 0 {
+		t.Errorf("sigma = %v, want clamped positive", sigma)
+	}
+	_ = mu
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	g := smallGen()
+	g.NumAPs = 5
+	g.Span = 48 * time.Hour
+	recs := g.Generate(3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip length %d vs %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i].APIndex != recs[i].APIndex {
+			t.Fatalf("record %d AP mismatch", i)
+		}
+		if d := back[i].Start - recs[i].Start; d > time.Microsecond || d < -time.Microsecond {
+			t.Fatalf("record %d start drift %v", i, d)
+		}
+		if d := back[i].Duration - recs[i].Duration; d > time.Microsecond || d < -time.Microsecond {
+			t.Fatalf("record %d duration drift %v", i, d)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",               // no header
+		"a,b,c\n1,2,3\n", // wrong header
+		"ap_index,start_seconds,duration_seconds\nx,0,1", // bad ap
+		"ap_index,start_seconds,duration_seconds\n-1,0,1",
+		"ap_index,start_seconds,duration_seconds\n0,-5,1",
+		"ap_index,start_seconds,duration_seconds\n0,0,0", // zero duration
+		"ap_index,start_seconds,duration_seconds\n0,0\n", // short row
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+	// Header only is a valid empty trace.
+	recs, err := ReadCSV(strings.NewReader("ap_index,start_seconds,duration_seconds\n"))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("header-only trace: %v, %d records", err, len(recs))
+	}
+}

@@ -1,0 +1,80 @@
+package assoctrace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV interchange for association traces, so a real dataset (e.g. the
+// CRAWDAD ile-sans-fil trace the paper mines) can replace the synthetic
+// generator. The format is three columns with a header:
+//
+//	ap_index,start_seconds,duration_seconds
+//
+// start is the offset from the trace beginning; both columns accept
+// fractional seconds.
+
+// WriteCSV serializes records in the interchange format.
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ap_index", "start_seconds", "duration_seconds"}); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		row := []string{
+			strconv.Itoa(r.APIndex),
+			strconv.FormatFloat(r.Start.Seconds(), 'f', -1, 64),
+			strconv.FormatFloat(r.Duration.Seconds(), 'f', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the interchange format, validating every row: AP indices
+// must be nonnegative, starts nonnegative, durations positive. The header
+// row is required.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("assoctrace: reading header: %w", err)
+	}
+	if header[0] != "ap_index" || header[1] != "start_seconds" || header[2] != "duration_seconds" {
+		return nil, fmt.Errorf("assoctrace: unexpected header %v", header)
+	}
+	var recs []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("assoctrace: line %d: %w", line, err)
+		}
+		ap, err := strconv.Atoi(row[0])
+		if err != nil || ap < 0 {
+			return nil, fmt.Errorf("assoctrace: line %d: bad ap_index %q", line, row[0])
+		}
+		start, err := strconv.ParseFloat(row[1], 64)
+		if err != nil || start < 0 {
+			return nil, fmt.Errorf("assoctrace: line %d: bad start %q", line, row[1])
+		}
+		dur, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || dur <= 0 {
+			return nil, fmt.Errorf("assoctrace: line %d: bad duration %q", line, row[2])
+		}
+		recs = append(recs, Record{
+			APIndex:  ap,
+			Start:    time.Duration(start * float64(time.Second)),
+			Duration: time.Duration(dur * float64(time.Second)),
+		})
+	}
+}

@@ -1,0 +1,333 @@
+package baseband
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"acorn/internal/dsp"
+	"acorn/internal/phy"
+	"acorn/internal/spectrum"
+	"acorn/internal/units"
+)
+
+func TestMapperRoundTrip(t *testing.T) {
+	for _, mod := range []phy.Modulation{phy.BPSK, phy.QPSK, phy.QAM16, phy.QAM64} {
+		m := NewMapper(mod)
+		n := m.Bits()
+		for v := 0; v < 1<<n; v++ {
+			bits := make([]byte, n)
+			for b := 0; b < n; b++ {
+				bits[b] = byte(v>>b) & 1
+			}
+			sym := m.Map(bits)
+			back := m.Demap(sym, nil)
+			for b := 0; b < n; b++ {
+				if back[b] != bits[b] {
+					t.Fatalf("%v: bits %v → %v → %v", mod, bits, sym, back)
+				}
+			}
+		}
+	}
+}
+
+func TestMapperUnitEnergy(t *testing.T) {
+	for _, mod := range []phy.Modulation{phy.BPSK, phy.QPSK, phy.QAM16, phy.QAM64} {
+		m := NewMapper(mod)
+		n := m.Bits()
+		var total float64
+		count := 1 << n
+		for v := 0; v < count; v++ {
+			bits := make([]byte, n)
+			for b := 0; b < n; b++ {
+				bits[b] = byte(v>>b) & 1
+			}
+			s := m.Map(bits)
+			total += real(s)*real(s) + imag(s)*imag(s)
+		}
+		if avg := total / float64(count); math.Abs(avg-1) > 1e-9 {
+			t.Errorf("%v: average symbol energy = %v, want 1", mod, avg)
+		}
+	}
+}
+
+func TestGrayMappingAdjacency(t *testing.T) {
+	// Adjacent 16QAM PAM levels must differ in exactly one bit.
+	m := qamMapper{bits: 4, levels: []float64{-3, -1, 1, 3}, scale: 1 / math.Sqrt(10)}
+	for idx := 0; idx+1 < 4; idx++ {
+		a := grayBits(idx, 2, nil)
+		b := grayBits(idx+1, 2, nil)
+		diff := 0
+		for i := range a {
+			if a[i] != b[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Errorf("levels %d,%d differ in %d bits, want 1", idx, idx+1, diff)
+		}
+	}
+	_ = m
+}
+
+func TestDiffEncodeDecode(t *testing.T) {
+	m := NewMapper(phy.QPSK)
+	syms := []complex128{m.Map([]byte{0, 1}), m.Map([]byte{1, 1}), m.Map([]byte{0, 0}), m.Map([]byte{1, 0})}
+	enc := diffEncode(syms, complex(1, 0))
+	dec := diffDecode(enc, complex(1, 0))
+	for i := range syms {
+		if cmplx.Abs(dec[i]-syms[i]) > 1e-9 {
+			t.Errorf("diff round trip[%d] = %v, want %v", i, dec[i], syms[i])
+		}
+	}
+}
+
+func TestChainConfigNumerology(t *testing.T) {
+	c20 := NewChainConfig(spectrum.Width20)
+	if c20.FFTSize != 64 || len(c20.DataCarriers) != 52 {
+		t.Errorf("20 MHz chain: FFT %d carriers %d", c20.FFTSize, len(c20.DataCarriers))
+	}
+	if c20.SampleRate != 20e6 {
+		t.Errorf("20 MHz sample rate = %v", c20.SampleRate)
+	}
+	c40 := NewChainConfig(spectrum.Width40)
+	if c40.FFTSize != 128 || len(c40.DataCarriers) != 108 {
+		t.Errorf("40 MHz chain: FFT %d carriers %d", c40.FFTSize, len(c40.DataCarriers))
+	}
+	if c40.SampleRate != 40e6 {
+		t.Errorf("40 MHz sample rate = %v", c40.SampleRate)
+	}
+	// No duplicate carriers, none at DC.
+	seen := map[int]bool{}
+	for _, k := range c40.DataCarriers {
+		if k == 0 {
+			t.Error("data carrier at DC")
+		}
+		if seen[k] {
+			t.Errorf("duplicate carrier %d", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestOFDMSymbolRoundTrip(t *testing.T) {
+	cfg := NewChainConfig(spectrum.Width20)
+	m := NewMapper(phy.QPSK)
+	bits := make([]byte, cfg.BitsPerOFDMSymbol(m))
+	for i := range bits {
+		bits[i] = byte(i % 2)
+	}
+	syms := cfg.modulateSymbols(bits, m)
+	td := cfg.toTimeDomain(syms[0], 2.5, 0, 1) // odd symbol: antenna 0 silent on pilots
+	if len(td) != cfg.SymbolSamples() {
+		t.Fatalf("symbol length %d, want %d", len(td), cfg.SymbolSamples())
+	}
+	// Cyclic prefix property: first CPLen samples replicate the tail.
+	for i := 0; i < cfg.CPLen; i++ {
+		if cmplx.Abs(td[i]-td[cfg.FFTSize+i]) > 1e-9 {
+			t.Fatalf("cyclic prefix mismatch at %d", i)
+		}
+	}
+	back, grid := cfg.fromTimeDomain(td)
+	if len(grid) != cfg.FFTSize {
+		t.Fatalf("grid length %d", len(grid))
+	}
+	for k := range back {
+		if cmplx.Abs(back[k]/complex(2.5, 0)-syms[0][k]) > 1e-9 {
+			t.Fatalf("tone %d round trip failed", k)
+		}
+	}
+}
+
+// noiselessLink builds a link over a perfect channel.
+func noiselessLink(w spectrum.Width, mod phy.Modulation, mode TxMode, seed int64) *Link {
+	ch := &Channel{Fading: FadingNone, Noiseless: true}
+	return NewLink(NewChainConfig(w), mod, mode, 15, ch, seed)
+}
+
+func TestLoopbackNoErrors(t *testing.T) {
+	for _, w := range []spectrum.Width{spectrum.Width20, spectrum.Width40} {
+		for _, mod := range []phy.Modulation{phy.BPSK, phy.QPSK, phy.DQPSK, phy.QAM16, phy.QAM64} {
+			for _, mode := range []TxMode{ModeSTBC, ModeSISO} {
+				l := noiselessLink(w, mod, mode, 7)
+				meas := l.Run(2, 300)
+				if meas.BitErrors != 0 {
+					t.Errorf("%v/%v/%v: %d bit errors on noiseless channel",
+						w, mod, mode, meas.BitErrors)
+				}
+				if meas.PacketErrors != 0 {
+					t.Errorf("%v/%v/%v: packet errors on noiseless channel", w, mod, mode)
+				}
+			}
+		}
+	}
+}
+
+func TestLoopbackWithTimingDetection(t *testing.T) {
+	l := noiselessLink(spectrum.Width20, phy.QPSK, ModeSTBC, 3)
+	l.DetectTiming = true
+	meas := l.Run(1, 200)
+	if meas.BitErrors != 0 {
+		t.Errorf("timing-detected loopback had %d bit errors", meas.BitErrors)
+	}
+}
+
+func TestLoopbackFlatFading(t *testing.T) {
+	// Genie-CSI STBC over flat fading without noise must still be exact.
+	ch := &Channel{Fading: FadingFlat, Noiseless: true}
+	l := NewLink(NewChainConfig(spectrum.Width20), phy.QPSK, ModeSTBC, 15, ch, 11)
+	meas := l.Run(4, 200)
+	if meas.BitErrors != 0 {
+		t.Errorf("fading loopback had %d bit errors", meas.BitErrors)
+	}
+}
+
+func TestTxPowerConservation(t *testing.T) {
+	// Payload sample power should equal the configured TX power
+	// (summed over both antennas) regardless of width.
+	for _, w := range []spectrum.Width{spectrum.Width20, spectrum.Width40} {
+		l := noiselessLink(w, phy.QPSK, ModeSTBC, 5)
+		bits := l.randomBits(240 * 8)
+		tx, _ := l.buildTx(bits)
+		pre := l.Chain.PreambleSamples()
+		p := dsp.MeanPower(tx[0][pre:]) + dsp.MeanPower(tx[1][pre:])
+		want := float64(units.DBm(15).MilliWatts())
+		// The cyclic prefix repeats signal, preserving mean power; allow
+		// a few percent for modulation randomness.
+		if math.Abs(p-want) > 0.1*want {
+			t.Errorf("%v: tx power %v mW, want ≈%v", w, p, want)
+		}
+	}
+}
+
+func TestPerSubcarrierEnergyDropsWithBonding(t *testing.T) {
+	// The Fig 1 micro-effect at the waveform level: same total power,
+	// about 3 dB less energy per tone at 40 MHz.
+	l20 := noiselessLink(spectrum.Width20, phy.QPSK, ModeSISO, 5)
+	l40 := noiselessLink(spectrum.Width40, phy.QPSK, ModeSISO, 5)
+	g20 := l20.toneGain()
+	g40 := l40.toneGain()
+	// Per-tone *power* at the transmitter: gain² scaled by FFT-size
+	// normalization (gain includes N² factor; compare per-tone energy
+	// E = gain²/N²).
+	e20 := g20 * g20 / float64(64*64)
+	e40 := g40 * g40 / float64(128*128)
+	dropDB := 10 * math.Log10(e20/e40)
+	if dropDB < 2.9 || dropDB > 3.4 {
+		t.Errorf("per-tone energy drop = %v dB, want ≈3.1", dropDB)
+	}
+}
+
+func TestMeasuredSNRMatchesAnalytic(t *testing.T) {
+	// Configure a path loss that lands the per-subcarrier SNR near
+	// 15 dB at 20 MHz and check the EVM-derived measurement agrees.
+	tx := units.DBm(15)
+	pl := units.DB(50)
+	want := float64(phy.RxSubcarrierSNR(tx, pl, spectrum.Width20))
+	ch := &Channel{PathLoss: pl, Fading: FadingNone}
+	l := NewLink(NewChainConfig(spectrum.Width20), phy.QPSK, ModeSISO, tx, ch, 9)
+	meas := l.Run(4, 500)
+	got := meas.MeasuredSNRdB()
+	// MRC over two RX antennas adds 3 dB array gain over the analytic
+	// single-antenna value.
+	if math.Abs(got-(want+3)) > 1.0 {
+		t.Errorf("measured SNR %v dB, want ≈%v (+3 dB MRC)", got, want+3)
+	}
+}
+
+func TestBERMatchesTheoryQPSK(t *testing.T) {
+	// Monte-Carlo BER at a few SNR points vs the closed-form curve used
+	// for Fig 3a. SISO mode with a single RX path is emulated by
+	// subtracting the 3 dB MRC gain from the target.
+	tx := units.DBm(15)
+	for _, targetSNR := range []float64{4, 6, 8} {
+		// Choose path loss so the post-MRC per-subcarrier SNR is
+		// targetSNR: analytic + 3 = target → analytic = target − 3.
+		pl := float64(tx) - (targetSNR - 3) - float64(phy.SubcarrierNoiseFloor()) -
+			10*math.Log10(float64(phy.UsedSubcarriers(spectrum.Width20)))
+		ch := &Channel{PathLoss: units.DB(pl), Fading: FadingNone}
+		l := NewLink(NewChainConfig(spectrum.Width20), phy.QPSK, ModeSISO, tx, ch, 13)
+		meas := l.Run(30, 500)
+		want := phy.UncodedBER(phy.QPSK, units.DB(targetSNR))
+		got := meas.BER()
+		if got == 0 && want > 1e-4 {
+			t.Errorf("SNR %v: no errors observed, want BER %v", targetSNR, want)
+			continue
+		}
+		ratio := got / want
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("SNR %v: BER %v vs theory %v (ratio %v)", targetSNR, got, want, ratio)
+		}
+	}
+}
+
+func TestSTBCBeatsSISOUnderFading(t *testing.T) {
+	// Alamouti's diversity should cut BER versus single-antenna
+	// transmission over fading at the same total power.
+	// Path loss chosen for a per-subcarrier SNR around 8 dB, where
+	// diversity matters.
+	tx := units.DBm(10)
+	pl := units.DB(float64(tx) - 8 - float64(phy.SubcarrierNoiseFloor()) -
+		10*math.Log10(float64(phy.UsedSubcarriers(spectrum.Width20))))
+	run := func(mode TxMode) float64 {
+		ch := &Channel{PathLoss: pl, Fading: FadingFlat}
+		l := NewLink(NewChainConfig(spectrum.Width20), phy.QPSK, mode, tx, ch, 21)
+		return l.Run(60, 200).BER()
+	}
+	siso := run(ModeSISO)
+	stbc := run(ModeSTBC)
+	if stbc >= siso {
+		t.Errorf("STBC BER %v should beat SISO BER %v under fading", stbc, siso)
+	}
+}
+
+func TestWiderChannelWorseAtSameTxPower(t *testing.T) {
+	// The headline Fig 3b/4b effect: same Tx power, same path loss —
+	// the 40 MHz link has strictly more bit errors.
+	// Path loss placing the 20 MHz link near 6 dB per-subcarrier SNR, so
+	// the 40 MHz link sits ~3 dB lower, inside the error waterfall.
+	tx := units.DBm(12)
+	pl := units.DB(float64(tx) - 6 - float64(phy.SubcarrierNoiseFloor()) -
+		10*math.Log10(float64(phy.UsedSubcarriers(spectrum.Width20))))
+	run := func(w spectrum.Width) *Measurement {
+		ch := &Channel{PathLoss: pl, Fading: FadingNone}
+		l := NewLink(NewChainConfig(w), phy.QPSK, ModeSTBC, tx, ch, 17)
+		return l.Run(25, 500)
+	}
+	m20 := run(spectrum.Width20)
+	m40 := run(spectrum.Width40)
+	if m40.BER() <= m20.BER() {
+		t.Errorf("40 MHz BER %v should exceed 20 MHz BER %v at same Tx", m40.BER(), m20.BER())
+	}
+	if m40.PER() < m20.PER() {
+		t.Errorf("40 MHz PER %v should be ≥ 20 MHz PER %v", m40.PER(), m20.PER())
+	}
+}
+
+func TestConstellationCapture(t *testing.T) {
+	l := noiselessLink(spectrum.Width20, phy.QPSK, ModeSTBC, 3)
+	meas := l.Run(1, 400)
+	if len(meas.Constellation) == 0 {
+		t.Fatal("no constellation captured")
+	}
+	if len(meas.Constellation) > ConstellationCap {
+		t.Fatalf("constellation exceeds cap: %d", len(meas.Constellation))
+	}
+	// Noiseless: every point sits on the ideal QPSK constellation.
+	for _, p := range meas.Constellation {
+		if math.Abs(cmplx.Abs(p)-1) > 1e-6 {
+			t.Fatalf("constellation point %v off unit circle", p)
+		}
+	}
+}
+
+func TestTxWaveformLength(t *testing.T) {
+	l := noiselessLink(spectrum.Width20, phy.QPSK, ModeSISO, 3)
+	w := l.TxWaveform(1500)
+	m := NewMapper(phy.QPSK)
+	nSyms := (1500*8 + l.Chain.BitsPerOFDMSymbol(m) - 1) / l.Chain.BitsPerOFDMSymbol(m)
+	want := l.Chain.PreambleSamples() + nSyms*l.Chain.SymbolSamples()
+	if len(w) != want {
+		t.Errorf("waveform length %d, want %d", len(w), want)
+	}
+}

@@ -1,0 +1,43 @@
+package baseband
+
+import (
+	"testing"
+
+	"acorn/internal/phy"
+	"acorn/internal/spectrum"
+)
+
+func BenchmarkRunPacketQPSK20(b *testing.B) {
+	ch := &Channel{PathLoss: 100}
+	l := NewLink(NewChainConfig(spectrum.Width20), phy.QPSK, ModeSTBC, 15, ch, 1)
+	var m Measurement
+	b.ReportAllocs()
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		l.RunPacket(1500, &m)
+	}
+}
+
+func BenchmarkRunPacketCoded(b *testing.B) {
+	ch := &Channel{PathLoss: 100}
+	l := NewLink(NewChainConfig(spectrum.Width20), phy.QPSK, ModeSTBC, 15, ch, 1)
+	rate := phy.Rate34
+	l.Coding = &rate
+	var m Measurement
+	b.ReportAllocs()
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		l.RunPacket(1500, &m)
+	}
+}
+
+func BenchmarkRunPacketMultipath40(b *testing.B) {
+	ch := &Channel{PathLoss: 100, Fading: FadingMultipath}
+	l := NewLink(NewChainConfig(spectrum.Width40), phy.QAM64, ModeSTBC, 15, ch, 1)
+	var m Measurement
+	b.ReportAllocs()
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		l.RunPacket(1500, &m)
+	}
+}

@@ -1,0 +1,218 @@
+package baseband
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"acorn/internal/dsp"
+	"acorn/internal/phy"
+	"acorn/internal/units"
+)
+
+// FadingModel selects how the propagation channel between each TX/RX
+// antenna pair behaves within a packet.
+type FadingModel int
+
+const (
+	// FadingNone is a pure AWGN channel: unit gains, noise only. It is
+	// the model behind the theoretical curves of Fig 3.
+	FadingNone FadingModel = iota
+	// FadingFlat draws one complex Rayleigh gain per antenna pair per
+	// packet (quasi-static flat fading).
+	FadingFlat
+	// FadingRician mixes a line-of-sight component with scattered energy
+	// (K-factor below), matching indoor links with a dominant path.
+	FadingRician
+	// FadingMultipath draws a tapped-delay-line impulse response per
+	// antenna pair (exponential power-delay profile, MultipathTaps taps)
+	// and convolves the transmitted samples with it. The delay spread is
+	// absorbed by the OFDM cyclic prefix and equalized per subcarrier —
+	// the frequency-selective case OFDM exists to handle.
+	FadingMultipath
+)
+
+// RicianK is the K-factor (linear) used by FadingRician.
+const RicianK = 6.0
+
+// MultipathTaps is the impulse-response length of FadingMultipath, well
+// inside the 16-sample (20 MHz) cyclic prefix.
+const MultipathTaps = 8
+
+// multipathDecay is the per-tap power decay of the exponential profile.
+const multipathDecay = 0.6
+
+// Jammer is a narrowband interferer: a set of tones at given FFT bins with
+// the given total power, active for the whole packet. OFDM localizes the
+// damage to the jammed subcarriers — the resilience the paper's Section 2
+// credits OFDM with.
+type Jammer struct {
+	// Bins are FFT bin indices (of the receiver's transform) to jam.
+	Bins []int
+	// PowerMW is the total jammer power in milliwatts at the receiver,
+	// split across the bins.
+	PowerMW float64
+}
+
+// Channel is the simulated radio channel between a 2-antenna transmitter
+// and a 2-antenna receiver.
+type Channel struct {
+	// PathLoss attenuates the signal (amplitude applied as 10^(−PL/20)).
+	PathLoss units.DB
+	// Fading selects the small-scale model.
+	Fading FadingModel
+	// NoiseFloorOverride, when non-zero, replaces the thermal noise power
+	// (mW) derived from the chain's sample rate. Tests use it to build
+	// noiseless channels.
+	NoiseFloorOverride float64
+	// Noiseless disables thermal noise entirely (for loopback tests).
+	Noiseless bool
+	// Jam, when non-nil, adds a narrowband interferer.
+	Jam *Jammer
+
+	rng *rand.Rand
+}
+
+// NewChannel builds a channel with the given path loss and fading model,
+// drawing randomness from rng.
+func NewChannel(pathLoss units.DB, fading FadingModel, rng *rand.Rand) *Channel {
+	return &Channel{PathLoss: pathLoss, Fading: fading, rng: rng}
+}
+
+// State is the realization of the channel for one packet: the impulse
+// response of every TX→RX antenna path (length 1 for flat models), with
+// path loss folded in.
+type State struct {
+	// Taps[t][r] is the impulse response from TX antenna t to RX
+	// antenna r.
+	Taps [2][2][]complex128
+}
+
+// FreqResponse returns the per-bin frequency response of path (t, r) for
+// an FFT of the given size.
+func (st *State) FreqResponse(t, r, fftSize int) []complex128 {
+	grid := make([]complex128, fftSize)
+	copy(grid, st.Taps[t][r])
+	dsp.FFT(grid)
+	return grid
+}
+
+// gain draws one complex small-scale coefficient for the configured model.
+func (c *Channel) gain() complex128 {
+	switch c.Fading {
+	case FadingFlat:
+		return complex(c.rng.NormFloat64()/math.Sqrt2, c.rng.NormFloat64()/math.Sqrt2)
+	case FadingRician:
+		los := complex(math.Sqrt(RicianK), 0)
+		scatter := complex(c.rng.NormFloat64()/math.Sqrt2, c.rng.NormFloat64()/math.Sqrt2)
+		return (los + scatter) / complex(math.Sqrt(RicianK+1), 0)
+	default:
+		return 1
+	}
+}
+
+// drawState realizes the per-packet channel.
+func (c *Channel) drawState() *State {
+	st := &State{}
+	att := complex(c.attenuation(), 0)
+	for t := 0; t < 2; t++ {
+		for r := 0; r < 2; r++ {
+			if c.Fading == FadingMultipath {
+				taps := make([]complex128, MultipathTaps)
+				// Exponential power-delay profile, unit total power.
+				var norm float64
+				p := 1.0
+				for i := range taps {
+					taps[i] = complex(c.rng.NormFloat64(), c.rng.NormFloat64()) * complex(math.Sqrt(p/2), 0)
+					norm += p
+					p *= multipathDecay
+				}
+				scale := complex(1/math.Sqrt(norm), 0) * att
+				for i := range taps {
+					taps[i] *= scale
+				}
+				st.Taps[t][r] = taps
+			} else {
+				st.Taps[t][r] = []complex128{c.gain() * att}
+			}
+		}
+	}
+	return st
+}
+
+// noisePowerMW returns the per-sample complex noise variance in mW for the
+// given sample rate.
+func (c *Channel) noisePowerMW(sampleRate float64) float64 {
+	if c.Noiseless {
+		return 0
+	}
+	if c.NoiseFloorOverride > 0 {
+		return c.NoiseFloorOverride
+	}
+	floor := phy.NoiseFloor(units.Hertz(sampleRate))
+	return float64(floor.MilliWatts())
+}
+
+// attenuation returns the amplitude attenuation factor from the path loss.
+func (c *Channel) attenuation() float64 {
+	return math.Pow(10, -float64(c.PathLoss)/20)
+}
+
+// Transmit passes the two per-antenna sample streams through the channel
+// and returns the two received streams plus the realized channel state.
+// All four TX→RX paths share the packet's quasi-static realization;
+// independent AWGN is added per RX antenna and sample; the jammer's tones,
+// if configured, are superimposed with a random phase per packet.
+func (c *Channel) Transmit(tx [2][]complex128, sampleRate float64, fftSize int) (rx [2][]complex128, st *State) {
+	n := len(tx[0])
+	if len(tx[1]) != n {
+		panic("baseband: antenna streams of unequal length")
+	}
+	st = c.drawState()
+	sigma := math.Sqrt(c.noisePowerMW(sampleRate) / 2) // per real dimension
+	var jam []complex128
+	if c.Jam != nil && len(c.Jam.Bins) > 0 && c.Jam.PowerMW > 0 {
+		jam = c.jammerSamples(n, fftSize)
+	}
+	for r := 0; r < 2; r++ {
+		out := make([]complex128, n)
+		for t := 0; t < 2; t++ {
+			taps := st.Taps[t][r]
+			for i := 0; i < n; i++ {
+				var v complex128
+				for d, h := range taps {
+					if i-d >= 0 {
+						v += tx[t][i-d] * h
+					}
+				}
+				out[i] += v
+			}
+		}
+		for i := 0; i < n; i++ {
+			if sigma > 0 {
+				out[i] += complex(c.rng.NormFloat64()*sigma, c.rng.NormFloat64()*sigma)
+			}
+			if jam != nil {
+				out[i] += jam[i]
+			}
+		}
+		rx[r] = out
+	}
+	return rx, st
+}
+
+// jammerSamples synthesizes the narrowband interference waveform: one
+// complex exponential per jammed bin, each with an independent random
+// phase, total power split evenly.
+func (c *Channel) jammerSamples(n, fftSize int) []complex128 {
+	perTone := math.Sqrt(c.Jam.PowerMW / float64(len(c.Jam.Bins)))
+	out := make([]complex128, n)
+	for _, bin := range c.Jam.Bins {
+		phase := c.rng.Float64() * 2 * math.Pi
+		w := 2 * math.Pi * float64(bin) / float64(fftSize)
+		for i := 0; i < n; i++ {
+			out[i] += cmplx.Rect(perTone, phase+w*float64(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package baseband
+
+import (
+	"testing"
+
+	"acorn/internal/phy"
+	"acorn/internal/spectrum"
+	"acorn/internal/units"
+)
+
+func codedLink(w spectrum.Width, mod phy.Modulation, rate phy.CodeRate, ch *Channel, seed int64) *Link {
+	l := NewLink(NewChainConfig(w), mod, ModeSTBC, 15, ch, seed)
+	l.Coding = &rate
+	return l
+}
+
+func TestCodedLoopbackAllRates(t *testing.T) {
+	for _, rate := range []phy.CodeRate{phy.Rate12, phy.Rate23, phy.Rate34, phy.Rate56} {
+		ch := &Channel{Noiseless: true}
+		l := codedLink(spectrum.Width20, phy.QPSK, rate, ch, 5)
+		meas := l.Run(2, 300)
+		if meas.BitErrors != 0 {
+			t.Errorf("rate %v: %d info-bit errors on noiseless channel", rate, meas.BitErrors)
+		}
+	}
+}
+
+func TestCodedLoopbackQAMAndMultipath(t *testing.T) {
+	ch := &Channel{Fading: FadingMultipath, Noiseless: true}
+	l := codedLink(spectrum.Width40, phy.QAM64, phy.Rate34, ch, 7)
+	if meas := l.Run(2, 300); meas.BitErrors != 0 {
+		t.Errorf("coded 64QAM multipath loopback had %d errors", meas.BitErrors)
+	}
+}
+
+// codedVsUncoded measures both flavours at the same operating point.
+func codedVsUncoded(t *testing.T, targetSNR float64) (coded, uncoded *Measurement) {
+	t.Helper()
+	tx := units.DBm(15)
+	pl := pathLossForTestSNR(tx, targetSNR)
+	rate := phy.Rate12
+	cl := codedLink(spectrum.Width20, phy.QPSK, rate, &Channel{PathLoss: pl}, 11)
+	coded = cl.Run(40, 250)
+	ul := NewLink(NewChainConfig(spectrum.Width20), phy.QPSK, ModeSTBC, tx, &Channel{PathLoss: pl}, 11)
+	uncoded = ul.Run(40, 250)
+	return coded, uncoded
+}
+
+func TestCodingGainMeasured(t *testing.T) {
+	// At a mid-waterfall SNR the rate-1/2 code must crush the BER
+	// relative to uncoded transmission — the measured coding gain that
+	// the analytic CodedBER model promises.
+	coded, uncoded := codedVsUncoded(t, 5)
+	if uncoded.BER() == 0 {
+		t.Fatal("operating point too clean to observe coding gain")
+	}
+	if coded.BER() >= uncoded.BER()/5 {
+		t.Errorf("coded BER %v not well below uncoded %v", coded.BER(), uncoded.BER())
+	}
+	if coded.PER() > uncoded.PER() {
+		t.Errorf("coded PER %v above uncoded %v", coded.PER(), uncoded.PER())
+	}
+}
+
+func TestCodedWaterfallOrdering(t *testing.T) {
+	// Across rates at a fixed SNR, weaker codes leave more errors —
+	// the ordering the analytic model (and Table 1) depends on.
+	tx := units.DBm(15)
+	pl := pathLossForTestSNR(tx, 3.0)
+	ber := func(rate phy.CodeRate, seed int64) float64 {
+		l := codedLink(spectrum.Width20, phy.QPSK, rate, &Channel{PathLoss: pl}, seed)
+		return l.Run(30, 250).BER()
+	}
+	b12 := ber(phy.Rate12, 3)
+	b56 := ber(phy.Rate56, 3)
+	if b12 >= b56 {
+		t.Errorf("rate 1/2 BER %v should be below rate 5/6 BER %v", b12, b56)
+	}
+}
+
+func TestCodedBondingPenaltyPersists(t *testing.T) {
+	// The paper's central effect survives coding: at the same Tx power
+	// the 40 MHz coded link has more residual errors than the 20 MHz one.
+	tx := units.DBm(15)
+	pl := pathLossForTestSNR(tx, 4.0)
+	run := func(w spectrum.Width) *Measurement {
+		l := codedLink(w, phy.QPSK, phy.Rate34, &Channel{PathLoss: pl}, 13)
+		return l.Run(30, 250)
+	}
+	m20 := run(spectrum.Width20)
+	m40 := run(spectrum.Width40)
+	if m40.PER() < m20.PER() {
+		t.Errorf("coded: 40 MHz PER %v below 20 MHz PER %v at same Tx", m40.PER(), m20.PER())
+	}
+}
+
+// pathLossForTestSNR mirrors the experiments helper: path loss landing the
+// pre-combining per-subcarrier SNR at target for 20 MHz.
+func pathLossForTestSNR(tx units.DBm, target float64) units.DB {
+	perSC := phy.SubcarrierTxPower(tx, spectrum.Width20)
+	return units.DB(float64(perSC)-target) - units.DB(float64(phy.SubcarrierNoiseFloor()))
+}

@@ -1,0 +1,413 @@
+package baseband
+
+import (
+	"math"
+	"math/rand"
+
+	"acorn/internal/dsp"
+	"acorn/internal/fec"
+	"acorn/internal/phy"
+	"acorn/internal/units"
+)
+
+// TxMode selects the spatial transmission scheme.
+type TxMode int
+
+const (
+	// ModeSTBC is 2×2 Alamouti space-time coding, the mode the paper's
+	// WARP experiments use.
+	ModeSTBC TxMode = iota
+	// ModeSISO transmits on antenna 1 only, with maximum-ratio combining
+	// across the two receive antennas.
+	ModeSISO
+)
+
+// Link is one configured baseband link: a transmitter chain, a channel, and
+// a receiver chain, equivalent to a WARP TX board / RX board pair running
+// the BERMAC measurement design.
+type Link struct {
+	Chain      ChainConfig
+	Modulation phy.Modulation
+	Mode       TxMode
+	// Coding, when non-nil, runs the 802.11 convolutional code at the
+	// given rate around the modem: information bits are encoded before
+	// modulation and Viterbi-decoded from per-bit soft LLRs after
+	// equalization. Nil transmits uncoded (the WARP BERMAC setup).
+	Coding *phy.CodeRate
+	// TxPower is the total transmit power across both antennas.
+	TxPower units.DBm
+	Channel *Channel
+	// DetectTiming makes the receiver find the payload via Barker
+	// correlation instead of using genie timing. With heavy noise or
+	// deep fades detection can fail; the receiver then falls back to
+	// nominal timing (as BERMAC's known-payload setup effectively does).
+	DetectTiming bool
+	// CSI selects genie channel knowledge (default) or pilot-based
+	// least-squares estimation.
+	CSI CSIMode
+
+	rng *rand.Rand
+}
+
+// NewLink builds a link with the given parameters, drawing bit and noise
+// randomness from seed.
+func NewLink(cfg ChainConfig, mod phy.Modulation, mode TxMode, txPower units.DBm, ch *Channel, seed int64) *Link {
+	rng := rand.New(rand.NewSource(seed))
+	if ch.rng == nil {
+		ch.rng = rng
+	}
+	return &Link{Chain: cfg, Modulation: mod, Mode: mode, TxPower: txPower, Channel: ch, rng: rng}
+}
+
+// toneGain returns the per-tone amplitude scale, per antenna, such that the
+// total transmitted power equals TxPower regardless of FFT size — this is
+// the mechanism behind the 3 dB per-subcarrier energy drop with bonding:
+// the same total power divides across more tones.
+func (l *Link) toneGain() float64 {
+	pMW := float64(l.TxPower.MilliWatts())
+	n := float64(l.Chain.FFTSize)
+	nsc := float64(len(l.Chain.DataCarriers))
+	es := pMW * n * n / nsc // per-tone energy for the full power
+	if l.Mode == ModeSTBC {
+		es /= 2 // split across the two antennas
+	}
+	return math.Sqrt(es)
+}
+
+// randomBits fills a fresh bit slice (one bit per byte, values 0/1).
+func (l *Link) randomBits(n int) []byte {
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(l.rng.Intn(2))
+	}
+	return bits
+}
+
+// buildTx modulates bits into the two antenna sample streams.
+func (l *Link) buildTx(bits []byte) (tx [2][]complex128, freqSyms [][]complex128) {
+	mapper := NewMapper(l.Modulation)
+	freqSyms = l.Chain.modulateSymbols(bits, mapper)
+	if l.Modulation == phy.DQPSK {
+		diffEncodeAcrossTime(freqSyms)
+	}
+	gain := l.toneGain()
+	preambleAmp := math.Sqrt(float64(l.TxPower.MilliWatts()))
+	preamble := dsp.BarkerPreamble(l.Chain.PreambleReps, preambleAmp)
+	silent := make([]complex128, len(preamble))
+
+	var ant1Syms, ant2Syms [][]complex128
+	if l.Mode == ModeSTBC {
+		ant1Syms, ant2Syms = alamoutiEncode(freqSyms)
+	} else {
+		ant1Syms = freqSyms
+		ant2Syms = make([][]complex128, len(freqSyms))
+		empty := make([]complex128, len(l.Chain.DataCarriers))
+		for i := range ant2Syms {
+			ant2Syms[i] = empty
+		}
+	}
+	tx[0] = append(tx[0], preamble...)
+	tx[1] = append(tx[1], silent...)
+	if l.CSI == CSIPilot {
+		// Training: antenna 0's LTF, then antenna 1's, each with the
+		// other antenna silent so the receiver separates the paths.
+		ltfSilence := make([]complex128, l.Chain.SymbolSamples())
+		tx[0] = append(tx[0], l.Chain.ltfSymbol(gain)...)
+		tx[1] = append(tx[1], ltfSilence...)
+		tx[0] = append(tx[0], ltfSilence...)
+		tx[1] = append(tx[1], l.Chain.ltfSymbol(gain)...)
+	}
+	for i := range ant1Syms {
+		tx[0] = append(tx[0], l.Chain.toTimeDomain(ant1Syms[i], gain, 0, i)...)
+		tx[1] = append(tx[1], l.Chain.toTimeDomain(ant2Syms[i], gain, 1, i)...)
+	}
+	return tx, freqSyms
+}
+
+// diffEncodeAcrossTime applies DQPSK differential encoding independently on
+// each subcarrier across the OFDM symbol sequence.
+func diffEncodeAcrossTime(syms [][]complex128) {
+	if len(syms) == 0 {
+		return
+	}
+	tones := len(syms[0])
+	col := make([]complex128, len(syms))
+	for k := 0; k < tones; k++ {
+		for t := range syms {
+			col[t] = syms[t][k]
+		}
+		enc := diffEncode(col, complex(1, 0))
+		for t := range syms {
+			syms[t][k] = enc[t]
+		}
+	}
+}
+
+// diffDecodeAcrossTime inverts diffEncodeAcrossTime on equalized symbols.
+func diffDecodeAcrossTime(syms [][]complex128) {
+	if len(syms) == 0 {
+		return
+	}
+	tones := len(syms[0])
+	col := make([]complex128, len(syms))
+	for k := 0; k < tones; k++ {
+		for t := range syms {
+			col[t] = syms[t][k]
+		}
+		dec := diffDecode(col, complex(1, 0))
+		for t := range syms {
+			syms[t][k] = dec[t]
+		}
+	}
+}
+
+// receive demodulates the two received streams back into equalized
+// unit-scale constellation symbols, one vector per transmitted OFDM symbol.
+func (l *Link) receive(rx [2][]complex128, st *State, nSyms int) [][]complex128 {
+	start := l.Chain.PreambleSamples()
+	if l.DetectTiming {
+		amp := math.Sqrt(float64(l.TxPower.MilliWatts())) * l.Channel.attenuation()
+		if s, _, ok := dsp.DetectPreamble(rx[0], l.Chain.PreambleReps, amp, 0.5); ok {
+			start = s
+		}
+	}
+	symLen := l.Chain.SymbolSamples()
+	nRxSyms := nSyms
+	if l.Mode == ModeSTBC && nRxSyms%2 == 1 {
+		nRxSyms++ // STBC pads to an even symbol count
+	}
+	var ltfGrids [2][2][]complex128
+	if l.CSI == CSIPilot {
+		for r := 0; r < 2; r++ {
+			for t := 0; t < LTFSymbols; t++ {
+				lo := start + t*symLen
+				if lo+symLen > len(rx[r]) {
+					continue
+				}
+				_, grid := l.Chain.fromTimeDomain(rx[r][lo : lo+symLen])
+				ltfGrids[r][t] = grid
+			}
+		}
+		start += LTFSymbols * symLen
+	}
+	var rxF [2][][]complex128
+	for r := 0; r < 2; r++ {
+		for t := 0; t < nRxSyms; t++ {
+			lo := start + t*symLen
+			if lo+symLen > len(rx[r]) {
+				break
+			}
+			data, _ := l.Chain.fromTimeDomain(rx[r][lo : lo+symLen])
+			rxF[r] = append(rxF[r], data)
+		}
+	}
+	if len(rxF[0]) == 0 {
+		return nil
+	}
+	var h toneResponse
+	if l.CSI == CSIPilot {
+		h = estimateFromLTF(ltfGrids, l.Chain, l.toneGain())
+	} else {
+		// Genie CSI: the exact per-tone response of every antenna path.
+		for t := 0; t < 2; t++ {
+			for r := 0; r < 2; r++ {
+				full := st.FreqResponse(t, r, l.Chain.FFTSize)
+				perTone := make([]complex128, len(l.Chain.DataCarriers))
+				for k, bin := range l.Chain.DataCarriers {
+					perTone[k] = full[bin]
+				}
+				h[t][r] = perTone
+			}
+		}
+	}
+	gain := l.toneGain()
+	var eq [][]complex128
+	if l.Mode == ModeSTBC {
+		eq = alamoutiDecode(rxF, h)
+	} else {
+		eq = mrcDecode(rxF, h)
+	}
+	for _, syms := range eq {
+		for k := range syms {
+			syms[k] /= complex(gain, 0)
+		}
+	}
+	if len(eq) > nSyms {
+		eq = eq[:nSyms]
+	}
+	if l.Modulation == phy.DQPSK {
+		diffDecodeAcrossTime(eq)
+	}
+	return eq
+}
+
+// Measurement accumulates BERMAC-style statistics over a run.
+type Measurement struct {
+	Packets      int
+	PacketErrors int
+	Bits         int
+	BitErrors    int
+	// Constellation holds up to ConstellationCap equalized RX symbols.
+	Constellation []complex128
+	// evSum accumulates error-vector power, sigSum signal power, for EVM.
+	evSum, sigSum float64
+}
+
+// ConstellationCap bounds the stored constellation sample.
+const ConstellationCap = 512
+
+// BER returns the measured bit error rate.
+func (m *Measurement) BER() float64 {
+	if m.Bits == 0 {
+		return 0
+	}
+	return float64(m.BitErrors) / float64(m.Bits)
+}
+
+// PER returns the measured packet error rate.
+func (m *Measurement) PER() float64 {
+	if m.Packets == 0 {
+		return 0
+	}
+	return float64(m.PacketErrors) / float64(m.Packets)
+}
+
+// EVM returns the root-mean-square error-vector magnitude relative to the
+// ideal constellation, and MeasuredSNRdB derives the link SNR from it
+// (SNR ≈ 1/EVM²) — how the reproduction "measures" SNR like the paper's
+// receiver does.
+func (m *Measurement) EVM() float64 {
+	if m.sigSum == 0 {
+		return 0
+	}
+	return math.Sqrt(m.evSum / m.sigSum)
+}
+
+// MeasuredSNRdB returns the SNR inferred from the error vectors.
+func (m *Measurement) MeasuredSNRdB() float64 {
+	evm := m.EVM()
+	if evm == 0 {
+		return math.Inf(1)
+	}
+	return -20 * math.Log10(evm)
+}
+
+// RunPacket transmits one packet of the given payload size and accumulates
+// the outcome into meas. With Coding set, the payload is convolutionally
+// encoded before modulation and Viterbi-decoded at the receiver; BER and
+// PER are then measured on the information bits.
+func (l *Link) RunPacket(payloadBytes int, meas *Measurement) {
+	if _, coded := l.codeRateOf(); coded {
+		l.runCodedPacket(payloadBytes, meas)
+		return
+	}
+	mapper := NewMapper(l.Modulation)
+	nBits := payloadBytes * 8
+	bits := l.randomBits(nBits)
+	tx, freqSyms := l.buildTx(bits)
+	rx, st := l.Channel.Transmit(tx, l.Chain.SampleRate, l.Chain.FFTSize)
+	eq := l.receive(rx, st, len(freqSyms))
+
+	// Reference (pre-differential-encoding) symbols for EVM.
+	ref := l.Chain.modulateSymbols(bits, mapper)
+
+	errors := 0
+	var decoded []byte
+	for t, syms := range eq {
+		for k, s := range syms {
+			decoded = mapper.Demap(s, decoded[:0])
+			base := t*l.Chain.BitsPerOFDMSymbol(mapper) + k*mapper.Bits()
+			for b, bit := range decoded {
+				idx := base + b
+				if idx < nBits && bit != bits[idx] {
+					errors++
+				}
+			}
+			if idxInPayload(t, k, mapper, l.Chain, nBits) {
+				r := ref[t][k]
+				d := s - r
+				meas.evSum += real(d)*real(d) + imag(d)*imag(d)
+				meas.sigSum += real(r)*real(r) + imag(r)*imag(r)
+				if len(meas.Constellation) < ConstellationCap {
+					meas.Constellation = append(meas.Constellation, s)
+				}
+			}
+		}
+	}
+	meas.Packets++
+	meas.Bits += nBits
+	meas.BitErrors += errors
+	if errors > 0 {
+		meas.PacketErrors++
+	}
+}
+
+// idxInPayload reports whether symbol (t, k) carries payload (not padding).
+func idxInPayload(t, k int, m Mapper, cfg ChainConfig, nBits int) bool {
+	base := t*cfg.BitsPerOFDMSymbol(m) + k*m.Bits()
+	return base+m.Bits() <= nBits
+}
+
+// Run transmits packets back to back (the paper sends 9000 × 1500 B) and
+// returns the accumulated measurement.
+func (l *Link) Run(packets, payloadBytes int) *Measurement {
+	meas := &Measurement{}
+	for i := 0; i < packets; i++ {
+		l.RunPacket(payloadBytes, meas)
+	}
+	return meas
+}
+
+// runCodedPacket is RunPacket's coded path.
+func (l *Link) runCodedPacket(payloadBytes int, meas *Measurement) {
+	rate, _ := l.codeRateOf()
+	mapper := NewMapper(l.Modulation)
+	nInfo := payloadBytes * 8
+	info := l.randomBits(nInfo)
+	coded := fec.Encode(info, rate)
+	tx, freqSyms := l.buildTx(coded)
+	rx, st := l.Channel.Transmit(tx, l.Chain.SampleRate, l.Chain.FFTSize)
+	eq := l.receive(rx, st, len(freqSyms))
+
+	ref := l.Chain.modulateSymbols(coded, mapper)
+	sd := newSoftDemapper(mapper)
+	soft := make([]float64, 0, len(coded))
+	for t, syms := range eq {
+		for k, s := range syms {
+			soft = sd.Demap(s, soft)
+			if idxInPayload(t, k, mapper, l.Chain, len(coded)) {
+				r := ref[t][k]
+				d := s - r
+				meas.evSum += real(d)*real(d) + imag(d)*imag(d)
+				meas.sigSum += real(r)*real(r) + imag(r)*imag(r)
+				if len(meas.Constellation) < ConstellationCap {
+					meas.Constellation = append(meas.Constellation, s)
+				}
+			}
+		}
+	}
+	if len(soft) > len(coded) {
+		soft = soft[:len(coded)] // drop modulation padding
+	}
+	decoded := fec.Decode(soft, nInfo, rate)
+	errors := 0
+	for i := range info {
+		if decoded[i] != info[i] {
+			errors++
+		}
+	}
+	meas.Packets++
+	meas.Bits += nInfo
+	meas.BitErrors += errors
+	if errors > 0 {
+		meas.PacketErrors++
+	}
+}
+
+// TxWaveform returns the antenna-1 transmit samples of one packet, for
+// spectral analysis (Fig 1).
+func (l *Link) TxWaveform(payloadBytes int) []complex128 {
+	bits := l.randomBits(payloadBytes * 8)
+	tx, _ := l.buildTx(bits)
+	return tx[0]
+}

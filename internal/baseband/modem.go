@@ -1,0 +1,183 @@
+// Package baseband is the sample-level OFDM simulator standing in for the
+// paper's WARP/WarpLab hardware experiments (Section 3.1). It implements
+// the exact chain the paper describes: a random bitstream is modulated
+// (DQPSK/QPSK/QAM), the I-Q samples are placed on the data subcarriers and
+// passed through an IFFT (64-point for 20 MHz, 128-point for 40 MHz), a
+// cyclic prefix is added, a Barker sequence is prepended for symbol
+// detection, and the frames are transmitted with 2×2 Alamouti STBC over an
+// AWGN (optionally fading) channel. The receiver detects the preamble,
+// strips the cyclic prefix, FFTs, combines, demodulates and counts bit
+// errors — the BERMAC measurement loop.
+package baseband
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"acorn/internal/phy"
+)
+
+// Mapper converts bits to unit-average-energy constellation points and back.
+// Demap performs hard decisions on an equalized symbol.
+type Mapper interface {
+	// Bits is the number of bits per symbol.
+	Bits() int
+	// Map converts the next Bits() bits (LSB-first in the slice) to a
+	// constellation point with unit average energy.
+	Map(bits []byte) complex128
+	// Demap hard-decides the symbol back to bits, appending to dst.
+	Demap(sym complex128, dst []byte) []byte
+}
+
+// NewMapper returns the mapper for the given modulation. DQPSK is handled
+// by the differential wrapper in the OFDM chain, using the QPSK mapper
+// underneath.
+func NewMapper(m phy.Modulation) Mapper {
+	switch m {
+	case phy.BPSK:
+		return bpskMapper{}
+	case phy.QPSK, phy.DQPSK:
+		return qpskMapper{}
+	case phy.QAM16:
+		return qamMapper{bits: 4, levels: []float64{-3, -1, 1, 3}, scale: 1 / math.Sqrt(10)}
+	case phy.QAM64:
+		return qamMapper{bits: 6, levels: []float64{-7, -5, -3, -1, 1, 3, 5, 7}, scale: 1 / math.Sqrt(42)}
+	default:
+		panic(fmt.Sprintf("baseband: no mapper for modulation %v", m))
+	}
+}
+
+type bpskMapper struct{}
+
+func (bpskMapper) Bits() int { return 1 }
+
+func (bpskMapper) Map(bits []byte) complex128 {
+	if bits[0] != 0 {
+		return complex(1, 0)
+	}
+	return complex(-1, 0)
+}
+
+func (bpskMapper) Demap(sym complex128, dst []byte) []byte {
+	if real(sym) >= 0 {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+type qpskMapper struct{}
+
+func (qpskMapper) Bits() int { return 2 }
+
+func (qpskMapper) Map(bits []byte) complex128 {
+	// Gray mapping: bit0 → I sign, bit1 → Q sign, unit energy.
+	i, q := -1.0, -1.0
+	if bits[0] != 0 {
+		i = 1
+	}
+	if bits[1] != 0 {
+		q = 1
+	}
+	return complex(i/math.Sqrt2, q/math.Sqrt2)
+}
+
+func (qpskMapper) Demap(sym complex128, dst []byte) []byte {
+	b0, b1 := byte(0), byte(0)
+	if real(sym) >= 0 {
+		b0 = 1
+	}
+	if imag(sym) >= 0 {
+		b1 = 1
+	}
+	return append(dst, b0, b1)
+}
+
+// qamMapper implements square Gray-coded M-QAM with per-axis PAM levels.
+type qamMapper struct {
+	bits   int
+	levels []float64
+	scale  float64
+}
+
+func (m qamMapper) Bits() int { return m.bits }
+
+// grayIndex converts half the symbol's bits to a PAM level index via Gray
+// decoding.
+func grayIndex(bits []byte) int {
+	// Binary-reflected Gray code: index = gray^ (gray>>1) ^ ...
+	g := 0
+	for _, b := range bits {
+		g = g<<1 | int(b)
+	}
+	idx := g
+	for s := 1; s < len(bits); s++ {
+		idx ^= g >> s
+	}
+	return idx
+}
+
+// grayBits is the inverse of grayIndex: PAM level index → Gray bits.
+func grayBits(idx, n int, dst []byte) []byte {
+	g := idx ^ (idx >> 1)
+	for s := n - 1; s >= 0; s-- {
+		dst = append(dst, byte(g>>s)&1)
+	}
+	return dst
+}
+
+func (m qamMapper) Map(bits []byte) complex128 {
+	half := m.bits / 2
+	i := m.levels[grayIndex(bits[:half])]
+	q := m.levels[grayIndex(bits[half:m.bits])]
+	return complex(i*m.scale, q*m.scale)
+}
+
+func (m qamMapper) Demap(sym complex128, dst []byte) []byte {
+	half := m.bits / 2
+	dst = grayBits(m.nearest(real(sym)/m.scale), half, dst)
+	dst = grayBits(m.nearest(imag(sym)/m.scale), half, dst)
+	return dst
+}
+
+// nearest returns the index of the PAM level closest to v.
+func (m qamMapper) nearest(v float64) int {
+	best, bestD := 0, math.Inf(1)
+	for i, l := range m.levels {
+		if d := math.Abs(v - l); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// diffEncode applies DQPSK differential encoding across a symbol stream:
+// each output symbol is the previous output rotated by the current QPSK
+// point's phase. ref is the reference (pilot) symbol.
+func diffEncode(syms []complex128, ref complex128) []complex128 {
+	out := make([]complex128, len(syms))
+	prev := ref
+	for i, s := range syms {
+		// Rotate by the phase of s; magnitudes stay unit.
+		rot := cmplx.Rect(1, cmplx.Phase(s))
+		prev *= rot
+		out[i] = prev
+	}
+	return out
+}
+
+// diffDecode inverts diffEncode given the same reference.
+func diffDecode(syms []complex128, ref complex128) []complex128 {
+	out := make([]complex128, len(syms))
+	prev := ref
+	for i, s := range syms {
+		d := s * cmplx.Conj(prev)
+		if abs := cmplx.Abs(d); abs > 0 {
+			d /= complex(abs, 0)
+		}
+		// Undo the √2 normalization the QPSK demapper expects.
+		out[i] = d * complex(1, 0)
+		prev = s
+	}
+	return out
+}

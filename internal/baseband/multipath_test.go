@@ -1,0 +1,189 @@
+package baseband
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acorn/internal/phy"
+	"acorn/internal/spectrum"
+	"acorn/internal/units"
+)
+
+func TestMultipathLoopbackNoErrors(t *testing.T) {
+	// Frequency-selective channel, no noise: per-tone equalization with
+	// genie CSI must recover every bit — the cyclic prefix absorbing the
+	// delay spread is exactly what OFDM is for.
+	for _, w := range []spectrum.Width{spectrum.Width20, spectrum.Width40} {
+		for _, mode := range []TxMode{ModeSTBC, ModeSISO} {
+			ch := &Channel{Fading: FadingMultipath, Noiseless: true}
+			l := NewLink(NewChainConfig(w), phy.QPSK, mode, 15, ch, 5)
+			meas := l.Run(4, 300)
+			if meas.BitErrors != 0 {
+				t.Errorf("%v/%v: %d bit errors over noiseless multipath", w, mode, meas.BitErrors)
+			}
+		}
+	}
+}
+
+func TestMultipathQAMLoopback(t *testing.T) {
+	// Dense constellations are the sensitive ones for equalization error.
+	ch := &Channel{Fading: FadingMultipath, Noiseless: true}
+	l := NewLink(NewChainConfig(spectrum.Width20), phy.QAM64, ModeSTBC, 15, ch, 9)
+	if meas := l.Run(3, 300); meas.BitErrors != 0 {
+		t.Errorf("64QAM multipath loopback had %d bit errors", meas.BitErrors)
+	}
+}
+
+func TestMultipathTapsUnitPower(t *testing.T) {
+	// The tapped-delay-line realization preserves average path power
+	// (unit gain before path loss), so multipath does not change the
+	// mean link budget.
+	ch := &Channel{Fading: FadingMultipath, rng: newTestRNG(3)}
+	var total float64
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		st := ch.drawState()
+		for _, tap := range st.Taps[0][0] {
+			total += real(tap)*real(tap) + imag(tap)*imag(tap)
+		}
+	}
+	mean := total / draws
+	if math.Abs(mean-1) > 0.05 {
+		t.Errorf("mean multipath power = %v, want ≈1", mean)
+	}
+}
+
+func TestMultipathFrequencySelective(t *testing.T) {
+	// Unlike flat fading, the multipath response must vary across tones.
+	ch := &Channel{Fading: FadingMultipath, rng: newTestRNG(7)}
+	st := ch.drawState()
+	resp := st.FreqResponse(0, 0, 64)
+	var min, max float64 = math.Inf(1), 0
+	for _, v := range resp {
+		mag := real(v)*real(v) + imag(v)*imag(v)
+		if mag < min {
+			min = mag
+		}
+		if mag > max {
+			max = mag
+		}
+	}
+	if max/min < 2 {
+		t.Errorf("frequency response too flat: max/min = %v", max/min)
+	}
+	// Flat fading is flat.
+	flat := (&Channel{Fading: FadingFlat, rng: newTestRNG(7)}).drawState()
+	fresp := flat.FreqResponse(0, 0, 64)
+	for i := 1; i < len(fresp); i++ {
+		if math.Abs(real(fresp[i])-real(fresp[0]))+math.Abs(imag(fresp[i])-imag(fresp[0])) > 1e-9 {
+			t.Fatal("flat fading response varies across tones")
+		}
+	}
+}
+
+func TestJammerLocalizedDamage(t *testing.T) {
+	// A strong narrowband jammer on a handful of tones should corrupt
+	// roughly (jammed data tones / data tones) of the bits — OFDM
+	// localizes interference. A wideband system would lose everything.
+	cfg := NewChainConfig(spectrum.Width20)
+	tx := units.DBm(15)
+	// Jam 4 of the 52 data carriers with power comparable to the signal.
+	jamBins := cfg.DataCarriers[3:7]
+	mkLink := func(jam *Jammer, seed int64) *Link {
+		ch := &Channel{PathLoss: 40, Jam: jam}
+		ch.NoiseFloorOverride = 1e-12 // negligible thermal noise
+		return NewLink(cfg, phy.QPSK, ModeSISO, tx, ch, seed)
+	}
+	clean := mkLink(nil, 3).Run(6, 500)
+	if clean.BER() != 0 {
+		t.Fatalf("clean link should be error-free, BER %v", clean.BER())
+	}
+	rxPowerMW := float64(tx.MilliWatts()) * math.Pow(10, -40.0/10)
+	jammed := mkLink(&Jammer{Bins: append([]int(nil), jamBins...), PowerMW: rxPowerMW}, 3).Run(6, 500)
+	ber := jammed.BER()
+	if ber == 0 {
+		t.Fatal("jammer had no effect")
+	}
+	// At most the jammed fraction of bits (4/52 ≈ 7.7%) can err, and a
+	// same-power-per-tone jammer should corrupt a good share of them.
+	frac := float64(len(jamBins)) / float64(len(cfg.DataCarriers))
+	if ber > frac*0.55 {
+		t.Errorf("jammer damage %v exceeds plausible bound for %v jammed fraction", ber, frac)
+	}
+	if ber < frac*0.05 {
+		t.Errorf("jammer damage %v implausibly small for %v jammed fraction", ber, frac)
+	}
+}
+
+func TestJammerSpreadOver40MHz(t *testing.T) {
+	// The same narrowband jammer hurts a 40 MHz transmission *less* in
+	// relative terms: the jammed tones are a smaller fraction of 108.
+	tx := units.DBm(15)
+	run := func(w spectrum.Width, seed int64) float64 {
+		cfg := NewChainConfig(w)
+		rxPowerMW := float64(tx.MilliWatts()) * math.Pow(10, -40.0/10)
+		ch := &Channel{PathLoss: 40, Jam: &Jammer{Bins: cfg.DataCarriers[3:7], PowerMW: rxPowerMW}}
+		ch.NoiseFloorOverride = 1e-12
+		return NewLink(cfg, phy.QPSK, ModeSISO, tx, ch, seed).Run(6, 500).BER()
+	}
+	b20 := run(spectrum.Width20, 3)
+	b40 := run(spectrum.Width40, 3)
+	if b40 >= b20 {
+		t.Errorf("4-tone jammer: 40 MHz BER %v should be below 20 MHz BER %v", b40, b20)
+	}
+}
+
+// newTestRNG builds a deterministic RNG for white-box channel tests.
+func newTestRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestDQPSKMultipathLoopback(t *testing.T) {
+	// Differential modulation composed with per-tone equalization over a
+	// frequency-selective channel.
+	ch := &Channel{Fading: FadingMultipath, Noiseless: true}
+	l := NewLink(NewChainConfig(spectrum.Width40), phy.DQPSK, ModeSTBC, 15, ch, 21)
+	if meas := l.Run(3, 300); meas.BitErrors != 0 {
+		t.Errorf("DQPSK multipath loopback had %d bit errors", meas.BitErrors)
+	}
+}
+
+func TestSTBCOddSymbolPadding(t *testing.T) {
+	// A payload that fills an odd number of OFDM symbols exercises the
+	// Alamouti padding path; every payload bit must still round-trip.
+	cfg := NewChainConfig(spectrum.Width20)
+	m := NewMapper(phy.QPSK)
+	// One OFDM symbol carries 104 bits; 1.5 symbols → odd padded count.
+	payloadBytes := (cfg.BitsPerOFDMSymbol(m) + cfg.BitsPerOFDMSymbol(m)/2) / 8
+	ch := &Channel{Noiseless: true}
+	l := NewLink(cfg, phy.QPSK, ModeSTBC, 15, ch, 23)
+	if meas := l.Run(2, payloadBytes); meas.BitErrors != 0 {
+		t.Errorf("odd-symbol STBC payload had %d bit errors", meas.BitErrors)
+	}
+}
+
+func TestJammerVsCoding(t *testing.T) {
+	// Coding spreads each information bit across many tones; a narrowband
+	// jammer that corrupts a handful of tones should be largely repaired
+	// by the convolutional code.
+	cfg := NewChainConfig(spectrum.Width20)
+	tx := units.DBm(15)
+	rxPowerMW := float64(tx.MilliWatts()) * math.Pow(10, -4.0)
+	jam := &Jammer{Bins: cfg.DataCarriers[3:6], PowerMW: rxPowerMW * 3 / 52}
+	mk := func(coded bool) float64 {
+		ch := &Channel{PathLoss: 40, Jam: jam, NoiseFloorOverride: 1e-12}
+		l := NewLink(cfg, phy.QPSK, ModeSISO, tx, ch, 5)
+		if coded {
+			rate := phy.Rate12
+			l.Coding = &rate
+		}
+		return l.Run(8, 400).BER()
+	}
+	uncoded := mk(false)
+	coded := mk(true)
+	if uncoded == 0 {
+		t.Skip("jammer too weak to measure")
+	}
+	if coded >= uncoded/3 {
+		t.Errorf("coding should largely repair narrowband jamming: coded %v vs uncoded %v", coded, uncoded)
+	}
+}

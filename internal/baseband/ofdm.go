@@ -1,0 +1,151 @@
+package baseband
+
+import (
+	"fmt"
+
+	"acorn/internal/dsp"
+	"acorn/internal/phy"
+	"acorn/internal/spectrum"
+)
+
+// ChainConfig fixes the OFDM numerology of a transmit/receive chain.
+type ChainConfig struct {
+	Width spectrum.Width
+	// FFTSize is 64 at 20 MHz, 128 at 40 MHz.
+	FFTSize int
+	// CPLen is the cyclic prefix length in samples (1/4 of the FFT, the
+	// 800 ns long guard interval).
+	CPLen int
+	// DataCarriers lists the FFT bin indices carrying data.
+	DataCarriers []int
+	// PilotCarriers lists the FFT bin indices reserved for pilot tones
+	// (the standard 802.11n positions: ±7, ±21 at 20 MHz; ±11, ±25, ±53
+	// at 40 MHz).
+	PilotCarriers []int
+	// SampleRate is FFTSize × subcarrier spacing (20 or 40 Msps).
+	SampleRate float64
+	// PreambleReps is the number of Barker-13 repetitions prepended.
+	PreambleReps int
+}
+
+// NewChainConfig builds the standard configuration for a width, with the
+// paper's subcarrier counts and the 802.11n tone layout: at 20 MHz the 56
+// used tones are ±1…±28 with pilots at ±7 and ±21 (52 data); at 40 MHz the
+// 114 used tones are ±2…±58 with pilots at ±11, ±25 and ±53 (108 data).
+func NewChainConfig(w spectrum.Width) ChainConfig {
+	fftSize := phy.FFTSize20
+	lo, hi := 1, 28
+	pilots := []int{7, 21}
+	if w == spectrum.Width40 {
+		fftSize = phy.FFTSize40
+		lo, hi = 2, 58
+		pilots = []int{11, 25, 53}
+	}
+	cfg := ChainConfig{
+		Width:        w,
+		FFTSize:      fftSize,
+		CPLen:        fftSize / 4,
+		SampleRate:   float64(fftSize) * phy.SubcarrierSpacingHz,
+		PreambleReps: 4,
+	}
+	isPilot := func(k int) bool {
+		for _, p := range pilots {
+			if k == p {
+				return true
+			}
+		}
+		return false
+	}
+	bin := func(tone int) int { return (tone + fftSize) % fftSize }
+	for _, sign := range []int{1, -1} {
+		for k := lo; k <= hi; k++ {
+			if isPilot(k) {
+				cfg.PilotCarriers = append(cfg.PilotCarriers, bin(sign*k))
+			} else {
+				cfg.DataCarriers = append(cfg.DataCarriers, bin(sign*k))
+			}
+		}
+	}
+	return cfg
+}
+
+// SymbolSamples is the length of one OFDM symbol including the cyclic
+// prefix.
+func (c ChainConfig) SymbolSamples() int { return c.FFTSize + c.CPLen }
+
+// PreambleSamples is the length of the prepended Barker preamble.
+func (c ChainConfig) PreambleSamples() int { return c.PreambleReps * len(dsp.Barker13) }
+
+// BitsPerOFDMSymbol returns the data bits carried by one OFDM symbol at the
+// given modulation.
+func (c ChainConfig) BitsPerOFDMSymbol(m Mapper) int {
+	return len(c.DataCarriers) * m.Bits()
+}
+
+// modulateSymbols maps a bitstream onto a sequence of frequency-domain OFDM
+// symbols (one slice of len(DataCarriers) constellation points per symbol).
+// Trailing bits that do not fill a symbol are zero-padded.
+func (c ChainConfig) modulateSymbols(bits []byte, m Mapper) [][]complex128 {
+	perSym := c.BitsPerOFDMSymbol(m)
+	nSyms := (len(bits) + perSym - 1) / perSym
+	padded := bits
+	if nSyms*perSym != len(bits) {
+		padded = make([]byte, nSyms*perSym)
+		copy(padded, bits)
+	}
+	out := make([][]complex128, nSyms)
+	b := m.Bits()
+	for s := 0; s < nSyms; s++ {
+		syms := make([]complex128, len(c.DataCarriers))
+		base := s * perSym
+		for i := range c.DataCarriers {
+			syms[i] = m.Map(padded[base+i*b : base+i*b+b])
+		}
+		out[s] = syms
+	}
+	return out
+}
+
+// toTimeDomain converts one frequency-domain symbol (data-carrier order) to
+// time-domain samples with cyclic prefix, scaling each tone by gain. The
+// antenna/symbol indices control pilot sounding: each antenna transmits the
+// known pilots on alternating OFDM symbols (time-orthogonal sounding), so a
+// pilot-based receiver can separate the two spatial channels.
+func (c ChainConfig) toTimeDomain(freqSyms []complex128, gain float64, antenna, symbolIdx int) []complex128 {
+	if len(freqSyms) != len(c.DataCarriers) {
+		panic(fmt.Sprintf("baseband: %d symbols for %d carriers", len(freqSyms), len(c.DataCarriers)))
+	}
+	grid := make([]complex128, c.FFTSize)
+	for i, bin := range c.DataCarriers {
+		grid[bin] = freqSyms[i] * complex(gain, 0)
+	}
+	insertPilots(grid, c.PilotCarriers, antenna, symbolIdx, gain)
+	return c.gridToTimeDomain(grid)
+}
+
+// gridToTimeDomain IFFTs a frequency grid and prepends the cyclic prefix.
+// The grid is transformed in place.
+func (c ChainConfig) gridToTimeDomain(grid []complex128) []complex128 {
+	dsp.IFFT(grid)
+	out := make([]complex128, 0, c.SymbolSamples())
+	out = append(out, grid[c.FFTSize-c.CPLen:]...) // cyclic prefix
+	out = append(out, grid...)
+	return out
+}
+
+// fromTimeDomain strips the cyclic prefix from one received OFDM symbol and
+// returns the frequency-domain data-carrier values plus the full FFT grid
+// (which pilot-based channel estimation reads).
+func (c ChainConfig) fromTimeDomain(samples []complex128) (data, grid []complex128) {
+	if len(samples) < c.SymbolSamples() {
+		panic("baseband: short OFDM symbol")
+	}
+	grid = make([]complex128, c.FFTSize)
+	copy(grid, samples[c.CPLen:c.CPLen+c.FFTSize])
+	dsp.FFT(grid)
+	data = make([]complex128, len(c.DataCarriers))
+	for i, bin := range c.DataCarriers {
+		data[i] = grid[bin]
+	}
+	return data, grid
+}

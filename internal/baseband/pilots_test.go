@@ -1,0 +1,127 @@
+package baseband
+
+import (
+	"testing"
+
+	"acorn/internal/phy"
+	"acorn/internal/spectrum"
+	"acorn/internal/units"
+)
+
+func TestPilotLayoutMatchesNumerology(t *testing.T) {
+	for _, w := range []spectrum.Width{spectrum.Width20, spectrum.Width40} {
+		cfg := NewChainConfig(w)
+		if got, want := len(cfg.PilotCarriers), phyPilotCount(w); got != want {
+			t.Errorf("%v: %d pilot carriers, want %d", w, got, want)
+		}
+		// Pilot and data bins must be disjoint.
+		data := map[int]bool{}
+		for _, b := range cfg.DataCarriers {
+			data[b] = true
+		}
+		for _, b := range cfg.PilotCarriers {
+			if data[b] {
+				t.Errorf("%v: pilot bin %d collides with a data carrier", w, b)
+			}
+			if b == 0 {
+				t.Errorf("%v: pilot at DC", w)
+			}
+		}
+		if got, want := len(cfg.DataCarriers)+len(cfg.PilotCarriers),
+			phy.UsedSubcarriers(w); got != want {
+			t.Errorf("%v: %d used tones, want %d", w, got, want)
+		}
+	}
+}
+
+func TestPilotCSILoopbackFlat(t *testing.T) {
+	// Flat channels: linear interpolation from pilots is exact, so pilot
+	// CSI must decode cleanly without noise, both modes and widths.
+	for _, w := range []spectrum.Width{spectrum.Width20, spectrum.Width40} {
+		for _, mode := range []TxMode{ModeSTBC, ModeSISO} {
+			ch := &Channel{Fading: FadingFlat, Noiseless: true}
+			l := NewLink(NewChainConfig(w), phy.QPSK, mode, 15, ch, 3)
+			l.CSI = CSIPilot
+			meas := l.Run(3, 300)
+			if meas.BitErrors != 0 {
+				t.Errorf("%v/%v: pilot-CSI flat loopback had %d bit errors", w, mode, meas.BitErrors)
+			}
+		}
+	}
+}
+
+func TestTrainedCSIHandlesMultipath(t *testing.T) {
+	// Frequency-selective channel: the full-band LTF resolves every tone,
+	// so trained estimation decodes cleanly without noise.
+	ch := &Channel{Fading: FadingMultipath, Noiseless: true}
+	l := NewLink(NewChainConfig(spectrum.Width20), phy.QPSK, ModeSISO, 15, ch, 7)
+	l.CSI = CSIPilot
+	meas := l.Run(10, 300)
+	if meas.BitErrors != 0 {
+		t.Errorf("trained-CSI multipath loopback had %d bit errors", meas.BitErrors)
+	}
+}
+
+func TestPilotVsGenieGap(t *testing.T) {
+	// With noise, estimated CSI must be worse than genie CSI — but in
+	// the same ballpark (the estimation penalty is a couple of dB, not a
+	// collapse).
+	tx := units.DBm(15)
+	pl := pathLossForTestSNR(tx, 5)
+	run := func(csi CSIMode, seed int64) float64 {
+		ch := &Channel{PathLoss: pl, Fading: FadingFlat}
+		l := NewLink(NewChainConfig(spectrum.Width20), phy.QPSK, ModeSTBC, tx, ch, seed)
+		l.CSI = csi
+		return l.Run(40, 300).BER()
+	}
+	genie := run(CSIGenie, 13)
+	pilot := run(CSIPilot, 13)
+	if genie == 0 {
+		t.Skip("operating point too clean to compare")
+	}
+	if pilot < genie {
+		t.Errorf("pilot CSI (%v) should not beat genie CSI (%v)", pilot, genie)
+	}
+	if pilot > 30*genie {
+		t.Errorf("pilot CSI BER %v collapsed vs genie %v", pilot, genie)
+	}
+}
+
+func TestInsertPilotsAlternation(t *testing.T) {
+	cfg := NewChainConfig(spectrum.Width20)
+	grid := make([]complex128, cfg.FFTSize)
+	// Antenna 0 sounds even symbols.
+	insertPilots(grid, cfg.PilotCarriers, 0, 0, 2)
+	if grid[cfg.PilotCarriers[0]] == 0 {
+		t.Error("antenna 0 should sound symbol 0")
+	}
+	grid2 := make([]complex128, cfg.FFTSize)
+	insertPilots(grid2, cfg.PilotCarriers, 0, 1, 2)
+	if grid2[cfg.PilotCarriers[0]] != 0 {
+		t.Error("antenna 0 must stay silent on odd symbols")
+	}
+	grid3 := make([]complex128, cfg.FFTSize)
+	insertPilots(grid3, cfg.PilotCarriers, 1, 1, 2)
+	if grid3[cfg.PilotCarriers[0]] == 0 {
+		t.Error("antenna 1 should sound symbol 1")
+	}
+}
+
+func TestLTFSignDeterministicAndMixed(t *testing.T) {
+	cfg := NewChainConfig(spectrum.Width20)
+	plus, minus := 0, 0
+	for _, bin := range cfg.DataCarriers {
+		if ltfSign(bin) != ltfSign(bin) {
+			t.Fatal("ltfSign not deterministic")
+		}
+		if ltfSign(bin) > 0 {
+			plus++
+		} else {
+			minus++
+		}
+	}
+	// The sign pattern must actually mix (peak-factor control).
+	if plus == 0 || minus == 0 {
+		t.Errorf("degenerate LTF sign pattern: %d plus, %d minus", plus, minus)
+	}
+}

@@ -1,0 +1,66 @@
+package baseband
+
+import (
+	"acorn/internal/phy"
+)
+
+// softDemapper computes per-bit max-log LLRs for an arbitrary mapper by
+// enumerating the constellation. Positive LLR means bit 1, matching the
+// fec.Decode convention; the magnitude is the metric difference between the
+// nearest point with the bit set and the nearest with it clear.
+type softDemapper struct {
+	bits   int
+	points []complex128
+	labels [][]byte
+}
+
+func newSoftDemapper(m Mapper) *softDemapper {
+	n := m.Bits()
+	count := 1 << n
+	sd := &softDemapper{bits: n}
+	for v := 0; v < count; v++ {
+		bits := make([]byte, n)
+		for b := 0; b < n; b++ {
+			bits[b] = byte(v>>b) & 1
+		}
+		sd.points = append(sd.points, m.Map(bits))
+		sd.labels = append(sd.labels, bits)
+	}
+	return sd
+}
+
+// Demap appends the LLRs of one equalized symbol to dst.
+func (sd *softDemapper) Demap(sym complex128, dst []float64) []float64 {
+	// min squared distance over points with bit b = 0 / 1, per position.
+	const huge = 1e30
+	var d0, d1 [6]float64 // max 6 bits per symbol (64QAM)
+	for b := 0; b < sd.bits; b++ {
+		d0[b], d1[b] = huge, huge
+	}
+	for i, p := range sd.points {
+		dr := real(sym) - real(p)
+		di := imag(sym) - imag(p)
+		dist := dr*dr + di*di
+		for b := 0; b < sd.bits; b++ {
+			if sd.labels[i][b] == 1 {
+				if dist < d1[b] {
+					d1[b] = dist
+				}
+			} else if dist < d0[b] {
+				d0[b] = dist
+			}
+		}
+	}
+	for b := 0; b < sd.bits; b++ {
+		dst = append(dst, d0[b]-d1[b])
+	}
+	return dst
+}
+
+// codeRateOf returns the configured code rate, ok=false when uncoded.
+func (l *Link) codeRateOf() (phy.CodeRate, bool) {
+	if l.Coding == nil {
+		return 0, false
+	}
+	return *l.Coding, true
+}

@@ -1,0 +1,113 @@
+package baseband
+
+import "math/cmplx"
+
+// Alamouti 2×2 space-time block coding (Section 3.1: "These samples are
+// transmitted over the air using 2x2 STBC ... Alamouti"; the testbed's
+// auto-rate falls back to this mode on poor links).
+//
+// Per subcarrier and per pair of OFDM symbol times (t, t+1):
+//
+//	antenna 1 sends  s0, −s1*
+//	antenna 2 sends  s1,  s0*
+//
+// With per-subcarrier channel responses H[t][r][k] the receiver combines
+// both antennas and both times to recover s0, s1 with full diversity; the
+// per-tone combining handles frequency-selective (multipath) channels.
+
+// alamoutiEncode expands a sequence of frequency-domain symbol vectors into
+// the two antenna streams. The number of OFDM symbols is padded to even.
+// Each antenna's tone amplitude must be scaled by 1/√2 by the caller (so
+// the two antennas together emit the nominal power).
+func alamoutiEncode(symbols [][]complex128) (ant1, ant2 [][]complex128) {
+	n := len(symbols)
+	if n%2 == 1 {
+		pad := make([]complex128, len(symbols[0]))
+		symbols = append(symbols, pad)
+		n++
+	}
+	for t := 0; t < n; t += 2 {
+		s0, s1 := symbols[t], symbols[t+1]
+		a1t, a2t := make([]complex128, len(s0)), make([]complex128, len(s0))
+		a1t1, a2t1 := make([]complex128, len(s0)), make([]complex128, len(s0))
+		for k := range s0 {
+			a1t[k] = s0[k]
+			a2t[k] = s1[k]
+			a1t1[k] = -cmplx.Conj(s1[k])
+			a2t1[k] = cmplx.Conj(s0[k])
+		}
+		ant1 = append(ant1, a1t, a1t1)
+		ant2 = append(ant2, a2t, a2t1)
+	}
+	return ant1, ant2
+}
+
+// toneResponse holds the channel response of every TX→RX path at the data
+// carriers: h[t][r][k].
+type toneResponse [2][2][]complex128
+
+// alamoutiDecode combines the two received frequency-domain streams (per RX
+// antenna, per OFDM symbol time) back into estimates of the original symbol
+// vectors, using genie per-tone channel knowledge. The output length equals
+// the (even) input length; a trailing pad symbol is the caller's to drop.
+func alamoutiDecode(rx [2][][]complex128, h toneResponse) [][]complex128 {
+	n := len(rx[0])
+	var out [][]complex128
+	for t := 0; t+1 < n; t += 2 {
+		tones := len(rx[0][t])
+		s0 := make([]complex128, tones)
+		s1 := make([]complex128, tones)
+		for k := 0; k < tones; k++ {
+			var norm float64
+			for a := 0; a < 2; a++ {
+				for r := 0; r < 2; r++ {
+					v := h[a][r][k]
+					norm += real(v)*real(v) + imag(v)*imag(v)
+				}
+			}
+			if norm == 0 {
+				norm = 1
+			}
+			var e0, e1 complex128
+			for r := 0; r < 2; r++ {
+				rt := rx[r][t][k]
+				rt1 := rx[r][t+1][k]
+				e0 += cmplx.Conj(h[0][r][k])*rt + h[1][r][k]*cmplx.Conj(rt1)
+				e1 += cmplx.Conj(h[1][r][k])*rt - h[0][r][k]*cmplx.Conj(rt1)
+			}
+			s0[k] = e0 / complex(norm, 0)
+			s1[k] = e1 / complex(norm, 0)
+		}
+		out = append(out, s0, s1)
+	}
+	return out
+}
+
+// mrcDecode combines the two RX antennas for a SISO transmission from
+// antenna 1 via per-tone maximum-ratio combining with genie CSI.
+func mrcDecode(rx [2][][]complex128, h toneResponse) [][]complex128 {
+	var out [][]complex128
+	for t := 0; t < len(rx[0]); t++ {
+		tones := len(rx[0][t])
+		s := make([]complex128, tones)
+		for k := 0; k < tones; k++ {
+			var norm float64
+			for r := 0; r < 2; r++ {
+				v := h[0][r][k]
+				norm += real(v)*real(v) + imag(v)*imag(v)
+			}
+			if norm == 0 {
+				norm = 1
+			}
+			var e complex128
+			for r := 0; r < 2; r++ {
+				if t < len(rx[r]) {
+					e += cmplx.Conj(h[0][r][k]) * rx[r][t][k]
+				}
+			}
+			s[k] = e / complex(norm, 0)
+		}
+		out = append(out, s)
+	}
+	return out
+}

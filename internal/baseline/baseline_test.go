@@ -1,0 +1,164 @@
+package baseline
+
+import (
+	"testing"
+
+	"acorn/internal/rf"
+	"acorn/internal/spectrum"
+	"acorn/internal/stats"
+	"acorn/internal/units"
+	"acorn/internal/wlan"
+)
+
+func testNetwork() (*wlan.Network, []*wlan.Client) {
+	ap1 := &wlan.AP{ID: "AP1", Pos: rf.Point{X: 0, Y: 0}, TxPower: 18}
+	ap2 := &wlan.AP{ID: "AP2", Pos: rf.Point{X: 40, Y: 0}, TxPower: 18}
+	clients := []*wlan.Client{
+		{ID: "a", Pos: rf.Point{X: 3, Y: 2}},
+		{ID: "b", Pos: rf.Point{X: 37, Y: 1}},
+		{ID: "c", Pos: rf.Point{X: 20, Y: 3}},
+	}
+	return wlan.NewNetwork([]*wlan.AP{ap1, ap2}, clients), clients
+}
+
+func TestAssociateRSSPicksStrongest(t *testing.T) {
+	n, clients := testNetwork()
+	cfg := wlan.NewConfig()
+	if got := AssociateRSS(n, cfg, clients[0]); got != "AP1" {
+		t.Errorf("client a → %s, want AP1", got)
+	}
+	if got := AssociateRSS(n, cfg, clients[1]); got != "AP2" {
+		t.Errorf("client b → %s, want AP2", got)
+	}
+	lost := &wlan.Client{ID: "lost", Pos: rf.Point{X: 9999, Y: 9999}}
+	n.Clients = append(n.Clients, lost)
+	if got := AssociateRSS(n, cfg, lost); got != "" {
+		t.Errorf("out-of-range client → %q, want empty", got)
+	}
+}
+
+func TestAssociateDelayBasedBalancesLoad(t *testing.T) {
+	// [17] "evenly divides the clients": with AP1 already serving a
+	// client, a midway client should join the emptier AP2.
+	n, clients := testNetwork()
+	cfg := wlan.NewConfig()
+	cfg.Channels["AP1"] = spectrum.NewChannel20(36)
+	cfg.Channels["AP2"] = spectrum.NewChannel20(44)
+	cfg.Assoc["a"] = "AP1"
+	if got := AssociateDelayBased(n, cfg, clients[2]); got != "AP2" {
+		t.Errorf("midway client → %s, want the emptier AP2", got)
+	}
+}
+
+func TestGreedy40PrefersOrthogonal(t *testing.T) {
+	n, clients := testNetwork()
+	cfg := wlan.NewConfig()
+	for _, c := range clients {
+		cfg.Assoc[c.ID] = "AP1"
+	}
+	out := Greedy40(n, cfg)
+	ch1, ch2 := out.Channels["AP1"], out.Channels["AP2"]
+	if ch1.Width != spectrum.Width40 || ch2.Width != spectrum.Width40 {
+		t.Errorf("greedy should always bond: %v, %v", ch1, ch2)
+	}
+	if ch1.Conflicts(ch2) {
+		t.Errorf("with 6 bonded channels available the APs must not overlap: %v vs %v", ch1, ch2)
+	}
+	// Input not mutated.
+	if !cfg.Channels["AP1"].IsZero() {
+		t.Error("Greedy40 mutated its input")
+	}
+}
+
+func TestGreedy40ForcedOverlapSharesWithFarthest(t *testing.T) {
+	// Three APs, one bonded channel pair available: the last AP must
+	// overlap someone and picks the weakest-heard co-channel AP.
+	a := &wlan.AP{ID: "A", Pos: rf.Point{X: 0, Y: 0}, TxPower: 18}
+	b := &wlan.AP{ID: "B", Pos: rf.Point{X: 20, Y: 0}, TxPower: 18}
+	c := &wlan.AP{ID: "C", Pos: rf.Point{X: 45, Y: 0}, TxPower: 18}
+	n := wlan.NewNetwork([]*wlan.AP{a, b, c}, nil)
+	n.Band = n.Band.Subset(4) // two bonded channels
+	out := Greedy40(n, wlan.NewConfig())
+	chA, chB, chC := out.Channels["A"], out.Channels["B"], out.Channels["C"]
+	if chA.Conflicts(chB) {
+		t.Errorf("first two APs should take distinct channels: %v, %v", chA, chB)
+	}
+	// C is farther from A (45 m) than from B (25 m): least interference
+	// means sharing with A.
+	if !chC.Conflicts(chA) || chC.Conflicts(chB) {
+		t.Errorf("C should share with the farthest AP (A): C=%v A=%v B=%v", chC, chA, chB)
+	}
+}
+
+func TestConfigureProducesValidConfig(t *testing.T) {
+	n, clients := testNetwork()
+	cfg := Configure(n, clients)
+	if err := cfg.Validate(n); err != nil {
+		t.Fatalf("baseline config invalid: %v", err)
+	}
+	for _, c := range clients {
+		if cfg.Assoc[c.ID] == "" {
+			t.Errorf("client %s left unassociated", c.ID)
+		}
+	}
+	// All channels bonded (the aggressive scheme).
+	for _, ap := range n.APs {
+		if cfg.Channels[ap.ID].Width != spectrum.Width40 {
+			t.Errorf("AP %s width = %v, want 40 MHz", ap.ID, cfg.Channels[ap.ID].Width)
+		}
+	}
+}
+
+func TestConfigureAssociatesDeadClients(t *testing.T) {
+	// A client too poor to decode any bonded cell still associates (RSS
+	// fallback).
+	n, clients := testNetwork()
+	dead := &wlan.Client{ID: "dead", Pos: rf.Point{X: 5, Y: 5},
+		ExtraLoss: map[string]units.DB{"AP1": 53, "AP2": 53}}
+	n.Clients = append(n.Clients, dead)
+	cfg := Configure(n, append(clients, dead))
+	if cfg.Assoc["dead"] == "" {
+		t.Error("dead-link client should still associate via RSS fallback")
+	}
+}
+
+func TestRandomConfigValidAndVaried(t *testing.T) {
+	n, _ := testNetwork()
+	rng := stats.NewRand(5)
+	seen := map[spectrum.Channel]bool{}
+	for i := 0; i < 20; i++ {
+		cfg := RandomConfig(n, rng)
+		if err := cfg.Validate(n); err != nil {
+			t.Fatalf("random config %d invalid: %v", i, err)
+		}
+		for _, ch := range cfg.Channels {
+			seen[ch] = true
+		}
+		for _, c := range n.Clients {
+			if cfg.Assoc[c.ID] == "" {
+				t.Errorf("random config %d left %s unassociated", i, c.ID)
+			}
+		}
+	}
+	if len(seen) < 5 {
+		t.Errorf("random configs drew only %d distinct channels", len(seen))
+	}
+}
+
+func TestInterferenceCostMonotoneInNeighbors(t *testing.T) {
+	n, _ := testNetwork()
+	cfg := wlan.NewConfig()
+	ap1 := n.AP("AP1")
+	ch := spectrum.NewChannel40(36, 40)
+	clean := InterferenceCost(n, cfg, ap1, ch)
+	cfg.Channels["AP2"] = spectrum.NewChannel40(36, 40)
+	busy := InterferenceCost(n, cfg, ap1, ch)
+	if busy <= clean {
+		t.Errorf("co-channel neighbor should raise the cost: %v vs %v", busy, clean)
+	}
+	// Orthogonal neighbor costs nothing extra.
+	cfg.Channels["AP2"] = spectrum.NewChannel40(44, 48)
+	if got := InterferenceCost(n, cfg, ap1, ch); got != clean {
+		t.Errorf("orthogonal neighbor changed the cost: %v vs %v", got, clean)
+	}
+}

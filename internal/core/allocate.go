@@ -1,0 +1,157 @@
+package core
+
+// Channel bonding selection — Algorithm 2 of the paper.
+//
+// The allocation problem (assign each AP a basic 20 MHz or composite 40 MHz
+// "color" maximizing total network throughput, Eq. 5) is NP-complete, so
+// ACORN runs a greedy gradient-style search: in each iteration every AP
+// that has not yet switched this period evaluates the network throughput it
+// could reach on every candidate channel (others held fixed), the AP with
+// the maximum positive improvement ("rank") wins and switches, and the
+// process repeats until no AP can improve. Periods repeat until the
+// period-over-period improvement falls below ε (5%).
+//
+// The worst case is every AP trapped on the same color — throughput
+// Σ X_isol/(deg_i+1) ≥ Y*/(Δ+1) — giving the O(1/(Δ+1)) approximation
+// ratio; Section 5's Fig 14 experiment shows practice is far kinder.
+
+import (
+	"sort"
+
+	"acorn/internal/spectrum"
+	"acorn/internal/wlan"
+)
+
+// DefaultEpsilon is the paper's stopping threshold: the search stops when a
+// period improves total throughput by 5% or less (ε = 1.05).
+const DefaultEpsilon = 1.05
+
+// AllocOptions tunes Algorithm 2.
+type AllocOptions struct {
+	// Epsilon is the multiplicative improvement threshold; a period must
+	// beat the previous period's throughput by this factor to continue.
+	// Zero means DefaultEpsilon.
+	Epsilon float64
+	// MaxPeriods bounds the outer loop as a safety net; zero means 16.
+	MaxPeriods int
+}
+
+func (o AllocOptions) epsilon() float64 {
+	if o.Epsilon <= 0 {
+		return DefaultEpsilon
+	}
+	return o.Epsilon
+}
+
+func (o AllocOptions) maxPeriods() int {
+	if o.MaxPeriods <= 0 {
+		return 16
+	}
+	return o.MaxPeriods
+}
+
+// AllocStats reports how the search went.
+type AllocStats struct {
+	// Periods is the number of outer iterations executed.
+	Periods int
+	// Switches is the total number of channel switches performed.
+	Switches int
+	// InitialEstimate and FinalEstimate are the estimator's view of total
+	// network throughput before and after the search (Mbit/s).
+	InitialEstimate float64
+	FinalEstimate   float64
+	// Trajectory records the estimated throughput after every switch.
+	Trajectory []float64
+}
+
+// ThroughputEstimator is what Algorithm 2 needs from an estimator: a
+// prediction of total network throughput for a hypothetical configuration.
+// The default implementation is *Estimator (single measurement per link,
+// recalibrated across widths); *ScanningEstimator trades scan time for
+// per-channel accuracy.
+type ThroughputEstimator interface {
+	NetworkThroughput(cfg *wlan.Config) float64
+}
+
+// AllocateChannels runs Algorithm 2 over the current configuration and
+// returns the improved configuration (cfg is not mutated) plus search
+// statistics. Every AP must already hold a channel (use RandomInitial for
+// the random bootstrap of Section 5.2).
+func AllocateChannels(n *wlan.Network, cfg *wlan.Config, est ThroughputEstimator, opts AllocOptions) (*wlan.Config, AllocStats) {
+	cur := cfg.Clone()
+	channels := n.Band.AllChannels()
+	stats := AllocStats{InitialEstimate: est.NetworkThroughput(cur)}
+	prevPeriod := stats.InitialEstimate
+	y := prevPeriod
+
+	for period := 0; period < opts.maxPeriods(); period++ {
+		stats.Periods++
+		remaining := make(map[string]bool, len(n.APs))
+		for _, ap := range n.APs {
+			remaining[ap.ID] = true
+		}
+		// Inner loop: each AP may switch at most once per period; the
+		// AP offering the best improvement moves first.
+		for len(remaining) > 0 {
+			winner, winnerCh, winnerY := "", spectrum.Channel{}, y
+			for _, apID := range sortedKeys(remaining) {
+				bestCh, bestY := bestChannelFor(cur, est, apID, channels)
+				if bestY > winnerY {
+					winner, winnerCh, winnerY = apID, bestCh, bestY
+				}
+			}
+			if winner == "" {
+				break // max rank < 0: nobody can improve
+			}
+			cur.Channels[winner] = winnerCh
+			delete(remaining, winner)
+			y = winnerY
+			stats.Switches++
+			stats.Trajectory = append(stats.Trajectory, y)
+		}
+		// Stop when the period's gain is within ε of the previous
+		// period (≤5% improvement by default).
+		if y < opts.epsilon()*prevPeriod {
+			break
+		}
+		prevPeriod = y
+	}
+	stats.FinalEstimate = y
+	return cur, stats
+}
+
+// bestChannelFor evaluates Tmp_i(c) for every candidate channel c of AP
+// apID, holding all other assignments fixed, and returns the argmax and its
+// estimated network throughput.
+func bestChannelFor(cfg *wlan.Config, est ThroughputEstimator, apID string, channels []spectrum.Channel) (spectrum.Channel, float64) {
+	orig := cfg.Channels[apID]
+	bestCh, bestY := orig, -1.0
+	for _, ch := range channels {
+		cfg.Channels[apID] = ch
+		yTmp := est.NetworkThroughput(cfg)
+		if yTmp > bestY {
+			bestCh, bestY = ch, yTmp
+		}
+	}
+	cfg.Channels[apID] = orig
+	return bestCh, bestY
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RandomInitial assigns every AP a uniformly random channel (20 or 40 MHz)
+// from the band — the bootstrap state of Section 5.2 ("Initially, all APs
+// are assigned either a 20 MHz or a 40 MHz channel at random").
+func RandomInitial(n *wlan.Network, cfg *wlan.Config, randIntn func(int) int) {
+	channels := n.Band.AllChannels()
+	for _, ap := range n.APs {
+		cfg.Channels[ap.ID] = channels[randIntn(len(channels))]
+	}
+}

@@ -1,0 +1,128 @@
+// Package core implements ACORN itself: the modified-beacon information
+// base, the user-association algorithm (Algorithm 1 / Eq. 4), the channel
+// bonding selection algorithm (Algorithm 2), the link-quality estimator that
+// recalibrates SNR across channel widths, and the opportunistic width
+// adaptation used under mobility. The two modules are deliberately joint:
+// association groups clients of similar link quality so that the allocator
+// can hand 40 MHz channels to the cells that profit from them and plain
+// 20 MHz channels to cells holding poor links (Section 4).
+package core
+
+import (
+	"math"
+	"sort"
+
+	"acorn/internal/phy"
+	"acorn/internal/ratecontrol"
+	"acorn/internal/spectrum"
+	"acorn/internal/units"
+	"acorn/internal/wlan"
+)
+
+// Beacon is the modified beacon of Section 4.1: everything a client needs to
+// compute X_w,u and X_wo,u for one AP. K includes the inquiring client u
+// (who trial-associates to obtain cross-layer information, as in [17]/[18]),
+// and ATD includes u's own delay d_u.
+type Beacon struct {
+	APID    string
+	Channel spectrum.Channel
+	// K is the number of associated clients including the inquirer.
+	K int
+	// M is the AP's channel access share (1 under no contention,
+	// estimated as 1/(|con_a|+1) otherwise).
+	M float64
+	// ATD is the aggregate transmission delay Σ d_cl including the
+	// inquirer's delay (s/Mbit).
+	ATD float64
+	// DU is the inquirer's own transmission delay d_u at this AP
+	// (s/Mbit), measured during trial association.
+	DU float64
+}
+
+// XWith returns X^i_w,u = M_i/ATD_i — the per-client throughput of the AP
+// with the inquirer on board.
+func (b Beacon) XWith() float64 {
+	if b.ATD <= 0 || math.IsInf(b.ATD, 1) {
+		return 0
+	}
+	return b.M / b.ATD
+}
+
+// XWithout returns X^i_wo,u = M_i/(ATD_i − d_u) — the per-client throughput
+// the AP would see without the inquirer.
+func (b Beacon) XWithout() float64 {
+	rem := b.ATD - b.DU
+	if rem <= 0 || math.IsInf(rem, 1) {
+		return 0
+	}
+	return b.M / rem
+}
+
+// clientDelay computes d_u for one AP→client link on the AP's current
+// channel, the quantity APs derive from the PER-estimation procedure and the
+// client's nominal rate (Section 5.1).
+func clientDelay(n *wlan.Network, ap *wlan.AP, c *wlan.Client, ch spectrum.Channel) float64 {
+	snr := n.ClientSNR(ap, c, ch)
+	sel := ratecontrol.Best(snr, ch.Width, n.PacketBytes)
+	return 1 / sel.GoodputMbps // goodput is floored by the MAC delay cap
+}
+
+// GatherBeacon produces the Beacon AP ap would broadcast for inquiring
+// client u under configuration cfg. The inquirer is counted even though the
+// persistent association map does not (yet) include it.
+func GatherBeacon(n *wlan.Network, cfg *wlan.Config, ap *wlan.AP, u *wlan.Client) Beacon {
+	ch := cfg.Channels[ap.ID]
+	du := clientDelay(n, ap, u, ch)
+	atd := du
+	k := 1
+	for _, id := range cfg.ClientsOf(ap.ID) {
+		if id == u.ID {
+			continue // u may already be associated during re-evaluation
+		}
+		atd += clientDelay(n, ap, n.Client(id), ch)
+		k++
+	}
+	// M as the client would observe it: the AP's current access share,
+	// counting itself as active now that u brings it traffic.
+	m := accessShareWith(n, cfg, ap, u)
+	return Beacon{APID: ap.ID, Channel: ch, K: k, M: m, ATD: atd, DU: du}
+}
+
+// accessShareWith computes the access share of ap assuming client u is (at
+// least temporarily) associated with it, so the cell counts as active. The
+// trial association is applied in place and restored — this runs once per
+// candidate AP per admission, and cloning the whole configuration here
+// dominated admission cost in churn simulations.
+func accessShareWith(n *wlan.Network, cfg *wlan.Config, ap *wlan.AP, u *wlan.Client) float64 {
+	prev, had := cfg.Assoc[u.ID]
+	cfg.Assoc[u.ID] = ap.ID
+	m := n.AccessShare(cfg, ap)
+	if had {
+		cfg.Assoc[u.ID] = prev
+	} else {
+		delete(cfg.Assoc, u.ID)
+	}
+	return m
+}
+
+// GatherBeacons collects beacons from every AP in range of u, sorted by AP
+// ID for determinism.
+func GatherBeacons(n *wlan.Network, cfg *wlan.Config, u *wlan.Client) []Beacon {
+	aps := n.APsInRange(u)
+	beacons := make([]Beacon, 0, len(aps))
+	for _, ap := range aps {
+		beacons = append(beacons, GatherBeacon(n, cfg, ap, u))
+	}
+	sort.Slice(beacons, func(i, j int) bool { return beacons[i].APID < beacons[j].APID })
+	return beacons
+}
+
+// snrForWidth recalibrates a link SNR measured at 20 MHz to the given
+// width: moving to 40 MHz costs the bonding penalty (~3 dB), staying at
+// 20 MHz costs nothing (the SNR calibration module of Section 4.2).
+func snrForWidth(snr20 units.DB, w spectrum.Width) units.DB {
+	if w == spectrum.Width40 {
+		return snr20.Minus(phy.BondingSNRPenalty())
+	}
+	return snr20
+}

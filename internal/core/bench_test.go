@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"acorn/internal/stats"
+	"acorn/internal/wlan"
+)
+
+func benchSetup(b *testing.B) (*wlan.Network, *wlan.Config, *Estimator) {
+	b.Helper()
+	n, clients := randomNetwork(1234)
+	cfg := wlan.NewConfig()
+	rng := stats.NewRand(1)
+	RandomInitial(n, cfg, rng.Intn)
+	AssociateAll(n, cfg, clients)
+	return n, cfg, NewEstimator(n)
+}
+
+func BenchmarkEstimatorNetworkThroughput(b *testing.B) {
+	_, cfg, est := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.NetworkThroughput(cfg)
+	}
+}
+
+func BenchmarkAllocateChannels(b *testing.B) {
+	n, cfg, est := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AllocateChannels(n, cfg, est, AllocOptions{})
+	}
+}
+
+func BenchmarkAssociate(b *testing.B) {
+	n, cfg, _ := benchSetup(b)
+	u := n.Clients[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Associate(n, cfg, u)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"acorn/internal/ratecontrol"
+	"acorn/internal/spectrum"
+	"acorn/internal/stats"
+	"acorn/internal/units"
+	"acorn/internal/wlan"
+)
+
+// DefaultPeriod is the channel (re)allocation period T. Section 4.2 derives
+// it from the CRAWDAD association-duration trace: the median association
+// lasts ≈31 minutes and >90% last under 40, so ACORN re-runs allocation
+// every 30 minutes.
+const DefaultPeriod = 30 * time.Minute
+
+// Controller is the ACORN auto-configuration engine for one WLAN. It owns
+// the running configuration and applies the paper's workflow: random
+// initial channels, Algorithm 1 as clients arrive, Algorithm 2 every period.
+type Controller struct {
+	Network *wlan.Network
+	// Period is the channel-allocation periodicity; zero means
+	// DefaultPeriod. Simulations invoke Reallocate directly, so Period
+	// is advisory metadata for deployments driving the controller from a
+	// timer.
+	Period time.Duration
+	// Alloc tunes Algorithm 2.
+	Alloc AllocOptions
+	// Seed drives the random initial channel assignment.
+	Seed int64
+
+	cfg *wlan.Config
+}
+
+// NewController creates a controller with a random initial channel
+// assignment and no associations.
+func NewController(n *wlan.Network, seed int64) (*Controller, error) {
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid network: %w", err)
+	}
+	c := &Controller{Network: n, Period: DefaultPeriod, Seed: seed, cfg: wlan.NewConfig()}
+	rng := stats.NewRand(seed)
+	RandomInitial(n, c.cfg, rng.Intn)
+	return c, nil
+}
+
+// Config returns the controller's current configuration. The returned value
+// is a clone; mutating it does not affect the controller.
+func (c *Controller) Config() *wlan.Config { return c.cfg.Clone() }
+
+// ConfigView returns the live configuration without copying. Callers must
+// treat it as read-only; it is intended for evaluation loops (e.g. the
+// churn simulator) where per-event cloning would dominate.
+func (c *Controller) ConfigView() *wlan.Config { return c.cfg }
+
+// Evict removes a departed client's association. Unknown IDs are a no-op.
+func (c *Controller) Evict(clientID string) {
+	delete(c.cfg.Assoc, clientID)
+}
+
+// Admit runs Algorithm 1 for one client and applies the decision. It
+// returns the decision; a decision with empty APID means the client is out
+// of range of every AP.
+func (c *Controller) Admit(u *wlan.Client) AssociationDecision {
+	d := Associate(c.Network, c.cfg, u)
+	if d.APID != "" {
+		c.cfg.Assoc[u.ID] = d.APID
+	}
+	return d
+}
+
+// AdmitAll admits the given clients one by one in order.
+func (c *Controller) AdmitAll(clients []*wlan.Client) []AssociationDecision {
+	ds := make([]AssociationDecision, 0, len(clients))
+	for _, u := range clients {
+		ds = append(ds, c.Admit(u))
+	}
+	return ds
+}
+
+// Reallocate runs Algorithm 2 against fresh link measurements and installs
+// the resulting channel assignment. It returns the search statistics.
+func (c *Controller) Reallocate() AllocStats {
+	est := NewEstimator(c.Network)
+	next, st := AllocateChannels(c.Network, c.cfg, est, c.Alloc)
+	c.cfg = next
+	return st
+}
+
+// AutoConfigure is the whole ACORN pipeline for a static scenario: admit
+// every client (Algorithm 1), then allocate channels (Algorithm 2). It
+// returns the final evaluated report of the installed configuration.
+func (c *Controller) AutoConfigure(clients []*wlan.Client) *wlan.NetworkReport {
+	c.AdmitAll(clients)
+	c.Reallocate()
+	// A second association pass lets clients react to the final channel
+	// widths (the deployed system interleaves these continuously).
+	c.reassociate(clients)
+	c.Reallocate()
+	return c.Network.Evaluate(c.cfg)
+}
+
+// reassociate re-runs Algorithm 1 for each client under the current
+// channels, in the original arrival order.
+func (c *Controller) reassociate(clients []*wlan.Client) {
+	for _, u := range clients {
+		delete(c.cfg.Assoc, u.ID)
+		d := Associate(c.Network, c.cfg, u)
+		if d.APID != "" {
+			c.cfg.Assoc[u.ID] = d.APID
+		}
+	}
+}
+
+// goodputAt is the shared "expected goodput at SNR and width" primitive the
+// width adapter uses; it lives here so controller-level consumers can reuse
+// it without reaching into ratecontrol directly.
+func goodputAt(n *wlan.Network, snr units.DB, w spectrum.Width) float64 {
+	sel := ratecontrol.Best(snr, w, n.PacketBytes)
+	return sel.GoodputMbps
+}
+
+// Roam re-evaluates one client's association with roaming hysteresis: the
+// client moves only if another AP's utility beats the incumbent's by the
+// given fractional margin. Long-running deployments call it for every
+// present client at each reallocation tick.
+func (c *Controller) Roam(u *wlan.Client, margin float64) AssociationDecision {
+	incumbent := c.cfg.Assoc[u.ID]
+	d := AssociateSticky(c.Network, c.cfg, u, incumbent, margin)
+	if d.APID != "" {
+		c.cfg.Assoc[u.ID] = d.APID
+	}
+	return d
+}

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"acorn/internal/rf"
+	"acorn/internal/spectrum"
+	"acorn/internal/units"
+	"acorn/internal/wlan"
+)
+
+// mixedNetwork: two isolated APs; AP1 near a good and a poor client
+// cluster, AP2 near a good cluster. Both APs hear a "between" client.
+func mixedNetwork() (*wlan.Network, []*wlan.Client) {
+	ap1 := &wlan.AP{ID: "AP1", Pos: rf.Point{X: 0, Y: 0}, TxPower: 18}
+	ap2 := &wlan.AP{ID: "AP2", Pos: rf.Point{X: 600, Y: 0}, TxPower: 18}
+	wall := func(db float64) map[string]units.DB {
+		return map[string]units.DB{"AP1": units.DB(db), "AP2": units.DB(db)}
+	}
+	clients := []*wlan.Client{
+		{ID: "g1", Pos: rf.Point{X: 5, Y: 2}},
+		{ID: "p1", Pos: rf.Point{X: 7, Y: -4}, ExtraLoss: wall(50)},
+		{ID: "p2", Pos: rf.Point{X: 9, Y: 4}, ExtraLoss: wall(50.5)},
+		{ID: "g2", Pos: rf.Point{X: 604, Y: 3}},
+		{ID: "g3", Pos: rf.Point{X: 596, Y: -2}},
+	}
+	return wlan.NewNetwork([]*wlan.AP{ap1, ap2}, clients), clients
+}
+
+func staticConfig(n *wlan.Network) *wlan.Config {
+	cfg := wlan.NewConfig()
+	cfg.Channels["AP1"] = spectrum.NewChannel20(36)
+	cfg.Channels["AP2"] = spectrum.NewChannel40(44, 48)
+	return cfg
+}
+
+func TestBeaconArithmetic(t *testing.T) {
+	b := Beacon{K: 3, M: 0.5, ATD: 0.2, DU: 0.05}
+	if got := b.XWith(); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("XWith = %v, want 2.5", got)
+	}
+	if got := b.XWithout(); math.Abs(got-0.5/0.15) > 1e-12 {
+		t.Errorf("XWithout = %v", got)
+	}
+	// A beacon representing only the inquirer: without them the cell is
+	// empty, not infinite.
+	solo := Beacon{K: 1, M: 1, ATD: 0.05, DU: 0.05}
+	if got := solo.XWithout(); got != 0 {
+		t.Errorf("solo XWithout = %v, want 0", got)
+	}
+	if (Beacon{}).XWith() != 0 {
+		t.Error("zero beacon XWith should be 0")
+	}
+}
+
+func TestGatherBeaconCountsInquirer(t *testing.T) {
+	n, clients := mixedNetwork()
+	cfg := staticConfig(n)
+	cfg.Assoc["g1"] = "AP1"
+	u := clients[1] // p1, not yet associated
+	b := GatherBeacon(n, cfg, n.AP("AP1"), u)
+	if b.K != 2 {
+		t.Errorf("beacon K = %d, want 2 (g1 + inquirer)", b.K)
+	}
+	if b.DU <= 0 || b.ATD < b.DU {
+		t.Errorf("beacon delays malformed: ATD %v, DU %v", b.ATD, b.DU)
+	}
+	// An already-associated inquirer is not double counted.
+	cfg.Assoc["p1"] = "AP1"
+	b2 := GatherBeacon(n, cfg, n.AP("AP1"), u)
+	if b2.K != 2 {
+		t.Errorf("re-inquiry K = %d, want 2", b2.K)
+	}
+}
+
+func TestGatherBeaconsSortedAndRanged(t *testing.T) {
+	n, clients := mixedNetwork()
+	cfg := staticConfig(n)
+	// g1 only hears AP1.
+	bs := GatherBeacons(n, cfg, clients[0])
+	if len(bs) != 1 || bs[0].APID != "AP1" {
+		t.Errorf("g1 beacons = %+v", bs)
+	}
+}
+
+func TestAssociateGroupsByQuality(t *testing.T) {
+	n, clients := mixedNetwork()
+	cfg := staticConfig(n)
+	decisions := AssociateAll(n, cfg, clients)
+	for _, d := range decisions {
+		if d.APID == "" {
+			t.Fatalf("client %s left unassociated", d.ClientID)
+		}
+	}
+	// Local clients must associate locally (the remote AP is out of
+	// range in this sparse deployment).
+	for _, pair := range []struct{ client, ap string }{
+		{"g1", "AP1"}, {"p1", "AP1"}, {"p2", "AP1"}, {"g2", "AP2"}, {"g3", "AP2"},
+	} {
+		if got := cfg.Assoc[pair.client]; got != pair.ap {
+			t.Errorf("%s associated with %s, want %s", pair.client, got, pair.ap)
+		}
+	}
+}
+
+func TestAssociateUtilityConsistency(t *testing.T) {
+	// The chosen AP's utility must be the max over candidates, and the
+	// decision must not mutate the configuration.
+	n, clients := mixedNetwork()
+	cfg := staticConfig(n)
+	cfg.Assoc["g1"] = "AP1"
+	before := len(cfg.Assoc)
+	d := Associate(n, cfg, clients[3]) // g2
+	if len(cfg.Assoc) != before {
+		t.Error("Associate mutated the config")
+	}
+	best := math.Inf(-1)
+	for _, c := range d.Candidates {
+		if c.Utility > best {
+			best = c.Utility
+		}
+	}
+	if d.Utility != best {
+		t.Errorf("decision utility %v is not the candidate max %v", d.Utility, best)
+	}
+}
+
+func TestAssociateOutOfRange(t *testing.T) {
+	n, _ := mixedNetwork()
+	cfg := staticConfig(n)
+	lost := &wlan.Client{ID: "lost", Pos: rf.Point{X: 300, Y: 5000}}
+	n.Clients = append(n.Clients, lost)
+	d := Associate(n, cfg, lost)
+	if d.APID != "" {
+		t.Errorf("out-of-range client associated with %s", d.APID)
+	}
+}
+
+func TestEstimatorRecalibration(t *testing.T) {
+	n, _ := mixedNetwork()
+	est := NewEstimator(n)
+	s20 := est.LinkSNR("AP1", "g1", spectrum.Width20)
+	s40 := est.LinkSNR("AP1", "g1", spectrum.Width40)
+	gap := float64(s20 - s40)
+	if gap < 3 || gap > 3.2 {
+		t.Errorf("estimator width gap = %v, want ≈3.1 dB", gap)
+	}
+	// Unknown link → -Inf.
+	if !math.IsInf(float64(est.LinkSNR("AP1", "ghost", spectrum.Width20)), -1) {
+		t.Error("unknown link should report -Inf")
+	}
+}
+
+func TestEstimatorMatchesEvaluatorShape(t *testing.T) {
+	// The estimator ignores jitter, so it won't equal the ground-truth
+	// evaluation, but it must be close and rank configurations the same
+	// way for clearly different options.
+	n, clients := mixedNetwork()
+	cfg := staticConfig(n)
+	AssociateAll(n, cfg, clients)
+	est := NewEstimator(n)
+
+	got := est.NetworkThroughput(cfg)
+	truth := n.Evaluate(cfg).TotalUDP
+	if got < truth*0.7 || got > truth*1.3 {
+		t.Errorf("estimate %v too far from ground truth %v", got, truth)
+	}
+
+	// Rank check: putting AP2 (good clients) on 20 MHz must rank below
+	// keeping it bonded.
+	worse := cfg.Clone()
+	worse.Channels["AP2"] = spectrum.NewChannel20(44)
+	if est.NetworkThroughput(worse) >= got {
+		t.Error("estimator failed to rank bonded good cell above 20 MHz")
+	}
+}
+
+func TestEstimatorMeasurementNoise(t *testing.T) {
+	n, _ := mixedNetwork()
+	est := NewEstimator(n)
+	clean := est.LinkSNR("AP1", "g1", spectrum.Width20)
+	est.MeasurementNoiseDB = 1.5
+	noisy := est.LinkSNR("AP1", "g1", spectrum.Width20)
+	if clean == noisy {
+		t.Error("measurement noise had no effect")
+	}
+	if math.Abs(float64(clean-noisy)) > 1.5 {
+		t.Errorf("noise exceeded its amplitude: %v vs %v", clean, noisy)
+	}
+	// Deterministic per link.
+	if noisy != est.LinkSNR("AP1", "g1", spectrum.Width20) {
+		t.Error("measurement noise not deterministic")
+	}
+}
+
+func TestAllocateChannelsImprovesAndSeparates(t *testing.T) {
+	n, clients := mixedNetwork()
+	cfg := staticConfig(n)
+	AssociateAll(n, cfg, clients)
+	// Adversarial start: both APs on the same bonded channel.
+	cfg.Channels["AP1"] = spectrum.NewChannel40(36, 40)
+	cfg.Channels["AP2"] = spectrum.NewChannel40(36, 40)
+	est := NewEstimator(n)
+	out, st := AllocateChannels(n, cfg, est, AllocOptions{})
+	if st.FinalEstimate < st.InitialEstimate {
+		t.Errorf("allocation regressed: %v → %v", st.InitialEstimate, st.FinalEstimate)
+	}
+	// AP1 holds near-dead clients alongside a good one: its width choice
+	// is a wash; the key outcome is AP2 bonded (good cell).
+	if got := out.Channels["AP2"].Width; got != spectrum.Width40 {
+		t.Errorf("AP2 width = %v, want 40 MHz", got)
+	}
+	if st.Periods < 1 || st.Switches < 1 {
+		t.Errorf("stats look wrong: %+v", st)
+	}
+	// Input config untouched.
+	if cfg.Channels["AP1"] != spectrum.NewChannel40(36, 40) {
+		t.Error("AllocateChannels mutated its input")
+	}
+}
+
+func TestAllocateChannelsTrajectoryMonotone(t *testing.T) {
+	n, clients := mixedNetwork()
+	cfg := staticConfig(n)
+	AssociateAll(n, cfg, clients)
+	est := NewEstimator(n)
+	_, st := AllocateChannels(n, cfg, est, AllocOptions{})
+	prev := st.InitialEstimate
+	for i, y := range st.Trajectory {
+		if y+1e-9 < prev {
+			t.Errorf("trajectory decreased at switch %d: %v → %v", i, prev, y)
+		}
+		prev = y
+	}
+}
+
+func TestAllocateEpsilonStopsEarly(t *testing.T) {
+	n, clients := mixedNetwork()
+	cfg := staticConfig(n)
+	AssociateAll(n, cfg, clients)
+	est := NewEstimator(n)
+	// A huge epsilon demands a 10x period improvement — must stop after
+	// one period.
+	_, st := AllocateChannels(n, cfg, est, AllocOptions{Epsilon: 10})
+	if st.Periods != 1 {
+		t.Errorf("periods = %d, want 1 with huge epsilon", st.Periods)
+	}
+	// MaxPeriods caps the loop even with an epsilon that never stops.
+	_, st = AllocateChannels(n, cfg, est, AllocOptions{Epsilon: 1.0000001, MaxPeriods: 2})
+	if st.Periods > 2 {
+		t.Errorf("periods = %d, want ≤ 2", st.Periods)
+	}
+}
+
+func TestRandomInitialAssignsEveryAP(t *testing.T) {
+	n, _ := mixedNetwork()
+	cfg := wlan.NewConfig()
+	calls := 0
+	RandomInitial(n, cfg, func(k int) int { calls++; return calls % k })
+	for _, ap := range n.APs {
+		ch := cfg.Channels[ap.ID]
+		if ch.IsZero() || !n.Band.Contains(ch) {
+			t.Errorf("AP %s got invalid channel %v", ap.ID, ch)
+		}
+	}
+}
+
+func TestControllerLifecycle(t *testing.T) {
+	n, clients := mixedNetwork()
+	ctrl, err := NewController(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every AP starts with a channel.
+	cfg := ctrl.Config()
+	for _, ap := range n.APs {
+		if cfg.Channels[ap.ID].IsZero() {
+			t.Fatalf("AP %s has no initial channel", ap.ID)
+		}
+	}
+	rep := ctrl.AutoConfigure(clients)
+	if rep.TotalUDP <= 0 {
+		t.Fatal("auto-configured network has zero throughput")
+	}
+	final := ctrl.Config()
+	if err := final.Validate(n); err != nil {
+		t.Fatalf("final config invalid: %v", err)
+	}
+	// Config() returns a clone.
+	final.Channels["AP1"] = spectrum.Channel{}
+	if ctrl.Config().Channels["AP1"].IsZero() {
+		t.Error("Config() exposed internal state")
+	}
+}
+
+func TestControllerRejectsInvalidNetwork(t *testing.T) {
+	bad := wlan.NewNetwork([]*wlan.AP{{ID: "A"}, {ID: "A"}}, nil)
+	if _, err := NewController(bad, 1); err == nil {
+		t.Error("invalid network accepted")
+	}
+}
+
+func TestControllerDeterministicPerSeed(t *testing.T) {
+	run := func() float64 {
+		n, clients := mixedNetwork()
+		ctrl, err := NewController(n, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctrl.AutoConfigure(clients).TotalUDP
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed produced different outcomes: %v vs %v", a, b)
+	}
+}
+
+func TestWidthAdapterSwitches(t *testing.T) {
+	n, _ := mixedNetwork()
+	ad := NewWidthAdapter(spectrum.NewChannel40(36, 40))
+	good := map[string]units.DB{"a": 25, "b": 28}
+	if ch := ad.Decide(n, good); ch.Width != spectrum.Width40 {
+		t.Errorf("good cell width = %v, want 40", ch.Width)
+	}
+	poor := map[string]units.DB{"a": 25, "b": -1}
+	if ch := ad.Decide(n, poor); ch.Width != spectrum.Width20 {
+		t.Errorf("poor-client cell width = %v, want 20", ch.Width)
+	}
+	// Fallback keeps the primary component.
+	if ad.Current().Primary != 36 {
+		t.Errorf("fallback channel = %v, want primary 36", ad.Current())
+	}
+	// Recovery bonds again.
+	if ch := ad.Decide(n, good); ch.Width != spectrum.Width40 {
+		t.Errorf("recovered cell width = %v, want 40", ch.Width)
+	}
+}
+
+func TestWidthAdapterRejectsBasicChannel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("adapter should panic on a 20 MHz allocation")
+		}
+	}()
+	NewWidthAdapter(spectrum.NewChannel20(36))
+}
+
+func TestCellThroughputAtEdgeCases(t *testing.T) {
+	n, _ := mixedNetwork()
+	if got := CellThroughputAt(n, nil, spectrum.Width20); got != 0 {
+		t.Errorf("empty cell throughput = %v", got)
+	}
+	one := map[string]units.DB{"x": 20}
+	t20 := CellThroughputAt(n, one, spectrum.Width20)
+	t40 := CellThroughputAt(n, one, spectrum.Width40)
+	if t20 <= 0 || t40 <= t20 {
+		t.Errorf("good single client: t20 %v, t40 %v (want 0 < t20 < t40)", t20, t40)
+	}
+}
+
+func TestAssociateStickyHysteresis(t *testing.T) {
+	n, clients := mixedNetwork()
+	cfg := staticConfig(n)
+	AssociateAll(n, cfg, clients)
+	u := clients[0] // g1
+	incumbent := cfg.Assoc[u.ID]
+	// With a generous margin the client never moves off a sane incumbent.
+	d := AssociateSticky(n, cfg, u, incumbent, 0.5)
+	if d.APID != incumbent {
+		t.Errorf("sticky association moved %s → %s for <50%% gain", incumbent, d.APID)
+	}
+	// With no incumbent it matches plain Associate.
+	plain := Associate(n, cfg, u)
+	fresh := AssociateSticky(n, cfg, u, "", 0.5)
+	if fresh.APID != plain.APID {
+		t.Errorf("no-incumbent sticky %s differs from Associate %s", fresh.APID, plain.APID)
+	}
+	// Out-of-range incumbent falls through to the best candidate.
+	gone := AssociateSticky(n, cfg, u, "AP-nonexistent", 0.5)
+	if gone.APID != plain.APID {
+		t.Errorf("vanished incumbent should yield best candidate, got %s", gone.APID)
+	}
+}
+
+func TestControllerRoam(t *testing.T) {
+	n, clients := mixedNetwork()
+	ctrl, err := NewController(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.AdmitAll(clients)
+	before := ctrl.Config().Assoc[clients[0].ID]
+	d := ctrl.Roam(clients[0], 0.25)
+	if d.APID == "" {
+		t.Fatal("roam lost the client")
+	}
+	// A quarter-margin roam right after admission keeps the incumbent
+	// (the admission decision was already utility-optimal).
+	if got := ctrl.Config().Assoc[clients[0].ID]; got != before {
+		t.Errorf("gratuitous roam %s → %s", before, got)
+	}
+}
+
+func TestEstimatorContentionCacheMatchesNetwork(t *testing.T) {
+	// The estimator's cached contention relation must agree with the
+	// network's geometric predicate for a fixed association.
+	n, clients := mixedNetwork()
+	// Move AP2 into range so contention actually exists.
+	n.AP("AP2").Pos = rf.Point{X: 40, Y: 0}
+	cfg := staticConfig(n)
+	AssociateAll(n, cfg, clients)
+	est := NewEstimator(n)
+	// Trigger cache population through a throughput call.
+	est.NetworkThroughput(cfg)
+	for _, a := range n.APs {
+		for _, b := range n.APs {
+			if a == b {
+				continue
+			}
+			if est.contend(cfg, a, b) != n.Contend(a, b, cfg) {
+				t.Errorf("cached contention for %s–%s diverges", a.ID, b.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+// The link-quality estimator of Section 4.2. When Algorithm 2 evaluates a
+// candidate channel, the AP cannot measure the new channel directly; it
+// estimates. Two assumptions, both validated in the paper:
+//
+//  1. Link quality does not vary significantly across different channels of
+//     the *same* width (Fig 8, MIMO flattens frequency selectivity), so the
+//     measured SNR carries over unchanged.
+//  2. Changing *width* shifts the per-subcarrier SNR by the bonding penalty
+//     (≈3 dB); the SNR-calibration module applies it, a BER-estimation
+//     module computes the theoretical coded BER at the calibrated SNR, and
+//     Eq. 6 turns BER into PER. ACORN needs only a coarse good/poor
+//     classification, so theoretical formulas suffice.
+
+import (
+	"math"
+
+	"acorn/internal/mac"
+	"acorn/internal/ratecontrol"
+	"acorn/internal/spectrum"
+	"acorn/internal/units"
+	"acorn/internal/wlan"
+)
+
+// Estimator predicts cell and network throughputs for hypothetical channel
+// assignments from measured 20 MHz link SNRs. It is deliberately ignorant
+// of per-channel jitter — the real network applies jitter; the estimator
+// assumes channels of equal width are interchangeable.
+type Estimator struct {
+	n *wlan.Network
+	// snr20 caches the measured reference SNR of every AP→client link.
+	snr20 map[linkKey]units.DB
+	// MeasurementNoiseDB, when non-zero, perturbs each cached measurement
+	// deterministically to model imperfect driver SNR reports.
+	MeasurementNoiseDB float64
+
+	// contends caches the pairwise contention relation. Contention
+	// depends on geometry and the association map — not on channel
+	// assignments — so during one Algorithm 2 run (association fixed)
+	// the relation is static, and caching it removes the dominant
+	// O(APs²·clients) term from every candidate evaluation.
+	contends map[linkKey]bool
+}
+
+type linkKey struct{ ap, client string }
+
+// NewEstimator builds an estimator over the network, measuring (caching)
+// the 20 MHz reference SNR of every AP→client pair.
+func NewEstimator(n *wlan.Network) *Estimator {
+	e := &Estimator{n: n, snr20: make(map[linkKey]units.DB, len(n.APs)*len(n.Clients))}
+	for _, ap := range n.APs {
+		for _, c := range n.Clients {
+			e.snr20[linkKey{ap.ID, c.ID}] = n.ClientSNR20(ap, c)
+		}
+	}
+	return e
+}
+
+// LinkSNR returns the estimated per-subcarrier SNR of the link on a channel
+// of the given width: the measured 20 MHz reference, recalibrated by the
+// bonding penalty when the target is 40 MHz.
+func (e *Estimator) LinkSNR(apID, clientID string, w spectrum.Width) units.DB {
+	snr, ok := e.snr20[linkKey{apID, clientID}]
+	if !ok {
+		return units.DB(math.Inf(-1))
+	}
+	if e.MeasurementNoiseDB != 0 {
+		snr += units.DB(e.MeasurementNoiseDB * noiseUnit(apID, clientID))
+	}
+	return snrForWidth(snr, w)
+}
+
+// noiseUnit returns a deterministic pseudo-random value in (-1, 1) per link.
+func noiseUnit(apID, clientID string) float64 {
+	var h uint64 = 14695981039346656037
+	for _, s := range []string{apID, "~", clientID} {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return float64(int64(h)) / math.MaxInt64
+}
+
+// ClientDelay returns the estimated d_cl of the link on the given channel.
+func (e *Estimator) ClientDelay(apID, clientID string, ch spectrum.Channel) float64 {
+	snr := e.LinkSNR(apID, clientID, ch.Width)
+	sel := ratecontrol.Best(snr, ch.Width, e.n.PacketBytes)
+	return 1 / sel.GoodputMbps // goodput is floored by the MAC delay cap
+}
+
+// ClientPER returns the estimated PER of the link at the given width, the
+// output of the BER-estimation module followed by Eq. 6.
+func (e *Estimator) ClientPER(apID, clientID string, w spectrum.Width) float64 {
+	snr := e.LinkSNR(apID, clientID, w)
+	sel := ratecontrol.Best(snr, spectrum.Width20, e.n.PacketBytes)
+	return sel.PER
+}
+
+// contend returns the (cached) contention relation between two APs. The
+// cache assumes the association map is stable for the estimator's lifetime,
+// which holds during an Algorithm 2 run; build a fresh estimator after
+// changing associations.
+func (e *Estimator) contend(cfg *wlan.Config, a, b *wlan.AP) bool {
+	if a.ID == b.ID {
+		return false
+	}
+	key := linkKey{a.ID, b.ID}
+	if v, ok := e.contends[key]; ok {
+		return v
+	}
+	if e.contends == nil {
+		e.contends = make(map[linkKey]bool)
+	}
+	v := e.n.Contend(a, b, cfg)
+	e.contends[key] = v
+	e.contends[linkKey{b.ID, a.ID}] = v
+	return v
+}
+
+// accessShare mirrors wlan.Network.AccessShare using the cached contention
+// relation and precomputed cell sizes.
+func (e *Estimator) accessShare(cfg *wlan.Config, ap *wlan.AP, populated map[string]int) float64 {
+	ch := cfg.Channels[ap.ID]
+	contenders := 0
+	for _, other := range e.n.APs {
+		if other.ID == ap.ID || populated[other.ID] == 0 {
+			continue
+		}
+		if !ch.Conflicts(cfg.Channels[other.ID]) {
+			continue
+		}
+		if e.contend(cfg, ap, other) {
+			contenders++
+		}
+	}
+	return 1 / float64(contenders+1)
+}
+
+// CellThroughput estimates the aggregate throughput of ap's cell under the
+// hypothetical configuration cfg (UDP saturated model).
+func (e *Estimator) CellThroughput(cfg *wlan.Config, apID string) float64 {
+	clients := cfg.ClientsOf(apID)
+	if len(clients) == 0 {
+		return 0
+	}
+	ch := cfg.Channels[apID]
+	delays := make([]float64, 0, len(clients))
+	for _, id := range clients {
+		delays = append(delays, e.ClientDelay(apID, id, ch))
+	}
+	cell := mac.Cell{Delays: delays, AccessShare: e.n.AccessShare(cfg, e.n.AP(apID))}
+	return cell.AggregateThroughput()
+}
+
+// NetworkThroughput estimates the total aggregate throughput Y of the
+// hypothetical configuration — the objective of Eq. 5 as Algorithm 2 sees
+// it while searching.
+func (e *Estimator) NetworkThroughput(cfg *wlan.Config) float64 {
+	// Cell population is channel-independent; compute it once.
+	populated := make(map[string]int, len(e.n.APs))
+	for _, apID := range cfg.Assoc {
+		populated[apID]++
+	}
+	var total float64
+	for _, ap := range e.n.APs {
+		k := populated[ap.ID]
+		if k == 0 {
+			continue
+		}
+		ch := cfg.Channels[ap.ID]
+		var atd float64
+		// Sum in the network's stable client order — summing in map
+		// iteration order makes the float total run-dependent, which
+		// the argmax search would amplify into different allocations.
+		for _, c := range e.n.Clients {
+			if cfg.Assoc[c.ID] == ap.ID {
+				atd += e.ClientDelay(ap.ID, c.ID, ch)
+			}
+		}
+		if atd > 0 {
+			// K·M/ATD, the anomaly-model cell aggregate.
+			total += float64(k) * e.accessShare(cfg, ap, populated) / atd
+		}
+	}
+	return total
+}

@@ -1,0 +1,110 @@
+package core
+
+// The client side of Section 5.1: "The client receives the beacons from
+// every AP in its range and makes appropriate association decisions." This
+// file converts decoded over-the-air beacons (internal/proto) into the
+// Beacon quantities Algorithm 1 consumes, so the association decision can
+// run from actual frames rather than simulator introspection.
+
+import (
+	"fmt"
+	"sort"
+
+	"acorn/internal/proto"
+)
+
+// BeaconFromFrame converts a decoded beacon frame into Algorithm 1's
+// Beacon for the inquiring client. The frame's ACORN element carries the
+// per-client delay records; the inquirer must appear among them (the AP
+// measured d_u during trial association) or the beacon is unusable for the
+// decision.
+func BeaconFromFrame(f *proto.BeaconFrame, apID, inquirerID string) (Beacon, error) {
+	ie := f.ACORN
+	if ie == nil {
+		return Beacon{}, fmt.Errorf("core: beacon from %s has no ACORN element", apID)
+	}
+	var du float64
+	found := false
+	var atd float64
+	for _, c := range ie.Clients {
+		d := proto.DelayFromWire(c.DelayMicroPerMbit)
+		atd += d
+		if c.ClientID == inquirerID {
+			du = d
+			found = true
+		}
+	}
+	if !found {
+		return Beacon{}, fmt.Errorf("core: beacon from %s lacks inquirer %s's delay record", apID, inquirerID)
+	}
+	return Beacon{
+		APID:    apID,
+		Channel: ie.Channel,
+		K:       int(ie.K),
+		M:       ie.M(),
+		ATD:     atd,
+		DU:      du,
+	}, nil
+}
+
+// FrameFromBeacon builds the over-the-air element for a Beacon the AP
+// computed, given the per-client delays (s/Mbit) of every associated client
+// including the inquirer. It is the transmit-side counterpart of
+// BeaconFromFrame.
+func FrameFromBeacon(b Beacon, clientDelays map[string]float64) (*proto.BeaconIE, error) {
+	ie := &proto.BeaconIE{
+		Channel: b.Channel,
+		K:       uint16(b.K),
+	}
+	ie.SetM(b.M)
+	var atd float64
+	for id, d := range clientDelays {
+		_ = id
+		atd += d
+	}
+	ie.ATDMicroPerMbit = proto.DelayToWire(atd)
+	// Stable order for reproducible frames.
+	for _, id := range sortedDelayKeys(clientDelays) {
+		ie.Clients = append(ie.Clients, proto.ClientDelay{
+			ClientID:          id,
+			DelayMicroPerMbit: proto.DelayToWire(clientDelays[id]),
+		})
+	}
+	return ie, nil
+}
+
+func sortedDelayKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// AssociateFromBeacons runs Algorithm 1's decision rule over beacons the
+// client decoded from the air (one per candidate AP). It mirrors Associate
+// exactly, but its inputs come from frames instead of the simulator.
+func AssociateFromBeacons(clientID string, beacons []Beacon) AssociationDecision {
+	d := AssociationDecision{ClientID: clientID}
+	if len(beacons) == 0 {
+		return d
+	}
+	best := -1.0
+	for i, bi := range beacons {
+		utility := float64(bi.K) * bi.XWith()
+		for j, bj := range beacons {
+			if j == i {
+				continue
+			}
+			utility += float64(bj.K-1) * bj.XWithout()
+		}
+		d.Candidates = append(d.Candidates, CandidateUtility{APID: bi.APID, Utility: utility})
+		if utility > best {
+			best = utility
+			d.APID = bi.APID
+			d.Utility = utility
+		}
+	}
+	return d
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"acorn/internal/proto"
+	"acorn/internal/spectrum"
+)
+
+// TestOverTheAirAssociationMatchesDirect is the end-to-end client path: the
+// simulator's beacons are serialized into real 802.11 beacon frames,
+// transmitted (byte-for-byte), decoded, and fed to the over-the-air
+// decision rule. The decision must match the in-simulator Associate call
+// exactly.
+func TestOverTheAirAssociationMatchesDirect(t *testing.T) {
+	n, clients := mixedNetwork()
+	cfg := staticConfig(n)
+	cfg.Assoc["g1"] = "AP1"
+	cfg.Assoc["g2"] = "AP2"
+	u := clients[2] // p2, still unassociated
+
+	direct := Associate(n, cfg, u)
+	if direct.APID == "" {
+		t.Fatal("direct association failed")
+	}
+
+	// AP side: compute beacons, wrap them in frames.
+	var decoded []Beacon
+	for _, ap := range n.APsInRange(u) {
+		b := GatherBeacon(n, cfg, ap, u)
+		delays := map[string]float64{u.ID: b.DU}
+		for _, id := range cfg.ClientsOf(ap.ID) {
+			if id != u.ID {
+				delays[id] = clientDelay(n, ap, n.Client(id), cfg.Channels[ap.ID])
+			}
+		}
+		ie, err := FrameFromBeacon(b, delays)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame := &proto.BeaconFrame{
+			BSSID: [6]byte{0x02, 0, 0, 0, 0, byte(len(decoded))},
+			SSID:  "acorn",
+			ACORN: ie,
+		}
+		wire, err := frame.MarshalFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Client side: decode the frame and recover the beacon.
+		rx, err := proto.UnmarshalFrame(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := BeaconFromFrame(rx, ap.ID, u.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded = append(decoded, back)
+	}
+
+	otA := AssociateFromBeacons(u.ID, decoded)
+	if otA.APID != direct.APID {
+		t.Errorf("over-the-air decision %s differs from direct %s", otA.APID, direct.APID)
+	}
+	// Utilities agree to wire quantization (µs/Mbit delays, ‰ access
+	// share).
+	if math.Abs(otA.Utility-direct.Utility) > 0.01*math.Abs(direct.Utility)+1e-6 {
+		t.Errorf("utility drifted through the wire: %v vs %v", otA.Utility, direct.Utility)
+	}
+}
+
+func TestBeaconFromFrameErrors(t *testing.T) {
+	ie := &proto.BeaconIE{Channel: spectrum.NewChannel20(36), K: 2}
+	ie.SetM(1)
+	ie.Clients = []proto.ClientDelay{{ClientID: "other", DelayMicroPerMbit: 100}}
+	f := &proto.BeaconFrame{ACORN: ie}
+	if _, err := BeaconFromFrame(f, "AP1", "me"); err == nil {
+		t.Error("beacon without the inquirer's record accepted")
+	}
+	if _, err := BeaconFromFrame(&proto.BeaconFrame{}, "AP1", "me"); err == nil {
+		t.Error("beacon without ACORN element accepted")
+	}
+	ie.Clients = append(ie.Clients, proto.ClientDelay{ClientID: "me", DelayMicroPerMbit: 7500})
+	b, err := BeaconFromFrame(f, "AP1", "me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.DU != 0.0075 {
+		t.Errorf("DU = %v, want 0.0075", b.DU)
+	}
+	if b.ATD != 0.0076 {
+		t.Errorf("ATD = %v, want 0.0076", b.ATD)
+	}
+}
+
+func TestAssociateFromBeaconsEmpty(t *testing.T) {
+	d := AssociateFromBeacons("u", nil)
+	if d.APID != "" {
+		t.Error("empty beacon set should not associate")
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"acorn/internal/rf"
+	"acorn/internal/stats"
+	"acorn/internal/units"
+	"acorn/internal/wlan"
+)
+
+// randomNetwork builds an arbitrary small deployment from a seed: 2–5 APs
+// on a loose grid, up to 10 clients with random positions and obstruction
+// losses spanning clean to dead.
+func randomNetwork(seed int64) (*wlan.Network, []*wlan.Client) {
+	rng := stats.NewRand(seed)
+	nAPs := 2 + rng.Intn(4)
+	var aps []*wlan.AP
+	for i := 0; i < nAPs; i++ {
+		aps = append(aps, &wlan.AP{
+			ID:      fmt.Sprintf("AP%d", i+1),
+			Pos:     rf.Point{X: float64(i%3)*80 + rng.Float64()*20, Y: float64(i/3)*80 + rng.Float64()*20},
+			TxPower: 18,
+		})
+	}
+	nClients := 1 + rng.Intn(10)
+	var clients []*wlan.Client
+	for i := 0; i < nClients; i++ {
+		home := aps[rng.Intn(nAPs)]
+		c := &wlan.Client{
+			ID:  fmt.Sprintf("u%02d", i+1),
+			Pos: rf.Point{X: home.Pos.X + rng.Float64()*30 - 15, Y: home.Pos.Y + rng.Float64()*30 - 15},
+		}
+		if rng.Float64() < 0.5 {
+			wall := units.DB(rng.Float64() * 55)
+			c.ExtraLoss = map[string]units.DB{}
+			for _, ap := range aps {
+				c.ExtraLoss[ap.ID] = wall
+			}
+		}
+		clients = append(clients, c)
+	}
+	return wlan.NewNetwork(aps, clients), clients
+}
+
+func TestPropertyAutoConfigureAlwaysValid(t *testing.T) {
+	f := func(seedRaw int16) bool {
+		seed := int64(seedRaw)
+		n, clients := randomNetwork(seed)
+		ctrl, err := NewController(n, seed)
+		if err != nil {
+			t.Logf("seed %d: controller: %v", seed, err)
+			return false
+		}
+		rep := ctrl.AutoConfigure(clients)
+		cfg := ctrl.Config()
+		if err := cfg.Validate(n); err != nil {
+			t.Logf("seed %d: invalid config: %v", seed, err)
+			return false
+		}
+		// Every client in range of some AP is associated.
+		for _, c := range clients {
+			if len(n.APsInRange(c)) > 0 && cfg.Assoc[c.ID] == "" {
+				t.Logf("seed %d: in-range client %s unassociated", seed, c.ID)
+				return false
+			}
+		}
+		// Totals are finite and nonnegative.
+		if math.IsNaN(rep.TotalUDP) || math.IsInf(rep.TotalUDP, 0) || rep.TotalUDP < 0 {
+			t.Logf("seed %d: bad total %v", seed, rep.TotalUDP)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAssociationChoosesCandidate(t *testing.T) {
+	f := func(seedRaw int16) bool {
+		seed := int64(seedRaw)
+		n, clients := randomNetwork(seed)
+		cfg := wlan.NewConfig()
+		rng := stats.NewRand(seed)
+		RandomInitial(n, cfg, rng.Intn)
+		for _, u := range clients {
+			d := Associate(n, cfg, u)
+			inRange := n.APsInRange(u)
+			if len(inRange) == 0 {
+				if d.APID != "" {
+					t.Logf("seed %d: out-of-range %s associated", seed, u.ID)
+					return false
+				}
+				continue
+			}
+			found := false
+			for _, ap := range inRange {
+				if ap.ID == d.APID {
+					found = true
+				}
+			}
+			if !found {
+				t.Logf("seed %d: %s chose %q outside its candidate set", seed, u.ID, d.APID)
+				return false
+			}
+			// Utility must be finite.
+			if math.IsNaN(d.Utility) || math.IsInf(d.Utility, 0) {
+				t.Logf("seed %d: non-finite utility %v", seed, d.Utility)
+				return false
+			}
+			cfg.Assoc[u.ID] = d.APID
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAllocationNeverRegressesEstimate(t *testing.T) {
+	f := func(seedRaw int16) bool {
+		seed := int64(seedRaw)
+		n, clients := randomNetwork(seed)
+		cfg := wlan.NewConfig()
+		rng := stats.NewRand(seed)
+		RandomInitial(n, cfg, rng.Intn)
+		AssociateAll(n, cfg, clients)
+		est := NewEstimator(n)
+		_, st := AllocateChannels(n, cfg, est, AllocOptions{})
+		if st.FinalEstimate+1e-9 < st.InitialEstimate {
+			t.Logf("seed %d: allocation regressed %v → %v", seed, st.InitialEstimate, st.FinalEstimate)
+			return false
+		}
+		prev := st.InitialEstimate
+		for _, y := range st.Trajectory {
+			if y+1e-9 < prev {
+				t.Logf("seed %d: trajectory regressed", seed)
+				return false
+			}
+			prev = y
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAllocationIdempotentAtFixpoint(t *testing.T) {
+	// Running Algorithm 2 again right after it converged must not move
+	// the estimate (it may permute equal-value channels).
+	f := func(seedRaw int16) bool {
+		seed := int64(seedRaw)
+		n, clients := randomNetwork(seed)
+		cfg := wlan.NewConfig()
+		rng := stats.NewRand(seed)
+		RandomInitial(n, cfg, rng.Intn)
+		AssociateAll(n, cfg, clients)
+		est := NewEstimator(n)
+		first, st1 := AllocateChannels(n, cfg, est, AllocOptions{})
+		_, st2 := AllocateChannels(n, first, est, AllocOptions{})
+		if st2.FinalEstimate+1e-6 < st1.FinalEstimate {
+			t.Logf("seed %d: second run regressed %v → %v", seed, st1.FinalEstimate, st2.FinalEstimate)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEvaluatorInvariants(t *testing.T) {
+	f := func(seedRaw int16) bool {
+		seed := int64(seedRaw)
+		n, clients := randomNetwork(seed)
+		ctrl, err := NewController(n, seed)
+		if err != nil {
+			return false
+		}
+		rep := ctrl.AutoConfigure(clients)
+		var sumUDP, sumTCP float64
+		for _, cell := range rep.Cells {
+			sumUDP += cell.ThroughputUDP
+			sumTCP += cell.ThroughputTCP
+			if cell.ThroughputTCP > cell.ThroughputUDP+1e-9 {
+				t.Logf("seed %d: %s TCP above UDP", seed, cell.APID)
+				return false
+			}
+			// Performance anomaly: equal per-client UDP throughput.
+			for i := 1; i < len(cell.Clients); i++ {
+				if math.Abs(cell.Clients[i].ThroughputUDP-cell.Clients[0].ThroughputUDP) > 1e-9 {
+					t.Logf("seed %d: unequal per-client shares in %s", seed, cell.APID)
+					return false
+				}
+			}
+			// Access share within (0, 1].
+			if cell.AccessShare <= 0 || cell.AccessShare > 1 {
+				t.Logf("seed %d: access share %v", seed, cell.AccessShare)
+				return false
+			}
+		}
+		return math.Abs(sumUDP-rep.TotalUDP) < 1e-6 && math.Abs(sumTCP-rep.TotalTCP) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+// Opportunistic width adaptation (Section 5.2, mobility experiments). An AP
+// holding a 40 MHz assignment owns both 20 MHz components, so it may fall
+// back to its primary 20 MHz channel at any time without changing the
+// interference it projects on neighbors — the allocation already reserved
+// the spectrum. ACORN exploits this under client mobility: as a client's
+// link degrades, bonding starts hurting the whole cell (performance
+// anomaly), and the AP drops to 20 MHz; when the link recovers, it bonds
+// again.
+
+import (
+	"acorn/internal/spectrum"
+	"acorn/internal/units"
+	"acorn/internal/wlan"
+)
+
+// WidthAdapter makes the per-beacon-interval 20-vs-40 decision for one AP
+// that was allocated a composite channel.
+type WidthAdapter struct {
+	// Allocated is the 40 MHz channel the allocator granted.
+	Allocated spectrum.Channel
+	// HysteresisMbps is the throughput margin required to change the
+	// current width, damping oscillation near the crossover.
+	HysteresisMbps float64
+
+	current spectrum.Channel
+}
+
+// NewWidthAdapter returns an adapter for an AP granted the given composite
+// channel. It panics if the channel is not 40 MHz wide, which would be a
+// programming error: adaptation only applies to bonded grants.
+func NewWidthAdapter(allocated spectrum.Channel) *WidthAdapter {
+	if allocated.Width != spectrum.Width40 {
+		panic("core: WidthAdapter requires a 40 MHz allocation")
+	}
+	return &WidthAdapter{Allocated: allocated, HysteresisMbps: 0.5, current: allocated}
+}
+
+// Current returns the channel the AP is presently operating.
+func (w *WidthAdapter) Current() spectrum.Channel { return w.current }
+
+// Decide evaluates the cell throughput at both widths from the clients'
+// measured 20 MHz-reference SNRs and switches when the other width wins by
+// more than the hysteresis margin. It returns the channel to operate.
+//
+// The evaluation mirrors the estimator: recalibrate SNR for width, run rate
+// control, apply the DCF anomaly (no contention term — the spectrum is
+// reserved either way).
+func (w *WidthAdapter) Decide(n *wlan.Network, clientSNR20 map[string]units.DB) spectrum.Channel {
+	t40 := CellThroughputAt(n, clientSNR20, spectrum.Width40)
+	t20 := CellThroughputAt(n, clientSNR20, spectrum.Width20)
+	switch {
+	case w.current.Width == spectrum.Width40 && t20 > t40+w.HysteresisMbps:
+		w.current = w.Allocated.PrimaryOnly()
+	case w.current.Width == spectrum.Width20 && t40 > t20+w.HysteresisMbps:
+		w.current = w.Allocated
+	}
+	return w.current
+}
+
+// CellThroughputAt computes the anomaly-model aggregate throughput of a
+// cell whose clients have the given 20 MHz-reference SNRs, operated at
+// width wd with full channel access (no contention). The mobility
+// experiments evaluate ACORN and the fixed-width baselines through it.
+func CellThroughputAt(n *wlan.Network, clientSNR20 map[string]units.DB, wd spectrum.Width) float64 {
+	if len(clientSNR20) == 0 {
+		return 0
+	}
+	var atd float64
+	count := 0
+	for _, snr20 := range clientSNR20 {
+		d := delayAt(n, snr20, wd)
+		atd += d
+		count++
+	}
+	if atd <= 0 {
+		return 0
+	}
+	return float64(count) / atd
+}
+
+func delayAt(n *wlan.Network, snr20 units.DB, wd spectrum.Width) float64 {
+	return 1 / bestAt(n, snr20, wd) // goodput is floored by the MAC delay cap
+}
+
+func bestAt(n *wlan.Network, snr20 units.DB, wd spectrum.Width) float64 {
+	snr := snrForWidth(snr20, wd)
+	return goodputAt(n, snr, wd)
+}

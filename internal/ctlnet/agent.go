@@ -1,0 +1,147 @@
+package ctlnet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"acorn/internal/spectrum"
+)
+
+// Agent is the AP-side endpoint: it says hello, streams reports, and
+// receives channel assignments.
+type Agent struct {
+	apID string
+	conn net.Conn
+	r    *bufio.Reader
+	wmu  sync.Mutex
+
+	mu      sync.Mutex
+	current spectrum.Channel
+	updates chan spectrum.Channel
+	readErr error
+	done    chan struct{}
+}
+
+// Dial connects to the controller and performs the hello exchange.
+func Dial(addr string, hello Hello) (*Agent, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewAgent(conn, hello)
+}
+
+// NewAgent runs the agent protocol over an existing connection (tests use
+// net.Pipe). The hello is sent immediately; a background reader collects
+// assignments.
+func NewAgent(conn net.Conn, hello Hello) (*Agent, error) {
+	if hello.APID == "" {
+		conn.Close()
+		return nil, fmt.Errorf("ctlnet: agent requires an AP id")
+	}
+	a := &Agent{
+		apID:    hello.APID,
+		conn:    conn,
+		r:       bufio.NewReaderSize(conn, 64<<10),
+		updates: make(chan spectrum.Channel, 8),
+		done:    make(chan struct{}),
+	}
+	if err := writeMsg(conn, &Envelope{Type: TypeHello, Hello: &hello}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go a.readLoop()
+	return a, nil
+}
+
+func (a *Agent) readLoop() {
+	defer close(a.done)
+	for {
+		env, err := readMsg(a.r)
+		if err != nil {
+			a.mu.Lock()
+			a.readErr = err
+			a.mu.Unlock()
+			return
+		}
+		switch env.Type {
+		case TypeAssign:
+			ch, err := channelFromAssign(env.Assign)
+			if err != nil {
+				a.mu.Lock()
+				a.readErr = err
+				a.mu.Unlock()
+				return
+			}
+			a.mu.Lock()
+			a.current = ch
+			a.mu.Unlock()
+			select {
+			case a.updates <- ch:
+			default: // a slow consumer only sees the freshest update
+				select {
+				case <-a.updates:
+				default:
+				}
+				a.updates <- ch
+			}
+		case TypeError:
+			a.mu.Lock()
+			a.readErr = fmt.Errorf("ctlnet: controller rejected: %s", env.Error.Reason)
+			a.mu.Unlock()
+			return
+		default:
+			// Agents ignore other message types.
+		}
+	}
+}
+
+func channelFromAssign(as *Assign) (spectrum.Channel, error) {
+	switch as.WidthMHz {
+	case 20:
+		return spectrum.NewChannel20(spectrum.ChannelID(as.Primary)), nil
+	case 40:
+		if as.Secondary == 0 || as.Secondary == as.Primary {
+			return spectrum.Channel{}, fmt.Errorf("ctlnet: malformed 40 MHz assignment")
+		}
+		return spectrum.NewChannel40(spectrum.ChannelID(as.Primary), spectrum.ChannelID(as.Secondary)), nil
+	default:
+		return spectrum.Channel{}, fmt.Errorf("ctlnet: bad width %d", as.WidthMHz)
+	}
+}
+
+// SendReport streams one measurement report. The APID field is filled in.
+func (a *Agent) SendReport(rep Report) error {
+	rep.APID = a.apID
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	return writeMsg(a.conn, &Envelope{Type: TypeReport, Report: &rep})
+}
+
+// Updates returns the channel on which new assignments arrive. Only the
+// freshest assignment is retained for slow consumers.
+func (a *Agent) Updates() <-chan spectrum.Channel { return a.updates }
+
+// Current returns the last assigned channel (zero before the first
+// assignment).
+func (a *Agent) Current() spectrum.Channel {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.current
+}
+
+// Err returns the terminal read error, if the session ended.
+func (a *Agent) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.readErr
+}
+
+// Close tears the connection down and waits for the reader.
+func (a *Agent) Close() error {
+	err := a.conn.Close()
+	<-a.done
+	return err
+}

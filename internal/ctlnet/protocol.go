@@ -1,0 +1,126 @@
+// Package ctlnet is ACORN's control plane over the wire: access points run
+// an Agent that reports link measurements to a central Controller over TCP
+// (the role the paper's Click deployment and IAPP coordination play), and
+// the Controller runs Algorithm 2 over the reported view and pushes channel
+// assignments back.
+//
+// The protocol is newline-delimited JSON, one message per line, with a
+// type tag. It is deliberately simple — the interesting logic lives in the
+// algorithms; the wire layer's job is to be robust: bounded line lengths,
+// strict decoding, clean shutdown, and no trust in peer input.
+package ctlnet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxLineBytes bounds a single protocol message.
+const MaxLineBytes = 1 << 20
+
+// Message types.
+const (
+	TypeHello  = "hello"
+	TypeReport = "report"
+	TypeAssign = "assign"
+	TypeError  = "error"
+)
+
+// Envelope is the outer frame of every message.
+type Envelope struct {
+	Type string `json:"type"`
+	// Exactly one of the following is set, matching Type.
+	Hello  *Hello  `json:"hello,omitempty"`
+	Report *Report `json:"report,omitempty"`
+	Assign *Assign `json:"assign,omitempty"`
+	Error  *Error  `json:"error,omitempty"`
+}
+
+// Hello announces an AP to the controller.
+type Hello struct {
+	APID string `json:"apID"`
+	// TxPowerDBm is the AP's transmit power.
+	TxPowerDBm float64 `json:"txPowerDBm"`
+}
+
+// ClientObs is one measured client link.
+type ClientObs struct {
+	ClientID string `json:"clientID"`
+	// SNR20dB is the measured 20 MHz-reference per-subcarrier SNR.
+	SNR20dB float64 `json:"snr20dB"`
+}
+
+// Report carries an AP's current measurements.
+type Report struct {
+	APID string `json:"apID"`
+	// Clients are the AP's associated clients and their link qualities.
+	Clients []ClientObs `json:"clients"`
+	// Hears lists the AP IDs this AP senses above the carrier-sense
+	// threshold (the contention edges of the interference graph).
+	Hears []string `json:"hears"`
+}
+
+// Assign is the controller's channel decision for one AP.
+type Assign struct {
+	APID string `json:"apID"`
+	// WidthMHz is 20 or 40.
+	WidthMHz int `json:"widthMHz"`
+	// Primary and Secondary are the 20 MHz component channel numbers
+	// (Secondary 0 for a 20 MHz assignment).
+	Primary   int `json:"primary"`
+	Secondary int `json:"secondary"`
+}
+
+// Error reports a protocol failure to the peer before disconnecting.
+type Error struct {
+	Reason string `json:"reason"`
+}
+
+// writeMsg encodes one envelope as a JSON line.
+func writeMsg(w io.Writer, env *Envelope) error {
+	data, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("ctlnet: encode: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// readMsg decodes the next JSON line, enforcing the size bound.
+func readMsg(r *bufio.Reader) (*Envelope, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) > MaxLineBytes {
+		return nil, fmt.Errorf("ctlnet: message exceeds %d bytes", MaxLineBytes)
+	}
+	var env Envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return nil, fmt.Errorf("ctlnet: decode: %w", err)
+	}
+	switch env.Type {
+	case TypeHello:
+		if env.Hello == nil {
+			return nil, fmt.Errorf("ctlnet: hello without body")
+		}
+	case TypeReport:
+		if env.Report == nil {
+			return nil, fmt.Errorf("ctlnet: report without body")
+		}
+	case TypeAssign:
+		if env.Assign == nil {
+			return nil, fmt.Errorf("ctlnet: assign without body")
+		}
+	case TypeError:
+		if env.Error == nil {
+			return nil, fmt.Errorf("ctlnet: error without body")
+		}
+	default:
+		return nil, fmt.Errorf("ctlnet: unknown message type %q", env.Type)
+	}
+	return &env, nil
+}

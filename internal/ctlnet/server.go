@@ -1,0 +1,322 @@
+package ctlnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+
+	"acorn/internal/core"
+	"acorn/internal/rf"
+	"acorn/internal/spectrum"
+	"acorn/internal/stats"
+	"acorn/internal/units"
+	"acorn/internal/wlan"
+)
+
+// Server is the central ACORN controller. It accepts agent connections,
+// maintains the latest report per AP, and on Reallocate rebuilds a
+// measurement-driven network view, runs Algorithm 2, and pushes the new
+// assignments to every connected agent.
+type Server struct {
+	// Seed drives the allocation's random initial coloring.
+	Seed int64
+	// Logf, when non-nil, receives diagnostic lines.
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	agents  map[string]*agentConn // by AP ID
+	reports map[string]Report
+	hellos  map[string]Hello
+	assign  map[string]spectrum.Channel
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+type agentConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+// NewServer returns an idle controller.
+func NewServer(seed int64) *Server {
+	return &Server{
+		Seed:    seed,
+		agents:  map[string]*agentConn{},
+		reports: map[string]Report{},
+		hellos:  map[string]Hello{},
+		assign:  map[string]spectrum.Channel{},
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on l until the listener is closed. It returns
+// the listener's terminal error (net.ErrClosed after Close).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close shuts the listener and every agent connection, then waits for the
+// handler goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	conns := make([]*agentConn, 0, len(s.agents))
+	for _, a := range s.agents {
+		conns = append(conns, a)
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	for _, a := range conns {
+		a.conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handle runs one agent session: hello, then a stream of reports.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	env, err := readMsg(r)
+	if err != nil || env.Type != TypeHello {
+		s.reject(conn, "expected hello")
+		return
+	}
+	hello := *env.Hello
+	if hello.APID == "" {
+		s.reject(conn, "empty AP id")
+		return
+	}
+	ac := &agentConn{conn: conn}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if _, dup := s.agents[hello.APID]; dup {
+		s.mu.Unlock()
+		s.reject(conn, "duplicate AP id")
+		return
+	}
+	s.agents[hello.APID] = ac
+	s.hellos[hello.APID] = hello
+	s.mu.Unlock()
+	s.logf("agent %s connected from %v", hello.APID, conn.RemoteAddr())
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.agents, hello.APID)
+		delete(s.reports, hello.APID)
+		delete(s.hellos, hello.APID)
+		s.mu.Unlock()
+		s.logf("agent %s disconnected", hello.APID)
+	}()
+
+	// If an assignment already exists (reconnect), replay it.
+	s.mu.Lock()
+	if ch, ok := s.assign[hello.APID]; ok {
+		s.mu.Unlock()
+		s.push(ac, hello.APID, ch)
+	} else {
+		s.mu.Unlock()
+	}
+
+	for {
+		env, err := readMsg(r)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				s.logf("agent %s: %v", hello.APID, err)
+			}
+			return
+		}
+		if env.Type != TypeReport || env.Report.APID != hello.APID {
+			s.reject(conn, "unexpected message")
+			return
+		}
+		s.mu.Lock()
+		s.reports[hello.APID] = *env.Report
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) reject(conn net.Conn, reason string) {
+	_ = writeMsg(conn, &Envelope{Type: TypeError, Error: &Error{Reason: reason}})
+}
+
+// push sends an assignment to one agent.
+func (s *Server) push(ac *agentConn, apID string, ch spectrum.Channel) {
+	msg := &Envelope{Type: TypeAssign, Assign: &Assign{
+		APID:      apID,
+		WidthMHz:  int(ch.Width),
+		Primary:   int(ch.Primary),
+		Secondary: int(ch.Secondary),
+	}}
+	ac.wmu.Lock()
+	defer ac.wmu.Unlock()
+	if err := writeMsg(ac.conn, msg); err != nil {
+		s.logf("push to %s: %v", apID, err)
+	}
+}
+
+// Reallocate rebuilds the network view from the latest reports, runs
+// Algorithm 2, stores and pushes the assignments, and returns them keyed by
+// AP ID. APs that have said hello but not yet reported are treated as
+// clientless.
+func (s *Server) Reallocate() (map[string]spectrum.Channel, error) {
+	s.mu.Lock()
+	hellos := make(map[string]Hello, len(s.hellos))
+	for k, v := range s.hellos {
+		hellos[k] = v
+	}
+	reports := make(map[string]Report, len(s.reports))
+	for k, v := range s.reports {
+		reports[k] = v
+	}
+	s.mu.Unlock()
+	if len(hellos) == 0 {
+		return nil, fmt.Errorf("ctlnet: no agents connected")
+	}
+
+	n, cfg := buildView(hellos, reports)
+	// Seed the search from a random coloring, or from the previous
+	// assignment when one exists (incremental reallocation).
+	rng := stats.NewRand(s.Seed)
+	core.RandomInitial(n, cfg, rng.Intn)
+	s.mu.Lock()
+	for apID, ch := range s.assign {
+		if n.AP(apID) != nil && n.Band.Contains(ch) {
+			cfg.Channels[apID] = ch
+		}
+	}
+	s.mu.Unlock()
+	est := core.NewEstimator(n)
+	alloc, _ := core.AllocateChannels(n, cfg, est, core.AllocOptions{})
+
+	out := make(map[string]spectrum.Channel, len(alloc.Channels))
+	s.mu.Lock()
+	for apID, ch := range alloc.Channels {
+		s.assign[apID] = ch
+		out[apID] = ch
+	}
+	conns := make(map[string]*agentConn, len(s.agents))
+	for id, ac := range s.agents {
+		conns[id] = ac
+	}
+	s.mu.Unlock()
+	for apID, ac := range conns {
+		if ch, ok := out[apID]; ok {
+			s.push(ac, apID, ch)
+		}
+	}
+	return out, nil
+}
+
+// buildView converts reports into a wlan.Network whose link SNRs reproduce
+// the measurements: each AP sits at its own far-apart anchor, each reported
+// client is placed near its AP with an obstruction loss calibrated to the
+// reported SNR, and the contention relation is the reported hear-graph
+// (symmetrized).
+func buildView(hellos map[string]Hello, reports map[string]Report) (*wlan.Network, *wlan.Config) {
+	ids := make([]string, 0, len(hellos))
+	for id := range hellos {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	var aps []*wlan.AP
+	anchor := map[string]rf.Point{}
+	for i, id := range ids {
+		p := rf.Point{X: float64(i) * 10000, Y: 0}
+		anchor[id] = p
+		aps = append(aps, &wlan.AP{ID: id, Pos: p, TxPower: units.DBm(hellos[id].TxPowerDBm)})
+	}
+	var clients []*wlan.Client
+	cfg := wlan.NewConfig()
+	for _, id := range ids {
+		rep, ok := reports[id]
+		if !ok {
+			continue
+		}
+		for _, obs := range rep.Clients {
+			c := &wlan.Client{
+				ID:  rep.APID + "/" + obs.ClientID,
+				Pos: rf.Point{X: anchor[id].X + 5, Y: 3},
+			}
+			clients = append(clients, c)
+			cfg.Assoc[c.ID] = id
+		}
+	}
+	n := wlan.NewNetwork(aps, clients)
+	n.JitterDB = 0 // the view carries measurements, not physics
+	// Calibrate each client's wall so its home-AP SNR matches the report.
+	for _, id := range ids {
+		rep, ok := reports[id]
+		if !ok {
+			continue
+		}
+		ap := n.AP(id)
+		for _, obs := range rep.Clients {
+			c := n.Client(id + "/" + obs.ClientID)
+			base := float64(n.ClientSNR20(ap, c))
+			wall := base - obs.SNR20dB
+			if wall > 0 {
+				c.ExtraLoss = map[string]units.DB{id: units.DB(wall)}
+			}
+		}
+	}
+	// Contention from the reported hear-graph, symmetrized.
+	hears := map[string]map[string]bool{}
+	for _, id := range ids {
+		hears[id] = map[string]bool{}
+	}
+	for _, id := range ids {
+		if rep, ok := reports[id]; ok {
+			for _, other := range rep.Hears {
+				if _, known := hears[other]; known {
+					hears[id][other] = true
+					hears[other][id] = true
+				}
+			}
+		}
+	}
+	n.ContendOverride = func(a, b string) bool { return hears[a][b] }
+	return n, cfg
+}
+
+// ListenAndServe is a convenience for cmd binaries.
+func ListenAndServe(addr string, s *Server) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("acorn controller listening on %v", l.Addr())
+	return s.Serve(l)
+}

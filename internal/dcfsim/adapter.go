@@ -1,0 +1,59 @@
+package dcfsim
+
+import (
+	"acorn/internal/mac"
+	"acorn/internal/ratecontrol"
+	"acorn/internal/wlan"
+)
+
+// FromConfig builds a simulator for a configured WLAN: one station per AP
+// holding clients, one flow per association, rate control run per link
+// exactly as the analytic evaluator does, and the conflict relation taken
+// from channel conflicts plus carrier-sense contention.
+func FromConfig(n *wlan.Network, cfg *wlan.Config, seed int64) *Sim {
+	var stations []*Station
+	var aps []*wlan.AP
+	for _, ap := range n.APs {
+		clientIDs := cfg.ClientsOf(ap.ID)
+		if len(clientIDs) == 0 {
+			continue
+		}
+		ch := cfg.Channels[ap.ID]
+		st := &Station{ID: ap.ID}
+		for _, id := range clientIDs {
+			cl := n.Client(id)
+			sel := ratecontrol.Best(n.ClientSNR(ap, cl, ch), ch.Width, n.PacketBytes)
+			st.Flows = append(st.Flows, flowFromSelection(id, sel, n.PacketBytes))
+		}
+		stations = append(stations, st)
+		aps = append(aps, ap)
+	}
+	conflicts := func(i, j int) bool {
+		if i == j {
+			return false
+		}
+		chI := cfg.Channels[aps[i].ID]
+		chJ := cfg.Channels[aps[j].ID]
+		return chI.Conflicts(chJ) && n.Contend(aps[i], aps[j], cfg)
+	}
+	return New(stations, conflicts, seed)
+}
+
+// flowFromSelection converts a rate-control outcome into burst parameters
+// consistent with mac.FrameAirtime's aggregation model: the fixed overhead
+// is paid once per burst of AggregationFactor subframes, and the backoff
+// component is excluded here because the simulator plays backoff out in
+// slots.
+func flowFromSelection(clientID string, sel ratecontrol.Selection, packetBytes int) Flow {
+	bits := float64((packetBytes + mac.MACHeaderBytes) * 8)
+	overheadNoBackoff := mac.FrameOverhead() - float64(mac.CWMin)/2*mac.SlotTime
+	rate := sel.RateMbps * 1e6
+	burst := overheadNoBackoff + float64(mac.AggregationFactor)*bits/rate
+	return Flow{
+		ClientID:     clientID,
+		BurstAirtime: burst,
+		SubFrames:    mac.AggregationFactor,
+		SubFrameBits: float64(packetBytes * 8),
+		PER:          sel.PER,
+	}
+}

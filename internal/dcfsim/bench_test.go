@@ -1,0 +1,14 @@
+package dcfsim
+
+import "testing"
+
+func BenchmarkSimThreeCells(b *testing.B) {
+	mk := func(id string) *Station {
+		return &Station{ID: id, Flows: []Flow{mkFlow("c1", 135, 0.05), mkFlow("c2", 26, 0.2)}}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := New([]*Station{mk("A"), mk("B"), mk("C")}, func(x, y int) bool { return x != y }, int64(i))
+		sim.Run(5)
+	}
+}

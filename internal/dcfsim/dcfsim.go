@@ -1,0 +1,268 @@
+// Package dcfsim is a discrete-event simulator of 802.11 DCF downlink
+// contention. It exists to validate the closed-form airtime model in
+// internal/mac (and therefore every throughput number the allocation
+// algorithms optimize): instead of computing expected airtimes, it plays
+// out slotted CSMA/CA — random backoff, collisions, binary exponential
+// backoff, per-subframe loss — and counts what each client actually
+// receives.
+//
+// Transmissions are A-MPDU bursts, matching the aggregation assumption of
+// mac.FrameAirtime: a station that wins the medium sends one burst of
+// subframes to the current client (round-robin across clients — the
+// equal-opportunity behaviour behind the performance anomaly), each
+// subframe failing independently with the flow's PER; failed subframes are
+// selectively retransmitted as part of later bursts (BlockAck semantics),
+// so in the saturated steady state a flow delivers (1 − PER) of its burst
+// payload per medium access.
+//
+// The integration tests assert that the empirical per-client throughputs
+// reproduce the performance anomaly (equal shares within a cell), that
+// co-channel cells split airtime, and that the analytic mac.Cell model
+// agrees with the simulation within a few percent.
+package dcfsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"acorn/internal/mac"
+)
+
+// Flow is one downlink stream: an AP transmitting to one client.
+type Flow struct {
+	ClientID string
+	// BurstAirtime is the medium time of one burst transmission
+	// excluding the random backoff (which the simulator plays out in
+	// slots): DIFS + preamble + aggregated payload + SIFS + ACK.
+	BurstAirtime float64
+	// SubFrames is the number of aggregated subframes per burst.
+	SubFrames int
+	// SubFrameBits is the payload of one subframe.
+	SubFrameBits float64
+	// PER is the independent per-subframe loss probability.
+	PER float64
+}
+
+// Station is one AP with saturated downlink traffic, serving its flows
+// round-robin.
+type Station struct {
+	ID    string
+	Flows []Flow
+
+	next    int
+	backoff int
+	cw      int
+}
+
+// Result accumulates per-flow outcomes.
+type Result struct {
+	// DeliveredBits maps "station/client" to payload bits delivered.
+	DeliveredBits map[string]float64
+	// Bursts and Collisions count medium events.
+	Bursts, Collisions int
+	// SimulatedSeconds is the simulated time span.
+	SimulatedSeconds float64
+}
+
+// ThroughputMbps returns the empirical throughput of one flow in Mbit/s.
+func (r Result) ThroughputMbps(stationID, clientID string) float64 {
+	if r.SimulatedSeconds <= 0 {
+		return 0
+	}
+	return r.DeliveredBits[key(stationID, clientID)] / r.SimulatedSeconds / 1e6
+}
+
+// StationThroughputMbps sums a station's flows.
+func (r Result) StationThroughputMbps(stationID string) float64 {
+	var bits float64
+	prefix := stationID + "/"
+	for k, b := range r.DeliveredBits {
+		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
+			bits += b
+		}
+	}
+	if r.SimulatedSeconds <= 0 {
+		return 0
+	}
+	return bits / r.SimulatedSeconds / 1e6
+}
+
+func key(station, client string) string { return station + "/" + client }
+
+// Sim is a set of stations plus the conflict relation telling which pairs
+// share the medium. Stations in disjoint conflict components run
+// concurrently.
+type Sim struct {
+	Stations []*Station
+	// Conflicts reports whether stations i and j contend. It must be
+	// symmetric and irreflexive.
+	Conflicts func(i, j int) bool
+
+	rng *rand.Rand
+}
+
+// New builds a simulator with the given seed.
+func New(stations []*Station, conflicts func(i, j int) bool, seed int64) *Sim {
+	return &Sim{Stations: stations, Conflicts: conflicts, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Validate sanity-checks the simulator inputs.
+func (s *Sim) Validate() error {
+	seen := map[string]bool{}
+	for _, st := range s.Stations {
+		if st.ID == "" {
+			return fmt.Errorf("dcfsim: station with empty ID")
+		}
+		if seen[st.ID] {
+			return fmt.Errorf("dcfsim: duplicate station %q", st.ID)
+		}
+		seen[st.ID] = true
+		for _, f := range st.Flows {
+			if f.BurstAirtime <= 0 {
+				return fmt.Errorf("dcfsim: %s/%s: non-positive airtime", st.ID, f.ClientID)
+			}
+			if f.PER < 0 || f.PER > 1 {
+				return fmt.Errorf("dcfsim: %s/%s: PER %v out of range", st.ID, f.ClientID, f.PER)
+			}
+			if f.SubFrames <= 0 || f.SubFrameBits <= 0 {
+				return fmt.Errorf("dcfsim: %s/%s: malformed burst", st.ID, f.ClientID)
+			}
+		}
+	}
+	return nil
+}
+
+// Run simulates the given span of medium time per conflict component and
+// returns the outcome.
+func (s *Sim) Run(duration float64) Result {
+	res := Result{DeliveredBits: make(map[string]float64)}
+	if len(s.Stations) == 0 {
+		return res
+	}
+	for _, st := range s.Stations {
+		st.cw = mac.CWMin
+		st.backoff = s.rng.Intn(st.cw + 1)
+		st.next = 0
+	}
+	for _, group := range s.conflictComponents() {
+		s.runGroup(group, duration, &res)
+	}
+	res.SimulatedSeconds = duration
+	return res
+}
+
+// runGroup plays contention rounds within one conflict component until the
+// component's medium clock reaches duration.
+func (s *Sim) runGroup(group []int, duration float64, res *Result) {
+	var active []*Station
+	for _, idx := range group {
+		if len(s.Stations[idx].Flows) > 0 {
+			active = append(active, s.Stations[idx])
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+	var t float64
+	for t < duration {
+		// Smallest backoff wins; others freeze their counters.
+		minB := active[0].backoff
+		for _, st := range active[1:] {
+			if st.backoff < minB {
+				minB = st.backoff
+			}
+		}
+		var winners []*Station
+		for _, st := range active {
+			if st.backoff == minB {
+				winners = append(winners, st)
+			} else {
+				st.backoff -= minB
+			}
+		}
+		t += float64(minB) * mac.SlotTime
+
+		if len(winners) > 1 {
+			// Collision: the medium is busy for the longest burst;
+			// colliders double their windows.
+			var longest float64
+			for _, st := range winners {
+				if bt := st.Flows[st.next].BurstAirtime; bt > longest {
+					longest = bt
+				}
+				st.collisionBackoff(s.rng)
+			}
+			res.Collisions += len(winners)
+			t += longest
+			continue
+		}
+
+		st := winners[0]
+		f := &st.Flows[st.next]
+		res.Bursts++
+		delivered := 0
+		for i := 0; i < f.SubFrames; i++ {
+			if s.rng.Float64() >= f.PER {
+				delivered++
+			}
+		}
+		res.DeliveredBits[key(st.ID, f.ClientID)] += float64(delivered) * f.SubFrameBits
+		t += f.BurstAirtime
+		st.burstDone(s.rng)
+	}
+}
+
+// conflictComponents partitions stations into connected components of the
+// conflict graph.
+func (s *Sim) conflictComponents() [][]int {
+	n := len(s.Stations)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if s.Conflicts != nil && s.Conflicts(i, j) {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	byRoot := map[int][]int{}
+	for i := 0; i < n; i++ {
+		byRoot[find(i)] = append(byRoot[find(i)], i)
+	}
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	groups := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		groups = append(groups, byRoot[r])
+	}
+	return groups
+}
+
+// burstDone moves to the next flow round-robin and resets contention state.
+func (st *Station) burstDone(rng *rand.Rand) {
+	st.next = (st.next + 1) % len(st.Flows)
+	st.cw = mac.CWMin
+	st.backoff = rng.Intn(st.cw + 1)
+}
+
+// collisionBackoff doubles the contention window (capped) and redraws.
+func (st *Station) collisionBackoff(rng *rand.Rand) {
+	if st.cw < 1023 {
+		st.cw = st.cw*2 + 1
+	}
+	st.backoff = rng.Intn(st.cw + 1)
+}

@@ -1,0 +1,48 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSignal(n int) []complex128 {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func BenchmarkFFT64(b *testing.B) {
+	x := benchSignal(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFT128(b *testing.B) {
+	x := benchSignal(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkWelchPSD(b *testing.B) {
+	x := benchSignal(1 << 13)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WelchPSD(x, 256, 20e6)
+	}
+}
+
+func BenchmarkDetectPreamble(b *testing.B) {
+	pre := BarkerPreamble(4, 1)
+	rx := append(append([]complex128{0.01, 0.02}, pre...), benchSignal(512)...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DetectPreamble(rx, 4, 1, 0.5)
+	}
+}

@@ -1,0 +1,114 @@
+// Package dsp implements the signal-processing primitives the baseband
+// simulator is built from: a radix-2 FFT/IFFT, window functions, a Welch
+// power-spectral-density estimator, and the Barker preamble sequence the
+// WARP reference design uses for symbol detection.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT computes the in-place decimation-in-time radix-2 fast Fourier
+// transform of x. len(x) must be a power of two; FFT panics otherwise since
+// a wrong transform size is a programming error in this codebase (OFDM FFT
+// sizes are the compile-time constants 64 and 128).
+//
+// The transform is unnormalized: FFT followed by IFFT returns the original
+// sequence (IFFT applies the 1/N factor).
+func FFT(x []complex128) {
+	fft(x, false)
+}
+
+// IFFT computes the inverse FFT of x in place, including the 1/N
+// normalization, so IFFT(FFT(x)) == x up to rounding.
+func IFFT(x []complex128) {
+	fft(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func fft(x []complex128, inverse bool) {
+	n := len(x)
+	if !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("dsp: FFT size %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Danielson-Lanczos butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Rect(1, ang)
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// Convolve returns the full linear convolution of a and b (length
+// len(a)+len(b)-1), computed directly. It is used for matched filtering
+// against short preamble sequences where an FFT-based convolution would not
+// pay off.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]float64, len(a)+len(b)-1)
+	for i, av := range a {
+		for j, bv := range b {
+			out[i+j] += av * bv
+		}
+	}
+	return out
+}
+
+// Energy returns the total energy (sum of squared magnitudes) of x.
+func Energy(x []complex128) float64 {
+	var e float64
+	for _, v := range x {
+		e += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return e
+}
+
+// MeanPower returns the average power (energy per sample) of x.
+func MeanPower(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Energy(x) / float64(len(x))
+}
+
+// Scale multiplies every sample of x by the real gain g, in place.
+func Scale(x []complex128, g float64) {
+	c := complex(g, 0)
+	for i := range x {
+		x[i] *= c
+	}
+}

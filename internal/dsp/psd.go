@@ -1,0 +1,104 @@
+package dsp
+
+import "math"
+
+// HannWindow returns the length-n Hann window, the standard taper for Welch
+// PSD estimation.
+func HannWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// WelchPSD estimates the power spectral density of the complex baseband
+// signal x using Welch's method of averaged modified periodograms: the
+// signal is split into segments of the given length with 50% overlap, each
+// segment is Hann-windowed and transformed, and the squared magnitudes are
+// averaged and normalized by the window energy and the sample rate.
+//
+// The result has segLen bins covering [0, sampleRate) in FFT order (bin k is
+// frequency k*sampleRate/segLen; the upper half aliases to negative
+// frequencies). Values are linear power per Hz. segLen must be a power of
+// two and len(x) >= segLen.
+//
+// Figure 1 of the paper shows exactly this estimate for the 20 and 40 MHz
+// OFDM waveforms; the headline observation — a ≈3 dB drop in per-subcarrier
+// energy when bonding doubles the number of subcarriers at fixed total
+// power — falls directly out of comparing the two estimates.
+func WelchPSD(x []complex128, segLen int, sampleRate float64) []float64 {
+	if !IsPowerOfTwo(segLen) {
+		panic("dsp: WelchPSD segment length must be a power of two")
+	}
+	if len(x) < segLen {
+		panic("dsp: WelchPSD input shorter than one segment")
+	}
+	window := HannWindow(segLen)
+	var windowEnergy float64
+	for _, w := range window {
+		windowEnergy += w * w
+	}
+	hop := segLen / 2
+	psd := make([]float64, segLen)
+	seg := make([]complex128, segLen)
+	segments := 0
+	for start := 0; start+segLen <= len(x); start += hop {
+		for i := 0; i < segLen; i++ {
+			seg[i] = x[start+i] * complex(window[i], 0)
+		}
+		FFT(seg)
+		for i, v := range seg {
+			psd[i] += real(v)*real(v) + imag(v)*imag(v)
+		}
+		segments++
+	}
+	norm := 1 / (float64(segments) * windowEnergy * sampleRate)
+	for i := range psd {
+		psd[i] *= norm
+	}
+	return psd
+}
+
+// PSDPeakDB returns the peak PSD value in dB (10·log10). It is the summary
+// statistic the Fig 1 reproduction compares across channel widths: the paper
+// reads −92 dB for 20 MHz and −95 dB for 40 MHz off its analyzer, a 3 dB gap
+// whose absolute level depends on the analyzer reference; only the gap is
+// meaningful here.
+func PSDPeakDB(psd []float64) float64 {
+	peak := 0.0
+	for _, p := range psd {
+		if p > peak {
+			peak = p
+		}
+	}
+	if peak <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(peak)
+}
+
+// OccupiedBins returns the indices of PSD bins whose power exceeds the given
+// fraction of the peak, i.e. the occupied bandwidth of the waveform. The Fig
+// 1 reproduction uses it to verify that the 40 MHz waveform occupies about
+// twice the bins of the 20 MHz one.
+func OccupiedBins(psd []float64, fractionOfPeak float64) []int {
+	peak := 0.0
+	for _, p := range psd {
+		if p > peak {
+			peak = p
+		}
+	}
+	threshold := peak * fractionOfPeak
+	var bins []int
+	for i, p := range psd {
+		if p >= threshold {
+			bins = append(bins, i)
+		}
+	}
+	return bins
+}

@@ -1,0 +1,258 @@
+// Package dynamic simulates ACORN operating over time in a live WLAN:
+// clients arrive as a Poisson process, stay for CRAWDAD-calibrated
+// lognormal durations (internal/assoctrace), and depart; the controller
+// admits each arrival with Algorithm 1 and re-runs channel allocation
+// (Algorithm 2) every period T, paying a switching outage on every AP that
+// changes channel.
+//
+// Section 4.2 of the paper picks T = 30 minutes from the association-
+// duration CDF but does not evaluate the trade-off; this package makes the
+// trade-off measurable: reallocating too often burns switching outages
+// inside typical associations, too rarely leaves the allocation stale as
+// the client population turns over. PeriodSweep quantifies both sides.
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"acorn/internal/assoctrace"
+	"acorn/internal/core"
+	"acorn/internal/rf"
+	"acorn/internal/stats"
+	"acorn/internal/units"
+	"acorn/internal/wlan"
+)
+
+// Scenario configures a churn simulation.
+type Scenario struct {
+	// Seed drives arrivals, placements and link qualities.
+	Seed int64
+	// Duration is the simulated span.
+	Duration time.Duration
+	// ArrivalsPerHour is the Poisson client arrival intensity.
+	ArrivalsPerHour float64
+	// Period is the reallocation period T.
+	Period time.Duration
+	// SwitchOutage is the per-AP service interruption caused by a
+	// channel switch (CSA, queue drain, client re-sync).
+	SwitchOutage time.Duration
+	// NumAPs places a grid of APs.
+	NumAPs int
+	// PoorFraction of arrivals sit behind heavy obstructions.
+	PoorFraction float64
+	// Reassociate re-runs Algorithm 1 for every present client at each
+	// reallocation tick, letting associations track the new channel
+	// widths (the deployed system interleaves these continuously).
+	Reassociate bool
+}
+
+// DefaultScenario returns a moderate-size office: 6 APs, ~20 concurrent
+// clients, 30-minute reallocation, 5-second switch outage.
+func DefaultScenario(seed int64) Scenario {
+	return Scenario{
+		Seed:            seed,
+		Duration:        8 * time.Hour,
+		ArrivalsPerHour: 40,
+		Period:          30 * time.Minute,
+		SwitchOutage:    5 * time.Second,
+		NumAPs:          6,
+		PoorFraction:    0.35,
+	}
+}
+
+// Result summarizes a run.
+type Result struct {
+	// MeanThroughputMbps is the time-averaged total network throughput,
+	// net of switching outages.
+	MeanThroughputMbps float64
+	// Reallocations and Switches count Algorithm 2 runs and the channel
+	// switches they performed.
+	Reallocations, Switches int
+	// OutageSeconds is the total throughput-weighted time lost to
+	// switches.
+	OutageSeconds float64
+	// PeakClients is the maximum concurrent client count.
+	PeakClients int
+	// Arrivals processed.
+	Arrivals int
+}
+
+type event struct {
+	at   time.Duration
+	kind int // 0 = arrival, 1 = departure, 2 = reallocate
+	id   string
+}
+
+// Run executes the scenario.
+func Run(sc Scenario) Result {
+	rng := stats.NewRand(sc.Seed)
+	gen := assoctrace.DefaultGenerator()
+
+	// Build the AP grid.
+	var aps []*wlan.AP
+	for i := 0; i < sc.NumAPs; i++ {
+		aps = append(aps, &wlan.AP{
+			ID:      fmt.Sprintf("AP%d", i+1),
+			Pos:     rf.Point{X: float64(i%3) * 100, Y: float64(i/3) * 100},
+			TxPower: 18,
+		})
+	}
+	n := wlan.NewNetwork(aps, nil)
+	ctrl, err := core.NewController(n, sc.Seed)
+	if err != nil {
+		panic(err) // scenario construction bug, not a data condition
+	}
+
+	// Pre-generate the event list: arrivals (with departures) and the
+	// reallocation ticks.
+	var events []event
+	clientSeq := 0
+	lambdaPerSec := sc.ArrivalsPerHour / 3600
+	for t := 0.0; ; {
+		t += rng.ExpFloat64() / lambdaPerSec
+		at := time.Duration(t * float64(time.Second))
+		if at > sc.Duration {
+			break
+		}
+		clientSeq++
+		id := fmt.Sprintf("u%04d", clientSeq)
+		stay := gen.SampleDuration(rng)
+		events = append(events, event{at: at, kind: 0, id: id})
+		if dep := at + stay; dep < sc.Duration {
+			events = append(events, event{at: dep, kind: 1, id: id})
+		}
+	}
+	if sc.Period > 0 {
+		for at := sc.Period; at < sc.Duration; at += sc.Period {
+			events = append(events, event{at: at, kind: 2})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
+
+	// Walk the timeline: between events throughput is constant.
+	var res Result
+	var integral float64 // Mbit
+	prev := time.Duration(0)
+	current := 0.0 // current total throughput
+	clientsByID := map[string]*wlan.Client{}
+
+	recompute := func() {
+		current = n.Evaluate(ctrl.ConfigView()).TotalUDP
+	}
+	recompute()
+
+	for _, ev := range events {
+		integral += current * (ev.at - prev).Seconds()
+		prev = ev.at
+		switch ev.kind {
+		case 0: // arrival
+			res.Arrivals++
+			c := spawnClient(rng, aps, ev.id, sc.PoorFraction, n)
+			clientsByID[ev.id] = c
+			n.Clients = append(n.Clients, c)
+			ctrl.Admit(c)
+			if len(clientsByID) > res.PeakClients {
+				res.PeakClients = len(clientsByID)
+			}
+		case 1: // departure
+			if c := clientsByID[ev.id]; c != nil {
+				delete(clientsByID, ev.id)
+				ctrl.Evict(ev.id)
+				removeClient(n, ev.id)
+			}
+		case 2: // periodic reallocation
+			before := ctrl.ConfigView().Channels
+			if sc.Reassociate {
+				// Refresh associations first so the allocation fits
+				// the current population (the order AutoConfigure
+				// uses); reallocating against stale groupings and
+				// then moving clients would leave the channel plan
+				// mismatched until the next tick.
+				ids := make([]string, 0, len(clientsByID))
+				for id := range clientsByID {
+					ids = append(ids, id)
+				}
+				sort.Strings(ids)
+				for _, id := range ids {
+					ctrl.Roam(clientsByID[id], 0.05)
+				}
+			}
+			st := ctrl.Reallocate()
+			res.Reallocations++
+			_ = st
+			after := ctrl.ConfigView().Channels
+			// Charge the switching outage: each switched AP loses its
+			// cell throughput for SwitchOutage seconds.
+			rep := n.Evaluate(ctrl.ConfigView())
+			for apID, ch := range after {
+				if before[apID] != ch {
+					res.Switches++
+					if cell := rep.Cell(apID); cell != nil {
+						lost := cell.ThroughputUDP * sc.SwitchOutage.Seconds()
+						integral -= lost
+						res.OutageSeconds += sc.SwitchOutage.Seconds()
+					}
+				}
+			}
+		}
+		recompute()
+	}
+	integral += current * (sc.Duration - prev).Seconds()
+
+	res.MeanThroughputMbps = integral / sc.Duration.Seconds()
+	return res
+}
+
+// spawnClient places a new client near a random AP, possibly behind heavy
+// obstructions.
+func spawnClient(rng interface {
+	Intn(int) int
+	Float64() float64
+}, aps []*wlan.AP, id string, poorFraction float64, n *wlan.Network) *wlan.Client {
+	home := aps[rng.Intn(len(aps))]
+	c := &wlan.Client{
+		ID: id,
+		Pos: rf.Point{
+			X: home.Pos.X + rng.Float64()*24 - 12,
+			Y: home.Pos.Y + rng.Float64()*24 - 12,
+		},
+	}
+	if rng.Float64() < poorFraction {
+		wall := units.DB(44 + rng.Float64()*10)
+		c.ExtraLoss = make(map[string]units.DB, len(aps))
+		for _, ap := range aps {
+			c.ExtraLoss[ap.ID] = wall
+		}
+	}
+	return c
+}
+
+func removeClient(n *wlan.Network, id string) {
+	for i, c := range n.Clients {
+		if c.ID == id {
+			n.Clients = append(n.Clients[:i], n.Clients[i+1:]...)
+			return
+		}
+	}
+}
+
+// PeriodSweepPoint is one row of the periodicity study.
+type PeriodSweepPoint struct {
+	Period time.Duration
+	Result Result
+}
+
+// PeriodSweep runs the same churn trace under different reallocation
+// periods (including "never": period 0 disables reallocation after the
+// random initial assignment).
+func PeriodSweep(seed int64, periods []time.Duration) []PeriodSweepPoint {
+	out := make([]PeriodSweepPoint, 0, len(periods))
+	for _, p := range periods {
+		sc := DefaultScenario(seed)
+		sc.Period = p
+		out = append(out, PeriodSweepPoint{Period: p, Result: Run(sc)})
+	}
+	return out
+}

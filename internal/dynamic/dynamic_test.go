@@ -1,0 +1,104 @@
+package dynamic
+
+import (
+	"testing"
+	"time"
+)
+
+func fastScenario(seed int64) Scenario {
+	sc := DefaultScenario(seed)
+	sc.Duration = 2 * time.Hour
+	sc.ArrivalsPerHour = 30
+	return sc
+}
+
+func TestRunBasics(t *testing.T) {
+	res := Run(fastScenario(1))
+	if res.Arrivals == 0 {
+		t.Fatal("no arrivals in a 2-hour window")
+	}
+	if res.MeanThroughputMbps <= 0 {
+		t.Fatal("no throughput")
+	}
+	if res.Reallocations != 3 {
+		t.Errorf("reallocations = %d, want 3 (every 30 min over 2 h)", res.Reallocations)
+	}
+	if res.PeakClients == 0 {
+		t.Error("no concurrent clients recorded")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(fastScenario(5))
+	b := Run(fastScenario(5))
+	if a.MeanThroughputMbps != b.MeanThroughputMbps || a.Switches != b.Switches {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestReallocationBeatsNever(t *testing.T) {
+	// Periodic reallocation must out-earn the frozen random initial
+	// assignment over a churn-heavy day.
+	sc := fastScenario(2)
+	withRealloc := Run(sc)
+	sc.Period = 0
+	frozen := Run(sc)
+	if withRealloc.MeanThroughputMbps <= frozen.MeanThroughputMbps {
+		t.Errorf("periodic reallocation (%v) should beat never (%v)",
+			withRealloc.MeanThroughputMbps, frozen.MeanThroughputMbps)
+	}
+	if frozen.Reallocations != 0 || frozen.Switches != 0 {
+		t.Error("frozen run should not reallocate")
+	}
+}
+
+func TestOutageAccounting(t *testing.T) {
+	sc := fastScenario(3)
+	sc.SwitchOutage = 0
+	free := Run(sc)
+	sc.SwitchOutage = 2 * time.Minute // exaggerated outage
+	costly := Run(sc)
+	if costly.Switches != free.Switches {
+		t.Fatalf("outage must not change the decision sequence: %d vs %d switches",
+			costly.Switches, free.Switches)
+	}
+	if costly.Switches > 0 && costly.MeanThroughputMbps >= free.MeanThroughputMbps {
+		t.Errorf("outage should cost throughput: %v vs %v",
+			costly.MeanThroughputMbps, free.MeanThroughputMbps)
+	}
+	if costly.Switches > 0 && costly.OutageSeconds == 0 {
+		t.Error("outage seconds not accounted")
+	}
+}
+
+func TestPeriodSweepShape(t *testing.T) {
+	points := PeriodSweep(4, []time.Duration{
+		5 * time.Minute, 30 * time.Minute, 2 * time.Hour,
+	})
+	if len(points) != 3 {
+		t.Fatalf("want 3 points, got %d", len(points))
+	}
+	// More frequent reallocation performs more (or equal) switches.
+	if points[0].Result.Reallocations <= points[2].Result.Reallocations {
+		t.Errorf("5-min period should reallocate more often than 2-hour: %d vs %d",
+			points[0].Result.Reallocations, points[2].Result.Reallocations)
+	}
+	for _, p := range points {
+		if p.Result.MeanThroughputMbps <= 0 {
+			t.Errorf("period %v produced no throughput", p.Period)
+		}
+	}
+}
+
+func TestReassociationHelpsOrMatches(t *testing.T) {
+	// Letting associations track reallocated widths must not hurt, and
+	// over a churn-heavy window it typically helps.
+	sc := fastScenario(6)
+	static := Run(sc)
+	sc.Reassociate = true
+	roaming := Run(sc)
+	if roaming.MeanThroughputMbps < 0.95*static.MeanThroughputMbps {
+		t.Errorf("reassociation hurt: %v vs %v",
+			roaming.MeanThroughputMbps, static.MeanThroughputMbps)
+	}
+}

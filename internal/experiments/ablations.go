@@ -1,0 +1,303 @@
+package experiments
+
+// Ablation studies for the design choices DESIGN.md §5 calls out: the
+// ε stopping threshold and random-restart count of Algorithm 2, and the
+// association utility of Algorithm 1 against simpler policies. None of
+// these appear as paper figures; they quantify why the paper's choices are
+// reasonable on the same substrate the figures use.
+
+import (
+	"fmt"
+	"time"
+
+	"acorn/internal/baseline"
+	"acorn/internal/core"
+	"acorn/internal/dynamic"
+	"acorn/internal/rf"
+	"acorn/internal/stats"
+	"acorn/internal/wlan"
+)
+
+// ------------------------------------------------------------ epsilon --
+
+// EpsilonPoint is one row of the ε ablation.
+type EpsilonPoint struct {
+	Epsilon float64
+	// Throughput is the evaluated total after allocation; Switches and
+	// Periods measure the work spent.
+	Throughput float64
+	Switches   int
+	Periods    int
+}
+
+// AblationEpsilon runs Algorithm 2 with different stopping thresholds on
+// the Table 3 enterprise topology. ε = 1.0 runs to the local optimum
+// (every period must strictly improve); larger values stop earlier.
+func AblationEpsilon(seed int64) []EpsilonPoint {
+	n, clients := RandomEnterprise(seed, 6, 14)
+	out := make([]EpsilonPoint, 0, 3)
+	for _, eps := range []float64{1.000001, core.DefaultEpsilon, 1.2} {
+		cfg := wlan.NewConfig()
+		rng := stats.NewRand(seed)
+		core.RandomInitial(n, cfg, rng.Intn)
+		core.AssociateAll(n, cfg, clients)
+		est := core.NewEstimator(n)
+		alloc, st := core.AllocateChannels(n, cfg, est, core.AllocOptions{Epsilon: eps})
+		out = append(out, EpsilonPoint{
+			Epsilon:    eps,
+			Throughput: n.Evaluate(alloc).TotalUDP,
+			Switches:   st.Switches,
+			Periods:    st.Periods,
+		})
+	}
+	return out
+}
+
+// FormatEpsilon renders the ε ablation.
+func FormatEpsilon(points []EpsilonPoint) string {
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.4g", p.Epsilon),
+			fmt.Sprintf("%.1f", p.Throughput),
+			fmt.Sprintf("%d", p.Switches),
+			fmt.Sprintf("%d", p.Periods),
+		})
+	}
+	return FormatTable("Ablation: Algorithm 2 stopping threshold ε",
+		[]string{"ε", "throughput (Mb/s)", "switches", "periods"}, rows)
+}
+
+// -------------------------------------------------------- association --
+
+// AssociationPoint is one row of the association-policy ablation.
+type AssociationPoint struct {
+	Policy   string
+	Topology string
+	UDP      float64
+	TCP      float64
+}
+
+// HotspotTopology builds the scenario where naïve signal-strength
+// association collapses: three mutually reachable APs with the entire
+// client population gathered around AP1 (a lecture hall next to two idle
+// offices). RSS piles everyone onto AP1; a load- or utility-aware policy
+// spreads the crowd. This is the overload case the paper cites [29] when
+// dismissing RSS-based affiliation.
+func HotspotTopology(seed int64) (*wlan.Network, []*wlan.Client) {
+	rng := stats.NewRand(seed)
+	mk := func(id string, x, y float64) *wlan.AP {
+		return &wlan.AP{ID: id, Pos: rf.Point{X: x, Y: y}, TxPower: 18}
+	}
+	aps := []*wlan.AP{mk("AP1", 0, 0), mk("AP2", 55, 0), mk("AP3", 27, 48)}
+	var clients []*wlan.Client
+	for i := 0; i < 9; i++ {
+		clients = append(clients, &wlan.Client{
+			ID:  fmt.Sprintf("h%02d", i+1),
+			Pos: rf.Point{X: rng.Float64()*14 - 7, Y: rng.Float64()*14 - 7},
+		})
+	}
+	return wlan.NewNetwork(aps, clients), clients
+}
+
+// AblationAssociation compares ACORN's Eq. 4 utility against the two
+// legacy association policies, holding the channel allocator fixed
+// (Algorithm 2 runs after association in every arm). Two topologies make
+// the trade-off visible: on a uniform enterprise floor every policy is
+// near-equivalent (clients already sit near their best AP), while on a
+// hotspot RSS overloads one cell and pays the anomaly.
+func AblationAssociation(seed int64) []AssociationPoint {
+	type policy struct {
+		name      string
+		associate func(n *wlan.Network, cfg *wlan.Config, u *wlan.Client) string
+	}
+	policies := []policy{
+		{"ACORN Eq.4", func(n *wlan.Network, cfg *wlan.Config, u *wlan.Client) string {
+			return core.Associate(n, cfg, u).APID
+		}},
+		{"delay-min [17]", baseline.AssociateDelayBased},
+		{"RSS (strongest)", baseline.AssociateRSS},
+	}
+	type topo struct {
+		name  string
+		build func() (*wlan.Network, []*wlan.Client)
+	}
+	topos := []topo{
+		{"uniform", func() (*wlan.Network, []*wlan.Client) { return RandomEnterprise(seed, 6, 14) }},
+		{"hotspot", func() (*wlan.Network, []*wlan.Client) { return HotspotTopology(seed) }},
+	}
+	var out []AssociationPoint
+	for _, tp := range topos {
+		for _, pol := range policies {
+			n, clients := tp.build()
+			cfg := wlan.NewConfig()
+			rng := stats.NewRand(seed)
+			core.RandomInitial(n, cfg, rng.Intn)
+			for _, u := range clients {
+				if ap := pol.associate(n, cfg, u); ap != "" {
+					cfg.Assoc[u.ID] = ap
+				}
+			}
+			est := core.NewEstimator(n)
+			alloc, _ := core.AllocateChannels(n, cfg, est, core.AllocOptions{})
+			rep := n.Evaluate(alloc)
+			out = append(out, AssociationPoint{
+				Policy: pol.name, Topology: tp.name,
+				UDP: rep.TotalUDP, TCP: rep.TotalTCP,
+			})
+		}
+	}
+	return out
+}
+
+// FormatAssociation renders the association ablation.
+func FormatAssociation(points []AssociationPoint) string {
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{p.Topology, p.Policy, fmt.Sprintf("%.1f", p.UDP), fmt.Sprintf("%.1f", p.TCP)})
+	}
+	return FormatTable("Ablation: association policy (channel allocation fixed to Algorithm 2)",
+		[]string{"topology", "policy", "UDP (Mb/s)", "TCP (Mb/s)"}, rows)
+}
+
+// ----------------------------------------------------------- restarts --
+
+// RestartPoint is one row of the random-restart ablation.
+type RestartPoint struct {
+	Restarts   int
+	Throughput float64
+}
+
+// AblationRestarts measures how much restarting Algorithm 2 from multiple
+// random initial colorings buys over the single run the paper uses. Because
+// the gradient search can be trapped in a local optimum, extra restarts can
+// only help — the question is by how much.
+func AblationRestarts(seed int64) []RestartPoint {
+	n, clients := RandomEnterprise(seed, 6, 14)
+	assoc := wlan.NewConfig()
+	rng := stats.NewRand(seed)
+	core.RandomInitial(n, assoc, rng.Intn)
+	core.AssociateAll(n, assoc, clients)
+	est := core.NewEstimator(n)
+
+	runOnce := func(restartSeed int64) float64 {
+		cfg := assoc.Clone()
+		r := stats.NewRand(restartSeed)
+		core.RandomInitial(n, cfg, r.Intn)
+		alloc, _ := core.AllocateChannels(n, cfg, est, core.AllocOptions{})
+		return n.Evaluate(alloc).TotalUDP
+	}
+	var out []RestartPoint
+	best := 0.0
+	done := 0
+	for _, target := range []int{1, 4, 16} {
+		for done < target {
+			if t := runOnce(seed + int64(done)*101); t > best {
+				best = t
+			}
+			done++
+		}
+		out = append(out, RestartPoint{Restarts: target, Throughput: best})
+	}
+	return out
+}
+
+// FormatRestarts renders the restart ablation.
+func FormatRestarts(points []RestartPoint) string {
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{fmt.Sprintf("%d", p.Restarts), fmt.Sprintf("%.1f", p.Throughput)})
+	}
+	return FormatTable("Ablation: random restarts of Algorithm 2 (best-of-N)",
+		[]string{"restarts", "best throughput (Mb/s)"}, rows)
+}
+
+// -------------------------------------------------------- periodicity --
+
+// PeriodicityResult is the reallocation-period study built on the churn
+// simulator.
+type PeriodicityResult struct {
+	Points []dynamic.PeriodSweepPoint
+}
+
+// RunPeriodicity sweeps the reallocation period over a churn trace,
+// quantifying the trade-off Section 4.2 argues qualitatively.
+func RunPeriodicity(seed int64) PeriodicityResult {
+	periods := []time.Duration{
+		0, // never reallocate after the random initial assignment
+		5 * time.Minute,
+		30 * time.Minute, // the paper's choice
+		2 * time.Hour,
+	}
+	return PeriodicityResult{Points: dynamic.PeriodSweep(seed, periods)}
+}
+
+// Format renders the periodicity study.
+func (r PeriodicityResult) Format() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		label := p.Period.String()
+		if p.Period == 0 {
+			label = "never"
+		}
+		rows = append(rows, []string{
+			label,
+			fmt.Sprintf("%.1f", p.Result.MeanThroughputMbps),
+			fmt.Sprintf("%d", p.Result.Switches),
+			fmt.Sprintf("%.0f", p.Result.OutageSeconds),
+		})
+	}
+	return FormatTable("Periodicity: time-averaged throughput vs reallocation period (8 h churn)",
+		[]string{"period T", "mean throughput (Mb/s)", "switches", "outage (s)"}, rows)
+}
+
+// ---------------------------------------------------------------- scan --
+
+// ScanPoint is one row of the scanning-estimator ablation.
+type ScanPoint struct {
+	Estimator  string
+	Throughput float64
+	Probes     int
+}
+
+// AblationScanning compares the default estimator (one reference
+// measurement per link, width-recalibrated) against the scanning variant
+// Section 4.2 sketches (a true measurement per link per channel). The
+// question is whether exhaustive scanning buys enough throughput to justify
+// |channels| × |links| probes; with MIMO-flattened channels (Fig 8) it
+// should not.
+func AblationScanning(seed int64) []ScanPoint {
+	run := func(name string, build func(n *wlan.Network) (core.ThroughputEstimator, int)) ScanPoint {
+		n, clients := RandomEnterprise(seed, 6, 14)
+		cfg := wlan.NewConfig()
+		rng := stats.NewRand(seed)
+		core.RandomInitial(n, cfg, rng.Intn)
+		core.AssociateAll(n, cfg, clients)
+		est, probes := build(n)
+		alloc, _ := core.AllocateChannels(n, cfg, est, core.AllocOptions{})
+		return ScanPoint{
+			Estimator:  name,
+			Throughput: n.Evaluate(alloc).TotalUDP,
+			Probes:     probes,
+		}
+	}
+	return []ScanPoint{
+		run("reference+recalibrate", func(n *wlan.Network) (core.ThroughputEstimator, int) {
+			return core.NewEstimator(n), len(n.APs) * len(n.Clients)
+		}),
+		run("exhaustive scan", func(n *wlan.Network) (core.ThroughputEstimator, int) {
+			e := core.NewScanningEstimator(n)
+			return e, e.Probes
+		}),
+	}
+}
+
+// FormatScanning renders the scan ablation.
+func FormatScanning(points []ScanPoint) string {
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{p.Estimator, fmt.Sprintf("%.1f", p.Throughput), fmt.Sprintf("%d", p.Probes)})
+	}
+	return FormatTable("Ablation: link-quality estimator — reference measurement vs exhaustive scan",
+		[]string{"estimator", "throughput (Mb/s)", "probes"}, rows)
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblationEpsilon(t *testing.T) {
+	points := AblationEpsilon(7)
+	if len(points) != 3 {
+		t.Fatalf("want 3 ε points, got %d", len(points))
+	}
+	// Running to the local optimum (ε→1) can only do at least as well as
+	// stopping early, and never spends fewer periods.
+	tight, def, loose := points[0], points[1], points[2]
+	if tight.Throughput+1 < loose.Throughput {
+		t.Errorf("ε→1 throughput %v below ε=1.2 %v", tight.Throughput, loose.Throughput)
+	}
+	if tight.Periods < loose.Periods {
+		t.Errorf("ε→1 should run at least as many periods: %d vs %d", tight.Periods, loose.Periods)
+	}
+	// The paper's default lands within a few percent of the local optimum.
+	if def.Throughput < 0.9*tight.Throughput {
+		t.Errorf("default ε throughput %v more than 10%% below optimum %v", def.Throughput, tight.Throughput)
+	}
+	if s := FormatEpsilon(points); len(s) < 40 {
+		t.Error("formatter output too short")
+	}
+}
+
+func TestAblationAssociation(t *testing.T) {
+	points := AblationAssociation(7)
+	if len(points) != 6 {
+		t.Fatalf("want 3 policies x 2 topologies, got %d", len(points))
+	}
+	byKey := map[string]AssociationPoint{}
+	for _, p := range points {
+		byKey[p.Topology+"/"+p.Policy] = p
+		if p.UDP <= 0 {
+			t.Errorf("%s/%s produced no throughput", p.Topology, p.Policy)
+		}
+	}
+	// On the hotspot, RSS overloads one cell; both utility-aware
+	// policies must clearly beat it.
+	rssHot := byKey["hotspot/RSS (strongest)"].UDP
+	if acorn := byKey["hotspot/ACORN Eq.4"].UDP; acorn < 1.5*rssHot {
+		t.Errorf("hotspot: ACORN (%v) should beat RSS (%v) by ≥1.5x", acorn, rssHot)
+	}
+	// Against the delay-min baseline, ACORN holds its own on both
+	// topologies (Eq. 4 optimizes the throughput objective directly).
+	for _, topo := range []string{"uniform", "hotspot"} {
+		acorn := byKey[topo+"/ACORN Eq.4"].UDP
+		delay := byKey[topo+"/delay-min [17]"].UDP
+		if acorn < 0.95*delay {
+			t.Errorf("%s: ACORN (%v) below delay-min (%v)", topo, acorn, delay)
+		}
+	}
+	if s := FormatAssociation(points); len(s) < 40 {
+		t.Error("formatter output too short")
+	}
+}
+
+func TestAblationRestarts(t *testing.T) {
+	points := AblationRestarts(7)
+	if len(points) != 3 {
+		t.Fatalf("want 3 restart counts, got %d", len(points))
+	}
+	// Best-of-N is monotone in N by construction; verify and check the
+	// marginal gain of 16 restarts over 1 stays modest (the single run
+	// the paper uses is near-optimal in practice).
+	for i := 1; i < len(points); i++ {
+		if points[i].Throughput+1e-9 < points[i-1].Throughput {
+			t.Errorf("best-of-%d below best-of-%d", points[i].Restarts, points[i-1].Restarts)
+		}
+	}
+	if gain := points[2].Throughput / points[0].Throughput; gain > 1.3 {
+		t.Errorf("16 restarts gained %vx — single-run search is worse than expected", gain)
+	}
+	if s := FormatRestarts(points); len(s) < 40 {
+		t.Error("formatter output too short")
+	}
+}
+
+func TestPeriodicitySweep(t *testing.T) {
+	r := RunPeriodicity(11)
+	if len(r.Points) != 4 {
+		t.Fatalf("want 4 period points, got %d", len(r.Points))
+	}
+	byPeriod := map[string]float64{}
+	for _, p := range r.Points {
+		byPeriod[p.Period.String()] = p.Result.MeanThroughputMbps
+		if p.Result.MeanThroughputMbps <= 0 {
+			t.Errorf("period %v produced no throughput", p.Period)
+		}
+	}
+	// The paper's 30-minute period must beat never reallocating.
+	if byPeriod["30m0s"] <= byPeriod["0s"] {
+		t.Errorf("30 min period (%v) should beat never (%v)", byPeriod["30m0s"], byPeriod["0s"])
+	}
+	if s := r.Format(); len(s) < 60 {
+		t.Error("formatter output too short")
+	}
+}
+
+func TestAblationScanning(t *testing.T) {
+	points := AblationScanning(7)
+	if len(points) != 2 {
+		t.Fatalf("want 2 estimators, got %d", len(points))
+	}
+	ref, scan := points[0], points[1]
+	// The scan costs |channels| times the probes of the reference pass.
+	if scan.Probes <= 10*ref.Probes {
+		t.Errorf("scan probes %d should dwarf reference probes %d", scan.Probes, ref.Probes)
+	}
+	// With MIMO-flat channels the exhaustive scan buys little: within a
+	// few percent of the cheap estimator (Fig 8's point).
+	if scan.Throughput < 0.9*ref.Throughput || ref.Throughput < 0.9*scan.Throughput {
+		t.Errorf("estimators diverge: ref %v vs scan %v", ref.Throughput, scan.Throughput)
+	}
+	if s := FormatScanning(points); len(s) < 60 {
+		t.Error("formatter output too short")
+	}
+}

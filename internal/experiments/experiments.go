@@ -1,0 +1,85 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each RunXxx function executes one experiment end to end on
+// the simulated substrate and returns a typed result whose Format method
+// prints the same rows/series the paper reports. EXPERIMENTS.md records the
+// paper-vs-measured comparison for each.
+//
+// Absolute throughputs differ from the paper's testbed (different hardware,
+// different propagation); the reproduction targets the paper's *shapes*:
+// who wins, by roughly what factor, and where the crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one named (x, y) sequence of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Row formats one x/y pair.
+func (s Series) Row(i int) string {
+	return fmt.Sprintf("%12.4g %12.4g", s.X[i], s.Y[i])
+}
+
+// FormatSeries renders aligned columns: x then one column per series
+// (series are assumed to share their X grid; the first series' X is used).
+func FormatSeries(title string, xLabel string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	fmt.Fprintf(&b, "%-12s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].X {
+		fmt.Fprintf(&b, "%-12.4g", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %14.6g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTable renders a simple aligned table.
+func FormatTable(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

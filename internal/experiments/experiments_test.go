@@ -1,0 +1,370 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"acorn/internal/phy"
+	"acorn/internal/spectrum"
+)
+
+// fastPHY keeps the Monte-Carlo experiments quick in tests.
+var fastPHY = PHYOptions{Packets: 40, PacketBytes: 300, Seed: 1}
+
+func TestFig1PSDDrop(t *testing.T) {
+	r := RunFig1(fastPHY)
+	if r.PerSubcarrierDropDB < 2.5 || r.PerSubcarrierDropDB > 4 {
+		t.Errorf("per-subcarrier PSD drop = %v dB, want ≈3", r.PerSubcarrierDropDB)
+	}
+	ratio := r.OccupiedMHz40 / r.OccupiedMHz20
+	if ratio < 1.8 || ratio > 2.8 {
+		t.Errorf("occupied bandwidth ratio = %v, want ≈2", ratio)
+	}
+	if !strings.Contains(r.Format(), "Fig 1") {
+		t.Error("Format missing title")
+	}
+}
+
+func TestFig2ConstellationDegradation(t *testing.T) {
+	r := RunFig2(fastPHY)
+	if r.EVM40 <= r.EVM20 {
+		t.Errorf("40 MHz EVM %v should exceed 20 MHz EVM %v", r.EVM40, r.EVM20)
+	}
+	// The EVM ratio reflects the ~3 dB SNR gap (√2 in amplitude).
+	if ratio := r.EVM40 / r.EVM20; ratio < 1.15 || ratio > 1.8 {
+		t.Errorf("EVM ratio = %v, want ≈√2", ratio)
+	}
+	if r.SER40 < r.SER20 {
+		t.Errorf("40 MHz baud error rate %v below 20 MHz %v", r.SER40, r.SER20)
+	}
+	if len(r.Constellation20) == 0 || len(r.Constellation40) == 0 {
+		t.Error("constellations not captured")
+	}
+}
+
+func TestFig3aBERMatchesTheory(t *testing.T) {
+	opts := fastPHY
+	opts.Packets = 120 // needs statistics in the waterfall
+	r := RunFig3a(opts)
+	if r.R2_20 < 0.8 || r.R2_40 < 0.8 {
+		t.Errorf("R² vs theory = %v / %v, want ≥ 0.8 (paper: 0.8, 0.89)", r.R2_20, r.R2_40)
+	}
+	// BER must decrease along the SNR sweep.
+	if r.BER20[0] <= r.BER20[len(r.BER20)-1] {
+		t.Error("20 MHz BER not decreasing with SNR")
+	}
+}
+
+func TestFig3bWiderChannelWorse(t *testing.T) {
+	r := RunFig3b(fastPHY)
+	worse := 0
+	for i := range r.TxDBm {
+		if r.BER40[i] >= r.BER20[i] {
+			worse++
+		}
+	}
+	// At every power the wider channel is at least as bad (a sampling
+	// wobble at the extremes is tolerated).
+	if worse < len(r.TxDBm)-1 {
+		t.Errorf("40 MHz BER worse at only %d/%d points", worse, len(r.TxDBm))
+	}
+}
+
+func TestFig4PERShapes(t *testing.T) {
+	r := RunFig4(fastPHY)
+	// vs Tx: the 40 MHz curve must be ≥ the 20 MHz curve everywhere.
+	for i := range r.TxDBm {
+		if r.PER40vsTx[i]+1e-9 < r.PER20vsTx[i] {
+			t.Errorf("at %v dBm PER40 %v < PER20 %v", r.TxDBm[i], r.PER40vsTx[i], r.PER20vsTx[i])
+		}
+	}
+	// Both PER-vs-Tx curves eventually fall below 0.1.
+	if r.PER20vsTx[len(r.TxDBm)-1] > 0.1 || r.PER40vsTx[len(r.TxDBm)-1] > 0.1 {
+		t.Error("PER should collapse at high power")
+	}
+}
+
+func TestFig5WindowsShiftWithLinkAndModcod(t *testing.T) {
+	r := RunFig5()
+	// Poorer links need more power before CB stops hurting: window
+	// positions must order LinkB < LinkA < LinkC for every modcod.
+	for _, mc := range phy.Fig5ModCods {
+		loB, _, okB := r.SigmaWindow(mc.String(), "LinkB")
+		loA, _, okA := r.SigmaWindow(mc.String(), "LinkA")
+		loC, _, okC := r.SigmaWindow(mc.String(), "LinkC")
+		if !okA || !okB || !okC {
+			t.Fatalf("%v: missing σ window", mc)
+		}
+		if !(loB < loA && loA < loC) {
+			t.Errorf("%v: window order B(%v) < A(%v) < C(%v) violated", mc, loB, loA, loC)
+		}
+	}
+	// More aggressive modcods push the window to higher power on the
+	// same link.
+	loQPSK, _, _ := r.SigmaWindow("QPSK 3/4", "LinkA")
+	lo64, _, _ := r.SigmaWindow("64QAM 5/6", "LinkA")
+	if lo64 <= loQPSK {
+		t.Errorf("64QAM 5/6 window (%v) should sit above QPSK 3/4 (%v)", lo64, loQPSK)
+	}
+}
+
+func TestTable1ThresholdsMonotone(t *testing.T) {
+	r := RunTable1()
+	if len(r.Rows) != 4 {
+		t.Fatalf("want 4 modcod rows, got %d", len(r.Rows))
+	}
+	prev := -1e9
+	for _, row := range r.Rows {
+		if row.SNRSigmaGE2 <= prev {
+			t.Errorf("%v: transition SNR %v not above previous %v — aggressiveness ordering broken",
+				row.ModCod, row.SNRSigmaGE2, prev)
+		}
+		if row.SNRSigmaLT2 < row.SNRSigmaGE2 {
+			t.Errorf("%v: σ<2 SNR below σ≥2 SNR", row.ModCod)
+		}
+		prev = row.SNRSigmaGE2
+	}
+}
+
+func TestFig6Fractions(t *testing.T) {
+	r := RunFig6(42)
+	if len(r.Links) != 24 {
+		t.Fatalf("want 24 links, got %d", len(r.Links))
+	}
+	// Paper: ≈10% of UDP and ≈30% of TCP trials prefer 20 MHz; TCP must
+	// exceed UDP and both must be nontrivial.
+	if r.Frac20WinsUDP <= 0 || r.Frac20WinsUDP > 0.3 {
+		t.Errorf("UDP 20-wins fraction = %v, want ≈0.1", r.Frac20WinsUDP)
+	}
+	if r.Frac20WinsTCP < r.Frac20WinsUDP {
+		t.Errorf("TCP fraction %v should be ≥ UDP fraction %v", r.Frac20WinsTCP, r.Frac20WinsUDP)
+	}
+	if r.FracBelow2x < 0.95 {
+		t.Errorf("fraction below y=2x = %v, want ≈1", r.FracBelow2x)
+	}
+	// Fig 6b: the optimal MCS at 40 MHz is never more aggressive.
+	for _, l := range r.Links {
+		if l.OptMCS40 > l.OptMCS20 {
+			t.Errorf("%s: optimal 40 MHz MCS %d above 20 MHz MCS %d", l.Name, l.OptMCS40, l.OptMCS20)
+		}
+	}
+}
+
+func TestFig8Flatness(t *testing.T) {
+	r := RunFig8()
+	if len(r.ChannelIndex20) != 12 || len(r.ChannelIndex40) != 6 {
+		t.Fatalf("channel counts: %d/%d", len(r.ChannelIndex20), len(r.ChannelIndex40))
+	}
+	if r.MaxSpread20 > 0.15 || r.MaxSpread40 > 0.15 {
+		t.Errorf("PER spread across channels too large: %v / %v", r.MaxSpread20, r.MaxSpread40)
+	}
+	// The panels must be informative: at least one link with nonzero PER.
+	nonzero := false
+	for _, s := range r.PER20 {
+		for _, p := range s {
+			if p > 0.01 {
+				nonzero = true
+			}
+		}
+	}
+	if !nonzero {
+		t.Error("all PERs pinned at 0; experiment uninformative")
+	}
+}
+
+func TestFig9TraceStatistics(t *testing.T) {
+	r := RunFig9(1)
+	if r.MedianMinutes < 28 || r.MedianMinutes > 34 {
+		t.Errorf("median = %v min, want ≈31", r.MedianMinutes)
+	}
+	if r.FracUnder40Min < 0.88 {
+		t.Errorf("under-40-min fraction = %v, want > 0.9", r.FracUnder40Min)
+	}
+	if r.RecommendedPeriod.Minutes() != 30 {
+		t.Errorf("period = %v, want 30m", r.RecommendedPeriod)
+	}
+}
+
+func TestFig10Topology1Gain(t *testing.T) {
+	r := RunFig10Topology1(1)
+	var ap1 Fig10Cell
+	for _, c := range r.Cells {
+		if c.APID == "AP1" {
+			ap1 = c
+		}
+	}
+	// The poor cell: ACORN must pick 20 MHz and beat the bonded legacy
+	// configuration by a large factor (paper: 4×).
+	if ap1.ACORNCh.Width != spectrum.Width20 {
+		t.Errorf("ACORN width for the poor cell = %v, want 20 MHz", ap1.ACORNCh.Width)
+	}
+	if ap1.LegacyCh.Width != spectrum.Width40 {
+		t.Errorf("legacy width = %v, want 40 MHz", ap1.LegacyCh.Width)
+	}
+	if ap1.Legacy <= 0 || ap1.ACORN/ap1.Legacy < 2.5 {
+		t.Errorf("AP1 gain = %v/%v, want ≥ 2.5x (paper 4x)", ap1.ACORN, ap1.Legacy)
+	}
+	if r.TotalACORN < r.TotalLegacy {
+		t.Errorf("ACORN total %v below legacy %v", r.TotalACORN, r.TotalLegacy)
+	}
+}
+
+func TestFig10Topology2Gains(t *testing.T) {
+	r := RunFig10Topology2(1)
+	cells := map[string]Fig10Cell{}
+	for _, c := range r.Cells {
+		cells[c.APID] = c
+	}
+	// AP4 (very poor clients): large gain via 20 MHz (paper 6×).
+	ap4 := cells["AP4"]
+	if ap4.ACORNCh.Width != spectrum.Width20 {
+		t.Errorf("AP4 ACORN width = %v, want 20 MHz", ap4.ACORNCh.Width)
+	}
+	if ap4.Legacy > 0 && ap4.ACORN/ap4.Legacy < 2 {
+		t.Errorf("AP4 gain = %.1fx, want ≥ 2x (paper 6x)", ap4.ACORN/ap4.Legacy)
+	}
+	// AP5 (poor-but-alive): moderate gain (paper 1.5×).
+	ap5 := cells["AP5"]
+	if ap5.Legacy > 0 && ap5.ACORN/ap5.Legacy < 1.1 {
+		t.Errorf("AP5 gain = %.1fx, want ≥ 1.1x (paper 1.5x)", ap5.ACORN/ap5.Legacy)
+	}
+	// Network-wide ACORN wins.
+	if r.TotalACORN <= r.TotalLegacy {
+		t.Errorf("ACORN total %v not above legacy %v", r.TotalACORN, r.TotalLegacy)
+	}
+}
+
+func TestFig11ACORNFindsBestCombo(t *testing.T) {
+	r := RunFig11(1)
+	best := 0.0
+	for _, v := range r.Combos {
+		if v > best {
+			best = v
+		}
+	}
+	// ACORN lands at (or above — it may also pick better channels) the
+	// best width combo.
+	if r.ACORN < 0.95*best {
+		t.Errorf("ACORN %v below best manual combo %v", r.ACORN, best)
+	}
+	// And roughly doubles the aggressive all-40 configuration (paper 2×).
+	if all40 := r.Combos["40,40,40"]; r.ACORN < 1.5*all40 {
+		t.Errorf("ACORN %v vs all-40 %v: want ≥ 1.5x", r.ACORN, all40)
+	}
+	if r.ACORNWidths != "40,20,20" {
+		t.Errorf("ACORN widths = %s, want 40,20,20", r.ACORNWidths)
+	}
+}
+
+func TestTable3ACORNBeatsRandom(t *testing.T) {
+	r := RunTable3(7)
+	if len(r.BestRandomUDP) != 10 || len(r.BestRandomTCP) != 10 {
+		t.Fatal("want the 10 best random configurations")
+	}
+	if r.ACORNUDP <= r.BestRandomUDP[0] {
+		t.Errorf("ACORN UDP %v not above best random %v", r.ACORNUDP, r.BestRandomUDP[0])
+	}
+	if r.ACORNTCP <= r.BestRandomTCP[0] {
+		t.Errorf("ACORN TCP %v not above best random %v", r.ACORNTCP, r.BestRandomTCP[0])
+	}
+	// Descending order.
+	for i := 1; i < 10; i++ {
+		if r.BestRandomUDP[i] > r.BestRandomUDP[i-1] {
+			t.Error("random UDP list not descending")
+		}
+	}
+	// TCP runs below UDP throughout.
+	if r.ACORNTCP >= r.ACORNUDP {
+		t.Error("TCP should run below UDP")
+	}
+}
+
+func TestFig13MobilityShapes(t *testing.T) {
+	away := RunFig13Away()
+	if !away.DidSwitch || away.SwitchedTo != spectrum.Width20 {
+		t.Fatal("walking away must trigger a fallback to 20 MHz")
+	}
+	if away.GainVsFixed < 1.5 {
+		t.Errorf("post-switch gain over fixed 40 MHz = %v, want ≥ 1.5x", away.GainVsFixed)
+	}
+	toward := RunFig13Toward()
+	if !toward.DidSwitch || toward.SwitchedTo != spectrum.Width40 {
+		t.Fatal("approaching must trigger a switch to 40 MHz")
+	}
+	if toward.GainVsFixed < 1.2 {
+		t.Errorf("post-switch gain over fixed 20 MHz = %v, want ≥ 1.2x", toward.GainVsFixed)
+	}
+}
+
+func TestFig14ApproximationBound(t *testing.T) {
+	r := RunFig14(3)
+	if len(r.Points) != 27 {
+		t.Fatalf("want 9 sets × 3 channel counts, got %d points", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.YStar <= 0 {
+			t.Fatalf("set %d: nonpositive Y*", p.Set)
+		}
+		ratio := p.T / p.YStar
+		// Δ = 2 ⇒ worst case 1/3 (allow a hair of evaluator jitter).
+		if ratio < 1.0/3-0.02 {
+			t.Errorf("set %d/%dch: ratio %v below the 1/(Δ+1) bound", p.Set, p.Channels, ratio)
+		}
+		if p.Channels == 6 && ratio < 0.9 {
+			t.Errorf("set %d: with 6 channels ratio %v should approach 1", p.Set, ratio)
+		}
+	}
+	// More channels never hurt on the same set.
+	byset := map[int]map[int]float64{}
+	for _, p := range r.Points {
+		if byset[p.Set] == nil {
+			byset[p.Set] = map[int]float64{}
+		}
+		byset[p.Set][p.Channels] = p.T
+	}
+	for set, m := range byset {
+		if m[6] < m[2]-1 {
+			t.Errorf("set %d: 6-channel throughput %v below 2-channel %v", set, m[6], m[2])
+		}
+	}
+}
+
+func TestFormattersProduceOutput(t *testing.T) {
+	outputs := []string{
+		RunFig5().Format(),
+		RunTable1().Format(),
+		RunFig6(1).Format(),
+		RunFig8().Format(),
+		RunFig9(1).Format(),
+		RunFig10Topology1(1).Format(),
+		RunFig11(1).Format(),
+		RunTable3(1).Format(),
+		RunFig13Away().Format(),
+		RunFig14(1).Format(),
+	}
+	for i, out := range outputs {
+		if len(out) < 40 || !strings.Contains(out, "#") {
+			t.Errorf("formatter %d output suspicious: %q…", i, out[:min(len(out), 60)])
+		}
+	}
+}
+
+func TestFig12Trajectory(t *testing.T) {
+	r := RunFig12()
+	if len(r.TimeS) != len(r.X) || len(r.TimeS) < 10 {
+		t.Fatalf("trajectory malformed: %d/%d points", len(r.TimeS), len(r.X))
+	}
+	// Monotone nondecreasing walk away from the AP.
+	for i := 1; i < len(r.X); i++ {
+		if r.X[i]+1e-9 < r.X[i-1] {
+			t.Fatalf("walk-away trajectory moved backward at %v s", r.TimeS[i])
+		}
+	}
+	// Crosses both room boundaries.
+	if r.X[len(r.X)-1] <= r.RoomBoundaries[1] {
+		t.Error("trajectory never reaches the far room")
+	}
+	if s := r.Format(); !strings.Contains(s, "room boundary") {
+		t.Error("room annotations missing")
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import "testing"
+
+func TestJammerSweepShapes(t *testing.T) {
+	r := RunJammerSweep(fastPHY)
+	if len(r.Points) != 5 {
+		t.Fatalf("want 5 points, got %d", len(r.Points))
+	}
+	if r.Points[0].BER20 != 0 || r.Points[0].BER40 != 0 {
+		t.Error("zero jammed tones should be error-free")
+	}
+	// Damage grows with jammed tones at 20 MHz.
+	prev := -1.0
+	for _, p := range r.Points {
+		if p.BER20 < prev {
+			t.Errorf("20 MHz BER not nondecreasing at %d tones", p.JammedTones)
+		}
+		prev = p.BER20
+	}
+	// The wider channel dilutes the same jammed band.
+	last := r.Points[len(r.Points)-1]
+	if last.BER40 >= last.BER20 {
+		t.Errorf("40 MHz should be relatively more resilient: %v vs %v", last.BER40, last.BER20)
+	}
+	if s := r.Format(); len(s) < 60 {
+		t.Error("formatter output too short")
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	r := RunModelValidation(1)
+	if len(r.Rows) != 5 {
+		t.Fatalf("want 5 APs, got %d", len(r.Rows))
+	}
+	if r.MaxRelativeError > 0.15 {
+		t.Errorf("analytic vs empirical divergence %.1f%% exceeds 15%%", 100*r.MaxRelativeError)
+	}
+	if s := r.Format(); len(s) < 60 {
+		t.Error("formatter output too short")
+	}
+}
+
+func TestCodedValidation(t *testing.T) {
+	r := RunCodedValidation(PHYOptions{Packets: 90, PacketBytes: 250, Seed: 2})
+	if len(r.Points) < 5 {
+		t.Fatalf("too few sweep points: %d", len(r.Points))
+	}
+	// Measured PER must be monotone nonincreasing along the sweep
+	// (within Monte-Carlo wobble at the extremes).
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].MeasuredPER > r.Points[i-1].MeasuredPER+0.15 {
+			t.Errorf("measured PER rose at %v dB: %v → %v",
+				r.Points[i].SNR, r.Points[i-1].MeasuredPER, r.Points[i].MeasuredPER)
+		}
+	}
+	// The measured waterfall sits within 3 dB of the union-bound model.
+	if r.WaterfallOffsetDB < -3 || r.WaterfallOffsetDB > 3 {
+		t.Errorf("waterfall offset %v dB exceeds ±3 dB", r.WaterfallOffsetDB)
+	}
+	// Both endpoints behave: PER ≈ 1 at the bottom, ≈ 0 at the top.
+	if r.Points[0].MeasuredPER < 0.7 {
+		t.Errorf("bottom of sweep PER = %v, want ≈1", r.Points[0].MeasuredPER)
+	}
+	if last := r.Points[len(r.Points)-1].MeasuredPER; last > 0.2 {
+		t.Errorf("top of sweep PER = %v, want ≈0", last)
+	}
+	if s := r.Format(); len(s) < 80 {
+		t.Error("formatter output too short")
+	}
+}
+
+func TestCSIAblation(t *testing.T) {
+	r := RunCSIAblation(PHYOptions{Packets: 60, PacketBytes: 300, Seed: 4})
+	if len(r.Points) != 4 {
+		t.Fatalf("want 4 points, got %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		// Trained CSI never beats genie (up to Monte-Carlo wobble at
+		// clean operating points).
+		if p.GenieBER > 1e-4 && p.TrainedBER < 0.8*p.GenieBER {
+			t.Errorf("SNR %v: trained BER %v implausibly below genie %v",
+				p.SNR, p.TrainedBER, p.GenieBER)
+		}
+		// And costs at most a modest factor.
+		if p.GenieBER > 1e-3 && p.TrainedBER > 10*p.GenieBER {
+			t.Errorf("SNR %v: trained BER %v collapsed vs genie %v",
+				p.SNR, p.TrainedBER, p.GenieBER)
+		}
+	}
+	if s := r.Format(); len(s) < 60 {
+		t.Error("formatter output too short")
+	}
+}

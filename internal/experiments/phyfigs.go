@@ -1,0 +1,359 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"acorn/internal/baseband"
+	"acorn/internal/dsp"
+	"acorn/internal/phy"
+	"acorn/internal/spectrum"
+	"acorn/internal/stats"
+	"acorn/internal/units"
+)
+
+// PHYOptions tunes the Monte-Carlo cost of the baseband experiments. The
+// defaults keep every experiment under about a second; the cmd/phylab tool
+// can raise them to the paper's 9000×1500 B scale.
+type PHYOptions struct {
+	Packets     int
+	PacketBytes int
+	Seed        int64
+}
+
+// DefaultPHYOptions returns the fast defaults.
+func DefaultPHYOptions() PHYOptions {
+	return PHYOptions{Packets: 150, PacketBytes: 500, Seed: 1}
+}
+
+func (o PHYOptions) orDefault() PHYOptions {
+	d := DefaultPHYOptions()
+	if o.Packets <= 0 {
+		o.Packets = d.Packets
+	}
+	if o.PacketBytes <= 0 {
+		o.PacketBytes = d.PacketBytes
+	}
+	return o
+}
+
+// ---------------------------------------------------------------- Fig 1 --
+
+// Fig1Result summarizes the PSD comparison of the 20 and 40 MHz waveforms.
+type Fig1Result struct {
+	// InBandDB20 and InBandDB40 are the mean in-band PSD levels in dB;
+	// the paper reads −92 dB vs −95 dB off its analyzer — only the gap
+	// is meaningful (absolute levels depend on the analyzer reference).
+	InBandDB20, InBandDB40 float64
+	// PerSubcarrierDropDB is InBandDB20 − InBandDB40, expected ≈3 dB.
+	PerSubcarrierDropDB float64
+	// OccupiedMHz20 and OccupiedMHz40 are the occupied bandwidths (bins
+	// within 3 dB of the peak, converted to Hz); the 40 MHz waveform
+	// occupies roughly twice the spectrum.
+	OccupiedMHz20, OccupiedMHz40 float64
+	// PSD20 and PSD40 are the full estimates (FFT order) for plotting.
+	PSD20, PSD40 []float64
+}
+
+// RunFig1 regenerates Fig 1: the Welch PSD estimate of the transmitted
+// OFDM waveform at both widths, same total transmit power.
+func RunFig1(opts PHYOptions) Fig1Result {
+	opts = opts.orDefault()
+	tx := units.DBm(15)
+	const segLen = 256
+	wave := func(w spectrum.Width) (psd []float64, sampleRate float64) {
+		ch := &baseband.Channel{Noiseless: true}
+		l := baseband.NewLink(baseband.NewChainConfig(w), phy.QPSK, baseband.ModeSISO, tx, ch, opts.Seed)
+		samples := l.TxWaveform(opts.PacketBytes * 4)
+		// Drop the preamble so only OFDM spectrum is analyzed.
+		pre := l.Chain.PreambleSamples()
+		return dsp.WelchPSD(samples[pre:], segLen, l.Chain.SampleRate), l.Chain.SampleRate
+	}
+	psd20, rate20 := wave(spectrum.Width20)
+	psd40, rate40 := wave(spectrum.Width40)
+	inBand := func(psd []float64) (meanDB float64, bins []int) {
+		bins = dsp.OccupiedBins(psd, 0.5)
+		var sum float64
+		for _, b := range bins {
+			sum += psd[b]
+		}
+		return 10 * math.Log10(sum/float64(len(bins))), bins
+	}
+	db20, bins20 := inBand(psd20)
+	db40, bins40 := inBand(psd40)
+	return Fig1Result{
+		InBandDB20:          db20,
+		InBandDB40:          db40,
+		PerSubcarrierDropDB: db20 - db40,
+		OccupiedMHz20:       float64(len(bins20)) * rate20 / segLen / 1e6,
+		OccupiedMHz40:       float64(len(bins40)) * rate40 / segLen / 1e6,
+		PSD20:               psd20,
+		PSD40:               psd40,
+	}
+}
+
+// Format renders the figure summary.
+func (r Fig1Result) Format() string {
+	return FormatTable("Fig 1: PSD estimate with different channel widths",
+		[]string{"width", "in-band PSD (dB)", "occupied bandwidth (MHz)"},
+		[][]string{
+			{"20 MHz", fmt.Sprintf("%.2f", r.InBandDB20), fmt.Sprintf("%.1f", r.OccupiedMHz20)},
+			{"40 MHz", fmt.Sprintf("%.2f", r.InBandDB40), fmt.Sprintf("%.1f", r.OccupiedMHz40)},
+			{"drop", fmt.Sprintf("%.2f dB (paper: ≈3 dB, −92→−95)", r.PerSubcarrierDropDB), ""},
+		})
+}
+
+// ---------------------------------------------------------------- Fig 2 --
+
+// Fig2Result compares received constellations with 52 vs 108 subcarriers at
+// the same transmit power.
+type Fig2Result struct {
+	// EVM20 and EVM40 are the RMS error-vector magnitudes; bonding's
+	// lower per-subcarrier energy shows as a larger EVM.
+	EVM20, EVM40 float64
+	// SER20 and SER40 are the measured baud (QPSK symbol) error rates.
+	SER20, SER40 float64
+	// Constellation20 and Constellation40 are received I-Q samples.
+	Constellation20, Constellation40 []complex128
+}
+
+// RunFig2 regenerates Fig 2: QPSK constellations at both widths over a link
+// whose 20 MHz per-subcarrier SNR sits around 10 dB.
+func RunFig2(opts PHYOptions) Fig2Result {
+	opts = opts.orDefault()
+	tx := units.DBm(15)
+	pl := pathLossForSNR(tx, 10, spectrum.Width20)
+	run := func(w spectrum.Width) *baseband.Measurement {
+		ch := &baseband.Channel{PathLoss: pl}
+		l := baseband.NewLink(baseband.NewChainConfig(w), phy.QPSK, baseband.ModeSTBC, tx, ch, opts.Seed)
+		return l.Run(max(opts.Packets/10, 4), opts.PacketBytes)
+	}
+	m20 := run(spectrum.Width20)
+	m40 := run(spectrum.Width40)
+	return Fig2Result{
+		EVM20: m20.EVM(), EVM40: m40.EVM(),
+		SER20: symbolErrorRate(m20), SER40: symbolErrorRate(m40),
+		Constellation20: m20.Constellation, Constellation40: m40.Constellation,
+	}
+}
+
+// symbolErrorRate estimates the QPSK baud error rate from the bit error
+// count (a QPSK symbol errs roughly when either of its two bits errs; for
+// small rates SER ≈ 2·BER·(1 − BER/2) ≈ the union of the two).
+func symbolErrorRate(m *baseband.Measurement) float64 {
+	ber := m.BER()
+	return 1 - (1-ber)*(1-ber)
+}
+
+// Format renders the figure summary.
+func (r Fig2Result) Format() string {
+	return FormatTable("Fig 2: received QPSK constellations, 52 vs 108 subcarriers",
+		[]string{"width", "RMS EVM", "baud error rate"},
+		[][]string{
+			{"20 MHz (52 sc)", fmt.Sprintf("%.4f", r.EVM20), fmt.Sprintf("%.3g", r.SER20)},
+			{"40 MHz (108 sc)", fmt.Sprintf("%.4f", r.EVM40), fmt.Sprintf("%.3g", r.SER40)},
+		})
+}
+
+// ---------------------------------------------------------------- Fig 3 --
+
+// Fig3aResult is the uncoded BER vs measured SNR comparison with theory.
+type Fig3aResult struct {
+	// SNR20/BER20 and SNR40/BER40 are the measured operating points.
+	SNR20, BER20, SNR40, BER40 []float64
+	// Theory20 and Theory40 are the closed-form BERs at the measured
+	// SNRs.
+	Theory20, Theory40 []float64
+	// R2_20 and R2_40 are the coefficients of determination between
+	// measurement and theory in log-BER space (paper: 0.8 and 0.89).
+	R2_20, R2_40 float64
+}
+
+// RunFig3a regenerates Fig 3(a): uncoded QPSK BER vs SNR for both widths,
+// overlaid with theory. For a given SNR the BER must not depend on width.
+func RunFig3a(opts PHYOptions) Fig3aResult {
+	opts = opts.orDefault()
+	tx := units.DBm(15)
+	var r Fig3aResult
+	// Post-MRC/STBC target SNRs spanning the waterfall (0–12 dB as in
+	// the figure).
+	targets := []float64{1.5, 3, 4.5, 6, 7.5, 9, 10.5}
+	for _, w := range []spectrum.Width{spectrum.Width20, spectrum.Width40} {
+		for _, target := range targets {
+			// STBC over AWGN adds ≈3 dB combining gain over the
+			// single-path analytic SNR.
+			pl := pathLossForSNR(tx, target-3, w)
+			ch := &baseband.Channel{PathLoss: pl}
+			l := baseband.NewLink(baseband.NewChainConfig(w), phy.QPSK, baseband.ModeSTBC, tx, ch, opts.Seed+int64(target*10))
+			m := l.Run(opts.Packets, opts.PacketBytes)
+			snr := m.MeasuredSNRdB()
+			ber := m.BER()
+			if ber == 0 {
+				ber = 0.5 / float64(m.Bits) // measurement floor
+			}
+			th := phy.UncodedBER(phy.QPSK, units.DB(snr))
+			if w == spectrum.Width20 {
+				r.SNR20 = append(r.SNR20, snr)
+				r.BER20 = append(r.BER20, ber)
+				r.Theory20 = append(r.Theory20, th)
+			} else {
+				r.SNR40 = append(r.SNR40, snr)
+				r.BER40 = append(r.BER40, ber)
+				r.Theory40 = append(r.Theory40, th)
+			}
+		}
+	}
+	r.R2_20 = logR2(r.BER20, r.Theory20)
+	r.R2_40 = logR2(r.BER40, r.Theory40)
+	return r
+}
+
+// logR2 computes R² in log10 space, the scale on which BER curves are
+// compared.
+func logR2(observed, predicted []float64) float64 {
+	lo := make([]float64, 0, len(observed))
+	lp := make([]float64, 0, len(predicted))
+	for i := range observed {
+		if observed[i] <= 0 || predicted[i] <= 0 {
+			continue
+		}
+		lo = append(lo, math.Log10(observed[i]))
+		lp = append(lp, math.Log10(predicted[i]))
+	}
+	return stats.RSquared(lo, lp)
+}
+
+// Format renders the figure series.
+func (r Fig3aResult) Format() string {
+	s := FormatSeries("Fig 3a: uncoded QPSK BER vs SNR (theory overlay)", "SNR20(dB)",
+		[]Series{
+			{Name: "BER-20MHz", X: r.SNR20, Y: r.BER20},
+			{Name: "Theory@20", X: r.SNR20, Y: r.Theory20},
+		})
+	s += FormatSeries("", "SNR40(dB)",
+		[]Series{
+			{Name: "BER-40MHz", X: r.SNR40, Y: r.BER40},
+			{Name: "Theory@40", X: r.SNR40, Y: r.Theory40},
+		})
+	s += fmt.Sprintf("R² vs theory: 20 MHz %.3f, 40 MHz %.3f (paper: 0.8, 0.89)\n", r.R2_20, r.R2_40)
+	return s
+}
+
+// Fig3bResult is the uncoded BER vs transmit power comparison.
+type Fig3bResult struct {
+	TxDBm        []float64
+	BER20, BER40 []float64
+}
+
+// RunFig3b regenerates Fig 3(b): at fixed path loss, the wider channel has
+// more bits in error for any given transmit power.
+func RunFig3b(opts PHYOptions) Fig3bResult {
+	opts = opts.orDefault()
+	// Path loss chosen so the sweep crosses the QPSK waterfall.
+	pl := pathLossForSNR(12, 3, spectrum.Width20)
+	var r Fig3bResult
+	for tx := 0.0; tx <= 25; tx += 2.5 {
+		r.TxDBm = append(r.TxDBm, tx)
+		for _, w := range []spectrum.Width{spectrum.Width20, spectrum.Width40} {
+			ch := &baseband.Channel{PathLoss: pl}
+			l := baseband.NewLink(baseband.NewChainConfig(w), phy.QPSK, baseband.ModeSTBC, units.DBm(tx), ch, opts.Seed+int64(tx*4))
+			m := l.Run(opts.Packets, opts.PacketBytes)
+			ber := m.BER()
+			if ber == 0 {
+				ber = 0.5 / float64(m.Bits)
+			}
+			if w == spectrum.Width20 {
+				r.BER20 = append(r.BER20, ber)
+			} else {
+				r.BER40 = append(r.BER40, ber)
+			}
+		}
+	}
+	return r
+}
+
+// Format renders the figure series.
+func (r Fig3bResult) Format() string {
+	return FormatSeries("Fig 3b: uncoded QPSK BER vs Tx power", "Tx(dBm)",
+		[]Series{
+			{Name: "BER-20MHz", X: r.TxDBm, Y: r.BER20},
+			{Name: "BER-40MHz", X: r.TxDBm, Y: r.BER40},
+		})
+}
+
+// ---------------------------------------------------------------- Fig 4 --
+
+// Fig4Result carries the uncoded PER counterparts of Fig 3.
+type Fig4Result struct {
+	// vs SNR (Fig 4a).
+	SNR20, PER20vsSNR, SNR40, PER40vsSNR []float64
+	// vs Tx (Fig 4b).
+	TxDBm, PER20vsTx, PER40vsTx []float64
+}
+
+// RunFig4 regenerates Fig 4: uncoded PER for QPSK vs SNR (a) and vs Tx (b).
+func RunFig4(opts PHYOptions) Fig4Result {
+	opts = opts.orDefault()
+	tx := units.DBm(15)
+	var r Fig4Result
+	targets := []float64{1.5, 3, 4.5, 6, 7.5, 9}
+	for _, w := range []spectrum.Width{spectrum.Width20, spectrum.Width40} {
+		for _, target := range targets {
+			pl := pathLossForSNR(tx, target-3, w)
+			ch := &baseband.Channel{PathLoss: pl}
+			l := baseband.NewLink(baseband.NewChainConfig(w), phy.QPSK, baseband.ModeSTBC, tx, ch, opts.Seed+int64(target*7))
+			m := l.Run(opts.Packets, opts.PacketBytes)
+			per := m.PER()
+			if per == 0 {
+				per = 0.5 / float64(m.Packets)
+			}
+			if w == spectrum.Width20 {
+				r.SNR20 = append(r.SNR20, m.MeasuredSNRdB())
+				r.PER20vsSNR = append(r.PER20vsSNR, per)
+			} else {
+				r.SNR40 = append(r.SNR40, m.MeasuredSNRdB())
+				r.PER40vsSNR = append(r.PER40vsSNR, per)
+			}
+		}
+	}
+	pl := pathLossForSNR(12, 3, spectrum.Width20)
+	for txp := 0.0; txp <= 25; txp += 2.5 {
+		r.TxDBm = append(r.TxDBm, txp)
+		for _, w := range []spectrum.Width{spectrum.Width20, spectrum.Width40} {
+			ch := &baseband.Channel{PathLoss: pl}
+			l := baseband.NewLink(baseband.NewChainConfig(w), phy.QPSK, baseband.ModeSTBC, units.DBm(txp), ch, opts.Seed+int64(txp*3))
+			m := l.Run(opts.Packets, opts.PacketBytes)
+			per := m.PER()
+			if per == 0 {
+				per = 0.5 / float64(m.Packets)
+			}
+			if w == spectrum.Width20 {
+				r.PER20vsTx = append(r.PER20vsTx, per)
+			} else {
+				r.PER40vsTx = append(r.PER40vsTx, per)
+			}
+		}
+	}
+	return r
+}
+
+// Format renders both panels.
+func (r Fig4Result) Format() string {
+	s := FormatSeries("Fig 4a: uncoded PER vs SNR", "SNR20(dB)",
+		[]Series{{Name: "PER-20MHz", X: r.SNR20, Y: r.PER20vsSNR}})
+	s += FormatSeries("", "SNR40(dB)",
+		[]Series{{Name: "PER-40MHz", X: r.SNR40, Y: r.PER40vsSNR}})
+	s += FormatSeries("Fig 4b: uncoded PER vs Tx", "Tx(dBm)",
+		[]Series{
+			{Name: "PER-20MHz", X: r.TxDBm, Y: r.PER20vsTx},
+			{Name: "PER-40MHz", X: r.TxDBm, Y: r.PER40vsTx},
+		})
+	return s
+}
+
+// pathLossForSNR returns the path loss that lands the analytic (pre-MRC)
+// per-subcarrier SNR at the target for the given width and Tx power.
+func pathLossForSNR(tx units.DBm, targetSNR float64, w spectrum.Width) units.DB {
+	return units.DB(float64(tx) - targetSNR - float64(phy.SubcarrierNoiseFloor()) -
+		10*math.Log10(float64(phy.UsedSubcarriers(w))))
+}

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"acorn/internal/baseline"
+	"acorn/internal/core"
+	"acorn/internal/spectrum"
+	"acorn/internal/stats"
+	"acorn/internal/wlan"
+)
+
+// --------------------------------------------------------------- Fig 10 --
+
+// Fig10Cell is one AP's outcome under both schemes.
+type Fig10Cell struct {
+	APID string
+	// ACORN and Legacy are the per-AP throughputs (Mbit/s); the
+	// channels record the width decisions.
+	ACORN, Legacy     float64
+	ACORNCh, LegacyCh spectrum.Channel
+	// ACORNClients and LegacyClients are the association groupings.
+	ACORNClients, LegacyClients []string
+}
+
+// Fig10Result compares ACORN against the modified [17] on one topology.
+type Fig10Result struct {
+	Topology                string
+	Cells                   []Fig10Cell
+	TotalACORN, TotalLegacy float64
+}
+
+// runComparison executes ACORN and the legacy baseline on a network.
+func runComparison(topology string, n *wlan.Network, clients []*wlan.Client, seed int64) Fig10Result {
+	ctrl, err := core.NewController(n, seed)
+	if err != nil {
+		panic(err)
+	}
+	acornRep := ctrl.AutoConfigure(clients)
+	acornCfg := ctrl.Config()
+
+	legacyCfg := baseline.Configure(n, clients)
+	legacyRep := n.Evaluate(legacyCfg)
+
+	r := Fig10Result{Topology: topology, TotalACORN: acornRep.TotalUDP, TotalLegacy: legacyRep.TotalUDP}
+	for _, ap := range n.APs {
+		ac := acornRep.Cell(ap.ID)
+		lc := legacyRep.Cell(ap.ID)
+		r.Cells = append(r.Cells, Fig10Cell{
+			APID:          ap.ID,
+			ACORN:         ac.ThroughputUDP,
+			Legacy:        lc.ThroughputUDP,
+			ACORNCh:       acornCfg.Channels[ap.ID],
+			LegacyCh:      legacyCfg.Channels[ap.ID],
+			ACORNClients:  acornCfg.ClientsOf(ap.ID),
+			LegacyClients: legacyCfg.ClientsOf(ap.ID),
+		})
+	}
+	return r
+}
+
+// RunFig10Topology1 regenerates Fig 10(a): the sparse 2-AP deployment where
+// ACORN's per-AP gain on the poor cell is large (paper: 4×).
+func RunFig10Topology1(seed int64) Fig10Result {
+	n, clients := Topology1()
+	return runComparison("Topology 1", n, clients, seed)
+}
+
+// RunFig10Topology2 regenerates Fig 10(b): the 5-AP deployment (paper
+// gains: 6× on AP4, 1.5× on AP5, 1.8× on AP3).
+func RunFig10Topology2(seed int64) Fig10Result {
+	n, clients := Topology2()
+	return runComparison("Topology 2", n, clients, seed)
+}
+
+// Format renders the per-AP table.
+func (r Fig10Result) Format() string {
+	rows := make([][]string, 0, len(r.Cells)+1)
+	for _, c := range r.Cells {
+		gain := "-"
+		if c.Legacy > 0 {
+			gain = fmt.Sprintf("%.1fx", c.ACORN/c.Legacy)
+		} else if c.ACORN > 0 {
+			gain = "inf"
+		}
+		rows = append(rows, []string{
+			c.APID,
+			fmt.Sprintf("%.2f", c.ACORN), c.ACORNCh.String(), fmt.Sprint(c.ACORNClients),
+			fmt.Sprintf("%.2f", c.Legacy), c.LegacyCh.String(), fmt.Sprint(c.LegacyClients),
+			gain,
+		})
+	}
+	rows = append(rows, []string{"Total",
+		fmt.Sprintf("%.2f", r.TotalACORN), "", "",
+		fmt.Sprintf("%.2f", r.TotalLegacy), "", "",
+		fmt.Sprintf("%.1fx", r.TotalACORN/r.TotalLegacy)})
+	return FormatTable("Fig 10 ("+r.Topology+"): per-AP throughput, ACORN vs [17]",
+		[]string{"AP", "ACORN", "ch", "clients", "[17]", "ch", "clients", "gain"}, rows)
+}
+
+// --------------------------------------------------------------- Fig 11 --
+
+// Fig11Result compares ACORN's dense-deployment allocation against every
+// fixed width combination of Fig 11.
+type Fig11Result struct {
+	// Combos maps "X,Y,Z" width labels to total network throughput.
+	Combos map[string]float64
+	// ACORN is the throughput of ACORN's own allocation, and ACORNWidths
+	// the widths it picked per AP (in AP order).
+	ACORN       float64
+	ACORNWidths string
+}
+
+// RunFig11 regenerates Fig 11: three contending APs, four 20 MHz channels.
+// Each width combo is placed by the greedy least-interference scan a legacy
+// controller would run; ACORN must find the best combo — giving the bonded
+// channel to the AP with the good client while isolating the other two on
+// the remaining 20 MHz channels.
+func RunFig11(seed int64) Fig11Result {
+	n, clients := DenseTriangle()
+	ctrl, err := core.NewController(n, seed)
+	if err != nil {
+		panic(err)
+	}
+	rep := ctrl.AutoConfigure(clients)
+	cfg := ctrl.Config()
+	widths := ""
+	for i, ap := range n.APs {
+		if i > 0 {
+			widths += ","
+		}
+		widths += fmt.Sprintf("%d", int(cfg.Channels[ap.ID].Width))
+	}
+
+	// Fixed combos with the natural association (each client to its
+	// nearest AP) and the best channel placement per combo.
+	assoc := wlan.NewConfig()
+	for _, c := range clients {
+		aps := n.APsInRange(c)
+		if len(aps) > 0 {
+			assoc.Assoc[c.ID] = aps[0].ID
+		}
+	}
+	combos := map[string][]spectrum.Width{
+		"40,40,40": {spectrum.Width40, spectrum.Width40, spectrum.Width40},
+		"40,20,20": {spectrum.Width40, spectrum.Width20, spectrum.Width20},
+		"20,40,20": {spectrum.Width20, spectrum.Width40, spectrum.Width20},
+		"20,20,40": {spectrum.Width20, spectrum.Width20, spectrum.Width40},
+	}
+	r := Fig11Result{Combos: map[string]float64{}, ACORN: rep.TotalUDP, ACORNWidths: widths}
+	for label, ws := range combos {
+		r.Combos[label] = greedyPlacementThroughput(n, assoc, ws)
+	}
+	return r
+}
+
+// greedyPlacementThroughput places channels for a fixed width assignment
+// the way a legacy controller would: AP by AP, each picking the channel of
+// its width with the least sensed noise-plus-interference (the aggressive
+// strategy of the modified [17]). With all three APs forced to 40 MHz and
+// only two bonded channels available, the third AP lands on the good AP's
+// channel — the congestion the paper's Fig 11 demonstrates.
+func greedyPlacementThroughput(n *wlan.Network, assoc *wlan.Config, widths []spectrum.Width) float64 {
+	cfg := assoc.Clone()
+	for i, ap := range n.APs {
+		var options []spectrum.Channel
+		if widths[i] == spectrum.Width40 {
+			options = n.Band.Channels40()
+		} else {
+			options = n.Band.Channels20()
+		}
+		bestCh, bestCost := options[0], math.Inf(1)
+		for _, ch := range options {
+			cost := baseline.InterferenceCost(n, cfg, ap, ch)
+			if cost < bestCost {
+				bestCost, bestCh = cost, ch
+			}
+		}
+		cfg.Channels[ap.ID] = bestCh
+	}
+	return n.Evaluate(cfg).TotalUDP
+}
+
+// Format renders the comparison.
+func (r Fig11Result) Format() string {
+	labels := make([]string, 0, len(r.Combos))
+	for l := range r.Combos {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	rows := make([][]string, 0, len(labels)+1)
+	for _, l := range labels {
+		rows = append(rows, []string{l, fmt.Sprintf("%.2f", r.Combos[l])})
+	}
+	rows = append(rows, []string{"ACORN (" + r.ACORNWidths + ")", fmt.Sprintf("%.2f", r.ACORN)})
+	return FormatTable("Fig 11: dense 3-AP deployment, 4 channels — width combos vs ACORN",
+		[]string{"widths X,Y,Z (MHz)", "total throughput (Mbit/s)"}, rows)
+}
+
+// -------------------------------------------------------------- Table 3 --
+
+// Table3Result compares ACORN with the 10 best of 50 random manual
+// configurations, under UDP and TCP.
+type Table3Result struct {
+	ACORNUDP, ACORNTCP float64
+	// BestRandomUDP and BestRandomTCP are the 10 best random totals in
+	// descending order.
+	BestRandomUDP, BestRandomTCP []float64
+}
+
+// RunTable3 regenerates Table 3 on the random enterprise topology.
+func RunTable3(seed int64) Table3Result {
+	n, clients := RandomEnterprise(seed, 6, 14)
+	ctrl, err := core.NewController(n, seed)
+	if err != nil {
+		panic(err)
+	}
+	rep := ctrl.AutoConfigure(clients)
+
+	rng := stats.NewRand(seed + 1000)
+	var udps, tcps []float64
+	for i := 0; i < 50; i++ {
+		cfg := baseline.RandomConfig(n, rng)
+		rr := n.Evaluate(cfg)
+		udps = append(udps, rr.TotalUDP)
+		tcps = append(tcps, rr.TotalTCP)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(udps)))
+	sort.Sort(sort.Reverse(sort.Float64Slice(tcps)))
+	return Table3Result{
+		ACORNUDP:      rep.TotalUDP,
+		ACORNTCP:      rep.TotalTCP,
+		BestRandomUDP: udps[:10],
+		BestRandomTCP: tcps[:10],
+	}
+}
+
+// Format renders the table.
+func (r Table3Result) Format() string {
+	fmtList := func(xs []float64) string {
+		s := ""
+		for i, x := range xs {
+			if i > 0 {
+				s += ", "
+			}
+			s += fmt.Sprintf("%.1f", x)
+		}
+		return s
+	}
+	return FormatTable("Table 3: ACORN vs 10 best of 50 random configurations (Mbit/s)",
+		[]string{"traffic", "ACORN", "best random configs (descending)"},
+		[][]string{
+			{"UDP", fmt.Sprintf("%.1f", r.ACORNUDP), fmtList(r.BestRandomUDP)},
+			{"TCP", fmt.Sprintf("%.1f", r.ACORNTCP), fmtList(r.BestRandomTCP)},
+		})
+}
+
+// --------------------------------------------------------------- Fig 14 --
+
+// Fig14Point is one (Y*, T) pair of the approximation-ratio experiment.
+type Fig14Point struct {
+	Set      int
+	Channels int
+	// YStar is the loose upper bound Σ X_isol; T is ACORN's achieved
+	// total throughput.
+	YStar, T float64
+}
+
+// Fig14Result is the full experiment: 9 AP sets × {2, 4, 6} channels.
+type Fig14Result struct {
+	Points []Fig14Point
+}
+
+// RunFig14 regenerates Fig 14. With Δ = 2 the worst-case guarantee is
+// T ≥ Y*/3; with 6 channels ACORN should isolate everyone and approach Y*.
+func RunFig14(seed int64) Fig14Result {
+	var r Fig14Result
+	for set := 0; set < 9; set++ {
+		n, clients := ContendingTriple(seed + int64(set)*17)
+		for _, nch := range []int{2, 4, 6} {
+			n.Band = spectrum.DefaultBand5GHz().Subset(nch)
+			ctrl, err := core.NewController(n, seed+int64(set))
+			if err != nil {
+				panic(err)
+			}
+			rep := ctrl.AutoConfigure(clients)
+			// Y* uses the full band's best isolated widths (the
+			// theoretical optimum of total isolation).
+			cfg := ctrl.Config()
+			full := spectrum.DefaultBand5GHz()
+			saved := n.Band
+			n.Band = full
+			ystar := n.UpperBound(cfg)
+			n.Band = saved
+			r.Points = append(r.Points, Fig14Point{
+				Set: set + 1, Channels: nch, YStar: ystar, T: rep.TotalUDP,
+			})
+		}
+	}
+	return r
+}
+
+// Format renders the scatter rows.
+func (r Fig14Result) Format() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		ratio := 0.0
+		if p.YStar > 0 {
+			ratio = p.T / p.YStar
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Set), fmt.Sprintf("%d", p.Channels),
+			fmt.Sprintf("%.1f", p.YStar), fmt.Sprintf("%.1f", p.T),
+			fmt.Sprintf("%.2f", ratio),
+		})
+	}
+	return FormatTable("Fig 14: approximation in practice — Y* vs achieved T (Δ=2 ⇒ bound T ≥ Y*/3)",
+		[]string{"set", "channels", "Y*", "T", "T/Y*"}, rows)
+}

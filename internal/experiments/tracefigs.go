@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"acorn/internal/assoctrace"
+	"acorn/internal/mobility"
+	"acorn/internal/spectrum"
+	"acorn/internal/stats"
+)
+
+// ---------------------------------------------------------------- Fig 9 --
+
+// Fig9Result is the association-duration CDF study that sets the allocation
+// period T.
+type Fig9Result struct {
+	// MedianMinutes and P90Minutes summarize the duration distribution
+	// (paper: median ≈31 min, >90% under 40 min).
+	MedianMinutes, P90Minutes float64
+	// FracUnder40Min is the CDF at 40 minutes.
+	FracUnder40Min float64
+	// RecommendedPeriod is the derived allocation periodicity (30 min).
+	RecommendedPeriod time.Duration
+	// CDFX (seconds) and CDFY are plot points of the ECDF.
+	CDFX, CDFY []float64
+	Sessions   int
+}
+
+// RunFig9 regenerates Fig 9 from the synthetic CRAWDAD-calibrated trace.
+func RunFig9(seed int64) Fig9Result {
+	gen := assoctrace.DefaultGenerator()
+	// A slice of the 3-year trace is statistically sufficient for the
+	// duration marginals and keeps runtime bounded.
+	gen.Span = 60 * 24 * time.Hour
+	recs := gen.Generate(seed)
+	durations := assoctrace.Durations(recs)
+	ecdf := stats.NewECDF(durations)
+	xs, ys := ecdf.Points(64)
+	return Fig9Result{
+		MedianMinutes:     stats.Median(durations) / 60,
+		P90Minutes:        stats.Percentile(durations, 90) / 60,
+		FracUnder40Min:    ecdf.At(40 * 60),
+		RecommendedPeriod: assoctrace.RecommendedPeriod(recs),
+		CDFX:              xs,
+		CDFY:              ys,
+		Sessions:          len(recs),
+	}
+}
+
+// Format renders the CDF summary.
+func (r Fig9Result) Format() string {
+	s := FormatSeries("Fig 9: CDF of user association durations", "seconds",
+		[]Series{{Name: "ECDF", X: r.CDFX, Y: r.CDFY}})
+	s += fmt.Sprintf("sessions %d; median %.1f min (paper ≈31), P90 %.1f min, %.0f%% under 40 min (paper >90%%); period → %v\n",
+		r.Sessions, r.MedianMinutes, r.P90Minutes, 100*r.FracUnder40Min, r.RecommendedPeriod)
+	return s
+}
+
+// ----------------------------------------------------------- Figs 12/13 --
+
+// Fig13Result is one mobility run: ACORN's dynamic width against a fixed
+// width baseline.
+type Fig13Result struct {
+	Direction string
+	Samples   []mobility.Sample
+	// SwitchAt is when ACORN changed width (Fig 13a: to 20 MHz around
+	// t=30 s walking away; Fig 13b: to 40 MHz around t=10 s approaching).
+	SwitchAt   time.Duration
+	SwitchedTo spectrum.Width
+	DidSwitch  bool
+	// GainVsFixed is the mean ACORN throughput over the mean fixed-width
+	// baseline after the switch (paper: ≈10× over fixed 40 MHz when
+	// walking away).
+	GainVsFixed float64
+}
+
+// RunFig13Away regenerates the walk-away experiment against a fixed 40 MHz
+// configuration.
+func RunFig13Away() Fig13Result {
+	dur := 50 * time.Second
+	sc := mobility.DefaultScenario(mobility.WalkAway(dur), dur)
+	samples := mobility.Run(sc)
+	at, ok := mobility.SwitchTime(samples, spectrum.Width20)
+	r := Fig13Result{Direction: "away", Samples: samples, SwitchAt: at, SwitchedTo: spectrum.Width20, DidSwitch: ok}
+	r.GainVsFixed = postSwitchGain(samples, at, func(s mobility.Sample) float64 { return s.Fixed40 })
+	return r
+}
+
+// RunFig13Toward regenerates the walk-toward experiment against a fixed
+// 20 MHz configuration.
+func RunFig13Toward() Fig13Result {
+	dur := 35 * time.Second
+	sc := mobility.DefaultScenario(mobility.WalkToward(dur), dur)
+	samples := mobility.Run(sc)
+	at, ok := mobility.SwitchTime(samples, spectrum.Width40)
+	r := Fig13Result{Direction: "toward", Samples: samples, SwitchAt: at, SwitchedTo: spectrum.Width40, DidSwitch: ok}
+	r.GainVsFixed = postSwitchGain(samples, at, func(s mobility.Sample) float64 { return s.Fixed20 })
+	return r
+}
+
+func postSwitchGain(samples []mobility.Sample, at time.Duration, fixed func(mobility.Sample) float64) float64 {
+	var acorn, base float64
+	n := 0
+	for _, s := range samples {
+		if s.At < at {
+			continue
+		}
+		acorn += s.ACORN
+		base += fixed(s)
+		n++
+	}
+	if n == 0 || base == 0 {
+		return 0
+	}
+	return acorn / base
+}
+
+// Format renders the time series.
+func (r Fig13Result) Format() string {
+	xs := make([]float64, len(r.Samples))
+	acorn := make([]float64, len(r.Samples))
+	f40 := make([]float64, len(r.Samples))
+	f20 := make([]float64, len(r.Samples))
+	for i, s := range r.Samples {
+		xs[i] = s.At.Seconds()
+		acorn[i] = s.ACORN
+		f40[i] = s.Fixed40
+		f20[i] = s.Fixed20
+	}
+	s := FormatSeries(fmt.Sprintf("Fig 13 (%s): cell throughput over time", r.Direction), "t(s)",
+		[]Series{
+			{Name: "ACORN", X: xs, Y: acorn},
+			{Name: "fixed-40MHz", X: xs, Y: f40},
+			{Name: "fixed-20MHz", X: xs, Y: f20},
+		})
+	if r.DidSwitch {
+		s += fmt.Sprintf("ACORN switched to %v at t=%v; post-switch gain vs fixed baseline %.1fx\n",
+			r.SwitchedTo, r.SwitchAt, r.GainVsFixed)
+	} else {
+		s += "ACORN did not switch width\n"
+	}
+	return s
+}
+
+// ---------------------------------------------------------------- Fig 12 --
+
+// Fig12Result is the mobility floor plan: the walker's position over time
+// with the room boundaries that add wall loss. The paper's Fig 12 is a
+// diagram of this trajectory; the reproduction renders it as a time series
+// with room annotations.
+type Fig12Result struct {
+	// TimeS and X are the walker's position samples.
+	TimeS, X []float64
+	// RoomBoundaries are the x positions where wall loss steps up.
+	RoomBoundaries []float64
+	// WallLossDB are the cumulative wall losses past each boundary.
+	WallLossDB []float64
+}
+
+// RunFig12 renders the walk-away trajectory of Figs 12/13.
+func RunFig12() Fig12Result {
+	dur := 50 * time.Second
+	path := mobility.WalkAway(dur)
+	r := Fig12Result{
+		RoomBoundaries: []float64{20, 40},
+		WallLossDB:     []float64{12, 24},
+	}
+	for t := time.Duration(0); t <= dur; t += 2 * time.Second {
+		p := path.PositionAt(t)
+		r.TimeS = append(r.TimeS, t.Seconds())
+		r.X = append(r.X, p.X)
+	}
+	return r
+}
+
+// Format renders the trajectory with room annotations.
+func (r Fig12Result) Format() string {
+	s := FormatSeries("Fig 12: mobile client trajectory (walk-away)", "t(s)",
+		[]Series{{Name: "x(m)", X: r.TimeS, Y: r.X}})
+	for i, b := range r.RoomBoundaries {
+		s += fmt.Sprintf("room boundary at x=%.0f m (+%.0f dB wall loss beyond)\n", b, r.WallLossDB[i])
+	}
+	return s
+}

@@ -1,0 +1,29 @@
+package fec
+
+import (
+	"math/rand"
+	"testing"
+
+	"acorn/internal/phy"
+)
+
+func BenchmarkEncode1500B(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bits := randBits(rng, 1500*8)
+	b.ReportAllocs()
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		Encode(bits, phy.Rate34)
+	}
+}
+
+func BenchmarkViterbiDecode1500B(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bits := randBits(rng, 1500*8)
+	soft := HardToSoft(Encode(bits, phy.Rate34))
+	b.ReportAllocs()
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		Decode(soft, len(bits), phy.Rate34)
+	}
+}

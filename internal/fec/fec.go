@@ -1,0 +1,215 @@
+// Package fec implements the 802.11 binary convolutional code: the K=7
+// encoder with generator polynomials 133/171 (octal), the puncturing
+// patterns that derive rates 2/3, 3/4 and 5/6 from the rate-1/2 mother
+// code, and a soft-decision Viterbi decoder.
+//
+// The analytic PHY model (internal/phy.CodedBER) predicts post-Viterbi
+// error rates from a truncated union bound; this package lets the
+// sample-level baseband measure the real thing, closing the loop between
+// the closed-form model the allocation algorithms rely on and an actual
+// decoder.
+package fec
+
+import (
+	"fmt"
+	"math"
+
+	"acorn/internal/phy"
+)
+
+// Constraint length and generators of the 802.11 mother code.
+const (
+	ConstraintLength = 7
+	numStates        = 1 << (ConstraintLength - 1) // 64
+	// Generators in binary (g0 = 133 octal, g1 = 171 octal).
+	gen0 = 0o133
+	gen1 = 0o171
+)
+
+// TailBits is the number of zero bits appended to terminate the trellis.
+const TailBits = ConstraintLength - 1
+
+// puncture patterns: for each input period, which of the two coded bits
+// (c0, c1) per information bit are transmitted. true = keep.
+var punctures = map[phy.CodeRate][][2]bool{
+	phy.Rate12: {{true, true}},
+	phy.Rate23: {{true, true}, {true, false}},
+	phy.Rate34: {{true, true}, {true, false}, {false, true}},
+	phy.Rate56: {{true, true}, {true, false}, {false, true}, {true, false}, {false, true}},
+}
+
+// parity returns the XOR of the bits of x.
+func parity(x int) byte {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return byte(x & 1)
+}
+
+// Encode convolutionally encodes the information bits (one bit per byte,
+// values 0/1), terminates the trellis with TailBits zeros, and punctures to
+// the requested rate. The returned slice holds the transmitted coded bits.
+func Encode(bits []byte, rate phy.CodeRate) []byte {
+	pattern, ok := punctures[rate]
+	if !ok {
+		panic(fmt.Sprintf("fec: unsupported code rate %v", rate))
+	}
+	state := 0
+	out := make([]byte, 0, (len(bits)+TailBits)*2)
+	step := 0
+	emit := func(b byte) {
+		in := (int(b)&1)<<6 | state // input bit in the MSB position of the 7-bit window
+		c0 := parity(in & gen0)
+		c1 := parity(in & gen1)
+		keep := pattern[step%len(pattern)]
+		if keep[0] {
+			out = append(out, c0)
+		}
+		if keep[1] {
+			out = append(out, c1)
+		}
+		step++
+		state = in >> 1
+	}
+	for _, b := range bits {
+		emit(b & 1)
+	}
+	for i := 0; i < TailBits; i++ {
+		emit(0)
+	}
+	return out
+}
+
+// CodedBits returns the number of transmitted bits Encode produces for n
+// information bits at the given rate.
+func CodedBits(n int, rate phy.CodeRate) int {
+	pattern := punctures[rate]
+	total := 0
+	for step := 0; step < n+TailBits; step++ {
+		keep := pattern[step%len(pattern)]
+		if keep[0] {
+			total++
+		}
+		if keep[1] {
+			total++
+		}
+	}
+	return total
+}
+
+// Decode runs soft-decision Viterbi over the received soft bits and returns
+// the decoded information bits (length n). Soft bits use the convention
+// value > 0 ⇒ bit 1, with |value| the confidence; punctured positions are
+// reinserted with zero confidence. The trellis is terminated (the encoder's
+// tail), so decoding traces back from state 0.
+func Decode(soft []float64, n int, rate phy.CodeRate) []byte {
+	pattern, ok := punctures[rate]
+	if !ok {
+		panic(fmt.Sprintf("fec: unsupported code rate %v", rate))
+	}
+	steps := n + TailBits
+	// Depuncture into per-step (c0, c1) soft values.
+	depunct := make([][2]float64, steps)
+	idx := 0
+	for step := 0; step < steps; step++ {
+		keep := pattern[step%len(pattern)]
+		if keep[0] && idx < len(soft) {
+			depunct[step][0] = soft[idx]
+			idx++
+		}
+		if keep[1] && idx < len(soft) {
+			depunct[step][1] = soft[idx]
+			idx++
+		}
+	}
+
+	// Precompute per-state outputs for input 0/1.
+	type branch struct {
+		next   int
+		c0, c1 float64 // expected soft signs (+1 for bit 1, −1 for bit 0)
+	}
+	var branches [numStates][2]branch
+	for s := 0; s < numStates; s++ {
+		for in := 0; in <= 1; in++ {
+			win := in<<6 | s
+			b := branch{next: win >> 1}
+			if parity(win&gen0) == 1 {
+				b.c0 = 1
+			} else {
+				b.c0 = -1
+			}
+			if parity(win&gen1) == 1 {
+				b.c1 = 1
+			} else {
+				b.c1 = -1
+			}
+			branches[s][in] = b
+		}
+	}
+
+	const neg = math.MaxFloat64
+	metric := make([]float64, numStates)
+	next := make([]float64, numStates)
+	for s := 1; s < numStates; s++ {
+		metric[s] = -neg
+	}
+	// survivors[step*numStates+state] = (prevState << 1) | inputBit,
+	// flat to keep the decoder at one allocation for the whole trellis.
+	survivors := make([]int32, steps*numStates)
+	for step := 0; step < steps; step++ {
+		for s := range next {
+			next[s] = -neg
+		}
+		surv := survivors[step*numStates : (step+1)*numStates]
+		for i := range surv {
+			surv[i] = -1
+		}
+		c0, c1 := depunct[step][0], depunct[step][1]
+		for s := 0; s < numStates; s++ {
+			if metric[s] == -neg {
+				continue
+			}
+			for in := 0; in <= 1; in++ {
+				b := branches[s][in]
+				m := metric[s] + b.c0*c0 + b.c1*c1
+				if m > next[b.next] {
+					next[b.next] = m
+					surv[b.next] = int32(s<<1 | in)
+				}
+			}
+		}
+		copy(metric, next)
+	}
+
+	// Trace back from the terminated state 0.
+	bits := make([]byte, n)
+	state := 0
+	for step := steps - 1; step >= 0; step-- {
+		sv := survivors[step*numStates+state]
+		if sv < 0 {
+			break // unreachable state (shouldn't happen on valid input)
+		}
+		in := byte(sv & 1)
+		if step < n {
+			bits[step] = in
+		}
+		state = int(sv >> 1)
+	}
+	return bits
+}
+
+// HardToSoft converts hard bits (0/1) into unit-confidence soft values for
+// Decode.
+func HardToSoft(bits []byte) []float64 {
+	out := make([]float64, len(bits))
+	for i, b := range bits {
+		if b&1 == 1 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package fec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"acorn/internal/phy"
+)
+
+var allRates = []phy.CodeRate{phy.Rate12, phy.Rate23, phy.Rate34, phy.Rate56}
+
+func randBits(rng *rand.Rand, n int) []byte {
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	return bits
+}
+
+func TestEncodeLengths(t *testing.T) {
+	// Coded length must match CodedBits and approximate n/rate.
+	for _, rate := range allRates {
+		for _, n := range []int{1, 7, 100, 999} {
+			coded := Encode(make([]byte, n), rate)
+			if len(coded) != CodedBits(n, rate) {
+				t.Errorf("rate %v n=%d: len %d vs CodedBits %d", rate, n, len(coded), CodedBits(n, rate))
+			}
+			approx := float64(n+TailBits) / rate.Value()
+			if f := float64(len(coded)); f < approx-2 || f > approx+2 {
+				t.Errorf("rate %v n=%d: coded len %v, want ≈%v", rate, n, f, approx)
+			}
+		}
+	}
+}
+
+func TestEncodeKnownVector(t *testing.T) {
+	// All-zero input yields all-zero output for a linear code.
+	coded := Encode(make([]byte, 16), phy.Rate12)
+	for i, b := range coded {
+		if b != 0 {
+			t.Fatalf("all-zero input produced 1 at %d", i)
+		}
+	}
+	// A single 1 produces the generator impulse response: the first two
+	// coded bits are (parity(64&g0), parity(64&g1)) = (1, 1).
+	coded = Encode([]byte{1}, phy.Rate12)
+	if coded[0] != 1 || coded[1] != 1 {
+		t.Errorf("impulse first branch = %d,%d want 1,1", coded[0], coded[1])
+	}
+}
+
+func TestRoundTripNoiseless(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, rate := range allRates {
+		for _, n := range []int{1, 17, 240, 1000} {
+			bits := randBits(rng, n)
+			coded := Encode(bits, rate)
+			decoded := Decode(HardToSoft(coded), n, rate)
+			for i := range bits {
+				if decoded[i] != bits[i] {
+					t.Fatalf("rate %v n=%d: bit %d wrong", rate, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64, rateIdx uint8) bool {
+		rate := allRates[int(rateIdx)%len(allRates)]
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		bits := randBits(r, n)
+		decoded := Decode(HardToSoft(Encode(bits, rate)), n, rate)
+		for i := range bits {
+			if decoded[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrectsRandomErrors(t *testing.T) {
+	// Rate 1/2, d_free = 10: a few percent of flipped coded bits spread
+	// over a long block decode cleanly.
+	rng := rand.New(rand.NewSource(3))
+	bits := randBits(rng, 600)
+	coded := Encode(bits, phy.Rate12)
+	flips := len(coded) / 40 // 2.5% bit errors
+	for i := 0; i < flips; i++ {
+		p := rng.Intn(len(coded))
+		coded[p] ^= 1
+	}
+	decoded := Decode(HardToSoft(coded), len(bits), phy.Rate12)
+	errors := 0
+	for i := range bits {
+		if decoded[i] != bits[i] {
+			errors++
+		}
+	}
+	if errors != 0 {
+		t.Errorf("2.5%% channel errors left %d info errors after Viterbi", errors)
+	}
+}
+
+func TestPuncturedCorrectsFewerErrors(t *testing.T) {
+	// Rate 5/6 tolerates fewer channel errors than 1/2: at an error rate
+	// the mother code shrugs off, the punctured code shows residual
+	// errors sooner. Verify the ordering statistically.
+	countErrors := func(rate phy.CodeRate, flipFrac float64, seed int64) int {
+		rng := rand.New(rand.NewSource(seed))
+		bits := randBits(rng, 800)
+		coded := Encode(bits, rate)
+		for i := range coded {
+			if rng.Float64() < flipFrac {
+				coded[i] ^= 1
+			}
+		}
+		decoded := Decode(HardToSoft(coded), len(bits), rate)
+		errs := 0
+		for i := range bits {
+			if decoded[i] != bits[i] {
+				errs++
+			}
+		}
+		return errs
+	}
+	var total12, total56 int
+	for seed := int64(0); seed < 8; seed++ {
+		total12 += countErrors(phy.Rate12, 0.04, seed)
+		total56 += countErrors(phy.Rate56, 0.04, seed)
+	}
+	if total12 >= total56 {
+		t.Errorf("rate 1/2 residual errors (%d) should be below rate 5/6 (%d)", total12, total56)
+	}
+}
+
+func TestSoftBeatsErasures(t *testing.T) {
+	// Zero-confidence (erased) positions are worse than confident ones
+	// but the decoder must still recover when enough survive.
+	rng := rand.New(rand.NewSource(5))
+	bits := randBits(rng, 300)
+	coded := Encode(bits, phy.Rate12)
+	soft := HardToSoft(coded)
+	// Erase 10% of positions.
+	for i := 0; i < len(soft)/10; i++ {
+		soft[rng.Intn(len(soft))] = 0
+	}
+	decoded := Decode(soft, len(bits), phy.Rate12)
+	errs := 0
+	for i := range bits {
+		if decoded[i] != bits[i] {
+			errs++
+		}
+	}
+	if errs != 0 {
+		t.Errorf("10%% erasures left %d errors", errs)
+	}
+}
+
+func TestDecodeShortInput(t *testing.T) {
+	// Truncated soft input (missing tail) must not panic; the prefix
+	// should still mostly decode.
+	bits := []byte{1, 0, 1, 1, 0, 0, 1}
+	coded := Encode(bits, phy.Rate12)
+	soft := HardToSoft(coded[:len(coded)-4])
+	decoded := Decode(soft, len(bits), phy.Rate12)
+	if len(decoded) != len(bits) {
+		t.Fatalf("decoded length %d, want %d", len(decoded), len(bits))
+	}
+}
+
+func TestUnsupportedRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode with invalid rate should panic")
+		}
+	}()
+	Encode([]byte{1}, phy.CodeRate(99))
+}

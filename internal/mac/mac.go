@@ -1,0 +1,153 @@
+// Package mac models the 802.11 DCF at the granularity ACORN needs: the
+// fixed per-frame MAC/PHY overheads, the expected airtime to deliver a
+// packet (including retransmissions), the per-client transmission delay d_cl
+// and aggregate transmission delay ATD the paper's beacons carry, and the
+// performance-anomaly throughput law — DCF grants equal long-term access
+// opportunities, so a cell's aggregate throughput is set by the sum of its
+// clients' per-packet airtimes, and one slow client drags everyone down
+// (Heusse et al., the effect Sections 3.2 and 4 of the paper lean on).
+package mac
+
+import "math"
+
+// 802.11n/5 GHz MAC timing constants (OFDM PHY, mixed-format HT preamble).
+const (
+	// SlotTime is the 802.11 OFDM slot duration.
+	SlotTime = 9e-6
+	// SIFS separates a data frame from its ACK.
+	SIFS = 16e-6
+	// DIFS is the idle time sensed before contention.
+	DIFS = 34e-6
+	// CWMin is the minimum contention window; the average backoff before
+	// a first transmission attempt is CWMin/2 slots.
+	CWMin = 15
+	// HTPreamble is the duration of the HT mixed-format PLCP preamble
+	// and header prepended to every data frame.
+	HTPreamble = 36e-6
+	// ACKDuration covers the legacy preamble plus a 14-byte ACK at the
+	// 24 Mbit/s basic rate.
+	ACKDuration = 20e-6 + 14*8/24e6
+	// MACHeaderBytes is the size of the 802.11 data MAC header + FCS.
+	MACHeaderBytes = 36
+	// MaxRetries is the retry limit used when computing expected
+	// delivery airtime; past it the frame is dropped.
+	MaxRetries = 7
+	// AggregationFactor models A-MPDU-style frame aggregation: the fixed
+	// contention/preamble/ACK overhead is paid once per burst of this
+	// many frames. Without it the per-frame overhead swamps the rate
+	// difference between 20 and 40 MHz channels and the throughput gain
+	// from bonding collapses far below the <2× the paper measures.
+	AggregationFactor = 4
+)
+
+// FrameOverhead is the fixed per-frame airtime that does not depend on the
+// data rate: DIFS + mean backoff + preamble + SIFS + ACK.
+func FrameOverhead() float64 {
+	return DIFS + float64(CWMin)/2*SlotTime + HTPreamble + SIFS + ACKDuration
+}
+
+// FrameAirtime returns the expected per-frame medium time of one
+// transmission attempt of a packet with the given payload, at the given
+// nominal PHY rate in Mbit/s. It includes the MAC header and the fixed
+// overheads amortized over an aggregated burst of AggregationFactor frames.
+func FrameAirtime(payloadBytes int, rateMbps float64) float64 {
+	if rateMbps <= 0 {
+		return math.Inf(1)
+	}
+	bits := float64((payloadBytes + MACHeaderBytes) * 8)
+	return FrameOverhead()/AggregationFactor + bits/(rateMbps*1e6)
+}
+
+// ExpectedAttempts returns the expected number of transmission attempts
+// needed to deliver a frame when each attempt fails independently with
+// probability per, truncated at MaxRetries+1 attempts. For per → 1 it
+// saturates at the retry limit rather than diverging.
+func ExpectedAttempts(per float64) float64 {
+	if per <= 0 {
+		return 1
+	}
+	if per >= 1 {
+		return MaxRetries + 1
+	}
+	// E[attempts] for a truncated geometric distribution.
+	n := float64(MaxRetries + 1)
+	return (1 - math.Pow(per, n)) / (1 - per)
+}
+
+// DeliveryProbability returns the probability a frame is delivered within
+// the retry limit.
+func DeliveryProbability(per float64) float64 {
+	if per <= 0 {
+		return 1
+	}
+	if per >= 1 {
+		return 0
+	}
+	return 1 - math.Pow(per, float64(MaxRetries+1))
+}
+
+// DeliveryAirtime returns the expected airtime spent to deliver one packet,
+// counting retransmissions. This is the per-packet cost the anomaly model
+// charges each client.
+func DeliveryAirtime(payloadBytes int, rateMbps, per float64) float64 {
+	return FrameAirtime(payloadBytes, rateMbps) * ExpectedAttempts(per)
+}
+
+// MaxClientDelay caps d_cl at 10³ s/Mbit (a 1 kbit/s link). A link that
+// cannot deliver within the retry budget does not formally zero its cell's
+// arithmetic — higher layers eventually rate-limit or deauth such a client —
+// but at this cap the anomaly drag is still catastrophic (a cell holding one
+// such client collapses to a few kbit/s), which is the paper's observed
+// behaviour. The cap also keeps every delay finite, so utility arithmetic
+// (Eq. 4) never sees Inf−Inf.
+const MaxClientDelay = 1e3
+
+// ClientDelay is the paper's per-client transmission delay d_cl, expressed
+// as seconds of airtime per megabit of delivered payload, capped at
+// MaxClientDelay. The reciprocal of a client's delay is the throughput it
+// would see alone on an uncontended channel.
+func ClientDelay(payloadBytes int, rateMbps, per float64) float64 {
+	airtime := DeliveryAirtime(payloadBytes, rateMbps, per)
+	deliveredMbit := float64(payloadBytes*8) / 1e6 * DeliveryProbability(per)
+	if deliveredMbit <= 0 {
+		return MaxClientDelay
+	}
+	return math.Min(airtime/deliveredMbit, MaxClientDelay)
+}
+
+// Cell aggregates the DCF behaviour of one AP's cell under saturated
+// downlink traffic.
+type Cell struct {
+	// Delays holds d_cl for each associated client (s/Mbit).
+	Delays []float64
+	// AccessShare is the paper's M: the fraction of airtime the AP wins
+	// against co-channel contenders (1 with no contention, estimated as
+	// 1/(|con_a|+1) in the implementation, Section 5.1).
+	AccessShare float64
+}
+
+// ATD returns the aggregate transmission delay Σ d_cl of the cell.
+func (c Cell) ATD() float64 {
+	var sum float64
+	for _, d := range c.Delays {
+		sum += d
+	}
+	return sum
+}
+
+// PerClientThroughput returns X = M/ATD in Mbit/s — under DCF's equal
+// long-term access opportunities every client of the cell sees the same
+// throughput regardless of its own rate; that is the 802.11 performance
+// anomaly. An empty cell returns 0.
+func (c Cell) PerClientThroughput() float64 {
+	atd := c.ATD()
+	if atd <= 0 || math.IsInf(atd, 1) || len(c.Delays) == 0 {
+		return 0
+	}
+	return c.AccessShare / atd
+}
+
+// AggregateThroughput returns K·M/ATD, the cell's total throughput.
+func (c Cell) AggregateThroughput() float64 {
+	return float64(len(c.Delays)) * c.PerClientThroughput()
+}

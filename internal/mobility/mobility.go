@@ -1,0 +1,178 @@
+// Package mobility drives the pedestrian-mobility experiments of Figs 12
+// and 13: a single AP serving two static clients plus one mobile laptop
+// that walks away from (or toward) the AP. At each time step ACORN's width
+// adapter re-evaluates whether the allocated 40 MHz channel still pays off
+// given the measured link qualities; fixed-width configurations are
+// evaluated alongside for comparison.
+package mobility
+
+import (
+	"time"
+
+	"acorn/internal/core"
+	"acorn/internal/rf"
+	"acorn/internal/spectrum"
+	"acorn/internal/units"
+	"acorn/internal/wlan"
+)
+
+// Waypoint anchors the mobile client's position at a point in time.
+type Waypoint struct {
+	At  time.Duration
+	Pos rf.Point
+}
+
+// Trajectory is a piecewise-linear path through waypoints.
+type Trajectory []Waypoint
+
+// PositionAt returns the interpolated position at time t. Before the first
+// waypoint the client sits at the first position; after the last, at the
+// last.
+func (tr Trajectory) PositionAt(t time.Duration) rf.Point {
+	if len(tr) == 0 {
+		return rf.Point{}
+	}
+	if t <= tr[0].At {
+		return tr[0].Pos
+	}
+	for i := 1; i < len(tr); i++ {
+		if t <= tr[i].At {
+			a, b := tr[i-1], tr[i]
+			span := (b.At - a.At).Seconds()
+			if span <= 0 {
+				return b.Pos
+			}
+			frac := (t - a.At).Seconds() / span
+			return rf.Point{
+				X: a.Pos.X + frac*(b.Pos.X-a.Pos.X),
+				Y: a.Pos.Y + frac*(b.Pos.Y-a.Pos.Y),
+			}
+		}
+	}
+	return tr[len(tr)-1].Pos
+}
+
+// WalkAway returns the paper's first trajectory: start near the AP and walk
+// through two rooms to a distant spot (Fig 12's dark arrows), stopping
+// where the link is poor but alive — usable at 20 MHz, dead at 40 MHz.
+func WalkAway(duration time.Duration) Trajectory {
+	return Trajectory{
+		{At: 0, Pos: rf.Point{X: 3, Y: 0}},
+		{At: duration * 4 / 5, Pos: rf.Point{X: 60, Y: 0}},
+		{At: duration, Pos: rf.Point{X: 60, Y: 0}},
+	}
+}
+
+// WalkToward is the reverse experiment (Fig 12's striped arrows): start far
+// and approach the AP.
+func WalkToward(duration time.Duration) Trajectory {
+	return Trajectory{
+		{At: 0, Pos: rf.Point{X: 60, Y: 0}},
+		{At: duration * 2 / 5, Pos: rf.Point{X: 10, Y: 0}},
+		{At: duration, Pos: rf.Point{X: 3, Y: 0}},
+	}
+}
+
+// RoomWallLoss models the floor plan of Fig 12: walking beyond x = 20 m
+// crosses into the next room (+12 dB through the wall), and beyond x = 40 m
+// into the one after (+12 dB more).
+func RoomWallLoss(x float64) units.DB {
+	switch {
+	case x > 40:
+		return 24
+	case x > 20:
+		return 12
+	default:
+		return 0
+	}
+}
+
+// Sample is one time step of the experiment.
+type Sample struct {
+	At time.Duration
+	// MobileSNR20 is the mobile client's 20 MHz-reference per-subcarrier
+	// SNR at this instant.
+	MobileSNR20 float64
+	// Width is the width ACORN operates this step.
+	Width spectrum.Width
+	// ACORN, Fixed40 and Fixed20 are the aggregate cell throughputs
+	// (Mbit/s) under the three policies.
+	ACORN, Fixed40, Fixed20 float64
+}
+
+// Scenario describes the Figs 12–13 setup.
+type Scenario struct {
+	// AP position and the two static clients.
+	AP      rf.Point
+	StaticA rf.Point
+	StaticB rf.Point
+	// Path is the mobile client's trajectory.
+	Path Trajectory
+	// Step is the sampling interval.
+	Step time.Duration
+	// Duration is the experiment length.
+	Duration time.Duration
+}
+
+// DefaultScenario reproduces the paper's setup: an AP with two nearby
+// static clients and the default one-minute pedestrian walk.
+func DefaultScenario(path Trajectory, duration time.Duration) Scenario {
+	return Scenario{
+		AP:       rf.Point{X: 0, Y: 0},
+		StaticA:  rf.Point{X: 4, Y: 3},
+		StaticB:  rf.Point{X: 6, Y: -2},
+		Path:     path,
+		Step:     time.Second,
+		Duration: duration,
+	}
+}
+
+// Run executes the scenario and returns the time series. The network is a
+// single cell with a reserved 40 MHz allocation, so contention plays no
+// role; what varies is the anomaly-weighted cell throughput at each width.
+func Run(sc Scenario) []Sample {
+	ap := &wlan.AP{ID: "AP", Pos: sc.AP, TxPower: 18}
+	static := []*wlan.Client{
+		{ID: "staticA", Pos: sc.StaticA},
+		{ID: "staticB", Pos: sc.StaticB},
+	}
+	mobile := &wlan.Client{ID: "mobile", Pos: sc.Path.PositionAt(0)}
+	n := wlan.NewNetwork([]*wlan.AP{ap}, append(append([]*wlan.Client(nil), static...), mobile))
+
+	ch40 := n.Band.Channels40()[0]
+	adapter := core.NewWidthAdapter(ch40)
+
+	var out []Sample
+	for t := time.Duration(0); t <= sc.Duration; t += sc.Step {
+		mobile.Pos = sc.Path.PositionAt(t)
+		mobile.ExtraLoss = map[string]units.DB{"AP": RoomWallLoss(mobile.Pos.X)}
+		snrs := map[string]units.DB{
+			"staticA": n.ClientSNR20(ap, static[0]),
+			"staticB": n.ClientSNR20(ap, static[1]),
+			"mobile":  n.ClientSNR20(ap, mobile),
+		}
+		cur := adapter.Decide(n, snrs)
+		out = append(out, Sample{
+			At:          t,
+			MobileSNR20: float64(snrs["mobile"]),
+			Width:       cur.Width,
+			ACORN:       core.CellThroughputAt(n, snrs, cur.Width),
+			Fixed40:     core.CellThroughputAt(n, snrs, spectrum.Width40),
+			Fixed20:     core.CellThroughputAt(n, snrs, spectrum.Width20),
+		})
+	}
+	return out
+}
+
+// SwitchTime returns the first time ACORN *transitions into* the given
+// width (a sample at width w whose predecessor was at the other width), and
+// ok=false if no such transition happens. Samples already at w from the
+// start do not count — the interesting event is the switch.
+func SwitchTime(samples []Sample, w spectrum.Width) (time.Duration, bool) {
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Width == w && samples[i-1].Width != w {
+			return samples[i].At, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,48 @@
+package phy
+
+import "acorn/internal/units"
+
+// Real links do not sit at one SNR: small-scale fading moves the
+// instantaneous per-subcarrier SNR around its mean from packet to packet,
+// which smears the razor-thin AWGN PER waterfall over several dB. This is
+// why the paper's measured σ-transition windows span 2–3 dB of SNR
+// (Table 1) while pure AWGN theory would predict fractions of a dB. The
+// long-term PER of a link is therefore the fade-averaged PER below.
+
+// DefaultFadeSigmaDB is the standard deviation (dB) of the per-packet SNR
+// fluctuation for the MIMO testbed links. MIMO diversity keeps it small;
+// single-antenna links would see far larger swings.
+const DefaultFadeSigmaDB = 2.0
+
+// fadeNodes/fadeWeights implement a 5-point binomial (Gaussian-like)
+// quadrature at 0, ±σ, ±2σ.
+var (
+	fadeNodes   = []float64{-2, -1, 0, 1, 2}
+	fadeWeights = []float64{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+)
+
+// CodedPERFaded returns the long-term coded PER of a link whose mean
+// per-subcarrier SNR is snr, averaging the AWGN PER over a lognormal
+// (Gaussian-in-dB) fade of the given standard deviation.
+func CodedPERFaded(mc ModCod, snr units.DB, packetBytes int, sigmaDB float64) float64 {
+	if sigmaDB <= 0 {
+		return CodedPER(mc, snr, packetBytes)
+	}
+	var per float64
+	for i, node := range fadeNodes {
+		per += fadeWeights[i] * CodedPER(mc, snr+units.DB(node*sigmaDB), packetBytes)
+	}
+	return per
+}
+
+// UncodedPERFaded is the uncoded counterpart of CodedPERFaded.
+func UncodedPERFaded(m Modulation, snr units.DB, packetBytes int, sigmaDB float64) float64 {
+	if sigmaDB <= 0 {
+		return UncodedPER(m, snr, packetBytes)
+	}
+	var per float64
+	for i, node := range fadeNodes {
+		per += fadeWeights[i] * UncodedPER(m, snr+units.DB(node*sigmaDB), packetBytes)
+	}
+	return per
+}

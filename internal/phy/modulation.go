@@ -1,0 +1,125 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"acorn/internal/units"
+)
+
+// Modulation identifies a subcarrier modulation scheme.
+type Modulation int
+
+// The modulations 802.11n uses, plus DQPSK which the WARP baseband
+// experiments in Section 3.1 transmit.
+const (
+	BPSK Modulation = iota
+	QPSK
+	DQPSK
+	QAM16
+	QAM64
+)
+
+// String implements fmt.Stringer.
+func (m Modulation) String() string {
+	switch m {
+	case BPSK:
+		return "BPSK"
+	case QPSK:
+		return "QPSK"
+	case DQPSK:
+		return "DQPSK"
+	case QAM16:
+		return "16QAM"
+	case QAM64:
+		return "64QAM"
+	default:
+		return fmt.Sprintf("Modulation(%d)", int(m))
+	}
+}
+
+// BitsPerSymbol returns log2 of the constellation size.
+func (m Modulation) BitsPerSymbol() int {
+	switch m {
+	case BPSK:
+		return 1
+	case QPSK, DQPSK:
+		return 2
+	case QAM16:
+		return 4
+	case QAM64:
+		return 6
+	default:
+		panic(fmt.Sprintf("phy: unknown modulation %d", int(m)))
+	}
+}
+
+// Q is the Gaussian tail function Q(x) = P(N(0,1) > x), computed from erfc.
+func Q(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// UncodedBER returns the theoretical uncoded bit error rate of the
+// modulation over an AWGN channel at the given per-subcarrier SNR (Es/N0 in
+// dB). These are the standard Rappaport formulas the paper overlays on its
+// WARP measurements in Fig 3a ("the theoretical BER formula depends only on
+// the SNR per subcarrier and not on the bandwidth").
+//
+// The conversion from symbol SNR to per-bit SNR is γb = (Es/N0)/log2(M).
+func UncodedBER(m Modulation, snr units.DB) float64 {
+	es := snr.Linear()
+	if es <= 0 {
+		return 0.5
+	}
+	bits := float64(m.BitsPerSymbol())
+	gammaB := es / bits
+	var ber float64
+	switch m {
+	case BPSK:
+		ber = Q(math.Sqrt(2 * gammaB))
+	case QPSK:
+		// Gray-coded QPSK has the same per-bit error rate as BPSK.
+		ber = Q(math.Sqrt(2 * gammaB))
+	case DQPSK:
+		// Differentially-detected QPSK pays ≈2.3 dB versus coherent
+		// QPSK; the standard approximation replaces 2γb with
+		// 4γb·sin²(π/8) ≈ 1.172·γb in the Q argument.
+		ber = Q(math.Sqrt(4 * gammaB * math.Pow(math.Sin(math.Pi/8), 2) * 2))
+	case QAM16, QAM64:
+		mSize := math.Pow(2, bits)
+		// Square M-QAM with Gray mapping:
+		// Pb ≈ 4/log2(M)·(1−1/√M)·Q(√(3·log2(M)/(M−1)·γb)).
+		ber = 4 / bits * (1 - 1/math.Sqrt(mSize)) *
+			Q(math.Sqrt(3*bits/(mSize-1)*gammaB))
+	default:
+		panic(fmt.Sprintf("phy: unknown modulation %d", int(m)))
+	}
+	if ber > 0.5 {
+		ber = 0.5
+	}
+	return ber
+}
+
+// UncodedSER returns the symbol (baud) error rate for the modulation at the
+// given per-subcarrier SNR. Fig 2's constellation comparison is quantified
+// through this rate in the reproduction.
+func UncodedSER(m Modulation, snr units.DB) float64 {
+	es := snr.Linear()
+	if es <= 0 {
+		return 1 - 1/math.Pow(2, float64(m.BitsPerSymbol()))
+	}
+	switch m {
+	case BPSK:
+		return Q(math.Sqrt(2 * es))
+	case QPSK, DQPSK:
+		p := Q(math.Sqrt(es))
+		return 2*p - p*p
+	case QAM16, QAM64:
+		bits := float64(m.BitsPerSymbol())
+		mSize := math.Pow(2, bits)
+		p := 2 * (1 - 1/math.Sqrt(mSize)) * Q(math.Sqrt(3/(mSize-1)*es))
+		return 2*p - p*p
+	default:
+		panic(fmt.Sprintf("phy: unknown modulation %d", int(m)))
+	}
+}

@@ -1,0 +1,133 @@
+// Package phy is the analytic 802.11n PHY model the rest of ACORN is built
+// on. It captures, in closed form, the micro-effects Section 3 of the paper
+// measures on WARP hardware:
+//
+//   - the thermal noise floor grows 3 dB when the channel width doubles
+//     (Eq. 1), while the noise *per subcarrier* stays essentially constant;
+//   - the transmit energy per subcarrier halves when channel bonding spreads
+//     the same total power over 108 instead of 52 data subcarriers, so the
+//     per-subcarrier SNR drops by ≈3 dB at fixed Tx power;
+//   - BER depends only on the per-subcarrier SNR and the modulation, not on
+//     the channel width (Fig 3a), so at fixed Tx power the wider channel has
+//     strictly worse BER/PER (Figs 3b, 4b);
+//   - PER follows from BER via the independent-bit-error model (Eq. 6), and
+//     the σ ratio (Eq. 3) decides whether bonding helps a link.
+//
+// The package also carries the full 802.11n MCS table so rate control and the
+// throughput estimators agree on nominal bit rates.
+package phy
+
+import (
+	"math"
+
+	"acorn/internal/spectrum"
+	"acorn/internal/units"
+)
+
+// OFDM numerology for 802.11n (Section 3.1 of the paper; clause 20 of the
+// 802.11n spec).
+const (
+	// DataSubcarriers20 is the number of data subcarriers in a 20 MHz
+	// 802.11n channel (up from 48 in 802.11a/g).
+	DataSubcarriers20 = 52
+	// DataSubcarriers40 is the number of data subcarriers with channel
+	// bonding.
+	DataSubcarriers40 = 108
+	// PilotSubcarriers20 and PilotSubcarriers40 carry pilot tones.
+	PilotSubcarriers20 = 4
+	PilotSubcarriers40 = 6
+	// FFTSize20 and FFTSize40 are the transform sizes of the OFDM
+	// modulator at each width.
+	FFTSize20 = 64
+	FFTSize40 = 128
+	// SubcarrierSpacingHz is the OFDM subcarrier spacing (312.5 kHz).
+	SubcarrierSpacingHz = 312500.0
+	// SymbolDurationLongGI is the OFDM symbol duration with the 800 ns
+	// guard interval; SymbolDurationShortGI uses the optional 400 ns GI.
+	SymbolDurationLongGI  = 4.0e-6
+	SymbolDurationShortGI = 3.6e-6
+)
+
+// MaxTxPower is the regulatory maximum transmit power the testbed uses. The
+// 802.11n spec mandates the same maximum for 20 and 40 MHz channels, which
+// is precisely why bonding cannot buy its 3 dB back (Section 3.1).
+const MaxTxPower units.DBm = 23
+
+// DataSubcarriers returns the number of data subcarriers at the given width.
+func DataSubcarriers(w spectrum.Width) int {
+	if w == spectrum.Width40 {
+		return DataSubcarriers40
+	}
+	return DataSubcarriers20
+}
+
+// UsedSubcarriers returns data+pilot subcarriers, i.e. the tones the transmit
+// power is spread across.
+func UsedSubcarriers(w spectrum.Width) int {
+	if w == spectrum.Width40 {
+		return DataSubcarriers40 + PilotSubcarriers40
+	}
+	return DataSubcarriers20 + PilotSubcarriers20
+}
+
+// NoiseFloor returns the thermal noise floor of a channel of bandwidth b,
+// N(dBm) = −174 + 10·log10(B) (Eq. 1). A 40 MHz channel is ≈3 dB noisier
+// than a 20 MHz one.
+func NoiseFloor(b units.Hertz) units.DBm {
+	return units.DBm(-174 + 10*math.Log10(float64(b)))
+}
+
+// NoiseFloorWidth is NoiseFloor for a channel width.
+func NoiseFloorWidth(w spectrum.Width) units.DBm {
+	return NoiseFloor(w.Hertz())
+}
+
+// SubcarrierNoiseFloor is the thermal noise within one OFDM subcarrier
+// (312.5 kHz). It is the same for both widths — the paper's "noise per
+// subcarrier can be expected to remain almost the same".
+func SubcarrierNoiseFloor() units.DBm {
+	return NoiseFloor(units.Hertz(SubcarrierSpacingHz))
+}
+
+// SubcarrierTxPower returns the transmit power allocated to each used
+// subcarrier when the total power tx is spread evenly (OFDM distributes the
+// transmit energy uniformly across tones). With bonding the per-subcarrier
+// power drops by 10·log10(114/56) ≈ 3.1 dB.
+func SubcarrierTxPower(tx units.DBm, w spectrum.Width) units.DBm {
+	return tx.Minus(units.Ratio(float64(UsedSubcarriers(w))))
+}
+
+// BondingSNRPenalty returns the per-subcarrier SNR loss (in dB) incurred by
+// switching from 20 MHz to 40 MHz at the same total transmit power:
+// 10·log10(114/56) ≈ 3.09 dB. ACORN's link-quality estimator applies ±this
+// value when recalibrating an SNR measured at one width to the other
+// (Section 4.2, "SNR calibration module").
+func BondingSNRPenalty() units.DB {
+	return units.Ratio(float64(UsedSubcarriers(spectrum.Width40)) / float64(UsedSubcarriers(spectrum.Width20)))
+}
+
+// SubcarrierSNR returns the per-subcarrier SNR of a link whose total
+// received power is rx, at the given channel width. This is the quantity the
+// BER formulas consume: signal power per subcarrier over noise power per
+// subcarrier.
+func SubcarrierSNR(rx units.DBm, w spectrum.Width) units.DB {
+	perSC := SubcarrierTxPower(rx, w) // received power divides across tones like transmit power
+	return perSC.Over(SubcarrierNoiseFloor())
+}
+
+// LinkSNR returns the wideband SNR a driver would report for a link with
+// received power rx on a channel of width w: total signal power over the
+// width's noise floor. LinkSNR and SubcarrierSNR differ only by a small
+// constant (≈−0.6 dB at 20 MHz): the per-tone power split almost exactly
+// offsets the per-tone noise bandwidth reduction, because the used
+// subcarriers nearly fill the nominal bandwidth.
+func LinkSNR(rx units.DBm, w spectrum.Width) units.DB {
+	return rx.Over(NoiseFloorWidth(w))
+}
+
+// ShannonCapacity returns the AWGN channel capacity C = B·log2(1+SNR) in
+// bits per second (Eq. 2). The paper invokes it to argue that when widening
+// the band lowers the SNR, there are low-SNR regimes where capacity drops.
+func ShannonCapacity(b units.Hertz, snr units.DB) float64 {
+	return float64(b) * math.Log2(1+snr.Linear())
+}

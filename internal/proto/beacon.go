@@ -1,0 +1,192 @@
+// Package proto implements the over-the-air encoding of ACORN's modified
+// beacon (Section 5.1 of the paper): a vendor-specific information element
+// appended to 802.11 beacon frames carrying the quantities Algorithm 1
+// needs — the number of associated clients K, the channel access share M,
+// the aggregate transmission delay ATD, the per-client transmission delays
+// d_cl, and the AP's current channel.
+//
+// The format is a conventional TLV: a fixed header with version, channel
+// descriptor and counters, followed by one record per client. All
+// multi-byte fields are big-endian. Delays are carried in microseconds per
+// megabit (32-bit), M in thousandths (16-bit) — resolutions far below what
+// the algorithms can exploit.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"acorn/internal/spectrum"
+)
+
+// ElementID is the vendor-specific IE identifier used for ACORN beacons.
+const ElementID = 0xDD
+
+// Version is the current encoding version.
+const Version = 1
+
+// Maximum lengths, bounding a malicious or corrupt element.
+const (
+	MaxClients  = 512
+	maxIDLen    = 64
+	headerBytes = 1 /*ver*/ + 1 /*width*/ + 1 /*primary idx*/ + 1 /*secondary idx*/ +
+		2 /*K*/ + 2 /*M*/ + 4 /*ATD*/ + 2 /*client count*/
+)
+
+// ClientDelay is one per-client record.
+type ClientDelay struct {
+	// ClientID is the station identifier (MAC address string or token).
+	ClientID string
+	// DelayMicroPerMbit is d_cl in microseconds per megabit.
+	DelayMicroPerMbit uint32
+}
+
+// BeaconIE is the decoded ACORN information element.
+type BeaconIE struct {
+	// Channel the AP currently operates.
+	Channel spectrum.Channel
+	// K is the number of associated clients (including the inquirer when
+	// the AP counts a trial association).
+	K uint16
+	// MilliM is the access share M in thousandths (0–1000).
+	MilliM uint16
+	// ATDMicroPerMbit is the aggregate transmission delay.
+	ATDMicroPerMbit uint32
+	// Clients holds the per-client delays.
+	Clients []ClientDelay
+}
+
+// M returns the access share as a float in [0, 1].
+func (b *BeaconIE) M() float64 { return float64(b.MilliM) / 1000 }
+
+// SetM stores an access share, clamping to [0, 1].
+func (b *BeaconIE) SetM(m float64) {
+	if m < 0 {
+		m = 0
+	}
+	if m > 1 {
+		m = 1
+	}
+	b.MilliM = uint16(math.Round(m * 1000))
+}
+
+// DelayToWire converts a delay in seconds-per-megabit to the wire unit,
+// saturating at the 32-bit ceiling (≈4295 s/Mbit, far beyond the MAC
+// delay cap).
+func DelayToWire(secPerMbit float64) uint32 {
+	us := secPerMbit * 1e6
+	if us < 0 {
+		return 0
+	}
+	if us > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(math.Round(us))
+}
+
+// DelayFromWire converts back to seconds per megabit.
+func DelayFromWire(w uint32) float64 { return float64(w) / 1e6 }
+
+// Errors returned by Unmarshal.
+var (
+	ErrTruncated  = errors.New("proto: truncated beacon element")
+	ErrVersion    = errors.New("proto: unsupported beacon version")
+	ErrBadChannel = errors.New("proto: malformed channel descriptor")
+	ErrTooMany    = errors.New("proto: client count exceeds bounds")
+	ErrBadID      = errors.New("proto: malformed client identifier")
+)
+
+// Marshal encodes the element body (without the outer 802.11 IE tag/length,
+// which the frame layer owns).
+func (b *BeaconIE) Marshal() ([]byte, error) {
+	if len(b.Clients) > MaxClients {
+		return nil, ErrTooMany
+	}
+	out := make([]byte, 0, headerBytes+len(b.Clients)*8)
+	out = append(out, Version)
+	switch b.Channel.Width {
+	case spectrum.Width20:
+		out = append(out, 20)
+	case spectrum.Width40:
+		out = append(out, 40)
+	default:
+		return nil, ErrBadChannel
+	}
+	out = append(out, byte(b.Channel.Primary), byte(b.Channel.Secondary))
+	out = binary.BigEndian.AppendUint16(out, b.K)
+	out = binary.BigEndian.AppendUint16(out, b.MilliM)
+	out = binary.BigEndian.AppendUint32(out, b.ATDMicroPerMbit)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(b.Clients)))
+	for _, c := range b.Clients {
+		if len(c.ClientID) == 0 || len(c.ClientID) > maxIDLen {
+			return nil, ErrBadID
+		}
+		out = append(out, byte(len(c.ClientID)))
+		out = append(out, c.ClientID...)
+		out = binary.BigEndian.AppendUint32(out, c.DelayMicroPerMbit)
+	}
+	return out, nil
+}
+
+// Unmarshal decodes an element body produced by Marshal. It validates
+// structure strictly: any truncation, bad version, malformed channel or
+// out-of-bounds count is an error, never a panic — beacons arrive from the
+// air.
+func Unmarshal(data []byte) (*BeaconIE, error) {
+	if len(data) < headerBytes {
+		return nil, ErrTruncated
+	}
+	if data[0] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, data[0])
+	}
+	b := &BeaconIE{}
+	switch data[1] {
+	case 20:
+		b.Channel = spectrum.NewChannel20(spectrum.ChannelID(data[2]))
+		if data[3] != 0 {
+			return nil, ErrBadChannel
+		}
+	case 40:
+		if data[3] == 0 || data[2] == data[3] {
+			return nil, ErrBadChannel
+		}
+		b.Channel = spectrum.NewChannel40(spectrum.ChannelID(data[2]), spectrum.ChannelID(data[3]))
+	default:
+		return nil, ErrBadChannel
+	}
+	b.K = binary.BigEndian.Uint16(data[4:6])
+	b.MilliM = binary.BigEndian.Uint16(data[6:8])
+	if b.MilliM > 1000 {
+		return nil, fmt.Errorf("proto: access share %d out of range", b.MilliM)
+	}
+	b.ATDMicroPerMbit = binary.BigEndian.Uint32(data[8:12])
+	count := int(binary.BigEndian.Uint16(data[12:14]))
+	if count > MaxClients {
+		return nil, ErrTooMany
+	}
+	off := headerBytes
+	for i := 0; i < count; i++ {
+		if off >= len(data) {
+			return nil, ErrTruncated
+		}
+		idLen := int(data[off])
+		off++
+		if idLen == 0 || idLen > maxIDLen {
+			return nil, ErrBadID
+		}
+		if off+idLen+4 > len(data) {
+			return nil, ErrTruncated
+		}
+		id := string(data[off : off+idLen])
+		off += idLen
+		delay := binary.BigEndian.Uint32(data[off : off+4])
+		off += 4
+		b.Clients = append(b.Clients, ClientDelay{ClientID: id, DelayMicroPerMbit: delay})
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("proto: %d trailing bytes", len(data)-off)
+	}
+	return b, nil
+}

@@ -1,0 +1,238 @@
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"acorn/internal/spectrum"
+)
+
+func sampleIE() *BeaconIE {
+	b := &BeaconIE{
+		Channel:         spectrum.NewChannel40(36, 40),
+		K:               3,
+		ATDMicroPerMbit: DelayToWire(0.155),
+		Clients: []ClientDelay{
+			{ClientID: "aa:bb:cc:dd:ee:01", DelayMicroPerMbit: DelayToWire(0.0075)},
+			{ClientID: "aa:bb:cc:dd:ee:02", DelayMicroPerMbit: DelayToWire(0.1475)},
+		},
+	}
+	b.SetM(0.5)
+	return b
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := sampleIE()
+	data, err := orig.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Channel != orig.Channel || got.K != orig.K || got.MilliM != orig.MilliM ||
+		got.ATDMicroPerMbit != orig.ATDMicroPerMbit || len(got.Clients) != len(orig.Clients) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, orig)
+	}
+	for i := range orig.Clients {
+		if got.Clients[i] != orig.Clients[i] {
+			t.Errorf("client %d mismatch", i)
+		}
+	}
+}
+
+func TestRoundTrip20MHz(t *testing.T) {
+	b := &BeaconIE{Channel: spectrum.NewChannel20(44), K: 1}
+	b.SetM(1)
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Channel != b.Channel {
+		t.Errorf("channel = %v, want %v", got.Channel, b.Channel)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	ids := []spectrum.ChannelID{36, 40, 44, 48, 52, 56, 60, 64, 100, 104, 108, 112}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := &BeaconIE{K: uint16(rng.Intn(64)), ATDMicroPerMbit: rng.Uint32()}
+		b.SetM(rng.Float64())
+		if rng.Intn(2) == 0 {
+			b.Channel = spectrum.NewChannel20(ids[rng.Intn(len(ids))])
+		} else {
+			pair := rng.Intn(6)
+			b.Channel = spectrum.NewChannel40(ids[2*pair], ids[2*pair+1])
+		}
+		nc := rng.Intn(8)
+		for i := 0; i < nc; i++ {
+			b.Clients = append(b.Clients, ClientDelay{
+				ClientID:          fmt.Sprintf("sta-%02d-%x", i, rng.Uint32()),
+				DelayMicroPerMbit: rng.Uint32(),
+			})
+		}
+		data, err := b.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		if got.Channel != b.Channel || got.K != b.K || got.MilliM != b.MilliM ||
+			got.ATDMicroPerMbit != b.ATDMicroPerMbit || len(got.Clients) != len(b.Clients) {
+			return false
+		}
+		for i := range b.Clients {
+			if got.Clients[i] != b.Clients[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalTruncation(t *testing.T) {
+	data, err := sampleIE().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must fail cleanly (no panic, error returned).
+	for l := 0; l < len(data); l++ {
+		if _, err := Unmarshal(data[:l]); err == nil {
+			t.Errorf("prefix of length %d accepted", l)
+		}
+	}
+	// Trailing garbage is rejected.
+	if _, err := Unmarshal(append(append([]byte{}, data...), 0xFF)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestUnmarshalMutationNeverPanics(t *testing.T) {
+	data, err := sampleIE().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		m := append([]byte(nil), data...)
+		flips := 1 + rng.Intn(4)
+		for i := 0; i < flips; i++ {
+			m[rng.Intn(len(m))] ^= byte(1 << rng.Intn(8))
+		}
+		// Either decodes or errors; must not panic.
+		_, _ = Unmarshal(m)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	base := sampleIE()
+	data, _ := base.Marshal()
+
+	bad := append([]byte(nil), data...)
+	bad[0] = 99 // version
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrVersion) {
+		t.Errorf("version error = %v", err)
+	}
+
+	bad = append([]byte(nil), data...)
+	bad[1] = 30 // width
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrBadChannel) {
+		t.Errorf("width error = %v", err)
+	}
+
+	// 20 MHz element with nonzero secondary.
+	b20 := &BeaconIE{Channel: spectrum.NewChannel20(36)}
+	d20, _ := b20.Marshal()
+	d20[3] = 40
+	if _, err := Unmarshal(d20); !errors.Is(err, ErrBadChannel) {
+		t.Errorf("nonzero secondary error = %v", err)
+	}
+
+	// 40 MHz with equal components.
+	b40 := sampleIE()
+	d40, _ := b40.Marshal()
+	d40[3] = d40[2]
+	if _, err := Unmarshal(d40); !errors.Is(err, ErrBadChannel) {
+		t.Errorf("equal components error = %v", err)
+	}
+
+	// Access share out of range.
+	bad = append([]byte(nil), data...)
+	bad[6], bad[7] = 0xFF, 0xFF
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("out-of-range M accepted")
+	}
+}
+
+func TestMarshalErrors(t *testing.T) {
+	b := sampleIE()
+	b.Clients = make([]ClientDelay, MaxClients+1)
+	for i := range b.Clients {
+		b.Clients[i] = ClientDelay{ClientID: "x"}
+	}
+	if _, err := b.Marshal(); !errors.Is(err, ErrTooMany) {
+		t.Errorf("too-many error = %v", err)
+	}
+	b = sampleIE()
+	b.Clients[0].ClientID = ""
+	if _, err := b.Marshal(); !errors.Is(err, ErrBadID) {
+		t.Errorf("empty-id error = %v", err)
+	}
+	b = sampleIE()
+	b.Clients[0].ClientID = strings.Repeat("x", maxIDLen+1)
+	if _, err := b.Marshal(); !errors.Is(err, ErrBadID) {
+		t.Errorf("long-id error = %v", err)
+	}
+	b = sampleIE()
+	b.Channel = spectrum.Channel{}
+	if _, err := b.Marshal(); !errors.Is(err, ErrBadChannel) {
+		t.Errorf("zero-channel error = %v", err)
+	}
+}
+
+func TestDelayConversions(t *testing.T) {
+	cases := []float64{0, 0.0075, 0.155, 1, 1000}
+	for _, d := range cases {
+		back := DelayFromWire(DelayToWire(d))
+		if diff := back - d; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("delay %v round trip gave %v", d, back)
+		}
+	}
+	if DelayToWire(-1) != 0 {
+		t.Error("negative delay should clamp to 0")
+	}
+	if DelayToWire(1e10) != 1<<32-1 {
+		t.Error("huge delay should saturate")
+	}
+}
+
+func TestSetMClamping(t *testing.T) {
+	var b BeaconIE
+	b.SetM(-0.5)
+	if b.MilliM != 0 {
+		t.Error("negative M should clamp to 0")
+	}
+	b.SetM(2)
+	if b.MilliM != 1000 {
+		t.Error("M above 1 should clamp to 1000")
+	}
+	b.SetM(0.333)
+	if m := b.M(); m < 0.332 || m > 0.334 {
+		t.Errorf("M round trip = %v", m)
+	}
+}

@@ -1,0 +1,155 @@
+package proto
+
+// The 802.11 management-frame wrapper around the ACORN element: a beacon
+// frame with MAC header, the fixed beacon fields (timestamp, interval,
+// capabilities), the SSID element, the vendor element carrying the ACORN
+// IE, and the FCS. This is the frame the paper's modified driver broadcasts
+// (Section 5.1); clients parse it to run Algorithm 1.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Management frame constants.
+const (
+	// beaconFrameControl is type=management (00), subtype=beacon (1000),
+	// version 0, little-endian on the wire.
+	beaconFrameControl uint16 = 0x0080
+	macHeaderBytes            = 24
+	fixedFieldBytes           = 8 + 2 + 2 // timestamp + interval + capabilities
+	fcsBytes                  = 4
+	// elemSSID and elemVendor are 802.11 element IDs.
+	elemSSID   = 0
+	elemVendor = 221
+	maxSSID    = 32
+	// acornOUI tags the vendor element (a locally administered OUI).
+	acornOUI0, acornOUI1, acornOUI2 = 0x02, 0xAC, 0x0E
+	// broadcastAddr fills DA for beacons.
+)
+
+var broadcastAddr = [6]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+
+// BeaconFrame is a decoded ACORN beacon.
+type BeaconFrame struct {
+	// BSSID and SA identify the transmitting AP (equal for beacons).
+	BSSID [6]byte
+	// SSID is the network name.
+	SSID string
+	// TimestampMicros is the TSF timestamp.
+	TimestampMicros uint64
+	// BeaconIntervalTU is the beacon interval in time units (1024 µs).
+	BeaconIntervalTU uint16
+	// ACORN is the embedded information element.
+	ACORN *BeaconIE
+	// SeqNum is the 12-bit sequence number.
+	SeqNum uint16
+}
+
+// Frame-level decode errors.
+var (
+	ErrFrameTooShort = errors.New("proto: frame too short")
+	ErrBadFCS        = errors.New("proto: FCS mismatch")
+	ErrNotBeacon     = errors.New("proto: not a beacon frame")
+	ErrNoACORN       = errors.New("proto: no ACORN element present")
+)
+
+// MarshalFrame serializes the full beacon frame including FCS.
+func (f *BeaconFrame) MarshalFrame() ([]byte, error) {
+	if len(f.SSID) > maxSSID {
+		return nil, fmt.Errorf("proto: SSID longer than %d bytes", maxSSID)
+	}
+	if f.ACORN == nil {
+		return nil, ErrNoACORN
+	}
+	body, err := f.ACORN.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	vendorBody := append([]byte{acornOUI0, acornOUI1, acornOUI2}, body...)
+	if len(vendorBody) > 255 {
+		return nil, fmt.Errorf("proto: ACORN element too large for one IE (%d bytes)", len(vendorBody))
+	}
+
+	out := make([]byte, 0, macHeaderBytes+fixedFieldBytes+2+len(f.SSID)+2+len(vendorBody)+fcsBytes)
+	// MAC header: frame control, duration, DA, SA, BSSID, seq-ctl.
+	out = binary.LittleEndian.AppendUint16(out, beaconFrameControl)
+	out = binary.LittleEndian.AppendUint16(out, 0) // duration
+	out = append(out, broadcastAddr[:]...)
+	out = append(out, f.BSSID[:]...) // SA
+	out = append(out, f.BSSID[:]...) // BSSID
+	out = binary.LittleEndian.AppendUint16(out, f.SeqNum<<4)
+	// Fixed fields.
+	out = binary.LittleEndian.AppendUint64(out, f.TimestampMicros)
+	out = binary.LittleEndian.AppendUint16(out, f.BeaconIntervalTU)
+	out = binary.LittleEndian.AppendUint16(out, 0x0001) // ESS capability
+	// SSID element.
+	out = append(out, elemSSID, byte(len(f.SSID)))
+	out = append(out, f.SSID...)
+	// Vendor element with the ACORN payload.
+	out = append(out, elemVendor, byte(len(vendorBody)))
+	out = append(out, vendorBody...)
+	// FCS over everything so far.
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	return out, nil
+}
+
+// UnmarshalFrame parses and validates a beacon frame produced by
+// MarshalFrame (or any 802.11 beacon carrying the ACORN vendor element).
+// The FCS is checked first; corrupted frames are rejected wholesale, as a
+// receiver would.
+func UnmarshalFrame(data []byte) (*BeaconFrame, error) {
+	if len(data) < macHeaderBytes+fixedFieldBytes+fcsBytes {
+		return nil, ErrFrameTooShort
+	}
+	body, fcs := data[:len(data)-fcsBytes], data[len(data)-fcsBytes:]
+	if binary.LittleEndian.Uint32(fcs) != crc32.ChecksumIEEE(body) {
+		return nil, ErrBadFCS
+	}
+	fc := binary.LittleEndian.Uint16(body[0:2])
+	if fc != beaconFrameControl {
+		return nil, fmt.Errorf("%w: frame control %#04x", ErrNotBeacon, fc)
+	}
+	f := &BeaconFrame{}
+	copy(f.BSSID[:], body[16:22])
+	f.SeqNum = binary.LittleEndian.Uint16(body[22:24]) >> 4
+	f.TimestampMicros = binary.LittleEndian.Uint64(body[24:32])
+	f.BeaconIntervalTU = binary.LittleEndian.Uint16(body[32:34])
+
+	// Walk the information elements.
+	off := macHeaderBytes + fixedFieldBytes
+	for off+2 <= len(body) {
+		id, l := body[off], int(body[off+1])
+		off += 2
+		if off+l > len(body) {
+			return nil, fmt.Errorf("proto: element %d overruns frame", id)
+		}
+		val := body[off : off+l]
+		off += l
+		switch id {
+		case elemSSID:
+			if l > maxSSID {
+				return nil, fmt.Errorf("proto: SSID element too long (%d)", l)
+			}
+			f.SSID = string(val)
+		case elemVendor:
+			if l < 3 || val[0] != acornOUI0 || val[1] != acornOUI1 || val[2] != acornOUI2 {
+				continue // some other vendor's element
+			}
+			ie, err := Unmarshal(val[3:])
+			if err != nil {
+				return nil, fmt.Errorf("proto: ACORN element: %w", err)
+			}
+			f.ACORN = ie
+		}
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("proto: %d trailing body bytes", len(body)-off)
+	}
+	if f.ACORN == nil {
+		return nil, ErrNoACORN
+	}
+	return f, nil
+}

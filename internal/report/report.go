@@ -1,0 +1,88 @@
+// Package report renders a set of regenerated experiment outputs as a
+// single self-contained HTML page — the artifact a reviewer opens to check
+// a reproduction run without a Go toolchain. cmd/experiments -html drives
+// it.
+package report
+
+import (
+	"html/template"
+	"io"
+	"sort"
+	"time"
+)
+
+// Entry is one experiment's output.
+type Entry struct {
+	// ID is the experiment identifier (fig10a, table3, …).
+	ID string
+	// Title is the first line of the formatted output.
+	Title string
+	// Body is the formatted text block.
+	Body string
+	// Elapsed is how long regeneration took.
+	Elapsed time.Duration
+}
+
+// Page is the full report.
+type Page struct {
+	// GeneratedBy describes the producing command.
+	GeneratedBy string
+	Entries     []Entry
+}
+
+var tmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>ACORN reproduction report</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; }
+  h1 { border-bottom: 2px solid #444; padding-bottom: .3rem; }
+  h2 { margin-top: 2rem; }
+  pre { background: #f6f6f6; border: 1px solid #ddd; padding: .8rem; overflow-x: auto;
+        font-size: .85rem; line-height: 1.3; }
+  nav a { margin-right: .8rem; }
+  .meta { color: #666; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>ACORN reproduction report</h1>
+<p class="meta">{{.GeneratedBy}}</p>
+<nav>
+{{range .Entries}}<a href="#{{.ID}}">{{.ID}}</a>
+{{end}}</nav>
+{{range .Entries}}
+<h2 id="{{.ID}}">{{.ID}} — {{.Title}}</h2>
+<p class="meta">regenerated in {{.Elapsed}}</p>
+<pre>{{.Body}}</pre>
+{{end}}
+</body>
+</html>
+`))
+
+// Write renders the page. Entries are sorted by ID for stable output.
+func Write(w io.Writer, p Page) error {
+	sorted := append([]Entry(nil), p.Entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	p.Entries = sorted
+	return tmpl.Execute(w, p)
+}
+
+// TitleOf extracts a human title from a formatted experiment block: the
+// text of its first "# "-prefixed line, or the first line outright.
+func TitleOf(body string) string {
+	line := firstLine(body)
+	if len(line) > 2 && line[0] == '#' && line[1] == ' ' {
+		return line[2:]
+	}
+	return line
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

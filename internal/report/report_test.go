@@ -1,0 +1,56 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteReport(t *testing.T) {
+	var buf bytes.Buffer
+	err := Write(&buf, Page{
+		GeneratedBy: "unit test",
+		Entries: []Entry{
+			{ID: "table1", Title: "σ transitions", Body: "# Table 1\nrow", Elapsed: time.Millisecond},
+			{ID: "fig1", Title: "PSD", Body: "# Fig 1\n<script>alert(1)</script>", Elapsed: time.Second},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Sorted by ID: fig1 section precedes table1.
+	if strings.Index(out, `id="fig1"`) > strings.Index(out, `id="table1"`) {
+		t.Error("entries not sorted by ID")
+	}
+	// HTML-escaped body (no raw script injection).
+	if strings.Contains(out, "<script>alert") {
+		t.Error("body not HTML-escaped")
+	}
+	if !strings.Contains(out, "&lt;script&gt;") {
+		t.Error("escaped body missing")
+	}
+	if !strings.Contains(out, "unit test") {
+		t.Error("GeneratedBy missing")
+	}
+	// Navigation links for each entry.
+	if !strings.Contains(out, `href="#fig1"`) || !strings.Contains(out, `href="#table1"`) {
+		t.Error("nav links missing")
+	}
+}
+
+func TestTitleOf(t *testing.T) {
+	if got := TitleOf("# Fig 1: PSD\nrest"); got != "Fig 1: PSD" {
+		t.Errorf("TitleOf = %q", got)
+	}
+	if got := TitleOf("plain first line\nmore"); got != "plain first line" {
+		t.Errorf("TitleOf plain = %q", got)
+	}
+	if got := TitleOf("oneline"); got != "oneline" {
+		t.Errorf("TitleOf oneline = %q", got)
+	}
+	if got := TitleOf(""); got != "" {
+		t.Errorf("TitleOf empty = %q", got)
+	}
+}

@@ -1,0 +1,91 @@
+// Package rf models the radio environment of the testbed: a log-distance
+// path-loss model with per-link shadowing, antenna gains, and the small
+// per-channel quality jitter the Fig 8 experiment measures (negligible for
+// the MIMO links of the paper's testbed, which is exactly the assumption
+// ACORN's estimator relies on).
+package rf
+
+import (
+	"math"
+
+	"acorn/internal/spectrum"
+	"acorn/internal/units"
+)
+
+// Point is a position in meters on the deployment floor plan.
+type Point struct {
+	X, Y float64
+}
+
+// DistanceTo returns the Euclidean distance between two points in meters.
+func (p Point) DistanceTo(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// PathLossModel is the log-distance propagation model
+//
+//	PL(d) = PL(d0) + 10·n·log10(d/d0)
+//
+// with a reference loss at d0 = 1 m and path-loss exponent n. The defaults
+// suit an indoor 5 GHz enterprise deployment like the paper's testbed.
+type PathLossModel struct {
+	// ReferenceLoss is the path loss at one meter. Free-space loss at
+	// 5.2 GHz and 1 m is ≈46.9 dB.
+	ReferenceLoss units.DB
+	// Exponent is the path-loss exponent n (2 free space, ~3–3.5 indoor).
+	Exponent float64
+	// AntennaGain is the combined TX+RX antenna gain. The testbed nodes
+	// use 5 dBi omnidirectional antennas on both ends.
+	AntennaGain units.DB
+}
+
+// DefaultIndoor5GHz returns the propagation model used by all experiments
+// unless a scenario overrides it.
+func DefaultIndoor5GHz() PathLossModel {
+	return PathLossModel{
+		ReferenceLoss: 46.9,
+		Exponent:      3.0,
+		AntennaGain:   10, // 5 dBi at each end
+	}
+}
+
+// PathLoss returns the net loss (path loss minus antenna gains, plus any
+// extra obstruction loss) over the given distance in meters. Distances below
+// one meter are clamped to the reference distance.
+func (m PathLossModel) PathLoss(distanceM float64, extra units.DB) units.DB {
+	if distanceM < 1 {
+		distanceM = 1
+	}
+	pl := m.ReferenceLoss + units.DB(10*m.Exponent*math.Log10(distanceM))
+	return pl + extra - m.AntennaGain
+}
+
+// RxPower returns the received power for a transmitter at power tx over the
+// given distance with extra obstruction loss.
+func (m PathLossModel) RxPower(tx units.DBm, distanceM float64, extra units.DB) units.DBm {
+	return tx.Minus(m.PathLoss(distanceM, extra))
+}
+
+// ChannelJitter returns the deterministic, per-(link, channel) SNR jitter in
+// dB that models the residual frequency dependence of link quality. For the
+// MIMO links of the paper's testbed this variation is negligible (Fig 8
+// shows essentially flat PER across channels); the model draws a value in
+// roughly ±maxDB from a hash of the link seed and the channel's primary
+// component so that repeated measurements of the same link on the same
+// channel agree.
+func ChannelJitter(linkSeed int64, ch spectrum.Channel, maxDB float64) units.DB {
+	if ch.IsZero() {
+		return 0
+	}
+	h := uint64(linkSeed)*0x9e3779b97f4a7c15 + uint64(ch.Primary)*0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	h *= 0x94d049bb133111eb
+	h ^= h >> 29
+	// Map to [-1, 1) then scale.
+	unit := float64(int64(h))/math.MaxInt64 + 0 // in (-1, 1)
+	return units.DB(unit * maxDB)
+}
+
+// DefaultChannelJitterDB is the jitter amplitude matching the "negligible
+// variation" observation of Fig 8 for MIMO links.
+const DefaultChannelJitterDB = 0.4

@@ -1,0 +1,108 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"acorn/internal/spectrum"
+)
+
+func TestDistance(t *testing.T) {
+	if d := (Point{0, 0}).DistanceTo(Point{3, 4}); d != 5 {
+		t.Errorf("distance = %v, want 5", d)
+	}
+	if d := (Point{1, 1}).DistanceTo(Point{1, 1}); d != 0 {
+		t.Errorf("distance to self = %v", d)
+	}
+}
+
+func TestPathLossMonotoneInDistance(t *testing.T) {
+	m := DefaultIndoor5GHz()
+	prev := -1e9
+	for d := 1.0; d < 200; d *= 1.3 {
+		pl := float64(m.PathLoss(d, 0))
+		if pl <= prev {
+			t.Fatalf("path loss not increasing at %v m", d)
+		}
+		prev = pl
+	}
+}
+
+func TestPathLossReference(t *testing.T) {
+	m := DefaultIndoor5GHz()
+	// At 1 m: reference loss minus antenna gains.
+	want := float64(m.ReferenceLoss) - float64(m.AntennaGain)
+	if got := float64(m.PathLoss(1, 0)); math.Abs(got-want) > 1e-9 {
+		t.Errorf("PathLoss(1m) = %v, want %v", got, want)
+	}
+	// Sub-meter clamps to 1 m.
+	if m.PathLoss(0.1, 0) != m.PathLoss(1, 0) {
+		t.Error("sub-meter distances should clamp")
+	}
+	// Exponent: each decade adds 10·n dB.
+	d1 := float64(m.PathLoss(1, 0))
+	d10 := float64(m.PathLoss(10, 0))
+	if math.Abs((d10-d1)-10*m.Exponent) > 1e-9 {
+		t.Errorf("decade loss = %v, want %v", d10-d1, 10*m.Exponent)
+	}
+}
+
+func TestExtraLossAdds(t *testing.T) {
+	m := DefaultIndoor5GHz()
+	if got := m.PathLoss(5, 7) - m.PathLoss(5, 0); got != 7 {
+		t.Errorf("extra loss delta = %v, want 7", got)
+	}
+}
+
+func TestRxPower(t *testing.T) {
+	m := DefaultIndoor5GHz()
+	rx := m.RxPower(20, 10, 0)
+	want := 20 - float64(m.PathLoss(10, 0))
+	if math.Abs(float64(rx)-want) > 1e-9 {
+		t.Errorf("RxPower = %v, want %v", rx, want)
+	}
+}
+
+func TestChannelJitterDeterministic(t *testing.T) {
+	ch := spectrum.NewChannel20(36)
+	a := ChannelJitter(42, ch, 0.4)
+	b := ChannelJitter(42, ch, 0.4)
+	if a != b {
+		t.Error("jitter not deterministic for same link/channel")
+	}
+	// Different channels generally differ.
+	c := ChannelJitter(42, spectrum.NewChannel20(40), 0.4)
+	if a == c {
+		t.Error("jitter identical across channels (hash collision unlikely)")
+	}
+	if ChannelJitter(42, spectrum.Channel{}, 0.4) != 0 {
+		t.Error("zero channel should have zero jitter")
+	}
+}
+
+func TestChannelJitterBounded(t *testing.T) {
+	f := func(seed int64, id uint8) bool {
+		ch := spectrum.NewChannel20(spectrum.ChannelID(36 + 4*(int(id)%12)))
+		j := float64(ChannelJitter(seed, ch, 0.4))
+		return j >= -0.4 && j <= 0.4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChannelJitterNegligibleVsSNRScale(t *testing.T) {
+	// Fig 8: variation across channels must be negligible — well under
+	// the 3 dB bonding penalty.
+	var maxAbs float64
+	for id := spectrum.ChannelID(36); id <= 112; id += 4 {
+		j := math.Abs(float64(ChannelJitter(7, spectrum.NewChannel20(id), DefaultChannelJitterDB)))
+		if j > maxAbs {
+			maxAbs = j
+		}
+	}
+	if maxAbs >= 1.0 {
+		t.Errorf("max channel jitter %v dB should stay below 1 dB", maxAbs)
+	}
+}

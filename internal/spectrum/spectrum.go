@@ -1,0 +1,203 @@
+// Package spectrum models the 5 GHz channel plan ACORN allocates from: the
+// set of 20 MHz channels, the 40 MHz channels formed by bonding two adjacent
+// 20 MHz channels, and the conflict relation between them.
+//
+// In the paper's graph-coloring formulation (Section 4.2), every 20 MHz
+// channel is a "basic color" c_i and every bonded 40 MHz channel is a
+// "composite color" {c_i, c_j}. Two colors conflict iff they share a basic
+// component: c_i conflicts with c_i and with {c_i, c_j}, while c_i and c_j
+// do not conflict with each other. Channel.Conflicts implements exactly that
+// relation.
+package spectrum
+
+import (
+	"fmt"
+	"sort"
+
+	"acorn/internal/units"
+)
+
+// Width is the channel bandwidth: 20 MHz, or 40 MHz when channel bonding is
+// active.
+type Width int
+
+// The two channel widths 802.11n supports.
+const (
+	Width20 Width = 20
+	Width40 Width = 40
+)
+
+// Hertz returns the bandwidth in Hz.
+func (w Width) Hertz() units.Hertz {
+	switch w {
+	case Width40:
+		return units.Bandwidth40MHz
+	default:
+		return units.Bandwidth20MHz
+	}
+}
+
+// String implements fmt.Stringer.
+func (w Width) String() string { return fmt.Sprintf("%d MHz", int(w)) }
+
+// ChannelID is the IEEE channel number of a 20 MHz channel (36, 40, 44, …).
+type ChannelID int
+
+// Channel is a basic (20 MHz) or composite (40 MHz) channel. For a 20 MHz
+// channel Secondary is zero. For a 40 MHz channel Primary and Secondary are
+// the two bonded 20 MHz components, Primary < Secondary.
+//
+// Channel is a comparable value type so it can key maps directly.
+type Channel struct {
+	Width     Width
+	Primary   ChannelID
+	Secondary ChannelID
+}
+
+// NewChannel20 returns the basic 20 MHz channel with the given IEEE number.
+func NewChannel20(id ChannelID) Channel {
+	return Channel{Width: Width20, Primary: id}
+}
+
+// NewChannel40 returns the composite 40 MHz channel bonding the two given
+// 20 MHz channels. The components are stored in ascending order, so
+// NewChannel40(40, 36) == NewChannel40(36, 40).
+func NewChannel40(a, b ChannelID) Channel {
+	if a > b {
+		a, b = b, a
+	}
+	return Channel{Width: Width40, Primary: a, Secondary: b}
+}
+
+// IsZero reports whether c is the zero Channel (no channel assigned).
+func (c Channel) IsZero() bool { return c.Width == 0 }
+
+// Components returns the 20 MHz channels c occupies: one for a basic
+// channel, two for a composite one.
+func (c Channel) Components() []ChannelID {
+	if c.Width == Width40 {
+		return []ChannelID{c.Primary, c.Secondary}
+	}
+	return []ChannelID{c.Primary}
+}
+
+// PrimaryOnly returns the 20 MHz channel an AP falls back to when it
+// opportunistically stops bonding (Section 5.2, mobility experiments). For a
+// basic channel it returns c itself.
+func (c Channel) PrimaryOnly() Channel { return NewChannel20(c.Primary) }
+
+// Conflicts reports whether two channels interfere, i.e. share at least one
+// 20 MHz component. Two distinct basic channels never conflict; a basic
+// channel conflicts with any composite channel containing it; two composite
+// channels conflict when their component sets intersect.
+func (c Channel) Conflicts(o Channel) bool {
+	if c.IsZero() || o.IsZero() {
+		return false
+	}
+	for _, a := range c.Components() {
+		for _, b := range o.Components() {
+			if a == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (c Channel) String() string {
+	if c.IsZero() {
+		return "unassigned"
+	}
+	if c.Width == Width40 {
+		return fmt.Sprintf("40MHz{%d+%d}", c.Primary, c.Secondary)
+	}
+	return fmt.Sprintf("20MHz{%d}", c.Primary)
+}
+
+// Band is a set of available 20 MHz channels together with the bonding plan
+// that pairs adjacent channels into 40 MHz channels.
+type Band struct {
+	ids []ChannelID
+}
+
+// DefaultBand5GHz returns the 12-channel 5 GHz plan the paper's testbed uses
+// ("we employ all the twelve 20MHz channels available in the 5GHz band").
+// Consecutive plan entries (36+40, 44+48, …) bond into six 40 MHz channels.
+func DefaultBand5GHz() *Band {
+	return NewBand([]ChannelID{36, 40, 44, 48, 52, 56, 60, 64, 100, 104, 108, 112})
+}
+
+// NewBand builds a band from the given 20 MHz channel numbers. The slice is
+// copied and sorted; duplicates are removed. Bonding pairs channel 2i with
+// channel 2i+1 in the sorted plan, matching the IEEE 5 GHz pairing when the
+// plan holds the standard channel numbers.
+func NewBand(ids []ChannelID) *Band {
+	sorted := append([]ChannelID(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := sorted[:0]
+	var prev ChannelID = -1
+	for _, id := range sorted {
+		if id != prev {
+			out = append(out, id)
+			prev = id
+		}
+	}
+	return &Band{ids: out}
+}
+
+// Subset returns a band containing only the first n 20 MHz channels of b.
+// The Fig 14 approximation-ratio experiment uses Subset(2), Subset(4) and
+// Subset(6) to vary channel availability.
+func (b *Band) Subset(n int) *Band {
+	if n > len(b.ids) {
+		n = len(b.ids)
+	}
+	return NewBand(b.ids[:n])
+}
+
+// NumChannels20 returns the number of available 20 MHz channels.
+func (b *Band) NumChannels20() int { return len(b.ids) }
+
+// Channels20 returns all basic 20 MHz channels in the band.
+func (b *Band) Channels20() []Channel {
+	chs := make([]Channel, 0, len(b.ids))
+	for _, id := range b.ids {
+		chs = append(chs, NewChannel20(id))
+	}
+	return chs
+}
+
+// Channels40 returns all composite 40 MHz channels the band supports: each
+// pair (plan[2i], plan[2i+1]) bonds when both components are present.
+func (b *Band) Channels40() []Channel {
+	var chs []Channel
+	for i := 0; i+1 < len(b.ids); i += 2 {
+		chs = append(chs, NewChannel40(b.ids[i], b.ids[i+1]))
+	}
+	return chs
+}
+
+// AllChannels returns every basic and composite channel in the band — the
+// color set Ch of the allocation problem.
+func (b *Band) AllChannels() []Channel {
+	return append(b.Channels20(), b.Channels40()...)
+}
+
+// Contains reports whether the given channel can be used within this band,
+// i.e. all its 20 MHz components belong to the plan.
+func (b *Band) Contains(c Channel) bool {
+	for _, comp := range c.Components() {
+		found := false
+		for _, id := range b.ids {
+			if id == comp {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return !c.IsZero()
+}

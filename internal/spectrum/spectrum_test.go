@@ -1,0 +1,169 @@
+package spectrum
+
+import (
+	"testing"
+	"testing/quick"
+
+	"acorn/internal/units"
+)
+
+func TestWidthHertz(t *testing.T) {
+	if Width20.Hertz() != units.Bandwidth20MHz {
+		t.Error("Width20 bandwidth wrong")
+	}
+	if Width40.Hertz() != units.Bandwidth40MHz {
+		t.Error("Width40 bandwidth wrong")
+	}
+}
+
+func TestNewChannel40Ordering(t *testing.T) {
+	a := NewChannel40(36, 40)
+	b := NewChannel40(40, 36)
+	if a != b {
+		t.Errorf("NewChannel40 not order-insensitive: %v vs %v", a, b)
+	}
+	if a.Primary != 36 || a.Secondary != 40 {
+		t.Errorf("components not sorted: %v", a)
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	c36 := NewChannel20(36)
+	c40 := NewChannel20(40)
+	c44 := NewChannel20(44)
+	b3640 := NewChannel40(36, 40)
+	b4448 := NewChannel40(44, 48)
+
+	cases := []struct {
+		a, b Channel
+		want bool
+	}{
+		{c36, c36, true},                    // same basic color
+		{c36, c40, false},                   // distinct basic colors don't conflict
+		{c36, b3640, true},                  // basic conflicts with composite containing it
+		{c40, b3640, true},                  // either component
+		{c44, b3640, false},                 // unrelated basic
+		{b3640, b4448, false},               // disjoint composites
+		{b3640, b3640, true},                // same composite
+		{b3640, NewChannel40(40, 44), true}, // overlapping composites
+		{Channel{}, c36, false},             // unassigned never conflicts
+	}
+	for _, c := range cases {
+		if got := c.a.Conflicts(c.b); got != c.want {
+			t.Errorf("%v.Conflicts(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Conflicts(c.a); got != c.want {
+			t.Errorf("conflict not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestConflictSymmetryProperty(t *testing.T) {
+	ids := []ChannelID{36, 40, 44, 48, 52}
+	mk := func(i, j uint8) Channel {
+		a := ids[int(i)%len(ids)]
+		b := ids[int(j)%len(ids)]
+		if a == b {
+			return NewChannel20(a)
+		}
+		return NewChannel40(a, b)
+	}
+	f := func(i, j, k, l uint8) bool {
+		x, y := mk(i, j), mk(k, l)
+		return x.Conflicts(y) == y.Conflicts(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultBand(t *testing.T) {
+	b := DefaultBand5GHz()
+	if got := b.NumChannels20(); got != 12 {
+		t.Fatalf("default band has %d channels, want 12", got)
+	}
+	ch40 := b.Channels40()
+	if len(ch40) != 6 {
+		t.Fatalf("default band has %d bonded channels, want 6", len(ch40))
+	}
+	if ch40[0] != NewChannel40(36, 40) {
+		t.Errorf("first bonded channel = %v, want 36+40", ch40[0])
+	}
+	if got := len(b.AllChannels()); got != 18 {
+		t.Errorf("AllChannels = %d, want 18", got)
+	}
+}
+
+func TestBandSubset(t *testing.T) {
+	b := DefaultBand5GHz()
+	s := b.Subset(4)
+	if s.NumChannels20() != 4 {
+		t.Fatalf("Subset(4) has %d channels", s.NumChannels20())
+	}
+	if got := len(s.Channels40()); got != 2 {
+		t.Errorf("Subset(4) bonded channels = %d, want 2", got)
+	}
+	// Subset larger than the band clamps.
+	if b.Subset(100).NumChannels20() != 12 {
+		t.Error("oversized subset should clamp")
+	}
+	// Odd subsets bond only complete pairs.
+	if got := len(b.Subset(3).Channels40()); got != 1 {
+		t.Errorf("Subset(3) bonded channels = %d, want 1", got)
+	}
+}
+
+func TestBandContains(t *testing.T) {
+	b := DefaultBand5GHz()
+	if !b.Contains(NewChannel20(36)) {
+		t.Error("band should contain channel 36")
+	}
+	if b.Contains(NewChannel20(149)) {
+		t.Error("band should not contain channel 149")
+	}
+	if !b.Contains(NewChannel40(36, 40)) {
+		t.Error("band should contain bonded 36+40")
+	}
+	if b.Contains(NewChannel40(36, 149)) {
+		t.Error("bonded channel with foreign component should be rejected")
+	}
+	if b.Contains(Channel{}) {
+		t.Error("zero channel is never contained")
+	}
+}
+
+func TestNewBandDedupSort(t *testing.T) {
+	b := NewBand([]ChannelID{44, 36, 44, 40})
+	if b.NumChannels20() != 3 {
+		t.Fatalf("dedup failed: %d channels", b.NumChannels20())
+	}
+	chs := b.Channels20()
+	if chs[0].Primary != 36 || chs[2].Primary != 44 {
+		t.Errorf("channels not sorted: %v", chs)
+	}
+}
+
+func TestPrimaryOnly(t *testing.T) {
+	b := NewChannel40(36, 40)
+	p := b.PrimaryOnly()
+	if p.Width != Width20 || p.Primary != 36 {
+		t.Errorf("PrimaryOnly = %v, want 20MHz{36}", p)
+	}
+	c := NewChannel20(44)
+	if c.PrimaryOnly() != c {
+		t.Error("PrimaryOnly of a basic channel should be itself")
+	}
+	// Falling back to the primary never widens the conflict set.
+	if !p.Conflicts(b) {
+		t.Error("primary must conflict with its own composite")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	if got := NewChannel20(36).Components(); len(got) != 1 || got[0] != 36 {
+		t.Errorf("Components(20MHz) = %v", got)
+	}
+	if got := NewChannel40(36, 40).Components(); len(got) != 2 {
+		t.Errorf("Components(40MHz) = %v", got)
+	}
+}

@@ -1,0 +1,186 @@
+// Package stats provides the small statistical toolkit the experiment
+// harnesses need: empirical CDFs, percentiles, summary statistics, the
+// coefficient of determination used in the paper to compare measured and
+// theoretical BER curves, and deterministic RNG construction so every
+// experiment is reproducible run to run.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NewRand returns a deterministic *rand.Rand seeded with the given seed.
+// Every simulator and workload generator in this repository draws randomness
+// through this constructor so experiments are reproducible.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element of xs. It panics on an empty slice, which
+// would indicate a harness bug rather than a data condition.
+func Min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// RSquared returns the coefficient of determination between observed values
+// and the values a model predicts for the same inputs. The paper reports
+// R² of 0.8 and 0.89 between measured and theoretical BER for the 20 and
+// 40 MHz channels (Section 3.1); Table EXPERIMENTS.md/F3a reproduces that
+// comparison with this function.
+//
+// R² = 1 − SSres/SStot. A perfect fit gives 1; a model no better than the
+// observed mean gives 0; worse-than-mean models give negative values.
+// It returns NaN when the observed series has zero variance.
+func RSquared(observed, predicted []float64) float64 {
+	if len(observed) != len(predicted) || len(observed) == 0 {
+		return math.NaN()
+	}
+	mean := Mean(observed)
+	var ssRes, ssTot float64
+	for i, o := range observed {
+		r := o - predicted[i]
+		ssRes += r * r
+		t := o - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}
+
+// ECDF is an empirical cumulative distribution function over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from the sample. The input slice is copied.
+func NewECDF(sample []float64) *ECDF {
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// At returns P(X ≤ x), i.e. the fraction of the sample at or below x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	idx := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Quantile returns the smallest sample value v such that At(v) ≥ q, for
+// q in (0, 1]. Quantile(0.5) is the empirical median.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(e.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return e.sorted[idx]
+}
+
+// Points returns (x, F(x)) pairs suitable for plotting the CDF as a step
+// function, downsampled to at most n points to keep report output bounded.
+func (e *ECDF) Points(n int) (xs, fs []float64) {
+	if len(e.sorted) == 0 || n <= 0 {
+		return nil, nil
+	}
+	if n > len(e.sorted) {
+		n = len(e.sorted)
+	}
+	for i := 0; i < n; i++ {
+		idx := i * (len(e.sorted) - 1) / max(n-1, 1)
+		xs = append(xs, e.sorted[idx])
+		fs = append(fs, float64(idx+1)/float64(len(e.sorted)))
+	}
+	return xs, fs
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if m := Mean(xs); m != 3 {
+		t.Errorf("Mean = %v, want 3", m)
+	}
+	if v := Variance(xs); v != 2 {
+		t.Errorf("Variance = %v, want 2", v)
+	}
+	if s := StdDev(xs); math.Abs(s-math.Sqrt2) > 1e-12 {
+		t.Errorf("StdDev = %v, want √2", s)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", m)
+	}
+	if v := Variance([]float64{7}); v != 0 {
+		t.Errorf("Variance(single) = %v, want 0", v)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 {
+		t.Errorf("Min = %v", Min(xs))
+	}
+	if Max(xs) != 5 {
+		t.Errorf("Max = %v", Max(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50}, {-5, 10}, {110, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v", got)
+	}
+	if got := Median([]float64{1, 3}); got != 2 {
+		t.Errorf("Median interpolation = %v, want 2", got)
+	}
+}
+
+func TestPercentileWithinRange(t *testing.T) {
+	f := func(raw []float64, p uint8) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		got := Percentile(xs, float64(p%101))
+		return got >= Min(xs) && got <= Max(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	if r := RSquared(obs, obs); math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect fit R² = %v, want 1", r)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if r := RSquared(obs, mean); math.Abs(r) > 1e-12 {
+		t.Errorf("mean-model R² = %v, want 0", r)
+	}
+	if r := RSquared(obs, []float64{1, 2}); !math.IsNaN(r) {
+		t.Errorf("length mismatch should be NaN, got %v", r)
+	}
+	if r := RSquared([]float64{5, 5}, []float64{5, 5}); !math.IsNaN(r) {
+		t.Errorf("zero-variance should be NaN, got %v", r)
+	}
+	// A slightly noisy fit should land between 0 and 1.
+	noisy := []float64{1.1, 1.9, 3.2, 3.9}
+	if r := RSquared(obs, noisy); r <= 0.9 || r >= 1 {
+		t.Errorf("noisy fit R² = %v, want in (0.9, 1)", r)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if q := e.Quantile(0.5); q != 2 {
+		t.Errorf("Quantile(0.5) = %v, want 2", q)
+	}
+	if q := e.Quantile(1); q != 3 {
+		t.Errorf("Quantile(1) = %v, want 3", q)
+	}
+	if q := e.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", q)
+	}
+}
+
+func TestECDFQuantileAtInverse(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		e := NewECDF(xs)
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			v := e.Quantile(q)
+			if e.At(v) < q-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	xs, fs := e.Points(5)
+	if len(xs) != 5 || len(fs) != 5 {
+		t.Fatalf("Points(5) returned %d/%d values", len(xs), len(fs))
+	}
+	if fs[len(fs)-1] != 1 {
+		t.Errorf("last CDF point = %v, want 1", fs[len(fs)-1])
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] || fs[i] < fs[i-1] {
+			t.Errorf("Points not monotone at %d", i)
+		}
+	}
+	if xs, fs := e.Points(0); xs != nil || fs != nil {
+		t.Error("Points(0) should be nil")
+	}
+}
+
+func TestNewRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package topofile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const valid = `{
+  "aps": [
+    {"id": "AP1", "x": 0, "y": 0, "txPower": 18},
+    {"id": "AP2", "x": 100, "y": 0, "txPower": 15}
+  ],
+  "clients": [
+    {"id": "u1", "x": 5, "y": 3},
+    {"id": "u2", "x": 95, "y": -2, "extraLoss": {"AP1": 20, "AP2": 10}}
+  ]
+}`
+
+func TestParseValid(t *testing.T) {
+	n, clients, err := Parse([]byte(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.APs) != 2 || len(clients) != 2 {
+		t.Fatalf("parsed %d APs, %d clients", len(n.APs), len(clients))
+	}
+	if n.AP("AP2").TxPower != 15 {
+		t.Errorf("AP2 power = %v", n.AP("AP2").TxPower)
+	}
+	u2 := n.Client("u2")
+	if u2.ExtraLoss["AP1"] != 20 || u2.ExtraLoss["AP2"] != 10 {
+		t.Errorf("u2 extra loss = %v", u2.ExtraLoss)
+	}
+	if n.Client("u1").ExtraLoss != nil {
+		t.Error("u1 should have no extra loss")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"garbage", "not json", "topofile"},
+		{"no aps", `{"clients": []}`, "no APs"},
+		{"empty ap id", `{"aps": [{"id": "", "x": 0, "y": 0, "txPower": 18}]}`, "empty id"},
+		{"dup ap", `{"aps": [{"id": "A", "txPower": 18}, {"id": "A", "txPower": 18}]}`, "duplicate AP"},
+		{"bad power", `{"aps": [{"id": "A", "txPower": 99}]}`, "out of range"},
+		{"empty client id", `{"aps": [{"id": "A", "txPower": 18}], "clients": [{"id": ""}]}`, "empty id"},
+		{"dup client", `{"aps": [{"id": "A", "txPower": 18}], "clients": [{"id": "u"}, {"id": "u"}]}`, "duplicate client"},
+		{"ghost ap ref", `{"aps": [{"id": "A", "txPower": 18}], "clients": [{"id": "u", "extraLoss": {"B": 5}}]}`, "unknown AP"},
+		{"negative loss", `{"aps": [{"id": "A", "txPower": 18}], "clients": [{"id": "u", "extraLoss": {"A": -5}}]}`, "negative"},
+		{"unknown field", `{"aps": [{"id": "A", "txPower": 18, "bogus": 1}]}`, "bogus"},
+	}
+	for _, c := range cases {
+		_, _, err := Parse([]byte(c.in))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "topo.json")
+	if err := os.WriteFile(path, []byte(valid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.APs) != 2 {
+		t.Errorf("loaded %d APs", len(n.APs))
+	}
+	if _, _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, _, err := Load(bad); err == nil || !strings.Contains(err.Error(), "bad.json") {
+		t.Errorf("bad file error should name the file: %v", err)
+	}
+}

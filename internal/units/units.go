@@ -1,0 +1,103 @@
+// Package units provides the physical-unit conversions used throughout the
+// ACORN codebase: decibel arithmetic, dBm/milliwatt power conversions and a
+// few strongly typed scalar wrappers (DB, DBm, MilliWatt, Hertz) that keep
+// link-budget code honest about what it is adding to what.
+//
+// Conventions:
+//
+//   - Ratios (SNR, gains, losses) are expressed in dB (type DB).
+//   - Absolute powers are expressed in dBm (type DBm) or mW (type MilliWatt).
+//   - Bandwidths and frequencies are expressed in Hz (type Hertz).
+//
+// Adding a DB to a DBm yields a DBm (gain applied to a power); subtracting two
+// DBm values yields a DB (a ratio). The Go type system cannot enforce that
+// with operators, so the methods below encode the legal combinations.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// DB is a dimensionless ratio expressed in decibels.
+type DB float64
+
+// DBm is an absolute power level referenced to one milliwatt.
+type DBm float64
+
+// MilliWatt is an absolute power in milliwatts (linear scale).
+type MilliWatt float64
+
+// Hertz is a frequency or bandwidth in hertz.
+type Hertz float64
+
+// MHz is one megahertz, the unit channel plans are quoted in.
+const MHz Hertz = 1e6
+
+// Channel bandwidths used by 802.11n.
+const (
+	Bandwidth20MHz Hertz = 20e6
+	Bandwidth40MHz Hertz = 40e6
+)
+
+// Ratio converts a linear power ratio to decibels.
+// Ratio(2) ≈ 3.0103 dB; Ratio(0) is -Inf.
+func Ratio(linear float64) DB {
+	return DB(10 * math.Log10(linear))
+}
+
+// Linear converts the decibel ratio back to a linear power ratio.
+func (d DB) Linear() float64 {
+	return math.Pow(10, float64(d)/10)
+}
+
+// Plus adds two decibel ratios (multiplies the underlying linear ratios).
+func (d DB) Plus(o DB) DB { return d + o }
+
+// Minus subtracts a decibel ratio.
+func (d DB) Minus(o DB) DB { return d - o }
+
+// String implements fmt.Stringer.
+func (d DB) String() string { return fmt.Sprintf("%.2f dB", float64(d)) }
+
+// MilliWatts converts an absolute dBm power to linear milliwatts.
+func (p DBm) MilliWatts() MilliWatt {
+	return MilliWatt(math.Pow(10, float64(p)/10))
+}
+
+// Plus applies a gain (or, if g is negative, a loss) to the power.
+func (p DBm) Plus(g DB) DBm { return p + DBm(g) }
+
+// Minus applies a loss to the power.
+func (p DBm) Minus(l DB) DBm { return p - DBm(l) }
+
+// Over returns the ratio between two absolute powers, in dB. This is the
+// operation that turns a received power and a noise floor into an SNR.
+func (p DBm) Over(q DBm) DB { return DB(p - q) }
+
+// String implements fmt.Stringer.
+func (p DBm) String() string { return fmt.Sprintf("%.2f dBm", float64(p)) }
+
+// DBm converts a linear milliwatt power to dBm. Zero or negative powers map
+// to -Inf dBm.
+func (m MilliWatt) DBm() DBm {
+	return DBm(10 * math.Log10(float64(m)))
+}
+
+// Plus adds two linear powers. Combining interference powers must happen in
+// the linear domain; this method exists so call sites don't accidentally sum
+// dBm values.
+func (m MilliWatt) Plus(o MilliWatt) MilliWatt { return m + o }
+
+// String implements fmt.Stringer.
+func (m MilliWatt) String() string { return fmt.Sprintf("%.6g mW", float64(m)) }
+
+// SumPowers combines several absolute powers (e.g. interference sources plus
+// thermal noise) in the linear domain and returns the total in dBm.
+func SumPowers(powers ...DBm) DBm {
+	var total MilliWatt
+	for _, p := range powers {
+		total += p.MilliWatts()
+	}
+	return total.DBm()
+}

@@ -1,0 +1,112 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRatioDoubling(t *testing.T) {
+	if got := float64(Ratio(2)); !almostEqual(got, 3.0103, 1e-3) {
+		t.Errorf("Ratio(2) = %v, want ≈3.0103", got)
+	}
+	if got := float64(Ratio(10)); !almostEqual(got, 10, 1e-9) {
+		t.Errorf("Ratio(10) = %v, want 10", got)
+	}
+	if got := float64(Ratio(1)); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("Ratio(1) = %v, want 0", got)
+	}
+}
+
+func TestRatioLinearRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		lin := math.Abs(x) + 0.001 // positive linear ratio
+		back := Ratio(lin).Linear()
+		return almostEqual(back, lin, lin*1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBmMilliWattRoundTrip(t *testing.T) {
+	cases := []struct {
+		dbm DBm
+		mw  float64
+	}{
+		{0, 1},
+		{30, 1000},
+		{-30, 0.001},
+		{23, 199.526},
+	}
+	for _, c := range cases {
+		if got := float64(c.dbm.MilliWatts()); !almostEqual(got, c.mw, c.mw*1e-3) {
+			t.Errorf("%v.MilliWatts() = %v, want %v", c.dbm, got, c.mw)
+		}
+		if got := float64(MilliWatt(c.mw).DBm()); !almostEqual(got, float64(c.dbm), 1e-3) {
+			t.Errorf("MilliWatt(%v).DBm() = %v, want %v", c.mw, got, c.dbm)
+		}
+	}
+}
+
+func TestDBmArithmetic(t *testing.T) {
+	p := DBm(10)
+	if got := p.Plus(3); got != 13 {
+		t.Errorf("10 dBm + 3 dB = %v, want 13 dBm", got)
+	}
+	if got := p.Minus(13); got != -3 {
+		t.Errorf("10 dBm − 13 dB = %v, want −3 dBm", got)
+	}
+	if got := DBm(-60).Over(-90); got != 30 {
+		t.Errorf("(-60 dBm)/(-90 dBm) = %v, want 30 dB", got)
+	}
+}
+
+func TestSumPowers(t *testing.T) {
+	// Two equal powers sum to +3 dB.
+	got := float64(SumPowers(-90, -90))
+	if !almostEqual(got, -90+3.0103, 1e-3) {
+		t.Errorf("SumPowers(-90,-90) = %v, want ≈-86.99", got)
+	}
+	// A much weaker power barely moves the sum.
+	got = float64(SumPowers(-60, -100))
+	if !almostEqual(got, -60, 0.01) {
+		t.Errorf("SumPowers(-60,-100) = %v, want ≈-60", got)
+	}
+}
+
+func TestSumPowersCommutative(t *testing.T) {
+	f := func(a, b int8) bool {
+		x, y := DBm(a), DBm(b)
+		return almostEqual(float64(SumPowers(x, y)), float64(SumPowers(y, x)), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if got := DB(3.005).String(); got != "3.00 dB" && got != "3.01 dB" {
+		t.Errorf("DB.String() = %q", got)
+	}
+	if got := DBm(-82).String(); got != "-82.00 dBm" {
+		t.Errorf("DBm.String() = %q", got)
+	}
+}
+
+func TestDBArithmeticAndStrings(t *testing.T) {
+	if got := DB(3).Plus(4); got != 7 {
+		t.Errorf("3dB+4dB = %v", got)
+	}
+	if got := DB(3).Minus(4); got != -1 {
+		t.Errorf("3dB-4dB = %v", got)
+	}
+	if got := MilliWatt(2).Plus(3); got != 5 {
+		t.Errorf("2mW+3mW = %v", got)
+	}
+	if got := MilliWatt(0.5).String(); got != "0.5 mW" {
+		t.Errorf("MilliWatt.String() = %q", got)
+	}
+}

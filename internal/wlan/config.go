@@ -1,0 +1,75 @@
+package wlan
+
+import (
+	"fmt"
+	"sort"
+
+	"acorn/internal/spectrum"
+)
+
+// Config is a complete WLAN configuration: a channel per AP and an
+// association per client. It is the object the allocation algorithms search
+// over and the evaluator scores.
+type Config struct {
+	// Channels maps AP ID → assigned channel.
+	Channels map[string]spectrum.Channel
+	// Assoc maps client ID → AP ID.
+	Assoc map[string]string
+}
+
+// NewConfig returns an empty configuration.
+func NewConfig() *Config {
+	return &Config{
+		Channels: make(map[string]spectrum.Channel),
+		Assoc:    make(map[string]string),
+	}
+}
+
+// Clone returns a deep copy; allocation algorithms mutate clones while
+// searching.
+func (c *Config) Clone() *Config {
+	out := NewConfig()
+	for k, v := range c.Channels {
+		out.Channels[k] = v
+	}
+	for k, v := range c.Assoc {
+		out.Assoc[k] = v
+	}
+	return out
+}
+
+// ClientsOf returns the IDs of clients associated with the given AP, in
+// stable (sorted) order.
+func (c *Config) ClientsOf(apID string) []string {
+	var ids []string
+	for cl, ap := range c.Assoc {
+		if ap == apID {
+			ids = append(ids, cl)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Validate checks the configuration against a network: every AP has a
+// channel from the band, every client is associated with an existing AP.
+func (c *Config) Validate(n *Network) error {
+	for _, ap := range n.APs {
+		ch, ok := c.Channels[ap.ID]
+		if !ok || ch.IsZero() {
+			return fmt.Errorf("wlan: AP %s has no channel", ap.ID)
+		}
+		if !n.Band.Contains(ch) {
+			return fmt.Errorf("wlan: AP %s assigned %v outside the band", ap.ID, ch)
+		}
+	}
+	for cl, apID := range c.Assoc {
+		if n.Client(cl) == nil {
+			return fmt.Errorf("wlan: association for unknown client %s", cl)
+		}
+		if n.AP(apID) == nil {
+			return fmt.Errorf("wlan: client %s associated with unknown AP %s", cl, apID)
+		}
+	}
+	return nil
+}

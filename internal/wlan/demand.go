@@ -1,0 +1,111 @@
+package wlan
+
+// Unsaturated traffic: the paper's analysis assumes saturated downlink for
+// tractability but shows experimentally that ACORN "helps even with
+// unsaturated loads". This file adds a demand-aware evaluation: each client
+// may cap its offered load, and airtime a capped client doesn't use is
+// redistributed to backlogged clients (what DCF does naturally — a station
+// with an empty queue doesn't contend).
+
+// Demand maps client ID → offered load in Mbit/s. Clients absent from the
+// map are saturated (unbounded demand).
+type Demand map[string]float64
+
+// EvaluateWithDemand scores the configuration like Evaluate but caps each
+// client's throughput at its demand, redistributing freed airtime within
+// the cell using a progressive water-filling over the DCF anomaly shares.
+// With a nil or empty demand map it matches Evaluate exactly.
+func (n *Network) EvaluateWithDemand(cfg *Config, demand Demand) *NetworkReport {
+	report := n.Evaluate(cfg)
+	if len(demand) == 0 {
+		return report
+	}
+	for ci := range report.Cells {
+		cell := &report.Cells[ci]
+		if len(cell.Clients) == 0 {
+			continue
+		}
+		applyDemandToCell(cell, demand)
+	}
+	// Recompute totals.
+	report.TotalUDP, report.TotalTCP = 0, 0
+	for _, cell := range report.Cells {
+		report.TotalUDP += cell.ThroughputUDP
+		report.TotalTCP += cell.ThroughputTCP
+	}
+	return report
+}
+
+// applyDemandToCell water-fills the cell's airtime budget: clients whose
+// demand is below their equal-opportunity share keep exactly their demand;
+// the airtime they free raises everyone else's share, iterating until no
+// further caps bind.
+func applyDemandToCell(cell *CellReport, demand Demand) {
+	type flow struct {
+		idx    int
+		delay  float64 // s/Mbit
+		cap    float64 // demanded Mbit/s (Inf if saturated)
+		capped bool
+	}
+	flows := make([]flow, len(cell.Clients))
+	budget := cell.AccessShare // airtime fraction available to the cell
+	for i, c := range cell.Clients {
+		flows[i] = flow{idx: i, delay: c.Delay, cap: -1}
+		if d, ok := demand[c.ClientID]; ok {
+			flows[i].cap = d
+		}
+	}
+	// Iterate: with the current uncapped set, the equal-rate share r
+	// satisfies Σ_uncapped r·delay_i = budget − Σ_capped cap_i·delay_i.
+	// Cap every client whose demand is below r, repeat until stable.
+	var r float64
+	for {
+		var usedAirtime, delaySum float64
+		uncapped := 0
+		for _, f := range flows {
+			if f.capped {
+				usedAirtime += f.cap * f.delay
+			} else {
+				delaySum += f.delay
+				uncapped++
+			}
+		}
+		if uncapped == 0 {
+			r = 0
+			break
+		}
+		r = (budget - usedAirtime) / delaySum
+		if r < 0 {
+			r = 0
+		}
+		newlyCapped := false
+		for i := range flows {
+			if !flows[i].capped && flows[i].cap >= 0 && flows[i].cap < r {
+				flows[i].capped = true
+				newlyCapped = true
+			}
+		}
+		if !newlyCapped {
+			break
+		}
+	}
+	// Assign the final rates: capped flows get exactly their demand,
+	// the rest share the remaining airtime equally (rate r each).
+	for i := range flows {
+		rate := r
+		if flows[i].capped {
+			rate = flows[i].cap
+		}
+		scale := 0.0
+		if cell.Clients[i].ThroughputUDP > 0 {
+			scale = rate / cell.Clients[i].ThroughputUDP
+		}
+		cell.Clients[i].ThroughputUDP = rate
+		cell.Clients[i].ThroughputTCP *= scale
+	}
+	cell.ThroughputUDP, cell.ThroughputTCP = 0, 0
+	for _, c := range cell.Clients {
+		cell.ThroughputUDP += c.ThroughputUDP
+		cell.ThroughputTCP += c.ThroughputTCP
+	}
+}

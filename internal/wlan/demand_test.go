@@ -1,0 +1,85 @@
+package wlan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateWithDemandNilMatchesSaturated(t *testing.T) {
+	n, cfg := twoCellNetwork()
+	sat := n.Evaluate(cfg)
+	dem := n.EvaluateWithDemand(cfg, nil)
+	if math.Abs(sat.TotalUDP-dem.TotalUDP) > 1e-9 {
+		t.Errorf("nil demand diverged: %v vs %v", sat.TotalUDP, dem.TotalUDP)
+	}
+}
+
+func TestDemandCapsClient(t *testing.T) {
+	n, cfg := twoCellNetwork()
+	sat := n.Evaluate(cfg)
+	perClient := sat.Cell("AP1").Clients[0].ThroughputUDP
+
+	// Cap the good client well below its saturated share.
+	capAt := perClient / 4
+	rep := n.EvaluateWithDemand(cfg, Demand{"good": capAt})
+	cell := rep.Cell("AP1")
+	var good, walled float64
+	for _, c := range cell.Clients {
+		switch c.ClientID {
+		case "good":
+			good = c.ThroughputUDP
+		case "walled":
+			walled = c.ThroughputUDP
+		}
+	}
+	if math.Abs(good-capAt) > 1e-9 {
+		t.Errorf("capped client got %v, want exactly its demand %v", good, capAt)
+	}
+	// The walled client inherits the freed airtime: strictly more than
+	// its saturated share.
+	if walled <= perClient {
+		t.Errorf("uncapped client got %v, want above saturated share %v", walled, perClient)
+	}
+}
+
+func TestDemandRelievesAnomaly(t *testing.T) {
+	// Capping the *slow* client frees disproportionate airtime: the cell
+	// aggregate must rise above the saturated anomaly value.
+	n, cfg := twoCellNetwork()
+	sat := n.Evaluate(cfg).Cell("AP1").ThroughputUDP
+	rep := n.EvaluateWithDemand(cfg, Demand{"walled": 0.05})
+	if got := rep.Cell("AP1").ThroughputUDP; got <= sat {
+		t.Errorf("capping the slow client should raise the cell: %v vs saturated %v", got, sat)
+	}
+}
+
+func TestDemandAboveShareIsInert(t *testing.T) {
+	// A demand above the achievable share changes nothing.
+	n, cfg := twoCellNetwork()
+	sat := n.Evaluate(cfg)
+	rep := n.EvaluateWithDemand(cfg, Demand{"good": 10 * sat.Cell("AP1").Clients[0].ThroughputUDP})
+	if math.Abs(rep.Cell("AP1").ThroughputUDP-sat.Cell("AP1").ThroughputUDP) > 1e-9 {
+		t.Error("non-binding demand changed the cell throughput")
+	}
+}
+
+func TestDemandAllCapped(t *testing.T) {
+	// Every client capped below its share: each gets exactly its demand.
+	n, cfg := twoCellNetwork()
+	rep := n.EvaluateWithDemand(cfg, Demand{"good": 0.5, "walled": 0.2, "far": 1})
+	c1 := rep.Cell("AP1")
+	if math.Abs(c1.ThroughputUDP-0.7) > 1e-9 {
+		t.Errorf("AP1 aggregate = %v, want 0.7", c1.ThroughputUDP)
+	}
+	if got := rep.Cell("AP2").ThroughputUDP; math.Abs(got-1) > 1e-9 {
+		t.Errorf("AP2 aggregate = %v, want 1", got)
+	}
+	// TCP stays at or below UDP per client.
+	for _, cell := range rep.Cells {
+		for _, c := range cell.Clients {
+			if c.ThroughputTCP > c.ThroughputUDP+1e-9 {
+				t.Errorf("%s: TCP %v above UDP %v", c.ClientID, c.ThroughputTCP, c.ThroughputUDP)
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package wlan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// InterferenceDOT renders the interference graph of the network under the
+// given configuration in Graphviz DOT format: one node per AP labeled with
+// its channel and client count, one edge per contending pair, with edges
+// that share spectrum under the current assignment drawn solid (these cost
+// airtime) and orthogonal-channel edges dashed (potential interference the
+// allocation dodged). Handy for operator tooling and for eyeballing what
+// Algorithm 2 did.
+func (n *Network) InterferenceDOT(cfg *Config) string {
+	var b strings.Builder
+	b.WriteString("graph interference {\n")
+	b.WriteString("  layout=neato;\n  node [shape=box, fontname=\"monospace\"];\n")
+	ids := make([]string, 0, len(n.APs))
+	byID := map[string]*AP{}
+	for _, ap := range n.APs {
+		ids = append(ids, ap.ID)
+		byID[ap.ID] = ap
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ch := cfg.Channels[id]
+		label := fmt.Sprintf(`%s\n%v\n%d clients`, dotEscape(id), ch, len(cfg.ClientsOf(id)))
+		fmt.Fprintf(&b, "  \"%s\" [label=\"%s\"];\n", dotEscape(id), label)
+	}
+	for i, a := range ids {
+		for _, bID := range ids[i+1:] {
+			apA, apB := byID[a], byID[bID]
+			if !n.Contend(apA, apB, cfg) {
+				continue
+			}
+			style := "dashed"
+			if cfg.Channels[a].Conflicts(cfg.Channels[bID]) {
+				style = "solid"
+			}
+			fmt.Fprintf(&b, "  %q -- %q [style=%s];\n", a, bID, style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// dotEscape makes an identifier safe inside a double-quoted DOT string.
+func dotEscape(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,200 @@
+package wlan
+
+import (
+	"sort"
+
+	"acorn/internal/mac"
+	"acorn/internal/ratecontrol"
+	"acorn/internal/spectrum"
+)
+
+// ClientReport is the evaluated state of one associated client.
+type ClientReport struct {
+	ClientID string
+	APID     string
+	// SNR is the per-subcarrier SNR on the serving channel (dB).
+	SNR float64
+	// Selection is the rate-control outcome for the link.
+	Selection ratecontrol.Selection
+	// Delay is the client transmission delay d_cl (s/Mbit).
+	Delay float64
+	// ThroughputUDP and ThroughputTCP are the per-client throughputs in
+	// Mbit/s under the two traffic models.
+	ThroughputUDP float64
+	ThroughputTCP float64
+}
+
+// CellReport is the evaluated state of one AP's cell.
+type CellReport struct {
+	APID    string
+	Channel spectrum.Channel
+	// AccessShare is M, the AP's share of airtime against co-channel
+	// contenders.
+	AccessShare float64
+	// ATD is the aggregate transmission delay Σ d_cl.
+	ATD float64
+	// Clients holds the per-client reports, sorted by client ID.
+	Clients []ClientReport
+	// ThroughputUDP and ThroughputTCP are the cell aggregates in Mbit/s.
+	ThroughputUDP float64
+	ThroughputTCP float64
+}
+
+// NetworkReport is the evaluation of a full configuration.
+type NetworkReport struct {
+	Cells []CellReport
+	// TotalUDP and TotalTCP are the network-wide throughputs Y in Mbit/s
+	// — the objective of Eq. 5.
+	TotalUDP float64
+	TotalTCP float64
+}
+
+// Cell returns the report for the given AP, or nil.
+func (r *NetworkReport) Cell(apID string) *CellReport {
+	for i := range r.Cells {
+		if r.Cells[i].APID == apID {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// FairnessIndex returns Jain's fairness index over the per-client UDP
+// throughputs, J = (Σx)²/(n·Σx²) ∈ (0, 1]. The paper's objective trades
+// fairness for total throughput ("we tradeoff some level of fairness for
+// significant gains in the total network-wide throughput"); this metric
+// makes the size of that trade visible in every evaluation. It returns 1
+// for an empty network.
+func (r *NetworkReport) FairnessIndex() float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, cell := range r.Cells {
+		for _, c := range cell.Clients {
+			sum += c.ThroughputUDP
+			sumSq += c.ThroughputUDP * c.ThroughputUDP
+			n++
+		}
+	}
+	if n == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// Evaluate scores a complete configuration: it derives every cell's access
+// share from the co-channel contention graph, runs rate control on every
+// AP→client link at the serving channel's width, and applies the DCF
+// anomaly model to produce per-client and aggregate throughputs.
+func (n *Network) Evaluate(cfg *Config) *NetworkReport {
+	report := &NetworkReport{}
+	for _, ap := range n.APs {
+		report.Cells = append(report.Cells, n.evaluateCell(cfg, ap))
+	}
+	sort.Slice(report.Cells, func(i, j int) bool { return report.Cells[i].APID < report.Cells[j].APID })
+	for _, cell := range report.Cells {
+		report.TotalUDP += cell.ThroughputUDP
+		report.TotalTCP += cell.ThroughputTCP
+	}
+	return report
+}
+
+// AccessShare returns M for one AP under the configuration: 1/(#co-channel
+// contenders + 1), the estimator of Section 5.1.
+func (n *Network) AccessShare(cfg *Config, ap *AP) float64 {
+	ch := cfg.Channels[ap.ID]
+	contenders := 0
+	for _, other := range n.APs {
+		if other == ap {
+			continue
+		}
+		if !ch.Conflicts(cfg.Channels[other.ID]) {
+			continue
+		}
+		// A contender only costs airtime if it actually serves
+		// traffic (has at least one client).
+		if len(cfg.ClientsOf(other.ID)) == 0 {
+			continue
+		}
+		if n.Contend(ap, other, cfg) {
+			contenders++
+		}
+	}
+	return 1 / float64(contenders+1)
+}
+
+func (n *Network) evaluateCell(cfg *Config, ap *AP) CellReport {
+	ch := cfg.Channels[ap.ID]
+	cell := CellReport{APID: ap.ID, Channel: ch, AccessShare: n.AccessShare(cfg, ap)}
+	clientIDs := cfg.ClientsOf(ap.ID)
+	if len(clientIDs) == 0 {
+		cell.AccessShare = 1
+		return cell
+	}
+	delays := make([]float64, 0, len(clientIDs))
+	for _, id := range clientIDs {
+		cl := n.Client(id)
+		snr := n.ClientSNR(ap, cl, ch)
+		sel := ratecontrol.Best(snr, ch.Width, n.PacketBytes)
+		delay := 1 / sel.GoodputMbps // floored by the MAC delay cap
+		delays = append(delays, delay)
+		cell.Clients = append(cell.Clients, ClientReport{
+			ClientID:  id,
+			APID:      ap.ID,
+			SNR:       float64(snr),
+			Selection: sel,
+			Delay:     delay,
+		})
+	}
+	dcf := mac.Cell{Delays: delays, AccessShare: cell.AccessShare}
+	cell.ATD = dcf.ATD()
+	perClient := dcf.PerClientThroughput()
+	for i := range cell.Clients {
+		cell.Clients[i].ThroughputUDP = perClient
+		tcp := perClient * mac.TCPEfficiency(cell.Clients[i].Selection.PER)
+		cell.Clients[i].ThroughputTCP = tcp
+		cell.ThroughputUDP += perClient
+		cell.ThroughputTCP += tcp
+	}
+	return cell
+}
+
+// IsolatedThroughput returns X_isol for one AP: the aggregate cell
+// throughput it would achieve in an interference-free setting with its
+// current clients, at the better of its 20 and 40 MHz options —
+// max{X_isol-20, X_isol-40} in the paper's notation. It is the building
+// block of the upper bound Y* = Σ X_isol used in the NP-completeness
+// argument and the Fig 14 experiment.
+func (n *Network) IsolatedThroughput(cfg *Config, ap *AP) (best float64, bestCh spectrum.Channel) {
+	clientIDs := cfg.ClientsOf(ap.ID)
+	if len(clientIDs) == 0 {
+		return 0, spectrum.Channel{}
+	}
+	candidates := []spectrum.Channel{n.Band.Channels20()[0]}
+	if ch40 := n.Band.Channels40(); len(ch40) > 0 {
+		candidates = append(candidates, ch40[0])
+	}
+	for _, ch := range candidates {
+		var delays []float64
+		for _, id := range clientIDs {
+			cl := n.Client(id)
+			sel := ratecontrol.Best(n.ClientSNR(ap, cl, ch), ch.Width, n.PacketBytes)
+			delays = append(delays, 1/sel.GoodputMbps)
+		}
+		cell := mac.Cell{Delays: delays, AccessShare: 1}
+		if t := cell.AggregateThroughput(); t > best {
+			best, bestCh = t, ch
+		}
+	}
+	return best, bestCh
+}
+
+// UpperBound returns Y* = Σ_i X_i^isol, the loose optimum of Eq. 5 in which
+// every AP is completely isolated on its best-width channel.
+func (n *Network) UpperBound(cfg *Config) float64 {
+	var total float64
+	for _, ap := range n.APs {
+		t, _ := n.IsolatedThroughput(cfg, ap)
+		total += t
+	}
+	return total
+}

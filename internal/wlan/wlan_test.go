@@ -1,0 +1,373 @@
+package wlan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"acorn/internal/rf"
+	"acorn/internal/spectrum"
+	"acorn/internal/units"
+)
+
+// twoCellNetwork builds two isolated cells: AP1 with two clients (one good,
+// one behind a wall), AP2 with one good client.
+func twoCellNetwork() (*Network, *Config) {
+	ap1 := &AP{ID: "AP1", Pos: rf.Point{X: 0, Y: 0}, TxPower: 18}
+	ap2 := &AP{ID: "AP2", Pos: rf.Point{X: 600, Y: 0}, TxPower: 18}
+	clients := []*Client{
+		{ID: "good", Pos: rf.Point{X: 5, Y: 3}},
+		{ID: "walled", Pos: rf.Point{X: 8, Y: -2}, ExtraLoss: map[string]units.DB{"AP1": 49, "AP2": 49}},
+		{ID: "far", Pos: rf.Point{X: 604, Y: 2}},
+	}
+	n := NewNetwork([]*AP{ap1, ap2}, clients)
+	cfg := NewConfig()
+	cfg.Channels["AP1"] = spectrum.NewChannel20(36)
+	cfg.Channels["AP2"] = spectrum.NewChannel40(44, 48)
+	cfg.Assoc["good"] = "AP1"
+	cfg.Assoc["walled"] = "AP1"
+	cfg.Assoc["far"] = "AP2"
+	return n, cfg
+}
+
+func TestNetworkValidate(t *testing.T) {
+	n, _ := twoCellNetwork()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+	dup := NewNetwork([]*AP{{ID: "A"}, {ID: "A"}}, nil)
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate AP IDs should fail validation")
+	}
+	noChan := NewNetwork([]*AP{{ID: "A"}}, nil)
+	noChan.Band = spectrum.NewBand(nil)
+	if err := noChan.Validate(); err == nil {
+		t.Error("empty band should fail validation")
+	}
+	badPkt := NewNetwork([]*AP{{ID: "A"}}, nil)
+	badPkt.PacketBytes = 0
+	if err := badPkt.Validate(); err == nil {
+		t.Error("zero packet size should fail validation")
+	}
+	emptyID := NewNetwork([]*AP{{ID: "A"}}, []*Client{{ID: ""}})
+	if err := emptyID.Validate(); err == nil {
+		t.Error("empty client ID should fail validation")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	n, cfg := twoCellNetwork()
+	if err := cfg.Validate(n); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	missing := cfg.Clone()
+	delete(missing.Channels, "AP1")
+	if err := missing.Validate(n); err == nil {
+		t.Error("missing channel should fail")
+	}
+	foreign := cfg.Clone()
+	foreign.Channels["AP1"] = spectrum.NewChannel20(149)
+	if err := foreign.Validate(n); err == nil {
+		t.Error("out-of-band channel should fail")
+	}
+	ghost := cfg.Clone()
+	ghost.Assoc["nobody"] = "AP1"
+	if err := ghost.Validate(n); err == nil {
+		t.Error("unknown client should fail")
+	}
+	orphan := cfg.Clone()
+	orphan.Assoc["good"] = "AP9"
+	if err := orphan.Validate(n); err == nil {
+		t.Error("unknown AP should fail")
+	}
+}
+
+func TestConfigCloneIndependent(t *testing.T) {
+	_, cfg := twoCellNetwork()
+	clone := cfg.Clone()
+	clone.Channels["AP1"] = spectrum.NewChannel20(44)
+	clone.Assoc["good"] = "AP2"
+	if cfg.Channels["AP1"] != spectrum.NewChannel20(36) {
+		t.Error("clone mutated original channels")
+	}
+	if cfg.Assoc["good"] != "AP1" {
+		t.Error("clone mutated original associations")
+	}
+}
+
+func TestClientsOfSorted(t *testing.T) {
+	_, cfg := twoCellNetwork()
+	got := cfg.ClientsOf("AP1")
+	if len(got) != 2 || got[0] != "good" || got[1] != "walled" {
+		t.Errorf("ClientsOf = %v", got)
+	}
+	if got := cfg.ClientsOf("AP9"); got != nil {
+		t.Errorf("ClientsOf unknown AP = %v", got)
+	}
+}
+
+func TestClientSNRWidthGap(t *testing.T) {
+	n, _ := twoCellNetwork()
+	ap := n.AP("AP1")
+	c := n.Client("good")
+	s20 := float64(n.ClientSNR(ap, c, spectrum.NewChannel20(36)))
+	s40 := float64(n.ClientSNR(ap, c, spectrum.NewChannel40(36, 40)))
+	// ≈3 dB bonding gap modulo per-channel jitter.
+	if gap := s20 - s40; gap < 2 || gap > 4.2 {
+		t.Errorf("width SNR gap = %v, want ≈3 dB", gap)
+	}
+}
+
+func TestClientSNRWallLoss(t *testing.T) {
+	n, _ := twoCellNetwork()
+	ap := n.AP("AP1")
+	good := float64(n.ClientSNR20(ap, n.Client("good")))
+	walled := float64(n.ClientSNR20(ap, n.Client("walled")))
+	// The wall is 49 dB; positions differ slightly so allow slack.
+	if d := good - walled; d < 40 || d > 58 {
+		t.Errorf("wall attenuation delta = %v, want ≈49", d)
+	}
+}
+
+func TestAPsInRangeOrderedAndFiltered(t *testing.T) {
+	n, _ := twoCellNetwork()
+	aps := n.APsInRange(n.Client("good"))
+	if len(aps) != 1 || aps[0].ID != "AP1" {
+		t.Errorf("good client should only hear AP1, got %v", ids(aps))
+	}
+	// A client midway hears both, strongest first.
+	mid := &Client{ID: "mid", Pos: rf.Point{X: 200, Y: 0}}
+	n.Clients = append(n.Clients, mid)
+	aps = n.APsInRange(mid)
+	if len(aps) != 2 || aps[0].ID != "AP1" {
+		t.Errorf("midway client candidates = %v, want [AP1 AP2]", ids(aps))
+	}
+}
+
+func ids(aps []*AP) []string {
+	var out []string
+	for _, ap := range aps {
+		out = append(out, ap.ID)
+	}
+	return out
+}
+
+func TestContendAndDegree(t *testing.T) {
+	n, cfg := twoCellNetwork()
+	if n.Contend(n.AP("AP1"), n.AP("AP2"), cfg) {
+		t.Error("APs 600 m apart should not contend")
+	}
+	// Two APs 30 m apart contend.
+	a := &AP{ID: "A", Pos: rf.Point{X: 0, Y: 0}, TxPower: 18}
+	b := &AP{ID: "B", Pos: rf.Point{X: 30, Y: 0}, TxPower: 18}
+	dense := NewNetwork([]*AP{a, b}, nil)
+	if !dense.Contend(a, b, NewConfig()) {
+		t.Error("APs 30 m apart should contend")
+	}
+	if dense.Contend(a, a, NewConfig()) {
+		t.Error("an AP never contends with itself")
+	}
+	degrees, max := dense.InterferenceDegree(NewConfig())
+	if degrees["A"] != 1 || degrees["B"] != 1 || max != 1 {
+		t.Errorf("degrees = %v, max = %d", degrees, max)
+	}
+}
+
+func TestContendViaClient(t *testing.T) {
+	// Two APs out of mutual carrier sense but with a client of B audible
+	// to A still contend (footnote 5).
+	a := &AP{ID: "A", Pos: rf.Point{X: 0, Y: 0}, TxPower: 18}
+	b := &AP{ID: "B", Pos: rf.Point{X: 260, Y: 0}, TxPower: 18}
+	mid := &Client{ID: "mid", Pos: rf.Point{X: 100, Y: 0}}
+	n := NewNetwork([]*AP{a, b}, []*Client{mid})
+	cfg := NewConfig()
+	if n.Contend(a, b, cfg) {
+		t.Fatal("test setup: APs should be out of direct CS range")
+	}
+	cfg.Assoc["mid"] = "B"
+	if !n.Contend(a, b, cfg) {
+		t.Error("A should contend with B via B's client in A's range")
+	}
+}
+
+func TestAccessShare(t *testing.T) {
+	a := &AP{ID: "A", Pos: rf.Point{X: 0, Y: 0}, TxPower: 18}
+	b := &AP{ID: "B", Pos: rf.Point{X: 30, Y: 0}, TxPower: 18}
+	ca := &Client{ID: "ca", Pos: rf.Point{X: 2, Y: 1}}
+	cb := &Client{ID: "cb", Pos: rf.Point{X: 31, Y: 1}}
+	n := NewNetwork([]*AP{a, b}, []*Client{ca, cb})
+	cfg := NewConfig()
+	cfg.Assoc["ca"] = "A"
+	cfg.Assoc["cb"] = "B"
+
+	// Same channel → shared medium.
+	cfg.Channels["A"] = spectrum.NewChannel20(36)
+	cfg.Channels["B"] = spectrum.NewChannel20(36)
+	if m := n.AccessShare(cfg, a); m != 0.5 {
+		t.Errorf("co-channel access share = %v, want 0.5", m)
+	}
+	// Orthogonal channels → full share.
+	cfg.Channels["B"] = spectrum.NewChannel20(44)
+	if m := n.AccessShare(cfg, a); m != 1 {
+		t.Errorf("orthogonal access share = %v, want 1", m)
+	}
+	// Basic vs composite containing it → conflict again.
+	cfg.Channels["B"] = spectrum.NewChannel40(36, 40)
+	if m := n.AccessShare(cfg, a); m != 0.5 {
+		t.Errorf("composite-overlap access share = %v, want 0.5", m)
+	}
+	// A clientless contender costs nothing.
+	delete(cfg.Assoc, "cb")
+	if m := n.AccessShare(cfg, a); m != 1 {
+		t.Errorf("idle contender should not cost airtime, got %v", m)
+	}
+}
+
+func TestEvaluateBasics(t *testing.T) {
+	n, cfg := twoCellNetwork()
+	rep := n.Evaluate(cfg)
+	if len(rep.Cells) != 2 {
+		t.Fatalf("expected 2 cells, got %d", len(rep.Cells))
+	}
+	if rep.TotalUDP <= 0 {
+		t.Fatal("network throughput should be positive")
+	}
+	c1 := rep.Cell("AP1")
+	if c1 == nil || len(c1.Clients) != 2 {
+		t.Fatalf("AP1 cell malformed: %+v", c1)
+	}
+	// Performance anomaly: both AP1 clients see identical UDP throughput
+	// despite very different link qualities.
+	if math.Abs(c1.Clients[0].ThroughputUDP-c1.Clients[1].ThroughputUDP) > 1e-9 {
+		t.Error("per-client UDP throughput should be equal under DCF")
+	}
+	// TCP throughput is at most UDP throughput.
+	for _, cell := range rep.Cells {
+		if cell.ThroughputTCP > cell.ThroughputUDP {
+			t.Errorf("%s: TCP %v exceeds UDP %v", cell.APID, cell.ThroughputTCP, cell.ThroughputUDP)
+		}
+	}
+	if rep.Cell("AP9") != nil {
+		t.Error("unknown cell lookup should return nil")
+	}
+	// Totals are sums of cells.
+	var sum float64
+	for _, cell := range rep.Cells {
+		sum += cell.ThroughputUDP
+	}
+	if math.Abs(sum-rep.TotalUDP) > 1e-9 {
+		t.Error("TotalUDP is not the sum of cells")
+	}
+}
+
+func TestEvaluateEmptyCell(t *testing.T) {
+	n, cfg := twoCellNetwork()
+	delete(cfg.Assoc, "far")
+	rep := n.Evaluate(cfg)
+	c2 := rep.Cell("AP2")
+	if c2.ThroughputUDP != 0 || len(c2.Clients) != 0 {
+		t.Errorf("empty cell should have zero throughput: %+v", c2)
+	}
+}
+
+func TestAnomalySlowClientDragsCell(t *testing.T) {
+	n, cfg := twoCellNetwork()
+	with := n.Evaluate(cfg).Cell("AP1").ThroughputUDP
+	// Remove the walled client: the good client's cell throughput must
+	// rise substantially.
+	delete(cfg.Assoc, "walled")
+	without := n.Evaluate(cfg).Cell("AP1").ThroughputUDP
+	if without <= 2*with {
+		t.Errorf("removing the slow client should at least double cell throughput: %v → %v", with, without)
+	}
+}
+
+func TestIsolatedThroughputPicksWidth(t *testing.T) {
+	n, cfg := twoCellNetwork()
+	// AP2's single good client: bonding should win.
+	_, ch := n.IsolatedThroughput(cfg, n.AP("AP2"))
+	if ch.Width != spectrum.Width40 {
+		t.Errorf("good cell isolated width = %v, want 40 MHz", ch.Width)
+	}
+	// A cell of only near-dead clients prefers 20 MHz.
+	deadCfg := cfg.Clone()
+	deadCfg.Assoc = map[string]string{"walled": "AP1"}
+	_, ch = n.IsolatedThroughput(deadCfg, n.AP("AP1"))
+	if ch.Width != spectrum.Width20 {
+		t.Errorf("poor cell isolated width = %v, want 20 MHz", ch.Width)
+	}
+	// Empty cell → zero.
+	if tput, _ := n.IsolatedThroughput(deadCfg, n.AP("AP2")); tput != 0 {
+		t.Errorf("empty cell isolated throughput = %v", tput)
+	}
+}
+
+func TestUpperBoundDominatesEvaluation(t *testing.T) {
+	n, cfg := twoCellNetwork()
+	ub := n.UpperBound(cfg)
+	got := n.Evaluate(cfg).TotalUDP
+	// Y* is an upper bound on any same-association configuration; jitter
+	// can nudge the comparison by a hair, hence the epsilon.
+	if got > ub*1.02 {
+		t.Errorf("evaluation %v exceeds upper bound %v", got, ub)
+	}
+}
+
+func TestFairnessIndex(t *testing.T) {
+	n, cfg := twoCellNetwork()
+	rep := n.Evaluate(cfg)
+	j := rep.FairnessIndex()
+	if j <= 0 || j > 1 {
+		t.Fatalf("Jain index %v out of range", j)
+	}
+	// The mixed cell plus the solo good cell give unequal shares: J < 1.
+	if j > 0.999 {
+		t.Errorf("Jain index %v suspiciously perfect for unequal shares", j)
+	}
+	// Empty network is perfectly fair by convention.
+	empty := &NetworkReport{}
+	if empty.FairnessIndex() != 1 {
+		t.Error("empty network should report J = 1")
+	}
+	// Equal shares give exactly 1.
+	eq := &NetworkReport{Cells: []CellReport{{Clients: []ClientReport{
+		{ThroughputUDP: 5}, {ThroughputUDP: 5},
+	}}}}
+	if got := eq.FairnessIndex(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares J = %v, want 1", got)
+	}
+}
+
+func TestInterferenceDOT(t *testing.T) {
+	a := &AP{ID: "A", Pos: rf.Point{X: 0, Y: 0}, TxPower: 18}
+	b := &AP{ID: "B", Pos: rf.Point{X: 30, Y: 0}, TxPower: 18}
+	c := &AP{ID: "C", Pos: rf.Point{X: 5000, Y: 0}, TxPower: 18}
+	ca := &Client{ID: "ca", Pos: rf.Point{X: 1, Y: 1}}
+	n := NewNetwork([]*AP{a, b, c}, []*Client{ca})
+	cfg := NewConfig()
+	cfg.Channels["A"] = spectrum.NewChannel40(36, 40)
+	cfg.Channels["B"] = spectrum.NewChannel20(36) // overlaps A
+	cfg.Channels["C"] = spectrum.NewChannel20(44)
+	cfg.Assoc["ca"] = "A"
+	dot := n.InterferenceDOT(cfg)
+	if !strings.Contains(dot, "graph interference") {
+		t.Fatal("missing DOT header")
+	}
+	// A and B contend and overlap → solid edge; C is out of range → no
+	// edge at all.
+	if !strings.Contains(dot, `"A" -- "B" [style=solid]`) {
+		t.Errorf("expected solid A--B edge in:\n%s", dot)
+	}
+	if strings.Contains(dot, `"C"`) && strings.Contains(dot, `-- "C"`) {
+		t.Errorf("distant AP C should have no edges:\n%s", dot)
+	}
+	// Move B to an orthogonal channel → dashed edge.
+	cfg.Channels["B"] = spectrum.NewChannel20(44)
+	dot = n.InterferenceDOT(cfg)
+	if !strings.Contains(dot, `"A" -- "B" [style=dashed]`) {
+		t.Errorf("expected dashed A--B edge in:\n%s", dot)
+	}
+	if !strings.Contains(dot, "1 clients") {
+		t.Errorf("client count missing from label:\n%s", dot)
+	}
+}

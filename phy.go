@@ -1,0 +1,86 @@
+package acorn
+
+import (
+	"acorn/internal/baseband"
+	"acorn/internal/phy"
+	"acorn/internal/units"
+)
+
+// PHY-layer surface of the public API: the closed-form link models ACORN's
+// estimator uses, and the sample-level OFDM baseband (the WARP-hardware
+// substitute) for running the paper's Section 3 experiments.
+
+// Modulation identifies a subcarrier modulation scheme.
+type Modulation = phy.Modulation
+
+// The supported modulations.
+const (
+	BPSK  = phy.BPSK
+	QPSK  = phy.QPSK
+	DQPSK = phy.DQPSK
+	QAM16 = phy.QAM16
+	QAM64 = phy.QAM64
+)
+
+// BasebandMeasurement is the outcome of a baseband run: BER, PER, EVM, the
+// inferred SNR and a captured RX constellation.
+type BasebandMeasurement = baseband.Measurement
+
+// BasebandConfig describes one baseband link measurement.
+type BasebandConfig struct {
+	// Width is the channel width (Width20 or Width40).
+	Width Width
+	// Modulation of the data subcarriers.
+	Modulation Modulation
+	// STBC selects 2×2 Alamouti transmission; false is single-antenna
+	// transmission with receive combining.
+	STBC bool
+	// TxPower is the total transmit power in dBm.
+	TxPower DBm
+	// PathLoss attenuates the link.
+	PathLoss DB
+	// Packets and PacketBytes set the Monte-Carlo depth (the paper uses
+	// 9000 × 1500 B).
+	Packets, PacketBytes int
+	// Seed drives bit and noise randomness.
+	Seed int64
+}
+
+// MeasureBaseband transmits packets through the sample-level OFDM chain
+// (modulation → IFFT → cyclic prefix → Barker preamble → AWGN channel →
+// FFT → demodulation) and returns the measured statistics. It is the
+// programmatic equivalent of the paper's WARP/BERMAC experiments.
+func MeasureBaseband(cfg BasebandConfig) *BasebandMeasurement {
+	mode := baseband.ModeSISO
+	if cfg.STBC {
+		mode = baseband.ModeSTBC
+	}
+	ch := &baseband.Channel{PathLoss: cfg.PathLoss}
+	link := baseband.NewLink(baseband.NewChainConfig(cfg.Width), cfg.Modulation, mode, cfg.TxPower, ch, cfg.Seed)
+	return link.Run(cfg.Packets, cfg.PacketBytes)
+}
+
+// TheoreticalBER returns the closed-form AWGN bit error rate of a
+// modulation at the given per-subcarrier SNR — the overlay curve of the
+// paper's Fig 3(a).
+func TheoreticalBER(m Modulation, snr DB) float64 {
+	return phy.UncodedBER(m, snr)
+}
+
+// BondingSNRPenalty is the per-subcarrier SNR cost (≈3 dB) of spreading the
+// same transmit power over a 40 MHz channel's subcarriers instead of a
+// 20 MHz channel's.
+func BondingSNRPenalty() DB { return phy.BondingSNRPenalty() }
+
+// NoiseFloor returns the thermal noise floor −174 + 10·log10(B) dBm of a
+// channel of the given width (Eq. 1 of the paper).
+func NoiseFloor(w Width) DBm { return phy.NoiseFloorWidth(w) }
+
+// PathLossFor returns the path loss that lands a link's analytic
+// per-subcarrier SNR at the target for the given width and Tx power —
+// convenient for constructing baseband experiments at a known operating
+// point.
+func PathLossFor(tx DBm, targetSNR DB, w Width) DB {
+	perSC := phy.SubcarrierTxPower(tx, w)
+	return units.DB(perSC.Over(phy.SubcarrierNoiseFloor())) - targetSNR
+}
