@@ -4,7 +4,10 @@ GO ?= go
 
 .PHONY: all build vet test race bench cover experiments clean
 
-all: build vet test
+# The default check path race-checks everything: the control plane is
+# deliberately concurrent (heartbeats, reconnect supervisors, chaos tests),
+# so plain `make` must catch data races, not just failures.
+all: build vet test race
 
 build:
 	$(GO) build ./...

@@ -1,16 +1,34 @@
 // Command acornctl runs ACORN's networked control plane.
 //
-//	acornctl serve -addr :7431 [-period 30m]
+//	acornctl serve -addr :7431 [-period 30m] [-report-ttl 3h]
+//	              [-hello-timeout 10s] [-peer-timeout 90s]
 //	    Run the central controller: accept agent connections and
-//	    reallocate channels every period.
+//	    reallocate channels every period. Reports older than -report-ttl
+//	    are quarantined at reallocation time (the AP's last-known-good
+//	    view is still used, and the quarantine is logged); if every
+//	    report is stale the reallocation is skipped.
 //
-//	acornctl demo
+//	acornctl agent -addr host:7431 -id AP1 [-report meas.json]
+//	              [-period 30s] [-heartbeat 15s]
+//	              [-backoff-min 500ms] [-backoff-max 1m]
+//	    Run one AP agent with automatic reconnection: jittered
+//	    exponential backoff between attempts, hello re-sent on every
+//	    attempt, and the last report replayed after each reconnect. The
+//	    report file holds a ctlnet.Report in JSON ("clients" and "hears"
+//	    fields); omitted, the agent reports a clientless AP.
+//
+//	acornctl demo [-chaos]
 //	    Spin up a controller and three in-process agents with canned
 //	    measurements, run one reallocation, and print the assignments —
-//	    the zero-dependency way to watch the protocol work.
+//	    the zero-dependency way to watch the protocol work. With -chaos
+//	    the wire is wrapped in a fault injector (connection resets,
+//	    delays, corrupt bytes) and the agents reconnect through the
+//	    faults until the allocation converges anyway.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -19,18 +37,22 @@ import (
 	"time"
 
 	"acorn/internal/ctlnet"
+	"acorn/internal/faultnet"
+	"acorn/internal/spectrum"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: acornctl serve|demo [flags]")
+		fmt.Fprintln(os.Stderr, "usage: acornctl serve|agent|demo [flags]")
 		os.Exit(2)
 	}
 	switch os.Args[1] {
 	case "serve":
 		serve(os.Args[2:])
+	case "agent":
+		agent(os.Args[2:])
 	case "demo":
-		demo()
+		demo(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "acornctl: unknown command %q\n", os.Args[1])
 		os.Exit(2)
@@ -42,10 +64,16 @@ func serve(args []string) {
 	addr := fs.String("addr", ":7431", "listen address")
 	period := fs.Duration("period", 30*time.Minute, "reallocation period (the paper's T)")
 	seed := fs.Int64("seed", 1, "allocation seed")
+	reportTTL := fs.Duration("report-ttl", 3*time.Hour, "max report age before quarantine (0 disables aging)")
+	helloTimeout := fs.Duration("hello-timeout", ctlnet.DefaultHelloTimeout, "deadline for the first message on a new connection")
+	peerTimeout := fs.Duration("peer-timeout", ctlnet.DefaultPeerTimeout, "idle deadline between agent messages; keep it >= 3x the agents' -heartbeat")
 	_ = fs.Parse(args)
 
 	s := ctlnet.NewServer(*seed)
 	s.Logf = log.Printf
+	s.ReportTTL = *reportTTL
+	s.HelloTimeout = *helloTimeout
+	s.PeerTimeout = *peerTimeout
 	go func() {
 		ticker := time.NewTicker(*period)
 		defer ticker.Stop()
@@ -62,13 +90,87 @@ func serve(args []string) {
 	}
 }
 
-func demo() {
+func agent(args []string) {
+	fs := flag.NewFlagSet("agent", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7431", "controller address")
+	id := fs.String("id", "", "AP id (required)")
+	txPower := fs.Float64("txpower", 18, "AP transmit power in dBm")
+	reportPath := fs.String("report", "", "JSON file with the ctlnet.Report to stream (empty = clientless)")
+	period := fs.Duration("period", 30*time.Second, "measurement report interval")
+	heartbeat := fs.Duration("heartbeat", ctlnet.DefaultHeartbeatInterval, "ping interval keeping the session alive")
+	backoffMin := fs.Duration("backoff-min", 500*time.Millisecond, "first reconnect delay")
+	backoffMax := fs.Duration("backoff-max", time.Minute, "reconnect delay cap")
+	_ = fs.Parse(args)
+	if *id == "" {
+		log.Fatal("acornctl agent: -id is required")
+	}
+	rep := ctlnet.Report{}
+	if *reportPath != "" {
+		data, err := os.ReadFile(*reportPath)
+		if err != nil {
+			log.Fatalf("acornctl agent: %v", err)
+		}
+		if err := json.Unmarshal(data, &rep); err != nil {
+			log.Fatalf("acornctl agent: bad report file: %v", err)
+		}
+	}
+
+	ra, err := ctlnet.NewReconnectingAgent(context.Background(), *addr,
+		ctlnet.Hello{APID: *id, TxPowerDBm: *txPower},
+		ctlnet.ReconnectOptions{
+			Backoff: ctlnet.Backoff{Min: *backoffMin, Max: *backoffMax},
+			Agent:   ctlnet.AgentOptions{HeartbeatInterval: *heartbeat},
+			Logf:    log.Printf,
+		})
+	if err != nil {
+		log.Fatalf("acornctl agent: %v", err)
+	}
+	defer ra.Close()
+	if err := ra.SendReport(rep); err != nil {
+		log.Fatalf("acornctl agent: %v", err)
+	}
+	log.Printf("agent %s reporting to %s every %v", *id, *addr, *period)
+	ticker := time.NewTicker(*period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := ra.SendReport(rep); err != nil {
+				log.Fatalf("acornctl agent: %v", err)
+			}
+		case ch := <-ra.Updates():
+			log.Printf("agent %s assigned %v", *id, ch)
+		}
+	}
+}
+
+func demo(args []string) {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	chaos := fs.Bool("chaos", false, "inject connection resets, delays, and corrupt bytes on the wire")
+	_ = fs.Parse(args)
+
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
+	var inj *faultnet.Injector
+	listener := l
 	s := ctlnet.NewServer(1)
-	go func() { _ = s.Serve(l) }()
+	if *chaos {
+		inj = faultnet.NewInjector(faultnet.Config{
+			Seed:          time.Now().UnixNano(),
+			ConnResetProb: 0.5,
+			ResetAfterOps: 10,
+			DelayProb:     0.25,
+			MaxDelay:      2 * time.Millisecond,
+			CorruptProb:   0.03,
+		})
+		listener = inj.WrapListener(l)
+		s.HelloTimeout = 300 * time.Millisecond
+		s.PeerTimeout = 500 * time.Millisecond
+		fmt.Println("chaos mode: ~50% of connections get reset, messages are delayed and occasionally corrupted")
+	}
+	go func() { _ = s.Serve(listener) }()
 	defer s.Close()
 
 	// Three APs: two contend with each other; AP3 is isolated with poor
@@ -82,40 +184,80 @@ func demo() {
 		{"AP2", []string{"AP1"}, []float64{24, 26}},
 		{"AP3", nil, []float64{-1.5, -1.0}},
 	}
-	var agents []*ctlnet.Agent
-	for _, sp := range specs {
-		a, err := ctlnet.Dial(l.Addr().String(), ctlnet.Hello{APID: sp.id, TxPowerDBm: 18})
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer a.Close()
-		rep := ctlnet.Report{Hears: sp.hears}
-		for i, snr := range sp.snrs {
+	buildReport := func(hears []string, snrs []float64) ctlnet.Report {
+		rep := ctlnet.Report{Hears: hears}
+		for i, snr := range snrs {
 			rep.Clients = append(rep.Clients, ctlnet.ClientObs{
 				ClientID: fmt.Sprintf("sta%d", i+1), SNR20dB: snr,
 			})
 		}
-		if err := a.SendReport(rep); err != nil {
+		return rep
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var agents []*ctlnet.ReconnectingAgent
+	for _, sp := range specs {
+		ra, err := ctlnet.NewReconnectingAgent(ctx, l.Addr().String(),
+			ctlnet.Hello{APID: sp.id, TxPowerDBm: 18},
+			ctlnet.ReconnectOptions{
+				Backoff: ctlnet.Backoff{Min: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+				Agent: ctlnet.AgentOptions{
+					HeartbeatInterval: 20 * time.Millisecond,
+					PeerTimeout:       500 * time.Millisecond,
+				},
+			})
+		if err != nil {
 			log.Fatal(err)
 		}
-		agents = append(agents, a)
+		defer ra.Close()
+		if err := ra.SendReport(buildReport(sp.hears, sp.snrs)); err != nil {
+			log.Fatal(err)
+		}
+		agents = append(agents, ra)
 	}
-	// Let the reports land, then reallocate.
-	time.Sleep(100 * time.Millisecond)
-	assigns, err := s.Reallocate()
-	if err != nil {
-		log.Fatal(err)
+
+	if *chaos {
+		// Let the faults fly for a while, reallocating through them.
+		end := time.Now().Add(1500 * time.Millisecond)
+		for time.Now().Before(end) {
+			_, _ = s.Reallocate()
+			time.Sleep(100 * time.Millisecond)
+		}
+		st := inj.Stats()
+		fmt.Printf("injected faults: %d/%d connections reset, %d delays, %d corruptions\n",
+			st.Resets, st.Conns, st.Delays, st.Corruptions)
+		inj.Disable()
+		for i, ra := range agents {
+			fmt.Printf("  agent %s survived %d sessions\n", specs[i].id, ra.Sessions())
+		}
+	} else {
+		// Let the reports land.
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Final (or only) reallocation on a calm network.
+	var assigns map[string]spectrum.Channel
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		assigns, err = s.Reallocate()
+		if err == nil && len(assigns) == len(specs) {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("demo never converged: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 	fmt.Println("controller assignments:")
 	for _, sp := range specs {
 		fmt.Printf("  %-4s → %v\n", sp.id, assigns[sp.id])
 	}
-	for i, a := range agents {
-		select {
-		case ch := <-a.Updates():
-			fmt.Printf("  agent %s received %v\n", specs[i].id, ch)
-		case <-time.After(2 * time.Second):
-			fmt.Printf("  agent %s received nothing\n", specs[i].id)
+	for i, ra := range agents {
+		wait := time.Now().Add(5 * time.Second)
+		for ra.Current() != assigns[specs[i].id] && time.Now().Before(wait) {
+			time.Sleep(20 * time.Millisecond)
 		}
+		fmt.Printf("  agent %s holds %v\n", specs[i].id, ra.Current())
 	}
 }

@@ -7,6 +7,15 @@
 //
 //	acornd [-topology file.json] [-seed N] [-compare] [-json]
 //
+// With -controller the topology is not solved locally: acornd instead
+// measures it (client SNRs and the AP hear-graph) and streams those
+// measurements to a running `acornctl serve` controller, one reconnecting
+// agent per AP, printing the channel assignments it gets back:
+//
+//	acornd -topology file.json -controller host:7431
+//	       [-heartbeat 15s] [-backoff-min 500ms] [-backoff-max 1m]
+//	       [-report-period 30s] [-duration 0]
+//
 // Topology file format:
 //
 //	{
@@ -22,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"acorn"
 	"acorn/internal/topofile"
@@ -34,11 +44,29 @@ func main() {
 	compare := flag.Bool("compare", false, "also run the legacy [17] baseline")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	dot := flag.Bool("dot", false, "emit the configured interference graph in Graphviz DOT")
+	controller := flag.String("controller", "", "stream measurements to this acornctl controller instead of solving locally")
+	heartbeat := flag.Duration("heartbeat", 15*time.Second, "agent ping interval (with -controller)")
+	backoffMin := flag.Duration("backoff-min", 500*time.Millisecond, "first reconnect delay (with -controller)")
+	backoffMax := flag.Duration("backoff-max", time.Minute, "reconnect delay cap (with -controller)")
+	reportPeriod := flag.Duration("report-period", 30*time.Second, "measurement report interval (with -controller)")
+	duration := flag.Duration("duration", 0, "how long to run the agents; 0 = forever (with -controller)")
 	flag.Parse()
 
 	net, clients, err := loadTopology(*topoPath)
 	if err != nil {
 		log.Fatalf("acornd: %v", err)
+	}
+
+	if *controller != "" {
+		runAgents(net, clients, agentConfig{
+			addr:         *controller,
+			heartbeat:    *heartbeat,
+			backoffMin:   *backoffMin,
+			backoffMax:   *backoffMax,
+			reportPeriod: *reportPeriod,
+			duration:     *duration,
+		})
+		return
 	}
 
 	ctrl, err := acorn.NewController(net, *seed)

@@ -5,17 +5,42 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"acorn/internal/spectrum"
 )
 
+// DefaultHeartbeatInterval is how often an agent pings the controller. It
+// must stay well under the controller's PeerTimeout (a third or less) so a
+// single delayed ping never looks like a dead peer.
+const DefaultHeartbeatInterval = 15 * time.Second
+
+// AgentOptions tunes an agent session's liveness machinery. The zero value
+// picks the defaults; negative durations disable the corresponding feature.
+type AgentOptions struct {
+	// HeartbeatInterval is the ping cadence. Zero means
+	// DefaultHeartbeatInterval; negative disables heartbeats.
+	HeartbeatInterval time.Duration
+	// PeerTimeout is the read deadline between inbound messages. The
+	// controller's pong replies refresh it, so it should be at least 3x
+	// HeartbeatInterval. Zero means DefaultPeerTimeout; negative disables
+	// read deadlines.
+	PeerTimeout time.Duration
+	// WriteTimeout bounds each outbound write. Zero means
+	// DefaultWriteTimeout; negative disables write deadlines.
+	WriteTimeout time.Duration
+}
+
 // Agent is the AP-side endpoint: it says hello, streams reports, and
-// receives channel assignments.
+// receives channel assignments. A background heartbeat keeps the session
+// alive and lets both ends detect a dead peer within PeerTimeout.
 type Agent struct {
 	apID string
 	conn net.Conn
 	r    *bufio.Reader
+	opts AgentOptions
 	wmu  sync.Mutex
+	seq  uint64 // guarded by wmu; last report sequence stamped
 
 	mu      sync.Mutex
 	current spectrum.Channel
@@ -24,19 +49,31 @@ type Agent struct {
 	done    chan struct{}
 }
 
-// Dial connects to the controller and performs the hello exchange.
+// Dial connects to the controller and performs the hello exchange with
+// default options.
 func Dial(addr string, hello Hello) (*Agent, error) {
+	return DialOpts(addr, hello, AgentOptions{})
+}
+
+// DialOpts is Dial with explicit session options.
+func DialOpts(addr string, hello Hello, opts AgentOptions) (*Agent, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewAgent(conn, hello)
+	return NewAgentOpts(conn, hello, opts)
 }
 
 // NewAgent runs the agent protocol over an existing connection (tests use
-// net.Pipe). The hello is sent immediately; a background reader collects
-// assignments.
+// net.Pipe) with default options.
 func NewAgent(conn net.Conn, hello Hello) (*Agent, error) {
+	return NewAgentOpts(conn, hello, AgentOptions{})
+}
+
+// NewAgentOpts runs the agent protocol over an existing connection. The
+// hello is sent immediately; a background reader collects assignments and a
+// background pinger keeps the session alive.
+func NewAgentOpts(conn net.Conn, hello Hello, opts AgentOptions) (*Agent, error) {
 	if hello.APID == "" {
 		conn.Close()
 		return nil, fmt.Errorf("ctlnet: agent requires an AP id")
@@ -45,20 +82,58 @@ func NewAgent(conn net.Conn, hello Hello) (*Agent, error) {
 		apID:    hello.APID,
 		conn:    conn,
 		r:       bufio.NewReaderSize(conn, 64<<10),
-		updates: make(chan spectrum.Channel, 8),
+		opts:    opts,
+		updates: make(chan spectrum.Channel, 1),
 		done:    make(chan struct{}),
 	}
-	if err := writeMsg(conn, &Envelope{Type: TypeHello, Hello: &hello}); err != nil {
+	if err := a.send(&Envelope{Type: TypeHello, Hello: &hello}); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	go a.readLoop()
+	if hb := timeout(opts.HeartbeatInterval, DefaultHeartbeatInterval); hb > 0 {
+		go a.pingLoop(hb)
+	}
 	return a, nil
+}
+
+// send writes one envelope under the write lock and deadline.
+func (a *Agent) send(env *Envelope) error {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	if d := timeout(a.opts.WriteTimeout, DefaultWriteTimeout); d > 0 {
+		_ = a.conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	return writeMsg(a.conn, env)
+}
+
+// pingLoop sends a heartbeat every interval until the session ends. A
+// failed ping tears the connection down so the read loop notices promptly.
+func (a *Agent) pingLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-a.done:
+			return
+		case <-t.C:
+			seq++
+			if err := a.send(&Envelope{Type: TypePing, Ping: &Heartbeat{Seq: seq}}); err != nil {
+				a.conn.Close()
+				return
+			}
+		}
+	}
 }
 
 func (a *Agent) readLoop() {
 	defer close(a.done)
+	peerTimeout := timeout(a.opts.PeerTimeout, DefaultPeerTimeout)
 	for {
+		if peerTimeout > 0 {
+			_ = a.conn.SetReadDeadline(time.Now().Add(peerTimeout))
+		}
 		env, err := readMsg(a.r)
 		if err != nil {
 			a.mu.Lock()
@@ -78,23 +153,33 @@ func (a *Agent) readLoop() {
 			a.mu.Lock()
 			a.current = ch
 			a.mu.Unlock()
-			select {
-			case a.updates <- ch:
-			default: // a slow consumer only sees the freshest update
-				select {
-				case <-a.updates:
-				default:
-				}
-				a.updates <- ch
-			}
+			a.publish(ch)
 		case TypeError:
 			a.mu.Lock()
 			a.readErr = fmt.Errorf("ctlnet: controller rejected: %s", env.Error.Reason)
 			a.mu.Unlock()
 			return
 		default:
-			// Agents ignore other message types.
+			// Pongs (and any future message type) only matter for the
+			// read deadline refresh above.
 		}
+	}
+}
+
+// publish coalesces assignments latest-wins into the capacity-1 updates
+// channel: a slow consumer sees only the freshest assignment, and a fast
+// one sees every value it can keep up with. Nothing is ever dropped in
+// favor of an older value. Single producer (the read loop), so the
+// blocking send after a drain cannot deadlock.
+func (a *Agent) publish(ch spectrum.Channel) {
+	select {
+	case a.updates <- ch:
+	default:
+		select {
+		case <-a.updates:
+		default:
+		}
+		a.updates <- ch
 	}
 }
 
@@ -112,12 +197,24 @@ func channelFromAssign(as *Assign) (spectrum.Channel, error) {
 	}
 }
 
-// SendReport streams one measurement report. The APID field is filled in.
+// SendReport streams one measurement report. The APID field is filled in;
+// so is Seq when zero (a caller-provided Seq — e.g. a reconnect replay —
+// is preserved).
 func (a *Agent) SendReport(rep Report) error {
 	rep.APID = a.apID
 	a.wmu.Lock()
-	defer a.wmu.Unlock()
-	return writeMsg(a.conn, &Envelope{Type: TypeReport, Report: &rep})
+	if rep.Seq == 0 {
+		a.seq++
+		rep.Seq = a.seq
+	} else if rep.Seq > a.seq {
+		a.seq = rep.Seq
+	}
+	if d := timeout(a.opts.WriteTimeout, DefaultWriteTimeout); d > 0 {
+		_ = a.conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	err := writeMsg(a.conn, &Envelope{Type: TypeReport, Report: &rep})
+	a.wmu.Unlock()
+	return err
 }
 
 // Updates returns the channel on which new assignments arrive. Only the
@@ -138,6 +235,10 @@ func (a *Agent) Err() error {
 	defer a.mu.Unlock()
 	return a.readErr
 }
+
+// Done is closed when the session's read loop exits — on Close, peer
+// disconnect, protocol error, or a missed-heartbeat timeout.
+func (a *Agent) Done() <-chan struct{} { return a.done }
 
 // Close tears the connection down and waits for the reader.
 func (a *Agent) Close() error {

@@ -1,0 +1,308 @@
+package ctlnet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"acorn/internal/faultnet"
+	"acorn/internal/spectrum"
+)
+
+// TestChaosConvergence drives a controller plus three reconnecting agents
+// through injected connection resets, delays, and corrupted bytes, then
+// calms the network and asserts the system converges: every agent holds
+// the controller's current assignment and mutually contending APs end up
+// on disjoint spectrum.
+func TestChaosConvergence(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultnet.NewInjector(faultnet.Config{
+		Seed:          7,
+		ConnResetProb: 0.5, // at least 20% of connections reset, per the failure model
+		ResetAfterOps: 12,
+		DelayProb:     0.25,
+		MaxDelay:      2 * time.Millisecond,
+		CorruptProb:   0.03,
+	})
+	s := NewServer(1)
+	s.HelloTimeout = 300 * time.Millisecond
+	s.PeerTimeout = 500 * time.Millisecond
+	s.WriteTimeout = time.Second
+	go func() { _ = s.Serve(inj.WrapListener(l)) }()
+	defer s.Close()
+	addr := l.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ids := []string{"AP1", "AP2", "AP3"}
+	hears := map[string][]string{
+		"AP1": {"AP2", "AP3"},
+		"AP2": {"AP1", "AP3"},
+		"AP3": {"AP1", "AP2"},
+	}
+	agents := map[string]*ReconnectingAgent{}
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		ra, err := NewReconnectingAgent(ctx, addr, Hello{APID: id, TxPowerDBm: 18}, ReconnectOptions{
+			Backoff: Backoff{Min: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+			Agent: AgentOptions{
+				HeartbeatInterval: 20 * time.Millisecond,
+				PeerTimeout:       500 * time.Millisecond,
+				WriteTimeout:      500 * time.Millisecond,
+			},
+			Seed: int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ra.Close()
+		agents[id] = ra
+		// Each AP keeps measuring and reporting through the chaos.
+		wg.Add(1)
+		go func(id string, ra *ReconnectingAgent) {
+			defer wg.Done()
+			tick := time.NewTicker(10 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					_ = ra.SendReport(report(hears[id], 25, 22))
+				}
+			}
+		}(id, ra)
+	}
+
+	// Chaos phase: keep reallocating while the network misbehaves. Run at
+	// least the base window, then keep the chaos going until at least 20%
+	// of connections have been reset (doomed connections need a few ops
+	// to reach their injected reset), bounded by a hard cap.
+	chaosMin := time.Now().Add(1200 * time.Millisecond)
+	chaosCap := time.Now().Add(10 * time.Second)
+	for {
+		_, _ = s.Reallocate() // failures are expected mid-chaos
+		time.Sleep(80 * time.Millisecond)
+		if time.Now().Before(chaosMin) {
+			continue
+		}
+		st := inj.Stats()
+		if st.Resets > 0 && st.Delays > 0 && st.Resets*5 >= st.Conns {
+			break
+		}
+		if time.Now().After(chaosCap) {
+			break
+		}
+	}
+	st := inj.Stats()
+	t.Logf("chaos stats: %+v", st)
+	if st.Conns < 3 {
+		t.Fatalf("chaos exercised only %d connections", st.Conns)
+	}
+	if st.Resets == 0 || st.Delays == 0 {
+		t.Fatalf("chaos injected no resets or no delays: %+v", st)
+	}
+	if st.Resets*5 < st.Conns {
+		t.Fatalf("fewer than 20%% of connections reset: %+v", st)
+	}
+
+	// Calm the network and require convergence.
+	inj.Disable()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		out, err := s.Reallocate()
+		if err != nil || len(out) != len(ids) {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if agentsMatch(agents, out, 2*time.Second) {
+			for i := 0; i < len(ids); i++ {
+				for j := i + 1; j < len(ids); j++ {
+					a, b := out[ids[i]], out[ids[j]]
+					if a.Conflicts(b) {
+						t.Fatalf("contending %s and %s share spectrum: %v vs %v", ids[i], ids[j], a, b)
+					}
+				}
+			}
+			cancel()
+			wg.Wait()
+			return
+		}
+	}
+	for id, ra := range agents {
+		t.Logf("%s: current=%v connected=%v sessions=%d lastErr=%v",
+			id, ra.Current(), ra.Connected(), ra.Sessions(), ra.LastErr())
+	}
+	t.Fatal("agents never converged to the controller's assignment")
+}
+
+// agentsMatch polls until every agent's current channel equals the
+// controller's assignment, or the window elapses.
+func agentsMatch(agents map[string]*ReconnectingAgent, want map[string]spectrum.Channel, window time.Duration) bool {
+	deadline := time.Now().Add(window)
+	for time.Now().Before(deadline) {
+		ok := true
+		for id, ra := range agents {
+			if ra.Current() != want[id] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return false
+}
+
+// quarantineServer starts a server with a short report TTL and a captured
+// log.
+func quarantineServer(t *testing.T, ttl time.Duration) (*Server, string, func() string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var logbuf []string
+	s := NewServer(1)
+	s.ReportTTL = ttl
+	s.Logf = func(format string, args ...any) {
+		mu.Lock()
+		logbuf = append(logbuf, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	go func() { _ = s.Serve(l) }()
+	t.Cleanup(func() { _ = s.Close() })
+	logs := func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		return strings.Join(logbuf, "\n")
+	}
+	return s, l.Addr().String(), logs
+}
+
+// TestReallocateQuarantinesStaleReports lets one agent go silent past the
+// TTL: Reallocate must still succeed on the other APs' fresh views plus
+// the silenced AP's last-known-good report, and must log the quarantine.
+func TestReallocateQuarantinesStaleReports(t *testing.T) {
+	const ttl = 150 * time.Millisecond
+	s, addr, logs := quarantineServer(t, ttl)
+
+	ids := []string{"AP1", "AP2", "AP3"}
+	agents := map[string]*Agent{}
+	for _, id := range ids {
+		a, err := Dial(addr, Hello{APID: id, TxPowerDBm: 18})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		agents[id] = a
+		if err := a.SendReport(report(nil, 25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForReports(t, s, 3)
+
+	// Everyone goes quiet past the TTL, then only AP1 and AP2 report
+	// again; AP3 stays silent (still connected — its heartbeat would keep
+	// the session alive in a long-running deployment).
+	time.Sleep(ttl + 50*time.Millisecond)
+	mark := time.Now()
+	for _, id := range []string{"AP1", "AP2"} {
+		if err := agents[id].SendReport(report(nil, 27)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForFreshReports(t, s, mark, "AP1", "AP2")
+
+	assigns, err := s.Reallocate()
+	if err != nil {
+		t.Fatalf("reallocate with one stale AP must degrade, not fail: %v", err)
+	}
+	if len(assigns) != 3 {
+		t.Fatalf("want assignments for all 3 APs (stale one via last-known-good), got %d", len(assigns))
+	}
+	if got := logs(); !strings.Contains(got, "quarantin") || !strings.Contains(got, "AP3") {
+		t.Errorf("quarantine of AP3 not logged; log:\n%s", got)
+	}
+
+	// With every report stale there is no fresh view left: refuse.
+	time.Sleep(ttl + 50*time.Millisecond)
+	if _, err := s.Reallocate(); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("reallocate with all reports stale: err = %v, want stale refusal", err)
+	}
+}
+
+// TestLastKnownGoodSurvivesDisconnect drops an agent entirely: its report
+// must keep feeding Reallocate as the last-known-good view until the TTL
+// passes.
+func TestLastKnownGoodSurvivesDisconnect(t *testing.T) {
+	s, addr, logs := quarantineServer(t, time.Minute)
+
+	a, err := Dial(addr, Hello{APID: "AP1", TxPowerDBm: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendReport(report(nil, 25)); err != nil {
+		t.Fatal(err)
+	}
+	waitForReports(t, s, 1)
+	a.Close()
+
+	// Wait for the server to notice the disconnect.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.agents)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never reaped the closed agent")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	assigns, err := s.Reallocate()
+	if err != nil {
+		t.Fatalf("reallocate from last-known-good after disconnect: %v", err)
+	}
+	if _, ok := assigns["AP1"]; !ok {
+		t.Fatalf("disconnected AP lost its assignment: %v", assigns)
+	}
+	_ = logs
+}
+
+// waitForFreshReports polls until the named APs' reports were received
+// after mark.
+func waitForFreshReports(t *testing.T, s *Server, mark time.Time, ids ...string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := true
+		s.mu.Lock()
+		for _, id := range ids {
+			if !s.reports[id].recv.After(mark) {
+				ok = false
+				break
+			}
+		}
+		s.mu.Unlock()
+		if ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("fresh reports from %v never arrived", ids)
+}

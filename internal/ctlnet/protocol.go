@@ -13,6 +13,7 @@ package ctlnet
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -26,16 +27,35 @@ const (
 	TypeReport = "report"
 	TypeAssign = "assign"
 	TypeError  = "error"
+	TypePing   = "ping"
+	TypePong   = "pong"
 )
+
+// errMalformed tags protocol violations (as opposed to transport errors),
+// so endpoints can send a clean error reply before dropping the peer.
+var errMalformed = errors.New("malformed message")
+
+// errLineTooLong is returned before an oversized line is fully read, so a
+// hostile peer cannot make the endpoint buffer unbounded input.
+var errLineTooLong = fmt.Errorf("message exceeds %d bytes: %w", MaxLineBytes, errMalformed)
 
 // Envelope is the outer frame of every message.
 type Envelope struct {
 	Type string `json:"type"`
 	// Exactly one of the following is set, matching Type.
-	Hello  *Hello  `json:"hello,omitempty"`
-	Report *Report `json:"report,omitempty"`
-	Assign *Assign `json:"assign,omitempty"`
-	Error  *Error  `json:"error,omitempty"`
+	Hello  *Hello     `json:"hello,omitempty"`
+	Report *Report    `json:"report,omitempty"`
+	Assign *Assign    `json:"assign,omitempty"`
+	Error  *Error     `json:"error,omitempty"`
+	Ping   *Heartbeat `json:"ping,omitempty"`
+	Pong   *Heartbeat `json:"pong,omitempty"`
+}
+
+// Heartbeat is the body of ping and pong keepalives. A peer answers every
+// ping with a pong echoing the sequence number; receiving either refreshes
+// the local read deadline, so an idle-but-alive session is never reaped.
+type Heartbeat struct {
+	Seq uint64 `json:"seq"`
 }
 
 // Hello announces an AP to the controller.
@@ -55,6 +75,11 @@ type ClientObs struct {
 // Report carries an AP's current measurements.
 type Report struct {
 	APID string `json:"apID"`
+	// Seq is a per-AP monotonic sequence number. The controller ignores a
+	// report whose Seq is lower than the newest one it holds for the AP,
+	// so a reconnect replay can never roll the view backwards. Zero means
+	// "unsequenced" and is always accepted (legacy agents).
+	Seq uint64 `json:"seq,omitempty"`
 	// Clients are the AP's associated clients and their link qualities.
 	Clients []ClientObs `json:"clients"`
 	// Hears lists the AP IDs this AP senses above the carrier-sense
@@ -89,38 +114,69 @@ func writeMsg(w io.Writer, env *Envelope) error {
 	return err
 }
 
+// readLine reads up to and including the next newline, failing as soon as
+// the accumulated line exceeds MaxLineBytes rather than after buffering the
+// whole oversized message. The remainder of an oversized line is left
+// unconsumed; callers must drop the connection on errLineTooLong.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	var line []byte
+	for {
+		frag, err := r.ReadSlice('\n')
+		line = append(line, frag...)
+		if len(line) > MaxLineBytes {
+			return nil, fmt.Errorf("ctlnet: %w", errLineTooLong)
+		}
+		if err == nil {
+			return line, nil
+		}
+		if err != bufio.ErrBufferFull {
+			return nil, err
+		}
+	}
+}
+
 // readMsg decodes the next JSON line, enforcing the size bound.
 func readMsg(r *bufio.Reader) (*Envelope, error) {
-	line, err := r.ReadBytes('\n')
+	line, err := readLine(r)
 	if err != nil {
 		return nil, err
 	}
-	if len(line) > MaxLineBytes {
-		return nil, fmt.Errorf("ctlnet: message exceeds %d bytes", MaxLineBytes)
-	}
 	var env Envelope
 	if err := json.Unmarshal(line, &env); err != nil {
-		return nil, fmt.Errorf("ctlnet: decode: %w", err)
+		return nil, fmt.Errorf("ctlnet: decode: %v: %w", err, errMalformed)
 	}
 	switch env.Type {
 	case TypeHello:
 		if env.Hello == nil {
-			return nil, fmt.Errorf("ctlnet: hello without body")
+			return nil, protoErrf("hello without body")
 		}
 	case TypeReport:
 		if env.Report == nil {
-			return nil, fmt.Errorf("ctlnet: report without body")
+			return nil, protoErrf("report without body")
 		}
 	case TypeAssign:
 		if env.Assign == nil {
-			return nil, fmt.Errorf("ctlnet: assign without body")
+			return nil, protoErrf("assign without body")
 		}
 	case TypeError:
 		if env.Error == nil {
-			return nil, fmt.Errorf("ctlnet: error without body")
+			return nil, protoErrf("error without body")
+		}
+	case TypePing:
+		if env.Ping == nil {
+			return nil, protoErrf("ping without body")
+		}
+	case TypePong:
+		if env.Pong == nil {
+			return nil, protoErrf("pong without body")
 		}
 	default:
-		return nil, fmt.Errorf("ctlnet: unknown message type %q", env.Type)
+		return nil, protoErrf("unknown message type %q", env.Type)
 	}
 	return &env, nil
+}
+
+// protoErrf builds a protocol-violation error tagged with errMalformed.
+func protoErrf(format string, args ...any) error {
+	return fmt.Errorf("ctlnet: "+format+": %w", append(args, errMalformed)...)
 }

@@ -1,0 +1,313 @@
+package ctlnet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"acorn/internal/spectrum"
+)
+
+// Backoff parameterizes jittered exponential retry delays.
+type Backoff struct {
+	// Min is the first retry delay. Zero means 500ms.
+	Min time.Duration
+	// Max caps the delay growth. Zero means 1 minute.
+	Max time.Duration
+	// Factor multiplies the delay after each failed attempt. Zero means 2.
+	Factor float64
+	// Jitter is the +/- fraction applied to each delay so a fleet of APs
+	// restarting together does not reconnect in lockstep. Zero means 0.2;
+	// negative disables jitter.
+	Jitter float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Min <= 0 {
+		b.Min = 500 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = time.Minute
+	}
+	if b.Max < b.Min {
+		b.Max = b.Min
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter == 0 {
+		b.Jitter = 0.2
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	}
+	return b
+}
+
+// next grows a delay toward Max.
+func (b Backoff) next(d time.Duration) time.Duration {
+	d = time.Duration(float64(d) * b.Factor)
+	if d > b.Max {
+		d = b.Max
+	}
+	return d
+}
+
+// jittered spreads a delay by +/- Jitter.
+func (b Backoff) jittered(d time.Duration, rng *rand.Rand) time.Duration {
+	if b.Jitter <= 0 {
+		return d
+	}
+	spread := 1 + b.Jitter*(2*rng.Float64()-1)
+	return time.Duration(float64(d) * spread)
+}
+
+// ReconnectOptions tunes a ReconnectingAgent.
+type ReconnectOptions struct {
+	// Backoff bounds the retry delays between connection attempts.
+	Backoff Backoff
+	// Agent is forwarded to every underlying session.
+	Agent AgentOptions
+	// Dial, when non-nil, replaces net.Dial (tests inject faulty
+	// transports here). It must honor ctx cancellation.
+	Dial func(ctx context.Context, addr string) (net.Conn, error)
+	// Logf, when non-nil, receives diagnostic lines.
+	Logf func(format string, args ...any)
+	// Seed drives the backoff jitter; zero seeds from the AP id so
+	// distinct APs still spread out.
+	Seed int64
+}
+
+// ReconnectingAgent keeps an agent session alive across controller
+// restarts and network faults: it dials with jittered exponential backoff,
+// re-sends its hello on every attempt, and replays the last report (same
+// sequence number) after each reconnect so the controller's view recovers
+// without waiting for the next measurement cycle.
+type ReconnectingAgent struct {
+	apID    string
+	updates chan spectrum.Channel
+	cancel  context.CancelFunc
+	done    chan struct{}
+
+	mu         sync.Mutex
+	cur        *Agent
+	current    spectrum.Channel
+	lastReport *Report
+	seq        uint64
+	sessions   int
+	lastErr    error
+	closed     bool
+}
+
+// NewReconnectingAgent starts the supervisor and returns immediately; the
+// first connection attempt happens in the background. Close (or canceling
+// ctx) stops it.
+func NewReconnectingAgent(ctx context.Context, addr string, hello Hello, opts ReconnectOptions) (*ReconnectingAgent, error) {
+	if hello.APID == "" {
+		return nil, fmt.Errorf("ctlnet: reconnecting agent requires an AP id")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	ra := &ReconnectingAgent{
+		apID:    hello.APID,
+		updates: make(chan spectrum.Channel, 1),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	go ra.run(ctx, addr, hello, opts)
+	return ra, nil
+}
+
+func (ra *ReconnectingAgent) run(ctx context.Context, addr string, hello Hello, opts ReconnectOptions) {
+	defer close(ra.done)
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	dial := opts.Dial
+	if dial == nil {
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		for _, c := range hello.APID {
+			seed = seed*131 + int64(c)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bo := opts.Backoff.withDefaults()
+	delay := bo.Min
+	for ctx.Err() == nil {
+		conn, err := dial(ctx, addr)
+		if err != nil {
+			ra.setErr(err)
+			logf("reconnect %s: dial: %v (retry in %v)", ra.apID, err, delay)
+			if !sleepCtx(ctx, bo.jittered(delay, rng)) {
+				return
+			}
+			delay = bo.next(delay)
+			continue
+		}
+		ag, err := NewAgentOpts(conn, hello, opts.Agent)
+		if err != nil {
+			ra.setErr(err)
+			logf("reconnect %s: hello: %v (retry in %v)", ra.apID, err, delay)
+			if !sleepCtx(ctx, bo.jittered(delay, rng)) {
+				return
+			}
+			delay = bo.next(delay)
+			continue
+		}
+		delay = bo.Min
+
+		ra.mu.Lock()
+		ra.cur = ag
+		ra.sessions++
+		replay := ra.lastReport
+		ra.mu.Unlock()
+		if replay != nil {
+			// Replay keeps its original Seq: the controller treats an
+			// equal sequence as current, never as a rollback.
+			if err := ag.SendReport(*replay); err != nil {
+				logf("reconnect %s: replay: %v", ra.apID, err)
+			}
+		}
+
+	session:
+		for {
+			select {
+			case <-ctx.Done():
+				break session
+			case ch := <-ag.Updates():
+				ra.setCurrent(ch)
+			case <-ag.Done():
+				break session
+			}
+		}
+		// The read loop may have published a final assignment between the
+		// last receive and Done closing.
+		select {
+		case ch := <-ag.Updates():
+			ra.setCurrent(ch)
+		default:
+		}
+		ra.mu.Lock()
+		ra.cur = nil
+		ra.mu.Unlock()
+		ag.Close()
+		if ctx.Err() != nil {
+			return
+		}
+		ra.setErr(ag.Err())
+		logf("reconnect %s: session ended: %v (retry in %v)", ra.apID, ag.Err(), delay)
+		if !sleepCtx(ctx, bo.jittered(delay, rng)) {
+			return
+		}
+		delay = bo.next(delay)
+	}
+}
+
+// sleepCtx waits for d or the context, reporting whether the full delay
+// elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func (ra *ReconnectingAgent) setCurrent(ch spectrum.Channel) {
+	ra.mu.Lock()
+	ra.current = ch
+	ra.mu.Unlock()
+	select {
+	case ra.updates <- ch:
+	default:
+		select {
+		case <-ra.updates:
+		default:
+		}
+		ra.updates <- ch
+	}
+}
+
+func (ra *ReconnectingAgent) setErr(err error) {
+	ra.mu.Lock()
+	ra.lastErr = err
+	ra.mu.Unlock()
+}
+
+// SendReport stamps and remembers the report, then sends it when a session
+// is live. When disconnected the report is only stored; the supervisor
+// replays it right after the next successful hello, so the call still
+// succeeds (best-effort delivery, guaranteed replay).
+func (ra *ReconnectingAgent) SendReport(rep Report) error {
+	ra.mu.Lock()
+	if ra.closed {
+		ra.mu.Unlock()
+		return fmt.Errorf("ctlnet: reconnecting agent closed")
+	}
+	rep.APID = ra.apID
+	ra.seq++
+	rep.Seq = ra.seq
+	ra.lastReport = &rep
+	ag := ra.cur
+	ra.mu.Unlock()
+	if ag != nil {
+		// A failed send kills the session; the supervisor replays the
+		// stored report after reconnecting, so it is not lost.
+		_ = ag.SendReport(rep)
+	}
+	return nil
+}
+
+// Updates returns the channel on which assignments arrive, coalesced
+// latest-wins across all underlying sessions.
+func (ra *ReconnectingAgent) Updates() <-chan spectrum.Channel { return ra.updates }
+
+// Current returns the last assignment received on any session.
+func (ra *ReconnectingAgent) Current() spectrum.Channel {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	return ra.current
+}
+
+// Connected reports whether a session is currently established.
+func (ra *ReconnectingAgent) Connected() bool {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	return ra.cur != nil
+}
+
+// Sessions returns how many sessions have been successfully established.
+func (ra *ReconnectingAgent) Sessions() int {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	return ra.sessions
+}
+
+// LastErr returns the most recent dial or session error, nil if none.
+func (ra *ReconnectingAgent) LastErr() error {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	return ra.lastErr
+}
+
+// Close stops the supervisor, tears down any live session, and waits.
+func (ra *ReconnectingAgent) Close() error {
+	ra.mu.Lock()
+	ra.closed = true
+	ra.mu.Unlock()
+	ra.cancel()
+	<-ra.done
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"acorn/internal/core"
 	"acorn/internal/rf"
@@ -17,19 +18,51 @@ import (
 	"acorn/internal/wlan"
 )
 
+// Default control-plane timeouts. PeerTimeout should stay comfortably above
+// the agents' heartbeat interval (3x or more) so one delayed ping does not
+// reap a healthy session.
+const (
+	DefaultHelloTimeout = 10 * time.Second
+	DefaultPeerTimeout  = 90 * time.Second
+	DefaultWriteTimeout = 10 * time.Second
+)
+
 // Server is the central ACORN controller. It accepts agent connections,
 // maintains the latest report per AP, and on Reallocate rebuilds a
 // measurement-driven network view, runs Algorithm 2, and pushes the new
 // assignments to every connected agent.
+//
+// Reports survive agent disconnects as a last-known-good view, so a
+// flapping AP does not blind the allocator; ReportTTL controls how long
+// such a view may feed Reallocate before it is quarantined.
 type Server struct {
 	// Seed drives the allocation's random initial coloring.
 	Seed int64
 	// Logf, when non-nil, receives diagnostic lines.
 	Logf func(format string, args ...any)
 
+	// HelloTimeout bounds how long an accepted connection may sit silent
+	// before the hello arrives. Zero means DefaultHelloTimeout; negative
+	// disables the deadline.
+	HelloTimeout time.Duration
+	// PeerTimeout is the read deadline applied between messages after the
+	// hello; agents keep the session alive with ping heartbeats. Zero
+	// means DefaultPeerTimeout; negative disables the deadline.
+	PeerTimeout time.Duration
+	// WriteTimeout bounds every outbound write so a stalled peer cannot
+	// block pushes forever. Zero means DefaultWriteTimeout; negative
+	// disables the deadline.
+	WriteTimeout time.Duration
+	// ReportTTL is the maximum age a report may reach and still count as
+	// a fresh view in Reallocate. Older reports are quarantined: they are
+	// still used as the last-known-good fallback (and logged), but if no
+	// report at all is fresh, Reallocate refuses to run. Zero disables
+	// aging.
+	ReportTTL time.Duration
+
 	mu      sync.Mutex
 	agents  map[string]*agentConn // by AP ID
-	reports map[string]Report
+	reports map[string]storedReport
 	hellos  map[string]Hello
 	assign  map[string]spectrum.Channel
 
@@ -43,15 +76,33 @@ type agentConn struct {
 	wmu  sync.Mutex
 }
 
+// storedReport is a report plus the bookkeeping Reallocate needs to age it.
+type storedReport struct {
+	rep  Report
+	recv time.Time
+}
+
 // NewServer returns an idle controller.
 func NewServer(seed int64) *Server {
 	return &Server{
 		Seed:    seed,
 		agents:  map[string]*agentConn{},
-		reports: map[string]Report{},
+		reports: map[string]storedReport{},
 		hellos:  map[string]Hello{},
 		assign:  map[string]spectrum.Channel{},
 	}
+}
+
+// timeout resolves a configurable duration against its default: zero picks
+// the default, negative disables (returns 0).
+func timeout(configured, def time.Duration) time.Duration {
+	if configured == 0 {
+		return def
+	}
+	if configured < 0 {
+		return 0
+	}
+	return configured
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -101,12 +152,25 @@ func (s *Server) Close() error {
 	return err
 }
 
-// handle runs one agent session: hello, then a stream of reports.
+// handle runs one agent session: hello, then a stream of reports and pings.
+// Every accepted connection gets a read deadline before the first byte is
+// read, so a mute client cannot pin this goroutine.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	if d := timeout(s.HelloTimeout, DefaultHelloTimeout); d > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(d))
+	}
 	r := bufio.NewReaderSize(conn, 64<<10)
 	env, err := readMsg(r)
-	if err != nil || env.Type != TypeHello {
+	if err != nil {
+		if errors.Is(err, errMalformed) {
+			s.reject(conn, err.Error())
+		} else {
+			s.reject(conn, "expected hello")
+		}
+		return
+	}
+	if env.Type != TypeHello {
 		s.reject(conn, "expected hello")
 		return
 	}
@@ -131,11 +195,11 @@ func (s *Server) handle(conn net.Conn) {
 	s.mu.Unlock()
 	s.logf("agent %s connected from %v", hello.APID, conn.RemoteAddr())
 
+	// Only the live connection is forgotten on exit: the hello and last
+	// report stay behind as the AP's last-known-good view.
 	defer func() {
 		s.mu.Lock()
 		delete(s.agents, hello.APID)
-		delete(s.reports, hello.APID)
-		delete(s.hellos, hello.APID)
 		s.mu.Unlock()
 		s.logf("agent %s disconnected", hello.APID)
 	}()
@@ -149,26 +213,63 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 	}
 
+	peerTimeout := timeout(s.PeerTimeout, DefaultPeerTimeout)
 	for {
+		if peerTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(peerTimeout))
+		}
 		env, err := readMsg(r)
 		if err != nil {
+			if errors.Is(err, errMalformed) {
+				s.reject(conn, err.Error())
+			}
 			if !errors.Is(err, net.ErrClosed) {
 				s.logf("agent %s: %v", hello.APID, err)
 			}
 			return
 		}
-		if env.Type != TypeReport || env.Report.APID != hello.APID {
+		switch env.Type {
+		case TypePing:
+			if err := s.send(ac, &Envelope{Type: TypePong, Pong: &Heartbeat{Seq: env.Ping.Seq}}); err != nil {
+				s.logf("agent %s: pong: %v", hello.APID, err)
+				return
+			}
+		case TypeReport:
+			if env.Report.APID != hello.APID {
+				s.reject(conn, "report for foreign AP id")
+				return
+			}
+			rep := *env.Report
+			s.mu.Lock()
+			if prev, ok := s.reports[hello.APID]; ok && rep.Seq != 0 && rep.Seq < prev.rep.Seq {
+				s.mu.Unlock()
+				s.logf("agent %s: ignoring stale report seq %d < %d", hello.APID, rep.Seq, prev.rep.Seq)
+				continue
+			}
+			s.reports[hello.APID] = storedReport{rep: rep, recv: time.Now()}
+			s.mu.Unlock()
+		default:
 			s.reject(conn, "unexpected message")
 			return
 		}
-		s.mu.Lock()
-		s.reports[hello.APID] = *env.Report
-		s.mu.Unlock()
 	}
 }
 
 func (s *Server) reject(conn net.Conn, reason string) {
+	if d := timeout(s.WriteTimeout, DefaultWriteTimeout); d > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(d))
+	}
 	_ = writeMsg(conn, &Envelope{Type: TypeError, Error: &Error{Reason: reason}})
+}
+
+// send writes one envelope to an agent under its write lock and deadline.
+func (s *Server) send(ac *agentConn, env *Envelope) error {
+	ac.wmu.Lock()
+	defer ac.wmu.Unlock()
+	if d := timeout(s.WriteTimeout, DefaultWriteTimeout); d > 0 {
+		_ = ac.conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	return writeMsg(ac.conn, env)
 }
 
 // push sends an assignment to one agent.
@@ -179,9 +280,7 @@ func (s *Server) push(ac *agentConn, apID string, ch spectrum.Channel) {
 		Primary:   int(ch.Primary),
 		Secondary: int(ch.Secondary),
 	}}
-	ac.wmu.Lock()
-	defer ac.wmu.Unlock()
-	if err := writeMsg(ac.conn, msg); err != nil {
+	if err := s.send(ac, msg); err != nil {
 		s.logf("push to %s: %v", apID, err)
 	}
 }
@@ -190,6 +289,11 @@ func (s *Server) push(ac *agentConn, apID string, ch spectrum.Channel) {
 // Algorithm 2, stores and pushes the assignments, and returns them keyed by
 // AP ID. APs that have said hello but not yet reported are treated as
 // clientless.
+//
+// When ReportTTL is set, reports older than the TTL are quarantined: each
+// one is logged and the AP's last-known-good view is still used, degrading
+// gracefully through short silences. Only when every report is stale does
+// Reallocate refuse to act, since the whole view would then be fiction.
 func (s *Server) Reallocate() (map[string]spectrum.Channel, error) {
 	s.mu.Lock()
 	hellos := make(map[string]Hello, len(s.hellos))
@@ -197,12 +301,29 @@ func (s *Server) Reallocate() (map[string]spectrum.Channel, error) {
 		hellos[k] = v
 	}
 	reports := make(map[string]Report, len(s.reports))
+	now := time.Now()
+	fresh := 0
+	var quarantined []string
 	for k, v := range s.reports {
-		reports[k] = v
+		reports[k] = v.rep
+		if s.ReportTTL > 0 && now.Sub(v.recv) > s.ReportTTL {
+			quarantined = append(quarantined, fmt.Sprintf("%s (age %v)", k, now.Sub(v.recv).Round(time.Millisecond)))
+		} else {
+			fresh++
+		}
 	}
 	s.mu.Unlock()
 	if len(hellos) == 0 {
-		return nil, fmt.Errorf("ctlnet: no agents connected")
+		return nil, fmt.Errorf("ctlnet: no agents known")
+	}
+	if len(quarantined) > 0 {
+		sort.Strings(quarantined)
+		s.logf("reallocate: quarantined %d stale report(s) past TTL %v, using last-known-good: %v",
+			len(quarantined), s.ReportTTL, quarantined)
+	}
+	if len(reports) > 0 && fresh == 0 {
+		return nil, fmt.Errorf("ctlnet: refusing to reallocate: all %d reports stale (TTL %v)",
+			len(reports), s.ReportTTL)
 	}
 
 	n, cfg := buildView(hellos, reports)

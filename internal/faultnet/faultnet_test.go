@@ -1,0 +1,194 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// loopPair returns two ends of a real TCP connection, with the accept side
+// wrapped by the injector.
+func loopPair(t *testing.T, inj *Injector) (wrapped, raw net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	wl := inj.WrapListener(l)
+	var (
+		srv net.Conn
+		wg  sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv, err = wl.Accept()
+	}()
+	cli, dialErr := net.Dial("tcp", l.Addr().String())
+	if dialErr != nil {
+		t.Fatal(dialErr)
+	}
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); cli.Close() })
+	return srv, cli
+}
+
+func TestCleanPassthrough(t *testing.T) {
+	inj := NewInjector(Config{Seed: 1}) // no faults configured
+	srv, cli := loopPair(t, inj)
+	msg := []byte("hello over a clean faultnet\n")
+	go func() { _, _ = srv.Write(msg) }()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(cli, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+	if s := inj.Stats(); s.Conns != 1 || s.Resets != 0 {
+		t.Fatalf("unexpected stats: %+v", s)
+	}
+}
+
+func TestDoomedConnResets(t *testing.T) {
+	inj := NewInjector(Config{Seed: 3, ConnResetProb: 1, ResetAfterOps: 4})
+	srv, cli := loopPair(t, inj)
+	go func() { _, _ = io.Copy(io.Discard, cli) }()
+	var err error
+	for i := 0; i < 10; i++ {
+		if _, err = srv.Write([]byte("x\n")); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("doomed conn never reset: %v", err)
+	}
+	if s := inj.Stats(); s.Resets != 1 {
+		t.Fatalf("want 1 reset, got %+v", s)
+	}
+	// The peer observes a real close, not a hang.
+	cli.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		if _, err := cli.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+func TestCorruptionFlipsAByte(t *testing.T) {
+	inj := NewInjector(Config{Seed: 5, CorruptProb: 1})
+	srv, cli := loopPair(t, inj)
+	msg := []byte("abcdefgh")
+	go func() { _, _ = srv.Write(msg) }()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(cli, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("write passed through uncorrupted")
+	}
+	diff := 0
+	for i := range msg {
+		if got[i] != msg[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("want exactly 1 corrupted byte, got %d", diff)
+	}
+	if s := inj.Stats(); s.Corruptions != 1 {
+		t.Fatalf("want 1 corruption, got %+v", s)
+	}
+}
+
+func TestDroppedWriteReportsSuccess(t *testing.T) {
+	inj := NewInjector(Config{Seed: 7, DropWriteProb: 1})
+	srv, cli := loopPair(t, inj)
+	if n, err := srv.Write([]byte("into the void")); err != nil || n != 13 {
+		t.Fatalf("dropped write: n=%d err=%v", n, err)
+	}
+	cli.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 64)
+	if n, err := cli.Read(buf); err == nil {
+		t.Fatalf("peer received %d bytes of a dropped write", n)
+	}
+	if s := inj.Stats(); s.DroppedWrites != 1 {
+		t.Fatalf("want 1 dropped write, got %+v", s)
+	}
+}
+
+func TestPartialWriteTruncatesAndResets(t *testing.T) {
+	inj := NewInjector(Config{Seed: 9, PartialWriteProb: 1})
+	srv, cli := loopPair(t, inj)
+	msg := []byte("0123456789")
+	n, err := srv.Write(msg)
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("partial write err = %v", err)
+	}
+	if n <= 0 || n >= len(msg) {
+		t.Fatalf("partial write wrote %d of %d bytes", n, len(msg))
+	}
+	got, _ := io.ReadAll(cli)
+	if len(got) != n || !bytes.Equal(got, msg[:n]) {
+		t.Fatalf("peer saw %q, want prefix %q", got, msg[:n])
+	}
+}
+
+func TestDelayInjected(t *testing.T) {
+	inj := NewInjector(Config{Seed: 11, DelayProb: 1, MaxDelay: 20 * time.Millisecond})
+	srv, cli := loopPair(t, inj)
+	go func() { _, _ = srv.Write([]byte("delayed\n")) }()
+	buf := make([]byte, 64)
+	if _, err := cli.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if s := inj.Stats(); s.Delays == 0 {
+		t.Fatalf("no delays recorded: %+v", s)
+	}
+}
+
+func TestDisableStopsFaults(t *testing.T) {
+	inj := NewInjector(Config{Seed: 13, ConnResetProb: 1, ResetAfterOps: 1, CorruptProb: 1, DropWriteProb: 1})
+	inj.Disable()
+	srv, cli := loopPair(t, inj)
+	msg := []byte("calm network\n")
+	go func() { _, _ = srv.Write(msg) }()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(cli, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("disabled injector still faulted: %q", got)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() Stats {
+		inj := NewInjector(Config{Seed: 42, ConnResetProb: 0.5, ResetAfterOps: 3, CorruptProb: 0.3})
+		for i := 0; i < 20; i++ {
+			srv, cli := loopPair(t, inj)
+			go func() { _, _ = io.Copy(io.Discard, cli) }()
+			for j := 0; j < 5; j++ {
+				if _, err := srv.Write([]byte("probe\n")); err != nil {
+					break
+				}
+			}
+			srv.Close()
+			cli.Close()
+		}
+		return inj.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
