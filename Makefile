@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover experiments clean
+.PHONY: all build vet test race bench bench-smoke cover experiments clean
 
 # The default check path race-checks everything: the control plane is
 # deliberately concurrent (heartbeats, reconnect supervisors, chaos tests),
 # so plain `make` must catch data races, not just failures.
-all: build vet test race
+all: build vet test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,15 @@ race:
 	$(GO) test -race ./...
 
 # Full benchmark harness: regenerates every paper artifact once and
-# measures each experiment.
+# measures each experiment, recording the trajectory in BENCH_phy.json.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -count=1 ./... | tee bench_output.txt
+	$(GO) run ./cmd/benchjson < bench_output.txt > BENCH_phy.json
+
+# One-iteration smoke pass over every benchmark: catches bit-rot in the
+# benchmark code without paying for real measurements.
+bench-smoke:
+	$(GO) test -bench=. -benchmem -benchtime=1x -count=1 ./... > /dev/null
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1

@@ -11,23 +11,38 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
 	"time"
 
 	"acorn/internal/experiments"
+	"acorn/internal/profiling"
 	"acorn/internal/report"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed for the system experiments")
 	packets := flag.Int("packets", 0, "packets per Monte-Carlo point for the PHY experiments (0 = fast default; the paper uses 9000)")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines for the PHY experiments (0 = GOMAXPROCS); results are worker-count independent")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 	htmlPath := flag.String("html", "", "also write a self-contained HTML report to this path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	phyOpts := experiments.PHYOptions{Packets: *packets, Seed: *seed}
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	phyOpts := experiments.PHYOptions{Packets: *packets, Seed: *seed, Workers: *workers}
 	runners := map[string]func() string{
 		"fig1":        func() string { return experiments.RunFig1(phyOpts).Format() },
 		"fig2":        func() string { return experiments.RunFig2(phyOpts).Format() },

@@ -19,6 +19,8 @@ import (
 
 	"acorn/internal/baseband"
 	"acorn/internal/phy"
+	"acorn/internal/profiling"
+	"acorn/internal/simrun"
 	"acorn/internal/spectrum"
 	"acorn/internal/units"
 )
@@ -35,7 +37,20 @@ func main() {
 	sweep := flag.String("sweep", "none", "sweep: none, tx (0..25 dBm), snr (0..12 dB)")
 	fading := flag.String("fading", "none", "fading: none, flat, rician")
 	seed := flag.Int64("seed", 1, "RNG seed")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS); results are worker-count independent")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	w := spectrum.Width20
 	if *width == 40 {
@@ -57,9 +72,15 @@ func main() {
 	}
 
 	measure := func(txPower, plDB float64) *baseband.Measurement {
-		ch := &baseband.Channel{PathLoss: units.DB(plDB), Fading: fade}
-		l := baseband.NewLink(baseband.NewChainConfig(w), modulation, txMode, units.DBm(txPower), ch, *seed)
-		return l.Run(*packets, *bytes)
+		return simrun.RunPoint(simrun.Point{
+			Seed:        *seed,
+			Packets:     *packets,
+			PacketBytes: *bytes,
+			Make: func(shardSeed int64) *baseband.Link {
+				ch := &baseband.Channel{PathLoss: units.DB(plDB), Fading: fade}
+				return baseband.NewLink(baseband.NewChainConfig(w), modulation, txMode, units.DBm(txPower), ch, shardSeed)
+			},
+		}, simrun.Options{Workers: *workers})
 	}
 	pl := *pathloss
 	if pl == 0 {

@@ -7,6 +7,19 @@ import (
 	"acorn/internal/spectrum"
 )
 
+// BenchmarkRunPacket is the headline steady-state packet-loop benchmark
+// tracked in BENCH_phy.json: uncoded QPSK STBC at 20 MHz, AWGN.
+func BenchmarkRunPacket(b *testing.B) {
+	ch := &Channel{PathLoss: 100}
+	l := NewLink(NewChainConfig(spectrum.Width20), phy.QPSK, ModeSTBC, 15, ch, 1)
+	var m Measurement
+	b.ReportAllocs()
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		l.RunPacket(1500, &m)
+	}
+}
+
 func BenchmarkRunPacketQPSK20(b *testing.B) {
 	ch := &Channel{PathLoss: 100}
 	l := NewLink(NewChainConfig(spectrum.Width20), phy.QPSK, ModeSTBC, 15, ch, 1)

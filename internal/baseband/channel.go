@@ -71,6 +71,18 @@ type Channel struct {
 	Jam *Jammer
 
 	rng *rand.Rand
+	ws  chanWorkspace
+}
+
+// chanWorkspace holds the channel's reusable buffers: the received sample
+// streams, the jammer waveform, and the per-packet state realization. The
+// slices returned by Transmit alias these buffers and are valid only until
+// the next packet through the same Channel.
+type chanWorkspace struct {
+	rx   [2][]complex128
+	jam  []complex128
+	st   State
+	taps [2][2][MultipathTaps]complex128
 }
 
 // NewChannel builds a channel with the given path loss and fading model,
@@ -92,9 +104,18 @@ type State struct {
 // an FFT of the given size.
 func (st *State) FreqResponse(t, r, fftSize int) []complex128 {
 	grid := make([]complex128, fftSize)
-	copy(grid, st.Taps[t][r])
-	dsp.FFT(grid)
+	st.FreqResponseInto(t, r, grid)
 	return grid
+}
+
+// FreqResponseInto is the scratch-buffer variant of FreqResponse: dst must
+// have the FFT size as its length and is fully overwritten.
+func (st *State) FreqResponseInto(t, r int, dst []complex128) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	copy(dst, st.Taps[t][r])
+	dsp.FFT(dst)
 }
 
 // gain draws one complex small-scale coefficient for the configured model.
@@ -111,14 +132,16 @@ func (c *Channel) gain() complex128 {
 	}
 }
 
-// drawState realizes the per-packet channel.
+// drawState realizes the per-packet channel into the channel-owned State,
+// reusing the tap storage; the returned pointer is valid until the next
+// draw.
 func (c *Channel) drawState() *State {
-	st := &State{}
+	st := &c.ws.st
 	att := complex(c.attenuation(), 0)
 	for t := 0; t < 2; t++ {
 		for r := 0; r < 2; r++ {
 			if c.Fading == FadingMultipath {
-				taps := make([]complex128, MultipathTaps)
+				taps := c.ws.taps[t][r][:MultipathTaps]
 				// Exponential power-delay profile, unit total power.
 				var norm float64
 				p := 1.0
@@ -133,7 +156,9 @@ func (c *Channel) drawState() *State {
 				}
 				st.Taps[t][r] = taps
 			} else {
-				st.Taps[t][r] = []complex128{c.gain() * att}
+				taps := c.ws.taps[t][r][:1]
+				taps[0] = c.gain() * att
+				st.Taps[t][r] = taps
 			}
 		}
 	}
@@ -162,7 +187,9 @@ func (c *Channel) attenuation() float64 {
 // and returns the two received streams plus the realized channel state.
 // All four TX→RX paths share the packet's quasi-static realization;
 // independent AWGN is added per RX antenna and sample; the jammer's tones,
-// if configured, are superimposed with a random phase per packet.
+// if configured, are superimposed with a random phase per packet. The
+// returned streams and state alias channel-owned scratch buffers: they are
+// valid until the next Transmit on the same Channel.
 func (c *Channel) Transmit(tx [2][]complex128, sampleRate float64, fftSize int) (rx [2][]complex128, st *State) {
 	n := len(tx[0])
 	if len(tx[1]) != n {
@@ -175,24 +202,39 @@ func (c *Channel) Transmit(tx [2][]complex128, sampleRate float64, fftSize int) 
 		jam = c.jammerSamples(n, fftSize)
 	}
 	for r := 0; r < 2; r++ {
-		out := make([]complex128, n)
+		out := growC(c.ws.rx[r], n)
+		c.ws.rx[r] = out
+		for i := range out {
+			out[i] = 0
+		}
 		for t := 0; t < 2; t++ {
 			taps := st.Taps[t][r]
+			src := tx[t]
+			if len(taps) == 1 {
+				// Flat models: a single complex gain, no delay line.
+				h := taps[0]
+				for i := 0; i < n; i++ {
+					out[i] += src[i] * h
+				}
+				continue
+			}
 			for i := 0; i < n; i++ {
 				var v complex128
 				for d, h := range taps {
 					if i-d >= 0 {
-						v += tx[t][i-d] * h
+						v += src[i-d] * h
 					}
 				}
 				out[i] += v
 			}
 		}
-		for i := 0; i < n; i++ {
-			if sigma > 0 {
+		if sigma > 0 {
+			for i := 0; i < n; i++ {
 				out[i] += complex(c.rng.NormFloat64()*sigma, c.rng.NormFloat64()*sigma)
 			}
-			if jam != nil {
+		}
+		if jam != nil {
+			for i := 0; i < n; i++ {
 				out[i] += jam[i]
 			}
 		}
@@ -201,12 +243,16 @@ func (c *Channel) Transmit(tx [2][]complex128, sampleRate float64, fftSize int) 
 	return rx, st
 }
 
-// jammerSamples synthesizes the narrowband interference waveform: one
-// complex exponential per jammed bin, each with an independent random
-// phase, total power split evenly.
+// jammerSamples synthesizes the narrowband interference waveform into the
+// channel's reusable buffer: one complex exponential per jammed bin, each
+// with an independent random phase, total power split evenly.
 func (c *Channel) jammerSamples(n, fftSize int) []complex128 {
 	perTone := math.Sqrt(c.Jam.PowerMW / float64(len(c.Jam.Bins)))
-	out := make([]complex128, n)
+	out := growC(c.ws.jam, n)
+	c.ws.jam = out
+	for i := range out {
+		out[i] = 0
+	}
 	for _, bin := range c.Jam.Bins {
 		phase := c.rng.Float64() * 2 * math.Pi
 		w := 2 * math.Pi * float64(bin) / float64(fftSize)

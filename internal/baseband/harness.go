@@ -7,6 +7,7 @@ import (
 	"acorn/internal/dsp"
 	"acorn/internal/fec"
 	"acorn/internal/phy"
+	"acorn/internal/stats"
 	"acorn/internal/units"
 )
 
@@ -47,14 +48,22 @@ type Link struct {
 	CSI CSIMode
 
 	rng *rand.Rand
+	ws  *workspace
 }
 
-// NewLink builds a link with the given parameters, drawing bit and noise
-// randomness from seed.
+// channelStream is the substream tag that derives a channel's RNG seed from
+// its link's seed.
+const channelStream = 0x6368 // "ch"
+
+// NewLink builds a link with the given parameters, drawing bit randomness
+// from seed. A channel without its own RNG gets a separate seed-derived
+// stream: sharing the link's rand.Rand would entangle noise draws with
+// payload-bit draws, so two links cloned from related seeds (as the
+// Monte-Carlo shards are) would not be statistically independent.
 func NewLink(cfg ChainConfig, mod phy.Modulation, mode TxMode, txPower units.DBm, ch *Channel, seed int64) *Link {
 	rng := rand.New(rand.NewSource(seed))
 	if ch.rng == nil {
-		ch.rng = rng
+		ch.rng = rand.New(rand.NewSource(stats.DeriveSeed(seed, channelStream)))
 	}
 	return &Link{Chain: cfg, Modulation: mod, Mode: mode, TxPower: txPower, Channel: ch, rng: rng}
 }
@@ -74,54 +83,70 @@ func (l *Link) toneGain() float64 {
 	return math.Sqrt(es)
 }
 
-// randomBits fills a fresh bit slice (one bit per byte, values 0/1).
+// randomBits fills the link's reusable bit slice (one bit per byte, values
+// 0/1); the result is valid until the next call.
 func (l *Link) randomBits(n int) []byte {
-	bits := make([]byte, n)
-	for i := range bits {
-		bits[i] = byte(l.rng.Intn(2))
+	ws := l.scratch()
+	ws.bits = growB(ws.bits, n)
+	for i := range ws.bits {
+		ws.bits[i] = byte(l.rng.Intn(2))
 	}
-	return bits
+	return ws.bits
 }
 
-// buildTx modulates bits into the two antenna sample streams.
+// buildTx modulates bits into the two antenna sample streams. The returned
+// streams and symbol grid alias the link's workspace and are valid until
+// the next packet.
 func (l *Link) buildTx(bits []byte) (tx [2][]complex128, freqSyms [][]complex128) {
-	mapper := NewMapper(l.Modulation)
-	freqSyms = l.Chain.modulateSymbols(bits, mapper)
+	ws := l.scratch()
+	mapper := l.mapper()
+	freqSyms = l.Chain.modulateSymbolsInto(&ws.syms, bits, mapper, &ws.padBits)
 	if l.Modulation == phy.DQPSK {
 		diffEncodeAcrossTime(freqSyms)
 	}
 	gain := l.toneGain()
 	preambleAmp := math.Sqrt(float64(l.TxPower.MilliWatts()))
-	preamble := dsp.BarkerPreamble(l.Chain.PreambleReps, preambleAmp)
-	silent := make([]complex128, len(preamble))
+	if ws.preamble == nil || ws.preambleAmp != preambleAmp {
+		ws.preamble = dsp.BarkerPreamble(l.Chain.PreambleReps, preambleAmp)
+		ws.silent = make([]complex128, len(ws.preamble))
+		ws.preambleAmp = preambleAmp
+	}
 
 	var ant1Syms, ant2Syms [][]complex128
 	if l.Mode == ModeSTBC {
-		ant1Syms, ant2Syms = alamoutiEncode(freqSyms)
+		ant1Syms, ant2Syms = alamoutiEncodeInto(&ws.ant1, &ws.ant2, freqSyms)
 	} else {
 		ant1Syms = freqSyms
-		ant2Syms = make([][]complex128, len(freqSyms))
-		empty := make([]complex128, len(l.Chain.DataCarriers))
-		for i := range ant2Syms {
-			ant2Syms[i] = empty
+		ws.zeroRow = growC(ws.zeroRow, len(l.Chain.DataCarriers))
+		for i := range ws.zeroRow {
+			ws.zeroRow[i] = 0
 		}
+		ant2Syms = ws.ant2.aliasRows(len(freqSyms), ws.zeroRow)
 	}
-	tx[0] = append(tx[0], preamble...)
-	tx[1] = append(tx[1], silent...)
+	ws.grid = growC(ws.grid, l.Chain.FFTSize)
+	ws.tx[0] = append(ws.tx[0][:0], ws.preamble...)
+	ws.tx[1] = append(ws.tx[1][:0], ws.silent...)
 	if l.CSI == CSIPilot {
 		// Training: antenna 0's LTF, then antenna 1's, each with the
 		// other antenna silent so the receiver separates the paths.
-		ltfSilence := make([]complex128, l.Chain.SymbolSamples())
-		tx[0] = append(tx[0], l.Chain.ltfSymbol(gain)...)
-		tx[1] = append(tx[1], ltfSilence...)
-		tx[0] = append(tx[0], ltfSilence...)
-		tx[1] = append(tx[1], l.Chain.ltfSymbol(gain)...)
+		if ws.ltf == nil || ws.ltfGain != gain {
+			ws.ltf = l.Chain.ltfSymbol(gain)
+			ws.ltfSilence = growC(ws.ltfSilence, l.Chain.SymbolSamples())
+			for i := range ws.ltfSilence {
+				ws.ltfSilence[i] = 0
+			}
+			ws.ltfGain = gain
+		}
+		ws.tx[0] = append(ws.tx[0], ws.ltf...)
+		ws.tx[1] = append(ws.tx[1], ws.ltfSilence...)
+		ws.tx[0] = append(ws.tx[0], ws.ltfSilence...)
+		ws.tx[1] = append(ws.tx[1], ws.ltf...)
 	}
 	for i := range ant1Syms {
-		tx[0] = append(tx[0], l.Chain.toTimeDomain(ant1Syms[i], gain, 0, i)...)
-		tx[1] = append(tx[1], l.Chain.toTimeDomain(ant2Syms[i], gain, 1, i)...)
+		ws.tx[0] = l.Chain.appendTimeDomain(ws.tx[0], ant1Syms[i], gain, 0, i, ws.grid)
+		ws.tx[1] = l.Chain.appendTimeDomain(ws.tx[1], ant2Syms[i], gain, 1, i, ws.grid)
 	}
-	return tx, freqSyms
+	return ws.tx, freqSyms
 }
 
 // diffEncodeAcrossTime applies DQPSK differential encoding independently on
@@ -163,7 +188,10 @@ func diffDecodeAcrossTime(syms [][]complex128) {
 
 // receive demodulates the two received streams back into equalized
 // unit-scale constellation symbols, one vector per transmitted OFDM symbol.
+// The returned rows alias the link's workspace and are valid until the next
+// packet.
 func (l *Link) receive(rx [2][]complex128, st *State, nSyms int) [][]complex128 {
+	ws := l.scratch()
 	start := l.Chain.PreambleSamples()
 	if l.DetectTiming {
 		amp := math.Sqrt(float64(l.TxPower.MilliWatts())) * l.Channel.attenuation()
@@ -178,43 +206,55 @@ func (l *Link) receive(rx [2][]complex128, st *State, nSyms int) [][]complex128 
 	}
 	var ltfGrids [2][2][]complex128
 	if l.CSI == CSIPilot {
+		grids := ws.ltfGrid.shape(2*LTFSymbols, l.Chain.FFTSize)
 		for r := 0; r < 2; r++ {
 			for t := 0; t < LTFSymbols; t++ {
 				lo := start + t*symLen
 				if lo+symLen > len(rx[r]) {
 					continue
 				}
-				_, grid := l.Chain.fromTimeDomain(rx[r][lo : lo+symLen])
+				grid := grids[r*LTFSymbols+t]
+				copy(grid, rx[r][lo+l.Chain.CPLen:lo+l.Chain.CPLen+l.Chain.FFTSize])
+				dsp.FFT(grid)
 				ltfGrids[r][t] = grid
 			}
 		}
 		start += LTFSymbols * symLen
 	}
+	tones := len(l.Chain.DataCarriers)
+	avail := 0
+	for t := 0; t < nRxSyms; t++ {
+		if start+(t+1)*symLen > len(rx[0]) {
+			break
+		}
+		avail++
+	}
+	if avail == 0 {
+		return nil
+	}
+	ws.grid = growC(ws.grid, l.Chain.FFTSize)
 	var rxF [2][][]complex128
 	for r := 0; r < 2; r++ {
-		for t := 0; t < nRxSyms; t++ {
+		rows := ws.rxF[r].shape(avail, tones)
+		for t := 0; t < avail; t++ {
 			lo := start + t*symLen
-			if lo+symLen > len(rx[r]) {
-				break
-			}
-			data, _ := l.Chain.fromTimeDomain(rx[r][lo : lo+symLen])
-			rxF[r] = append(rxF[r], data)
+			l.Chain.fromTimeDomainInto(rx[r][lo:lo+symLen], rows[t], ws.grid)
 		}
-	}
-	if len(rxF[0]) == 0 {
-		return nil
+		rxF[r] = rows
 	}
 	var h toneResponse
 	if l.CSI == CSIPilot {
 		h = estimateFromLTF(ltfGrids, l.Chain, l.toneGain())
 	} else {
 		// Genie CSI: the exact per-tone response of every antenna path.
+		hRows := ws.hGrid.shape(4, tones)
+		ws.resp = growC(ws.resp, l.Chain.FFTSize)
 		for t := 0; t < 2; t++ {
 			for r := 0; r < 2; r++ {
-				full := st.FreqResponse(t, r, l.Chain.FFTSize)
-				perTone := make([]complex128, len(l.Chain.DataCarriers))
+				st.FreqResponseInto(t, r, ws.resp)
+				perTone := hRows[t*2+r]
 				for k, bin := range l.Chain.DataCarriers {
-					perTone[k] = full[bin]
+					perTone[k] = ws.resp[bin]
 				}
 				h[t][r] = perTone
 			}
@@ -223,14 +263,12 @@ func (l *Link) receive(rx [2][]complex128, st *State, nSyms int) [][]complex128 
 	gain := l.toneGain()
 	var eq [][]complex128
 	if l.Mode == ModeSTBC {
-		eq = alamoutiDecode(rxF, h)
+		eq = alamoutiDecodeInto(&ws.eq, rxF, h)
 	} else {
-		eq = mrcDecode(rxF, h)
+		eq = mrcDecodeInto(&ws.eq, rxF, h)
 	}
 	for _, syms := range eq {
-		for k := range syms {
-			syms[k] /= complex(gain, 0)
-		}
+		dsp.Scale(syms, 1/gain)
 	}
 	if len(eq) > nSyms {
 		eq = eq[:nSyms]
@@ -292,6 +330,28 @@ func (m *Measurement) MeasuredSNRdB() float64 {
 	return -20 * math.Log10(evm)
 }
 
+// Merge folds other into m: counters and error-vector power sums
+// accumulate, and the stored constellation absorbs other's samples up to
+// ConstellationCap. The Monte-Carlo engine merges shard results in
+// ascending shard order, which keeps the floating-point sums — and thus
+// every derived statistic — bit-identical regardless of how many workers
+// produced them.
+func (m *Measurement) Merge(other *Measurement) {
+	m.Packets += other.Packets
+	m.PacketErrors += other.PacketErrors
+	m.Bits += other.Bits
+	m.BitErrors += other.BitErrors
+	m.evSum += other.evSum
+	m.sigSum += other.sigSum
+	if room := ConstellationCap - len(m.Constellation); room > 0 {
+		take := other.Constellation
+		if len(take) > room {
+			take = take[:room]
+		}
+		m.Constellation = append(m.Constellation, take...)
+	}
+}
+
 // RunPacket transmits one packet of the given payload size and accumulates
 // the outcome into meas. With Coding set, the payload is convolutionally
 // encoded before modulation and Viterbi-decoded at the receiver; BER and
@@ -301,7 +361,8 @@ func (l *Link) RunPacket(payloadBytes int, meas *Measurement) {
 		l.runCodedPacket(payloadBytes, meas)
 		return
 	}
-	mapper := NewMapper(l.Modulation)
+	ws := l.scratch()
+	mapper := l.mapper()
 	nBits := payloadBytes * 8
 	bits := l.randomBits(nBits)
 	tx, freqSyms := l.buildTx(bits)
@@ -309,21 +370,23 @@ func (l *Link) RunPacket(payloadBytes int, meas *Measurement) {
 	eq := l.receive(rx, st, len(freqSyms))
 
 	// Reference (pre-differential-encoding) symbols for EVM.
-	ref := l.Chain.modulateSymbols(bits, mapper)
+	ref := l.Chain.modulateSymbolsInto(&ws.ref, bits, mapper, &ws.padBits)
 
 	errors := 0
-	var decoded []byte
+	decoded := ws.decoded
+	perSym := l.Chain.BitsPerOFDMSymbol(mapper)
+	bitsPer := mapper.Bits()
 	for t, syms := range eq {
 		for k, s := range syms {
 			decoded = mapper.Demap(s, decoded[:0])
-			base := t*l.Chain.BitsPerOFDMSymbol(mapper) + k*mapper.Bits()
+			base := t*perSym + k*bitsPer
 			for b, bit := range decoded {
 				idx := base + b
 				if idx < nBits && bit != bits[idx] {
 					errors++
 				}
 			}
-			if idxInPayload(t, k, mapper, l.Chain, nBits) {
+			if base+bitsPer <= nBits { // symbol carries payload, not padding
 				r := ref[t][k]
 				d := s - r
 				meas.evSum += real(d)*real(d) + imag(d)*imag(d)
@@ -334,18 +397,13 @@ func (l *Link) RunPacket(payloadBytes int, meas *Measurement) {
 			}
 		}
 	}
+	ws.decoded = decoded
 	meas.Packets++
 	meas.Bits += nBits
 	meas.BitErrors += errors
 	if errors > 0 {
 		meas.PacketErrors++
 	}
-}
-
-// idxInPayload reports whether symbol (t, k) carries payload (not padding).
-func idxInPayload(t, k int, m Mapper, cfg ChainConfig, nBits int) bool {
-	base := t*cfg.BitsPerOFDMSymbol(m) + k*m.Bits()
-	return base+m.Bits() <= nBits
 }
 
 // Run transmits packets back to back (the paper sends 9000 × 1500 B) and
@@ -361,7 +419,8 @@ func (l *Link) Run(packets, payloadBytes int) *Measurement {
 // runCodedPacket is RunPacket's coded path.
 func (l *Link) runCodedPacket(payloadBytes int, meas *Measurement) {
 	rate, _ := l.codeRateOf()
-	mapper := NewMapper(l.Modulation)
+	ws := l.scratch()
+	mapper := l.mapper()
 	nInfo := payloadBytes * 8
 	info := l.randomBits(nInfo)
 	coded := fec.Encode(info, rate)
@@ -369,13 +428,15 @@ func (l *Link) runCodedPacket(payloadBytes int, meas *Measurement) {
 	rx, st := l.Channel.Transmit(tx, l.Chain.SampleRate, l.Chain.FFTSize)
 	eq := l.receive(rx, st, len(freqSyms))
 
-	ref := l.Chain.modulateSymbols(coded, mapper)
-	sd := newSoftDemapper(mapper)
-	soft := make([]float64, 0, len(coded))
+	ref := l.Chain.modulateSymbolsInto(&ws.ref, coded, mapper, &ws.padBits)
+	sd := l.softMapper()
+	soft := ws.soft[:0]
+	perSym := l.Chain.BitsPerOFDMSymbol(mapper)
+	bitsPer := mapper.Bits()
 	for t, syms := range eq {
 		for k, s := range syms {
 			soft = sd.Demap(s, soft)
-			if idxInPayload(t, k, mapper, l.Chain, len(coded)) {
+			if base := t*perSym + k*bitsPer; base+bitsPer <= len(coded) {
 				r := ref[t][k]
 				d := s - r
 				meas.evSum += real(d)*real(d) + imag(d)*imag(d)
@@ -389,6 +450,7 @@ func (l *Link) runCodedPacket(payloadBytes int, meas *Measurement) {
 	if len(soft) > len(coded) {
 		soft = soft[:len(coded)] // drop modulation padding
 	}
+	ws.soft = soft
 	decoded := fec.Decode(soft, nInfo, rate)
 	errors := 0
 	for i := range info {
@@ -405,9 +467,10 @@ func (l *Link) runCodedPacket(payloadBytes int, meas *Measurement) {
 }
 
 // TxWaveform returns the antenna-1 transmit samples of one packet, for
-// spectral analysis (Fig 1).
+// spectral analysis (Fig 1). The samples are copied out of the link's
+// workspace, so the result survives later packets.
 func (l *Link) TxWaveform(payloadBytes int) []complex128 {
 	bits := l.randomBits(payloadBytes * 8)
 	tx, _ := l.buildTx(bits)
-	return tx[0]
+	return append([]complex128(nil), tx[0]...)
 }

@@ -1,0 +1,125 @@
+package baseband
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"acorn/internal/phy"
+	"acorn/internal/spectrum"
+)
+
+// TestMeasurementMerge checks that Merge accumulates every statistic a
+// Measurement derives: BER, PER, EVM, and the bounded constellation store.
+func TestMeasurementMerge(t *testing.T) {
+	a := &Measurement{
+		Packets: 10, PacketErrors: 2,
+		Bits: 8000, BitErrors: 40,
+		evSum: 0.5, sigSum: 100,
+		Constellation: []complex128{1, 2i},
+	}
+	b := &Measurement{
+		Packets: 5, PacketErrors: 1,
+		Bits: 4000, BitErrors: 20,
+		evSum: 0.25, sigSum: 50,
+		Constellation: []complex128{3, 4i},
+	}
+	a.Merge(b)
+	if a.Packets != 15 || a.PacketErrors != 3 {
+		t.Fatalf("packet counters: %d/%d", a.Packets, a.PacketErrors)
+	}
+	if a.Bits != 12000 || a.BitErrors != 60 {
+		t.Fatalf("bit counters: %d/%d", a.Bits, a.BitErrors)
+	}
+	if got, want := a.BER(), 60.0/12000; got != want {
+		t.Fatalf("BER = %v, want %v", got, want)
+	}
+	if got, want := a.PER(), 3.0/15; got != want {
+		t.Fatalf("PER = %v, want %v", got, want)
+	}
+	if got, want := a.EVM(), math.Sqrt(0.75/150); got != want {
+		t.Fatalf("EVM = %v, want %v", got, want)
+	}
+	if want := []complex128{1, 2i, 3, 4i}; !reflect.DeepEqual(a.Constellation, want) {
+		t.Fatalf("Constellation = %v, want %v", a.Constellation, want)
+	}
+}
+
+// TestMeasurementMergeConstellationCap checks the constellation store never
+// exceeds ConstellationCap under merge.
+func TestMeasurementMergeConstellationCap(t *testing.T) {
+	a := &Measurement{Constellation: make([]complex128, ConstellationCap-3)}
+	b := &Measurement{Constellation: make([]complex128, 10)}
+	for i := range b.Constellation {
+		b.Constellation[i] = complex(float64(i), 0)
+	}
+	a.Merge(b)
+	if len(a.Constellation) != ConstellationCap {
+		t.Fatalf("len = %d, want cap %d", len(a.Constellation), ConstellationCap)
+	}
+	// The absorbed prefix is b's first three samples.
+	for i := 0; i < 3; i++ {
+		if a.Constellation[ConstellationCap-3+i] != complex(float64(i), 0) {
+			t.Fatalf("sample %d = %v", i, a.Constellation[ConstellationCap-3+i])
+		}
+	}
+	full := &Measurement{Constellation: make([]complex128, ConstellationCap)}
+	full.Merge(b)
+	if len(full.Constellation) != ConstellationCap {
+		t.Fatalf("full store grew to %d", len(full.Constellation))
+	}
+}
+
+// TestMergeEquivalentToSequentialRun checks that two half-runs on links
+// with the same seeds merge into the single accumulated run: the counters
+// and stored constellation are exact; the error-vector power sums agree to
+// float rounding (merging regroups a long running sum, so the last bits
+// may differ — which is why simrun fixes the grouping, not the history).
+func TestMergeEquivalentToSequentialRun(t *testing.T) {
+	mk := func(seed int64) *Link {
+		ch := &Channel{PathLoss: 98, Fading: FadingMultipath}
+		return NewLink(NewChainConfig(spectrum.Width20), phy.QPSK, ModeSTBC, 15, ch, seed)
+	}
+	const packets, bytes = 8, 200
+	whole := &Measurement{}
+	for _, seed := range []int64{11, 12} {
+		l := mk(seed)
+		for i := 0; i < packets; i++ {
+			l.RunPacket(bytes, whole)
+		}
+	}
+	merged := &Measurement{}
+	for _, seed := range []int64{11, 12} {
+		part := mk(seed).Run(packets, bytes)
+		merged.Merge(part)
+	}
+	if whole.Packets != merged.Packets || whole.PacketErrors != merged.PacketErrors ||
+		whole.Bits != merged.Bits || whole.BitErrors != merged.BitErrors {
+		t.Fatalf("counters differ: %+v vs %+v", whole, merged)
+	}
+	if !reflect.DeepEqual(whole.Constellation, merged.Constellation) {
+		t.Fatalf("constellation stores differ")
+	}
+	if rel := math.Abs(whole.EVM()-merged.EVM()) / whole.EVM(); rel > 1e-12 {
+		t.Fatalf("EVM relative difference %g exceeds rounding tolerance", rel)
+	}
+}
+
+// TestSteadyStateAllocs pins the zero-alloc contract of the warm packet
+// loop: after the first packet sizes every scratch buffer, further packets
+// allocate (nearly) nothing. The small allowance covers the constellation
+// store before it reaches ConstellationCap.
+func TestSteadyStateAllocs(t *testing.T) {
+	ch := &Channel{PathLoss: 100, Fading: FadingMultipath}
+	l := NewLink(NewChainConfig(spectrum.Width20), phy.QPSK, ModeSTBC, 15, ch, 1)
+	var m Measurement
+	for i := 0; i < 4; i++ {
+		l.RunPacket(1500, &m) // warm the workspace and fill the store
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		l.RunPacket(1500, &m)
+	})
+	if avg > 8 {
+		t.Fatalf("steady-state RunPacket allocates %.1f objects/op, want <= 8", avg)
+	}
+}

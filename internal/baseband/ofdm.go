@@ -86,24 +86,36 @@ func (c ChainConfig) BitsPerOFDMSymbol(m Mapper) int {
 // symbols (one slice of len(DataCarriers) constellation points per symbol).
 // Trailing bits that do not fill a symbol are zero-padded.
 func (c ChainConfig) modulateSymbols(bits []byte, m Mapper) [][]complex128 {
+	var g symGrid
+	var pad []byte
+	return c.modulateSymbolsInto(&g, bits, m, &pad)
+}
+
+// modulateSymbolsInto is the scratch-buffer variant of modulateSymbols: the
+// symbol grid and the zero-padded tail buffer are reused across packets.
+func (c ChainConfig) modulateSymbolsInto(dst *symGrid, bits []byte, m Mapper, pad *[]byte) [][]complex128 {
 	perSym := c.BitsPerOFDMSymbol(m)
 	nSyms := (len(bits) + perSym - 1) / perSym
-	padded := bits
-	if nSyms*perSym != len(bits) {
-		padded = make([]byte, nSyms*perSym)
-		copy(padded, bits)
-	}
-	out := make([][]complex128, nSyms)
+	rows := dst.shape(nSyms, len(c.DataCarriers))
 	b := m.Bits()
 	for s := 0; s < nSyms; s++ {
-		syms := make([]complex128, len(c.DataCarriers))
 		base := s * perSym
-		for i := range c.DataCarriers {
-			syms[i] = m.Map(padded[base+i*b : base+i*b+b])
+		chunk := bits[base:min(base+perSym, len(bits))]
+		if len(chunk) < perSym {
+			p := growB(*pad, perSym)
+			*pad = p
+			n := copy(p, chunk)
+			for i := n; i < perSym; i++ {
+				p[i] = 0
+			}
+			chunk = p
 		}
-		out[s] = syms
+		row := rows[s]
+		for i := range row {
+			row[i] = m.Map(chunk[i*b : i*b+b])
+		}
 	}
-	return out
+	return rows
 }
 
 // toTimeDomain converts one frequency-domain symbol (data-carrier order) to
@@ -112,15 +124,31 @@ func (c ChainConfig) modulateSymbols(bits []byte, m Mapper) [][]complex128 {
 // known pilots on alternating OFDM symbols (time-orthogonal sounding), so a
 // pilot-based receiver can separate the two spatial channels.
 func (c ChainConfig) toTimeDomain(freqSyms []complex128, gain float64, antenna, symbolIdx int) []complex128 {
+	grid := make([]complex128, c.FFTSize)
+	out := make([]complex128, 0, c.SymbolSamples())
+	return c.appendTimeDomain(out, freqSyms, gain, antenna, symbolIdx, grid)
+}
+
+// appendTimeDomain is the scratch-buffer variant of toTimeDomain: it appends
+// the cyclic-prefixed time-domain samples of one OFDM symbol to dst, using
+// the caller-owned grid (length FFTSize) as FFT scratch.
+func (c ChainConfig) appendTimeDomain(dst, freqSyms []complex128, gain float64, antenna, symbolIdx int, grid []complex128) []complex128 {
 	if len(freqSyms) != len(c.DataCarriers) {
 		panic(fmt.Sprintf("baseband: %d symbols for %d carriers", len(freqSyms), len(c.DataCarriers)))
 	}
-	grid := make([]complex128, c.FFTSize)
-	for i, bin := range c.DataCarriers {
-		grid[bin] = freqSyms[i] * complex(gain, 0)
+	grid = grid[:c.FFTSize]
+	for i := range grid {
+		grid[i] = 0
 	}
-	insertPilots(grid, c.PilotCarriers, antenna, symbolIdx, gain)
-	return c.gridToTimeDomain(grid)
+	for i, bin := range c.DataCarriers {
+		grid[bin] = freqSyms[i]
+	}
+	insertPilots(grid, c.PilotCarriers, antenna, symbolIdx, 1)
+	dsp.Scale(grid, gain)
+	dsp.IFFT(grid)
+	dst = append(dst, grid[c.FFTSize-c.CPLen:]...)
+	dst = append(dst, grid...)
+	return dst
 }
 
 // gridToTimeDomain IFFTs a frequency grid and prepends the cyclic prefix.
@@ -137,15 +165,22 @@ func (c ChainConfig) gridToTimeDomain(grid []complex128) []complex128 {
 // returns the frequency-domain data-carrier values plus the full FFT grid
 // (which pilot-based channel estimation reads).
 func (c ChainConfig) fromTimeDomain(samples []complex128) (data, grid []complex128) {
+	grid = make([]complex128, c.FFTSize)
+	data = make([]complex128, len(c.DataCarriers))
+	c.fromTimeDomainInto(samples, data, grid)
+	return data, grid
+}
+
+// fromTimeDomainInto is the scratch-buffer variant of fromTimeDomain: data
+// (length len(DataCarriers)) and grid (length FFTSize) are caller-owned and
+// reused across symbols.
+func (c ChainConfig) fromTimeDomainInto(samples, data, grid []complex128) {
 	if len(samples) < c.SymbolSamples() {
 		panic("baseband: short OFDM symbol")
 	}
-	grid = make([]complex128, c.FFTSize)
 	copy(grid, samples[c.CPLen:c.CPLen+c.FFTSize])
 	dsp.FFT(grid)
-	data = make([]complex128, len(c.DataCarriers))
 	for i, bin := range c.DataCarriers {
 		data[i] = grid[bin]
 	}
-	return data, grid
 }

@@ -1,0 +1,138 @@
+package baseband
+
+import "acorn/internal/phy"
+
+// Scratch-buffer layer for the steady-state packet loop.
+//
+// Ownership rules (see DESIGN.md, "Execution engine"): every Link owns one
+// workspace and every Channel owns one chanWorkspace; all slices handed out
+// by them are valid only until the next packet through the same Link or
+// Channel. Nothing here is safe for concurrent use — the parallelism model
+// is one Link (with its Channel) per worker, cloned per shard by
+// internal/simrun, never a shared Link across goroutines.
+
+// symGrid is a reusable rows×cols grid of complex samples backed by one
+// flat allocation, replacing the per-symbol [][]complex128 allocations of
+// the modem hot path.
+type symGrid struct {
+	store []complex128
+	rows  [][]complex128
+}
+
+// shape resizes the grid to nRows×rowLen and returns the row slices. Row
+// contents are unspecified; callers fully overwrite them.
+func (g *symGrid) shape(nRows, rowLen int) [][]complex128 {
+	need := nRows * rowLen
+	if cap(g.store) < need {
+		g.store = make([]complex128, need)
+	}
+	g.store = g.store[:need]
+	if cap(g.rows) < nRows {
+		g.rows = make([][]complex128, nRows)
+	}
+	g.rows = g.rows[:nRows]
+	for i := range g.rows {
+		g.rows[i] = g.store[i*rowLen : (i+1)*rowLen : (i+1)*rowLen]
+	}
+	return g.rows
+}
+
+// aliasRows points every one of nRows rows at the same backing slice — the
+// representation of a silent antenna, where every OFDM symbol is the same
+// all-zero tone vector.
+func (g *symGrid) aliasRows(nRows int, row []complex128) [][]complex128 {
+	if cap(g.rows) < nRows {
+		g.rows = make([][]complex128, nRows)
+	}
+	g.rows = g.rows[:nRows]
+	for i := range g.rows {
+		g.rows[i] = row
+	}
+	return g.rows
+}
+
+// growC/growB/growF return buf resized to n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growC(buf []complex128, n int) []complex128 {
+	if cap(buf) < n {
+		buf = make([]complex128, n)
+	}
+	return buf[:n]
+}
+
+func growB(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// workspace holds every reusable buffer of a Link's TX→channel→RX chain, so
+// the steady-state packet loop runs with near-zero allocations.
+type workspace struct {
+	// Cached demappers, invalidated when l.Modulation changes.
+	mapper    Mapper
+	mapperMod phy.Modulation
+	sd        *softDemapper
+	sdMod     phy.Modulation
+
+	bits    []byte // payload / info bits
+	padBits []byte // zero-padded tail symbol bits
+	decoded []byte // hard-decision scratch
+	soft    []float64
+
+	syms symGrid // modulated frequency-domain symbols
+	ref  symGrid // pre-differential reference symbols for EVM
+	ant1 symGrid // Alamouti antenna streams
+	ant2 symGrid
+	eq   symGrid // equalized RX symbols
+
+	zeroRow []complex128 // shared silent OFDM symbol (SISO antenna 2)
+	grid    []complex128 // FFT-size work grid
+
+	tx [2][]complex128 // assembled antenna sample streams
+
+	preamble    []complex128 // cached Barker preamble at the link amplitude
+	silent      []complex128
+	preambleAmp float64
+
+	ltf        []complex128 // cached training symbol (CSIPilot)
+	ltfSilence []complex128
+	ltfGain    float64
+
+	rxF     [2]symGrid // received frequency-domain data rows
+	ltfGrid symGrid    // received LTF FFT grids (CSIPilot)
+	hGrid   symGrid    // genie per-tone responses
+	resp    []complex128
+}
+
+// scratch returns the link's workspace, creating it on first use so Links
+// built by struct literal keep working.
+func (l *Link) scratch() *workspace {
+	if l.ws == nil {
+		l.ws = &workspace{}
+	}
+	return l.ws
+}
+
+// mapper returns the cached constellation mapper for the link's current
+// modulation.
+func (l *Link) mapper() Mapper {
+	ws := l.scratch()
+	if ws.mapper == nil || ws.mapperMod != l.Modulation {
+		ws.mapper = NewMapper(l.Modulation)
+		ws.mapperMod = l.Modulation
+	}
+	return ws.mapper
+}
+
+// softMapper returns the cached soft demapper for the link's current
+// modulation.
+func (l *Link) softMapper() *softDemapper {
+	ws := l.scratch()
+	if ws.sd == nil || ws.sdMod != l.Modulation {
+		ws.sd = newSoftDemapper(l.mapper())
+		ws.sdMod = l.Modulation
+	}
+	return ws.sd
+}

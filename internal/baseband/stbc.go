@@ -20,24 +20,46 @@ import "math/cmplx"
 // Each antenna's tone amplitude must be scaled by 1/√2 by the caller (so
 // the two antennas together emit the nominal power).
 func alamoutiEncode(symbols [][]complex128) (ant1, ant2 [][]complex128) {
+	var g1, g2 symGrid
+	return alamoutiEncodeInto(&g1, &g2, symbols)
+}
+
+// alamoutiEncodeInto is the scratch-buffer variant of alamoutiEncode: the
+// two antenna grids are reused across packets. A trailing odd symbol is
+// padded with zeros in place of an allocated pad row.
+func alamoutiEncodeInto(g1, g2 *symGrid, symbols [][]complex128) (ant1, ant2 [][]complex128) {
 	n := len(symbols)
-	if n%2 == 1 {
-		pad := make([]complex128, len(symbols[0]))
-		symbols = append(symbols, pad)
-		n++
+	if n == 0 {
+		return g1.shape(0, 0), g2.shape(0, 0)
 	}
-	for t := 0; t < n; t += 2 {
-		s0, s1 := symbols[t], symbols[t+1]
-		a1t, a2t := make([]complex128, len(s0)), make([]complex128, len(s0))
-		a1t1, a2t1 := make([]complex128, len(s0)), make([]complex128, len(s0))
-		for k := range s0 {
-			a1t[k] = s0[k]
-			a2t[k] = s1[k]
-			a1t1[k] = -cmplx.Conj(s1[k])
-			a2t1[k] = cmplx.Conj(s0[k])
+	m := n
+	if m%2 == 1 {
+		m++
+	}
+	tones := len(symbols[0])
+	ant1 = g1.shape(m, tones)
+	ant2 = g2.shape(m, tones)
+	for t := 0; t < m; t += 2 {
+		s0 := symbols[t]
+		a1t, a2t := ant1[t], ant2[t]
+		a1t1, a2t1 := ant1[t+1], ant2[t+1]
+		if t+1 < n {
+			s1 := symbols[t+1]
+			for k := range s0 {
+				a1t[k] = s0[k]
+				a2t[k] = s1[k]
+				a1t1[k] = -cmplx.Conj(s1[k])
+				a2t1[k] = cmplx.Conj(s0[k])
+			}
+		} else {
+			// Odd tail: the implicit second symbol is all zeros.
+			for k := range s0 {
+				a1t[k] = s0[k]
+				a2t[k] = 0
+				a1t1[k] = 0
+				a2t1[k] = cmplx.Conj(s0[k])
+			}
 		}
-		ant1 = append(ant1, a1t, a1t1)
-		ant2 = append(ant2, a2t, a2t1)
 	}
 	return ant1, ant2
 }
@@ -51,12 +73,22 @@ type toneResponse [2][2][]complex128
 // vectors, using genie per-tone channel knowledge. The output length equals
 // the (even) input length; a trailing pad symbol is the caller's to drop.
 func alamoutiDecode(rx [2][][]complex128, h toneResponse) [][]complex128 {
+	var g symGrid
+	return alamoutiDecodeInto(&g, rx, h)
+}
+
+// alamoutiDecodeInto is the scratch-buffer variant of alamoutiDecode,
+// writing the recovered symbol vectors into the reusable grid.
+func alamoutiDecodeInto(g *symGrid, rx [2][][]complex128, h toneResponse) [][]complex128 {
 	n := len(rx[0])
-	var out [][]complex128
+	if n < 2 {
+		return nil
+	}
+	tones := len(rx[0][0])
+	out := g.shape(n-n%2, tones)
 	for t := 0; t+1 < n; t += 2 {
-		tones := len(rx[0][t])
-		s0 := make([]complex128, tones)
-		s1 := make([]complex128, tones)
+		s0 := out[t]
+		s1 := out[t+1]
 		for k := 0; k < tones; k++ {
 			var norm float64
 			for a := 0; a < 2; a++ {
@@ -75,10 +107,12 @@ func alamoutiDecode(rx [2][][]complex128, h toneResponse) [][]complex128 {
 				e0 += cmplx.Conj(h[0][r][k])*rt + h[1][r][k]*cmplx.Conj(rt1)
 				e1 += cmplx.Conj(h[1][r][k])*rt - h[0][r][k]*cmplx.Conj(rt1)
 			}
-			s0[k] = e0 / complex(norm, 0)
-			s1[k] = e1 / complex(norm, 0)
+			// Real divisor: scale by the reciprocal instead of paying the
+			// complex128 division runtime call per tone.
+			inv := 1 / norm
+			s0[k] = complex(real(e0)*inv, imag(e0)*inv)
+			s1[k] = complex(real(e1)*inv, imag(e1)*inv)
 		}
-		out = append(out, s0, s1)
 	}
 	return out
 }
@@ -86,10 +120,20 @@ func alamoutiDecode(rx [2][][]complex128, h toneResponse) [][]complex128 {
 // mrcDecode combines the two RX antennas for a SISO transmission from
 // antenna 1 via per-tone maximum-ratio combining with genie CSI.
 func mrcDecode(rx [2][][]complex128, h toneResponse) [][]complex128 {
-	var out [][]complex128
-	for t := 0; t < len(rx[0]); t++ {
-		tones := len(rx[0][t])
-		s := make([]complex128, tones)
+	var g symGrid
+	return mrcDecodeInto(&g, rx, h)
+}
+
+// mrcDecodeInto is the scratch-buffer variant of mrcDecode.
+func mrcDecodeInto(g *symGrid, rx [2][][]complex128, h toneResponse) [][]complex128 {
+	n := len(rx[0])
+	if n == 0 {
+		return nil
+	}
+	tones := len(rx[0][0])
+	out := g.shape(n, tones)
+	for t := 0; t < n; t++ {
+		s := out[t]
 		for k := 0; k < tones; k++ {
 			var norm float64
 			for r := 0; r < 2; r++ {
@@ -105,9 +149,9 @@ func mrcDecode(rx [2][][]complex128, h toneResponse) [][]complex128 {
 					e += cmplx.Conj(h[0][r][k]) * rx[r][t][k]
 				}
 			}
-			s[k] = e / complex(norm, 0)
+			inv := 1 / norm
+			s[k] = complex(real(e)*inv, imag(e)*inv)
 		}
-		out = append(out, s)
 	}
 	return out
 }

@@ -1,74 +1,157 @@
 // Package dsp implements the signal-processing primitives the baseband
-// simulator is built from: a radix-2 FFT/IFFT, window functions, a Welch
-// power-spectral-density estimator, and the Barker preamble sequence the
-// WARP reference design uses for symbol detection.
+// simulator is built from: a planned radix-2 FFT/IFFT, window functions, a
+// Welch power-spectral-density estimator, and the Barker preamble sequence
+// the WARP reference design uses for symbol detection.
 package dsp
 
 import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 )
 
 // IsPowerOfTwo reports whether n is a positive power of two.
 func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
 
-// FFT computes the in-place decimation-in-time radix-2 fast Fourier
-// transform of x. len(x) must be a power of two; FFT panics otherwise since
-// a wrong transform size is a programming error in this codebase (OFDM FFT
-// sizes are the compile-time constants 64 and 128).
-//
-// The transform is unnormalized: FFT followed by IFFT returns the original
-// sequence (IFFT applies the 1/N factor).
-func FFT(x []complex128) {
-	fft(x, false)
+// FFTPlan holds the precomputed machinery for a fixed transform size: the
+// bit-reversal permutation and per-stage twiddle-factor tables for both
+// directions. A plan is immutable after construction and safe for concurrent
+// use by any number of goroutines; the Monte-Carlo engine shares one plan
+// per size across all workers.
+type FFTPlan struct {
+	n      int
+	bitrev []int          // bit-reversed index of every position
+	fwd    [][]complex128 // fwd[s] is stage s's length/2 twiddle table
+	inv    [][]complex128
 }
 
-// IFFT computes the inverse FFT of x in place, including the 1/N
-// normalization, so IFFT(FFT(x)) == x up to rounding.
-func IFFT(x []complex128) {
-	fft(x, true)
-	n := complex(float64(len(x)), 0)
-	for i := range x {
-		x[i] /= n
-	}
-}
-
-func fft(x []complex128, inverse bool) {
-	n := len(x)
+// NewFFTPlan builds the plan for size n. n must be a power of two; the OFDM
+// transform sizes in this codebase are the compile-time constants 64 and
+// 128, so a wrong size is a programming error and panics.
+func NewFFTPlan(n int) *FFTPlan {
 	if !IsPowerOfTwo(n) {
 		panic(fmt.Sprintf("dsp: FFT size %d is not a power of two", n))
 	}
-	// Bit-reversal permutation.
+	p := &FFTPlan{n: n, bitrev: make([]int, n)}
 	for i, j := 1, 0; i < n; i++ {
 		bit := n >> 1
 		for ; j&bit != 0; bit >>= 1 {
 			j ^= bit
 		}
 		j ^= bit
-		if i < j {
+		p.bitrev[i] = j
+	}
+	for length := 2; length <= n; length <<= 1 {
+		half := length / 2
+		fwd := make([]complex128, half)
+		inv := make([]complex128, half)
+		for k := 0; k < half; k++ {
+			// Each twiddle is generated exactly from its stage index
+			// rather than by cumulative multiplication (w *= wl), which
+			// compounds rounding error across the butterfly sweep.
+			ang := 2 * math.Pi * float64(k) / float64(length)
+			fwd[k] = cmplx.Rect(1, -ang)
+			inv[k] = cmplx.Rect(1, ang)
+		}
+		p.fwd = append(p.fwd, fwd)
+		p.inv = append(p.inv, inv)
+	}
+	return p
+}
+
+// Size returns the transform size the plan was built for.
+func (p *FFTPlan) Size() int { return p.n }
+
+func (p *FFTPlan) transform(x []complex128, twiddles [][]complex128) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("dsp: FFT input length %d does not match plan size %d", len(x), n))
+	}
+	for i := 1; i < n; i++ {
+		if j := p.bitrev[i]; i < j {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	// Danielson-Lanczos butterflies.
-	for length := 2; length <= n; length <<= 1 {
-		ang := 2 * math.Pi / float64(length)
-		if !inverse {
-			ang = -ang
-		}
-		wl := cmplx.Rect(1, ang)
+	// Stage 0 (length 2) uses only the twiddle 1+0i: a pure add/sub pass.
+	// Multiplying by exactly 1+0i is the identity in IEEE arithmetic, so
+	// skipping it (here and for k==0 below) is bit-identical to the naive
+	// sweep, just cheaper.
+	for start := 0; start < n; start += 2 {
+		u, v := x[start], x[start+1]
+		x[start], x[start+1] = u+v, u-v
+	}
+	for s, length := 1, 4; length <= n; s, length = s+1, length<<1 {
+		w := twiddles[s]
+		half := length / 2
 		for start := 0; start < n; start += length {
-			w := complex(1, 0)
-			half := length / 2
-			for k := 0; k < half; k++ {
+			u, v := x[start], x[start+half]
+			x[start], x[start+half] = u+v, u-v
+			for k := 1; k < half; k++ {
 				u := x[start+k]
-				v := x[start+k+half] * w
+				v := x[start+k+half] * w[k]
 				x[start+k] = u + v
 				x[start+k+half] = u - v
-				w *= wl
 			}
 		}
 	}
+}
+
+// Forward computes the in-place decimation-in-time FFT of x (len(x) must
+// equal the plan size). The transform is unnormalized: Forward followed by
+// Inverse returns the original sequence (Inverse applies the 1/N factor).
+func (p *FFTPlan) Forward(x []complex128) { p.transform(x, p.fwd) }
+
+// Inverse computes the inverse FFT of x in place, including the 1/N
+// normalization, so Inverse(Forward(x)) == x up to rounding.
+func (p *FFTPlan) Inverse(x []complex128) {
+	p.transform(x, p.inv)
+	// 1/N is exact for power-of-two N, so multiplying is bit-identical to
+	// dividing and avoids the complex128 division runtime call.
+	c := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] *= c
+	}
+}
+
+// The 64- and 128-point plans (20 and 40 MHz OFDM) are built at package
+// init; other power-of-two sizes (e.g. Welch PSD segments) are cached on
+// first use.
+var (
+	plan64    = NewFFTPlan(64)
+	plan128   = NewFFTPlan(128)
+	planCache sync.Map // int → *FFTPlan
+)
+
+// PlanFFT returns the shared plan for size n, building and caching it if
+// needed. Plans are read-only, so the returned plan can be used from any
+// goroutine.
+func PlanFFT(n int) *FFTPlan {
+	switch n {
+	case 64:
+		return plan64
+	case 128:
+		return plan128
+	}
+	if v, ok := planCache.Load(n); ok {
+		return v.(*FFTPlan)
+	}
+	v, _ := planCache.LoadOrStore(n, NewFFTPlan(n))
+	return v.(*FFTPlan)
+}
+
+// FFT computes the in-place radix-2 fast Fourier transform of x via the
+// cached plan for len(x). len(x) must be a power of two; FFT panics
+// otherwise since a wrong transform size is a programming error in this
+// codebase.
+func FFT(x []complex128) {
+	PlanFFT(len(x)).Forward(x)
+}
+
+// IFFT computes the inverse FFT of x in place, including the 1/N
+// normalization, so IFFT(FFT(x)) == x up to rounding.
+func IFFT(x []complex128) {
+	PlanFFT(len(x)).Inverse(x)
 }
 
 // Convolve returns the full linear convolution of a and b (length

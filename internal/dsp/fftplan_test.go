@@ -1,0 +1,99 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFT is the O(n²) reference transform the plans are checked against.
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			ang := sign * 2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Rect(1, ang)
+		}
+		if inverse {
+			sum /= complex(float64(n), 0)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func randomSignal(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestFFTPlanMatchesNaiveDFT(t *testing.T) {
+	for _, n := range []int{64, 128} {
+		x := randomSignal(n, int64(n))
+
+		fwd := append([]complex128(nil), x...)
+		PlanFFT(n).Forward(fwd)
+		wantF := naiveDFT(x, false)
+		for k := range fwd {
+			if cmplx.Abs(fwd[k]-wantF[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d forward bin %d: plan %v, DFT %v", n, k, fwd[k], wantF[k])
+			}
+		}
+
+		inv := append([]complex128(nil), x...)
+		PlanFFT(n).Inverse(inv)
+		wantI := naiveDFT(x, true)
+		for k := range inv {
+			if cmplx.Abs(inv[k]-wantI[k]) > 1e-12*float64(n) {
+				t.Fatalf("n=%d inverse bin %d: plan %v, DFT %v", n, k, inv[k], wantI[k])
+			}
+		}
+	}
+}
+
+func TestFFTPlanRoundTrip(t *testing.T) {
+	for _, n := range []int{64, 128, 256} {
+		x := randomSignal(n, 7)
+		y := append([]complex128(nil), x...)
+		FFT(y)
+		IFFT(y)
+		for i := range x {
+			if cmplx.Abs(y[i]-x[i]) > 1e-12*float64(n) {
+				t.Fatalf("n=%d sample %d: round trip %v, want %v", n, i, y[i], x[i])
+			}
+		}
+	}
+}
+
+func TestFFTPlanReuse(t *testing.T) {
+	if PlanFFT(64) != PlanFFT(64) || PlanFFT(128) != PlanFFT(128) {
+		t.Error("compile-time OFDM sizes must return the shared plan")
+	}
+	if PlanFFT(256) != PlanFFT(256) {
+		t.Error("cached sizes must return the shared plan")
+	}
+	if got := PlanFFT(64).Size(); got != 64 {
+		t.Errorf("plan size = %d, want 64", got)
+	}
+}
+
+func TestFFTZeroAlloc(t *testing.T) {
+	x := randomSignal(64, 3)
+	if allocs := testing.AllocsPerRun(100, func() { FFT(x) }); allocs != 0 {
+		t.Errorf("FFT via cached plan allocates %v/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { IFFT(x) }); allocs != 0 {
+		t.Errorf("IFFT via cached plan allocates %v/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFig3aDeterministicAcrossWorkers pins the figure pipeline to the
+// simrun determinism contract: the full Fig 3a series — measured SNRs,
+// BERs, theory overlay, R² — is identical whether the Monte-Carlo grid
+// runs on 1, 2, or 8 workers.
+func TestFig3aDeterministicAcrossWorkers(t *testing.T) {
+	base := PHYOptions{Packets: 20, PacketBytes: 120, Seed: 5, Workers: 1}
+	ref := RunFig3a(base)
+	for _, workers := range []int{2, 8} {
+		opts := base
+		opts.Workers = workers
+		got := RunFig3a(opts)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("Fig 3a series differ between 1 and %d workers:\n%+v\n%+v", workers, ref, got)
+		}
+	}
+}
+
+// TestJammerSweepDeterministicAcrossWorkers covers the extension pipeline
+// the same way, including the coded/CSI option plumbing through Point.Make.
+func TestJammerSweepDeterministicAcrossWorkers(t *testing.T) {
+	base := PHYOptions{Packets: 30, PacketBytes: 100, Seed: 9, Workers: 1}
+	ref := RunJammerSweep(base)
+	opts := base
+	opts.Workers = 4
+	if got := RunJammerSweep(opts); !reflect.DeepEqual(ref, got) {
+		t.Fatalf("jammer sweep differs between 1 and 4 workers:\n%+v\n%+v", ref, got)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"acorn/internal/core"
 	"acorn/internal/dcfsim"
 	"acorn/internal/phy"
+	"acorn/internal/simrun"
 	"acorn/internal/spectrum"
 	"acorn/internal/units"
 )
@@ -45,9 +46,11 @@ func RunJammerSweep(opts PHYOptions) JammerResult {
 	const pathLoss = 40.0
 	rxPowerMW := float64(tx.MilliWatts()) * math.Pow(10, -pathLoss/10)
 	var r JammerResult
-	for _, tones := range []int{0, 2, 4, 8, 16} {
-		p := JammerPoint{JammedTones: tones}
-		for _, w := range []spectrum.Width{spectrum.Width20, spectrum.Width40} {
+	toneCounts := []int{0, 2, 4, 8, 16}
+	widths := []spectrum.Width{spectrum.Width20, spectrum.Width40}
+	var points []simrun.Point
+	for _, tones := range toneCounts {
+		for _, w := range widths {
 			cfg := baseband.NewChainConfig(w)
 			var jam *baseband.Jammer
 			if tones > 0 {
@@ -56,16 +59,24 @@ func RunJammerSweep(opts PHYOptions) JammerResult {
 					PowerMW: rxPowerMW * float64(tones) / float64(len(cfg.DataCarriers)),
 				}
 			}
-			ch := &baseband.Channel{PathLoss: units.DB(pathLoss), Jam: jam, NoiseFloorOverride: 1e-12}
-			l := baseband.NewLink(cfg, phy.QPSK, baseband.ModeSISO, tx, ch, opts.Seed)
-			ber := l.Run(max(opts.Packets/10, 4), opts.PacketBytes).BER()
-			if w == spectrum.Width20 {
-				p.BER20 = ber
-			} else {
-				p.BER40 = ber
-			}
+			points = append(points, simrun.Point{
+				Seed:        opts.Seed,
+				Packets:     max(opts.Packets/10, 4),
+				PacketBytes: opts.PacketBytes,
+				Make: func(seed int64) *baseband.Link {
+					ch := &baseband.Channel{PathLoss: units.DB(pathLoss), Jam: jam, NoiseFloorOverride: 1e-12}
+					return baseband.NewLink(cfg, phy.QPSK, baseband.ModeSISO, tx, ch, seed)
+				},
+			})
 		}
-		r.Points = append(r.Points, p)
+	}
+	meas := simrun.Run(points, opts.engineOptions())
+	for i, tones := range toneCounts {
+		r.Points = append(r.Points, JammerPoint{
+			JammedTones: tones,
+			BER20:       meas[i*len(widths)].BER(),
+			BER40:       meas[i*len(widths)+1].BER(),
+		})
 	}
 	return r
 }
@@ -115,13 +126,27 @@ func RunCodedValidation(opts PHYOptions) CodedValidationResult {
 	rate := mc.Rate
 	tx := units.DBm(15)
 	packetBytes := 250
+	var snrs []float64
+	var points []simrun.Point
 	for snr := 0.0; snr <= 8; snr += 1.0 {
+		snrs = append(snrs, snr)
 		// STBC combining adds ≈3 dB over the analytic single-path SNR.
 		pl := pathLossForSNR(tx, snr-3, spectrum.Width20)
-		ch := &baseband.Channel{PathLoss: pl}
-		l := baseband.NewLink(baseband.NewChainConfig(spectrum.Width20), mc.Modulation, baseband.ModeSTBC, tx, ch, opts.Seed+int64(snr*13))
-		l.Coding = &rate
-		m := l.Run(max(opts.Packets/3, 10), packetBytes)
+		points = append(points, simrun.Point{
+			Seed:        opts.Seed + int64(snr*13),
+			Packets:     max(opts.Packets/3, 10),
+			PacketBytes: packetBytes,
+			Make: func(seed int64) *baseband.Link {
+				ch := &baseband.Channel{PathLoss: pl}
+				l := baseband.NewLink(baseband.NewChainConfig(spectrum.Width20), mc.Modulation, baseband.ModeSTBC, tx, ch, seed)
+				l.Coding = &rate
+				return l
+			},
+		})
+	}
+	meas := simrun.Run(points, opts.engineOptions())
+	for i, snr := range snrs {
+		m := meas[i]
 		r.Points = append(r.Points, CodedPoint{
 			SNR:         snr,
 			MeasuredPER: m.PER(),
@@ -250,18 +275,31 @@ func RunCSIAblation(opts PHYOptions) CSIResult {
 	opts = opts.orDefault()
 	tx := units.DBm(15)
 	var r CSIResult
-	for _, snr := range []float64{2, 4, 6, 8} {
+	snrs := []float64{2, 4, 6, 8}
+	modes := []baseband.CSIMode{baseband.CSIGenie, baseband.CSIPilot}
+	var points []simrun.Point
+	for _, snr := range snrs {
 		pl := pathLossForSNR(tx, snr-3, spectrum.Width20)
-		run := func(csi baseband.CSIMode) float64 {
-			ch := &baseband.Channel{PathLoss: pl, Fading: baseband.FadingFlat}
-			l := baseband.NewLink(baseband.NewChainConfig(spectrum.Width20), phy.QPSK, baseband.ModeSTBC, tx, ch, opts.Seed+int64(snr*7))
-			l.CSI = csi
-			return l.Run(max(opts.Packets/3, 10), opts.PacketBytes).BER()
+		for _, csi := range modes {
+			points = append(points, simrun.Point{
+				Seed:        opts.Seed + int64(snr*7),
+				Packets:     max(opts.Packets/3, 10),
+				PacketBytes: opts.PacketBytes,
+				Make: func(seed int64) *baseband.Link {
+					ch := &baseband.Channel{PathLoss: pl, Fading: baseband.FadingFlat}
+					l := baseband.NewLink(baseband.NewChainConfig(spectrum.Width20), phy.QPSK, baseband.ModeSTBC, tx, ch, seed)
+					l.CSI = csi
+					return l
+				},
+			})
 		}
+	}
+	meas := simrun.Run(points, opts.engineOptions())
+	for i, snr := range snrs {
 		r.Points = append(r.Points, CSIPoint{
 			SNR:        snr,
-			GenieBER:   run(baseband.CSIGenie),
-			TrainedBER: run(baseband.CSIPilot),
+			GenieBER:   meas[i*len(modes)].BER(),
+			TrainedBER: meas[i*len(modes)+1].BER(),
 		})
 	}
 	return r

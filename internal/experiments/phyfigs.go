@@ -7,6 +7,7 @@ import (
 	"acorn/internal/baseband"
 	"acorn/internal/dsp"
 	"acorn/internal/phy"
+	"acorn/internal/simrun"
 	"acorn/internal/spectrum"
 	"acorn/internal/stats"
 	"acorn/internal/units"
@@ -19,6 +20,15 @@ type PHYOptions struct {
 	Packets     int
 	PacketBytes int
 	Seed        int64
+	// Workers is the parallel Monte-Carlo worker count handed to
+	// internal/simrun; <=0 means GOMAXPROCS. Results are bit-identical
+	// for any value (see the simrun determinism contract).
+	Workers int
+}
+
+// engineOptions converts the experiment options to engine options.
+func (o PHYOptions) engineOptions() simrun.Options {
+	return simrun.Options{Workers: o.Workers}
 }
 
 // DefaultPHYOptions returns the fast defaults.
@@ -178,14 +188,28 @@ func RunFig3a(opts PHYOptions) Fig3aResult {
 	// Post-MRC/STBC target SNRs spanning the waterfall (0–12 dB as in
 	// the figure).
 	targets := []float64{1.5, 3, 4.5, 6, 7.5, 9, 10.5}
-	for _, w := range []spectrum.Width{spectrum.Width20, spectrum.Width40} {
+	widths := []spectrum.Width{spectrum.Width20, spectrum.Width40}
+	var points []simrun.Point
+	for _, w := range widths {
 		for _, target := range targets {
 			// STBC over AWGN adds ≈3 dB combining gain over the
 			// single-path analytic SNR.
 			pl := pathLossForSNR(tx, target-3, w)
-			ch := &baseband.Channel{PathLoss: pl}
-			l := baseband.NewLink(baseband.NewChainConfig(w), phy.QPSK, baseband.ModeSTBC, tx, ch, opts.Seed+int64(target*10))
-			m := l.Run(opts.Packets, opts.PacketBytes)
+			points = append(points, simrun.Point{
+				Seed:        opts.Seed + int64(target*10),
+				Packets:     opts.Packets,
+				PacketBytes: opts.PacketBytes,
+				Make: func(seed int64) *baseband.Link {
+					ch := &baseband.Channel{PathLoss: pl}
+					return baseband.NewLink(baseband.NewChainConfig(w), phy.QPSK, baseband.ModeSTBC, tx, ch, seed)
+				},
+			})
+		}
+	}
+	meas := simrun.Run(points, opts.engineOptions())
+	for i, w := range widths {
+		for j := range targets {
+			m := meas[i*len(targets)+j]
 			snr := m.MeasuredSNRdB()
 			ber := m.BER()
 			if ber == 0 {
@@ -252,21 +276,32 @@ func RunFig3b(opts PHYOptions) Fig3bResult {
 	// Path loss chosen so the sweep crosses the QPSK waterfall.
 	pl := pathLossForSNR(12, 3, spectrum.Width20)
 	var r Fig3bResult
+	widths := []spectrum.Width{spectrum.Width20, spectrum.Width40}
+	var points []simrun.Point
 	for tx := 0.0; tx <= 25; tx += 2.5 {
 		r.TxDBm = append(r.TxDBm, tx)
-		for _, w := range []spectrum.Width{spectrum.Width20, spectrum.Width40} {
-			ch := &baseband.Channel{PathLoss: pl}
-			l := baseband.NewLink(baseband.NewChainConfig(w), phy.QPSK, baseband.ModeSTBC, units.DBm(tx), ch, opts.Seed+int64(tx*4))
-			m := l.Run(opts.Packets, opts.PacketBytes)
-			ber := m.BER()
-			if ber == 0 {
-				ber = 0.5 / float64(m.Bits)
-			}
-			if w == spectrum.Width20 {
-				r.BER20 = append(r.BER20, ber)
-			} else {
-				r.BER40 = append(r.BER40, ber)
-			}
+		for _, w := range widths {
+			points = append(points, simrun.Point{
+				Seed:        opts.Seed + int64(tx*4),
+				Packets:     opts.Packets,
+				PacketBytes: opts.PacketBytes,
+				Make: func(seed int64) *baseband.Link {
+					ch := &baseband.Channel{PathLoss: pl}
+					return baseband.NewLink(baseband.NewChainConfig(w), phy.QPSK, baseband.ModeSTBC, units.DBm(tx), ch, seed)
+				},
+			})
+		}
+	}
+	meas := simrun.Run(points, opts.engineOptions())
+	for i, m := range meas {
+		ber := m.BER()
+		if ber == 0 {
+			ber = 0.5 / float64(m.Bits)
+		}
+		if i%len(widths) == 0 {
+			r.BER20 = append(r.BER20, ber)
+		} else {
+			r.BER40 = append(r.BER40, ber)
 		}
 	}
 	return r
@@ -297,41 +332,62 @@ func RunFig4(opts PHYOptions) Fig4Result {
 	tx := units.DBm(15)
 	var r Fig4Result
 	targets := []float64{1.5, 3, 4.5, 6, 7.5, 9}
-	for _, w := range []spectrum.Width{spectrum.Width20, spectrum.Width40} {
+	widths := []spectrum.Width{spectrum.Width20, spectrum.Width40}
+	var points []simrun.Point
+	for _, w := range widths {
 		for _, target := range targets {
 			pl := pathLossForSNR(tx, target-3, w)
-			ch := &baseband.Channel{PathLoss: pl}
-			l := baseband.NewLink(baseband.NewChainConfig(w), phy.QPSK, baseband.ModeSTBC, tx, ch, opts.Seed+int64(target*7))
-			m := l.Run(opts.Packets, opts.PacketBytes)
-			per := m.PER()
-			if per == 0 {
-				per = 0.5 / float64(m.Packets)
-			}
-			if w == spectrum.Width20 {
-				r.SNR20 = append(r.SNR20, m.MeasuredSNRdB())
-				r.PER20vsSNR = append(r.PER20vsSNR, per)
-			} else {
-				r.SNR40 = append(r.SNR40, m.MeasuredSNRdB())
-				r.PER40vsSNR = append(r.PER40vsSNR, per)
-			}
+			points = append(points, simrun.Point{
+				Seed:        opts.Seed + int64(target*7),
+				Packets:     opts.Packets,
+				PacketBytes: opts.PacketBytes,
+				Make: func(seed int64) *baseband.Link {
+					ch := &baseband.Channel{PathLoss: pl}
+					return baseband.NewLink(baseband.NewChainConfig(w), phy.QPSK, baseband.ModeSTBC, tx, ch, seed)
+				},
+			})
 		}
 	}
 	pl := pathLossForSNR(12, 3, spectrum.Width20)
 	for txp := 0.0; txp <= 25; txp += 2.5 {
 		r.TxDBm = append(r.TxDBm, txp)
-		for _, w := range []spectrum.Width{spectrum.Width20, spectrum.Width40} {
-			ch := &baseband.Channel{PathLoss: pl}
-			l := baseband.NewLink(baseband.NewChainConfig(w), phy.QPSK, baseband.ModeSTBC, units.DBm(txp), ch, opts.Seed+int64(txp*3))
-			m := l.Run(opts.Packets, opts.PacketBytes)
-			per := m.PER()
-			if per == 0 {
-				per = 0.5 / float64(m.Packets)
-			}
+		for _, w := range widths {
+			points = append(points, simrun.Point{
+				Seed:        opts.Seed + int64(txp*3),
+				Packets:     opts.Packets,
+				PacketBytes: opts.PacketBytes,
+				Make: func(seed int64) *baseband.Link {
+					ch := &baseband.Channel{PathLoss: pl}
+					return baseband.NewLink(baseband.NewChainConfig(w), phy.QPSK, baseband.ModeSTBC, units.DBm(txp), ch, seed)
+				},
+			})
+		}
+	}
+	meas := simrun.Run(points, opts.engineOptions())
+	floorPER := func(m *baseband.Measurement) float64 {
+		per := m.PER()
+		if per == 0 {
+			per = 0.5 / float64(m.Packets)
+		}
+		return per
+	}
+	for i, w := range widths {
+		for j := range targets {
+			m := meas[i*len(targets)+j]
 			if w == spectrum.Width20 {
-				r.PER20vsTx = append(r.PER20vsTx, per)
+				r.SNR20 = append(r.SNR20, m.MeasuredSNRdB())
+				r.PER20vsSNR = append(r.PER20vsSNR, floorPER(m))
 			} else {
-				r.PER40vsTx = append(r.PER40vsTx, per)
+				r.SNR40 = append(r.SNR40, m.MeasuredSNRdB())
+				r.PER40vsSNR = append(r.PER40vsSNR, floorPER(m))
 			}
+		}
+	}
+	for i, m := range meas[len(widths)*len(targets):] {
+		if i%len(widths) == 0 {
+			r.PER20vsTx = append(r.PER20vsTx, floorPER(m))
+		} else {
+			r.PER40vsTx = append(r.PER40vsTx, floorPER(m))
 		}
 	}
 	return r

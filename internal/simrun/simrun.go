@@ -1,0 +1,139 @@
+// Package simrun is the parallel Monte-Carlo execution engine behind the
+// PHY experiments: it shards a packets×links work grid across worker
+// goroutines and merges the per-shard measurements back in a fixed order,
+// so the result is bit-identical for any worker count.
+//
+// Determinism contract. A Point's packet budget is cut into shards of
+// ShardPackets packets each; the decomposition depends only on the point,
+// never on the worker count. Shard s of a point draws every random number
+// from a link built with seed DeriveSeed(point.Seed, s), so the stream a
+// shard consumes is a pure function of (point seed, shard index) — which
+// worker happens to execute the shard is irrelevant. Per-shard
+// Measurements are merged in ascending shard order; since merging is the
+// only place floating-point sums from different shards meet, the
+// non-associativity of float addition never observes the scheduling.
+//
+// Scratch-buffer ownership. Each shard builds its own Link (and Channel)
+// via Point.Make and is the only goroutine that ever touches it, so the
+// zero-alloc workspaces inside internal/baseband need no locking.
+package simrun
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"acorn/internal/baseband"
+	"acorn/internal/stats"
+)
+
+// DefaultShardPackets is the shard granularity when Options.ShardPackets
+// is zero: small enough to load-balance a paper-scale run across many
+// cores, large enough to amortize the per-shard link construction.
+const DefaultShardPackets = 25
+
+// Point is one Monte-Carlo work item: a link configuration (captured by
+// Make) to be exercised for Packets packets of PacketBytes each, seeded
+// from Seed.
+type Point struct {
+	// Seed is the point's base seed; shard seeds are derived from it.
+	Seed int64
+	// Packets is the total packet budget for the point.
+	Packets int
+	// PacketBytes is the payload size of every packet.
+	PacketBytes int
+	// Make builds an independent link for one shard. It must return a
+	// fresh Link (with a fresh Channel) on every call: shards run
+	// concurrently and links are not safe for concurrent use.
+	Make func(seed int64) *baseband.Link
+}
+
+// Options tunes the engine. The zero value means GOMAXPROCS workers and
+// DefaultShardPackets packets per shard.
+type Options struct {
+	// Workers is the number of goroutines; <=0 means GOMAXPROCS.
+	Workers int
+	// ShardPackets is the shard granularity; <=0 means
+	// DefaultShardPackets. Results do not depend on it beyond the seed
+	// decomposition: two runs with the same ShardPackets are
+	// bit-identical for any worker count.
+	ShardPackets int
+}
+
+// shard is one unit of schedulable work.
+type shard struct {
+	point   int   // index into points
+	seed    int64 // derived link seed
+	packets int
+}
+
+// Run executes every point's packet budget and returns one merged
+// Measurement per point, in point order.
+func Run(points []Point, opts Options) []*baseband.Measurement {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shardPackets := opts.ShardPackets
+	if shardPackets <= 0 {
+		shardPackets = DefaultShardPackets
+	}
+
+	var shards []shard
+	for pi, p := range points {
+		remaining := p.Packets
+		for s := 0; remaining > 0; s++ {
+			n := min(shardPackets, remaining)
+			shards = append(shards, shard{
+				point:   pi,
+				seed:    stats.DeriveSeed(p.Seed, uint64(s)),
+				packets: n,
+			})
+			remaining -= n
+		}
+	}
+
+	results := make([]*baseband.Measurement, len(shards))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				sh := shards[i]
+				p := points[sh.point]
+				link := p.Make(sh.seed)
+				meas := &baseband.Measurement{}
+				for k := 0; k < sh.packets; k++ {
+					link.RunPacket(p.PacketBytes, meas)
+				}
+				results[i] = meas
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Merge in ascending shard order: shards of one point are contiguous,
+	// so this folds each point's shards left to right.
+	out := make([]*baseband.Measurement, len(points))
+	for i := range out {
+		out[i] = &baseband.Measurement{}
+	}
+	for i, sh := range shards {
+		out[sh.point].Merge(results[i])
+	}
+	return out
+}
+
+// RunPoint is the single-point convenience wrapper around Run.
+func RunPoint(p Point, opts Options) *baseband.Measurement {
+	return Run([]Point{p}, opts)[0]
+}

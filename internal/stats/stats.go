@@ -184,3 +184,16 @@ func (e *ECDF) Points(n int) (xs, fs []float64) {
 	}
 	return xs, fs
 }
+
+// DeriveSeed expands (base, stream) into a decorrelated 64-bit seed using
+// the SplitMix64 finalizer. Monte-Carlo shards (stream = shard index) and
+// per-link substreams (noise vs payload bits) each get an independent RNG
+// whose sequence does not alias any other stream derived from the same base
+// seed, so sharded runs stay statistically independent yet fully
+// reproducible.
+func DeriveSeed(base int64, stream uint64) int64 {
+	z := uint64(base) ^ (stream+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

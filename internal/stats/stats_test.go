@@ -167,3 +167,20 @@ func TestNewRandDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestDeriveSeed(t *testing.T) {
+	// Deterministic, and distinct across both base and stream.
+	if DeriveSeed(1, 0) != DeriveSeed(1, 0) {
+		t.Error("DeriveSeed is not deterministic")
+	}
+	seen := map[int64]bool{}
+	for base := int64(0); base < 8; base++ {
+		for stream := uint64(0); stream < 64; stream++ {
+			s := DeriveSeed(base, stream)
+			if seen[s] {
+				t.Fatalf("seed collision at base %d stream %d", base, stream)
+			}
+			seen[s] = true
+		}
+	}
+}
