@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke cover experiments clean
+.PHONY: all build vet test race bench bench-smoke obs-smoke cover experiments clean
 
 # The default check path race-checks everything: the control plane is
 # deliberately concurrent (heartbeats, reconnect supervisors, chaos tests),
 # so plain `make` must catch data races, not just failures.
-all: build vet test race bench-smoke
+all: build vet test race bench-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,11 @@ bench:
 # benchmark code without paying for real measurements.
 bench-smoke:
 	$(GO) test -bench=. -benchmem -benchtime=1x -count=1 ./... > /dev/null
+
+# Boots acornd with -obs-addr and asserts /metrics and /healthz serve the
+# expected convergence metrics. OBS_SMOKE_PORT overrides the port.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1

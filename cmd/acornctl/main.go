@@ -24,6 +24,15 @@
 //	    the wire is wrapped in a fault injector (connection resets,
 //	    delays, corrupt bytes) and the agents reconnect through the
 //	    faults until the allocation converges anyway.
+//
+//	acornctl obs -addr host:port
+//	    Fetch a running process's introspection endpoints (-obs-addr on
+//	    acornd or acornctl serve/agent) and pretty-print the health
+//	    checks and a metrics snapshot.
+//
+// serve and agent accept -obs-addr to expose their own /metrics, /healthz,
+// /debug/vars and pprof endpoints, and -log-level to set the log
+// threshold (debug|info|warn|error|off).
 package main
 
 import (
@@ -31,19 +40,22 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"time"
 
 	"acorn/internal/ctlnet"
 	"acorn/internal/faultnet"
+	"acorn/internal/obs"
 	"acorn/internal/spectrum"
 )
 
+// logger is the process logger; -log-level re-levels it.
+var logger = obs.DefaultLogger.Named("acornctl")
+
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: acornctl serve|agent|demo [flags]")
+		fmt.Fprintln(os.Stderr, "usage: acornctl serve|agent|demo|obs [flags]")
 		os.Exit(2)
 	}
 	switch os.Args[1] {
@@ -53,10 +65,33 @@ func main() {
 		agent(os.Args[2:])
 	case "demo":
 		demo(os.Args[2:])
+	case "obs":
+		obsCmd(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "acornctl: unknown command %q\n", os.Args[1])
 		os.Exit(2)
 	}
+}
+
+// setLevel applies a -log-level flag value to the process logger.
+func setLevel(s string) {
+	lvl, err := obs.ParseLevel(s)
+	if err != nil {
+		logger.Fatalf("acornctl: %v", err)
+	}
+	logger.SetLevel(lvl)
+}
+
+// serveObs starts the introspection server when addr is non-empty.
+func serveObs(addr string, health *obs.Health) *obs.IntrospectionServer {
+	if addr == "" {
+		return nil
+	}
+	srv, err := obs.Serve(addr, obs.ServerOptions{Health: health, Log: logger})
+	if err != nil {
+		logger.Fatalf("acornctl: %v", err)
+	}
+	return srv
 }
 
 func serve(args []string) {
@@ -67,26 +102,54 @@ func serve(args []string) {
 	reportTTL := fs.Duration("report-ttl", 3*time.Hour, "max report age before quarantine (0 disables aging)")
 	helloTimeout := fs.Duration("hello-timeout", ctlnet.DefaultHelloTimeout, "deadline for the first message on a new connection")
 	peerTimeout := fs.Duration("peer-timeout", ctlnet.DefaultPeerTimeout, "idle deadline between agent messages; keep it >= 3x the agents' -heartbeat")
+	logLevel := fs.String("log-level", "info", "log threshold: debug|info|warn|error|off")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics, /healthz, /debug/vars and pprof on this address")
 	_ = fs.Parse(args)
+	setLevel(*logLevel)
 
 	s := ctlnet.NewServer(*seed)
-	s.Logf = log.Printf
+	s.Log = logger
 	s.ReportTTL = *reportTTL
 	s.HelloTimeout = *helloTimeout
 	s.PeerTimeout = *peerTimeout
+
+	health := obs.NewHealth()
+	health.Register("agents", func() obs.CheckResult {
+		ids := s.ConnectedAgents()
+		if len(ids) == 0 {
+			return obs.Bad("no agents connected")
+		}
+		return obs.OK(fmt.Sprintf("%d connected: %v", len(ids), ids))
+	})
+	maxAge := 3 * *period
+	health.Register("reallocation", func() obs.CheckResult {
+		last, ok := s.LastReallocation()
+		if !ok {
+			return obs.OK("no reallocation yet")
+		}
+		age := time.Since(last).Round(time.Second)
+		if age > maxAge {
+			return obs.Bad(fmt.Sprintf("last reallocation %v ago (period %v)", age, *period))
+		}
+		return obs.OK(fmt.Sprintf("last reallocation %v ago", age))
+	})
+	if srv := serveObs(*obsAddr, health); srv != nil {
+		defer srv.Close(0)
+	}
+
 	go func() {
 		ticker := time.NewTicker(*period)
 		defer ticker.Stop()
 		for range ticker.C {
 			if assigns, err := s.Reallocate(); err == nil {
-				log.Printf("reallocated %d APs", len(assigns))
+				logger.Infof("reallocated %d APs", len(assigns))
 			} else {
-				log.Printf("reallocation skipped: %v", err)
+				logger.Warnf("reallocation skipped: %v", err)
 			}
 		}
 	}()
 	if err := ctlnet.ListenAndServe(*addr, s); err != nil {
-		log.Fatal(err)
+		logger.Fatalf("acornctl: %v", err)
 	}
 }
 
@@ -100,18 +163,21 @@ func agent(args []string) {
 	heartbeat := fs.Duration("heartbeat", ctlnet.DefaultHeartbeatInterval, "ping interval keeping the session alive")
 	backoffMin := fs.Duration("backoff-min", 500*time.Millisecond, "first reconnect delay")
 	backoffMax := fs.Duration("backoff-max", time.Minute, "reconnect delay cap")
+	logLevel := fs.String("log-level", "info", "log threshold: debug|info|warn|error|off")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics, /healthz, /debug/vars and pprof on this address")
 	_ = fs.Parse(args)
+	setLevel(*logLevel)
 	if *id == "" {
-		log.Fatal("acornctl agent: -id is required")
+		logger.Fatalf("acornctl agent: -id is required")
 	}
 	rep := ctlnet.Report{}
 	if *reportPath != "" {
 		data, err := os.ReadFile(*reportPath)
 		if err != nil {
-			log.Fatalf("acornctl agent: %v", err)
+			logger.Fatalf("acornctl agent: %v", err)
 		}
 		if err := json.Unmarshal(data, &rep); err != nil {
-			log.Fatalf("acornctl agent: bad report file: %v", err)
+			logger.Fatalf("acornctl agent: bad report file: %v", err)
 		}
 	}
 
@@ -120,26 +186,42 @@ func agent(args []string) {
 		ctlnet.ReconnectOptions{
 			Backoff: ctlnet.Backoff{Min: *backoffMin, Max: *backoffMax},
 			Agent:   ctlnet.AgentOptions{HeartbeatInterval: *heartbeat},
-			Logf:    log.Printf,
+			Log:     logger,
 		})
 	if err != nil {
-		log.Fatalf("acornctl agent: %v", err)
+		logger.Fatalf("acornctl agent: %v", err)
 	}
 	defer ra.Close()
-	if err := ra.SendReport(rep); err != nil {
-		log.Fatalf("acornctl agent: %v", err)
+
+	health := obs.NewHealth()
+	health.Register("controller", func() obs.CheckResult {
+		if ra.Connected() {
+			return obs.OK(fmt.Sprintf("connected to %s (%d sessions, rtt sampled via metrics)", *addr, ra.Sessions()))
+		}
+		detail := "disconnected"
+		if err := ra.LastErr(); err != nil {
+			detail = fmt.Sprintf("disconnected: %v", err)
+		}
+		return obs.Bad(detail)
+	})
+	if srv := serveObs(*obsAddr, health); srv != nil {
+		defer srv.Close(0)
 	}
-	log.Printf("agent %s reporting to %s every %v", *id, *addr, *period)
+
+	if err := ra.SendReport(rep); err != nil {
+		logger.Fatalf("acornctl agent: %v", err)
+	}
+	logger.Infof("agent %s reporting to %s every %v", *id, *addr, *period)
 	ticker := time.NewTicker(*period)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ticker.C:
 			if err := ra.SendReport(rep); err != nil {
-				log.Fatalf("acornctl agent: %v", err)
+				logger.Fatalf("acornctl agent: %v", err)
 			}
 		case ch := <-ra.Updates():
-			log.Printf("agent %s assigned %v", *id, ch)
+			logger.Info("assignment received", "ap", *id, "channel", ch)
 		}
 	}
 }
@@ -151,11 +233,12 @@ func demo(args []string) {
 
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatalf("acornctl demo: %v", err)
 	}
 	var inj *faultnet.Injector
 	listener := l
 	s := ctlnet.NewServer(1)
+	s.Log = logger
 	if *chaos {
 		inj = faultnet.NewInjector(faultnet.Config{
 			Seed:          time.Now().UnixNano(),
@@ -208,11 +291,11 @@ func demo(args []string) {
 				},
 			})
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatalf("acornctl demo: %v", err)
 		}
 		defer ra.Close()
 		if err := ra.SendReport(buildReport(sp.hears, sp.snrs)); err != nil {
-			log.Fatal(err)
+			logger.Fatalf("acornctl demo: %v", err)
 		}
 		agents = append(agents, ra)
 	}
@@ -245,7 +328,7 @@ func demo(args []string) {
 			break
 		}
 		if time.Now().After(deadline) {
-			log.Fatalf("demo never converged: %v", err)
+			logger.Fatalf("demo never converged: %v", err)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"acorn/internal/obs"
+)
+
+// obsCmd implements `acornctl obs`: fetch a process's introspection
+// endpoints and render a human-readable snapshot.
+func obsCmd(args []string) {
+	fs := flag.NewFlagSet("obs", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7432", "introspection address (the target's -obs-addr)")
+	timeout := fs.Duration("timeout", 5*time.Second, "HTTP timeout")
+	_ = fs.Parse(args)
+
+	client := &http.Client{Timeout: *timeout}
+	base := "http://" + *addr
+
+	var health struct {
+		Status string                     `json:"status"`
+		Checks map[string]obs.CheckResult `json:"checks"`
+	}
+	if err := fetchJSON(client, base+"/healthz", &health); err != nil {
+		logger.Fatalf("acornctl obs: %v", err)
+	}
+	var vars struct {
+		Metrics []obs.MetricSnapshot `json:"metrics"`
+		Runtime map[string]any       `json:"runtime"`
+	}
+	if err := fetchJSON(client, base+"/debug/vars", &vars); err != nil {
+		logger.Fatalf("acornctl obs: %v", err)
+	}
+
+	fmt.Printf("%s — status: %s\n", *addr, health.Status)
+	names := make([]string, 0, len(health.Checks))
+	for name := range health.Checks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := health.Checks[name]
+		mark := "ok "
+		if !c.OK {
+			mark = "BAD"
+		}
+		fmt.Printf("  [%s] %-16s %s\n", mark, name, c.Detail)
+	}
+
+	if gr, ok := vars.Runtime["goroutines"]; ok {
+		fmt.Printf("\nruntime: goroutines=%v heap_alloc=%v num_gc=%v\n",
+			gr, vars.Runtime["heap_alloc"], vars.Runtime["num_gc"])
+	}
+
+	fmt.Printf("\nmetrics (%d):\n", len(vars.Metrics))
+	for _, m := range vars.Metrics {
+		switch {
+		case m.Kind == "histogram" && m.Count != nil:
+			mean := 0.0
+			if *m.Count > 0 && m.Sum != nil {
+				mean = *m.Sum / float64(*m.Count)
+			}
+			fmt.Printf("  %-44s count=%d mean=%s\n", m.Name, *m.Count, formatShort(mean))
+		case len(m.Series) > 0:
+			fmt.Printf("  %-44s by %s:\n", m.Name, m.Label)
+			labels := make([]string, 0, len(m.Series))
+			for l := range m.Series {
+				labels = append(labels, l)
+			}
+			sort.Strings(labels)
+			for _, l := range labels {
+				fmt.Printf("    %-42s %s\n", l, formatShort(m.Series[l]))
+			}
+		case m.Value != nil:
+			fmt.Printf("  %-44s %s\n", m.Name, formatShort(*m.Value))
+		}
+	}
+}
+
+// fetchJSON GETs url and decodes the body. /healthz answers 503 when
+// degraded, so any status that still carries JSON is accepted.
+func fetchJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("%s: %v (HTTP %d)", url, err, resp.StatusCode)
+	}
+	return nil
+}
+
+func formatShort(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

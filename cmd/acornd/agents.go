@@ -2,12 +2,13 @@ package main
 
 import (
 	"context"
-	"log"
+	"fmt"
 	"sort"
 	"time"
 
 	"acorn"
 	"acorn/internal/ctlnet"
+	"acorn/internal/obs"
 )
 
 // agentConfig bundles the -controller mode flags.
@@ -59,7 +60,9 @@ func measure(n *acorn.Network, clients []*acorn.Client) map[string]ctlnet.Report
 
 // runAgents streams the topology's measured view to a remote controller,
 // one reconnecting agent per AP, and prints assignments as they arrive.
-func runAgents(n *acorn.Network, clients []*acorn.Client, cfg agentConfig) {
+// Each agent registers a liveness health check so /healthz degrades while
+// any AP is disconnected from the controller.
+func runAgents(n *acorn.Network, clients []*acorn.Client, cfg agentConfig, health *obs.Health) {
 	reports := measure(n, clients)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -71,16 +74,17 @@ func runAgents(n *acorn.Network, clients []*acorn.Client, cfg agentConfig) {
 			ctlnet.ReconnectOptions{
 				Backoff: ctlnet.Backoff{Min: cfg.backoffMin, Max: cfg.backoffMax},
 				Agent:   ctlnet.AgentOptions{HeartbeatInterval: cfg.heartbeat},
-				Logf:    log.Printf,
+				Log:     logger,
 			})
 		if err != nil {
-			log.Fatalf("acornd: agent %s: %v", ap.ID, err)
+			logger.Fatalf("acornd: agent %s: %v", ap.ID, err)
 		}
 		defer ra.Close()
 		if err := ra.SendReport(reports[ap.ID]); err != nil {
-			log.Fatalf("acornd: agent %s: %v", ap.ID, err)
+			logger.Fatalf("acornd: agent %s: %v", ap.ID, err)
 		}
 		agents = append(agents, ra)
+		health.Register("agent:"+ap.ID, agentCheck(ra))
 
 		go func(id string, ra *ctlnet.ReconnectingAgent) {
 			tick := time.NewTicker(cfg.reportPeriod)
@@ -92,16 +96,30 @@ func runAgents(n *acorn.Network, clients []*acorn.Client, cfg agentConfig) {
 				case <-tick.C:
 					_ = ra.SendReport(reports[id])
 				case ch := <-ra.Updates():
-					log.Printf("agent %s assigned %v", id, ch)
+					logger.Info("assignment received", "ap", id, "channel", ch)
 				}
 			}
 		}(ap.ID, ra)
 	}
-	log.Printf("acornd: %d agents reporting to %s every %v", len(agents), cfg.addr, cfg.reportPeriod)
+	logger.Infof("%d agents reporting to %s every %v", len(agents), cfg.addr, cfg.reportPeriod)
 
 	if cfg.duration > 0 {
 		time.Sleep(cfg.duration)
 		return
 	}
 	select {} // run until killed
+}
+
+// agentCheck reports a reconnecting agent's controller-session liveness.
+func agentCheck(ra *ctlnet.ReconnectingAgent) func() obs.CheckResult {
+	return func() obs.CheckResult {
+		if ra.Connected() {
+			return obs.OK(fmt.Sprintf("connected (%d sessions)", ra.Sessions()))
+		}
+		detail := "disconnected"
+		if err := ra.LastErr(); err != nil {
+			detail = fmt.Sprintf("disconnected: %v", err)
+		}
+		return obs.Bad(detail)
+	}
 }

@@ -16,6 +16,12 @@
 //	       [-heartbeat 15s] [-backoff-min 500ms] [-backoff-max 1m]
 //	       [-report-period 30s] [-duration 0]
 //
+// Observability. -obs-addr starts the live introspection server
+// (Prometheus-text /metrics, /healthz, /debug/vars, /debug/pprof/);
+// -obs-hold keeps the process alive after a local solve so the endpoints
+// can be scraped; -log-level sets the leveled logger's threshold; -trace
+// streams the solver's JSONL convergence trace to a file ("-" = stdout).
+//
 // Topology file format:
 //
 //	{
@@ -29,14 +35,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"acorn"
+	"acorn/internal/core"
+	"acorn/internal/obs"
 	"acorn/internal/topofile"
 	"acorn/internal/units"
 )
+
+// logger is the process logger; -log-level re-levels it.
+var logger = obs.DefaultLogger.Named("acornd")
 
 func main() {
 	topoPath := flag.String("topology", "", "JSON topology file (empty = built-in demo)")
@@ -50,11 +61,31 @@ func main() {
 	backoffMax := flag.Duration("backoff-max", time.Minute, "reconnect delay cap (with -controller)")
 	reportPeriod := flag.Duration("report-period", 30*time.Second, "measurement report interval (with -controller)")
 	duration := flag.Duration("duration", 0, "how long to run the agents; 0 = forever (with -controller)")
+	logLevel := flag.String("log-level", "info", "log threshold: debug|info|warn|error|off")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /healthz, /debug/vars and pprof on this address")
+	obsHold := flag.Duration("obs-hold", 0, "keep the process (and -obs-addr endpoints) alive this long after a local solve")
+	tracePath := flag.String("trace", "", "write the solver's JSONL convergence trace to this file (\"-\" = stdout)")
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		logger.Fatalf("acornd: %v", err)
+	}
+	logger.SetLevel(lvl)
 
 	net, clients, err := loadTopology(*topoPath)
 	if err != nil {
-		log.Fatalf("acornd: %v", err)
+		logger.Fatalf("acornd: %v", err)
+	}
+
+	health := obs.NewHealth()
+	var obsSrv *obs.IntrospectionServer
+	if *obsAddr != "" {
+		obsSrv, err = obs.Serve(*obsAddr, obs.ServerOptions{Health: health, Log: logger})
+		if err != nil {
+			logger.Fatalf("acornd: %v", err)
+		}
+		defer obsSrv.Close(0)
 	}
 
 	if *controller != "" {
@@ -65,16 +96,42 @@ func main() {
 			backoffMax:   *backoffMax,
 			reportPeriod: *reportPeriod,
 			duration:     *duration,
-		})
+		}, health)
 		return
 	}
 
 	ctrl, err := acorn.NewController(net, *seed)
 	if err != nil {
-		log.Fatalf("acornd: %v", err)
+		logger.Fatalf("acornd: %v", err)
 	}
+	if *tracePath != "" {
+		w := os.Stdout
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				logger.Fatalf("acornd: %v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		ctrl.Trace = core.NewTraceWriter(w)
+	}
+	var solved atomic.Bool
+	health.Register("solver", func() obs.CheckResult {
+		if solved.Load() {
+			return obs.OK("auto-configuration complete")
+		}
+		return obs.OK("solving")
+	})
 	report := ctrl.AutoConfigure(clients)
+	solved.Store(true)
+	if ctrl.Trace != nil {
+		if err := ctrl.Trace.Err(); err != nil {
+			logger.Fatalf("acornd: trace: %v", err)
+		}
+	}
 	cfg := ctrl.Config()
+	defer holdObs(obsSrv, *obsHold)
 
 	if *asJSON {
 		out := map[string]any{"acorn": report}
@@ -85,7 +142,7 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
-			log.Fatalf("acornd: %v", err)
+			logger.Fatalf("acornd: %v", err)
 		}
 		return
 	}
@@ -105,6 +162,16 @@ func main() {
 		fmt.Printf("\nACORN/legacy total UDP throughput: %.2f / %.2f Mbit/s (%.2fx)\n",
 			report.TotalUDP, legacyRep.TotalUDP, report.TotalUDP/legacyRep.TotalUDP)
 	}
+}
+
+// holdObs keeps the process alive after a one-shot solve so the -obs-addr
+// endpoints stay scrapeable (the obs smoke test depends on this).
+func holdObs(srv *obs.IntrospectionServer, d time.Duration) {
+	if srv == nil || d <= 0 {
+		return
+	}
+	logger.Infof("holding obs endpoints on %s for %v", srv.Addr(), d)
+	time.Sleep(d)
 }
 
 func printReport(net *acorn.Network, cfg *acorn.Config, rep *acorn.NetworkReport) {

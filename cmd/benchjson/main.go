@@ -1,6 +1,8 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // map from benchmark name to its measured figures, for the BENCH_phy.json
-// trajectory the repo tracks across PRs.
+// trajectory the repo tracks across PRs. A "_meta" entry records the git
+// commit the numbers were measured at (omitted when git is unavailable);
+// readers decoding into map[string]Result simply see it as a zero Result.
 //
 // Usage:
 //
@@ -12,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"regexp"
 	"strconv"
 	"strings"
@@ -63,10 +66,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	out := make(map[string]any, len(results)+1)
+	for name, r := range results {
+		out[name] = r
+	}
+	if sha := gitSHA(); sha != "" {
+		out["_meta"] = map[string]string{"git_sha": sha}
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	if err := enc.Encode(out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// gitSHA returns the current commit hash, or "" when not in a git checkout
+// (the stamp is best-effort provenance, never a failure).
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }

@@ -62,6 +62,30 @@ type AllocStats struct {
 	FinalEstimate   float64
 	// Trajectory records the estimated throughput after every switch.
 	Trajectory []float64
+	// History records every switch in order with the per-AP ranks of the
+	// iteration that chose it — the raw material of the convergence trace.
+	History []SwitchRecord
+}
+
+// SwitchRecord captures one inner-loop decision of Algorithm 2: the
+// max-rank AP that switched, where it moved, and what every still-eligible
+// AP could have gained in the same iteration.
+type SwitchRecord struct {
+	// Period is the 1-based outer iteration this switch happened in.
+	Period int
+	// AP is the winner (the max-rank AP of the paper's greedy step).
+	AP string
+	// Channel is the assignment the winner switched to.
+	Channel spectrum.Channel
+	// Rank is the winner's improvement in estimated network throughput
+	// (Mbit/s) over the state before this switch.
+	Rank float64
+	// Estimate is the estimated total network throughput after the switch.
+	Estimate float64
+	// Ranks holds, for every AP that was still eligible this iteration,
+	// the best improvement it could have achieved (the winner's entry
+	// equals Rank; non-positive entries mean "cannot improve").
+	Ranks map[string]float64
 }
 
 // ThroughputEstimator is what Algorithm 2 needs from an estimator: a
@@ -94,8 +118,10 @@ func AllocateChannels(n *wlan.Network, cfg *wlan.Config, est ThroughputEstimator
 		// AP offering the best improvement moves first.
 		for len(remaining) > 0 {
 			winner, winnerCh, winnerY := "", spectrum.Channel{}, y
+			ranks := make(map[string]float64, len(remaining))
 			for _, apID := range sortedKeys(remaining) {
 				bestCh, bestY := bestChannelFor(cur, est, apID, channels)
+				ranks[apID] = bestY - y
 				if bestY > winnerY {
 					winner, winnerCh, winnerY = apID, bestCh, bestY
 				}
@@ -105,9 +131,18 @@ func AllocateChannels(n *wlan.Network, cfg *wlan.Config, est ThroughputEstimator
 			}
 			cur.Channels[winner] = winnerCh
 			delete(remaining, winner)
+			rank := winnerY - y
 			y = winnerY
 			stats.Switches++
 			stats.Trajectory = append(stats.Trajectory, y)
+			stats.History = append(stats.History, SwitchRecord{
+				Period:   period + 1,
+				AP:       winner,
+				Channel:  winnerCh,
+				Rank:     rank,
+				Estimate: y,
+				Ranks:    ranks,
+			})
 		}
 		// Stop when the period's gain is within ε of the previous
 		// period (≤5% improvement by default).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"acorn/internal/obs"
 	"acorn/internal/ratecontrol"
 	"acorn/internal/spectrum"
 	"acorn/internal/stats"
@@ -31,6 +32,11 @@ type Controller struct {
 	Alloc AllocOptions
 	// Seed drives the random initial channel assignment.
 	Seed int64
+	// Obs receives reallocation metrics; nil means obs.Default.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives a replayable JSONL convergence trace
+	// of every Reallocate.
+	Trace *TraceWriter
 
 	cfg *wlan.Config
 }
@@ -82,12 +88,63 @@ func (c *Controller) AdmitAll(clients []*wlan.Client) []AssociationDecision {
 }
 
 // Reallocate runs Algorithm 2 against fresh link measurements and installs
-// the resulting channel assignment. It returns the search statistics.
+// the resulting channel assignment. It returns the search statistics, and
+// emits them as metrics (and, when Trace is set, as a JSONL convergence
+// trace).
 func (c *Controller) Reallocate() AllocStats {
+	reg := c.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	span := reg.Histogram("acorn_core_reallocate_seconds",
+		"wall time of one Algorithm-2 channel reallocation", nil).Start()
 	est := NewEstimator(c.Network)
 	next, st := AllocateChannels(c.Network, c.cfg, est, c.Alloc)
 	c.cfg = next
+	span.End()
+	RecordAllocMetrics(reg, st, c.cfg)
+	reg.Gauge("acorn_core_clients_associated",
+		"clients currently holding an association").Set(float64(len(c.cfg.Assoc)))
+	if c.Trace != nil {
+		c.Trace.Reallocation(st, c.cfg)
+	}
 	return st
+}
+
+// RecordAllocMetrics publishes one Algorithm-2 run's statistics into reg.
+// It is shared by the local Controller and the networked ctlnet server so
+// both surfaces report the same convergence metric catalog.
+func RecordAllocMetrics(reg *obs.Registry, st AllocStats, cfg *wlan.Config) {
+	reg.Counter("acorn_core_reallocations_total",
+		"Algorithm-2 runs completed").Inc()
+	reg.Counter("acorn_core_alloc_switches_total",
+		"channel switches performed across all reallocations").Add(uint64(st.Switches))
+	reg.Counter("acorn_core_alloc_periods_total",
+		"greedy periods executed across all reallocations").Add(uint64(st.Periods))
+	reg.Histogram("acorn_core_alloc_switches", "channel switches per reallocation",
+		[]float64{0, 1, 2, 4, 8, 16, 32, 64}).Observe(float64(st.Switches))
+	reg.Gauge("acorn_core_goodput_initial_mbps",
+		"estimated aggregate goodput before the last reallocation").Set(st.InitialEstimate)
+	reg.Gauge("acorn_core_goodput_mbps",
+		"estimated aggregate goodput after the last reallocation").Set(st.FinalEstimate)
+	if st.InitialEstimate > 0 {
+		reg.Gauge("acorn_core_goodput_gain_ratio",
+			"final/initial estimated goodput of the last reallocation").
+			Set(st.FinalEstimate / st.InitialEstimate)
+	}
+	var w20, w40 int
+	for _, ch := range cfg.Channels {
+		switch ch.Width {
+		case spectrum.Width40:
+			w40++
+		case spectrum.Width20:
+			w20++
+		}
+	}
+	reg.Gauge("acorn_core_cells_20mhz", "cells on a 20 MHz channel").Set(float64(w20))
+	reg.Gauge("acorn_core_cells_40mhz", "cells on a bonded 40 MHz channel").Set(float64(w40))
+	reg.Gauge("acorn_core_last_reallocation_unix",
+		"unix time of the last completed reallocation").Set(float64(time.Now().Unix()))
 }
 
 // AutoConfigure is the whole ACORN pipeline for a static scenario: admit

@@ -1,0 +1,120 @@
+package core
+
+// Convergence tracing: every Reallocate can be recorded as a replayable
+// JSONL stream — one event per line — so a run of Algorithm 2 can be
+// inspected, plotted, or diffed after the fact. Events carry no wall-clock
+// fields on purpose: a trace is a pure function of the inputs, which keeps
+// golden-file tests and cross-run diffs byte-stable.
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"acorn/internal/wlan"
+)
+
+// Trace event kinds, in the order they appear per reallocation.
+const (
+	TraceEventStart  = "reallocate_start"
+	TraceEventSwitch = "switch"
+	TraceEventEnd    = "reallocate_end"
+)
+
+// TraceEvent is one line of the JSONL convergence trace.
+type TraceEvent struct {
+	// Event is one of the TraceEvent* constants.
+	Event string `json:"event"`
+	// Realloc numbers the reallocation this event belongs to (1-based,
+	// per TraceWriter).
+	Realloc int `json:"realloc"`
+	// GoodputMbps is the estimated aggregate network goodput at this
+	// point: the pre-search estimate on start, the post-switch estimate on
+	// switch, the final estimate on end.
+	GoodputMbps float64 `json:"goodput_mbps"`
+	// Period, AP, Channel, Rank and Ranks describe a switch event.
+	Period  int                `json:"period,omitempty"`
+	AP      string             `json:"ap,omitempty"`
+	Channel string             `json:"channel,omitempty"`
+	Rank    float64            `json:"rank,omitempty"`
+	Ranks   map[string]float64 `json:"ranks,omitempty"`
+	// APs, Clients, Switches, Periods and WidthsMHz summarize start/end
+	// events; WidthsMHz records the installed per-cell width decision.
+	APs       int            `json:"aps,omitempty"`
+	Clients   int            `json:"clients,omitempty"`
+	Switches  int            `json:"switches,omitempty"`
+	Periods   int            `json:"periods,omitempty"`
+	WidthsMHz map[string]int `json:"widths_mhz,omitempty"`
+}
+
+// TraceWriter serializes convergence events as JSONL. It is safe for
+// concurrent use; events of one Reallocation are written contiguously.
+type TraceWriter struct {
+	mu      sync.Mutex
+	enc     *json.Encoder
+	realloc int
+	err     error
+}
+
+// NewTraceWriter wraps w. Each event becomes one JSON object on its own
+// line (encoding/json sorts map keys, so output is deterministic).
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{enc: json.NewEncoder(w)}
+}
+
+// Err returns the first write error, if any; later events after an error
+// are dropped.
+func (t *TraceWriter) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Reallocation records one full Algorithm-2 run: a start event, one event
+// per switch (with the iteration's per-AP ranks), and an end event with
+// the installed per-cell width decisions.
+func (t *TraceWriter) Reallocation(st AllocStats, cfg *wlan.Config) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.realloc++
+	n := t.realloc
+	t.emit(TraceEvent{
+		Event:       TraceEventStart,
+		Realloc:     n,
+		GoodputMbps: st.InitialEstimate,
+		APs:         len(cfg.Channels),
+		Clients:     len(cfg.Assoc),
+	})
+	for _, rec := range st.History {
+		t.emit(TraceEvent{
+			Event:       TraceEventSwitch,
+			Realloc:     n,
+			GoodputMbps: rec.Estimate,
+			Period:      rec.Period,
+			AP:          rec.AP,
+			Channel:     rec.Channel.String(),
+			Rank:        rec.Rank,
+			Ranks:       rec.Ranks,
+		})
+	}
+	widths := make(map[string]int, len(cfg.Channels))
+	for apID, ch := range cfg.Channels {
+		widths[apID] = int(ch.Width)
+	}
+	t.emit(TraceEvent{
+		Event:       TraceEventEnd,
+		Realloc:     n,
+		GoodputMbps: st.FinalEstimate,
+		Switches:    st.Switches,
+		Periods:     st.Periods,
+		WidthsMHz:   widths,
+	})
+}
+
+// emit writes one event; callers hold t.mu.
+func (t *TraceWriter) emit(ev TraceEvent) {
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(ev)
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"acorn/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+const goldenTracePath = "testdata/convergence_trace.jsonl"
+
+// runTracedAutoConfigure runs the full pipeline on the shared fixture with
+// tracing on and returns the JSONL bytes plus the registry it reported to.
+func runTracedAutoConfigure(t *testing.T) ([]byte, *obs.Registry) {
+	t.Helper()
+	n, clients := mixedNetwork()
+	c, err := NewController(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	c.Obs = reg
+	c.Trace = NewTraceWriter(&buf)
+	c.AutoConfigure(clients)
+	if err := c.Trace.Err(); err != nil {
+		t.Fatalf("trace write error: %v", err)
+	}
+	return buf.Bytes(), reg
+}
+
+func parseTrace(t *testing.T, data []byte) []TraceEvent {
+	t.Helper()
+	var evs []TraceEvent
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for dec.More() {
+		var ev TraceEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("malformed JSONL trace: %v\n%s", err, data)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// TestConvergenceTraceWellFormed asserts the structural contract of the
+// trace: every line is valid JSON, each reallocation is a contiguous
+// start/switch*/end block, and the aggregate goodput is monotone
+// non-decreasing across greedy iterations (the search only ever accepts
+// improvements).
+func TestConvergenceTraceWellFormed(t *testing.T) {
+	data, reg := runTracedAutoConfigure(t)
+	evs := parseTrace(t, data)
+	if len(evs) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	// AutoConfigure reallocates twice.
+	reallocs := map[int]bool{}
+	var cur int // realloc currently open, 0 = none
+	var goodput float64
+	for i, ev := range evs {
+		switch ev.Event {
+		case TraceEventStart:
+			if cur != 0 {
+				t.Fatalf("event %d: start inside open reallocation %d", i, cur)
+			}
+			cur = ev.Realloc
+			reallocs[cur] = true
+			goodput = ev.GoodputMbps
+			if ev.APs == 0 {
+				t.Errorf("event %d: start without ap count", i)
+			}
+		case TraceEventSwitch:
+			if ev.Realloc != cur {
+				t.Fatalf("event %d: switch outside its reallocation", i)
+			}
+			if ev.GoodputMbps < goodput-1e-9 {
+				t.Errorf("event %d: goodput regressed %.6f -> %.6f",
+					i, goodput, ev.GoodputMbps)
+			}
+			goodput = ev.GoodputMbps
+			if ev.AP == "" || ev.Channel == "" {
+				t.Errorf("event %d: switch without ap/channel: %+v", i, ev)
+			}
+			if ev.Rank < -1e-9 {
+				t.Errorf("event %d: accepted switch with negative rank %v", i, ev.Rank)
+			}
+			if _, ok := ev.Ranks[ev.AP]; !ok {
+				t.Errorf("event %d: winner %s missing from ranks %v", i, ev.AP, ev.Ranks)
+			}
+		case TraceEventEnd:
+			if ev.Realloc != cur {
+				t.Fatalf("event %d: end outside its reallocation", i)
+			}
+			if ev.GoodputMbps < goodput-1e-9 {
+				t.Errorf("event %d: final goodput below last switch", i)
+			}
+			if len(ev.WidthsMHz) == 0 {
+				t.Errorf("event %d: end without width decisions", i)
+			}
+			for ap, w := range ev.WidthsMHz {
+				if w != 20 && w != 40 {
+					t.Errorf("event %d: cell %s has width %d", i, ap, w)
+				}
+			}
+			cur = 0
+		default:
+			t.Errorf("event %d: unknown event %q", i, ev.Event)
+		}
+	}
+	if cur != 0 {
+		t.Error("trace ends with an open reallocation")
+	}
+	if len(reallocs) != 2 {
+		t.Errorf("AutoConfigure should trace 2 reallocations, got %d", len(reallocs))
+	}
+
+	// The same run must also have landed in the metrics registry.
+	found := map[string]obs.MetricSnapshot{}
+	for _, s := range reg.Snapshot() {
+		found[s.Name] = s
+	}
+	if s, ok := found["acorn_core_reallocations_total"]; !ok || *s.Value != 2 {
+		t.Errorf("acorn_core_reallocations_total = %+v, want 2", s)
+	}
+	if s, ok := found["acorn_core_goodput_mbps"]; !ok || *s.Value <= 0 {
+		t.Errorf("acorn_core_goodput_mbps = %+v, want > 0", s)
+	}
+	if _, ok := found["acorn_core_reallocate_seconds"]; !ok {
+		t.Error("missing acorn_core_reallocate_seconds histogram")
+	}
+}
+
+// TestConvergenceTraceGolden locks the exact trace of the fixture run.
+// Regenerate with `go test ./internal/core -run Golden -update`. The
+// comparison is field-wise with a float tolerance so a platform's FMA
+// contraction cannot flake the byte comparison.
+func TestConvergenceTraceGolden(t *testing.T) {
+	data, _ := runTracedAutoConfigure(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenTracePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenTracePath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenTracePath, len(data))
+		return
+	}
+	want, err := os.ReadFile(goldenTracePath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	got, exp := parseTrace(t, data), parseTrace(t, want)
+	if len(got) != len(exp) {
+		t.Fatalf("trace has %d events, golden has %d\ngot:\n%s", len(got), len(exp), data)
+	}
+	for i := range got {
+		if !traceEventsEqual(got[i], exp[i]) {
+			t.Errorf("event %d differs:\ngot  %+v\nwant %+v", i, got[i], exp[i])
+		}
+	}
+}
+
+func traceEventsEqual(a, b TraceEvent) bool {
+	if a.Event != b.Event || a.Realloc != b.Realloc || a.Period != b.Period ||
+		a.AP != b.AP || a.Channel != b.Channel || a.APs != b.APs ||
+		a.Clients != b.Clients || a.Switches != b.Switches || a.Periods != b.Periods {
+		return false
+	}
+	if !floatEq(a.GoodputMbps, b.GoodputMbps) || !floatEq(a.Rank, b.Rank) {
+		return false
+	}
+	if len(a.Ranks) != len(b.Ranks) || len(a.WidthsMHz) != len(b.WidthsMHz) {
+		return false
+	}
+	for k, v := range a.Ranks {
+		if !floatEq(v, b.Ranks[k]) {
+			return false
+		}
+	}
+	for k, v := range a.WidthsMHz {
+		if v != b.WidthsMHz[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func floatEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*(1+math.Abs(a)+math.Abs(b))
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"acorn/internal/obs"
 	"acorn/internal/spectrum"
 )
 
@@ -29,6 +30,9 @@ type AgentOptions struct {
 	// WriteTimeout bounds each outbound write. Zero means
 	// DefaultWriteTimeout; negative disables write deadlines.
 	WriteTimeout time.Duration
+	// Obs receives session metrics (heartbeat RTTs); nil means
+	// obs.Default.
+	Obs *obs.Registry
 }
 
 // Agent is the AP-side endpoint: it says hello, streams reports, and
@@ -42,11 +46,18 @@ type Agent struct {
 	wmu  sync.Mutex
 	seq  uint64 // guarded by wmu; last report sequence stamped
 
+	rttHist *obs.Histogram
+
 	mu      sync.Mutex
 	current spectrum.Channel
 	updates chan spectrum.Channel
 	readErr error
 	done    chan struct{}
+	// Heartbeat RTT bookkeeping: the in-flight ping's seq and send time
+	// (pings are strictly sequential, so one slot suffices).
+	pingSeq uint64
+	pingAt  time.Time
+	lastRTT time.Duration
 }
 
 // Dial connects to the controller and performs the hello exchange with
@@ -79,10 +90,13 @@ func NewAgentOpts(conn net.Conn, hello Hello, opts AgentOptions) (*Agent, error)
 		return nil, fmt.Errorf("ctlnet: agent requires an AP id")
 	}
 	a := &Agent{
-		apID:    hello.APID,
-		conn:    conn,
-		r:       bufio.NewReaderSize(conn, 64<<10),
-		opts:    opts,
+		apID: hello.APID,
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64<<10),
+		opts: opts,
+		rttHist: obs.Or(opts.Obs).Histogram("acorn_ctlnet_heartbeat_rtt_seconds",
+			"agent-measured ping/pong round-trip time",
+			[]float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}),
 		updates: make(chan spectrum.Channel, 1),
 		done:    make(chan struct{}),
 	}
@@ -119,6 +133,10 @@ func (a *Agent) pingLoop(interval time.Duration) {
 			return
 		case <-t.C:
 			seq++
+			a.mu.Lock()
+			a.pingSeq = seq
+			a.pingAt = time.Now()
+			a.mu.Unlock()
 			if err := a.send(&Envelope{Type: TypePing, Ping: &Heartbeat{Seq: seq}}); err != nil {
 				a.conn.Close()
 				return
@@ -159,9 +177,23 @@ func (a *Agent) readLoop() {
 			a.readErr = fmt.Errorf("ctlnet: controller rejected: %s", env.Error.Reason)
 			a.mu.Unlock()
 			return
+		case TypePong:
+			// Match the pong against the in-flight ping to measure the
+			// heartbeat round trip.
+			var rtt time.Duration
+			a.mu.Lock()
+			if env.Pong != nil && env.Pong.Seq == a.pingSeq && !a.pingAt.IsZero() {
+				rtt = time.Since(a.pingAt)
+				a.lastRTT = rtt
+				a.pingAt = time.Time{}
+			}
+			a.mu.Unlock()
+			if rtt > 0 {
+				a.rttHist.Observe(rtt.Seconds())
+			}
 		default:
-			// Pongs (and any future message type) only matter for the
-			// read deadline refresh above.
+			// Any future message type only matters for the read deadline
+			// refresh above.
 		}
 	}
 }
@@ -227,6 +259,14 @@ func (a *Agent) Current() spectrum.Channel {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.current
+}
+
+// LastRTT returns the most recent heartbeat round-trip time (zero before
+// the first pong).
+func (a *Agent) LastRTT() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastRTT
 }
 
 // Err returns the terminal read error, if the session ended.

@@ -126,7 +126,7 @@ func TestReconnectingAgentReplaysAfterRestart(t *testing.T) {
 	ra, err := NewReconnectingAgent(ctx, addr, Hello{APID: "AP1", TxPowerDBm: 18}, ReconnectOptions{
 		Backoff: Backoff{Min: 10 * time.Millisecond, Max: 100 * time.Millisecond},
 		Agent:   AgentOptions{HeartbeatInterval: 20 * time.Millisecond, PeerTimeout: 500 * time.Millisecond},
-		Logf:    t.Logf,
+		Log:     testLogger(t),
 	})
 	if err != nil {
 		t.Fatal(err)

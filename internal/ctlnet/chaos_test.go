@@ -1,8 +1,8 @@
 package ctlnet
 
 import (
+	"bytes"
 	"context"
-	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -10,8 +10,50 @@ import (
 	"time"
 
 	"acorn/internal/faultnet"
+	"acorn/internal/obs"
 	"acorn/internal/spectrum"
 )
+
+// syncBuffer is a mutex-guarded bytes.Buffer so tests can read captured
+// log output while the logger is still writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// testLogger routes obs log lines to the test log.
+func testLogger(t *testing.T) *obs.Logger {
+	return obs.NewLogger(testWriter{t}, obs.LevelDebug)
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+// counterValue reads a counter out of a snapshot by name (0 if absent).
+func counterValue(reg *obs.Registry, name string) uint64 {
+	for _, s := range reg.Snapshot() {
+		if s.Name == name && s.Value != nil {
+			return uint64(*s.Value)
+		}
+	}
+	return 0
+}
 
 // TestChaosConvergence drives a controller plus three reconnecting agents
 // through injected connection resets, delays, and corrupted bytes, then
@@ -31,10 +73,12 @@ func TestChaosConvergence(t *testing.T) {
 		MaxDelay:      2 * time.Millisecond,
 		CorruptProb:   0.03,
 	})
+	reg := obs.NewRegistry()
 	s := NewServer(1)
 	s.HelloTimeout = 300 * time.Millisecond
 	s.PeerTimeout = 500 * time.Millisecond
 	s.WriteTimeout = time.Second
+	s.Obs = reg
 	go func() { _ = s.Serve(inj.WrapListener(l)) }()
 	defer s.Close()
 	addr := l.Addr().String()
@@ -58,6 +102,7 @@ func TestChaosConvergence(t *testing.T) {
 				PeerTimeout:       500 * time.Millisecond,
 				WriteTimeout:      500 * time.Millisecond,
 			},
+			Obs:  reg,
 			Seed: int64(i + 1),
 		})
 		if err != nil {
@@ -112,6 +157,20 @@ func TestChaosConvergence(t *testing.T) {
 	}
 	if st.Resets*5 < st.Conns {
 		t.Fatalf("fewer than 20%% of connections reset: %+v", st)
+	}
+
+	// The reconnect machinery must have surfaced the chaos in its metrics:
+	// every re-established session is a new dial, and the injected resets
+	// guarantee drops beyond the three initial sessions.
+	if n := counterValue(reg, "acorn_ctlnet_dial_attempts_total"); n < 3 {
+		t.Errorf("acorn_ctlnet_dial_attempts_total = %d, want >= 3", n)
+	}
+	if n := counterValue(reg, "acorn_ctlnet_sessions_total"); n < 3 {
+		t.Errorf("acorn_ctlnet_sessions_total = %d, want >= 3", n)
+	}
+	if counterValue(reg, "acorn_ctlnet_session_drops_total")+
+		counterValue(reg, "acorn_ctlnet_dial_failures_total") == 0 {
+		t.Error("chaos produced no session drops and no dial failures")
 	}
 
 	// Calm the network and require convergence.
@@ -172,23 +231,14 @@ func quarantineServer(t *testing.T, ttl time.Duration) (*Server, string, func() 
 	if err != nil {
 		t.Fatal(err)
 	}
-	var mu sync.Mutex
-	var logbuf []string
+	var buf syncBuffer
 	s := NewServer(1)
 	s.ReportTTL = ttl
-	s.Logf = func(format string, args ...any) {
-		mu.Lock()
-		logbuf = append(logbuf, fmt.Sprintf(format, args...))
-		mu.Unlock()
-	}
+	s.Log = obs.NewLogger(&buf, obs.LevelDebug)
+	s.Obs = obs.NewRegistry()
 	go func() { _ = s.Serve(l) }()
 	t.Cleanup(func() { _ = s.Close() })
-	logs := func() string {
-		mu.Lock()
-		defer mu.Unlock()
-		return strings.Join(logbuf, "\n")
-	}
-	return s, l.Addr().String(), logs
+	return s, l.Addr().String(), buf.String
 }
 
 // TestReallocateQuarantinesStaleReports lets one agent go silent past the
@@ -234,6 +284,9 @@ func TestReallocateQuarantinesStaleReports(t *testing.T) {
 	}
 	if got := logs(); !strings.Contains(got, "quarantin") || !strings.Contains(got, "AP3") {
 		t.Errorf("quarantine of AP3 not logged; log:\n%s", got)
+	}
+	if n := counterValue(s.Obs, "acorn_ctlnet_reports_quarantined_total"); n == 0 {
+		t.Error("acorn_ctlnet_reports_quarantined_total did not advance")
 	}
 
 	// With every report stale there is no fresh view left: refuse.

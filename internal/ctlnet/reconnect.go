@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"acorn/internal/obs"
 	"acorn/internal/spectrum"
 )
 
@@ -74,8 +75,13 @@ type ReconnectOptions struct {
 	// Dial, when non-nil, replaces net.Dial (tests inject faulty
 	// transports here). It must honor ctx cancellation.
 	Dial func(ctx context.Context, addr string) (net.Conn, error)
-	// Logf, when non-nil, receives diagnostic lines.
-	Logf func(format string, args ...any)
+	// Log, when non-nil, receives leveled diagnostic lines (retries at
+	// warn level).
+	Log *obs.Logger
+	// Obs receives supervisor metrics (dial attempts, failures, sessions,
+	// per-AP liveness); nil means obs.Default. Also forwarded to the
+	// underlying agent sessions when Agent.Obs is unset.
+	Obs *obs.Registry
 	// Seed drives the backoff jitter; zero seeds from the AP id so
 	// distinct APs still spread out.
 	Seed int64
@@ -122,10 +128,29 @@ func NewReconnectingAgent(ctx context.Context, addr string, hello Hello, opts Re
 
 func (ra *ReconnectingAgent) run(ctx context.Context, addr string, hello Hello, opts ReconnectOptions) {
 	defer close(ra.done)
-	logf := opts.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	log := opts.Log
+	if log == nil {
+		log = obs.Nop
 	}
+	log = log.With("ap", ra.apID)
+	reg := obs.Or(opts.Obs)
+	if opts.Agent.Obs == nil {
+		opts.Agent.Obs = opts.Obs
+	}
+	var (
+		dialAttempts = reg.Counter("acorn_ctlnet_dial_attempts_total",
+			"controller connection attempts by reconnecting agents")
+		dialFailures = reg.Counter("acorn_ctlnet_dial_failures_total",
+			"failed controller connection attempts (dial or hello)")
+		sessions = reg.Counter("acorn_ctlnet_sessions_total",
+			"agent sessions successfully established")
+		sessionDrops = reg.Counter("acorn_ctlnet_session_drops_total",
+			"established agent sessions that ended with an error")
+		agentUp = reg.GaugeVec("acorn_ctlnet_agent_up",
+			"1 while this AP's agent holds a live controller session", "ap").
+			With(ra.apID)
+	)
+	agentUp.Set(0)
 	dial := opts.Dial
 	if dial == nil {
 		dial = func(ctx context.Context, addr string) (net.Conn, error) {
@@ -143,10 +168,12 @@ func (ra *ReconnectingAgent) run(ctx context.Context, addr string, hello Hello, 
 	bo := opts.Backoff.withDefaults()
 	delay := bo.Min
 	for ctx.Err() == nil {
+		dialAttempts.Inc()
 		conn, err := dial(ctx, addr)
 		if err != nil {
+			dialFailures.Inc()
 			ra.setErr(err)
-			logf("reconnect %s: dial: %v (retry in %v)", ra.apID, err, delay)
+			log.Warnf("reconnect dial: %v (retry in %v)", err, delay)
 			if !sleepCtx(ctx, bo.jittered(delay, rng)) {
 				return
 			}
@@ -155,8 +182,9 @@ func (ra *ReconnectingAgent) run(ctx context.Context, addr string, hello Hello, 
 		}
 		ag, err := NewAgentOpts(conn, hello, opts.Agent)
 		if err != nil {
+			dialFailures.Inc()
 			ra.setErr(err)
-			logf("reconnect %s: hello: %v (retry in %v)", ra.apID, err, delay)
+			log.Warnf("reconnect hello: %v (retry in %v)", err, delay)
 			if !sleepCtx(ctx, bo.jittered(delay, rng)) {
 				return
 			}
@@ -164,6 +192,9 @@ func (ra *ReconnectingAgent) run(ctx context.Context, addr string, hello Hello, 
 			continue
 		}
 		delay = bo.Min
+		sessions.Inc()
+		agentUp.Set(1)
+		log.Infof("session established")
 
 		ra.mu.Lock()
 		ra.cur = ag
@@ -174,7 +205,7 @@ func (ra *ReconnectingAgent) run(ctx context.Context, addr string, hello Hello, 
 			// Replay keeps its original Seq: the controller treats an
 			// equal sequence as current, never as a rollback.
 			if err := ag.SendReport(*replay); err != nil {
-				logf("reconnect %s: replay: %v", ra.apID, err)
+				log.Warnf("reconnect replay: %v", err)
 			}
 		}
 
@@ -200,11 +231,13 @@ func (ra *ReconnectingAgent) run(ctx context.Context, addr string, hello Hello, 
 		ra.cur = nil
 		ra.mu.Unlock()
 		ag.Close()
+		agentUp.Set(0)
 		if ctx.Err() != nil {
 			return
 		}
+		sessionDrops.Inc()
 		ra.setErr(ag.Err())
-		logf("reconnect %s: session ended: %v (retry in %v)", ra.apID, ag.Err(), delay)
+		log.Warnf("session ended: %v (retry in %v)", ag.Err(), delay)
 		if !sleepCtx(ctx, bo.jittered(delay, rng)) {
 			return
 		}

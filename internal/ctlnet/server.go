@@ -4,13 +4,13 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"sort"
 	"sync"
 	"time"
 
 	"acorn/internal/core"
+	"acorn/internal/obs"
 	"acorn/internal/rf"
 	"acorn/internal/spectrum"
 	"acorn/internal/stats"
@@ -38,8 +38,12 @@ const (
 type Server struct {
 	// Seed drives the allocation's random initial coloring.
 	Seed int64
-	// Logf, when non-nil, receives diagnostic lines.
-	Logf func(format string, args ...any)
+	// Log, when non-nil, receives leveled diagnostic lines (connects and
+	// disconnects at info, protocol trouble and quarantines at warn).
+	Log *obs.Logger
+	// Obs receives control-plane metrics; nil means obs.Default. Set it
+	// before Serve — the metric handles bind lazily on first use.
+	Obs *obs.Registry
 
 	// HelloTimeout bounds how long an accepted connection may sit silent
 	// before the hello arrives. Zero means DefaultHelloTimeout; negative
@@ -60,15 +64,104 @@ type Server struct {
 	// aging.
 	ReportTTL time.Duration
 
-	mu      sync.Mutex
-	agents  map[string]*agentConn // by AP ID
-	reports map[string]storedReport
-	hellos  map[string]Hello
-	assign  map[string]spectrum.Channel
+	mu          sync.Mutex
+	agents      map[string]*agentConn // by AP ID
+	reports     map[string]storedReport
+	hellos      map[string]Hello
+	assign      map[string]spectrum.Channel
+	lastRealloc time.Time // last successful Reallocate
+
+	metricsOnce sync.Once
+	metrics     *serverMetrics
 
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   bool
+}
+
+// serverMetrics bundles the controller's metric handles, bound once
+// against the server's registry so hot paths touch only atomics.
+type serverMetrics struct {
+	reg             *obs.Registry
+	agentsConnected *obs.Gauge
+	agentConnected  *obs.GaugeVec
+	helloRejects    *obs.Counter
+	heartbeats      *obs.Counter
+	reportsTotal    *obs.Counter
+	reportsStale    *obs.Counter
+	quarantined     *obs.Counter
+	reallocs        *obs.Counter
+	reallocSkipped  *obs.Counter
+	pushes          *obs.Counter
+	pushErrors      *obs.Counter
+}
+
+// m returns the lazily bound metric handles.
+func (s *Server) m() *serverMetrics {
+	s.metricsOnce.Do(func() {
+		reg := obs.Or(s.Obs)
+		s.metrics = &serverMetrics{
+			reg: reg,
+			agentsConnected: reg.Gauge("acorn_ctlnet_agents_connected",
+				"agent sessions currently established"),
+			agentConnected: reg.GaugeVec("acorn_ctlnet_agent_connected",
+				"per-AP session liveness (1 connected, 0 not)", "ap"),
+			helloRejects: reg.Counter("acorn_ctlnet_hello_rejects_total",
+				"connections rejected before or at hello"),
+			heartbeats: reg.Counter("acorn_ctlnet_heartbeats_total",
+				"ping heartbeats received from agents"),
+			reportsTotal: reg.Counter("acorn_ctlnet_reports_total",
+				"measurement reports accepted"),
+			reportsStale: reg.Counter("acorn_ctlnet_reports_stale_total",
+				"reports dropped for an out-of-order sequence"),
+			quarantined: reg.Counter("acorn_ctlnet_reports_quarantined_total",
+				"stale reports quarantined past the TTL at reallocation"),
+			reallocs: reg.Counter("acorn_ctlnet_reallocations_total",
+				"networked reallocations completed"),
+			reallocSkipped: reg.Counter("acorn_ctlnet_reallocations_skipped_total",
+				"reallocations refused (no agents or all reports stale)"),
+			pushes: reg.Counter("acorn_ctlnet_assignment_pushes_total",
+				"assignment pushes attempted"),
+			pushErrors: reg.Counter("acorn_ctlnet_assignment_push_errors_total",
+				"assignment pushes that failed"),
+		}
+		reg.GaugeFunc("acorn_ctlnet_last_reallocation_age_seconds",
+			"seconds since the last successful reallocation (-1 before the first)",
+			func() float64 {
+				if at, ok := s.LastReallocation(); ok {
+					return time.Since(at).Seconds()
+				}
+				return -1
+			})
+	})
+	return s.metrics
+}
+
+// ConnectedAgents returns the AP IDs with a live session, sorted.
+func (s *Server) ConnectedAgents() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.agents))
+	for id := range s.agents {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// KnownAgents returns how many APs have ever said hello (their last-known-
+// good views survive disconnects).
+func (s *Server) KnownAgents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.hellos)
+}
+
+// LastReallocation returns when the last successful Reallocate finished.
+func (s *Server) LastReallocation() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastRealloc, !s.lastRealloc.IsZero()
 }
 
 type agentConn struct {
@@ -105,10 +198,12 @@ func timeout(configured, def time.Duration) time.Duration {
 	return configured
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.Logf != nil {
-		s.Logf(format, args...)
+// log returns the configured logger, or a silent one.
+func (s *Server) log() *obs.Logger {
+	if s.Log != nil {
+		return s.Log
 	}
+	return obs.Nop
 }
 
 // Serve accepts connections on l until the listener is closed. It returns
@@ -161,8 +256,10 @@ func (s *Server) handle(conn net.Conn) {
 		_ = conn.SetReadDeadline(time.Now().Add(d))
 	}
 	r := bufio.NewReaderSize(conn, 64<<10)
+	m := s.m()
 	env, err := readMsg(r)
 	if err != nil {
+		m.helloRejects.Inc()
 		if errors.Is(err, errMalformed) {
 			s.reject(conn, err.Error())
 		} else {
@@ -171,11 +268,13 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	if env.Type != TypeHello {
+		m.helloRejects.Inc()
 		s.reject(conn, "expected hello")
 		return
 	}
 	hello := *env.Hello
 	if hello.APID == "" {
+		m.helloRejects.Inc()
 		s.reject(conn, "empty AP id")
 		return
 	}
@@ -187,13 +286,16 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	if _, dup := s.agents[hello.APID]; dup {
 		s.mu.Unlock()
+		m.helloRejects.Inc()
 		s.reject(conn, "duplicate AP id")
 		return
 	}
 	s.agents[hello.APID] = ac
 	s.hellos[hello.APID] = hello
 	s.mu.Unlock()
-	s.logf("agent %s connected from %v", hello.APID, conn.RemoteAddr())
+	m.agentsConnected.Inc()
+	m.agentConnected.With(hello.APID).Set(1)
+	s.log().Info("agent connected", "ap", hello.APID, "addr", conn.RemoteAddr())
 
 	// Only the live connection is forgotten on exit: the hello and last
 	// report stay behind as the AP's last-known-good view.
@@ -201,7 +303,9 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.agents, hello.APID)
 		s.mu.Unlock()
-		s.logf("agent %s disconnected", hello.APID)
+		m.agentsConnected.Dec()
+		m.agentConnected.With(hello.APID).Set(0)
+		s.log().Info("agent disconnected", "ap", hello.APID)
 	}()
 
 	// If an assignment already exists (reconnect), replay it.
@@ -224,14 +328,15 @@ func (s *Server) handle(conn net.Conn) {
 				s.reject(conn, err.Error())
 			}
 			if !errors.Is(err, net.ErrClosed) {
-				s.logf("agent %s: %v", hello.APID, err)
+				s.log().Warn("agent session error", "ap", hello.APID, "err", err)
 			}
 			return
 		}
 		switch env.Type {
 		case TypePing:
+			m.heartbeats.Inc()
 			if err := s.send(ac, &Envelope{Type: TypePong, Pong: &Heartbeat{Seq: env.Ping.Seq}}); err != nil {
-				s.logf("agent %s: pong: %v", hello.APID, err)
+				s.log().Warn("pong failed", "ap", hello.APID, "err", err)
 				return
 			}
 		case TypeReport:
@@ -243,11 +348,14 @@ func (s *Server) handle(conn net.Conn) {
 			s.mu.Lock()
 			if prev, ok := s.reports[hello.APID]; ok && rep.Seq != 0 && rep.Seq < prev.rep.Seq {
 				s.mu.Unlock()
-				s.logf("agent %s: ignoring stale report seq %d < %d", hello.APID, rep.Seq, prev.rep.Seq)
+				m.reportsStale.Inc()
+				s.log().Warn("ignoring stale report", "ap", hello.APID,
+					"seq", rep.Seq, "have", prev.rep.Seq)
 				continue
 			}
 			s.reports[hello.APID] = storedReport{rep: rep, recv: time.Now()}
 			s.mu.Unlock()
+			m.reportsTotal.Inc()
 		default:
 			s.reject(conn, "unexpected message")
 			return
@@ -274,6 +382,8 @@ func (s *Server) send(ac *agentConn, env *Envelope) error {
 
 // push sends an assignment to one agent.
 func (s *Server) push(ac *agentConn, apID string, ch spectrum.Channel) {
+	m := s.m()
+	m.pushes.Inc()
 	msg := &Envelope{Type: TypeAssign, Assign: &Assign{
 		APID:      apID,
 		WidthMHz:  int(ch.Width),
@@ -281,7 +391,8 @@ func (s *Server) push(ac *agentConn, apID string, ch spectrum.Channel) {
 		Secondary: int(ch.Secondary),
 	}}
 	if err := s.send(ac, msg); err != nil {
-		s.logf("push to %s: %v", apID, err)
+		m.pushErrors.Inc()
+		s.log().Warn("assignment push failed", "ap", apID, "err", err)
 	}
 }
 
@@ -295,6 +406,9 @@ func (s *Server) push(ac *agentConn, apID string, ch spectrum.Channel) {
 // gracefully through short silences. Only when every report is stale does
 // Reallocate refuse to act, since the whole view would then be fiction.
 func (s *Server) Reallocate() (map[string]spectrum.Channel, error) {
+	m := s.m()
+	span := m.reg.Histogram("acorn_ctlnet_reallocate_seconds",
+		"wall time of one networked reallocation (view build + search + push)", nil).Start()
 	s.mu.Lock()
 	hellos := make(map[string]Hello, len(s.hellos))
 	for k, v := range s.hellos {
@@ -314,14 +428,17 @@ func (s *Server) Reallocate() (map[string]spectrum.Channel, error) {
 	}
 	s.mu.Unlock()
 	if len(hellos) == 0 {
+		m.reallocSkipped.Inc()
 		return nil, fmt.Errorf("ctlnet: no agents known")
 	}
 	if len(quarantined) > 0 {
 		sort.Strings(quarantined)
-		s.logf("reallocate: quarantined %d stale report(s) past TTL %v, using last-known-good: %v",
-			len(quarantined), s.ReportTTL, quarantined)
+		m.quarantined.Add(uint64(len(quarantined)))
+		s.log().Warn("quarantined stale reports, using last-known-good",
+			"count", len(quarantined), "ttl", s.ReportTTL, "aps", quarantined)
 	}
 	if len(reports) > 0 && fresh == 0 {
+		m.reallocSkipped.Inc()
 		return nil, fmt.Errorf("ctlnet: refusing to reallocate: all %d reports stale (TTL %v)",
 			len(reports), s.ReportTTL)
 	}
@@ -339,7 +456,7 @@ func (s *Server) Reallocate() (map[string]spectrum.Channel, error) {
 	}
 	s.mu.Unlock()
 	est := core.NewEstimator(n)
-	alloc, _ := core.AllocateChannels(n, cfg, est, core.AllocOptions{})
+	alloc, allocStats := core.AllocateChannels(n, cfg, est, core.AllocOptions{})
 
 	out := make(map[string]spectrum.Channel, len(alloc.Channels))
 	s.mu.Lock()
@@ -351,12 +468,16 @@ func (s *Server) Reallocate() (map[string]spectrum.Channel, error) {
 	for id, ac := range s.agents {
 		conns[id] = ac
 	}
+	s.lastRealloc = time.Now()
 	s.mu.Unlock()
 	for apID, ac := range conns {
 		if ch, ok := out[apID]; ok {
 			s.push(ac, apID, ch)
 		}
 	}
+	m.reallocs.Inc()
+	core.RecordAllocMetrics(m.reg, allocStats, alloc)
+	span.End()
 	return out, nil
 }
 
@@ -438,6 +559,6 @@ func ListenAndServe(addr string, s *Server) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("acorn controller listening on %v", l.Addr())
+	s.log().Info("acorn controller listening", "addr", l.Addr())
 	return s.Serve(l)
 }

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// CheckResult is one health check's verdict.
+type CheckResult struct {
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// OK is a passing CheckResult with an optional detail string.
+func OK(detail string) CheckResult { return CheckResult{OK: true, Detail: detail} }
+
+// Bad is a failing CheckResult.
+func Bad(detail string) CheckResult { return CheckResult{OK: false, Detail: detail} }
+
+// Health is a named set of liveness checks evaluated on every /healthz
+// request. Checks must be safe for concurrent use and fast (they run
+// inline in the HTTP handler).
+type Health struct {
+	mu     sync.Mutex
+	checks map[string]func() CheckResult
+}
+
+// NewHealth returns an empty check set (which reports healthy).
+func NewHealth() *Health {
+	return &Health{checks: map[string]func() CheckResult{}}
+}
+
+// Register adds or replaces a named check.
+func (h *Health) Register(name string, fn func() CheckResult) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.checks[name] = fn
+}
+
+// Run evaluates every check and reports whether all passed.
+func (h *Health) Run() (map[string]CheckResult, bool) {
+	h.mu.Lock()
+	names := make([]string, 0, len(h.checks))
+	fns := make(map[string]func() CheckResult, len(h.checks))
+	for name, fn := range h.checks {
+		names = append(names, name)
+		fns[name] = fn
+	}
+	h.mu.Unlock()
+	sort.Strings(names)
+	out := make(map[string]CheckResult, len(names))
+	allOK := true
+	for _, name := range names {
+		res := fns[name]()
+		out[name] = res
+		allOK = allOK && res.OK
+	}
+	return out, allOK
+}

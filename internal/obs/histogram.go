@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefSecondsBuckets is the default bucket layout for duration histograms:
+// 100µs to ~100s in half-decade steps, covering everything from a shard of
+// Monte-Carlo packets to a full channel reallocation.
+var DefSecondsBuckets = []float64{
+	0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100,
+}
+
+// ExpBuckets returns n bucket bounds growing geometrically from start by
+// factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	bounds := make([]float64, n)
+	for i := range bounds {
+		bounds[i] = start
+		start *= factor
+	}
+	return bounds
+}
+
+// Histogram counts observations into fixed buckets and tracks their count
+// and sum; Observe is a few atomic ops and never allocates.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; +Inf bucket is implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefSecondsBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+func (h *Histogram) metricKind() string { return "histogram" }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket counts are small (≤ ~15) and the slice is hot in
+	// cache, so this beats a branchy binary search in practice.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) time.Duration {
+	d := time.Since(t0)
+	h.Observe(d.Seconds())
+	return d
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// snapshot returns cumulative bucket counts aligned with bounds plus +Inf.
+func (h *Histogram) snapshot() (bounds []float64, cumulative []uint64, count uint64, sum float64) {
+	cumulative = make([]uint64, len(h.counts))
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cumulative[i] = acc
+	}
+	return h.bounds, cumulative, h.count.Load(), h.Sum()
+}
+
+// Span is a lightweight in-flight timing: Start captures the clock, End
+// observes the elapsed seconds into the histogram. It is a value type, so
+// timing a region costs no allocation:
+//
+//	defer reg.Histogram("x_seconds", "...", nil).Start().End()
+type Span struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// Start begins a span against this histogram.
+func (h *Histogram) Start() Span { return Span{h: h, t0: time.Now()} }
+
+// End observes the elapsed time and returns it.
+func (s Span) End() time.Duration { return s.h.ObserveSince(s.t0) }

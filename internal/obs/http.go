@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// ServerOptions configures the introspection endpoints.
+type ServerOptions struct {
+	// Registry backs /metrics and /debug/vars; nil means Default.
+	Registry *Registry
+	// Health backs /healthz; nil means an empty (always healthy) set.
+	Health *Health
+	// Log receives server lifecycle lines; nil means Nop.
+	Log *Logger
+}
+
+func (o ServerOptions) registry() *Registry {
+	if o.Registry != nil {
+		return o.Registry
+	}
+	return Default
+}
+
+func (o ServerOptions) health() *Health {
+	if o.Health != nil {
+		return o.Health
+	}
+	return NewHealth()
+}
+
+func (o ServerOptions) log() *Logger {
+	if o.Log != nil {
+		return o.Log
+	}
+	return Nop
+}
+
+// NewHandler builds the introspection mux: Prometheus-text /metrics, JSON
+// /healthz (503 when any check fails), JSON /debug/vars (metrics snapshot
+// plus runtime stats), and the net/http/pprof suite under /debug/pprof/.
+func NewHandler(opts ServerOptions) http.Handler {
+	reg, health := opts.registry(), opts.health()
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		checks, ok := health.Run()
+		status := "ok"
+		code := http.StatusOK
+		if !ok {
+			status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{"status": status, "checks": checks})
+	})
+
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{
+			"metrics": reg.Snapshot(),
+			"runtime": map[string]any{
+				"goroutines":     runtime.NumGoroutine(),
+				"heap_alloc":     ms.HeapAlloc,
+				"heap_sys":       ms.HeapSys,
+				"total_alloc":    ms.TotalAlloc,
+				"num_gc":         ms.NumGC,
+				"gc_pause_total": time.Duration(ms.PauseTotalNs).String(),
+				"go_version":     runtime.Version(),
+			},
+		})
+	})
+
+	// pprof on our own mux (the package's init only touches
+	// http.DefaultServeMux, which we deliberately do not serve).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("acorn introspection\n\n/metrics\n/healthz\n/debug/vars\n/debug/pprof/\n"))
+	})
+	return mux
+}
+
+// IntrospectionServer is a running obs HTTP server with a graceful,
+// goroutine-leak-free shutdown.
+type IntrospectionServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	log  *Logger
+	done chan struct{}
+	err  error
+}
+
+// Serve binds addr and serves the introspection endpoints in a background
+// goroutine. It returns once the listener is bound, so the caller can
+// immediately advertise Addr().
+func Serve(addr string, opts ServerOptions) (*IntrospectionServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &IntrospectionServer{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           NewHandler(opts),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+		log:  opts.log(),
+		done: make(chan struct{}),
+	}
+	s.log.Info("obs: introspection server listening", "addr", ln.Addr())
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.err = err
+			s.log.Error("obs: introspection server failed", "err", err)
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *IntrospectionServer) Addr() string { return s.ln.Addr().String() }
+
+// Close gracefully drains in-flight requests (bounded by timeout, 5s if
+// zero), then waits for the serve goroutine so no goroutine outlives the
+// call.
+func (s *IntrospectionServer) Close(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Drain timed out or shutdown failed: drop remaining connections.
+		_ = s.srv.Close()
+	}
+	<-s.done
+	if s.err != nil {
+		return s.err
+	}
+	return err
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count returns to the bracket
+// taken before the test, with small slack for runtime housekeeping.
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestIntrospectionEndpoints boots a server on a random port and exercises
+// every endpoint, then verifies Close leaves no goroutines behind.
+func TestIntrospectionEndpoints(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	reg := NewRegistry()
+	reg.Counter("acorn_test_events_total", "events").Add(5)
+	health := NewHealth()
+	health.Register("always", func() CheckResult { return OK("fine") })
+
+	s, err := Serve("127.0.0.1:0", ServerOptions{Registry: reg, Health: health})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr()
+
+	if code, body := get(t, base+"/metrics"); code != 200 ||
+		!strings.Contains(body, "acorn_test_events_total 5") {
+		t.Errorf("/metrics: code=%d body=%q", code, body)
+	}
+	code, body := get(t, base+"/healthz")
+	if code != 200 {
+		t.Errorf("/healthz code = %d", code)
+	}
+	var hz struct {
+		Status string                 `json:"status"`
+		Checks map[string]CheckResult `json:"checks"`
+	}
+	if err := json.Unmarshal([]byte(body), &hz); err != nil || hz.Status != "ok" || !hz.Checks["always"].OK {
+		t.Errorf("/healthz body = %q (err %v)", body, err)
+	}
+	if code, body := get(t, base+"/debug/vars"); code != 200 ||
+		!strings.Contains(body, `"acorn_test_events_total"`) ||
+		!strings.Contains(body, `"goroutines"`) {
+		t.Errorf("/debug/vars: code=%d body=%q", code, body)
+	}
+	if code, body := get(t, base+"/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline: code=%d", code)
+	}
+	if code, _ := get(t, base+"/nope"); code != 404 {
+		t.Errorf("unknown path code = %d, want 404", code)
+	}
+
+	// A failing check must flip /healthz to 503/degraded.
+	health.Register("broken", func() CheckResult { return Bad("boom") })
+	if code, body := get(t, base+"/healthz"); code != 503 || !strings.Contains(body, "degraded") {
+		t.Errorf("degraded /healthz: code=%d body=%q", code, body)
+	}
+
+	if err := s.Close(time.Second); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	// Idle HTTP keep-alive connections from http.Get are owned by the
+	// default transport; drop them so the leak check sees only our side.
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	waitGoroutines(t, before)
+}
+
+// TestGracefulShutdown verifies Close drains an in-flight request instead
+// of resetting it, and that repeated requests after Close fail.
+func TestGracefulShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	reg := NewRegistry()
+	health := NewHealth()
+	slow := make(chan struct{})
+	health.Register("slow", func() CheckResult {
+		<-slow
+		return OK("done")
+	})
+	s, err := Serve("127.0.0.1:0", ServerOptions{Registry: reg, Health: health})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr()
+
+	type result struct {
+		code int
+		err  error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			inflight <- result{0, err}
+			return
+		}
+		defer resp.Body.Close()
+		_, _ = io.ReadAll(resp.Body)
+		inflight <- result{resp.StatusCode, nil}
+	}()
+	// Let the request reach the blocking check, then shut down while it is
+	// in flight.
+	time.Sleep(100 * time.Millisecond)
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close(5 * time.Second) }()
+	time.Sleep(100 * time.Millisecond)
+	close(slow) // unblock the handler; graceful shutdown should drain it
+
+	if res := <-inflight; res.err != nil || res.code != 200 {
+		t.Errorf("in-flight request not drained: %+v", res)
+	}
+	if err := <-closed; err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still accepting connections after Close")
+	}
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	waitGoroutines(t, before)
+}
+
+// TestServeBadAddr covers the bind-failure path.
+func TestServeBadAddr(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", ServerOptions{Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(time.Second)
+	if _, err := Serve(s.Addr(), ServerOptions{Registry: NewRegistry()}); err == nil {
+		t.Error("second bind on the same address should fail")
+	}
+	// Sanity: Addr is host:port.
+	if !strings.Contains(s.Addr(), ":") {
+		t.Errorf("odd addr %q", s.Addr())
+	}
+	_ = fmt.Sprintf("%v", s.Addr())
+}

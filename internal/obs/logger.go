@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	// LevelOff suppresses all output.
+	LevelOff
+)
+
+// String returns the level's canonical lower-case name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	case LevelOff:
+		return "off"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel converts a -log-level flag value into a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	case "off", "none":
+		return LevelOff, nil
+	default:
+		return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error|off)", s)
+	}
+}
+
+// Logger is a leveled structured logger writing key=value lines to one
+// sink. Named children share the parent's sink and level, so one
+// -log-level flag governs a whole process. The zero-cost path matters:
+// a suppressed call is one atomic load and returns before formatting.
+type Logger struct {
+	s     *logSink
+	attrs string // preformatted " key=value" suffix
+}
+
+type logSink struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level atomic.Int32
+	now   func() time.Time // injectable for tests
+}
+
+// NewLogger returns a logger writing to w at the given level.
+func NewLogger(w io.Writer, level Level) *Logger {
+	s := &logSink{w: w, now: time.Now}
+	s.level.Store(int32(level))
+	return &Logger{s: s}
+}
+
+// DefaultLogger is the process-wide logger (stderr, info). Binaries
+// typically re-level it from a -log-level flag.
+var DefaultLogger = NewLogger(os.Stderr, LevelInfo)
+
+// Nop discards everything.
+var Nop = NewLogger(io.Discard, LevelOff)
+
+// SetLevel changes the threshold (shared with Named children).
+func (l *Logger) SetLevel(level Level) { l.s.level.Store(int32(level)) }
+
+// Level returns the current threshold.
+func (l *Logger) Level() Level { return Level(l.s.level.Load()) }
+
+// Enabled reports whether a message at level would be emitted.
+func (l *Logger) Enabled(level Level) bool {
+	return level >= Level(l.s.level.Load()) && Level(l.s.level.Load()) != LevelOff
+}
+
+// Named returns a child logger whose lines carry component=name. Children
+// share the parent's sink and level.
+func (l *Logger) Named(name string) *Logger {
+	return &Logger{s: l.s, attrs: l.attrs + " component=" + name}
+}
+
+// With returns a child logger whose lines carry the given key=value pairs.
+func (l *Logger) With(kv ...any) *Logger {
+	return &Logger{s: l.s, attrs: l.attrs + formatKV(kv)}
+}
+
+// Log emits one line at the given level: the message, then the logger's
+// bound attributes, then the trailing key=value pairs.
+func (l *Logger) Log(level Level, msg string, kv ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	line := fmt.Sprintf("%s %-5s %s%s%s\n",
+		l.s.now().Format("2006/01/02 15:04:05"),
+		strings.ToUpper(level.String()), msg, l.attrs, formatKV(kv))
+	l.s.mu.Lock()
+	defer l.s.mu.Unlock()
+	_, _ = io.WriteString(l.s.w, line)
+}
+
+// Logf emits one printf-formatted line at the given level.
+func (l *Logger) Logf(level Level, format string, args ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	l.Log(level, fmt.Sprintf(format, args...))
+}
+
+// Debugf, Infof, Warnf and Errorf are printf-style conveniences.
+func (l *Logger) Debugf(format string, args ...any) { l.Logf(LevelDebug, format, args...) }
+func (l *Logger) Infof(format string, args ...any)  { l.Logf(LevelInfo, format, args...) }
+func (l *Logger) Warnf(format string, args ...any)  { l.Logf(LevelWarn, format, args...) }
+func (l *Logger) Errorf(format string, args ...any) { l.Logf(LevelError, format, args...) }
+
+// Debug, Info, Warn and Error are the structured (key=value) conveniences.
+func (l *Logger) Debug(msg string, kv ...any) { l.Log(LevelDebug, msg, kv...) }
+func (l *Logger) Info(msg string, kv ...any)  { l.Log(LevelInfo, msg, kv...) }
+func (l *Logger) Warn(msg string, kv ...any)  { l.Log(LevelWarn, msg, kv...) }
+func (l *Logger) Error(msg string, kv ...any) { l.Log(LevelError, msg, kv...) }
+
+// Fatalf logs at error level and exits the process. For command mains.
+func (l *Logger) Fatalf(format string, args ...any) {
+	l.Logf(LevelError, format, args...)
+	osExit(1)
+}
+
+// osExit is swappable so tests can cover Fatalf.
+var osExit = os.Exit
+
+// Printf adapts a logger to the legacy `func(format, args...)` hook shape
+// at a fixed level.
+func (l *Logger) Printf(level Level) func(format string, args ...any) {
+	return func(format string, args ...any) { l.Logf(level, format, args...) }
+}
+
+// formatKV renders alternating key, value pairs as " k=v" text. Values
+// containing spaces or quotes are quoted; a trailing odd key gets the
+// value "(MISSING)".
+func formatKV(kv []any) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		v := any("(MISSING)")
+		if i+1 < len(kv) {
+			v = kv[i+1]
+		}
+		fmt.Fprintf(&b, " %v=%s", kv[i], formatValue(v))
+	}
+	return b.String()
+}
+
+func formatValue(v any) string {
+	s := fmt.Sprintf("%v", v)
+	if strings.ContainsAny(s, " \t\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	if s == "" {
+		return `""`
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a mutex-guarded string sink (the logger serializes writes,
+// but tests also read concurrently).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func testLogger(level Level) (*Logger, *syncBuffer) {
+	buf := &syncBuffer{}
+	l := NewLogger(buf, level)
+	l.s.now = func() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC) }
+	return l, buf
+}
+
+func TestLevelFiltering(t *testing.T) {
+	l, buf := testLogger(LevelWarn)
+	l.Debugf("d")
+	l.Infof("i")
+	l.Warnf("w %d", 1)
+	l.Errorf("e")
+	out := buf.String()
+	if strings.Contains(out, "INFO") || strings.Contains(out, "DEBUG") {
+		t.Errorf("suppressed levels leaked: %q", out)
+	}
+	if !strings.Contains(out, "WARN  w 1") || !strings.Contains(out, "ERROR e") {
+		t.Errorf("missing lines: %q", out)
+	}
+	l.SetLevel(LevelDebug)
+	l.Debugf("now visible")
+	if !strings.Contains(buf.String(), "now visible") {
+		t.Error("SetLevel did not take effect")
+	}
+}
+
+func TestStructuredKV(t *testing.T) {
+	l, buf := testLogger(LevelInfo)
+	l.Info("agent connected", "ap", "AP1", "addr", "10.0.0.1:99", "detail", "two words")
+	line := buf.String()
+	for _, want := range []string{
+		"2026/08/05 12:00:00 INFO  agent connected",
+		"ap=AP1",
+		"addr=10.0.0.1:99",
+		`detail="two words"`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("missing %q in %q", want, line)
+		}
+	}
+	l.Info("odd", "key")
+	if !strings.Contains(buf.String(), "key=(MISSING)") {
+		t.Errorf("odd kv not flagged: %q", buf.String())
+	}
+}
+
+func TestNamedAndWith(t *testing.T) {
+	l, buf := testLogger(LevelInfo)
+	child := l.Named("ctlnet").With("ap", "AP2")
+	child.Warnf("quarantined")
+	line := buf.String()
+	if !strings.Contains(line, "component=ctlnet") || !strings.Contains(line, "ap=AP2") {
+		t.Errorf("child attrs missing: %q", line)
+	}
+	// Children share the parent's level.
+	l.SetLevel(LevelOff)
+	child.Errorf("dropped")
+	if strings.Contains(buf.String(), "dropped") {
+		t.Error("child ignored shared level")
+	}
+}
+
+func TestPrintfAdapter(t *testing.T) {
+	l, buf := testLogger(LevelInfo)
+	f := l.Printf(LevelInfo)
+	f("legacy %s", "hook")
+	if !strings.Contains(buf.String(), "legacy hook") {
+		t.Errorf("adapter lost the line: %q", buf.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "Warn": LevelWarn,
+		"warning": LevelWarn, "ERROR": LevelError, "off": LevelOff, "": LevelInfo,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("bad level should error")
+	}
+}
+
+func TestFatalfExits(t *testing.T) {
+	l, buf := testLogger(LevelInfo)
+	exited := 0
+	old := osExit
+	osExit = func(code int) { exited = code }
+	defer func() { osExit = old }()
+	l.Fatalf("bye %d", 9)
+	if exited != 1 || !strings.Contains(buf.String(), "bye 9") {
+		t.Errorf("Fatalf: exited=%d out=%q", exited, buf.String())
+	}
+}

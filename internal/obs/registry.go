@@ -1,0 +1,309 @@
+// Package obs is ACORN's zero-dependency observability core: a named
+// registry of typed counters/gauges/histograms with an atomic hot path, a
+// leveled structured logger, span-style timing helpers, health checks, and
+// an HTTP introspection server (Prometheus text /metrics, /healthz,
+// /debug/vars, pprof).
+//
+// Design notes. Metric reads and writes are lock-free (atomics; float
+// accumulation via compare-and-swap on the bit pattern), so instrumented
+// hot paths pay a handful of atomic ops and zero allocations. Registration
+// is idempotent — Counter/Gauge/Histogram return the existing metric when
+// the name is already bound — so call sites can look metrics up lazily
+// instead of threading handles through constructors. Labelled families
+// (CounterVec/GaugeVec) bind a label value once and cache the child, which
+// keeps per-AP series cheap in loops ("lazy label binding").
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Default is the process-wide registry. Instrumented packages fall back to
+// it when no explicit registry is injected, so binaries get a complete
+// picture without wiring, and tests can still isolate themselves with
+// NewRegistry.
+var Default = NewRegistry()
+
+// Or returns r when non-nil and Default otherwise — the idiom for optional
+// registry injection fields.
+func Or(r *Registry) *Registry {
+	if r != nil {
+		return r
+	}
+	return Default
+}
+
+// metric is anything the registry can export.
+type metric interface {
+	metricKind() string // "counter", "gauge", "histogram"
+}
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metricEntry
+}
+
+type metricEntry struct {
+	help string
+	m    metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]metricEntry{}}
+}
+
+// register binds name to m, or returns the existing metric. A name bound to
+// a different kind is a programming error and panics: two packages fighting
+// over one name with different types would silently corrupt the export.
+func (r *Registry) register(name, help string, mk func() metric) metric {
+	validateName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.metrics[name]; ok {
+		return e.m
+	}
+	m := mk()
+	r.metrics[name] = metricEntry{help: help, m: m}
+	return m
+}
+
+func validateName(name string) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			panic(fmt.Sprintf("obs: invalid metric name %q", name))
+		}
+	}
+}
+
+func kindMismatch(name, want string, got metric) {
+	panic(fmt.Sprintf("obs: metric %q already registered as %s, not %s",
+		name, got.metricKind(), want))
+}
+
+// names returns the registered names in sorted order.
+func (r *Registry) names() []string {
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Counter returns the registered counter, creating it if needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, help, func() metric { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		kindMismatch(name, "counter", m)
+	}
+	return c
+}
+
+// Gauge returns the registered gauge, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, help, func() metric { return &Gauge{} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		kindMismatch(name, "gauge", m)
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time (e.g.
+// "seconds since the last reallocation"). Re-registering a name replaces
+// the previous callback. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	validateName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.metrics[name]; ok {
+		if gf, ok := e.m.(*gaugeFunc); ok {
+			gf.fn.Store(&fn)
+			return
+		}
+		kindMismatch(name, "gauge", e.m)
+	}
+	gf := &gaugeFunc{}
+	gf.fn.Store(&fn)
+	r.metrics[name] = metricEntry{help: help, m: gf}
+}
+
+// Histogram returns the registered histogram, creating it with the given
+// bucket upper bounds (nil means DefSecondsBuckets). Bounds are only used
+// on first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := r.register(name, help, func() metric { return newHistogram(bounds) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		kindMismatch(name, "histogram", m)
+	}
+	return h
+}
+
+// CounterVec returns the registered single-label counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	m := r.register(name, help, func() metric {
+		return &CounterVec{label: label, kids: map[string]*Counter{}}
+	})
+	v, ok := m.(*CounterVec)
+	if !ok {
+		kindMismatch(name, "counter", m)
+	}
+	return v
+}
+
+// GaugeVec returns the registered single-label gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	m := r.register(name, help, func() metric {
+		return &GaugeVec{label: label, kids: map[string]*Gauge{}}
+	})
+	v, ok := m.(*GaugeVec)
+	if !ok {
+		kindMismatch(name, "gauge", m)
+	}
+	return v
+}
+
+// Counter is a monotonically increasing count. The zero value is ready to
+// use; Add is a single atomic op.
+type Counter struct {
+	n atomic.Uint64
+}
+
+func (c *Counter) metricKind() string { return "counter" }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds n events.
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is an instantaneous float64 value. The zero value is ready to use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+func (g *Gauge) metricKind() string { return "gauge" }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (CAS loop, safe under concurrency).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Inc adds one; Dec subtracts one.
+func (g *Gauge) Inc() { g.Add(1) }
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// gaugeFunc is a gauge computed at scrape time.
+type gaugeFunc struct {
+	fn atomic.Pointer[func() float64]
+}
+
+func (g *gaugeFunc) metricKind() string { return "gauge" }
+
+func (g *gaugeFunc) Value() float64 {
+	if fn := g.fn.Load(); fn != nil {
+		return (*fn)()
+	}
+	return 0
+}
+
+// CounterVec is a family of counters distinguished by one label value.
+type CounterVec struct {
+	label string
+	mu    sync.Mutex
+	kids  map[string]*Counter
+}
+
+func (v *CounterVec) metricKind() string { return "counter" }
+
+// With returns the child counter for the label value, creating it on first
+// use. Hot paths should bind once and reuse the returned *Counter.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.kids[value]
+	if !ok {
+		c = &Counter{}
+		v.kids[value] = c
+	}
+	return c
+}
+
+// GaugeVec is a family of gauges distinguished by one label value.
+type GaugeVec struct {
+	label string
+	mu    sync.Mutex
+	kids  map[string]*Gauge
+}
+
+func (v *GaugeVec) metricKind() string { return "gauge" }
+
+// With returns the child gauge for the label value, creating it on first
+// use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.kids[value]
+	if !ok {
+		g = &Gauge{}
+		v.kids[value] = g
+	}
+	return g
+}
+
+// children returns label values in sorted order plus their metrics.
+func (v *CounterVec) children() ([]string, map[string]*Counter) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	vals := make([]string, 0, len(v.kids))
+	kids := make(map[string]*Counter, len(v.kids))
+	for k, c := range v.kids {
+		vals = append(vals, k)
+		kids[k] = c
+	}
+	sort.Strings(vals)
+	return vals, kids
+}
+
+func (v *GaugeVec) children() ([]string, map[string]*Gauge) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	vals := make([]string, 0, len(v.kids))
+	kids := make(map[string]*Gauge, len(v.kids))
+	for k, g := range v.kids {
+		vals = append(vals, k)
+		kids[k] = g
+	}
+	sort.Strings(vals)
+	return vals, kids
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterHistogramRace hammers one counter, gauge and histogram from
+// many goroutines while a reader scrapes, so `go test -race` proves the
+// atomic hot path. Totals must still be exact.
+func TestCounterHistogramRace(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "race counter")
+	g := r.Gauge("race_gauge", "race gauge")
+	h := r.Histogram("race_seconds", "race histogram", []float64{0.25, 0.5, 0.75})
+	v := r.CounterVec("race_vec_total", "race vec", "ap")
+
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kid := v.With("AP1")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 100)
+				kid.Inc()
+			}
+		}(w)
+	}
+	// Concurrent scrapes must not race with the writers.
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			_ = r.WritePrometheus(&sb)
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	rg.Wait()
+
+	const want = workers * perWorker
+	if got := c.Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := g.Value(); got != want {
+		t.Errorf("gauge = %v, want %d", got, want)
+	}
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if got := v.With("AP1").Value(); got != want {
+		t.Errorf("vec counter = %d, want %d", got, want)
+	}
+	// Each worker observes 0, 0.01 ... 0.99 repeated; the sum is exact in
+	// float64 only approximately — check to a loose tolerance.
+	wantSum := float64(workers) * float64(perWorker/100) * (99 * 100 / 2) / 100
+	if got := h.Sum(); math.Abs(got-wantSum) > 1 {
+		t.Errorf("histogram sum = %v, want ≈%v", got, wantSum)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("twice_total", "first")
+	b := r.Counter("twice_total", "second help ignored")
+	if a != b {
+		t.Error("same name should return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch should panic")
+		}
+	}()
+	r.Gauge("twice_total", "wrong kind")
+}
+
+func TestValidateName(t *testing.T) {
+	for _, bad := range []string{"", "1abc", "a-b", "a.b", "a b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q should panic", bad)
+				}
+			}()
+			NewRegistry().Counter(bad, "")
+		}()
+	}
+	NewRegistry().Counter("ok_name:x_1", "") // must not panic
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("acorn_events_total", "events seen").Add(3)
+	r.Gauge("acorn_temp", "a gauge").Set(1.5)
+	r.GaugeFunc("acorn_fn", "computed", func() float64 { return 42 })
+	h := r.Histogram("acorn_lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.CounterVec("acorn_per_ap_total", "per ap", "ap").With("AP1").Add(2)
+	r.GaugeVec("acorn_up", "liveness", "ap").With(`A"P`).Set(1)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE acorn_events_total counter",
+		"acorn_events_total 3",
+		"acorn_temp 1.5",
+		"acorn_fn 42",
+		"# TYPE acorn_lat_seconds histogram",
+		`acorn_lat_seconds_bucket{le="0.1"} 1`,
+		`acorn_lat_seconds_bucket{le="1"} 2`,
+		`acorn_lat_seconds_bucket{le="+Inf"} 3`,
+		"acorn_lat_seconds_sum 5.55",
+		"acorn_lat_seconds_count 3",
+		`acorn_per_ap_total{ap="AP1"} 2`,
+		`acorn_up{ap="A\"P"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// Families appear in sorted name order.
+	if strings.Index(out, "acorn_events_total") > strings.Index(out, "acorn_temp") {
+		t.Error("output not sorted by metric name")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(7)
+	h := r.Histogram("h_seconds", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+	r.GaugeVec("v", "", "ap").With("AP2").Set(3)
+
+	snaps := r.Snapshot()
+	byName := map[string]MetricSnapshot{}
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	if v := byName["c_total"].Value; v == nil || *v != 7 {
+		t.Errorf("c_total snapshot = %+v", byName["c_total"])
+	}
+	hs := byName["h_seconds"]
+	if hs.Count == nil || *hs.Count != 2 || hs.Buckets["1"] != 1 || hs.Buckets["+Inf"] != 2 {
+		t.Errorf("h_seconds snapshot = %+v", hs)
+	}
+	vs := byName["v"]
+	if vs.Label != "ap" || vs.Series["AP2"] != 3 {
+		t.Errorf("v snapshot = %+v", vs)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("span_seconds", "", nil)
+	sp := h.Start()
+	if d := sp.End(); d < 0 {
+		t.Errorf("negative duration %v", d)
+	}
+	if h.Count() != 1 {
+		t.Errorf("span did not observe: count=%d", h.Count())
+	}
+}

@@ -22,8 +22,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"acorn/internal/baseband"
+	"acorn/internal/obs"
 	"acorn/internal/stats"
 )
 
@@ -58,6 +60,38 @@ type Options struct {
 	// decomposition: two runs with the same ShardPackets are
 	// bit-identical for any worker count.
 	ShardPackets int
+	// Obs receives engine metrics (shard timings, merge latency, worker
+	// utilization, packet throughput); nil means obs.Default. Everything
+	// is recorded at shard granularity — tens of packets per observation —
+	// so the per-packet modem path stays allocation-free.
+	Obs *obs.Registry
+}
+
+// engineMetrics holds the bound simrun metrics for one Run call.
+type engineMetrics struct {
+	runs, points, shards, packets *obs.Counter
+	shardSeconds, mergeSeconds    *obs.Histogram
+	workers, packetsPerSec, util  *obs.Gauge
+}
+
+func bindMetrics(reg *obs.Registry) engineMetrics {
+	shardBuckets := []float64{1e-5, 1e-4, 1e-3, 0.01, 0.1, 1, 10}
+	return engineMetrics{
+		runs:    reg.Counter("acorn_simrun_runs_total", "Monte-Carlo Run invocations"),
+		points:  reg.Counter("acorn_simrun_points_total", "Monte-Carlo points executed"),
+		shards:  reg.Counter("acorn_simrun_shards_total", "work shards executed"),
+		packets: reg.Counter("acorn_simrun_packets_total", "packets simulated"),
+		shardSeconds: reg.Histogram("acorn_simrun_shard_seconds",
+			"per-shard execution time (link build + packets)", shardBuckets),
+		mergeSeconds: reg.Histogram("acorn_simrun_merge_seconds",
+			"time to merge all shard measurements back in shard order", shardBuckets),
+		workers: reg.Gauge("acorn_simrun_workers",
+			"worker goroutines used by the most recent Run"),
+		packetsPerSec: reg.Gauge("acorn_simrun_packets_per_second",
+			"aggregate packet throughput of the most recent Run"),
+		util: reg.Gauge("acorn_simrun_worker_utilization",
+			"busy-time share of the most recent Run's workers (0..1)"),
+	}
 }
 
 // shard is one unit of schedulable work.
@@ -93,8 +127,12 @@ func Run(points []Point, opts Options) []*baseband.Measurement {
 		}
 	}
 
+	m := bindMetrics(obs.Or(opts.Obs))
+	start := time.Now()
+
 	results := make([]*baseband.Measurement, len(shards))
 	var next atomic.Int64
+	var busyNanos atomic.Int64
 	var wg sync.WaitGroup
 	if workers > len(shards) {
 		workers = len(shards)
@@ -110,11 +148,13 @@ func Run(points []Point, opts Options) []*baseband.Measurement {
 				}
 				sh := shards[i]
 				p := points[sh.point]
+				span := m.shardSeconds.Start()
 				link := p.Make(sh.seed)
 				meas := &baseband.Measurement{}
 				for k := 0; k < sh.packets; k++ {
 					link.RunPacket(p.PacketBytes, meas)
 				}
+				busyNanos.Add(int64(span.End()))
 				results[i] = meas
 			}
 		}()
@@ -123,12 +163,30 @@ func Run(points []Point, opts Options) []*baseband.Measurement {
 
 	// Merge in ascending shard order: shards of one point are contiguous,
 	// so this folds each point's shards left to right.
+	mergeSpan := m.mergeSeconds.Start()
 	out := make([]*baseband.Measurement, len(points))
 	for i := range out {
 		out[i] = &baseband.Measurement{}
 	}
 	for i, sh := range shards {
 		out[sh.point].Merge(results[i])
+	}
+	mergeSpan.End()
+
+	var totalPackets uint64
+	for _, sh := range shards {
+		totalPackets += uint64(sh.packets)
+	}
+	m.runs.Inc()
+	m.points.Add(uint64(len(points)))
+	m.shards.Add(uint64(len(shards)))
+	m.packets.Add(totalPackets)
+	m.workers.Set(float64(workers))
+	if wall := time.Since(start); wall > 0 {
+		m.packetsPerSec.Set(float64(totalPackets) / wall.Seconds())
+		if workers > 0 {
+			m.util.Set(float64(busyNanos.Load()) / (float64(workers) * float64(wall)))
+		}
 	}
 	return out
 }

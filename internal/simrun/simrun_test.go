@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"acorn/internal/baseband"
+	"acorn/internal/obs"
 	"acorn/internal/phy"
 	"acorn/internal/spectrum"
 	"acorn/internal/units"
@@ -50,6 +51,50 @@ func TestRunPacketBudget(t *testing.T) {
 	}
 	if len(m.Constellation) == 0 || len(m.Constellation) > baseband.ConstellationCap {
 		t.Fatalf("Constellation length %d outside (0, %d]", len(m.Constellation), baseband.ConstellationCap)
+	}
+}
+
+// TestRunMetrics asserts a Run reports its work to the injected registry:
+// exact packet/shard/point counts, a shard-timing histogram with one
+// observation per shard, and sane throughput/utilization gauges.
+func TestRunMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	points := []Point{
+		{Seed: 1, Packets: 30, PacketBytes: 80, Make: makeLink(baseband.FadingNone)},
+		{Seed: 2, Packets: 25, PacketBytes: 80, Make: makeLink(baseband.FadingFlat)},
+	}
+	Run(points, Options{Workers: 2, ShardPackets: 10, Obs: reg})
+
+	snap := map[string]obs.MetricSnapshot{}
+	for _, s := range reg.Snapshot() {
+		snap[s.Name] = s
+	}
+	wantCounters := map[string]float64{
+		"acorn_simrun_runs_total":    1,
+		"acorn_simrun_points_total":  2,
+		"acorn_simrun_packets_total": 55,
+		"acorn_simrun_shards_total":  6, // 3 shards of 10 + (10,10,5)
+	}
+	for name, want := range wantCounters {
+		s, ok := snap[name]
+		if !ok || s.Value == nil || *s.Value != want {
+			t.Errorf("%s = %+v, want %v", name, s, want)
+		}
+	}
+	if s := snap["acorn_simrun_shard_seconds"]; s.Count == nil || *s.Count != 6 {
+		t.Errorf("acorn_simrun_shard_seconds count = %+v, want 6", s)
+	}
+	if s := snap["acorn_simrun_merge_seconds"]; s.Count == nil || *s.Count != 1 {
+		t.Errorf("acorn_simrun_merge_seconds count = %+v, want 1", s)
+	}
+	if s := snap["acorn_simrun_workers"]; s.Value == nil || *s.Value != 2 {
+		t.Errorf("acorn_simrun_workers = %+v, want 2", s)
+	}
+	if s := snap["acorn_simrun_packets_per_second"]; s.Value == nil || *s.Value <= 0 {
+		t.Errorf("acorn_simrun_packets_per_second = %+v, want > 0", s)
+	}
+	if s := snap["acorn_simrun_worker_utilization"]; s.Value == nil || *s.Value <= 0 || *s.Value > 1.5 {
+		t.Errorf("acorn_simrun_worker_utilization = %+v, want in (0, 1.5]", s)
 	}
 }
 

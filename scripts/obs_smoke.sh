@@ -1,0 +1,65 @@
+#!/bin/sh
+# obs_smoke.sh — boot acornd with the introspection server on, scrape
+# /metrics and /healthz, and assert the convergence metrics are exported.
+# Fails fast on any missing endpoint or metric name.
+#
+# OBS_SMOKE_PORT overrides the port (default 43117).
+set -eu
+
+PORT="${OBS_SMOKE_PORT:-43117}"
+ADDR="127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$TMP/acornd" ./cmd/acornd
+"$TMP/acornd" -obs-addr "$ADDR" -obs-hold 60s -log-level warn \
+    -trace "$TMP/trace.jsonl" >/dev/null 2>&1 &
+PID=$!
+
+# Wait for the endpoint to come up (the solve itself is sub-second).
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "obs-smoke: $ADDR never came up" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+METRICS="$(curl -fsS "http://$ADDR/metrics")"
+for name in \
+    acorn_core_reallocations_total \
+    acorn_core_goodput_mbps \
+    acorn_core_alloc_switches_total \
+    acorn_core_reallocate_seconds_count \
+    acorn_core_cells_40mhz; do
+    if ! printf '%s\n' "$METRICS" | grep -q "^$name"; then
+        echo "obs-smoke: /metrics is missing $name" >&2
+        exit 1
+    fi
+done
+
+HEALTH="$(curl -fsS "http://$ADDR/healthz")"
+printf '%s' "$HEALTH" | grep -q '"status": "ok"' || {
+    echo "obs-smoke: /healthz not ok: $HEALTH" >&2
+    exit 1
+}
+
+curl -fsS "http://$ADDR/debug/vars" | grep -q '"metrics"' || {
+    echo "obs-smoke: /debug/vars has no metrics snapshot" >&2
+    exit 1
+}
+
+# The convergence trace must be present and start with a reallocate_start.
+head -1 "$TMP/trace.jsonl" | grep -q '"event":"reallocate_start"' || {
+    echo "obs-smoke: convergence trace malformed" >&2
+    exit 1
+}
+
+echo "obs-smoke: ok ($ADDR)"
