@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke obs-smoke cover experiments clean
+.PHONY: all build vet test race bench bench-smoke alloc-bench-smoke obs-smoke cover experiments clean
 
 # The default check path race-checks everything: the control plane is
 # deliberately concurrent (heartbeats, reconnect supervisors, chaos tests),
 # so plain `make` must catch data races, not just failures.
-all: build vet test race bench-smoke obs-smoke
+all: build vet test race bench-smoke alloc-bench-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -22,15 +22,28 @@ race:
 	$(GO) test -race ./...
 
 # Full benchmark harness: regenerates every paper artifact once and
-# measures each experiment, recording the trajectory in BENCH_phy.json.
+# measures each experiment, recording the trajectory in BENCH_phy.json and
+# the allocator-scaling figures (reference vs incremental, with the 200-AP
+# speedup ratio derived from the same run) in BENCH_alloc.json.
 bench:
 	$(GO) test -bench=. -benchmem -count=1 ./... | tee bench_output.txt
 	$(GO) run ./cmd/benchjson < bench_output.txt > BENCH_phy.json
+	$(GO) run ./cmd/benchjson -match '^BenchmarkAlloc' \
+		-derive alloc_speedup_200ap=BenchmarkAllocReference200AP/BenchmarkAllocIncremental200AP \
+		-derive alloc_speedup_50ap=BenchmarkAllocReference50AP/BenchmarkAllocIncremental50AP \
+		< bench_output.txt > BENCH_alloc.json
 
 # One-iteration smoke pass over every benchmark: catches bit-rot in the
-# benchmark code without paying for real measurements.
+# benchmark code without paying for real measurements. -short elides the
+# full-sweep reference benchmarks at scale (minutes per iteration).
 bench-smoke:
-	$(GO) test -bench=. -benchmem -benchtime=1x -count=1 ./... > /dev/null
+	$(GO) test -short -bench=. -benchmem -benchtime=1x -count=1 ./... > /dev/null
+
+# Smoke the allocator scale harness specifically: one iteration of every
+# BenchmarkAlloc* the short mode allows, plus the 200-AP golden replay.
+alloc-bench-smoke:
+	$(GO) test -short -run 'TestAlloc200APGolden' -bench '^BenchmarkAlloc' \
+		-benchtime=1x -count=1 ./internal/core/ > /dev/null
 
 # Boots acornd with -obs-addr and asserts /metrics and /healthz serve the
 # expected convergence metrics. OBS_SMOKE_PORT overrides the port.

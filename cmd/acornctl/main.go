@@ -104,11 +104,13 @@ func serve(args []string) {
 	peerTimeout := fs.Duration("peer-timeout", ctlnet.DefaultPeerTimeout, "idle deadline between agent messages; keep it >= 3x the agents' -heartbeat")
 	logLevel := fs.String("log-level", "info", "log threshold: debug|info|warn|error|off")
 	obsAddr := fs.String("obs-addr", "", "serve /metrics, /healthz, /debug/vars and pprof on this address")
+	allocWorkers := fs.Int("alloc-workers", 0, "parallel rank-evaluation workers for Algorithm 2 (0 = GOMAXPROCS)")
 	_ = fs.Parse(args)
 	setLevel(*logLevel)
 
 	s := ctlnet.NewServer(*seed)
 	s.Log = logger
+	s.Alloc.Workers = *allocWorkers
 	s.ReportTTL = *reportTTL
 	s.HelloTimeout = *helloTimeout
 	s.PeerTimeout = *peerTimeout

@@ -65,6 +65,7 @@ func main() {
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /healthz, /debug/vars and pprof on this address")
 	obsHold := flag.Duration("obs-hold", 0, "keep the process (and -obs-addr endpoints) alive this long after a local solve")
 	tracePath := flag.String("trace", "", "write the solver's JSONL convergence trace to this file (\"-\" = stdout)")
+	allocWorkers := flag.Int("alloc-workers", 0, "parallel rank-evaluation workers for Algorithm 2 (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(*logLevel)
@@ -104,6 +105,7 @@ func main() {
 	if err != nil {
 		logger.Fatalf("acornd: %v", err)
 	}
+	ctrl.Alloc.Workers = *allocWorkers
 	if *tracePath != "" {
 		w := os.Stdout
 		if *tracePath != "-" {

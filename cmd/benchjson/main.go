@@ -7,11 +7,22 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson > BENCH_phy.json
+//
+// -match keeps only benchmarks whose (suffix-stripped) name matches the
+// regexp, so one bench run can be split into several artifact files.
+// -derive key=Numer/Denom (repeatable) adds a derived entry whose ns_per_op
+// is the ratio of two captured benchmarks — e.g. the reference/incremental
+// allocator speedup — measured in the same run:
+//
+//	benchjson -match '^BenchmarkAlloc' \
+//	    -derive alloc_speedup_200ap=BenchmarkAllocReference200AP/BenchmarkAllocIncremental200AP \
+//	    < bench_output.txt > BENCH_alloc.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"os/exec"
@@ -31,7 +42,45 @@ type Result struct {
 // benchmark names, so entries stay stable across machines.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
+// derivation is one -derive spec: out = ns(numer) / ns(denom).
+type derivation struct {
+	key, numer, denom string
+}
+
+// derivations collects repeated -derive flags.
+type derivations []derivation
+
+func (d *derivations) String() string { return fmt.Sprint(*d) }
+
+func (d *derivations) Set(s string) error {
+	key, expr, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want key=Numer/Denom, got %q", s)
+	}
+	numer, denom, ok := strings.Cut(expr, "/")
+	if !ok {
+		return fmt.Errorf("want key=Numer/Denom, got %q", s)
+	}
+	*d = append(*d, derivation{key: key, numer: numer, denom: denom})
+	return nil
+}
+
 func main() {
+	match := flag.String("match", "", "keep only benchmarks whose name matches this regexp")
+	var derives derivations
+	flag.Var(&derives, "derive", "add key=NumerBench/DenomBench as a ns_per_op ratio (repeatable)")
+	flag.Parse()
+
+	var matchRE *regexp.Regexp
+	if *match != "" {
+		re, err := regexp.Compile(*match)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -match:", err)
+			os.Exit(2)
+		}
+		matchRE = re
+	}
+
 	results := map[string]Result{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -42,6 +91,9 @@ func main() {
 			continue
 		}
 		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		if matchRE != nil && !matchRE.MatchString(name) {
+			continue
+		}
 		var r Result
 		// Fields after the iteration count come in "<value> <unit>" pairs.
 		for i := 2; i+1 < len(fields); i += 2 {
@@ -66,9 +118,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	out := make(map[string]any, len(results)+1)
+	out := make(map[string]any, len(results)+len(derives)+1)
 	for name, r := range results {
 		out[name] = r
+	}
+	for _, d := range derives {
+		numer, okN := results[d.numer]
+		denom, okD := results[d.denom]
+		if !okN || !okD || denom.NsPerOp == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: -derive %s: missing %s or %s in input; skipping\n",
+				d.key, d.numer, d.denom)
+			continue
+		}
+		out[d.key] = map[string]float64{"ratio": numer.NsPerOp / denom.NsPerOp}
 	}
 	if sha := gitSHA(); sha != "" {
 		out["_meta"] = map[string]string{"git_sha": sha}

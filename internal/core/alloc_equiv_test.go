@@ -1,0 +1,211 @@
+package core
+
+// Equivalence tests for the incremental Algorithm 2 engine: the incremental
+// path must reproduce the generic full-sweep path bit for bit (allocations,
+// trajectories, estimates), and the parallel rank scan must reproduce the
+// serial one bit for bit for any worker count.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"acorn/internal/stats"
+	"acorn/internal/wlan"
+)
+
+// opaqueEstimator hides the concrete *Estimator type from AllocateChannels'
+// dispatch, forcing the generic full-sweep path — the pre-optimization
+// reference implementation.
+type opaqueEstimator struct{ est ThroughputEstimator }
+
+func (o opaqueEstimator) NetworkThroughput(cfg *wlan.Config) float64 {
+	return o.est.NetworkThroughput(cfg)
+}
+
+// equivFixture builds a (network, initial config) pair with associations in
+// place, ready for AllocateChannels.
+func equivFixture(t testing.TB, n *wlan.Network, clients []*wlan.Client, seed int64) *wlan.Config {
+	t.Helper()
+	cfg := wlan.NewConfig()
+	rng := stats.NewRand(seed)
+	RandomInitial(n, cfg, rng.Intn)
+	AssociateAll(n, cfg, clients)
+	return cfg
+}
+
+// compareAllocResults asserts got reproduces want. Everything the search
+// commits — channels, trajectory, estimates, winner ranks — must match
+// bitwise. The per-AP Ranks maps of non-winners may drift by float
+// re-association in the dirty-rank cache, so they get a tight relative
+// tolerance instead; Evals is excluded (the two paths do different work by
+// design).
+func compareAllocResults(t *testing.T, label string, wantCfg, gotCfg *wlan.Config, want, got AllocStats, rankTol float64) {
+	t.Helper()
+	if len(gotCfg.Channels) != len(wantCfg.Channels) {
+		t.Fatalf("%s: %d channels, want %d", label, len(gotCfg.Channels), len(wantCfg.Channels))
+	}
+	for apID, ch := range wantCfg.Channels {
+		if gotCfg.Channels[apID] != ch {
+			t.Errorf("%s: AP %s on %v, want %v", label, apID, gotCfg.Channels[apID], ch)
+		}
+	}
+	if got.Periods != want.Periods || got.Switches != want.Switches {
+		t.Errorf("%s: periods/switches = %d/%d, want %d/%d",
+			label, got.Periods, got.Switches, want.Periods, want.Switches)
+	}
+	if got.InitialEstimate != want.InitialEstimate {
+		t.Errorf("%s: initial estimate %v, want %v (must be bit-identical)",
+			label, got.InitialEstimate, want.InitialEstimate)
+	}
+	if got.FinalEstimate != want.FinalEstimate {
+		t.Errorf("%s: final estimate %v, want %v (must be bit-identical)",
+			label, got.FinalEstimate, want.FinalEstimate)
+	}
+	if len(got.Trajectory) != len(want.Trajectory) {
+		t.Fatalf("%s: trajectory has %d points, want %d", label, len(got.Trajectory), len(want.Trajectory))
+	}
+	for i := range want.Trajectory {
+		if got.Trajectory[i] != want.Trajectory[i] {
+			t.Errorf("%s: trajectory[%d] = %v, want %v (must be bit-identical)",
+				label, i, got.Trajectory[i], want.Trajectory[i])
+		}
+	}
+	if len(got.History) != len(want.History) {
+		t.Fatalf("%s: history has %d switches, want %d", label, len(got.History), len(want.History))
+	}
+	for i := range want.History {
+		w, g := want.History[i], got.History[i]
+		if g.Period != w.Period || g.AP != w.AP || g.Channel != w.Channel {
+			t.Errorf("%s: switch %d = %s→%v in period %d, want %s→%v in period %d",
+				label, i, g.AP, g.Channel, g.Period, w.AP, w.Channel, w.Period)
+		}
+		if g.Rank != w.Rank || g.Estimate != w.Estimate {
+			t.Errorf("%s: switch %d rank/estimate = %v/%v, want %v/%v (must be bit-identical)",
+				label, i, g.Rank, g.Estimate, w.Rank, w.Estimate)
+		}
+		if len(g.Ranks) != len(w.Ranks) {
+			t.Errorf("%s: switch %d has %d ranks, want %d", label, i, len(g.Ranks), len(w.Ranks))
+			continue
+		}
+		for apID, wr := range w.Ranks {
+			gr, ok := g.Ranks[apID]
+			if !ok {
+				t.Errorf("%s: switch %d missing rank for %s", label, i, apID)
+				continue
+			}
+			if math.Abs(gr-wr) > rankTol*(1+math.Abs(wr)) {
+				t.Errorf("%s: switch %d rank[%s] = %v, want %v", label, i, apID, gr, wr)
+			}
+		}
+	}
+}
+
+// TestAllocIncrementalMatchesReference runs the incremental engine against
+// the generic full-sweep oracle over the shared fixtures and a spread of
+// random topologies.
+func TestAllocIncrementalMatchesReference(t *testing.T) {
+	type fixture struct {
+		name string
+		n    *wlan.Network
+		cfg  *wlan.Config
+		opts AllocOptions
+	}
+	var fixtures []fixture
+
+	mn, mc := mixedNetwork()
+	fixtures = append(fixtures, fixture{
+		name: "mixed", n: mn, cfg: equivFixture(t, mn, mc, 3),
+	})
+	for seed := int64(1); seed <= 12; seed++ {
+		n, clients := randomNetwork(seed)
+		fixtures = append(fixtures, fixture{
+			name: fmt.Sprintf("random-%d", seed),
+			n:    n, cfg: equivFixture(t, n, clients, seed),
+		})
+	}
+	mid, midClients := scaleNetwork(30, 2, 99)
+	fixtures = append(fixtures, fixture{
+		name: "scale-30", n: mid, cfg: equivFixture(t, mid, midClients, 99),
+	})
+	// A bounded run exercises the switch budget on both paths.
+	bn, bc := scaleNetwork(16, 2, 5)
+	fixtures = append(fixtures, fixture{
+		name: "budgeted-16", n: bn, cfg: equivFixture(t, bn, bc, 5),
+		opts: AllocOptions{MaxSwitchesPerPeriod: 3},
+	})
+
+	for _, f := range fixtures {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			wantCfg, want := allocateGeneric(f.n, f.cfg, NewEstimator(f.n), f.opts)
+			gotCfg, got := AllocateChannels(f.n, f.cfg, NewEstimator(f.n), f.opts)
+			if got.Evals.DeltaEvals == 0 && got.Switches+want.Switches > 0 {
+				t.Fatalf("incremental path did not engage (no delta evals)")
+			}
+			compareAllocResults(t, f.name, wantCfg, gotCfg, want, got, 1e-9)
+		})
+	}
+}
+
+// TestAllocGenericPathForOpaqueEstimators pins the dispatch: an estimator
+// that is not *Estimator must take the generic path and produce the same
+// result the incremental path computes for the equivalent *Estimator.
+func TestAllocGenericPathForOpaqueEstimators(t *testing.T) {
+	n, clients := mixedNetwork()
+	cfg := equivFixture(t, n, clients, 7)
+	_, viaOpaque := AllocateChannels(n, cfg, opaqueEstimator{NewEstimator(n)}, AllocOptions{})
+	if viaOpaque.Evals.FullEvals == 0 {
+		t.Fatal("opaque estimator should have taken the full-sweep path")
+	}
+	if viaOpaque.Evals.DeltaEvals != 0 {
+		t.Fatal("opaque estimator must not reach the incremental path")
+	}
+	_, viaIncremental := AllocateChannels(n, cfg, NewEstimator(n), AllocOptions{})
+	if viaIncremental.Evals.FullEvals != 0 {
+		t.Fatal("*Estimator should have taken the incremental path")
+	}
+	if viaIncremental.FinalEstimate != viaOpaque.FinalEstimate {
+		t.Fatalf("paths disagree: %v vs %v", viaIncremental.FinalEstimate, viaOpaque.FinalEstimate)
+	}
+}
+
+// TestAllocParallelDeterminism asserts serial and parallel rank evaluation
+// produce bit-identical configurations and statistics — including
+// Trajectory, History (with Ranks) and the Evals counters — for worker
+// counts 1, 2 and 8. Run under -race this also exercises the worker views
+// for data races.
+func TestAllocParallelDeterminism(t *testing.T) {
+	type fixture struct {
+		name string
+		n    *wlan.Network
+		cfg  *wlan.Config
+	}
+	var fixtures []fixture
+	mn, mc := mixedNetwork()
+	fixtures = append(fixtures, fixture{"mixed", mn, equivFixture(t, mn, mc, 7)})
+	for _, seed := range []int64{2, 9} {
+		n, clients := randomNetwork(seed)
+		fixtures = append(fixtures, fixture{
+			fmt.Sprintf("random-%d", seed), n, equivFixture(t, n, clients, seed),
+		})
+	}
+	sn, sc := scaleNetwork(64, 2, 11)
+	fixtures = append(fixtures, fixture{"scale-64", sn, equivFixture(t, sn, sc, 11)})
+
+	for _, f := range fixtures {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			baseCfg, base := AllocateChannels(f.n, f.cfg, NewEstimator(f.n), AllocOptions{Workers: 1})
+			for _, workers := range []int{2, 8} {
+				gotCfg, got := AllocateChannels(f.n, f.cfg, NewEstimator(f.n), AllocOptions{Workers: workers})
+				compareAllocResults(t, fmt.Sprintf("workers=%d", workers), baseCfg, gotCfg, base, got, 0)
+				// With zero tolerance above, Ranks already matched
+				// bitwise; the work counters must match too.
+				if got.Evals != base.Evals {
+					t.Errorf("workers=%d: evals %+v, want %+v", workers, got.Evals, base.Evals)
+				}
+			}
+		})
+	}
+}

@@ -14,8 +14,20 @@ package core
 // The worst case is every AP trapped on the same color — throughput
 // Σ X_isol/(deg_i+1) ≥ Y*/(Δ+1) — giving the O(1/(Δ+1)) approximation
 // ratio; Section 5's Fig 14 experiment shows practice is far kinder.
+//
+// Two implementations share this contract. The generic path below evaluates
+// every candidate with a full estimator sweep and works with any
+// ThroughputEstimator. When the estimator is the default *Estimator, the
+// search instead runs the incremental engine (allocstate.go, allocrun.go):
+// per-cell throughput caching, dirty-rank caching across inner iterations,
+// and deterministic parallel rank evaluation. Both paths implement the same
+// greedy tie-breaking (lexicographically first AP wins on equal rank) and
+// the incremental path reproduces the generic path's float arithmetic
+// term-for-term, so allocations and trajectories are bit-identical; see
+// DESIGN.md §10 for the invariants.
 
 import (
+	"runtime"
 	"sort"
 
 	"acorn/internal/spectrum"
@@ -34,6 +46,19 @@ type AllocOptions struct {
 	Epsilon float64
 	// MaxPeriods bounds the outer loop as a safety net; zero means 16.
 	MaxPeriods int
+	// Workers is the number of goroutines the incremental path fans the
+	// per-AP rank scans across. Zero or negative means GOMAXPROCS; one
+	// forces the serial scan. The resulting allocation, statistics and
+	// trace are bit-identical for every value (the reduction is a serial
+	// lexicographic scan over deterministically computed ranks). The
+	// generic fallback path ignores it.
+	Workers int
+	// MaxSwitchesPerPeriod caps the number of channel switches one period
+	// may perform; zero means unbounded (every AP may switch once, the
+	// paper's rule). Large deployments use it to bound per-period
+	// reconfiguration churn; benchmarks use it to bound measured work.
+	// Both search paths apply it identically.
+	MaxSwitchesPerPeriod int
 }
 
 func (o AllocOptions) epsilon() float64 {
@@ -48,6 +73,53 @@ func (o AllocOptions) maxPeriods() int {
 		return 16
 	}
 	return o.MaxPeriods
+}
+
+func (o AllocOptions) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// switchBudget returns the per-period switch cap as a sentinel-free count.
+func (o AllocOptions) switchBudget() int {
+	if o.MaxSwitchesPerPeriod <= 0 {
+		return int(^uint(0) >> 1) // unbounded
+	}
+	return o.MaxSwitchesPerPeriod
+}
+
+// EvalStats counts the evaluation work one AllocateChannels run performed.
+// The counts depend only on the inputs — never on Workers or goroutine
+// scheduling — so they are as deterministic as the allocation itself. The
+// two search paths do different kinds of work: the generic path reports
+// FullEvals, the incremental path reports DeltaEvals, CellRecomputes and
+// RankCacheHits.
+type EvalStats struct {
+	// RankEvals is the number of fresh per-AP argmax scans (a Tmp_i
+	// evaluation over every candidate channel).
+	RankEvals int
+	// RankCacheHits is the number of per-AP rank lookups served by the
+	// dirty-rank cache instead of a fresh scan.
+	RankCacheHits int
+	// DeltaEvals is the number of candidate configurations evaluated
+	// incrementally (recompute the affected neighborhood, resum).
+	DeltaEvals int
+	// FullEvals is the number of candidate configurations evaluated by a
+	// full estimator sweep (the generic path).
+	FullEvals int
+	// CellRecomputes is the number of per-cell throughput recomputations
+	// the incremental path performed while applying deltas.
+	CellRecomputes int
+}
+
+func (e *EvalStats) add(o EvalStats) {
+	e.RankEvals += o.RankEvals
+	e.RankCacheHits += o.RankCacheHits
+	e.DeltaEvals += o.DeltaEvals
+	e.FullEvals += o.FullEvals
+	e.CellRecomputes += o.CellRecomputes
 }
 
 // AllocStats reports how the search went.
@@ -65,6 +137,8 @@ type AllocStats struct {
 	// History records every switch in order with the per-AP ranks of the
 	// iteration that chose it — the raw material of the convergence trace.
 	History []SwitchRecord
+	// Evals counts the evaluation work behind the search.
+	Evals EvalStats
 }
 
 // SwitchRecord captures one inner-loop decision of Algorithm 2: the
@@ -101,26 +175,55 @@ type ThroughputEstimator interface {
 // returns the improved configuration (cfg is not mutated) plus search
 // statistics. Every AP must already hold a channel (use RandomInitial for
 // the random bootstrap of Section 5.2).
+//
+// With the default *Estimator the search runs the incremental engine —
+// delta evaluation, dirty-rank caching and (opts.Workers) parallel rank
+// scans — which produces bit-identical results to the generic sweep. Any
+// other estimator takes the generic path.
 func AllocateChannels(n *wlan.Network, cfg *wlan.Config, est ThroughputEstimator, opts AllocOptions) (*wlan.Config, AllocStats) {
+	if e, ok := est.(*Estimator); ok {
+		if st := newAllocState(n, cfg, e); st != nil {
+			return allocateIncremental(cfg, st, opts)
+		}
+	}
+	return allocateGeneric(n, cfg, est, opts)
+}
+
+// allocateGeneric is the reference implementation of Algorithm 2: every
+// candidate is priced by a full estimator sweep. It serves any
+// ThroughputEstimator (e.g. *ScanningEstimator) and doubles as the oracle
+// the incremental engine is tested and benchmarked against.
+func allocateGeneric(n *wlan.Network, cfg *wlan.Config, est ThroughputEstimator, opts AllocOptions) (*wlan.Config, AllocStats) {
 	cur := cfg.Clone()
 	channels := n.Band.AllChannels()
 	stats := AllocStats{InitialEstimate: est.NetworkThroughput(cur)}
 	prevPeriod := stats.InitialEstimate
 	y := prevPeriod
+	// The candidate order is fixed for the whole search: sort once and
+	// filter switched APs per iteration instead of re-sorting the
+	// remaining set every inner iteration.
+	apOrder := make([]string, 0, len(n.APs))
+	for _, ap := range n.APs {
+		apOrder = append(apOrder, ap.ID)
+	}
+	sort.Strings(apOrder)
 
 	for period := 0; period < opts.maxPeriods(); period++ {
 		stats.Periods++
-		remaining := make(map[string]bool, len(n.APs))
-		for _, ap := range n.APs {
-			remaining[ap.ID] = true
-		}
+		switched := make(map[string]bool, len(apOrder))
+		remaining := len(apOrder)
 		// Inner loop: each AP may switch at most once per period; the
 		// AP offering the best improvement moves first.
-		for len(remaining) > 0 {
+		for sw := 0; remaining > 0 && sw < opts.switchBudget(); sw++ {
 			winner, winnerCh, winnerY := "", spectrum.Channel{}, y
-			ranks := make(map[string]float64, len(remaining))
-			for _, apID := range sortedKeys(remaining) {
+			ranks := make(map[string]float64, remaining)
+			for _, apID := range apOrder {
+				if switched[apID] {
+					continue
+				}
 				bestCh, bestY := bestChannelFor(cur, est, apID, channels)
+				stats.Evals.RankEvals++
+				stats.Evals.FullEvals += len(channels)
 				ranks[apID] = bestY - y
 				if bestY > winnerY {
 					winner, winnerCh, winnerY = apID, bestCh, bestY
@@ -130,7 +233,8 @@ func AllocateChannels(n *wlan.Network, cfg *wlan.Config, est ThroughputEstimator
 				break // max rank < 0: nobody can improve
 			}
 			cur.Channels[winner] = winnerCh
-			delete(remaining, winner)
+			switched[winner] = true
+			remaining--
 			rank := winnerY - y
 			y = winnerY
 			stats.Switches++
@@ -170,15 +274,6 @@ func bestChannelFor(cfg *wlan.Config, est ThroughputEstimator, apID string, chan
 	}
 	cfg.Channels[apID] = orig
 	return bestCh, bestY
-}
-
-func sortedKeys(m map[string]bool) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }
 
 // RandomInitial assigns every AP a uniformly random channel (20 or 40 MHz)

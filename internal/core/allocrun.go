@@ -1,0 +1,253 @@
+package core
+
+// The incremental Algorithm 2 driver: dirty-rank caching across inner
+// iterations and deterministic worker-parallel rank scans on top of the
+// allocState delta evaluator (allocstate.go). DESIGN.md §10 carries the
+// correctness argument; the load-bearing invariants are
+//
+//  1. Cache key is the rank r = bestY − y, not the absolute bestY. After an
+//     unrelated switch moves the total from y to y', a clean AP's best
+//     candidate still improves the network by the same per-cell deltas, so
+//     its selection is unchanged and it competes as y' + r. Structural
+//     zeros survive exactly: an AP that cannot improve has r = 0.0 and
+//     y' + 0.0 == y', so it can never become a spurious winner.
+//  2. Invalidation: after the winner switches and changes the cell set C,
+//     every AP j with N(j) ∩ C ≠ ∅ is marked dirty (walk the reverse
+//     adjacency of each changed cell), plus the winner itself. Everyone
+//     else's candidate deltas touch only cells outside C, which are
+//     bit-identical, so their cached entries stay exact.
+//  3. A winner chosen from a cached entry is re-ranked fresh on the base
+//     view before committing, so every committed bestY/Trajectory/Rank
+//     value comes from a real evaluation — bit-identical to the generic
+//     path — and never from a shifted cache value.
+//  4. Parallel rank scans write into per-AP slots of a shared array (no
+//     ordering race) from per-worker scratch views; the winner reduction
+//     is a serial lexicographic scan. Results are bit-identical for any
+//     worker count.
+
+import (
+	"sync"
+
+	"acorn/internal/wlan"
+)
+
+// rankEntry is one dirty-rank cache slot.
+type rankEntry struct {
+	// ci is the winning candidate's index into allocState.channels.
+	ci int
+	// fresh marks an entry evaluated in the current inner iteration; absY
+	// is then the evaluated total and authoritative. At iteration end the
+	// entry converts to its rank form.
+	fresh bool
+	absY  float64
+	// rank is bestY − y as of the entry's evaluation; clean entries
+	// compete as y + rank in later iterations.
+	rank float64
+}
+
+// allocRunner carries the per-run mutable search state.
+type allocRunner struct {
+	st    *allocState
+	cache []rankEntry
+	valid []bool
+	views []*allocView
+	dirty []int
+}
+
+// allocateIncremental runs Algorithm 2 on the incremental engine. The
+// control flow — period loop, per-period switch budget, winner selection
+// with strict > in lexicographic AP order, ε stopping rule — mirrors
+// allocateGeneric statement for statement; only candidate pricing differs.
+func allocateIncremental(cfg *wlan.Config, st *allocState, opts AllocOptions) (*wlan.Config, AllocStats) {
+	cur := cfg.Clone()
+	nAP := len(st.apIDs)
+	stats := AllocStats{InitialEstimate: st.base.curY}
+	prevPeriod := stats.InitialEstimate
+	y := prevPeriod
+
+	r := &allocRunner{
+		st:    st,
+		cache: make([]rankEntry, nAP),
+		valid: make([]bool, nAP),
+	}
+	// Unpopulated cells price every candidate at the current total, so
+	// their rank is a structural 0.0 forever: seed permanent cache entries
+	// and never invalidate them (no changed cell is ever their neighbor).
+	for i := 0; i < nAP; i++ {
+		if st.populated[i] == 0 {
+			r.valid[i] = true
+		}
+	}
+
+	for period := 0; period < opts.maxPeriods(); period++ {
+		stats.Periods++
+		switched := make([]bool, nAP)
+		remaining := nAP
+		for sw := 0; remaining > 0 && sw < opts.switchBudget(); sw++ {
+			// Fresh-rank every dirty eligible AP, fanned across workers.
+			r.dirty = r.dirty[:0]
+			for _, i := range st.sortedIdx {
+				if !switched[i] && !r.valid[i] {
+					r.dirty = append(r.dirty, i)
+				}
+			}
+			r.runRanks(opts.workers())
+			stats.Evals.RankCacheHits += remaining - len(r.dirty)
+
+			// Winner selection: strict > scan in lexicographic AP order,
+			// fresh entries competing with their evaluated total, clean
+			// entries with y + rank. A cached winner is re-ranked fresh
+			// before it is allowed to commit; the (rare) refresh can
+			// change the standings, so re-scan until the winner is fresh.
+			winner := -1
+			winnerY := y
+			for {
+				winner = -1
+				winnerY = y
+				for _, i := range st.sortedIdx {
+					if switched[i] {
+						continue
+					}
+					e := &r.cache[i]
+					bv := y + e.rank
+					if e.fresh {
+						bv = e.absY
+					}
+					if bv > winnerY {
+						winner, winnerY = i, bv
+					}
+				}
+				if winner < 0 || r.cache[winner].fresh {
+					break
+				}
+				ci, absY := st.base.rankOf(winner)
+				r.cache[winner] = rankEntry{ci: ci, fresh: true, absY: absY}
+			}
+
+			// Record the iteration's ranks for every eligible AP, exactly
+			// as the generic path reports them: fresh entries as their
+			// evaluated bestY − y, clean entries as their cached rank.
+			ranks := make(map[string]float64, remaining)
+			for _, i := range st.sortedIdx {
+				if switched[i] {
+					continue
+				}
+				e := &r.cache[i]
+				if e.fresh {
+					ranks[st.apIDs[i]] = e.absY - y
+				} else {
+					ranks[st.apIDs[i]] = e.rank
+				}
+			}
+
+			if winner < 0 {
+				r.convertFresh(y)
+				break // max rank < 0: nobody can improve
+			}
+
+			ci := r.cache[winner].ci
+			winnerCh := st.channels[ci]
+			changed := st.commitMove(winner, ci)
+			st.base.curY = winnerY
+			cur.Channels[st.apIDs[winner]] = winnerCh
+			switched[winner] = true
+			remaining--
+			rank := winnerY - y
+			yBefore := y
+			y = winnerY
+			stats.Switches++
+			stats.Trajectory = append(stats.Trajectory, y)
+			stats.History = append(stats.History, SwitchRecord{
+				Period:   period + 1,
+				AP:       st.apIDs[winner],
+				Channel:  winnerCh,
+				Rank:     rank,
+				Estimate: y,
+				Ranks:    ranks,
+			})
+
+			// Surviving fresh entries become clean cache entries relative
+			// to the pre-switch total they were evaluated against...
+			r.convertFresh(yBefore)
+			// ...then the switch's blast radius goes dirty: the winner and
+			// every AP with a neighbor among the changed cells.
+			r.valid[winner] = false
+			for _, c := range changed {
+				for _, j := range st.neighbors[c] {
+					r.valid[j] = false
+				}
+			}
+		}
+		// Stop when the period's gain is within ε of the previous
+		// period (≤5% improvement by default).
+		if y < opts.epsilon()*prevPeriod {
+			break
+		}
+		prevPeriod = y
+	}
+	stats.FinalEstimate = y
+	stats.Evals.add(st.base.evals)
+	st.base.evals = EvalStats{}
+	return cur, stats
+}
+
+// convertFresh turns this iteration's fresh entries into clean rank-keyed
+// entries: rank = absY − yIter, the improvement over the total they were
+// evaluated against.
+func (r *allocRunner) convertFresh(yIter float64) {
+	for i := range r.cache {
+		if e := &r.cache[i]; e.fresh {
+			e.rank = e.absY - yIter
+			e.fresh = false
+		}
+	}
+}
+
+// runRanks fresh-evaluates every AP in r.dirty and stores the results in
+// the cache. Work is split into contiguous chunks over per-worker scratch
+// views; each result lands in its own cache slot, so no ordering race
+// exists and the outcome is independent of scheduling.
+func (r *allocRunner) runRanks(workers int) {
+	st := r.st
+	if workers > len(r.dirty) {
+		workers = len(r.dirty)
+	}
+	if workers <= 1 {
+		// Serial scan straight on the base view (evalMove reverts
+		// everything it touches).
+		for _, i := range r.dirty {
+			ci, absY := st.base.rankOf(i)
+			r.cache[i] = rankEntry{ci: ci, fresh: true, absY: absY}
+			r.valid[i] = true
+		}
+		return
+	}
+	for len(r.views) < workers {
+		r.views = append(r.views, st.newView())
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(r.dirty) / workers
+		hi := (w + 1) * len(r.dirty) / workers
+		v := r.views[w]
+		v.syncFrom(&st.base)
+		wg.Add(1)
+		go func(v *allocView, chunk []int) {
+			defer wg.Done()
+			for _, i := range chunk {
+				ci, absY := v.rankOf(i)
+				r.cache[i] = rankEntry{ci: ci, fresh: true, absY: absY}
+			}
+		}(v, r.dirty[lo:hi])
+	}
+	wg.Wait()
+	for _, i := range r.dirty {
+		r.valid[i] = true
+	}
+	// Fold the workers' counters into the run totals; integer sums are
+	// associative, so the totals match the serial scan's.
+	for _, v := range r.views {
+		st.base.evals.add(v.evals)
+		v.evals = EvalStats{}
+	}
+}

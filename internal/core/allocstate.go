@@ -1,0 +1,421 @@
+package core
+
+// Incremental evaluation state for Algorithm 2 (the tentpole of the
+// allocator-scaling work; see DESIGN.md §10).
+//
+// The generic path prices a candidate (AP i on channel c) with a full
+// estimator sweep: O(APs·clients + APs²) map-heavy work per candidate. But
+// between two candidates only one assignment differs, and the estimator's
+// objective is a sum of per-cell terms
+//
+//	Y(cfg) = Σ_i  k_i · M_i / ATD_i      (populated cells, AP order)
+//
+// where k_i and ATD_i depend only on the association map and the cell's
+// width (two widths → fully precomputable), and M_i = 1/(contenders+1)
+// depends only on which *conflicting* neighbors cell i has. Moving AP i
+// from channel a to channel b therefore changes exactly the cells
+//
+//	C = {i} ∪ {j ∈ N(i) : Conflicts(a, ch_j) ≠ Conflicts(b, ch_j)}
+//
+// (N(i) = populated contenders of i, a static graph during one run). The
+// incremental engine caches every cell term, recomputes only C, and re-sums
+// the cached terms in the same left-to-right AP order the estimator uses.
+// Because every term is produced by the same float expression and the sum
+// runs in the same order over bit-identical values, the result is
+// bit-identical to Estimator.NetworkThroughput — not merely close. That is
+// the property the golden-trace test and the parallel-equivalence tests
+// pin.
+//
+// Channel conflicts reduce to bitmask intersection: each 20 MHz component
+// gets one bit, a channel's mask is the OR of its component bits, and
+// Conflicts(a, b) ⟺ mask(a)&mask(b) != 0. This removes the slice
+// allocations of spectrum.Channel.Conflicts from the hot path.
+
+import (
+	"sort"
+
+	"acorn/internal/spectrum"
+	"acorn/internal/wlan"
+)
+
+// allocState is the immutable-per-run part of the incremental engine plus
+// the base view holding the committed configuration. It is built once per
+// AllocateChannels call.
+type allocState struct {
+	n *wlan.Network
+
+	// apIDs mirrors n.APs order (the estimator's summation order); apIdx
+	// inverts it. sortedIdx lists AP indices in lexicographic ID order —
+	// the greedy tie-breaking order of the search.
+	apIDs     []string
+	apIdx     map[string]int
+	sortedIdx []int
+
+	// populated is the cell size k_i; popIdx lists populated AP indices
+	// ascending (the cells that contribute to the objective).
+	populated []int
+	popIdx    []int
+
+	// atd holds the precomputed aggregate total delay of every populated
+	// cell for both widths ([0]=20 MHz, [1]=40 MHz), summed in n.Clients
+	// order exactly as Estimator.NetworkThroughput does.
+	atd [][2]float64
+
+	// neighbors is the static contention graph restricted to populated
+	// cells: neighbors[i] lists populated j ≠ i with Contend(i, j), in
+	// ascending index order. Contention is channel-independent, so the
+	// graph never changes during a run.
+	neighbors [][]int32
+
+	// channels is the candidate color set (band order, as the generic
+	// path iterates it); chMask and chWidthIdx are its per-candidate
+	// conflict masks and atd column indices.
+	channels   []spectrum.Channel
+	chMask     []uint64
+	chWidthIdx []uint8
+
+	// base is the committed configuration's view; scratch views for
+	// worker-parallel rank scans are cloned from it on demand.
+	base allocView
+
+	// commitScratch collects the changed-cell set of the last commit.
+	commitScratch []int32
+}
+
+// allocView is one mutable view of the search state: the per-AP channel
+// masks and width columns, the cached per-cell terms, and the cached total.
+// The base view tracks the committed configuration; each worker owns a
+// private view so candidate evaluations never contend. A view's arrays are
+// versioned against the base so workers resynchronize with two copies
+// instead of re-deriving anything.
+type allocView struct {
+	st      *allocState
+	mask    []uint64
+	wIdx    []uint8
+	cellY   []float64
+	curY    float64
+	version uint64
+
+	// Apply/revert scratch for evalMove.
+	touched []int32
+	savedY  []float64
+
+	// evals accumulates this view's work counters; the runner folds them
+	// into the run totals after every parallel round, keeping the totals
+	// independent of how work was sharded.
+	evals EvalStats
+}
+
+// newAllocState builds the incremental state for one run, or returns nil
+// when the configuration cannot be represented (a populated AP without an
+// assigned channel, or more than 64 distinct 20 MHz components in play) —
+// the caller then falls back to the generic path, which handles anything.
+func newAllocState(n *wlan.Network, cfg *wlan.Config, est *Estimator) *allocState {
+	st := &allocState{
+		n:         n,
+		apIDs:     make([]string, len(n.APs)),
+		apIdx:     make(map[string]int, len(n.APs)),
+		populated: make([]int, len(n.APs)),
+		atd:       make([][2]float64, len(n.APs)),
+		neighbors: make([][]int32, len(n.APs)),
+		channels:  n.Band.AllChannels(),
+	}
+	for i, ap := range n.APs {
+		st.apIDs[i] = ap.ID
+		st.apIdx[ap.ID] = i
+	}
+	if len(st.channels) == 0 {
+		return nil
+	}
+	st.sortedIdx = make([]int, len(st.apIDs))
+	for i := range st.sortedIdx {
+		st.sortedIdx[i] = i
+	}
+	sort.Slice(st.sortedIdx, func(a, b int) bool {
+		return st.apIDs[st.sortedIdx[a]] < st.apIDs[st.sortedIdx[b]]
+	})
+
+	// Component → bit assignment: band components first, then whatever the
+	// current configuration holds beyond the band.
+	compBit := make(map[spectrum.ChannelID]uint, 16)
+	maskOf := func(ch spectrum.Channel) (uint64, bool) {
+		var m uint64
+		for _, comp := range ch.Components() {
+			bit, ok := compBit[comp]
+			if !ok {
+				bit = uint(len(compBit))
+				if bit >= 64 {
+					return 0, false
+				}
+				compBit[comp] = bit
+			}
+			m |= 1 << bit
+		}
+		return m, true
+	}
+	st.chMask = make([]uint64, len(st.channels))
+	st.chWidthIdx = make([]uint8, len(st.channels))
+	for ci, ch := range st.channels {
+		m, ok := maskOf(ch)
+		if !ok {
+			return nil
+		}
+		st.chMask[ci] = m
+		st.chWidthIdx[ci] = widthIdx(ch.Width)
+	}
+
+	// Cell population, mirroring the estimator: count every association,
+	// read counts only for known APs.
+	for _, apID := range cfg.Assoc {
+		if i, ok := st.apIdx[apID]; ok {
+			st.populated[i]++
+		}
+	}
+	for i := range st.populated {
+		if st.populated[i] > 0 {
+			st.popIdx = append(st.popIdx, i)
+		}
+	}
+
+	// Current assignment masks. A populated cell must hold a representable
+	// channel; unpopulated cells may sit on anything (they contribute
+	// nothing and conflict with nothing when unassigned).
+	v := &st.base
+	v.st = st
+	v.mask = make([]uint64, len(n.APs))
+	v.wIdx = make([]uint8, len(n.APs))
+	v.cellY = make([]float64, len(n.APs))
+	for i, ap := range n.APs {
+		ch := cfg.Channels[ap.ID]
+		if ch.IsZero() {
+			if st.populated[i] > 0 {
+				return nil
+			}
+			continue
+		}
+		m, ok := maskOf(ch)
+		if !ok {
+			return nil
+		}
+		v.mask[i] = m
+		v.wIdx[i] = widthIdx(ch.Width)
+	}
+
+	// Per-cell delay tables for both widths, summed in n.Clients order —
+	// the exact order (and therefore the exact float sums) the estimator
+	// produces. Clients associated to unknown APs are skipped, like the
+	// estimator's per-cell loop never visits them.
+	clientsOf := make([][]*wlan.Client, len(n.APs))
+	for _, c := range n.Clients {
+		home, ok := st.apIdx[cfg.Assoc[c.ID]]
+		if !ok {
+			continue
+		}
+		st.atd[home][0] += est.clientDelayWidth(st.apIDs[home], c.ID, spectrum.Width20)
+		st.atd[home][1] += est.clientDelayWidth(st.apIDs[home], c.ID, spectrum.Width40)
+		clientsOf[home] = append(clientsOf[home], c)
+	}
+
+	// Static contention graph over populated cells. The predicate
+	// replicates wlan.Network.Contend for the pair (i, j) — the same
+	// direction the estimator's cache would fix on first query — but walks
+	// only the two cells' clients instead of every client in the network.
+	for a := 0; a < len(st.popIdx); a++ {
+		i := st.popIdx[a]
+		for b := a + 1; b < len(st.popIdx); b++ {
+			j := st.popIdx[b]
+			if st.contendPair(i, j, clientsOf) {
+				st.neighbors[i] = append(st.neighbors[i], int32(j))
+				st.neighbors[j] = append(st.neighbors[j], int32(i))
+			}
+		}
+	}
+
+	// Seed the per-cell terms and the cached total.
+	for _, i := range st.popIdx {
+		v.recompute(i)
+	}
+	v.curY = v.resum()
+	return st
+}
+
+// widthIdx maps a channel width to its atd column.
+func widthIdx(w spectrum.Width) uint8 {
+	if w == spectrum.Width40 {
+		return 1
+	}
+	return 0
+}
+
+// contendPair reports whether APs i and j contend for the medium: the
+// predicate of wlan.Network.Contend (carrier-sense between the APs, or
+// either AP carrier-sensing a client of the other), restricted to the two
+// cells' own clients. Boolean-equivalent to n.Contend(APs[i], APs[j], cfg).
+func (st *allocState) contendPair(i, j int, clientsOf [][]*wlan.Client) bool {
+	n := st.n
+	a, b := n.APs[i], n.APs[j]
+	if n.ContendOverride != nil {
+		return n.ContendOverride(a.ID, b.ID)
+	}
+	if n.Prop.RxPower(a.TxPower, a.Pos.DistanceTo(b.Pos), 0) >= n.CSThreshold {
+		return true
+	}
+	for _, cl := range clientsOf[i] {
+		if n.Prop.RxPower(b.TxPower, b.Pos.DistanceTo(cl.Pos), 0) >= n.CSThreshold {
+			return true
+		}
+	}
+	for _, cl := range clientsOf[j] {
+		if n.Prop.RxPower(a.TxPower, a.Pos.DistanceTo(cl.Pos), 0) >= n.CSThreshold {
+			return true
+		}
+	}
+	return false
+}
+
+// newView clones the base view for a worker.
+func (st *allocState) newView() *allocView {
+	v := &allocView{
+		st:    st,
+		mask:  append([]uint64(nil), st.base.mask...),
+		wIdx:  append([]uint8(nil), st.base.wIdx...),
+		cellY: append([]float64(nil), st.base.cellY...),
+	}
+	v.curY = st.base.curY
+	v.version = st.base.version
+	return v
+}
+
+// syncFrom refreshes a worker view to the base's committed state. Cheap:
+// three array copies, no recomputation.
+func (v *allocView) syncFrom(base *allocView) {
+	if v.version == base.version {
+		return
+	}
+	copy(v.mask, base.mask)
+	copy(v.wIdx, base.wIdx)
+	copy(v.cellY, base.cellY)
+	v.curY = base.curY
+	v.version = base.version
+}
+
+// recompute refreshes the cached term of cell i from the view's current
+// masks. The expression — including operation order — matches the
+// estimator's `float64(k) * accessShare / atd` term exactly.
+func (v *allocView) recompute(i int) {
+	st := v.st
+	v.evals.CellRecomputes++
+	atd := st.atd[i][v.wIdx[i]]
+	if atd <= 0 {
+		// The estimator skips such cells; a zero term keeps the resum
+		// bit-identical (adding +0.0 to a non-negative partial sum is
+		// exact).
+		v.cellY[i] = 0
+		return
+	}
+	m := v.mask[i]
+	contenders := 0
+	for _, j := range st.neighbors[i] {
+		if v.mask[j]&m != 0 {
+			contenders++
+		}
+	}
+	share := 1 / float64(contenders+1)
+	v.cellY[i] = float64(st.populated[i]) * share / atd
+}
+
+// resum folds the cached per-cell terms in AP order — the estimator's
+// summation order, which the comment in NetworkThroughput pins as the
+// determinism contract.
+func (v *allocView) resum() float64 {
+	var total float64
+	for _, i := range v.st.popIdx {
+		total += v.cellY[i]
+	}
+	return total
+}
+
+// evalMove prices the candidate "AP i moves to the channel with mask m and
+// width column w": it recomputes the affected cells, resums, and reverts.
+// Bit-identical to a full estimator sweep of the hypothetical
+// configuration.
+func (v *allocView) evalMove(i int, m uint64, w uint8) float64 {
+	st := v.st
+	old := v.mask[i]
+	if m == old || st.populated[i] == 0 {
+		// Same channel, or a cell that contributes nothing and conflicts
+		// with nothing: the objective cannot change.
+		return v.curY
+	}
+	v.evals.DeltaEvals++
+	v.touched = v.touched[:0]
+	v.savedY = v.savedY[:0]
+	oldW := v.wIdx[i]
+
+	v.touched = append(v.touched, int32(i))
+	v.savedY = append(v.savedY, v.cellY[i])
+	v.mask[i] = m
+	v.wIdx[i] = w
+	v.recompute(i)
+	for _, j := range st.neighbors[i] {
+		nm := v.mask[j]
+		if (nm&old != 0) != (nm&m != 0) {
+			v.touched = append(v.touched, j)
+			v.savedY = append(v.savedY, v.cellY[j])
+			v.recompute(int(j))
+		}
+	}
+	total := v.resum()
+
+	for k, j := range v.touched {
+		v.cellY[j] = v.savedY[k]
+	}
+	v.mask[i] = old
+	v.wIdx[i] = oldW
+	return total
+}
+
+// rankOf runs the candidate argmax for AP i over every channel in the band
+// — the incremental counterpart of bestChannelFor, with identical argmax
+// semantics (first maximum in candidate order wins; the current channel
+// prices at the cached total). It returns the winning candidate's index
+// into st.channels and its evaluated total.
+func (v *allocView) rankOf(i int) (int, float64) {
+	st := v.st
+	v.evals.RankEvals++
+	bestCi, bestY := 0, -1.0
+	for ci := range st.channels {
+		y := v.evalMove(i, st.chMask[ci], st.chWidthIdx[ci])
+		if y > bestY {
+			bestCi, bestY = ci, y
+		}
+	}
+	return bestCi, bestY
+}
+
+// commitMove installs "AP i moves to candidate ci" into the base view and
+// returns the changed-cell set C = {i} ∪ {flipped neighbors} (valid until
+// the next commit). The caller updates curY with the winner's evaluated
+// total — the same bits commitMove's own resum would produce.
+func (st *allocState) commitMove(i, ci int) []int32 {
+	v := &st.base
+	m, w := st.chMask[ci], st.chWidthIdx[ci]
+	old := v.mask[i]
+	changed := st.commitScratch[:0]
+
+	v.mask[i] = m
+	v.wIdx[i] = w
+	changed = append(changed, int32(i))
+	v.recompute(i)
+	for _, j := range st.neighbors[i] {
+		nm := v.mask[j]
+		if (nm&old != 0) != (nm&m != 0) {
+			changed = append(changed, j)
+			v.recompute(int(j))
+		}
+	}
+	v.curY = v.resum()
+	v.version++
+	st.commitScratch = changed
+	return changed
+}

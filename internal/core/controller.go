@@ -132,6 +132,21 @@ func RecordAllocMetrics(reg *obs.Registry, st AllocStats, cfg *wlan.Config) {
 			"final/initial estimated goodput of the last reallocation").
 			Set(st.FinalEstimate / st.InitialEstimate)
 	}
+	reg.Counter("acorn_core_alloc_rank_evals_total",
+		"per-AP rank evaluations performed across all reallocations").Add(uint64(st.Evals.RankEvals))
+	reg.Counter("acorn_core_alloc_rank_cache_hits_total",
+		"rank evaluations skipped by the dirty-rank cache").Add(uint64(st.Evals.RankCacheHits))
+	reg.Counter("acorn_core_alloc_delta_evals_total",
+		"candidate channels priced by incremental delta evaluation").Add(uint64(st.Evals.DeltaEvals))
+	reg.Counter("acorn_core_alloc_full_evals_total",
+		"candidate channels priced by full-network re-evaluation (generic path)").Add(uint64(st.Evals.FullEvals))
+	reg.Counter("acorn_core_alloc_cell_recomputes_total",
+		"per-cell throughput recomputations inside delta evaluations").Add(uint64(st.Evals.CellRecomputes))
+	if scans := st.Evals.RankEvals + st.Evals.RankCacheHits; scans > 0 {
+		reg.Gauge("acorn_core_alloc_rank_cache_hit_ratio",
+			"fraction of rank lookups served from the dirty-rank cache in the last reallocation").
+			Set(float64(st.Evals.RankCacheHits) / float64(scans))
+	}
 	var w20, w40 int
 	for _, ch := range cfg.Channels {
 		switch ch.Width {

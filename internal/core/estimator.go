@@ -87,17 +87,26 @@ func noiseUnit(apID, clientID string) float64 {
 }
 
 // ClientDelay returns the estimated d_cl of the link on the given channel.
+// The delay depends on the channel only through its width, which is what
+// lets the incremental allocator precompute per-(link, width) delay tables.
 func (e *Estimator) ClientDelay(apID, clientID string, ch spectrum.Channel) float64 {
-	snr := e.LinkSNR(apID, clientID, ch.Width)
-	sel := ratecontrol.Best(snr, ch.Width, e.n.PacketBytes)
+	return e.clientDelayWidth(apID, clientID, ch.Width)
+}
+
+// clientDelayWidth is ClientDelay keyed by width directly.
+func (e *Estimator) clientDelayWidth(apID, clientID string, w spectrum.Width) float64 {
+	snr := e.LinkSNR(apID, clientID, w)
+	sel := ratecontrol.Best(snr, w, e.n.PacketBytes)
 	return 1 / sel.GoodputMbps // goodput is floored by the MAC delay cap
 }
 
 // ClientPER returns the estimated PER of the link at the given width, the
-// output of the BER-estimation module followed by Eq. 6.
+// output of the BER-estimation module followed by Eq. 6: calibrate the SNR
+// for the width (bonding penalty), then select the rate a card would run at
+// that width and report its residual PER.
 func (e *Estimator) ClientPER(apID, clientID string, w spectrum.Width) float64 {
 	snr := e.LinkSNR(apID, clientID, w)
-	sel := ratecontrol.Best(snr, spectrum.Width20, e.n.PacketBytes)
+	sel := ratecontrol.Best(snr, w, e.n.PacketBytes)
 	return sel.PER
 }
 

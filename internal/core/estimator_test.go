@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"acorn/internal/ratecontrol"
+	"acorn/internal/spectrum"
+	"acorn/internal/units"
+)
+
+// TestClientPERUsesRequestedWidth pins the width handling of ClientPER: the
+// reported PER must come from the rate a card would select *at the requested
+// width* (calibrated SNR, width-matched MCS evaluation). A regression once
+// calibrated the SNR for 40 MHz but then selected the rate as if on a 20 MHz
+// channel, reporting the wrong residual PER for every bonded link.
+func TestClientPERUsesRequestedWidth(t *testing.T) {
+	n, clients := mixedNetwork()
+	est := NewEstimator(n)
+
+	for _, ap := range n.APs {
+		for _, c := range clients {
+			for _, w := range []spectrum.Width{spectrum.Width20, spectrum.Width40} {
+				want := ratecontrol.Best(est.LinkSNR(ap.ID, c.ID, w), w, n.PacketBytes).PER
+				if got := est.ClientPER(ap.ID, c.ID, w); got != want {
+					t.Fatalf("ClientPER(%s, %s, %v) = %v, want %v", ap.ID, c.ID, w, got, want)
+				}
+			}
+		}
+	}
+
+	// The pin above is only meaningful if width-mismatched selection can
+	// actually change the reported PER; sweep the SNR range to show at least
+	// one operating point where it does.
+	discriminates := false
+	for snr := -5.0; snr <= 45; snr += 0.25 {
+		right := ratecontrol.Best(units.DB(snr), spectrum.Width40, n.PacketBytes).PER
+		wrong := ratecontrol.Best(units.DB(snr), spectrum.Width20, n.PacketBytes).PER
+		if right != wrong {
+			discriminates = true
+			break
+		}
+	}
+	if !discriminates {
+		t.Fatal("no SNR where width-mismatched rate selection changes the PER; the pin is vacuous")
+	}
+}

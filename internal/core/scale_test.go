@@ -1,0 +1,317 @@
+package core
+
+// Scale harness for the allocator: synthetic enterprise topologies
+// (50/200/1000 APs), a 200-AP golden fixture pinning the incremental
+// engine to the generic full-sweep oracle's output, and the benchmark
+// pairs behind BENCH_alloc.json.
+//
+// The golden files are generated from the *generic* path (the pre-PR
+// reference implementation) with -update; the test replays the incremental
+// engine at worker counts 1/2/8 against them. A full-sweep run at 200 APs
+// takes minutes, which is exactly why the golden is a committed file and
+// not a live comparison:
+//
+//	go test ./internal/core -run TestAlloc200APGolden -update
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+
+	"acorn/internal/rf"
+	"acorn/internal/stats"
+	"acorn/internal/units"
+	"acorn/internal/wlan"
+)
+
+// scaleNetwork builds a deterministic synthetic enterprise floor: apCount
+// APs on a square grid with 60 m pitch (each AP carrier-senses its grid
+// neighborhood, degree ≈ 10–15 like a dense office deployment), and
+// clientsPerAP clients jittered around each AP, a third of them behind an
+// obstruction toward their nearest AP (the paper's poor links).
+func scaleNetwork(apCount, clientsPerAP int, seed int64) (*wlan.Network, []*wlan.Client) {
+	rng := stats.NewRand(seed)
+	cols := int(math.Ceil(math.Sqrt(float64(apCount))))
+	const pitch = 60.0
+	aps := make([]*wlan.AP, 0, apCount)
+	for i := 0; i < apCount; i++ {
+		aps = append(aps, &wlan.AP{
+			ID: fmt.Sprintf("ap%04d", i),
+			Pos: rf.Point{
+				X: float64(i%cols)*pitch + rng.Float64()*8,
+				Y: float64(i/cols)*pitch + rng.Float64()*8,
+			},
+			TxPower: 18,
+		})
+	}
+	clients := make([]*wlan.Client, 0, apCount*clientsPerAP)
+	for i, ap := range aps {
+		for k := 0; k < clientsPerAP; k++ {
+			c := &wlan.Client{
+				ID: fmt.Sprintf("u%05d", i*clientsPerAP+k),
+				Pos: rf.Point{
+					X: ap.Pos.X + (rng.Float64()-0.5)*50,
+					Y: ap.Pos.Y + (rng.Float64()-0.5)*50,
+				},
+			}
+			if rng.Float64() < 0.33 {
+				c.ExtraLoss = map[string]units.DB{ap.ID: units.DB(6 + rng.Float64()*18)}
+			}
+			clients = append(clients, c)
+		}
+	}
+	return wlan.NewNetwork(aps, clients), clients
+}
+
+// scaleSetup returns the cached (network, initial config) fixture for one
+// topology size: random initial channels and Algorithm-1 associations, the
+// state AllocateChannels starts from. AllocateChannels never mutates its
+// inputs, so tests and benchmarks share the fixture.
+func scaleSetup(tb testing.TB, apCount, clientsPerAP int, seed int64) (*wlan.Network, *wlan.Config) {
+	tb.Helper()
+	key := fmt.Sprintf("%d/%d/%d", apCount, clientsPerAP, seed)
+	if v, ok := scaleCache.Load(key); ok {
+		f := v.(*scaleFixture)
+		return f.n, f.cfg
+	}
+	n, clients := scaleNetwork(apCount, clientsPerAP, seed)
+	cfg := wlan.NewConfig()
+	rng := stats.NewRand(seed)
+	RandomInitial(n, cfg, rng.Intn)
+	AssociateAll(n, cfg, clients)
+	v, _ := scaleCache.LoadOrStore(key, &scaleFixture{n: n, cfg: cfg})
+	f := v.(*scaleFixture)
+	return f.n, f.cfg
+}
+
+type scaleFixture struct {
+	n   *wlan.Network
+	cfg *wlan.Config
+}
+
+var scaleCache sync.Map
+
+// alloc200Opts bounds the golden fixture's run: two periods of at most four
+// switches each exercise the dirty-rank cache within and across periods
+// while keeping the one-time full-sweep golden generation to minutes.
+var alloc200Opts = AllocOptions{MaxPeriods: 2, MaxSwitchesPerPeriod: 4}
+
+const (
+	alloc200GoldenPath = "testdata/alloc200_golden.json"
+	alloc200TracePath  = "testdata/alloc200_trace.jsonl"
+)
+
+// alloc200Golden is the JSON shape of the committed 200-AP fixture. Floats
+// are hex-formatted so the comparison is bit-exact across encode/decode.
+type alloc200Golden struct {
+	Channels   map[string]string `json:"channels"`
+	Periods    int               `json:"periods"`
+	Switches   int               `json:"switches"`
+	Initial    string            `json:"initial_mbps_hex"`
+	Final      string            `json:"final_mbps_hex"`
+	Trajectory []string          `json:"trajectory_mbps_hex"`
+	Winners    []alloc200Switch  `json:"winners"`
+}
+
+type alloc200Switch struct {
+	Period  int    `json:"period"`
+	AP      string `json:"ap"`
+	Channel string `json:"channel"`
+	Rank    string `json:"rank_hex"`
+}
+
+func hexFloat(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+func alloc200Record(cfg *wlan.Config, st AllocStats) alloc200Golden {
+	g := alloc200Golden{
+		Channels: make(map[string]string, len(cfg.Channels)),
+		Periods:  st.Periods,
+		Switches: st.Switches,
+		Initial:  hexFloat(st.InitialEstimate),
+		Final:    hexFloat(st.FinalEstimate),
+	}
+	for apID, ch := range cfg.Channels {
+		g.Channels[apID] = ch.String()
+	}
+	for _, y := range st.Trajectory {
+		g.Trajectory = append(g.Trajectory, hexFloat(y))
+	}
+	for _, rec := range st.History {
+		g.Winners = append(g.Winners, alloc200Switch{
+			Period: rec.Period, AP: rec.AP, Channel: rec.Channel.String(), Rank: hexFloat(rec.Rank),
+		})
+	}
+	return g
+}
+
+// TestAlloc200APGolden replays the incremental engine on the 200-AP fixture
+// against goldens generated from the generic full-sweep reference, for
+// worker counts 1, 2 and 8. Allocation, trajectory and winner sequence must
+// be bit-identical to the pre-optimization implementation; the convergence
+// trace must match the golden trace field-wise.
+func TestAlloc200APGolden(t *testing.T) {
+	n, cfg := scaleSetup(t, 200, 2, 42)
+	if *updateGolden {
+		gotCfg, st := allocateGeneric(n, cfg, NewEstimator(n), alloc200Opts)
+		if err := os.MkdirAll(filepath.Dir(alloc200GoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(alloc200Record(gotCfg, st), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(alloc200GoldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(alloc200TracePath, traceBytes(t, st, gotCfg), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s and %s (%d switches)", alloc200GoldenPath, alloc200TracePath, st.Switches)
+		return
+	}
+	raw, err := os.ReadFile(alloc200GoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	var want alloc200Golden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("corrupt golden: %v", err)
+	}
+	wantTrace, err := os.ReadFile(alloc200TracePath)
+	if err != nil {
+		t.Fatalf("missing golden trace (run with -update): %v", err)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			opts := alloc200Opts
+			opts.Workers = workers
+			gotCfg, st := AllocateChannels(n, cfg, NewEstimator(n), opts)
+			got := alloc200Record(gotCfg, st)
+			if got.Periods != want.Periods || got.Switches != want.Switches {
+				t.Fatalf("periods/switches = %d/%d, want %d/%d",
+					got.Periods, got.Switches, want.Periods, want.Switches)
+			}
+			if got.Initial != want.Initial || got.Final != want.Final {
+				t.Errorf("estimates %s/%s, want %s/%s (bit-exact)",
+					got.Initial, got.Final, want.Initial, want.Final)
+			}
+			if len(got.Channels) != len(want.Channels) {
+				t.Fatalf("%d channels, want %d", len(got.Channels), len(want.Channels))
+			}
+			for apID, ch := range want.Channels {
+				if got.Channels[apID] != ch {
+					t.Errorf("AP %s on %s, want %s", apID, got.Channels[apID], ch)
+				}
+			}
+			if len(got.Trajectory) != len(want.Trajectory) {
+				t.Fatalf("trajectory has %d points, want %d", len(got.Trajectory), len(want.Trajectory))
+			}
+			for i := range want.Trajectory {
+				if got.Trajectory[i] != want.Trajectory[i] {
+					t.Errorf("trajectory[%d] = %s, want %s (bit-exact)", i, got.Trajectory[i], want.Trajectory[i])
+				}
+			}
+			for i := range want.Winners {
+				if i < len(got.Winners) && got.Winners[i] != want.Winners[i] {
+					t.Errorf("switch %d = %+v, want %+v", i, got.Winners[i], want.Winners[i])
+				}
+			}
+			// The convergence trace must reproduce the reference trace
+			// field-wise (same tolerance discipline as the golden trace
+			// test: exact structure and winners, 1e-6-relative floats).
+			gotEvs := parseTrace(t, traceBytes(t, st, gotCfg))
+			wantEvs := parseTrace(t, wantTrace)
+			if len(gotEvs) != len(wantEvs) {
+				t.Fatalf("trace has %d events, golden has %d", len(gotEvs), len(wantEvs))
+			}
+			for i := range gotEvs {
+				if !traceEventsEqual(gotEvs[i], wantEvs[i]) {
+					t.Errorf("trace event %d differs:\ngot  %+v\nwant %+v", i, gotEvs[i], wantEvs[i])
+				}
+			}
+		})
+	}
+}
+
+// traceBytes renders one reallocation's convergence trace to JSONL.
+func traceBytes(t *testing.T, st AllocStats, cfg *wlan.Config) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.Reallocation(st, cfg)
+	if err := tw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// --- Benchmarks -----------------------------------------------------------
+//
+// Reference* pairs measure the generic full-sweep path (the pre-PR
+// implementation, reached through the public API via an opaque estimator
+// wrapper) against the incremental engine under identical options, so the
+// BENCH_alloc.json speedup ratios compare like with like in the same run.
+// The heavyweight entries skip under -short so bench-smoke stays fast.
+
+var allocBenchOpts = AllocOptions{MaxPeriods: 1, MaxSwitchesPerPeriod: 2}
+
+func benchAlloc(b *testing.B, apCount, clientsPerAP int, opts AllocOptions, generic bool) {
+	n, cfg := scaleSetup(b, apCount, clientsPerAP, 42)
+	est := NewEstimator(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if generic {
+			AllocateChannels(n, cfg, opaqueEstimator{est}, opts)
+		} else {
+			AllocateChannels(n, cfg, est, opts)
+		}
+	}
+}
+
+func BenchmarkAllocReference50AP(b *testing.B) {
+	benchAlloc(b, 50, 2, allocBenchOpts, true)
+}
+
+func BenchmarkAllocIncremental50AP(b *testing.B) {
+	benchAlloc(b, 50, 2, allocBenchOpts, false)
+}
+
+func BenchmarkAllocReference200AP(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-sweep 200-AP reference takes ~a minute per run")
+	}
+	benchAlloc(b, 200, 2, allocBenchOpts, true)
+}
+
+func BenchmarkAllocIncremental200AP(b *testing.B) {
+	benchAlloc(b, 200, 2, allocBenchOpts, false)
+}
+
+func BenchmarkAllocIncremental200APParallel(b *testing.B) {
+	opts := allocBenchOpts
+	opts.Workers = 0 // GOMAXPROCS
+	benchAlloc(b, 200, 2, opts, false)
+}
+
+// BenchmarkAllocIncremental200APConverged runs the incremental engine to
+// full convergence (the paper's unbounded inner loop) — the realistic
+// end-to-end reallocation cost at enterprise scale.
+func BenchmarkAllocIncremental200APConverged(b *testing.B) {
+	benchAlloc(b, 200, 2, AllocOptions{}, false)
+}
+
+func BenchmarkAllocIncremental1000AP(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1000-AP fixture setup is heavyweight")
+	}
+	benchAlloc(b, 1000, 2, AllocOptions{MaxPeriods: 1, MaxSwitchesPerPeriod: 8}, false)
+}

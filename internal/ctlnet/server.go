@@ -38,6 +38,9 @@ const (
 type Server struct {
 	// Seed drives the allocation's random initial coloring.
 	Seed int64
+	// Alloc tunes Algorithm 2 (worker count, period/switch bounds) for
+	// every Reallocate. The zero value keeps the defaults.
+	Alloc core.AllocOptions
 	// Log, when non-nil, receives leveled diagnostic lines (connects and
 	// disconnects at info, protocol trouble and quarantines at warn).
 	Log *obs.Logger
@@ -456,7 +459,7 @@ func (s *Server) Reallocate() (map[string]spectrum.Channel, error) {
 	}
 	s.mu.Unlock()
 	est := core.NewEstimator(n)
-	alloc, allocStats := core.AllocateChannels(n, cfg, est, core.AllocOptions{})
+	alloc, allocStats := core.AllocateChannels(n, cfg, est, s.Alloc)
 
 	out := make(map[string]spectrum.Channel, len(alloc.Channels))
 	s.mu.Lock()

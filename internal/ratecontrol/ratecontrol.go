@@ -100,12 +100,18 @@ func BestGI(snr units.DB, w spectrum.Width, packetBytes int) Selection {
 }
 
 // bestCache memoizes Best: the function is pure and the allocation search
-// evaluates the same links thousands of times. SNR is quantized to 0.01 dB,
-// which is far below any physically meaningful resolution.
+// evaluates the same links thousands of times. The key carries the exact
+// SNR bits — an earlier version quantized to 0.01 dB, which let two SNRs
+// within half a centi-dB share a slot and made every caller after the first
+// read a Selection computed from a *different* SNR. That turned results
+// order-dependent process-wide (whoever evaluated a bucket first seeded it
+// for everyone), which breaks any bit-exactness contract between two code
+// paths pricing the same links. Exact keying makes the memo invisible:
+// cached and uncached calls return identical bits in any call order.
 var bestCache sync.Map // bestKey → Selection
 
 type bestKey struct {
-	snrCentiDB  int64
+	snrBits     uint64
 	width       spectrum.Width
 	packetBytes int
 }
@@ -116,7 +122,7 @@ type bestKey struct {
 // successes/failures but also picks the best mode of operation (SDM or
 // STBC) based on the channel quality" (Section 3.2).
 func Best(snr units.DB, w spectrum.Width, packetBytes int) Selection {
-	key := bestKey{snrCentiDB: int64(math.Round(float64(snr) * 100)), width: w, packetBytes: packetBytes}
+	key := bestKey{snrBits: math.Float64bits(float64(snr)), width: w, packetBytes: packetBytes}
 	if v, ok := bestCache.Load(key); ok {
 		return v.(Selection)
 	}
