@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke alloc-bench-smoke obs-smoke cover experiments clean
+.PHONY: all build vet test race bench bench-smoke alloc-bench-smoke assoc-bench-smoke obs-smoke cover experiments clean
 
 # The default check path race-checks everything: the control plane is
 # deliberately concurrent (heartbeats, reconnect supervisors, chaos tests),
 # so plain `make` must catch data races, not just failures.
-all: build vet test race bench-smoke alloc-bench-smoke obs-smoke
+all: build vet test race bench-smoke alloc-bench-smoke assoc-bench-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,9 @@ bench:
 		-derive alloc_speedup_200ap=BenchmarkAllocReference200AP/BenchmarkAllocIncremental200AP \
 		-derive alloc_speedup_50ap=BenchmarkAllocReference50AP/BenchmarkAllocIncremental50AP \
 		< bench_output.txt > BENCH_alloc.json
+	$(GO) run ./cmd/benchjson -match '^BenchmarkAssoc' \
+		-derive assoc_speedup_50ap=BenchmarkAssocReferenceSweep50AP/BenchmarkAssocIncrementalSweep50AP \
+		< bench_output.txt > BENCH_assoc.json
 
 # One-iteration smoke pass over every benchmark: catches bit-rot in the
 # benchmark code without paying for real measurements. -short elides the
@@ -44,6 +47,13 @@ bench-smoke:
 alloc-bench-smoke:
 	$(GO) test -short -run 'TestAlloc200APGolden' -bench '^BenchmarkAlloc' \
 		-benchtime=1x -count=1 ./internal/core/ > /dev/null
+
+# Smoke the association scale harness: the churn-equivalence and golden
+# suites plus one iteration of every BenchmarkAssoc* short mode allows
+# (the full-sweep reference benchmark is elided; it takes minutes).
+assoc-bench-smoke:
+	$(GO) test -short -run 'TestAssoc(ChurnGolden|SweepWorkersDeterminism)' \
+		-bench '^BenchmarkAssoc' -benchtime=1x -count=1 ./internal/core/ > /dev/null
 
 # Boots acornd with -obs-addr and asserts /metrics and /healthz serve the
 # expected convergence metrics. OBS_SMOKE_PORT overrides the port.

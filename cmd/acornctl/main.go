@@ -105,12 +105,14 @@ func serve(args []string) {
 	logLevel := fs.String("log-level", "info", "log threshold: debug|info|warn|error|off")
 	obsAddr := fs.String("obs-addr", "", "serve /metrics, /healthz, /debug/vars and pprof on this address")
 	allocWorkers := fs.Int("alloc-workers", 0, "parallel rank-evaluation workers for Algorithm 2 (0 = GOMAXPROCS)")
+	assocWorkers := fs.Int("assoc-workers", 0, "parallel roaming-sweep workers for Algorithm 1 (0 = GOMAXPROCS)")
 	_ = fs.Parse(args)
 	setLevel(*logLevel)
 
 	s := ctlnet.NewServer(*seed)
 	s.Log = logger
 	s.Alloc.Workers = *allocWorkers
+	s.Assoc.Workers = *assocWorkers
 	s.ReportTTL = *reportTTL
 	s.HelloTimeout = *helloTimeout
 	s.PeerTimeout = *peerTimeout

@@ -37,7 +37,7 @@ func measure(n *acorn.Network, clients []*acorn.Client) map[string]ctlnet.Report
 			continue
 		}
 		home := cands[0]
-		cfg.Assoc[c.ID] = home.ID
+		cfg.SetAssoc(c.ID, home.ID)
 		rep := reports[home.ID]
 		rep.Clients = append(rep.Clients, ctlnet.ClientObs{
 			ClientID: c.ID,

@@ -66,6 +66,7 @@ func main() {
 	obsHold := flag.Duration("obs-hold", 0, "keep the process (and -obs-addr endpoints) alive this long after a local solve")
 	tracePath := flag.String("trace", "", "write the solver's JSONL convergence trace to this file (\"-\" = stdout)")
 	allocWorkers := flag.Int("alloc-workers", 0, "parallel rank-evaluation workers for Algorithm 2 (0 = GOMAXPROCS)")
+	assocWorkers := flag.Int("assoc-workers", 0, "parallel roaming-sweep workers for Algorithm 1 (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(*logLevel)
@@ -106,6 +107,7 @@ func main() {
 		logger.Fatalf("acornd: %v", err)
 	}
 	ctrl.Alloc.Workers = *allocWorkers
+	ctrl.Assoc.Workers = *assocWorkers
 	if *tracePath != "" {
 		w := os.Stdout
 		if *tracePath != "-" {

@@ -49,7 +49,7 @@ func main() {
 		cfg := acorn.NewConfig()
 		cfg.Channels["AP"] = ch
 		for id := range snrs {
-			cfg.Assoc[id] = "AP"
+			cfg.SetAssoc(id, "AP")
 		}
 		if err := cfg.Validate(net); err != nil {
 			log.Fatal(err)

@@ -127,14 +127,14 @@ func Configure(n *wlan.Network, clients []*wlan.Client) *wlan.Config {
 	}
 	for _, u := range clients {
 		if ap := AssociateDelayBased(n, cfg, u); ap != "" {
-			cfg.Assoc[u.ID] = ap
+			cfg.SetAssoc(u.ID, ap)
 		}
 	}
 	cfg = Greedy40(n, cfg)
 	for _, u := range clients {
-		delete(cfg.Assoc, u.ID)
+		cfg.Unassoc(u.ID)
 		if ap := AssociateDelayBased(n, cfg, u); ap != "" {
-			cfg.Assoc[u.ID] = ap
+			cfg.SetAssoc(u.ID, ap)
 		}
 	}
 	return cfg
@@ -154,7 +154,7 @@ func RandomConfig(n *wlan.Network, rng *rand.Rand) *wlan.Config {
 		if len(aps) == 0 {
 			continue
 		}
-		cfg.Assoc[cl.ID] = aps[rng.Intn(len(aps))].ID
+		cfg.SetAssoc(cl.ID, aps[rng.Intn(len(aps))].ID)
 	}
 	return cfg
 }

@@ -1,0 +1,561 @@
+package core
+
+// Equivalence and scale harness for the incremental association engine
+// (assocstate.go / assocsweep.go): a randomized churn suite driving the
+// engine and the beacon-path oracle through identical event sequences and
+// requiring bit-identical decisions, a committed golden churn fixture
+// generated from the oracle and replayed by the engine at worker counts
+// 1/2/8, and the benchmark pairs behind BENCH_assoc.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"testing"
+
+	"acorn/internal/rf"
+	"acorn/internal/spectrum"
+	"acorn/internal/stats"
+	"acorn/internal/units"
+	"acorn/internal/wlan"
+)
+
+// assocDriver abstracts "one association subsystem" so the oracle and the
+// engine can be driven through the same script. Every method mirrors the
+// Controller's semantics exactly.
+type assocDriver interface {
+	admit(u *wlan.Client) AssociationDecision
+	evict(id string)
+	roam(u *wlan.Client, margin float64) AssociationDecision
+	sweepSticky(us []*wlan.Client, margin float64) []AssociationDecision
+	sweepFresh(us []*wlan.Client) []AssociationDecision
+	install(channels map[string]spectrum.Channel) // a reallocation's channel switch
+	config() *wlan.Config
+}
+
+// oracleDriver is the reference implementation: the plain beacon path over a
+// configuration, exactly as the Controller behaves without an engine.
+type oracleDriver struct {
+	n   *wlan.Network
+	cfg *wlan.Config
+}
+
+func (o *oracleDriver) admit(u *wlan.Client) AssociationDecision {
+	d := Associate(o.n, o.cfg, u)
+	if d.APID != "" {
+		o.cfg.SetAssoc(u.ID, d.APID)
+	}
+	return d
+}
+
+func (o *oracleDriver) evict(id string) { o.cfg.Unassoc(id) }
+
+func (o *oracleDriver) roam(u *wlan.Client, margin float64) AssociationDecision {
+	d := AssociateSticky(o.n, o.cfg, u, o.cfg.Assoc[u.ID], margin)
+	if d.APID != "" {
+		o.cfg.SetAssoc(u.ID, d.APID)
+	}
+	return d
+}
+
+func (o *oracleDriver) sweepSticky(us []*wlan.Client, margin float64) []AssociationDecision {
+	ds := make([]AssociationDecision, 0, len(us))
+	for _, u := range us {
+		ds = append(ds, o.roam(u, margin))
+	}
+	return ds
+}
+
+func (o *oracleDriver) sweepFresh(us []*wlan.Client) []AssociationDecision {
+	ds := make([]AssociationDecision, 0, len(us))
+	for _, u := range us {
+		o.cfg.Unassoc(u.ID)
+		d := Associate(o.n, o.cfg, u)
+		if d.APID != "" {
+			o.cfg.SetAssoc(u.ID, d.APID)
+		}
+		ds = append(ds, d)
+	}
+	return ds
+}
+
+func (o *oracleDriver) install(channels map[string]spectrum.Channel) {
+	for apID, ch := range channels {
+		o.cfg.Channels[apID] = ch
+	}
+}
+
+func (o *oracleDriver) config() *wlan.Config { return o.cfg }
+
+// engineDriver drives the incremental engine. install clones the
+// configuration like Controller.Reallocate does, exercising the rebind path.
+type engineDriver struct {
+	t       testing.TB
+	n       *wlan.Network
+	cfg     *wlan.Config
+	eng     *assocEngine
+	workers int
+}
+
+func newEngineDriver(t testing.TB, n *wlan.Network, cfg *wlan.Config, workers int) *engineDriver {
+	t.Helper()
+	eng := newAssocEngine(n, cfg)
+	if eng == nil {
+		t.Fatal("association engine rejected a representable configuration")
+	}
+	return &engineDriver{t: t, n: n, cfg: cfg, eng: eng, workers: workers}
+}
+
+func (e *engineDriver) rebind() {
+	e.t.Helper()
+	if !e.eng.bind(e.cfg) {
+		e.t.Fatalf("association engine lost its binding mid-script (assoc=%d expect=%d nClients=%d seen=%d)",
+			len(e.cfg.Assoc), e.eng.expectAssocLen, len(e.n.Clients), e.eng.nClientsSeen)
+	}
+}
+
+func (e *engineDriver) admit(u *wlan.Client) AssociationDecision {
+	e.rebind()
+	d := e.eng.associate(u)
+	if d.APID != "" {
+		e.eng.applyHome(u.ID, e.eng.clients[u.ID], e.eng.apIdx[d.APID])
+	}
+	return d
+}
+
+func (e *engineDriver) evict(id string) {
+	e.rebind()
+	if !e.eng.evict(id) {
+		e.t.Fatal("engine evict hit an invariant breach")
+	}
+}
+
+func (e *engineDriver) roam(u *wlan.Client, margin float64) AssociationDecision {
+	e.rebind()
+	st := e.eng.ensureState(u)
+	d := e.eng.evalOne(st, sweepSticky, margin, nil)
+	if d.APID != "" {
+		e.eng.applyHome(u.ID, st, e.eng.apIdx[d.APID])
+	}
+	return d
+}
+
+func (e *engineDriver) sweepSticky(us []*wlan.Client, margin float64) []AssociationDecision {
+	e.rebind()
+	ds, _ := e.eng.sweep(us, sweepSticky, margin, e.workers)
+	return ds
+}
+
+func (e *engineDriver) sweepFresh(us []*wlan.Client) []AssociationDecision {
+	e.rebind()
+	ds, _ := e.eng.sweep(us, sweepFresh, 0, e.workers)
+	return ds
+}
+
+func (e *engineDriver) install(channels map[string]spectrum.Channel) {
+	next := e.cfg.Clone()
+	for apID, ch := range channels {
+		next.Channels[apID] = ch
+	}
+	e.cfg = next
+	e.rebind()
+}
+
+func (e *engineDriver) config() *wlan.Config { return e.cfg }
+
+// decisionsEqual requires bit-identical decisions (utilities compared by
+// their float bits).
+func decisionsEqual(a, b AssociationDecision) bool {
+	if a.ClientID != b.ClientID || a.APID != b.APID ||
+		math.Float64bits(a.Utility) != math.Float64bits(b.Utility) ||
+		len(a.Candidates) != len(b.Candidates) {
+		return false
+	}
+	for i := range a.Candidates {
+		if a.Candidates[i].APID != b.Candidates[i].APID ||
+			math.Float64bits(a.Candidates[i].Utility) != math.Float64bits(b.Candidates[i].Utility) {
+			return false
+		}
+	}
+	return true
+}
+
+func assocMapsEqual(t *testing.T, tag string, ref, got *wlan.Config) {
+	t.Helper()
+	if len(ref.Assoc) != len(got.Assoc) {
+		t.Fatalf("%s: engine tracks %d associations, oracle %d", tag, len(got.Assoc), len(ref.Assoc))
+	}
+	for id, apID := range ref.Assoc {
+		if got.Assoc[id] != apID {
+			t.Fatalf("%s: client %s at %q, oracle says %q", tag, id, got.Assoc[id], apID)
+		}
+	}
+}
+
+// TestAssocEngineChurnEquivalence drives the oracle and the engine through
+// ≥10k randomized admit/evict/roam events — interleaved with whole-population
+// sweeps, channel reshuffles (rebinds), client departures from the network,
+// and re-arrivals under reused IDs with new geometry — and requires every
+// decision and the association map to stay bit-identical throughout.
+func TestAssocEngineChurnEquivalence(t *testing.T) {
+	rng := stats.NewRand(99)
+	var aps []*wlan.AP
+	for i := 0; i < 6; i++ {
+		aps = append(aps, &wlan.AP{
+			ID:      fmt.Sprintf("AP%d", i+1),
+			Pos:     rf.Point{X: float64(i%3) * 100, Y: float64(i/3) * 100},
+			TxPower: 18,
+		})
+	}
+	n := wlan.NewNetwork(aps, nil)
+	channels := n.Band.AllChannels()
+
+	cfgRef := wlan.NewConfig()
+	RandomInitial(n, cfgRef, rng.Intn)
+	cfgEng := cfgRef.Clone()
+	oracle := &oracleDriver{n: n, cfg: cfgRef}
+	engine := newEngineDriver(t, n, cfgEng, 1)
+
+	spawn := func(id string) *wlan.Client {
+		home := aps[rng.Intn(len(aps))]
+		c := &wlan.Client{ID: id, Pos: rf.Point{
+			X: home.Pos.X + rng.Float64()*24 - 12,
+			Y: home.Pos.Y + rng.Float64()*24 - 12,
+		}}
+		if rng.Float64() < 0.35 {
+			wall := units.DB(40 + rng.Float64()*15)
+			c.ExtraLoss = make(map[string]units.DB, len(aps))
+			for _, ap := range aps {
+				c.ExtraLoss[ap.ID] = wall
+			}
+		}
+		return c
+	}
+	var active []*wlan.Client
+	var departed []string
+	seq := 0
+	const events = 10000
+	for i := 0; i < events; i++ {
+		tag := fmt.Sprintf("event %d", i)
+		r := rng.Float64()
+		switch {
+		case r < 0.02 && i > 0: // reallocation: new channels, engine rebind
+			next := make(map[string]spectrum.Channel, len(aps))
+			for _, ap := range aps {
+				next[ap.ID] = channels[rng.Intn(len(channels))]
+			}
+			oracle.install(next)
+			engine.install(next)
+		case r < 0.04 && len(active) > 1: // sticky whole-population sweep
+			us := append([]*wlan.Client(nil), active...)
+			want := oracle.sweepSticky(us, 0.05)
+			got := engine.sweepSticky(us, 0.05)
+			for k := range want {
+				if !decisionsEqual(want[k], got[k]) {
+					t.Fatalf("%s: sticky sweep decision for %s diverged:\noracle %+v\nengine %+v",
+						tag, us[k].ID, want[k], got[k])
+				}
+			}
+		case r < 0.05 && len(active) > 1: // fresh reassociation sweep
+			us := append([]*wlan.Client(nil), active...)
+			want := oracle.sweepFresh(us)
+			got := engine.sweepFresh(us)
+			for k := range want {
+				if !decisionsEqual(want[k], got[k]) {
+					t.Fatalf("%s: fresh sweep decision for %s diverged:\noracle %+v\nengine %+v",
+						tag, us[k].ID, want[k], got[k])
+				}
+			}
+		case r < 0.30 || len(active) == 0: // arrival (sometimes a reused ID)
+			var id string
+			if len(departed) > 0 && rng.Float64() < 0.25 {
+				// Reincarnation: a departed ID returns with new geometry.
+				k := rng.Intn(len(departed))
+				id = departed[k]
+				departed[k] = departed[len(departed)-1]
+				departed = departed[:len(departed)-1]
+			} else {
+				seq++
+				id = fmt.Sprintf("u%04d", seq)
+			}
+			if len(active) >= 80 {
+				break // population cap; treat as a dropped arrival
+			}
+			c := spawn(id)
+			n.Clients = append(n.Clients, c)
+			active = append(active, c)
+			want := oracle.admit(c)
+			got := engine.admit(c)
+			if !decisionsEqual(want, got) {
+				t.Fatalf("%s: admission of %s diverged:\noracle %+v\nengine %+v", tag, c.ID, want, got)
+			}
+		case r < 0.50 && len(active) > 0: // departure (evict, then leave the network)
+			k := rng.Intn(len(active))
+			id := active[k].ID
+			active = append(active[:k], active[k+1:]...)
+			oracle.evict(id)
+			engine.evict(id)
+			n.RemoveClient(id)
+			departed = append(departed, id)
+		default: // roam one client
+			u := active[rng.Intn(len(active))]
+			want := oracle.roam(u, 0.05)
+			got := engine.roam(u, 0.05)
+			if !decisionsEqual(want, got) {
+				t.Fatalf("%s: roam of %s diverged:\noracle %+v\nengine %+v", tag, u.ID, want, got)
+			}
+		}
+		assocMapsEqual(t, tag, oracle.config(), engine.config())
+		if i%50 == 0 && len(active) > 0 {
+			// Spot-check the raw beacons bit-for-bit, not just decisions.
+			u := active[rng.Intn(len(active))]
+			engine.rebind()
+			want := GatherBeacons(n, engine.config(), u)
+			got := engine.eng.beaconsFor(engine.eng.ensureState(u), nil)
+			if len(want) != len(got) {
+				t.Fatalf("%s: %d fast beacons, oracle %d", tag, len(got), len(want))
+			}
+			for b := range want {
+				w, g := want[b], got[b]
+				if w.APID != g.APID || w.Channel != g.Channel || w.K != g.K ||
+					math.Float64bits(w.M) != math.Float64bits(g.M) ||
+					math.Float64bits(w.ATD) != math.Float64bits(g.ATD) ||
+					math.Float64bits(w.DU) != math.Float64bits(g.DU) {
+					t.Fatalf("%s: beacon %s for %s diverged:\noracle %+v\nengine %+v",
+						tag, w.APID, u.ID, w, g)
+				}
+			}
+		}
+	}
+	if seq < 100 {
+		t.Fatalf("script degenerated: only %d distinct clients", seq)
+	}
+}
+
+// TestAssocSweepWorkersDeterminism pins the parallel sweep's contract: for
+// worker counts 1, 2 and 8 the decisions and the resulting configuration are
+// bit-identical to the sequential oracle loop.
+func TestAssocSweepWorkersDeterminism(t *testing.T) {
+	n, base := scaleSetup(t, 16, 8, 7)
+	clients := append([]*wlan.Client(nil), n.Clients...)
+	sort.Slice(clients, func(a, b int) bool { return clients[a].ID < clients[b].ID })
+
+	for _, mode := range []string{"sticky", "fresh"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			refCfg := base.Clone()
+			oracle := &oracleDriver{n: n, cfg: refCfg}
+			var want []AssociationDecision
+			if mode == "sticky" {
+				want = oracle.sweepSticky(clients, 0.05)
+			} else {
+				want = oracle.sweepFresh(clients)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				cfg := base.Clone()
+				drv := newEngineDriver(t, n, cfg, workers)
+				var got []AssociationDecision
+				if mode == "sticky" {
+					got = drv.sweepSticky(clients, 0.05)
+				} else {
+					got = drv.sweepFresh(clients)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: %d decisions, want %d", workers, len(got), len(want))
+				}
+				for k := range want {
+					if !decisionsEqual(want[k], got[k]) {
+						t.Fatalf("workers=%d: decision for %s diverged:\noracle %+v\nengine %+v",
+							workers, clients[k].ID, want[k], got[k])
+					}
+				}
+				assocMapsEqual(t, fmt.Sprintf("workers=%d", workers), refCfg, cfg)
+			}
+		})
+	}
+}
+
+// --- Golden churn fixture -------------------------------------------------
+
+const assocGoldenPath = "testdata/assoc_churn_golden.json"
+
+// assocGolden is the committed fixture: every decision of a scripted churn,
+// utilities hex-formatted for bit-exact comparison, plus the final
+// association map. Generated from the oracle with -update; replayed by the
+// engine at workers 1/2/8.
+type assocGolden struct {
+	Events    int               `json:"events"`
+	Decisions []assocGoldenStep `json:"decisions"`
+	Final     map[string]string `json:"final_assoc"`
+}
+
+type assocGoldenStep struct {
+	Client  string `json:"client"`
+	AP      string `json:"ap"`
+	Utility string `json:"utility_hex"`
+}
+
+// runAssocChurnScript executes the fixed scripted churn against a driver and
+// returns the recorded decision stream. The client pool stays in the network
+// throughout (arrival = admission, departure = eviction), so the script is a
+// pure function of the driver.
+func runAssocChurnScript(n *wlan.Network, pool []*wlan.Client, drv assocDriver) []assocGoldenStep {
+	rng := stats.NewRand(1234)
+	channels := n.Band.AllChannels()
+	var steps []assocGoldenStep
+	record := func(ds ...AssociationDecision) {
+		for _, d := range ds {
+			steps = append(steps, assocGoldenStep{Client: d.ClientID, AP: d.APID, Utility: hexFloat(d.Utility)})
+		}
+	}
+	present := make(map[string]bool, len(pool))
+	const events = 400
+	for i := 0; i < events; i++ {
+		switch {
+		case i%97 == 42:
+			next := make(map[string]spectrum.Channel)
+			for _, ap := range n.APs {
+				next[ap.ID] = channels[rng.Intn(len(channels))]
+			}
+			drv.install(next)
+		case i%53 == 17:
+			record(drv.sweepSticky(pool, 0.05)...)
+		case i%89 == 60:
+			record(drv.sweepFresh(pool)...)
+		default:
+			u := pool[rng.Intn(len(pool))]
+			switch {
+			case !present[u.ID]:
+				record(drv.admit(u))
+				present[u.ID] = true
+			case rng.Float64() < 0.3:
+				drv.evict(u.ID)
+				present[u.ID] = false
+			default:
+				record(drv.roam(u, 0.05))
+			}
+		}
+	}
+	return steps
+}
+
+// TestAssocChurnGolden replays the engine against the committed oracle
+// fixture at worker counts 1, 2 and 8: every recorded decision and the final
+// association map must match bit for bit.
+func TestAssocChurnGolden(t *testing.T) {
+	n, _ := scaleNetwork(8, 5, 11)
+	pool := append([]*wlan.Client(nil), n.Clients...)
+	baseCfg := wlan.NewConfig()
+	rng := stats.NewRand(11)
+	RandomInitial(n, baseCfg, rng.Intn)
+
+	if *updateGolden {
+		drv := &oracleDriver{n: n, cfg: baseCfg.Clone()}
+		steps := runAssocChurnScript(n, pool, drv)
+		g := assocGolden{Events: len(steps), Decisions: steps, Final: map[string]string{}}
+		for id, apID := range drv.config().Assoc {
+			g.Final[id] = apID
+		}
+		data, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(assocGoldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d decisions)", assocGoldenPath, len(steps))
+		return
+	}
+	raw, err := os.ReadFile(assocGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	var want assocGolden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("corrupt golden: %v", err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			drv := newEngineDriver(t, n, baseCfg.Clone(), workers)
+			steps := runAssocChurnScript(n, pool, drv)
+			if len(steps) != len(want.Decisions) {
+				t.Fatalf("script produced %d decisions, golden has %d", len(steps), len(want.Decisions))
+			}
+			for i := range steps {
+				if steps[i] != want.Decisions[i] {
+					t.Fatalf("decision %d = %+v, want %+v (bit-exact)", i, steps[i], want.Decisions[i])
+				}
+			}
+			final := drv.config().Assoc
+			if len(final) != len(want.Final) {
+				t.Fatalf("final map has %d associations, golden %d", len(final), len(want.Final))
+			}
+			for id, apID := range want.Final {
+				if final[id] != apID {
+					t.Errorf("final: client %s at %q, golden %q", id, final[id], apID)
+				}
+			}
+		})
+	}
+}
+
+// --- Benchmarks -----------------------------------------------------------
+//
+// The pairs behind BENCH_assoc.json: a full reassociation sweep of the
+// 50-AP / 2000-client fixture through the reference beacon path versus the
+// incremental engine. The reference costs minutes per iteration (each beacon
+// re-derives contention by scanning every client in the network), so it
+// skips under -short; the derived ratio in BENCH_assoc.json compares like
+// with like from the same `make bench` run.
+
+func BenchmarkAssocReferenceSweep50AP(b *testing.B) {
+	if testing.Short() {
+		b.Skip("reference sweep at 50 AP / 2000 clients takes minutes per run")
+	}
+	n, cfg := scaleSetup(b, 50, 40, 42)
+	clients := n.Clients
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drv := &oracleDriver{n: n, cfg: cfg.Clone()}
+		drv.sweepFresh(clients)
+	}
+}
+
+func benchAssocIncremental(b *testing.B, workers int) {
+	n, cfg := scaleSetup(b, 50, 40, 42)
+	clients := n.Clients
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The engine build is inside the measured region: the comparison is
+		// one sweep from cold, like the reference (deployments amortize the
+		// build across sweeps via the Controller, so this is conservative).
+		drv := newEngineDriver(b, n, cfg.Clone(), workers)
+		drv.sweepFresh(clients)
+	}
+}
+
+func BenchmarkAssocIncrementalSweep50AP(b *testing.B) {
+	benchAssocIncremental(b, 1)
+}
+
+func BenchmarkAssocIncrementalSweep50APParallel(b *testing.B) {
+	benchAssocIncremental(b, 0) // GOMAXPROCS
+}
+
+// BenchmarkAssocAdmit measures one engine-backed admission under a standing
+// population — the steady-state churn cost.
+func BenchmarkAssocAdmit(b *testing.B) {
+	n, cfg := scaleSetup(b, 50, 40, 42)
+	drv := newEngineDriver(b, n, cfg.Clone(), 1)
+	u := n.Clients[len(n.Clients)/2]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drv.admit(u)
+	}
+}

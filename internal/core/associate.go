@@ -16,10 +16,30 @@ package core
 // eligible for channel bonding.
 
 import (
+	"runtime"
 	"sort"
 
 	"acorn/internal/wlan"
 )
+
+// AssocOptions tunes the engine-backed Algorithm 1 paths (assocstate.go,
+// assocsweep.go).
+type AssocOptions struct {
+	// Workers is the number of goroutines a roaming sweep fans the
+	// per-client beacon evaluations across. Zero or negative means
+	// GOMAXPROCS; one forces the serial sweep. The resulting decisions and
+	// configuration are bit-identical for every value (evaluations run
+	// against a frozen round snapshot and are applied serially in stable
+	// client order). Paths without an engine ignore it.
+	Workers int
+}
+
+func (o AssocOptions) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
 
 // AssociationDecision records the outcome of Algorithm 1 for one client.
 type AssociationDecision struct {
@@ -57,7 +77,7 @@ func AssociateAll(n *wlan.Network, cfg *wlan.Config, clients []*wlan.Client) []A
 	for _, u := range clients {
 		d := Associate(n, cfg, u)
 		if d.APID != "" {
-			cfg.Assoc[u.ID] = d.APID
+			cfg.SetAssoc(u.ID, d.APID)
 		}
 		decisions = append(decisions, d)
 	}
@@ -71,7 +91,13 @@ func AssociateAll(n *wlan.Network, cfg *wlan.Config, clients []*wlan.Client) []A
 // churn the very groupings Algorithm 1 built. With an empty incumbent it
 // degenerates to Associate.
 func AssociateSticky(n *wlan.Network, cfg *wlan.Config, u *wlan.Client, incumbentID string, margin float64) AssociationDecision {
-	d := Associate(n, cfg, u)
+	return applySticky(Associate(n, cfg, u), incumbentID, margin)
+}
+
+// applySticky applies roaming hysteresis to a fresh association decision —
+// the shared post-processing step of AssociateSticky and the incremental
+// engine's sticky sweeps.
+func applySticky(d AssociationDecision, incumbentID string, margin float64) AssociationDecision {
 	if incumbentID == "" || d.APID == incumbentID {
 		return d
 	}
@@ -89,4 +115,32 @@ func AssociateSticky(n *wlan.Network, cfg *wlan.Config, u *wlan.Client, incumben
 	}
 	// Incumbent no longer in range: take the new best.
 	return d
+}
+
+// RoamSweep re-evaluates the association of every given client in input
+// order with roaming hysteresis, applying each move to cfg, and returns the
+// decisions in the same order. It is equivalent to calling AssociateSticky
+// for each client in turn (each decision applied before the next client is
+// evaluated) but runs the incremental association engine with
+// opts.Workers-wide parallel beacon evaluation when the configuration is
+// representable; the fallback is the sequential reference loop. Both paths
+// produce bit-identical decisions and final configurations.
+//
+// Long-lived deployments that sweep repeatedly should prefer
+// Controller.RoamAll, which reuses one engine (and its delay memos) across
+// sweeps instead of rebuilding per call.
+func RoamSweep(n *wlan.Network, cfg *wlan.Config, clients []*wlan.Client, margin float64, opts AssocOptions) []AssociationDecision {
+	if e := newAssocEngine(n, cfg); e != nil {
+		ds, _ := e.sweep(clients, sweepSticky, margin, opts.workers())
+		return ds
+	}
+	ds := make([]AssociationDecision, 0, len(clients))
+	for _, u := range clients {
+		d := AssociateSticky(n, cfg, u, cfg.Assoc[u.ID], margin)
+		if d.APID != "" {
+			cfg.SetAssoc(u.ID, d.APID)
+		}
+		ds = append(ds, d)
+	}
+	return ds
 }

@@ -1,0 +1,225 @@
+package core
+
+// The deterministic parallel roaming sweep (the second half of the
+// association-scaling tentpole; see assocstate.go and DESIGN.md §11).
+//
+// The sequential contract a sweep must honor is strict: clients are
+// processed one by one in input order, each decision applied before the next
+// client gathers beacons. Naive parallelization breaks that — an early
+// client's move changes later clients' beacons.
+//
+// The engine parallelizes in rounds instead. Each round freezes the engine
+// state, fans the pending clients' beacon evaluations across workers
+// (read-only: per-worker delay overlays absorb memo writes), then applies
+// decisions serially in input order — but only while they are provably
+// unaffected by the moves already applied this round. A move of client w
+// from home h to AP b can change client u's beacons only if some candidate
+// a of u satisfies
+//
+//	a ∈ {h, b}  ∨  mask(a) & (mask(h)|mask(b)) ≠ 0
+//
+// (the move edits exactly the cells h and b: their memberships — felt
+// through ClientsOf — and their populations and pair counts, which enter
+// another cell's M only through channel-conflict-gated contender terms).
+// The first client whose candidates intersect the round's dirty set defers,
+// along with everything after it, to the next round — keeping the processed
+// set a strict prefix of the input order. A deferred client re-evaluates
+// against the updated state next round, so by induction every applied
+// decision equals the one the sequential loop would have produced, bit for
+// bit, regardless of worker count. The first pending client is always clean
+// (nothing precedes it in its round), so every round makes progress.
+//
+// Roaming sweeps defer rarely: most decisions are "stay", and staying moves
+// nothing, so rounds drain whole batches. Mass reshuffles degrade toward
+// sequential plus wasted evaluations — the deferral counter in the metrics
+// makes that visible.
+
+import (
+	"sort"
+	"sync"
+
+	"acorn/internal/wlan"
+)
+
+type sweepMode int
+
+const (
+	// sweepFresh is Controller.reassociate semantics: each client is
+	// re-evaluated from scratch; out of range means unassociated.
+	sweepFresh sweepMode = iota
+	// sweepSticky is Controller.Roam semantics: hysteresis against the
+	// incumbent; out of range keeps the incumbent.
+	sweepSticky
+)
+
+// sweepStats summarizes one sweep's round structure.
+type sweepStats struct {
+	rounds, moves, deferrals int
+}
+
+// delayOverlay is a worker-private write layer over the engine's beacon
+// delay memo, plus the worker's share of the stats. Merged serially after
+// each round; the values are deterministic, so merge order is irrelevant.
+type delayOverlay struct {
+	m     map[assocDelayKey]float64
+	stats assocEngineStats
+}
+
+// evalOne produces the decision the sequential loop would make for the
+// client against the engine's current state, without applying it.
+func (e *assocEngine) evalOne(cst *assocClient, mode sweepMode, margin float64, ov *delayOverlay) AssociationDecision {
+	d := AssociateFromBeacons(cst.c.ID, e.beaconsFor(cst, ov))
+	sort.Slice(d.Candidates, func(a, b int) bool { return d.Candidates[a].APID < d.Candidates[b].APID })
+	if mode == sweepSticky {
+		incumbent := ""
+		if cst.home >= 0 {
+			incumbent = e.apIDs[cst.home]
+		}
+		d = applySticky(d, incumbent, margin)
+	}
+	return d
+}
+
+// sweepDirty reports whether any of the client's candidate APs intersects
+// the round's dirty set (by identity or by channel conflict).
+func (e *assocEngine) sweepDirty(cst *assocClient, dirtyAPs []uint64, dirtyComp uint64) bool {
+	for w, word := range cst.candBits {
+		if word&dirtyAPs[w] != 0 {
+			return true
+		}
+	}
+	if dirtyComp != 0 {
+		for _, a := range cst.cands {
+			if e.mask[a]&dirtyComp != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sweep runs Algorithm 1 over the given clients in input order — fresh
+// (reassociation) or sticky (roaming) — applying every move, and returns the
+// decisions in input order. Bit-identical to the sequential reference loop
+// for any worker count.
+func (e *assocEngine) sweep(clients []*wlan.Client, mode sweepMode, margin float64, workers int) ([]AssociationDecision, sweepStats) {
+	decisions := make([]AssociationDecision, len(clients))
+	states := make([]*assocClient, len(clients))
+	for i, u := range clients {
+		states[i] = e.ensureState(u)
+	}
+	if workers > len(clients) {
+		workers = len(clients)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var sst sweepStats
+	if workers <= 1 {
+		// Sequential fast path: evaluate and apply one client at a time.
+		// This sidesteps the round machinery's worst case — a sweep where
+		// most decisions are moves (e.g. building associations from an
+		// empty configuration) shrinks every round to one client, and the
+		// frozen-round evaluations of everyone behind it are wasted.
+		sst.rounds = 1
+		for i, u := range clients {
+			cst := states[i]
+			d := e.evalOne(cst, mode, margin, nil)
+			decisions[i] = d
+			target := -1
+			if d.APID != "" {
+				target = e.apIdx[d.APID]
+			} else if mode == sweepSticky {
+				target = cst.home
+			}
+			if target != cst.home {
+				e.applyHome(u.ID, cst, target)
+				sst.moves++
+			}
+		}
+		return decisions, sst
+	}
+	pending := make([]int, len(clients))
+	for i := range pending {
+		pending[i] = i
+	}
+	results := make([]AssociationDecision, len(clients))
+	words := (len(e.aps) + 63) / 64
+	dirtyAPs := make([]uint64, words)
+	for len(pending) > 0 {
+		sst.rounds++
+		// Build the reverse association index before the read-only fan-out
+		// so workers never trigger its lazy construction concurrently.
+		e.cfg.ClientsOf("")
+		if workers <= 1 {
+			for _, ci := range pending {
+				results[ci] = e.evalOne(states[ci], mode, margin, nil)
+			}
+		} else {
+			overlays := make([]*delayOverlay, 0, workers)
+			var wg sync.WaitGroup
+			chunk := (len(pending) + workers - 1) / workers
+			for lo := 0; lo < len(pending); lo += chunk {
+				hi := lo + chunk
+				if hi > len(pending) {
+					hi = len(pending)
+				}
+				ov := &delayOverlay{m: make(map[assocDelayKey]float64)}
+				overlays = append(overlays, ov)
+				wg.Add(1)
+				go func(idx []int, ov *delayOverlay) {
+					defer wg.Done()
+					for _, ci := range idx {
+						results[ci] = e.evalOne(states[ci], mode, margin, ov)
+					}
+				}(pending[lo:hi], ov)
+			}
+			wg.Wait()
+			for _, ov := range overlays {
+				for k, v := range ov.m {
+					e.beaconDelay[k] = v
+				}
+				e.stats.add(ov.stats)
+			}
+		}
+		// Serial application in input order, stopping at the first client
+		// the round's own moves may have invalidated.
+		applied := 0
+		for i := range dirtyAPs {
+			dirtyAPs[i] = 0
+		}
+		var dirtyComp uint64
+		anyMove := false
+		for k, ci := range pending {
+			cst := states[ci]
+			if anyMove && e.sweepDirty(cst, dirtyAPs, dirtyComp) {
+				break
+			}
+			d := results[ci]
+			decisions[ci] = d
+			target := -1
+			if d.APID != "" {
+				target = e.apIdx[d.APID]
+			} else if mode == sweepSticky {
+				target = cst.home // out of range: sticky keeps the incumbent
+			}
+			if h := cst.home; target != h {
+				if h >= 0 {
+					dirtyAPs[h/64] |= 1 << (uint(h) % 64)
+					dirtyComp |= e.mask[h]
+				}
+				if target >= 0 {
+					dirtyAPs[target/64] |= 1 << (uint(target) % 64)
+					dirtyComp |= e.mask[target]
+				}
+				e.applyHome(cst.c.ID, cst, target)
+				sst.moves++
+				anyMove = true
+			}
+			applied = k + 1
+		}
+		sst.deferrals += len(pending) - applied
+		pending = pending[applied:]
+	}
+	return decisions, sst
+}

@@ -92,15 +92,16 @@ func GatherBeacon(n *wlan.Network, cfg *wlan.Config, ap *wlan.AP, u *wlan.Client
 // least temporarily) associated with it, so the cell counts as active. The
 // trial association is applied in place and restored — this runs once per
 // candidate AP per admission, and cloning the whole configuration here
-// dominated admission cost in churn simulations.
+// dominated admission cost in churn simulations. The toggle goes through
+// SetAssoc/Unassoc so the reverse index AccessShare reads stays consistent.
 func accessShareWith(n *wlan.Network, cfg *wlan.Config, ap *wlan.AP, u *wlan.Client) float64 {
 	prev, had := cfg.Assoc[u.ID]
-	cfg.Assoc[u.ID] = ap.ID
+	cfg.SetAssoc(u.ID, ap.ID)
 	m := n.AccessShare(cfg, ap)
 	if had {
-		cfg.Assoc[u.ID] = prev
+		cfg.SetAssoc(u.ID, prev)
 	} else {
-		delete(cfg.Assoc, u.ID)
+		cfg.Unassoc(u.ID)
 	}
 	return m
 }

@@ -30,6 +30,9 @@ type Controller struct {
 	Period time.Duration
 	// Alloc tunes Algorithm 2.
 	Alloc AllocOptions
+	// Assoc tunes the engine-backed Algorithm 1 paths (parallel roaming
+	// sweeps).
+	Assoc AssocOptions
 	// Seed drives the random initial channel assignment.
 	Seed int64
 	// Obs receives reallocation metrics; nil means obs.Default.
@@ -39,6 +42,16 @@ type Controller struct {
 	Trace *TraceWriter
 
 	cfg *wlan.Config
+
+	// engine is the lazily built incremental association engine
+	// (assocstate.go). Every association path consults engineFor, which
+	// rebuilds or drops it as the binding evolves; a nil engine means the
+	// reference path, which is always correct. engineOff latches an
+	// unrepresentable binding until the next reallocation changes it.
+	engine    *assocEngine
+	engineOff bool
+	// enginePub is the watermark of engine stats already published to Obs.
+	enginePub assocEngineStats
 }
 
 // NewController creates a controller with a random initial channel
@@ -62,18 +75,88 @@ func (c *Controller) Config() *wlan.Config { return c.cfg.Clone() }
 // churn simulator) where per-event cloning would dominate.
 func (c *Controller) ConfigView() *wlan.Config { return c.cfg }
 
+// registry returns the controller's metric registry (obs.Default when unset).
+func (c *Controller) registry() *obs.Registry {
+	if c.Obs != nil {
+		return c.Obs
+	}
+	return obs.Default
+}
+
+// engineFor returns the incremental association engine for the current
+// binding, building or rebuilding it as needed, or nil when the binding is
+// unrepresentable (callers then run the reference path).
+func (c *Controller) engineFor() *assocEngine {
+	if c.engineOff {
+		return nil
+	}
+	if c.engine != nil && c.engine.bind(c.cfg) {
+		return c.engine
+	}
+	c.publishEngineStats() // flush the outgoing engine's counters
+	c.engine = newAssocEngine(c.Network, c.cfg)
+	c.enginePub = assocEngineStats{}
+	if c.engine == nil {
+		c.engineOff = true
+		c.registry().Counter("acorn_core_assoc_engine_fallbacks_total",
+			"bindings the association engine could not represent (reference path used)").Inc()
+		return nil
+	}
+	c.registry().Counter("acorn_core_assoc_engine_builds_total",
+		"association engine (re)builds").Inc()
+	return c.engine
+}
+
+// publishEngineStats pushes the engine's counter deltas since the last
+// publication into the registry.
+func (c *Controller) publishEngineStats() {
+	e := c.engine
+	if e == nil {
+		return
+	}
+	reg := c.registry()
+	cur := e.stats
+	reg.Counter("acorn_core_assoc_updates_total",
+		"O(1) aggregate updates applied by the association engine").Add(uint64(cur.updates - c.enginePub.updates))
+	reg.Counter("acorn_core_assoc_fast_beacons_total",
+		"modified beacons produced by the association engine").Add(uint64(cur.fastBeacons - c.enginePub.fastBeacons))
+	reg.Counter("acorn_core_assoc_delay_memo_hits_total",
+		"beacon delay lookups served from the engine memo").Add(uint64(cur.memoHits - c.enginePub.memoHits))
+	reg.Counter("acorn_core_assoc_delay_memo_misses_total",
+		"beacon delay lookups computed and memoized").Add(uint64(cur.memoMisses - c.enginePub.memoMisses))
+	c.enginePub = cur
+}
+
 // Evict removes a departed client's association. Unknown IDs are a no-op.
 func (c *Controller) Evict(clientID string) {
-	delete(c.cfg.Assoc, clientID)
+	if e := c.engineFor(); e != nil {
+		if e.evict(clientID) {
+			return
+		}
+		// Invariant breach (an associated client the engine never saw):
+		// fall back and rebuild on next use.
+		c.engine = nil
+	}
+	c.cfg.Unassoc(clientID)
 }
 
 // Admit runs Algorithm 1 for one client and applies the decision. It
 // returns the decision; a decision with empty APID means the client is out
 // of range of every AP.
 func (c *Controller) Admit(u *wlan.Client) AssociationDecision {
+	span := c.registry().Histogram("acorn_core_admit_seconds",
+		"wall time of one Algorithm-1 admission", nil).Start()
+	defer span.End()
+	if e := c.engineFor(); e != nil {
+		d := e.associate(u)
+		if d.APID != "" {
+			e.applyHome(u.ID, e.clients[u.ID], e.apIdx[d.APID])
+		}
+		return d
+	}
 	d := Associate(c.Network, c.cfg, u)
 	if d.APID != "" {
-		c.cfg.Assoc[u.ID] = d.APID
+		c.cfg.SetAssoc(u.ID, d.APID)
 	}
 	return d
 }
@@ -98,9 +181,21 @@ func (c *Controller) Reallocate() AllocStats {
 	}
 	span := reg.Histogram("acorn_core_reallocate_seconds",
 		"wall time of one Algorithm-2 channel reallocation", nil).Start()
-	est := NewEstimator(c.Network)
+	// The association engine shares its link caches with the allocator:
+	// a vended estimator reuses the measured reference SNRs and the
+	// per-(link, width) delay memo across reallocations (same float
+	// expressions as NewEstimator, so allocations are unchanged).
+	var est *Estimator
+	if e := c.engineFor(); e != nil {
+		est = e.vendEstimator()
+	} else {
+		est = NewEstimator(c.Network)
+	}
 	next, st := AllocateChannels(c.Network, c.cfg, est, c.Alloc)
 	c.cfg = next
+	// New channels may make a previously unrepresentable binding
+	// representable again; let the next association path retry the engine.
+	c.engineOff = false
 	span.End()
 	RecordAllocMetrics(reg, st, c.cfg)
 	reg.Gauge("acorn_core_clients_associated",
@@ -178,13 +273,30 @@ func (c *Controller) AutoConfigure(clients []*wlan.Client) *wlan.NetworkReport {
 // reassociate re-runs Algorithm 1 for each client under the current
 // channels, in the original arrival order.
 func (c *Controller) reassociate(clients []*wlan.Client) {
+	if e := c.engineFor(); e != nil {
+		_, sst := e.sweep(clients, sweepFresh, 0, c.Assoc.workers())
+		c.publishSweep(sst)
+		return
+	}
 	for _, u := range clients {
-		delete(c.cfg.Assoc, u.ID)
+		c.cfg.Unassoc(u.ID)
 		d := Associate(c.Network, c.cfg, u)
 		if d.APID != "" {
-			c.cfg.Assoc[u.ID] = d.APID
+			c.cfg.SetAssoc(u.ID, d.APID)
 		}
 	}
+}
+
+// publishSweep records one engine sweep's round structure.
+func (c *Controller) publishSweep(sst sweepStats) {
+	reg := c.registry()
+	reg.Counter("acorn_core_roam_sweep_rounds_total",
+		"snapshot-evaluate-apply rounds across all association sweeps").Add(uint64(sst.rounds))
+	reg.Counter("acorn_core_roam_sweep_moves_total",
+		"association moves applied by sweeps").Add(uint64(sst.moves))
+	reg.Counter("acorn_core_roam_sweep_deferrals_total",
+		"client evaluations deferred to a later round by the dirty test").Add(uint64(sst.deferrals))
+	c.publishEngineStats()
 }
 
 // goodputAt is the shared "expected goodput at SNR and width" primitive the
@@ -200,10 +312,40 @@ func goodputAt(n *wlan.Network, snr units.DB, w spectrum.Width) float64 {
 // given fractional margin. Long-running deployments call it for every
 // present client at each reallocation tick.
 func (c *Controller) Roam(u *wlan.Client, margin float64) AssociationDecision {
+	if e := c.engineFor(); e != nil {
+		st := e.ensureState(u)
+		d := e.evalOne(st, sweepSticky, margin, nil)
+		if d.APID != "" {
+			e.applyHome(u.ID, st, e.apIdx[d.APID])
+		}
+		return d
+	}
 	incumbent := c.cfg.Assoc[u.ID]
 	d := AssociateSticky(c.Network, c.cfg, u, incumbent, margin)
 	if d.APID != "" {
-		c.cfg.Assoc[u.ID] = d.APID
+		c.cfg.SetAssoc(u.ID, d.APID)
 	}
 	return d
+}
+
+// RoamAll re-evaluates every given client's association with roaming
+// hysteresis in input order — equivalent to calling Roam for each client in
+// turn (each decision applied before the next evaluation), but dispatched as
+// one engine sweep with Assoc.Workers-wide parallel beacon evaluation. The
+// decisions and the final configuration are bit-identical to the sequential
+// loop for any worker count.
+func (c *Controller) RoamAll(clients []*wlan.Client, margin float64) []AssociationDecision {
+	span := c.registry().Histogram("acorn_core_roam_sweep_seconds",
+		"wall time of one whole-population roaming sweep", nil).Start()
+	defer span.End()
+	if e := c.engineFor(); e != nil {
+		ds, sst := e.sweep(clients, sweepSticky, margin, c.Assoc.workers())
+		c.publishSweep(sst)
+		return ds
+	}
+	ds := make([]AssociationDecision, 0, len(clients))
+	for _, u := range clients {
+		ds = append(ds, c.Roam(u, margin))
+	}
+	return ds
 }

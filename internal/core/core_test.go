@@ -67,7 +67,7 @@ func TestGatherBeaconCountsInquirer(t *testing.T) {
 		t.Errorf("beacon delays malformed: ATD %v, DU %v", b.ATD, b.DU)
 	}
 	// An already-associated inquirer is not double counted.
-	cfg.Assoc["p1"] = "AP1"
+	cfg.SetAssoc("p1", "AP1")
 	b2 := GatherBeacon(n, cfg, n.AP("AP1"), u)
 	if b2.K != 2 {
 		t.Errorf("re-inquiry K = %d, want 2", b2.K)
@@ -398,6 +398,58 @@ func TestControllerRoam(t *testing.T) {
 	// (the admission decision was already utility-optimal).
 	if got := ctrl.Config().Assoc[clients[0].ID]; got != before {
 		t.Errorf("gratuitous roam %s → %s", before, got)
+	}
+}
+
+// TestCellThroughputUsesCachedAccessShare pins the fix for the silent
+// cache bypass: CellThroughput must price the access share through the
+// estimator's cached contention relation (like NetworkThroughput), not the
+// network's live predicate. The cached relation is deliberately frozen at
+// first query, so after moving a bridging client away the live predicate
+// changes while the estimator's view — and therefore CellThroughput — must
+// not.
+func TestCellThroughputUsesCachedAccessShare(t *testing.T) {
+	a := &wlan.AP{ID: "A", Pos: rf.Point{X: 0, Y: 0}, TxPower: 18}
+	b := &wlan.AP{ID: "B", Pos: rf.Point{X: 400, Y: 0}, TxPower: 18}
+	ca := &wlan.Client{ID: "ca", Pos: rf.Point{X: 2, Y: 1}}
+	mid := &wlan.Client{ID: "mid", Pos: rf.Point{X: 100, Y: 0}}
+	farB := &wlan.Client{ID: "farB", Pos: rf.Point{X: 402, Y: 1}}
+	n := wlan.NewNetwork([]*wlan.AP{a, b}, []*wlan.Client{ca, mid, farB})
+	cfg := wlan.NewConfig()
+	cfg.Channels["A"] = spectrum.NewChannel20(36)
+	cfg.Channels["B"] = spectrum.NewChannel20(36)
+	cfg.SetAssoc("ca", "A")
+	cfg.SetAssoc("farB", "B")
+	cfg.SetAssoc("mid", "B") // B's client in A's range → A and B contend
+	if !n.Contend(a, b, cfg) {
+		t.Fatal("test setup: APs should contend via the bridging client")
+	}
+	est := NewEstimator(n)
+	shared := est.CellThroughput(cfg, "A") // caches contend(A,B) = true
+	if shared <= 0 {
+		t.Fatal("cell throughput should be positive")
+	}
+	// Remove the bridging client: the live predicate now says the APs are
+	// independent (farB keeps B populated), but the estimator's relation —
+	// deliberately frozen at first query — still charges the contender.
+	// A's cell content is unchanged, so the fixed CellThroughput must
+	// reproduce its first answer bit-for-bit; the old n.AccessShare path
+	// would silently double it.
+	cfg.Unassoc("mid")
+	if n.Contend(a, b, cfg) {
+		t.Fatal("test setup: removing the bridge should break live contention")
+	}
+	if got := est.CellThroughput(cfg, "A"); got != shared {
+		t.Errorf("CellThroughput bypassed the cached relation: %v, want %v", got, shared)
+	}
+	// And the per-cell pricing must agree with NetworkThroughput's: on a
+	// fresh estimator the cell terms sum to the network total.
+	fresh := NewEstimator(n)
+	cfg.SetAssoc("mid", "B")
+	total := fresh.NetworkThroughput(cfg)
+	sum := fresh.CellThroughput(cfg, "A") + fresh.CellThroughput(cfg, "B")
+	if math.Abs(total-sum) > 1e-9 {
+		t.Errorf("cell sum %v diverges from network total %v", sum, total)
 	}
 }
 

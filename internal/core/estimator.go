@@ -41,9 +41,22 @@ type Estimator struct {
 	// the relation is static, and caching it removes the dominant
 	// O(APs²·clients) term from every candidate evaluation.
 	contends map[linkKey]bool
+
+	// delayMemo, when non-nil, memoizes the per-(link, width) transmission
+	// delays across the estimator's lifetime — and beyond it, when the
+	// association engine vends estimators sharing one memo across
+	// reallocations. nil (the NewEstimator default) keeps the original
+	// uncached behavior. The memo is bypassed under measurement noise,
+	// whose perturbation is part of the delay.
+	delayMemo map[widthKey]float64
 }
 
 type linkKey struct{ ap, client string }
+
+type widthKey struct {
+	ap, client string
+	w          spectrum.Width
+}
 
 // NewEstimator builds an estimator over the network, measuring (caching)
 // the 20 MHz reference SNR of every AP→client pair.
@@ -95,9 +108,19 @@ func (e *Estimator) ClientDelay(apID, clientID string, ch spectrum.Channel) floa
 
 // clientDelayWidth is ClientDelay keyed by width directly.
 func (e *Estimator) clientDelayWidth(apID, clientID string, w spectrum.Width) float64 {
+	memo := e.delayMemo != nil && e.MeasurementNoiseDB == 0
+	if memo {
+		if d, ok := e.delayMemo[widthKey{apID, clientID, w}]; ok {
+			return d
+		}
+	}
 	snr := e.LinkSNR(apID, clientID, w)
 	sel := ratecontrol.Best(snr, w, e.n.PacketBytes)
-	return 1 / sel.GoodputMbps // goodput is floored by the MAC delay cap
+	d := 1 / sel.GoodputMbps // goodput is floored by the MAC delay cap
+	if memo {
+		e.delayMemo[widthKey{apID, clientID, w}] = d
+	}
+	return d
 }
 
 // ClientPER returns the estimated PER of the link at the given width, the
@@ -151,7 +174,11 @@ func (e *Estimator) accessShare(cfg *wlan.Config, ap *wlan.AP, populated map[str
 }
 
 // CellThroughput estimates the aggregate throughput of ap's cell under the
-// hypothetical configuration cfg (UDP saturated model).
+// hypothetical configuration cfg (UDP saturated model). Like
+// NetworkThroughput it prices the access share through the estimator's own
+// cached contention relation — not the network's live predicate — so the
+// hot path the cache was built for actually uses it (and the result is
+// consistent with the per-cell terms of NetworkThroughput).
 func (e *Estimator) CellThroughput(cfg *wlan.Config, apID string) float64 {
 	clients := cfg.ClientsOf(apID)
 	if len(clients) == 0 {
@@ -162,7 +189,11 @@ func (e *Estimator) CellThroughput(cfg *wlan.Config, apID string) float64 {
 	for _, id := range clients {
 		delays = append(delays, e.ClientDelay(apID, id, ch))
 	}
-	cell := mac.Cell{Delays: delays, AccessShare: e.n.AccessShare(cfg, e.n.AP(apID))}
+	populated := make(map[string]int, len(e.n.APs))
+	for _, homeID := range cfg.Assoc {
+		populated[homeID]++
+	}
+	cell := mac.Cell{Delays: delays, AccessShare: e.accessShare(cfg, e.n.AP(apID), populated)}
 	return cell.AggregateThroughput()
 }
 

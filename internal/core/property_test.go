@@ -112,7 +112,7 @@ func TestPropertyAssociationChoosesCandidate(t *testing.T) {
 				t.Logf("seed %d: non-finite utility %v", seed, d.Utility)
 				return false
 			}
-			cfg.Assoc[u.ID] = d.APID
+			cfg.SetAssoc(u.ID, d.APID)
 		}
 		return true
 	}

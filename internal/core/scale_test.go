@@ -84,7 +84,15 @@ func scaleSetup(tb testing.TB, apCount, clientsPerAP int, seed int64) (*wlan.Net
 	cfg := wlan.NewConfig()
 	rng := stats.NewRand(seed)
 	RandomInitial(n, cfg, rng.Intn)
-	AssociateAll(n, cfg, clients)
+	// Engine-backed fresh sweep: bit-identical to AssociateAll (the churn
+	// equivalence suite proves it) but orders of magnitude faster, which
+	// keeps the dense fixtures (50 AP / 2000 clients) affordable in smoke
+	// runs that only need the fixture, not the reference path.
+	if e := newAssocEngine(n, cfg); e != nil {
+		e.sweep(clients, sweepFresh, 0, 1)
+	} else {
+		AssociateAll(n, cfg, clients)
+	}
 	v, _ := scaleCache.LoadOrStore(key, &scaleFixture{n: n, cfg: cfg})
 	f := v.(*scaleFixture)
 	return f.n, f.cfg

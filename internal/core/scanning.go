@@ -29,6 +29,11 @@ type ScanningEstimator struct {
 	snr map[scanKey]units.DB
 	// Probes counts the measurements the scan performed.
 	Probes int
+	// delayScratch is reused across NetworkThroughput calls; the search
+	// loop of Algorithm 2 calls the estimator thousands of times per
+	// allocation, and a fresh delay slice per cell per call dominated the
+	// allocation profile of the abl-scan ablation.
+	delayScratch []float64
 }
 
 type scanKey struct {
@@ -39,8 +44,8 @@ type scanKey struct {
 // NewScanningEstimator performs the full scan: one probe per (AP, client,
 // channel) triple.
 func NewScanningEstimator(n *wlan.Network) *ScanningEstimator {
-	e := &ScanningEstimator{n: n, snr: make(map[scanKey]units.DB)}
 	channels := n.Band.AllChannels()
+	e := &ScanningEstimator{n: n, snr: make(map[scanKey]units.DB, len(n.APs)*len(n.Clients)*len(channels))}
 	for _, ap := range n.APs {
 		for _, c := range n.Clients {
 			for _, ch := range channels {
@@ -70,13 +75,16 @@ func (e *ScanningEstimator) NetworkThroughput(cfg *wlan.Config) float64 {
 			continue
 		}
 		ch := cfg.Channels[ap.ID]
-		delays := make([]float64, 0, len(clients))
+		delays := e.delayScratch[:0]
 		for _, id := range clients {
 			sel := ratecontrol.Best(e.LinkSNR(ap.ID, id, ch), ch.Width, e.n.PacketBytes)
 			delays = append(delays, 1/sel.GoodputMbps)
 		}
+		// Cell does not retain Delays past AggregateThroughput, so the
+		// scratch can be handed out and reclaimed each iteration.
 		cell := mac.Cell{Delays: delays, AccessShare: e.n.AccessShare(cfg, ap)}
 		total += cell.AggregateThroughput()
+		e.delayScratch = delays
 	}
 	return total
 }

@@ -41,6 +41,9 @@ type Server struct {
 	// Alloc tunes Algorithm 2 (worker count, period/switch bounds) for
 	// every Reallocate. The zero value keeps the defaults.
 	Alloc core.AllocOptions
+	// Assoc tunes the Algorithm 1 roaming sweep run over the measurement
+	// view before each allocation. The zero value keeps the defaults.
+	Assoc core.AssocOptions
 	// Log, when non-nil, receives leveled diagnostic lines (connects and
 	// disconnects at info, protocol trouble and quarantines at warn).
 	Log *obs.Logger
@@ -458,6 +461,26 @@ func (s *Server) Reallocate() (map[string]spectrum.Channel, error) {
 		}
 	}
 	s.mu.Unlock()
+	// Re-run Algorithm 1 over the view before allocating, so the channel
+	// search prices the associations the view's geometry actually supports.
+	// Today's views anchor every client next to its reporting AP, so this
+	// is a consistency pass (zero moves); richer views — shared clients,
+	// triangulated positions — make it load-bearing. Sorted client order
+	// keeps the sweep deterministic.
+	viewClients := append([]*wlan.Client(nil), n.Clients...)
+	sort.Slice(viewClients, func(i, j int) bool { return viewClients[i].ID < viewClients[j].ID })
+	reported := make(map[string]string, len(cfg.Assoc))
+	for id, apID := range cfg.Assoc {
+		reported[id] = apID
+	}
+	moves := 0
+	for _, d := range core.RoamSweep(n, cfg, viewClients, 0.05, s.Assoc) {
+		if d.APID != "" && d.APID != reported[d.ClientID] {
+			moves++
+		}
+	}
+	m.reg.Counter("acorn_ctlnet_view_roam_moves_total",
+		"clients the pre-allocation roaming sweep moved away from their reported AP").Add(uint64(moves))
 	est := core.NewEstimator(n)
 	alloc, allocStats := core.AllocateChannels(n, cfg, est, s.Alloc)
 
@@ -516,7 +539,7 @@ func buildView(hellos map[string]Hello, reports map[string]Report) (*wlan.Networ
 				Pos: rf.Point{X: anchor[id].X + 5, Y: 3},
 			}
 			clients = append(clients, c)
-			cfg.Assoc[c.ID] = id
+			cfg.SetAssoc(c.ID, id)
 		}
 	}
 	n := wlan.NewNetwork(aps, clients)

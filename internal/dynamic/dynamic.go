@@ -46,6 +46,11 @@ type Scenario struct {
 	// reallocation tick, letting associations track the new channel
 	// widths (the deployed system interleaves these continuously).
 	Reassociate bool
+	// AssocWorkers bounds the parallelism of the roaming sweeps run at
+	// each reallocation tick (0 = GOMAXPROCS). The sweep is bit-identical
+	// to the sequential loop for any worker count, so this only affects
+	// wall-clock time.
+	AssocWorkers int
 }
 
 // DefaultScenario returns a moderate-size office: 6 APs, ~20 concurrent
@@ -104,6 +109,7 @@ func Run(sc Scenario) Result {
 	if err != nil {
 		panic(err) // scenario construction bug, not a data condition
 	}
+	ctrl.Assoc.Workers = sc.AssocWorkers
 
 	// Pre-generate the event list: arrivals (with departures) and the
 	// reallocation ticks.
@@ -175,9 +181,11 @@ func Run(sc Scenario) Result {
 					ids = append(ids, id)
 				}
 				sort.Strings(ids)
+				clients := make([]*wlan.Client, 0, len(ids))
 				for _, id := range ids {
-					ctrl.Roam(clientsByID[id], 0.05)
+					clients = append(clients, clientsByID[id])
 				}
+				ctrl.RoamAll(clients, 0.05)
 			}
 			st := ctrl.Reallocate()
 			res.Reallocations++
@@ -230,12 +238,7 @@ func spawnClient(rng interface {
 }
 
 func removeClient(n *wlan.Network, id string) {
-	for i, c := range n.Clients {
-		if c.ID == id {
-			n.Clients = append(n.Clients[:i], n.Clients[i+1:]...)
-			return
-		}
-	}
+	n.RemoveClient(id)
 }
 
 // PeriodSweepPoint is one row of the periodicity study.

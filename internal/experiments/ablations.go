@@ -135,7 +135,7 @@ func AblationAssociation(seed int64) []AssociationPoint {
 			core.RandomInitial(n, cfg, rng.Intn)
 			for _, u := range clients {
 				if ap := pol.associate(n, cfg, u); ap != "" {
-					cfg.Assoc[u.ID] = ap
+					cfg.SetAssoc(u.ID, ap)
 				}
 			}
 			est := core.NewEstimator(n)

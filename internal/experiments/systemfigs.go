@@ -140,7 +140,7 @@ func RunFig11(seed int64) Fig11Result {
 	for _, c := range clients {
 		aps := n.APsInRange(c)
 		if len(aps) > 0 {
-			assoc.Assoc[c.ID] = aps[0].ID
+			assoc.SetAssoc(c.ID, aps[0].ID)
 		}
 	}
 	combos := map[string][]spectrum.Width{

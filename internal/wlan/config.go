@@ -10,11 +10,24 @@ import (
 // Config is a complete WLAN configuration: a channel per AP and an
 // association per client. It is the object the allocation algorithms search
 // over and the evaluator scores.
+//
+// Association mutation contract: the Assoc map may be written directly only
+// while bootstrapping a configuration, before the first ClientsOf call.
+// Once ClientsOf has been used, the reverse index below is live and all
+// association changes must go through SetAssoc/Unassoc, which keep the index
+// consistent incrementally. Every algorithm in this repository follows that
+// rule; direct writes after the index is built leave ClientsOf stale.
 type Config struct {
 	// Channels maps AP ID → assigned channel.
 	Channels map[string]spectrum.Channel
 	// Assoc maps client ID → AP ID.
 	Assoc map[string]string
+
+	// byAP is the reverse association index: AP ID → sorted client IDs.
+	// It is built lazily on the first ClientsOf call and maintained
+	// incrementally by SetAssoc/Unassoc, replacing the former per-call
+	// full-map scan + sort.
+	byAP map[string][]string
 }
 
 // NewConfig returns an empty configuration.
@@ -26,7 +39,8 @@ func NewConfig() *Config {
 }
 
 // Clone returns a deep copy; allocation algorithms mutate clones while
-// searching.
+// searching. The clone starts without a reverse index (it is rebuilt lazily
+// on first use), so cloning stays O(|Channels| + |Assoc|).
 func (c *Config) Clone() *Config {
 	out := NewConfig()
 	for k, v := range c.Channels {
@@ -38,17 +52,83 @@ func (c *Config) Clone() *Config {
 	return out
 }
 
-// ClientsOf returns the IDs of clients associated with the given AP, in
-// stable (sorted) order.
-func (c *Config) ClientsOf(apID string) []string {
-	var ids []string
-	for cl, ap := range c.Assoc {
-		if ap == apID {
-			ids = append(ids, cl)
-		}
+// SetAssoc associates a client with an AP, moving it from any previous
+// association and keeping the reverse index consistent.
+func (c *Config) SetAssoc(clientID, apID string) {
+	prev, had := c.Assoc[clientID]
+	if had && prev == apID {
+		return
 	}
-	sort.Strings(ids)
-	return ids
+	c.Assoc[clientID] = apID
+	if c.byAP == nil {
+		return
+	}
+	if had {
+		c.indexRemove(prev, clientID)
+	}
+	c.indexInsert(apID, clientID)
+}
+
+// Unassoc removes a client's association. Unknown clients are a no-op.
+func (c *Config) Unassoc(clientID string) {
+	prev, had := c.Assoc[clientID]
+	if !had {
+		return
+	}
+	delete(c.Assoc, clientID)
+	if c.byAP != nil {
+		c.indexRemove(prev, clientID)
+	}
+}
+
+// ClientsOf returns the IDs of clients associated with the given AP, in
+// stable (sorted) order. The returned slice is owned by the index: callers
+// must not mutate it, and it is valid until the next SetAssoc/Unassoc.
+func (c *Config) ClientsOf(apID string) []string {
+	if c.byAP == nil {
+		c.buildIndex()
+	}
+	return c.byAP[apID]
+}
+
+// buildIndex derives the reverse index from the Assoc map.
+func (c *Config) buildIndex() {
+	c.byAP = make(map[string][]string)
+	for cl, ap := range c.Assoc {
+		c.byAP[ap] = append(c.byAP[ap], cl)
+	}
+	for _, ids := range c.byAP {
+		sort.Strings(ids)
+	}
+}
+
+// indexInsert adds clientID to apID's sorted list (idempotent).
+func (c *Config) indexInsert(apID, clientID string) {
+	ids := c.byAP[apID]
+	i := sort.SearchStrings(ids, clientID)
+	if i < len(ids) && ids[i] == clientID {
+		return
+	}
+	ids = append(ids, "")
+	copy(ids[i+1:], ids[i:])
+	ids[i] = clientID
+	c.byAP[apID] = ids
+}
+
+// indexRemove drops clientID from apID's sorted list. Empty lists are
+// deleted so ClientsOf keeps returning nil for clientless APs.
+func (c *Config) indexRemove(apID, clientID string) {
+	ids := c.byAP[apID]
+	i := sort.SearchStrings(ids, clientID)
+	if i >= len(ids) || ids[i] != clientID {
+		return
+	}
+	ids = append(ids[:i], ids[i+1:]...)
+	if len(ids) == 0 {
+		delete(c.byAP, apID)
+		return
+	}
+	c.byAP[apID] = ids
 }
 
 // Validate checks the configuration against a network: every AP has a

@@ -121,6 +121,22 @@ func (n *Network) Client(id string) *Client {
 	return n.clientIndex[id]
 }
 
+// RemoveClient removes the client with the given ID from the network and
+// reports whether it was present. Removals must go through here rather than
+// splicing Clients directly: a removal followed by an arrival leaves the
+// slice length unchanged, which the length-based index self-heal cannot
+// detect, so the index is invalidated eagerly.
+func (n *Network) RemoveClient(id string) bool {
+	for i, c := range n.Clients {
+		if c.ID == id {
+			n.Clients = append(n.Clients[:i], n.Clients[i+1:]...)
+			n.clientIndex = nil
+			return true
+		}
+	}
+	return false
+}
+
 // linkSeed derives a stable per-link jitter seed from the endpoint IDs.
 func linkSeed(apID, clientID string) int64 {
 	var h uint64 = 1469598103934665603

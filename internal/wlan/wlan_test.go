@@ -1,7 +1,9 @@
 package wlan
 
 import (
+	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"testing"
 
@@ -103,6 +105,66 @@ func TestClientsOfSorted(t *testing.T) {
 	}
 	if got := cfg.ClientsOf("AP9"); got != nil {
 		t.Errorf("ClientsOf unknown AP = %v", got)
+	}
+}
+
+// TestClientsOfIndexMaintained churns associations through SetAssoc/Unassoc
+// and checks the incrementally-maintained reverse index against the naive
+// scan-and-sort reference after every mutation.
+func TestClientsOfIndexMaintained(t *testing.T) {
+	cfg := NewConfig()
+	aps := []string{"A", "B", "C"}
+	reference := func(apID string) []string {
+		var ids []string
+		for cl, ap := range cfg.Assoc {
+			if ap == apID {
+				ids = append(ids, cl)
+			}
+		}
+		sort.Strings(ids)
+		return ids
+	}
+	check := func(step string) {
+		t.Helper()
+		for _, ap := range aps {
+			got, want := cfg.ClientsOf(ap), reference(ap)
+			if len(got) != len(want) {
+				t.Fatalf("%s: ClientsOf(%s) = %v, want %v", step, ap, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: ClientsOf(%s) = %v, want %v", step, ap, got, want)
+				}
+			}
+		}
+	}
+	// Force the index to exist before the churn so every mutation exercises
+	// the incremental maintenance, not the lazy rebuild.
+	cfg.ClientsOf("A")
+	rng := uint64(12345)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int(rng>>33) % n
+	}
+	for i := 0; i < 2000; i++ {
+		id := fmt.Sprintf("u%02d", next(40))
+		switch next(3) {
+		case 0, 1:
+			cfg.SetAssoc(id, aps[next(len(aps))])
+		case 2:
+			cfg.Unassoc(id)
+		}
+		check(fmt.Sprintf("step %d", i))
+	}
+	// Re-associating to the same AP is a no-op, not a duplicate.
+	cfg.SetAssoc("u00", "A")
+	cfg.SetAssoc("u00", "A")
+	seen := map[string]bool{}
+	for _, id := range cfg.ClientsOf("A") {
+		if seen[id] {
+			t.Fatalf("duplicate %s in index", id)
+		}
+		seen[id] = true
 	}
 }
 
@@ -217,7 +279,7 @@ func TestAccessShare(t *testing.T) {
 		t.Errorf("composite-overlap access share = %v, want 0.5", m)
 	}
 	// A clientless contender costs nothing.
-	delete(cfg.Assoc, "cb")
+	cfg.Unassoc("cb")
 	if m := n.AccessShare(cfg, a); m != 1 {
 		t.Errorf("idle contender should not cost airtime, got %v", m)
 	}
@@ -275,7 +337,7 @@ func TestAnomalySlowClientDragsCell(t *testing.T) {
 	with := n.Evaluate(cfg).Cell("AP1").ThroughputUDP
 	// Remove the walled client: the good client's cell throughput must
 	// rise substantially.
-	delete(cfg.Assoc, "walled")
+	cfg.Unassoc("walled")
 	without := n.Evaluate(cfg).Cell("AP1").ThroughputUDP
 	if without <= 2*with {
 		t.Errorf("removing the slow client should at least double cell throughput: %v → %v", with, without)
