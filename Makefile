@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke alloc-bench-smoke assoc-bench-smoke obs-smoke cover experiments clean
+.PHONY: all build vet test race bench bench-smoke alloc-bench-smoke assoc-bench-smoke stream-bench-smoke stream-chaos obs-smoke cover experiments clean
 
 # The default check path race-checks everything: the control plane is
 # deliberately concurrent (heartbeats, reconnect supervisors, chaos tests),
 # so plain `make` must catch data races, not just failures.
-all: build vet test race bench-smoke alloc-bench-smoke assoc-bench-smoke obs-smoke
+all: build vet test race bench-smoke alloc-bench-smoke assoc-bench-smoke stream-bench-smoke stream-chaos obs-smoke
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,9 @@ bench:
 	$(GO) run ./cmd/benchjson -match '^BenchmarkAssoc' \
 		-derive assoc_speedup_50ap=BenchmarkAssocReferenceSweep50AP/BenchmarkAssocIncrementalSweep50AP \
 		< bench_output.txt > BENCH_assoc.json
+	$(GO) run ./cmd/benchjson -match 'BenchmarkStreamEvents|Goodput' \
+		-derive stream_goodput_ratio=BenchmarkStreamGoodput/BenchmarkPeriodicGoodput:goodput_mbps \
+		< bench_output.txt > BENCH_stream.json
 
 # One-iteration smoke pass over every benchmark: catches bit-rot in the
 # benchmark code without paying for real measurements. -short elides the
@@ -55,6 +58,26 @@ assoc-bench-smoke:
 	$(GO) test -short -run 'TestAssoc(ChurnGolden|SweepWorkersDeterminism)' \
 		-bench '^BenchmarkAssoc' -benchtime=1x -count=1 ./internal/core/ > /dev/null
 
+# Smoke the streaming controller harness: one iteration of the event-rate
+# and paired goodput benchmarks, piped through benchjson with the
+# goodput-vs-periodic derivation so the whole BENCH_stream.json pipeline is
+# exercised (output goes to a scratch file — real numbers come from `bench`).
+stream-bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkStreamEvents|Goodput' \
+		-benchtime=1x -count=1 ./internal/core/ ./internal/dynamic/ | tee stream_bench_smoke.txt > /dev/null
+	$(GO) run ./cmd/benchjson -match 'BenchmarkStreamEvents|Goodput' \
+		-derive stream_goodput_ratio=BenchmarkStreamGoodput/BenchmarkPeriodicGoodput:goodput_mbps \
+		< stream_bench_smoke.txt > /dev/null
+	rm -f stream_bench_smoke.txt
+
+# Chaos suite, short mode, under the race detector: connection resets,
+# latency/jitter, short writes and report storms against the streaming
+# server, asserting convergence and the per-AP switch-rate bound.
+stream-chaos:
+	$(GO) test -race -short -count=1 \
+		-run 'TestStreamChaosStorm|TestChaosConvergence|TestReconnectReplayStaysQuarantined' \
+		./internal/ctlnet/ > /dev/null
+
 # Boots acornd with -obs-addr and asserts /metrics and /healthz serve the
 # expected convergence metrics. OBS_SMOKE_PORT overrides the port.
 obs-smoke:
@@ -68,4 +91,4 @@ experiments:
 	$(GO) run ./cmd/experiments all
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt stream_bench_smoke.txt

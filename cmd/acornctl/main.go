@@ -2,11 +2,25 @@
 //
 //	acornctl serve -addr :7431 [-period 30m] [-report-ttl 3h]
 //	              [-hello-timeout 10s] [-peer-timeout 90s]
+//	              [-stream] [-stream-debounce 25ms] [-stream-watchdog 0]
+//	              [-switch-margin 0.02] [-switch-streak 2]
+//	              [-switch-rate 12] [-switch-burst 3]
 //	    Run the central controller: accept agent connections and
 //	    reallocate channels every period. Reports older than -report-ttl
 //	    are quarantined at reallocation time (the AP's last-known-good
 //	    view is still used, and the quarantine is logged); if every
 //	    report is stale the reallocation is skipped.
+//
+//	    With -stream the controller is event-driven instead of periodic:
+//	    every fresh report marks its AP dirty, bursts are debounced and
+//	    coalesced, and a reallocation restricted to the dirty APs' hear-
+//	    graph neighbourhood runs immediately — with every proposed channel
+//	    switch gated by goodput hysteresis (-switch-margin sustained over
+//	    -switch-streak consecutive evaluations) and a per-AP token bucket
+//	    (-switch-rate switches/hour, burst -switch-burst), so the network
+//	    never flaps no matter how noisy the reports. A watchdog forces a
+//	    full pass when the last one is older than -stream-watchdog
+//	    (default: -period), so vetoed or failed work is never stranded.
 //
 //	acornctl agent -addr host:7431 -id AP1 [-report meas.json]
 //	              [-period 30s] [-heartbeat 15s]
@@ -44,6 +58,7 @@ import (
 	"os"
 	"time"
 
+	"acorn/internal/core"
 	"acorn/internal/ctlnet"
 	"acorn/internal/faultnet"
 	"acorn/internal/obs"
@@ -106,6 +121,13 @@ func serve(args []string) {
 	obsAddr := fs.String("obs-addr", "", "serve /metrics, /healthz, /debug/vars and pprof on this address")
 	allocWorkers := fs.Int("alloc-workers", 0, "parallel rank-evaluation workers for Algorithm 2 (0 = GOMAXPROCS)")
 	assocWorkers := fs.Int("assoc-workers", 0, "parallel roaming-sweep workers for Algorithm 1 (0 = GOMAXPROCS)")
+	stream := fs.Bool("stream", false, "event-driven mode: reallocate the dirty hear-graph neighbourhood on every fresh report instead of waiting for -period")
+	streamDebounce := fs.Duration("stream-debounce", ctlnet.DefaultStreamDebounce, "wake-to-drain delay coalescing report bursts (with -stream; negative disables)")
+	streamWatchdog := fs.Duration("stream-watchdog", 0, "max age of the last full pass before the stream forces one (with -stream; 0 = -period, negative disables)")
+	switchMargin := fs.Float64("switch-margin", core.DefaultGateMargin, "hysteresis: minimum relative goodput gain a channel switch must offer (with -stream; negative disables)")
+	switchStreak := fs.Int("switch-streak", core.DefaultGateStreak, "hysteresis: consecutive evaluations that must propose the same switch before it commits (with -stream)")
+	switchRate := fs.Float64("switch-rate", core.DefaultGateRatePerHour, "per-AP sustained switch-rate limit, switches/hour (with -stream; negative disables)")
+	switchBurst := fs.Int("switch-burst", core.DefaultGateBurst, "per-AP switch token-bucket burst capacity (with -stream)")
 	_ = fs.Parse(args)
 	setLevel(*logLevel)
 
@@ -116,6 +138,23 @@ func serve(args []string) {
 	s.ReportTTL = *reportTTL
 	s.HelloTimeout = *helloTimeout
 	s.PeerTimeout = *peerTimeout
+	if *stream {
+		wd := *streamWatchdog
+		if wd == 0 {
+			wd = *period
+		}
+		s.Stream = ctlnet.StreamConfig{
+			Enabled:        true,
+			Debounce:       *streamDebounce,
+			WatchdogPeriod: wd,
+			Gate: core.GateOptions{
+				Margin:      *switchMargin,
+				Streak:      *switchStreak,
+				RatePerHour: *switchRate,
+				Burst:       *switchBurst,
+			},
+		}
+	}
 
 	health := obs.NewHealth()
 	health.Register("agents", func() obs.CheckResult {
@@ -141,17 +180,23 @@ func serve(args []string) {
 		defer srv.Close(0)
 	}
 
-	go func() {
-		ticker := time.NewTicker(*period)
-		defer ticker.Stop()
-		for range ticker.C {
-			if assigns, err := s.Reallocate(); err == nil {
-				logger.Infof("reallocated %d APs", len(assigns))
-			} else {
-				logger.Warnf("reallocation skipped: %v", err)
+	if *stream {
+		// The stream's own watchdog forces the periodic full passes, so the
+		// ticker would only double them up.
+		logger.Infof("stream mode: event-driven reallocation, full pass at least every %v", s.Stream.WatchdogPeriod)
+	} else {
+		go func() {
+			ticker := time.NewTicker(*period)
+			defer ticker.Stop()
+			for range ticker.C {
+				if assigns, err := s.Reallocate(); err == nil {
+					logger.Infof("reallocated %d APs", len(assigns))
+				} else {
+					logger.Warnf("reallocation skipped: %v", err)
+				}
 			}
-		}
-	}()
+		}()
+	}
 	if err := ctlnet.ListenAndServe(*addr, s); err != nil {
 		logger.Fatalf("acornctl: %v", err)
 	}

@@ -6,6 +6,14 @@
 // Usage:
 //
 //	acornd [-topology file.json] [-seed N] [-compare] [-json]
+//	       [-stream [-switch-margin 0.02] [-switch-streak 1]
+//	        [-switch-rate 12] [-switch-burst 3]]
+//
+// With -stream the local solve is event-driven: each client is fed through
+// the streaming controller as an arrival event (Algorithm 1 admission plus
+// a bounded local re-optimization with every proposed channel switch gated
+// by goodput hysteresis and a per-AP switch-rate token bucket), and the
+// stream's own statistics are reported alongside the configuration.
 //
 // With -controller the topology is not solved locally: acornd instead
 // measures it (client SNRs and the AP hear-graph) and streams those
@@ -67,6 +75,11 @@ func main() {
 	tracePath := flag.String("trace", "", "write the solver's JSONL convergence trace to this file (\"-\" = stdout)")
 	allocWorkers := flag.Int("alloc-workers", 0, "parallel rank-evaluation workers for Algorithm 2 (0 = GOMAXPROCS)")
 	assocWorkers := flag.Int("assoc-workers", 0, "parallel roaming-sweep workers for Algorithm 1 (0 = GOMAXPROCS)")
+	stream := flag.Bool("stream", false, "solve event-driven: feed each client through the streaming controller as an arrival event instead of one batch AutoConfigure, and report the stream statistics")
+	switchMargin := flag.Float64("switch-margin", core.DefaultGateMargin, "hysteresis: minimum relative goodput gain a channel switch must offer (with -stream; negative disables)")
+	switchStreak := flag.Int("switch-streak", 1, "hysteresis: consecutive evaluations that must propose the same switch before it commits (with -stream; default 1 so a one-shot solve can commit)")
+	switchRate := flag.Float64("switch-rate", core.DefaultGateRatePerHour, "per-AP sustained switch-rate limit, switches/hour (with -stream; negative disables)")
+	switchBurst := flag.Int("switch-burst", core.DefaultGateBurst, "per-AP switch token-bucket burst capacity (with -stream)")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(*logLevel)
@@ -127,7 +140,36 @@ func main() {
 		}
 		return obs.OK("solving")
 	})
-	report := ctrl.AutoConfigure(clients)
+	var report *acorn.NetworkReport
+	var streamStats *core.StreamStats
+	if *stream {
+		// Event-driven solve: each client is one arrival event through the
+		// streaming controller (admission + bounded local re-optimization,
+		// every switch judged by the anti-flap gate), instead of one batch
+		// AutoConfigure. Pump synchronously until the queue drains.
+		sc := core.NewStreamController(ctrl, core.StreamOptions{
+			Gate: core.GateOptions{
+				Margin:      *switchMargin,
+				Streak:      *switchStreak,
+				RatePerHour: *switchRate,
+				Burst:       *switchBurst,
+			},
+		})
+		for _, c := range clients {
+			sc.Offer(core.Event{Kind: core.EventArrive, Client: c})
+		}
+		for sc.Pump() > 0 {
+		}
+		// Anchor with the periodic tick (roaming sweep + whole-network
+		// pass) so the one-shot solve does not depend on admission order.
+		sc.FullPass()
+		sc.Stop()
+		st := sc.Stats()
+		streamStats = &st
+		report = net.Evaluate(ctrl.ConfigView())
+	} else {
+		report = ctrl.AutoConfigure(clients)
+	}
 	solved.Store(true)
 	if ctrl.Trace != nil {
 		if err := ctrl.Trace.Err(); err != nil {
@@ -139,6 +181,9 @@ func main() {
 
 	if *asJSON {
 		out := map[string]any{"acorn": report}
+		if streamStats != nil {
+			out["stream"] = streamStats
+		}
 		if *compare {
 			legacy := acorn.LegacyConfigure(net, clients)
 			out["legacy"] = net.Evaluate(legacy)
@@ -158,6 +203,12 @@ func main() {
 
 	fmt.Println("ACORN configuration:")
 	printReport(net, cfg, report)
+	if st := streamStats; st != nil {
+		fmt.Printf("  stream: %d events applied (%d coalesced), %d local re-opts, %d switches; gate: %d proposals, %d approved, %d margin / %d streak / %d rate vetoes\n",
+			st.Applied, st.Coalesced, st.LocalReopts, st.SwitchesApplied,
+			st.Gate.Proposals, st.Gate.Approved,
+			st.Gate.MarginVetoes, st.Gate.StreakVetoes, st.Gate.RateVetoes)
+	}
 	if *compare {
 		legacyCfg := acorn.LegacyConfigure(net, clients)
 		legacyRep := net.Evaluate(legacyCfg)

@@ -17,6 +17,15 @@
 //	benchjson -match '^BenchmarkAlloc' \
 //	    -derive alloc_speedup_200ap=BenchmarkAllocReference200AP/BenchmarkAllocIncremental200AP \
 //	    < bench_output.txt > BENCH_alloc.json
+//
+// Benchmarks that report custom metrics via b.ReportMetric (any unit other
+// than ns/op, B/op, allocs/op) have them captured under "extra", and a
+// derive spec may ratio one of those instead of ns_per_op with a trailing
+// :metric selector:
+//
+//	benchjson -match 'Goodput|StreamEvents' \
+//	    -derive stream_goodput_ratio=BenchmarkStreamGoodput/BenchmarkPeriodicGoodput:goodput_mbps \
+//	    < bench_output.txt > BENCH_stream.json
 package main
 
 import (
@@ -31,20 +40,26 @@ import (
 	"strings"
 )
 
-// Result holds the figures of one benchmark line.
+// Result holds the figures of one benchmark line. Extra carries custom
+// b.ReportMetric figures keyed by their unit string (e.g. "events/s",
+// "goodput_mbps").
 type Result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // gomaxprocsSuffix strips the trailing "-N" the testing package appends to
 // benchmark names, so entries stay stable across machines.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
-// derivation is one -derive spec: out = ns(numer) / ns(denom).
+// derivation is one -derive spec: out = metric(numer) / metric(denom),
+// where metric defaults to ns_per_op and an optional ":name" suffix on the
+// denominator selects a custom Extra metric instead.
 type derivation struct {
 	key, numer, denom string
+	metric            string // "" means ns_per_op
 }
 
 // derivations collects repeated -derive flags.
@@ -55,13 +70,14 @@ func (d *derivations) String() string { return fmt.Sprint(*d) }
 func (d *derivations) Set(s string) error {
 	key, expr, ok := strings.Cut(s, "=")
 	if !ok {
-		return fmt.Errorf("want key=Numer/Denom, got %q", s)
+		return fmt.Errorf("want key=Numer/Denom[:metric], got %q", s)
 	}
+	expr, metric, _ := strings.Cut(expr, ":")
 	numer, denom, ok := strings.Cut(expr, "/")
 	if !ok {
-		return fmt.Errorf("want key=Numer/Denom, got %q", s)
+		return fmt.Errorf("want key=Numer/Denom[:metric], got %q", s)
 	}
-	*d = append(*d, derivation{key: key, numer: numer, denom: denom})
+	*d = append(*d, derivation{key: key, numer: numer, denom: denom, metric: metric})
 	return nil
 }
 
@@ -108,6 +124,11 @@ func main() {
 				r.BytesPerOp = v
 			case "allocs/op":
 				r.AllocsPerOp = v
+			default: // custom b.ReportMetric unit
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[fields[i+1]] = v
 			}
 		}
 		if r.NsPerOp > 0 {
@@ -125,12 +146,16 @@ func main() {
 	for _, d := range derives {
 		numer, okN := results[d.numer]
 		denom, okD := results[d.denom]
-		if !okN || !okD || denom.NsPerOp == 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: -derive %s: missing %s or %s in input; skipping\n",
-				d.key, d.numer, d.denom)
+		nv, dv := numer.NsPerOp, denom.NsPerOp
+		if d.metric != "" {
+			nv, dv = numer.Extra[d.metric], denom.Extra[d.metric]
+		}
+		if !okN || !okD || dv == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: -derive %s: missing %s or %s (metric %q) in input; skipping\n",
+				d.key, d.numer, d.denom, d.metric)
 			continue
 		}
-		out[d.key] = map[string]float64{"ratio": numer.NsPerOp / denom.NsPerOp}
+		out[d.key] = map[string]float64{"ratio": nv / dv}
 	}
 	if sha := gitSHA(); sha != "" {
 		out["_meta"] = map[string]string{"git_sha": sha}

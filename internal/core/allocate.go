@@ -59,6 +59,18 @@ type AllocOptions struct {
 	// reconfiguration churn; benchmarks use it to bound measured work.
 	// Both search paths apply it identically.
 	MaxSwitchesPerPeriod int
+	// Only, when non-nil, restricts which APs may switch: APs absent from
+	// the set keep their current channel and are never ranked, though their
+	// cells still price every candidate evaluation. The streaming controller
+	// uses it to bound per-event re-optimization to a conflict
+	// neighbourhood. Both search paths apply it identically; nil means every
+	// AP is eligible (the paper's rule).
+	Only map[string]bool
+}
+
+// eligible reports whether apID may switch under the Only restriction.
+func (o AllocOptions) eligible(apID string) bool {
+	return o.Only == nil || o.Only[apID]
 }
 
 func (o AllocOptions) epsilon() float64 {
@@ -201,10 +213,13 @@ func allocateGeneric(n *wlan.Network, cfg *wlan.Config, est ThroughputEstimator,
 	y := prevPeriod
 	// The candidate order is fixed for the whole search: sort once and
 	// filter switched APs per iteration instead of re-sorting the
-	// remaining set every inner iteration.
+	// remaining set every inner iteration. APs outside opts.Only never
+	// enter the order — they hold their channel and are never ranked.
 	apOrder := make([]string, 0, len(n.APs))
 	for _, ap := range n.APs {
-		apOrder = append(apOrder, ap.ID)
+		if opts.eligible(ap.ID) {
+			apOrder = append(apOrder, ap.ID)
+		}
 	}
 	sort.Strings(apOrder)
 

@@ -70,6 +70,17 @@ func allocateIncremental(cfg *wlan.Config, st *allocState, opts AllocOptions) (*
 		cache: make([]rankEntry, nAP),
 		valid: make([]bool, nAP),
 	}
+	// Eligibility under opts.Only: ineligible APs hold their channel, are
+	// never ranked, and never enter the winner scan — mirroring the generic
+	// path's restricted apOrder.
+	elig := make([]bool, nAP)
+	nElig := 0
+	for i, apID := range st.apIDs {
+		if opts.eligible(apID) {
+			elig[i] = true
+			nElig++
+		}
+	}
 	// Unpopulated cells price every candidate at the current total, so
 	// their rank is a structural 0.0 forever: seed permanent cache entries
 	// and never invalidate them (no changed cell is ever their neighbor).
@@ -82,12 +93,12 @@ func allocateIncremental(cfg *wlan.Config, st *allocState, opts AllocOptions) (*
 	for period := 0; period < opts.maxPeriods(); period++ {
 		stats.Periods++
 		switched := make([]bool, nAP)
-		remaining := nAP
+		remaining := nElig
 		for sw := 0; remaining > 0 && sw < opts.switchBudget(); sw++ {
 			// Fresh-rank every dirty eligible AP, fanned across workers.
 			r.dirty = r.dirty[:0]
 			for _, i := range st.sortedIdx {
-				if !switched[i] && !r.valid[i] {
+				if elig[i] && !switched[i] && !r.valid[i] {
 					r.dirty = append(r.dirty, i)
 				}
 			}
@@ -105,7 +116,7 @@ func allocateIncremental(cfg *wlan.Config, st *allocState, opts AllocOptions) (*
 				winner = -1
 				winnerY = y
 				for _, i := range st.sortedIdx {
-					if switched[i] {
+					if !elig[i] || switched[i] {
 						continue
 					}
 					e := &r.cache[i]
@@ -129,7 +140,7 @@ func allocateIncremental(cfg *wlan.Config, st *allocState, opts AllocOptions) (*
 			// evaluated bestY − y, clean entries as their cached rank.
 			ranks := make(map[string]float64, remaining)
 			for _, i := range st.sortedIdx {
-				if switched[i] {
+				if !elig[i] || switched[i] {
 					continue
 				}
 				e := &r.cache[i]

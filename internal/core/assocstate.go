@@ -105,9 +105,12 @@ type assocEngine struct {
 	// beaconDelay memoizes the per-(AP, client, channel) transmission
 	// delays of the beacon path (jittered per-channel SNR). Keyed by the
 	// client's incarnation index, so a re-arriving client with new geometry
-	// gets fresh entries. Entries are never evicted — unbounded growth
-	// under indefinite churn is a known open item (ROADMAP).
+	// gets fresh entries. memoKeys indexes the memo by incarnation so a
+	// departure (evict) or reincarnation purges exactly its own entries in
+	// O(entries purged) — memo size stays O(live clients) under indefinite
+	// churn.
 	beaconDelay map[assocDelayKey]float64
+	memoKeys    map[int32][]assocDelayKey
 
 	// snr20/widthDelay back the estimators the engine vends for Algorithm 2
 	// (Controller.Reallocate): the measured reference SNRs and the
@@ -184,6 +187,7 @@ func newAssocEngine(n *wlan.Network, cfg *wlan.Config) *assocEngine {
 		cntHome:     make([][]int32, len(n.APs)),
 		clients:     make(map[string]*assocClient, len(cfg.Assoc)),
 		beaconDelay: make(map[assocDelayKey]float64, 4*len(cfg.Assoc)),
+		memoKeys:    make(map[int32][]assocDelayKey, len(cfg.Assoc)),
 		snr20:       make(map[linkKey]units.DB),
 		snrDone:     make(map[string]*wlan.Client),
 		widthDelay:  make(map[widthKey]float64),
@@ -312,12 +316,12 @@ func (e *assocEngine) ensureState(u *wlan.Client) *assocClient {
 		e.nextIdx++
 		e.clients[u.ID] = st
 	} else {
-		// Reincarnation: retire the old geometry's contributions and link
-		// caches. A fresh incarnation index orphans the old delay-memo
-		// entries instead of scanning for them.
+		// Reincarnation: retire the old geometry's contributions, its
+		// delay-memo entries (by incarnation index), and its link caches.
 		if st.home >= 0 {
 			e.addHeardCounts(st.home, st, -1)
 		}
+		e.purgeDelayMemo(st.idx)
 		st.idx = e.nextIdx
 		e.nextIdx++
 		e.purgeLinks(u.ID)
@@ -342,6 +346,15 @@ func (e *assocEngine) ensureState(u *wlan.Client) *assocClient {
 		e.addHeardCounts(st.home, st, +1)
 	}
 	return st
+}
+
+// purgeDelayMemo drops one incarnation's beacon-delay memo entries via the
+// memoKeys index, in time proportional to the entries dropped.
+func (e *assocEngine) purgeDelayMemo(idx int32) {
+	for _, k := range e.memoKeys[idx] {
+		delete(e.beaconDelay, k)
+	}
+	delete(e.memoKeys, idx)
 }
 
 // purgeLinks drops the ID-keyed link caches of a reincarnated client so the
@@ -404,19 +417,35 @@ func (e *assocEngine) applyHome(id string, st *assocClient, target int) {
 	e.stats.updates++
 }
 
-// evict removes a departed client's association. It reports false when the
-// engine holds no state for an associated client — an invariant breach that
-// forces a rebuild.
+// evict removes a departed client's association and retires its engine
+// state (delay-memo entries, link caches, per-client aggregates), bounding
+// every per-client structure to the live population. It reports false when
+// the engine holds no state for an associated client — an invariant breach
+// that forces a rebuild.
 func (e *assocEngine) evict(id string) bool {
-	if _, ok := e.cfg.Assoc[id]; !ok {
-		return true // unknown or already gone: the reference is a no-op too
-	}
 	st := e.clients[id]
+	if _, ok := e.cfg.Assoc[id]; !ok {
+		// Unknown or already unassociated: the reference path is a no-op
+		// too, but a departing never-associated client still retires its
+		// engine state.
+		if st != nil {
+			e.dropClient(id, st)
+		}
+		return true
+	}
 	if st == nil {
 		return false
 	}
 	e.applyHome(id, st, -1)
+	e.dropClient(id, st)
 	return true
+}
+
+// dropClient retires a departed (unassociated) client's engine state.
+func (e *assocEngine) dropClient(id string, st *assocClient) {
+	e.purgeDelayMemo(st.idx)
+	e.purgeLinks(id)
+	delete(e.clients, id)
 }
 
 // delayOf returns the memoized beacon transmission delay of (AP a, client,
@@ -444,6 +473,7 @@ func (e *assocEngine) delayOf(a int, st *assocClient, ch spectrum.Channel, ov *d
 	}
 	d := clientDelay(e.n, e.aps[a], st.c, ch)
 	e.beaconDelay[k] = d
+	e.memoKeys[k.cl] = append(e.memoKeys[k.cl], k)
 	e.stats.memoMisses++
 	return d
 }

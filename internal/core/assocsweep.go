@@ -177,6 +177,11 @@ func (e *assocEngine) sweep(clients []*wlan.Client, mode sweepMode, margin float
 			wg.Wait()
 			for _, ov := range overlays {
 				for k, v := range ov.m {
+					// Two workers may have computed the same key; index it
+					// once so eviction purges cannot double-count.
+					if _, ok := e.beaconDelay[k]; !ok {
+						e.memoKeys[k.cl] = append(e.memoKeys[k.cl], k)
+					}
 					e.beaconDelay[k] = v
 				}
 				e.stats.add(ov.stats)

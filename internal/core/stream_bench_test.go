@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkStreamEvents measures the streaming controller's sustained event
+// throughput on a realistic mix (mostly measurement reports over a live
+// population, with steady membership churn), pumping in consumer-sized
+// batches. Reported metrics feed BENCH_stream.json: events/s against the
+// 1M events/hour acceptance floor, decision-latency percentiles, and the
+// shed fraction.
+func BenchmarkStreamEvents(b *testing.B) {
+	ctrl, n := streamFixture(b, 16, 1)
+	s := NewStreamController(ctrl, StreamOptions{
+		MaxBatch:        256,
+		RecordLatencies: 1 << 16,
+		Gate:            GateOptions{Streak: 1, RatePerHour: 60, Burst: 10},
+	})
+
+	// A live population to report against.
+	const pool = 128
+	live := make([]string, 0, pool)
+	for i := 0; i < pool; i++ {
+		id := fmt.Sprintf("u%04d", i)
+		s.Offer(Event{Kind: EventArrive, Client: clientNear(n, i, id)})
+		live = append(live, id)
+	}
+	s.Pump()
+
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		switch i % 16 {
+		case 0: // churn: depart one, arrive a replacement
+			s.Offer(Event{Kind: EventDepart, ClientID: live[i/16%pool]})
+		case 1:
+			id := live[(i/16)%pool]
+			s.Offer(Event{Kind: EventArrive, Client: clientNear(n, i, id)})
+		default: // measurement refresh
+			s.Offer(Event{Kind: EventReport, Client: clientNear(n, i, live[i%pool])})
+		}
+		if i%64 == 63 {
+			s.Pump()
+		}
+	}
+	for s.Pump() > 0 {
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	st := s.Stats()
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "events/s")
+	b.ReportMetric(float64(st.LatencyP50.Nanoseconds()), "p50_ns")
+	b.ReportMetric(float64(st.LatencyP99.Nanoseconds()), "p99_ns")
+	if st.Offered > 0 {
+		b.ReportMetric(float64(st.ShedReports+st.ShedCritical)/float64(st.Offered), "shed_frac")
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+// Tuning knobs of the event-driven streaming controller (stream.go) and the
+// anti-flap switch gate it shares with the networked control plane. All
+// defaults are resolved through accessor methods so the zero value of each
+// struct is a sane production configuration, matching the convention of
+// AllocOptions/AssocOptions.
+
+import (
+	"time"
+
+	"acorn/internal/obs"
+)
+
+// GateOptions parameterizes the anti-flap SwitchGate: goodput hysteresis
+// (a proposed channel switch must beat the incumbent by a relative margin,
+// sustained over a streak of consecutive evaluations) plus a per-AP token
+// bucket bounding the switch rate, plus the flap-detector window.
+type GateOptions struct {
+	// Margin is the minimum relative network-goodput gain a proposed switch
+	// must offer (rank / pre-switch estimate). Zero means DefaultGateMargin;
+	// negative disables the margin test.
+	Margin float64
+	// Streak is the number of consecutive evaluations that must propose the
+	// same switch before it may commit (the K of the hysteresis rule). Zero
+	// means DefaultGateStreak; negative or 1 commits on the first proposal.
+	Streak int
+	// RatePerHour is the per-AP token refill rate: the sustained switch
+	// rate one AP may not exceed. Zero means DefaultGateRatePerHour;
+	// negative disables rate limiting.
+	RatePerHour float64
+	// Burst is the token bucket capacity — how many switches one AP may
+	// perform back-to-back before the rate limit bites. Zero means
+	// DefaultGateBurst.
+	Burst int
+	// FlapWindow is the sliding window of the flap detector (and the span
+	// over which per-AP switch history is retained). Zero means
+	// DefaultFlapWindow.
+	FlapWindow time.Duration
+	// FlapThreshold is the per-AP switch count within FlapWindow at which
+	// an AP counts as flapping. Zero means DefaultFlapThreshold.
+	FlapThreshold int
+}
+
+// Gate defaults. A switch must win by 2% twice in a row, and no AP may
+// switch more than ~12 times an hour (burst 3) — bounds far inside the
+// paper's one-switch-per-30-min periodic regime, yet loose enough that a
+// genuinely better configuration lands within seconds.
+const (
+	DefaultGateMargin      = 0.02
+	DefaultGateStreak      = 2
+	DefaultGateRatePerHour = 12.0
+	DefaultGateBurst       = 3
+	DefaultFlapWindow      = 10 * time.Minute
+	DefaultFlapThreshold   = 4
+)
+
+func (o GateOptions) margin() float64 {
+	if o.Margin == 0 {
+		return DefaultGateMargin
+	}
+	if o.Margin < 0 {
+		return 0
+	}
+	return o.Margin
+}
+
+func (o GateOptions) streak() int {
+	if o.Streak == 0 {
+		return DefaultGateStreak
+	}
+	if o.Streak < 1 {
+		return 1
+	}
+	return o.Streak
+}
+
+func (o GateOptions) ratePerHour() float64 {
+	if o.RatePerHour == 0 {
+		return DefaultGateRatePerHour
+	}
+	if o.RatePerHour < 0 {
+		return 0 // disabled
+	}
+	return o.RatePerHour
+}
+
+func (o GateOptions) burst() int {
+	if o.Burst <= 0 {
+		return DefaultGateBurst
+	}
+	return o.Burst
+}
+
+func (o GateOptions) flapWindow() time.Duration {
+	if o.FlapWindow <= 0 {
+		return DefaultFlapWindow
+	}
+	return o.FlapWindow
+}
+
+func (o GateOptions) flapThreshold() int {
+	if o.FlapThreshold <= 0 {
+		return DefaultFlapThreshold
+	}
+	return o.FlapThreshold
+}
+
+// StreamOptions tunes the StreamController.
+type StreamOptions struct {
+	// MaxQueue bounds the event queue (live entries; coalesced updates do
+	// not grow it). When full, the shed policy drops the oldest report-kind
+	// entry first — membership events (arrive/depart) are shed only when no
+	// report remains, and are counted separately because dropping one can
+	// leave the configuration stale until the next full pass. Zero means
+	// DefaultStreamMaxQueue.
+	MaxQueue int
+	// MaxBatch bounds how many events one Pump drains before running the
+	// batched local re-optimization; zero means DefaultStreamMaxBatch.
+	MaxBatch int
+	// Gate configures the anti-flap switch gate.
+	Gate GateOptions
+	// RoamMargin is the association-roaming hysteresis applied when a
+	// report event re-evaluates its client (Controller.Roam semantics).
+	// Zero means DefaultStreamRoamMargin; negative disables.
+	RoamMargin float64
+	// Alloc tunes the bounded local re-optimizations (Workers, Epsilon,
+	// MaxPeriods); Only is owned by the stream and must stay nil.
+	Alloc AllocOptions
+	// AssocWorkers bounds the parallelism of full-pass roaming sweeps.
+	AssocWorkers int
+
+	// DegradeDepth is the queue depth at or above which the stream counts
+	// as saturated; zero means MaxQueue/2.
+	DegradeDepth int
+	// DegradeAfter is how long saturation must persist before the stream
+	// degrades to deferred batched reallocation (per-event local
+	// re-optimization suspended). Zero means DefaultStreamDegradeAfter.
+	DegradeAfter time.Duration
+	// RecoverBelow is the queue depth below which a degraded stream
+	// recovers; zero means MaxQueue/4.
+	RecoverBelow int
+	// WatchdogPeriod bounds how stale the configuration may grow: if the
+	// stream is degraded, saturated, or holding unserviced dirty state for
+	// this long, the watchdog forces a full periodic pass (whole-network
+	// Reallocate plus roaming sweep, still rate-gated). Zero means
+	// DefaultStreamWatchdogPeriod.
+	WatchdogPeriod time.Duration
+
+	// Now replaces time.Now for deterministic replay (the dynamic package
+	// drives it from simulated time). Nil means time.Now.
+	Now func() time.Time
+	// Log receives shed/degradation warnings (sheds are also counted, so
+	// nothing is dropped silently even with logging off). Nil means obs.Nop.
+	Log *obs.Logger
+	// RecordLatencies keeps a ring of the last N per-event decision
+	// latencies so benchmarks can report exact p50/p99 quantiles; zero
+	// disables the ring (the obs histogram is always fed).
+	RecordLatencies int
+}
+
+// Stream defaults.
+const (
+	DefaultStreamMaxQueue       = 4096
+	DefaultStreamMaxBatch       = 256
+	DefaultStreamRoamMargin     = 0.05
+	DefaultStreamDegradeAfter   = 2 * time.Second
+	DefaultStreamWatchdogPeriod = 2 * time.Minute
+)
+
+func (o StreamOptions) maxQueue() int {
+	if o.MaxQueue <= 0 {
+		return DefaultStreamMaxQueue
+	}
+	return o.MaxQueue
+}
+
+func (o StreamOptions) maxBatch() int {
+	if o.MaxBatch <= 0 {
+		return DefaultStreamMaxBatch
+	}
+	return o.MaxBatch
+}
+
+func (o StreamOptions) roamMargin() float64 {
+	if o.RoamMargin == 0 {
+		return DefaultStreamRoamMargin
+	}
+	if o.RoamMargin < 0 {
+		return 0
+	}
+	return o.RoamMargin
+}
+
+func (o StreamOptions) degradeDepth() int {
+	if o.DegradeDepth > 0 {
+		return o.DegradeDepth
+	}
+	d := o.maxQueue() / 2
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+func (o StreamOptions) degradeAfter() time.Duration {
+	if o.DegradeAfter <= 0 {
+		return DefaultStreamDegradeAfter
+	}
+	return o.DegradeAfter
+}
+
+func (o StreamOptions) recoverBelow() int {
+	if o.RecoverBelow > 0 {
+		return o.RecoverBelow
+	}
+	d := o.maxQueue() / 4
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+func (o StreamOptions) watchdogPeriod() time.Duration {
+	if o.WatchdogPeriod <= 0 {
+		return DefaultStreamWatchdogPeriod
+	}
+	return o.WatchdogPeriod
+}
+
+func (o StreamOptions) now() func() time.Time {
+	if o.Now != nil {
+		return o.Now
+	}
+	return time.Now
+}

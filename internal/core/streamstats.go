@@ -1,0 +1,221 @@
+package core
+
+// Statistics and observability bindings of the streaming controller
+// (stream.go). The StreamController mutates a plain counter struct under its
+// own locks and mirrors every change into the obs registry, so tests can
+// assert on exact snapshots while dashboards read the registry.
+
+import (
+	"sort"
+	"time"
+
+	"acorn/internal/obs"
+)
+
+// GateStats is a snapshot of the anti-flap switch gate's decisions.
+type GateStats struct {
+	// Proposals counts Consider calls; every proposal is either approved or
+	// vetoed by exactly one of the three rules.
+	Proposals uint64
+	// Approved counts switches the gate let through.
+	Approved uint64
+	// MarginVetoes counts proposals whose relative gain fell below the
+	// hysteresis margin (these also reset the AP's streak).
+	MarginVetoes uint64
+	// StreakVetoes counts proposals that cleared the margin but had not yet
+	// repeated for the required K consecutive evaluations.
+	StreakVetoes uint64
+	// RateVetoes counts proposals blocked by the per-AP token bucket (the
+	// streak survives, so the switch commits once a token refills).
+	RateVetoes uint64
+	// FlappingAPs is the number of APs whose switch count inside FlapWindow
+	// is at or above FlapThreshold at snapshot time.
+	FlappingAPs int
+	// MaxSwitchesPerAP is the largest per-AP switch count inside FlapWindow
+	// at snapshot time — the quantity the rate-limit invariant bounds.
+	MaxSwitchesPerAP int
+}
+
+// StreamStats is a snapshot of the streaming controller.
+type StreamStats struct {
+	// Offered counts every Offer call accepted (including those that
+	// coalesced into or annihilated against a pending entry).
+	Offered uint64
+	// Coalesced counts offers folded into an already-queued entry for the
+	// same client (latest wins) instead of growing the queue.
+	Coalesced uint64
+	// Annihilated counts queued entries cancelled outright by a later offer
+	// (an arrival met by a departure before it was ever processed). Each
+	// annihilation retires two events: the queued one and the offer.
+	Annihilated uint64
+	// ShedReports counts report-kind entries dropped by the overload shed
+	// policy (oldest report first — reports are refreshed by the next
+	// periodic report, so they are the cheap thing to lose).
+	ShedReports uint64
+	// ShedCritical counts membership (arrive/depart) entries shed because
+	// the queue was saturated with nothing cheaper to drop. These can leave
+	// the configuration stale until the watchdog's next full pass, hence
+	// the separate ledger.
+	ShedCritical uint64
+	// Applied counts events the pump has fully processed.
+	Applied uint64
+	// Depth is the current number of live queued entries; QueueLen includes
+	// not-yet-compacted tombstones; MaxDepth is the high-water Depth.
+	Depth    int
+	QueueLen int
+	MaxDepth int
+	// Degraded reports whether the controller is currently in the deferred
+	// batched mode; Degradations counts transitions into it.
+	Degraded     bool
+	Degradations uint64
+	// LocalReopts counts bounded conflict-neighbourhood re-optimizations;
+	// BatchedReopts counts deferred-dirty batches run on recovery;
+	// FullPasses counts whole-network passes (all watchdog-forced —
+	// WatchdogFires and FullPasses currently advance together).
+	LocalReopts   uint64
+	BatchedReopts uint64
+	FullPasses    uint64
+	WatchdogFires uint64
+	// EngineDeferrals counts pumps that skipped local re-optimization
+	// because the incremental engines had latched off (degradation ladder
+	// rung 2); GenericReopts counts re-optimizations that silently fell
+	// back to the generic full-sweep allocator mid-run.
+	EngineDeferrals uint64
+	GenericReopts   uint64
+	// SwitchesApplied counts channel switches actually installed (post-gate).
+	SwitchesApplied uint64
+	// Gate is the switch gate's snapshot.
+	Gate GateStats
+	// LatencyP50/LatencyP99 are decision-latency quantiles (enqueue to
+	// applied) over the ring of the last StreamOptions.RecordLatencies
+	// events; zero when recording is disabled or nothing was recorded.
+	LatencyP50 time.Duration
+	LatencyP99 time.Duration
+	// LatencyCount is how many samples the quantiles summarize.
+	LatencyCount int
+}
+
+// latRing is a fixed-size ring of the most recent decision latencies; the
+// quantiles are exact over the retained window (sort-on-read — reads are
+// rare, writes are per-event).
+type latRing struct {
+	buf  []time.Duration
+	next int
+	full bool
+}
+
+func newLatRing(n int) *latRing {
+	if n <= 0 {
+		return nil
+	}
+	return &latRing{buf: make([]time.Duration, n)}
+}
+
+func (r *latRing) add(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.buf[r.next] = d
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+func (r *latRing) count() int {
+	if r == nil {
+		return 0
+	}
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// quantile returns the p-quantile (0 ≤ p ≤ 1, nearest-rank) of the retained
+// samples, or zero when empty.
+func (r *latRing) quantile(p float64) time.Duration {
+	n := r.count()
+	if n == 0 {
+		return 0
+	}
+	s := make([]time.Duration, n)
+	if r.full {
+		copy(s, r.buf)
+	} else {
+		copy(s, r.buf[:r.next])
+	}
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	i := int(p*float64(n-1) + 0.5)
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return s[i]
+}
+
+// streamMetrics holds the controller's bound obs handles so the hot path
+// never re-resolves metric names.
+type streamMetrics struct {
+	depth        *obs.Gauge
+	offered      *obs.Counter
+	coalesced    *obs.Counter
+	annihilated  *obs.Counter
+	shed         *obs.CounterVec
+	applied      *obs.Counter
+	decision     *obs.Histogram
+	reopt        *obs.Histogram
+	switches     *obs.Counter
+	vetoes       *obs.CounterVec
+	degraded     *obs.Gauge
+	degradations *obs.Counter
+	localReopts  *obs.Counter
+	batched      *obs.Counter
+	fullPasses   *obs.Counter
+	watchdog     *obs.Counter
+	flapping     *obs.Gauge
+}
+
+func bindStreamMetrics(reg *obs.Registry) *streamMetrics {
+	return &streamMetrics{
+		depth: reg.Gauge("acorn_stream_queue_depth",
+			"live entries in the streaming controller's event queue"),
+		offered: reg.Counter("acorn_stream_events_offered_total",
+			"events offered to the streaming controller"),
+		coalesced: reg.Counter("acorn_stream_events_coalesced_total",
+			"offers folded into an already-queued entry (latest wins)"),
+		annihilated: reg.Counter("acorn_stream_events_annihilated_total",
+			"queued entries cancelled by an opposite later offer"),
+		shed: reg.CounterVec("acorn_stream_events_shed_total",
+			"events dropped by the overload shed policy", "class"),
+		applied: reg.Counter("acorn_stream_events_applied_total",
+			"events fully processed by the pump"),
+		decision: reg.Histogram("acorn_stream_decision_seconds",
+			"per-event decision latency, enqueue to applied",
+			obs.ExpBuckets(1e-6, 4, 12)),
+		reopt: reg.Histogram("acorn_stream_reopt_seconds",
+			"wall time of one bounded re-optimization",
+			obs.ExpBuckets(1e-6, 4, 12)),
+		switches: reg.Counter("acorn_stream_switches_applied_total",
+			"channel switches installed by the streaming controller (post-gate)"),
+		vetoes: reg.CounterVec("acorn_stream_gate_vetoes_total",
+			"switch proposals vetoed by the anti-flap gate", "reason"),
+		degraded: reg.Gauge("acorn_stream_degraded",
+			"1 while the streaming controller is in deferred batched mode"),
+		degradations: reg.Counter("acorn_stream_degradations_total",
+			"transitions into deferred batched mode"),
+		localReopts: reg.Counter("acorn_stream_local_reopts_total",
+			"bounded conflict-neighbourhood re-optimizations"),
+		batched: reg.Counter("acorn_stream_batched_reopts_total",
+			"deferred dirty batches re-optimized on recovery"),
+		fullPasses: reg.Counter("acorn_stream_full_passes_total",
+			"whole-network passes run by the streaming controller"),
+		watchdog: reg.Counter("acorn_stream_watchdog_fires_total",
+			"watchdog-forced full periodic passes"),
+		flapping: reg.Gauge("acorn_stream_flapping_aps",
+			"APs at or above the flap threshold inside the flap window"),
+	}
+}

@@ -69,6 +69,12 @@ type Server struct {
 	// report at all is fresh, Reallocate refuses to run. Zero disables
 	// aging.
 	ReportTTL time.Duration
+	// Stream, when Enabled, turns on event-driven reallocation: reports
+	// mark their AP dirty and a consumer goroutine runs gated,
+	// neighbourhood-restricted passes (see stream.go). Set before Serve.
+	Stream StreamConfig
+
+	stream streamState
 
 	mu          sync.Mutex
 	agents      map[string]*agentConn // by AP ID
@@ -95,11 +101,17 @@ type serverMetrics struct {
 	heartbeats      *obs.Counter
 	reportsTotal    *obs.Counter
 	reportsStale    *obs.Counter
+	reportsReplayed *obs.Counter
 	quarantined     *obs.Counter
 	reallocs        *obs.Counter
 	reallocSkipped  *obs.Counter
 	pushes          *obs.Counter
 	pushErrors      *obs.Counter
+	streamDirty     *obs.Gauge
+	streamPasses    *obs.CounterVec
+	streamFailures  *obs.Counter
+	streamWatchdog  *obs.Counter
+	streamVetoes    *obs.Counter
 }
 
 // m returns the lazily bound metric handles.
@@ -120,6 +132,8 @@ func (s *Server) m() *serverMetrics {
 				"measurement reports accepted"),
 			reportsStale: reg.Counter("acorn_ctlnet_reports_stale_total",
 				"reports dropped for an out-of-order sequence"),
+			reportsReplayed: reg.Counter("acorn_ctlnet_reports_replayed_total",
+				"reconnect replays accepted without refreshing the report's age"),
 			quarantined: reg.Counter("acorn_ctlnet_reports_quarantined_total",
 				"stale reports quarantined past the TTL at reallocation"),
 			reallocs: reg.Counter("acorn_ctlnet_reallocations_total",
@@ -130,6 +144,16 @@ func (s *Server) m() *serverMetrics {
 				"assignment pushes attempted"),
 			pushErrors: reg.Counter("acorn_ctlnet_assignment_push_errors_total",
 				"assignment pushes that failed"),
+			streamDirty: reg.Gauge("acorn_ctlnet_stream_dirty_aps",
+				"APs currently marked dirty awaiting a streaming pass"),
+			streamPasses: reg.CounterVec("acorn_ctlnet_stream_passes_total",
+				"streaming reallocation passes by scope", "scope"),
+			streamFailures: reg.Counter("acorn_ctlnet_stream_pass_failures_total",
+				"streaming passes that errored (dirty set requeued)"),
+			streamWatchdog: reg.Counter("acorn_ctlnet_stream_watchdog_fires_total",
+				"watchdog-forced full passes in stream mode"),
+			streamVetoes: reg.Counter("acorn_ctlnet_stream_switch_vetoes_total",
+				"proposed channel switches the anti-flap gate refused"),
 		}
 		reg.GaugeFunc("acorn_ctlnet_last_reallocation_age_seconds",
 			"seconds since the last successful reallocation (-1 before the first)",
@@ -218,6 +242,7 @@ func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	s.listener = l
 	s.mu.Unlock()
+	s.startStream()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -242,6 +267,7 @@ func (s *Server) Close() error {
 		conns = append(conns, a)
 	}
 	s.mu.Unlock()
+	s.stopStream()
 	var err error
 	if l != nil {
 		err = l.Close()
@@ -352,16 +378,32 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			rep := *env.Report
 			s.mu.Lock()
-			if prev, ok := s.reports[hello.APID]; ok && rep.Seq != 0 && rep.Seq < prev.rep.Seq {
+			prev, had := s.reports[hello.APID]
+			if had && rep.Seq != 0 && rep.Seq < prev.rep.Seq {
 				s.mu.Unlock()
 				m.reportsStale.Inc()
 				s.log().Warn("ignoring stale report", "ap", hello.APID,
 					"seq", rep.Seq, "have", prev.rep.Seq)
 				continue
 			}
-			s.reports[hello.APID] = storedReport{rep: rep, recv: time.Now()}
+			// An equal non-zero sequence is a reconnect replay: the agent is
+			// re-sending the measurement we already hold so the view survives
+			// the reconnect. Accept it, but keep the original receive time —
+			// a replay carries no new measurement, so it must not reset the
+			// TTL clock and launder a quarantined view back to fresh.
+			replay := had && rep.Seq != 0 && rep.Seq == prev.rep.Seq
+			recv := time.Now()
+			if replay {
+				recv = prev.recv
+			}
+			s.reports[hello.APID] = storedReport{rep: rep, recv: recv}
 			s.mu.Unlock()
 			m.reportsTotal.Inc()
+			if replay {
+				m.reportsReplayed.Inc()
+			} else if s.Stream.Enabled {
+				s.markDirty(hello.APID)
+			}
 		default:
 			s.reject(conn, "unexpected message")
 			return
@@ -411,7 +453,21 @@ func (s *Server) push(ac *agentConn, apID string, ch spectrum.Channel) {
 // one is logged and the AP's last-known-good view is still used, degrading
 // gracefully through short silences. Only when every report is stale does
 // Reallocate refuse to act, since the whole view would then be fiction.
+//
+// In stream mode this is the authoritative full pass: proposed switches
+// still face the anti-flap gate's margin and rate limits (never more than
+// burst + rate·W switches per AP in any window W), but not the K-streak
+// hysteresis.
 func (s *Server) Reallocate() (map[string]spectrum.Channel, error) {
+	return s.reallocate(nil, true)
+}
+
+// reallocate is the shared engine behind the periodic full pass (only nil)
+// and the streaming neighbourhood pass (only = dirty APs plus their
+// hear-graph neighbours; every other AP holds its channel). In stream mode
+// each proposed switch is replayed through the switch gate; vetoed switches
+// keep the AP's previous assignment.
+func (s *Server) reallocate(only map[string]bool, bypassStreak bool) (map[string]spectrum.Channel, error) {
 	m := s.m()
 	span := m.reg.Histogram("acorn_ctlnet_reallocate_seconds",
 		"wall time of one networked reallocation (view build + search + push)", nil).Start()
@@ -454,10 +510,12 @@ func (s *Server) Reallocate() (map[string]spectrum.Channel, error) {
 	// assignment when one exists (incremental reallocation).
 	rng := stats.NewRand(s.Seed)
 	core.RandomInitial(n, cfg, rng.Intn)
+	prevAssign := make(map[string]spectrum.Channel)
 	s.mu.Lock()
 	for apID, ch := range s.assign {
 		if n.AP(apID) != nil && n.Band.Contains(ch) {
 			cfg.Channels[apID] = ch
+			prevAssign[apID] = ch
 		}
 	}
 	s.mu.Unlock()
@@ -482,13 +540,14 @@ func (s *Server) Reallocate() (map[string]spectrum.Channel, error) {
 	m.reg.Counter("acorn_ctlnet_view_roam_moves_total",
 		"clients the pre-allocation roaming sweep moved away from their reported AP").Add(uint64(moves))
 	est := core.NewEstimator(n)
-	alloc, allocStats := core.AllocateChannels(n, cfg, est, s.Alloc)
+	opts := s.Alloc
+	opts.Only = only
+	alloc, allocStats := core.AllocateChannels(n, cfg, est, opts)
 
-	out := make(map[string]spectrum.Channel, len(alloc.Channels))
+	out := s.gateAndInstall(prevAssign, only, bypassStreak, alloc.Channels, allocStats.History)
 	s.mu.Lock()
-	for apID, ch := range alloc.Channels {
+	for apID, ch := range out {
 		s.assign[apID] = ch
-		out[apID] = ch
 	}
 	conns := make(map[string]*agentConn, len(s.agents))
 	for id, ac := range s.agents {
@@ -497,14 +556,93 @@ func (s *Server) Reallocate() (map[string]spectrum.Channel, error) {
 	s.lastRealloc = time.Now()
 	s.mu.Unlock()
 	for apID, ac := range conns {
-		if ch, ok := out[apID]; ok {
-			s.push(ac, apID, ch)
+		ch, ok := out[apID]
+		if !ok {
+			continue
 		}
+		// Restricted passes only push assignments that actually changed;
+		// full passes push everything (reconnected agents may hold nothing).
+		if only != nil {
+			if prev, had := prevAssign[apID]; had && prev == ch {
+				continue
+			}
+		}
+		s.push(ac, apID, ch)
 	}
 	m.reallocs.Inc()
+	if only == nil {
+		s.noteFullPass()
+	}
 	core.RecordAllocMetrics(m.reg, allocStats, alloc)
 	span.End()
 	return out, nil
+}
+
+// gateAndInstall turns a search result into the assignment to store and
+// push. Without a switch gate (stream mode off) the search result is taken
+// wholesale. With one, previously assigned APs keep their channel unless
+// the gate approves the switch — each proposal's relative gain is the
+// greedy step's rank against the estimate just before it, mirroring the
+// in-process StreamController — while an AP's first-ever assignment passes
+// ungated (there is nothing to flap from). Never-assigned APs outside a
+// restricted pass's eligible set get no assignment at all: their search
+// channel is just the random seed, not a decision.
+func (s *Server) gateAndInstall(prevAssign map[string]spectrum.Channel, only map[string]bool,
+	bypassStreak bool, proposed map[string]spectrum.Channel, history []core.SwitchRecord) map[string]spectrum.Channel {
+	s.stream.mu.Lock()
+	gate := s.stream.gate
+	s.stream.mu.Unlock()
+	if gate == nil && s.Stream.Enabled {
+		// Reallocate before Serve: bind the gate so hysteresis state is
+		// shared once the consumer starts.
+		s.stream.mu.Lock()
+		if s.stream.gate == nil {
+			s.stream.gate = core.NewSwitchGate(s.Stream.Gate, nil)
+		}
+		gate = s.stream.gate
+		s.stream.mu.Unlock()
+	}
+	out := make(map[string]spectrum.Channel, len(proposed))
+	if gate == nil {
+		for apID, ch := range proposed {
+			out[apID] = ch
+		}
+		return out
+	}
+	for apID, ch := range proposed {
+		if prev, had := prevAssign[apID]; had {
+			out[apID] = prev
+		} else if only == nil || only[apID] {
+			out[apID] = ch
+		}
+	}
+	var vetoed, applied uint64
+	for _, rec := range history {
+		if _, had := prevAssign[rec.AP]; !had {
+			continue
+		}
+		pre := rec.Estimate - rec.Rank
+		rel := 0.0
+		if pre > 0 {
+			rel = rec.Rank / pre
+		}
+		if gate.Consider(rec.AP, rec.Channel, rel, bypassStreak) {
+			if out[rec.AP] != rec.Channel {
+				out[rec.AP] = rec.Channel
+				applied++
+			}
+		} else {
+			vetoed++
+		}
+	}
+	s.stream.mu.Lock()
+	s.stream.vetoed += vetoed
+	s.stream.applied += applied
+	s.stream.mu.Unlock()
+	if vetoed > 0 {
+		s.m().streamVetoes.Add(vetoed)
+	}
+	return out
 }
 
 // buildView converts reports into a wlan.Network whose link SNRs reproduce

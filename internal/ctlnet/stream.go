@@ -1,0 +1,343 @@
+package ctlnet
+
+// Event-driven controller mode: instead of waiting for the next periodic
+// Reallocate, every accepted report marks its AP dirty in a coalesced set
+// (latest-wins per AP — a storm of reports from one AP is one unit of work)
+// and wakes a consumer goroutine. The consumer debounces briefly so a burst
+// collapses into one pass, expands the dirty set one hop through the
+// reported hear-graph, and runs a reallocation restricted to that
+// neighbourhood with every proposed switch judged by a core.SwitchGate
+// (goodput hysteresis, per-AP token buckets, flap accounting). A watchdog
+// forces a periodic full ungated-streak pass so vetoed or failed work is
+// never stranded.
+//
+// The periodic path is untouched: with Stream.Enabled false the server
+// behaves exactly as before, and even in stream mode the public Reallocate
+// remains the authoritative full pass (it bypasses the streak rule but
+// still pays rate tokens, so the per-AP switch-rate bound holds across both
+// paths).
+
+import (
+	"sync"
+	"time"
+
+	"acorn/internal/core"
+)
+
+// Default stream-mode tuning.
+const (
+	// DefaultStreamDebounce is how long the consumer waits after a wake-up
+	// before draining the dirty set, so a report storm coalesces into one
+	// neighbourhood pass.
+	DefaultStreamDebounce = 25 * time.Millisecond
+	// DefaultStreamWatchdog bounds how stale the last full pass may get
+	// before the consumer forces one.
+	DefaultStreamWatchdog = 2 * time.Minute
+)
+
+// StreamConfig switches the server into event-driven mode and tunes it.
+type StreamConfig struct {
+	// Enabled turns report-triggered reallocation on. Off, the server only
+	// reallocates when Reallocate is called (the periodic mode).
+	Enabled bool
+	// Gate parameterizes the anti-flap switch gate shared by the streaming
+	// and full passes. The zero value takes core's defaults.
+	Gate core.GateOptions
+	// Debounce is the wake-to-drain delay that coalesces report bursts.
+	// Zero means DefaultStreamDebounce; negative disables.
+	Debounce time.Duration
+	// WatchdogPeriod bounds the age of the last successful full pass; past
+	// it the consumer forces one (bypassing the streak hysteresis, so
+	// sustained-but-vetoed improvements eventually land). Zero means
+	// DefaultStreamWatchdog; negative disables the watchdog.
+	WatchdogPeriod time.Duration
+}
+
+func (c StreamConfig) debounce() time.Duration {
+	return timeout(c.Debounce, DefaultStreamDebounce)
+}
+
+func (c StreamConfig) watchdogPeriod() time.Duration {
+	return timeout(c.WatchdogPeriod, DefaultStreamWatchdog)
+}
+
+// streamState is the server's event-mode machinery, all guarded by its own
+// mutex so report handlers never contend with a running allocation.
+type streamState struct {
+	mu       sync.Mutex
+	gate     *core.SwitchGate
+	dirty    map[string]bool
+	wake     chan struct{}
+	stopc    chan struct{}
+	lastFull time.Time
+
+	marks, coalesced   uint64
+	passes, fullPasses uint64
+	failed             uint64
+	vetoed, applied    uint64
+}
+
+// ServerStreamStats snapshots the event-driven mode for tests and
+// introspection.
+type ServerStreamStats struct {
+	Enabled    bool
+	DirtyDepth int
+	// Marks counts reports that dirtied an AP; Coalesced counts the subset
+	// absorbed into an already-dirty AP (the queue's latest-wins merges).
+	Marks, Coalesced uint64
+	// Passes counts neighbourhood-restricted reallocations; FullPasses
+	// counts watchdog- or Reallocate-driven full ones. Failed counts passes
+	// that errored (their dirty set is requeued, not lost).
+	Passes, FullPasses, Failed uint64
+	// SwitchesVetoed / SwitchesApplied count gate decisions on proposed
+	// channel switches across both pass kinds.
+	SwitchesVetoed, SwitchesApplied uint64
+	LastFull                        time.Time
+	Gate                            core.GateStats
+}
+
+// startStream launches the consumer goroutine. Idempotent; a no-op unless
+// Stream.Enabled.
+func (s *Server) startStream() {
+	if !s.Stream.Enabled {
+		return
+	}
+	st := &s.stream
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.stopc != nil {
+		return
+	}
+	if st.gate == nil {
+		st.gate = core.NewSwitchGate(s.Stream.Gate, nil)
+	}
+	if st.dirty == nil {
+		st.dirty = make(map[string]bool)
+	}
+	st.wake = make(chan struct{}, 1)
+	st.stopc = make(chan struct{})
+	st.lastFull = time.Now()
+	s.wg.Add(1)
+	go s.runStream(st.stopc, st.wake)
+}
+
+// stopStream stops the consumer; Close's wg.Wait joins it.
+func (s *Server) stopStream() {
+	st := &s.stream
+	st.mu.Lock()
+	stopc := st.stopc
+	st.stopc = nil
+	st.mu.Unlock()
+	if stopc != nil {
+		close(stopc)
+	}
+}
+
+// markDirty records that an AP's view changed and wakes the consumer.
+func (s *Server) markDirty(apID string) {
+	st := &s.stream
+	st.mu.Lock()
+	if st.dirty == nil {
+		st.dirty = make(map[string]bool)
+	}
+	st.marks++
+	if st.dirty[apID] {
+		st.coalesced++
+	}
+	st.dirty[apID] = true
+	wake := st.wake
+	s.m().streamDirty.Set(float64(len(st.dirty)))
+	st.mu.Unlock()
+	if wake != nil {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// takeDirty drains the dirty set.
+func (s *Server) takeDirty() map[string]bool {
+	st := &s.stream
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.dirty) == 0 {
+		return nil
+	}
+	out := st.dirty
+	st.dirty = make(map[string]bool)
+	s.m().streamDirty.Set(0)
+	return out
+}
+
+// requeueDirty puts a failed pass's work back so the trigger is not lost.
+func (s *Server) requeueDirty(dirty map[string]bool) {
+	st := &s.stream
+	st.mu.Lock()
+	for ap := range dirty {
+		st.dirty[ap] = true
+	}
+	s.m().streamDirty.Set(float64(len(st.dirty)))
+	st.mu.Unlock()
+}
+
+// hearNeighbourhood expands a dirty AP set one hop through the reported
+// hear-graph (symmetrized, exactly as buildView wires contention), so a
+// restricted pass covers every AP whose spectrum the dirty ones contend
+// for. Unknown AP ids are dropped.
+func (s *Server) hearNeighbourhood(dirty map[string]bool) map[string]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]bool, 2*len(dirty))
+	for ap := range dirty {
+		if _, known := s.hellos[ap]; known {
+			out[ap] = true
+		}
+	}
+	for ap, sr := range s.reports {
+		for _, other := range sr.rep.Hears {
+			if _, known := s.hellos[other]; !known {
+				continue
+			}
+			if dirty[ap] {
+				out[other] = true
+			}
+			if dirty[other] {
+				out[ap] = true
+			}
+		}
+	}
+	return out
+}
+
+// runStream is the consumer: it drains the dirty set after a debounce on
+// every wake-up, and keeps the watchdog honest on a coarse tick even when
+// no events flow.
+func (s *Server) runStream(stopc chan struct{}, wake chan struct{}) {
+	defer s.wg.Done()
+	tickEvery := s.Stream.watchdogPeriod() / 4
+	if tickEvery <= 0 || tickEvery > time.Second {
+		tickEvery = time.Second
+	}
+	tick := time.NewTicker(tickEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stopc:
+			return
+		case <-wake:
+			if d := s.Stream.debounce(); d > 0 {
+				timer := time.NewTimer(d)
+				select {
+				case <-stopc:
+					timer.Stop()
+					return
+				case <-timer.C:
+				}
+			}
+			s.streamPass()
+		case <-tick.C:
+			s.streamPass() // drains requeued work from failed passes
+			s.maybeWatchdog()
+		}
+	}
+}
+
+// streamPass runs one neighbourhood-restricted, gated reallocation over the
+// currently dirty APs. A failed pass requeues its dirty set.
+func (s *Server) streamPass() {
+	dirty := s.takeDirty()
+	if len(dirty) == 0 {
+		return
+	}
+	only := s.hearNeighbourhood(dirty)
+	if len(only) == 0 {
+		return // every dirty id was unknown; nothing to do
+	}
+	m := s.m()
+	if _, err := s.reallocate(only, false); err != nil {
+		s.stream.mu.Lock()
+		s.stream.failed++
+		s.stream.mu.Unlock()
+		m.streamFailures.Inc()
+		s.log().Warn("stream pass failed, requeueing", "dirty", len(dirty), "err", err)
+		s.requeueDirty(dirty)
+		return
+	}
+	s.stream.mu.Lock()
+	s.stream.passes++
+	s.stream.mu.Unlock()
+	m.streamPasses.With("local").Inc()
+}
+
+// maybeWatchdog forces a full pass when the last one is too old, so work
+// stranded by vetoes, failures, or lost wake-ups always lands eventually.
+func (s *Server) maybeWatchdog() {
+	period := s.Stream.watchdogPeriod()
+	if period <= 0 || s.KnownAgents() == 0 {
+		return
+	}
+	st := &s.stream
+	st.mu.Lock()
+	due := time.Since(st.lastFull) > period
+	st.mu.Unlock()
+	if !due {
+		return
+	}
+	s.m().streamWatchdog.Inc()
+	if _, err := s.Reallocate(); err != nil {
+		s.log().Warn("watchdog full pass failed", "err", err)
+		// lastFull advances only on success, so the watchdog retries on the
+		// next tick rather than going quiet for another full period.
+	}
+}
+
+// noteFullPass records a successful unrestricted reallocation.
+func (s *Server) noteFullPass() {
+	st := &s.stream
+	st.mu.Lock()
+	st.fullPasses++
+	st.lastFull = time.Now()
+	st.mu.Unlock()
+	if s.Stream.Enabled {
+		s.m().streamPasses.With("full").Inc()
+	}
+}
+
+// StreamStats snapshots the event-driven mode.
+func (s *Server) StreamStats() ServerStreamStats {
+	st := &s.stream
+	st.mu.Lock()
+	out := ServerStreamStats{
+		Enabled:         s.Stream.Enabled,
+		DirtyDepth:      len(st.dirty),
+		Marks:           st.marks,
+		Coalesced:       st.coalesced,
+		Passes:          st.passes,
+		FullPasses:      st.fullPasses,
+		Failed:          st.failed,
+		SwitchesVetoed:  st.vetoed,
+		SwitchesApplied: st.applied,
+		LastFull:        st.lastFull,
+	}
+	gate := st.gate
+	st.mu.Unlock()
+	if gate != nil {
+		out.Gate = gate.Stats()
+	}
+	return out
+}
+
+// GateSwitchTimes exposes the per-AP committed switch timestamps inside the
+// flap window — nil when stream mode never started. Chaos tests assert the
+// rate invariant directly on these.
+func (s *Server) GateSwitchTimes() map[string][]time.Time {
+	st := &s.stream
+	st.mu.Lock()
+	gate := st.gate
+	st.mu.Unlock()
+	if gate == nil {
+		return nil
+	}
+	return gate.SwitchTimes()
+}

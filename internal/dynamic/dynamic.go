@@ -14,6 +14,7 @@ package dynamic
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -86,16 +87,12 @@ type Result struct {
 
 type event struct {
 	at   time.Duration
-	kind int // 0 = arrival, 1 = departure, 2 = reallocate
+	kind int // 0 = arrival, 1 = departure, 2 = reallocate, 3 = report refresh
 	id   string
 }
 
-// Run executes the scenario.
-func Run(sc Scenario) Result {
-	rng := stats.NewRand(sc.Seed)
-	gen := assoctrace.DefaultGenerator()
-
-	// Build the AP grid.
+// buildGrid places the scenario's AP grid and its controller.
+func buildGrid(sc Scenario) ([]*wlan.AP, *wlan.Network, *core.Controller) {
 	var aps []*wlan.AP
 	for i := 0; i < sc.NumAPs; i++ {
 		aps = append(aps, &wlan.AP{
@@ -110,9 +107,14 @@ func Run(sc Scenario) Result {
 		panic(err) // scenario construction bug, not a data condition
 	}
 	ctrl.Assoc.Workers = sc.AssocWorkers
+	return aps, n, ctrl
+}
 
-	// Pre-generate the event list: arrivals (with departures) and the
-	// reallocation ticks.
+// churnEvents pre-generates the arrival/departure trace. The RNG draws here
+// are the only ones before replay, so Run and RunStream walk the identical
+// trace for the same seed — the comparison between periodic and streaming
+// operation is paired, not merely distributionally equal.
+func churnEvents(sc Scenario, rng *rand.Rand, gen assoctrace.Generator) []event {
 	var events []event
 	clientSeq := 0
 	lambdaPerSec := sc.ArrivalsPerHour / 3600
@@ -130,6 +132,19 @@ func Run(sc Scenario) Result {
 			events = append(events, event{at: dep, kind: 1, id: id})
 		}
 	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
+	return events
+}
+
+// Run executes the scenario.
+func Run(sc Scenario) Result {
+	rng := stats.NewRand(sc.Seed)
+	gen := assoctrace.DefaultGenerator()
+	aps, n, ctrl := buildGrid(sc)
+
+	// Pre-generate the event list: arrivals (with departures) and the
+	// reallocation ticks.
+	events := churnEvents(sc, rng, gen)
 	if sc.Period > 0 {
 		for at := sc.Period; at < sc.Duration; at += sc.Period {
 			events = append(events, event{at: at, kind: 2})

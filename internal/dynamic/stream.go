@@ -1,0 +1,132 @@
+package dynamic
+
+// Event-driven replay: the same churn trace Run walks on a periodic timer,
+// fed through core.StreamController one event at a time under a virtual
+// clock. Run and RunStream consume identical RNG draws, so for one seed the
+// two results differ only in *when* the controller re-optimizes — the
+// paired comparison behind the goodput-vs-periodic benchmark.
+
+import (
+	"sort"
+	"time"
+
+	"acorn/internal/assoctrace"
+	"acorn/internal/core"
+	"acorn/internal/stats"
+	"acorn/internal/wlan"
+)
+
+// StreamResult pairs the churn outcome of an event-driven run with the
+// stream's own accounting (queue pressure, shedding, gate decisions,
+// decision latency — measured in virtual time).
+type StreamResult struct {
+	Result
+	Stream core.StreamStats
+}
+
+// RunStream replays the scenario's churn trace through a StreamController:
+// arrivals and departures become stream events, pumped deterministically at
+// their trace timestamps under a virtual clock (so hysteresis streaks,
+// token-bucket refills, and the watchdog all advance in simulated time).
+// sc.Period is ignored — the stream decides when to re-optimize; the
+// switching outage is charged exactly as in Run. When reportEvery > 0,
+// every live client additionally refreshes its measurement on that cadence,
+// exercising the report-coalescing and roaming paths.
+func RunStream(sc Scenario, reportEvery time.Duration, opts core.StreamOptions) StreamResult {
+	rng := stats.NewRand(sc.Seed)
+	gen := assoctrace.DefaultGenerator()
+	aps, n, ctrl := buildGrid(sc)
+	events := churnEvents(sc, rng, gen)
+
+	if reportEvery > 0 {
+		// Synthesize per-client report refreshes from the arrival/departure
+		// pairs. Purely derived — no RNG draws, so the paired trace holds.
+		depart := make(map[string]time.Duration, len(events))
+		for _, ev := range events {
+			if ev.kind == 1 {
+				depart[ev.id] = ev.at
+			}
+		}
+		var reports []event
+		for _, ev := range events {
+			if ev.kind != 0 {
+				continue
+			}
+			end, ok := depart[ev.id]
+			if !ok {
+				end = sc.Duration
+			}
+			for at := ev.at + reportEvery; at < end; at += reportEvery {
+				reports = append(reports, event{at: at, kind: 3, id: ev.id})
+			}
+		}
+		events = append(events, reports...)
+		sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
+	}
+
+	// Virtual clock: the stream sees trace time, not wall time.
+	start := time.Unix(0, 0).UTC()
+	vnow := start
+	opts.Now = func() time.Time { return vnow }
+	s := core.NewStreamController(ctrl, opts)
+	defer s.Stop()
+
+	var res Result
+	var integral float64 // Mbit
+	prev := time.Duration(0)
+	current := 0.0
+	clientsByID := map[string]*wlan.Client{}
+	recompute := func() { current = n.Evaluate(ctrl.ConfigView()).TotalUDP }
+	recompute()
+
+	for _, ev := range events {
+		integral += current * (ev.at - prev).Seconds()
+		prev = ev.at
+		vnow = start.Add(ev.at)
+		before := ctrl.ConfigView().Channels
+		switch ev.kind {
+		case 0: // arrival
+			res.Arrivals++
+			c := spawnClient(rng, aps, ev.id, sc.PoorFraction, n)
+			clientsByID[ev.id] = c
+			s.Offer(core.Event{Kind: core.EventArrive, Client: c})
+			if len(clientsByID) > res.PeakClients {
+				res.PeakClients = len(clientsByID)
+			}
+		case 1: // departure
+			if clientsByID[ev.id] != nil {
+				delete(clientsByID, ev.id)
+				s.Offer(core.Event{Kind: core.EventDepart, ClientID: ev.id})
+			}
+		case 3: // measurement refresh
+			if c := clientsByID[ev.id]; c != nil {
+				s.Offer(core.Event{Kind: core.EventReport, Client: c})
+			}
+		}
+		s.Pump()
+		// Charge the switching outage on every AP the pump moved, exactly
+		// as Run charges the periodic pass. The pre-pump Channels snapshot
+		// survives because re-optimization installs a cloned config.
+		after := ctrl.ConfigView().Channels
+		var rep *wlan.NetworkReport
+		for apID, ch := range after {
+			if before[apID] != ch {
+				res.Switches++
+				if rep == nil {
+					rep = n.Evaluate(ctrl.ConfigView())
+				}
+				if cell := rep.Cell(apID); cell != nil {
+					integral -= cell.ThroughputUDP * sc.SwitchOutage.Seconds()
+					res.OutageSeconds += sc.SwitchOutage.Seconds()
+				}
+			}
+		}
+		recompute()
+	}
+	integral += current * (sc.Duration - prev).Seconds()
+	res.MeanThroughputMbps = integral / sc.Duration.Seconds()
+
+	st := s.Stats()
+	res.Reallocations = int(st.LocalReopts + st.BatchedReopts + st.FullPasses)
+	return StreamResult{Result: res, Stream: st}
+}

@@ -1,0 +1,114 @@
+package dynamic
+
+import (
+	"testing"
+	"time"
+
+	"acorn/internal/core"
+)
+
+// streamOpts is the tuning used across the streaming replay tests and
+// benchmarks. The anti-flap defaults (streak of 2, 12 switches/hour) are
+// deliberately loosened here: the replay is a goodput comparison against a
+// periodic controller that switches without any hysteresis, so the stream
+// gets an immediate-commit streak and a rate bound comfortably above the
+// trace's churn — the margin hysteresis still applies.
+func streamOpts() core.StreamOptions {
+	return core.StreamOptions{
+		WatchdogPeriod: 30 * time.Minute,
+		Gate: core.GateOptions{
+			Streak:      1,
+			RatePerHour: 60,
+			Burst:       10,
+		},
+	}
+}
+
+func TestRunStreamBasics(t *testing.T) {
+	sc := fastScenario(1)
+	res := RunStream(sc, 0, streamOpts())
+	if res.Arrivals == 0 || res.MeanThroughputMbps <= 0 {
+		t.Fatalf("degenerate stream run: %+v", res.Result)
+	}
+	// Paired trace: the stream walks the same arrivals Run does.
+	if periodic := Run(sc); periodic.Arrivals != res.Arrivals {
+		t.Errorf("trace diverged: stream saw %d arrivals, periodic %d", res.Arrivals, periodic.Arrivals)
+	}
+	// Event conservation: everything offered is accounted for.
+	st := res.Stream
+	got := st.Applied + st.Coalesced + 2*st.Annihilated + st.ShedReports + st.ShedCritical + uint64(st.Depth)
+	if st.Offered != got {
+		t.Errorf("conservation violated: offered %d != accounted %d (%+v)", st.Offered, got, st)
+	}
+	if st.Depth != 0 {
+		t.Errorf("queue not drained at end of trace: depth %d", st.Depth)
+	}
+}
+
+func TestRunStreamDeterministic(t *testing.T) {
+	a := RunStream(fastScenario(5), time.Minute, streamOpts())
+	b := RunStream(fastScenario(5), time.Minute, streamOpts())
+	if a.MeanThroughputMbps != b.MeanThroughputMbps || a.Switches != b.Switches ||
+		a.Stream.Offered != b.Stream.Offered {
+		t.Errorf("same seed diverged: %+v vs %+v", a.Result, b.Result)
+	}
+}
+
+func TestRunStreamReportsCoalesceAndRoam(t *testing.T) {
+	sc := fastScenario(7)
+	res := RunStream(sc, 30*time.Second, streamOpts())
+	if res.Stream.Offered == 0 {
+		t.Fatal("no events offered")
+	}
+	noReports := RunStream(sc, 0, streamOpts())
+	if res.Stream.Offered <= noReports.Stream.Offered {
+		t.Errorf("report cadence added no events: %d vs %d",
+			res.Stream.Offered, noReports.Stream.Offered)
+	}
+	// Reports must not wreck goodput relative to the membership-only run.
+	if res.MeanThroughputMbps < 0.95*noReports.MeanThroughputMbps {
+		t.Errorf("report replay hurt goodput: %v vs %v",
+			res.MeanThroughputMbps, noReports.MeanThroughputMbps)
+	}
+}
+
+// TestStreamGoodputCompetitiveWithPeriodic is the headline acceptance
+// bound: over the same churn trace, event-driven operation must deliver at
+// least 97% of the periodic controller's time-averaged goodput.
+func TestStreamGoodputCompetitiveWithPeriodic(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		sc := fastScenario(seed)
+		periodic := Run(sc)
+		stream := RunStream(sc, 0, streamOpts())
+		if stream.MeanThroughputMbps < 0.97*periodic.MeanThroughputMbps {
+			t.Errorf("seed %d: stream goodput %.1f < 97%% of periodic %.1f",
+				seed, stream.MeanThroughputMbps, periodic.MeanThroughputMbps)
+		}
+	}
+}
+
+// BenchmarkPeriodicGoodput and BenchmarkStreamGoodput run the identical
+// churn trace under the two control disciplines; benchjson derives the
+// goodput ratio from the reported goodput_mbps metrics.
+func BenchmarkPeriodicGoodput(b *testing.B) {
+	sc := fastScenario(42)
+	var last Result
+	for i := 0; i < b.N; i++ {
+		last = Run(sc)
+	}
+	b.ReportMetric(last.MeanThroughputMbps, "goodput_mbps")
+	b.ReportMetric(float64(last.Switches), "switches")
+}
+
+func BenchmarkStreamGoodput(b *testing.B) {
+	sc := fastScenario(42)
+	var last StreamResult
+	for i := 0; i < b.N; i++ {
+		last = RunStream(sc, time.Minute, streamOpts())
+	}
+	b.ReportMetric(last.MeanThroughputMbps, "goodput_mbps")
+	b.ReportMetric(float64(last.Switches), "switches")
+	if last.Stream.Offered > 0 {
+		b.ReportMetric(float64(last.Stream.ShedReports+last.Stream.ShedCritical)/float64(last.Stream.Offered), "shed_frac")
+	}
+}

@@ -22,6 +22,12 @@ import (
 // connection down mid-operation.
 var ErrInjectedReset = errors.New("faultnet: injected connection reset")
 
+// ErrInjectedShortWrite is returned when the injector truncates a write but
+// leaves the connection open — the recoverable cousin of PartialWriteProb.
+// Callers that treat any write error as fatal will reconnect; callers that
+// resume from the returned count keep the connection.
+var ErrInjectedShortWrite = errors.New("faultnet: injected short write")
+
 // Config sets the fault mix. All probabilities are in [0, 1].
 type Config struct {
 	// Seed drives every random decision. The zero seed is valid (and
@@ -39,6 +45,19 @@ type Config struct {
 	DelayProb float64
 	// MaxDelay bounds injected delays. Zero disables delays.
 	MaxDelay time.Duration
+	// LatencyMin/LatencyMax model a per-connection path latency: each
+	// wrapped connection draws one base latency uniformly from
+	// [LatencyMin, LatencyMax] at wrap time and every operation on it
+	// sleeps that long (unlike DelayProb, which is per-operation and
+	// memoryless — a slow link is slow for its whole life). Zero
+	// LatencyMax disables.
+	LatencyMin, LatencyMax time.Duration
+	// Jitter adds a per-operation uniform draw from [0, Jitter) on top of
+	// the connection's base latency. Zero disables.
+	Jitter time.Duration
+	// ShortWriteProb is the per-write chance of writing only a prefix and
+	// returning ErrInjectedShortWrite with the connection left open.
+	ShortWriteProb float64
 	// CorruptProb is the per-write chance of flipping one byte.
 	CorruptProb float64
 	// PartialWriteProb is the per-write chance of writing only a prefix
@@ -55,8 +74,10 @@ type Stats struct {
 	Conns         int64 // connections wrapped
 	Resets        int64 // connections reset (doomed countdowns that fired)
 	Delays        int64 // delays injected
+	LatencyOps    int64 // operations slowed by per-connection latency/jitter
 	Corruptions   int64 // writes with a flipped byte
-	PartialWrites int64 // truncated writes
+	PartialWrites int64 // truncated writes that also reset the connection
+	ShortWrites   int64 // truncated writes with the connection left open
 	DroppedWrites int64 // blackholed writes
 }
 
@@ -129,6 +150,21 @@ func (inj *Injector) maybeDelay() {
 	time.Sleep(time.Duration(inj.intn(int(inj.cfg.MaxDelay))))
 }
 
+// opLatency returns the injected latency for one operation on a connection
+// with base latency base: base plus a fresh jitter draw. Zero when disabled.
+func (inj *Injector) opLatency(base time.Duration) time.Duration {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.disabled {
+		return 0
+	}
+	d := base
+	if inj.cfg.Jitter > 0 {
+		d += time.Duration(inj.rng.Intn(int(inj.cfg.Jitter)))
+	}
+	return d
+}
+
 // WrapConn returns c with this injector's faults applied to every
 // operation.
 func (inj *Injector) WrapConn(c net.Conn) net.Conn {
@@ -136,6 +172,17 @@ func (inj *Injector) WrapConn(c net.Conn) net.Conn {
 	inj.count(func(s *Stats) { s.Conns++ })
 	if inj.roll(inj.cfg.ConnResetProb) {
 		fc.opsLeft = 1 + inj.intn(inj.cfg.ResetAfterOps)
+	}
+	if span := inj.cfg.LatencyMax; span > 0 {
+		// One base latency per connection: a slow path stays slow.
+		lo := inj.cfg.LatencyMin
+		if lo > span {
+			lo = span
+		}
+		fc.baseLat = lo
+		if span > lo {
+			fc.baseLat += time.Duration(inj.intn(int(span - lo)))
+		}
 	}
 	return fc
 }
@@ -163,8 +210,22 @@ type conn struct {
 	net.Conn
 	inj *Injector
 
+	// baseLat is the connection's drawn path latency (zero: fast path).
+	baseLat time.Duration
+
 	mu      sync.Mutex
 	opsLeft int // -1: not doomed; otherwise ops until the injected reset
+}
+
+// maybeLatency applies the connection's base latency plus jitter.
+func (c *conn) maybeLatency() {
+	if c.baseLat <= 0 && c.inj.cfg.Jitter <= 0 {
+		return
+	}
+	if d := c.inj.opLatency(c.baseLat); d > 0 {
+		c.inj.count(func(s *Stats) { s.LatencyOps++ })
+		time.Sleep(d)
+	}
 }
 
 // countdown decrements the doom counter and reports whether the reset
@@ -187,6 +248,7 @@ func (c *conn) reset() error {
 }
 
 func (c *conn) Read(p []byte) (int, error) {
+	c.maybeLatency()
 	c.inj.maybeDelay()
 	if c.countdown() {
 		return 0, c.reset()
@@ -195,6 +257,7 @@ func (c *conn) Read(p []byte) (int, error) {
 }
 
 func (c *conn) Write(p []byte) (int, error) {
+	c.maybeLatency()
 	c.inj.maybeDelay()
 	if c.countdown() {
 		return 0, c.reset()
@@ -202,6 +265,17 @@ func (c *conn) Write(p []byte) (int, error) {
 	if c.inj.roll(c.inj.cfg.DropWriteProb) {
 		c.inj.count(func(s *Stats) { s.DroppedWrites++ })
 		return len(p), nil
+	}
+	if len(p) > 1 && c.inj.roll(c.inj.cfg.ShortWriteProb) {
+		// A prefix goes out and the connection survives; the caller sees a
+		// short-write error and must resynchronize (for the newline-JSON
+		// protocol that means the peer reads a torn line).
+		c.inj.count(func(s *Stats) { s.ShortWrites++ })
+		n, err := c.Conn.Write(p[:1+c.inj.intn(len(p)-1)])
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjectedShortWrite
 	}
 	if len(p) > 1 && c.inj.roll(c.inj.cfg.PartialWriteProb) {
 		c.inj.count(func(s *Stats) { s.PartialWrites++ })

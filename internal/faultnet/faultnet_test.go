@@ -192,3 +192,67 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
 	}
 }
+
+func TestShortWriteKeepsConnectionOpen(t *testing.T) {
+	inj := NewInjector(Config{Seed: 15, ShortWriteProb: 1})
+	srv, cli := loopPair(t, inj)
+	msg := []byte("0123456789")
+	n, err := srv.Write(msg)
+	if !errors.Is(err, ErrInjectedShortWrite) {
+		t.Fatalf("short write err = %v", err)
+	}
+	if n <= 0 || n >= len(msg) {
+		t.Fatalf("short write wrote %d of %d bytes", n, len(msg))
+	}
+	got := make([]byte, n)
+	if _, err := io.ReadFull(cli, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg[:n]) {
+		t.Fatalf("peer saw %q, want prefix %q", got, msg[:n])
+	}
+	// Unlike PartialWriteProb, the connection survives: turn injection off
+	// and push another payload through the same conn.
+	inj.Disable()
+	rest := []byte("still alive\n")
+	go func() { _, _ = srv.Write(rest) }()
+	got2 := make([]byte, len(rest))
+	if _, err := io.ReadFull(cli, got2); err != nil {
+		t.Fatalf("connection did not survive the short write: %v", err)
+	}
+	if s := inj.Stats(); s.ShortWrites != 1 || s.Resets != 0 {
+		t.Fatalf("want 1 short write and 0 resets, got %+v", s)
+	}
+}
+
+func TestPerConnectionLatency(t *testing.T) {
+	inj := NewInjector(Config{
+		Seed:       17,
+		LatencyMin: 5 * time.Millisecond,
+		LatencyMax: 10 * time.Millisecond,
+		Jitter:     2 * time.Millisecond,
+	})
+	srv, cli := loopPair(t, inj)
+	start := time.Now()
+	go func() { _, _ = srv.Write([]byte("slow path\n")) }()
+	buf := make([]byte, 64)
+	if _, err := cli.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 5*time.Millisecond {
+		t.Fatalf("latency not applied: elapsed %v", el)
+	}
+	if s := inj.Stats(); s.LatencyOps == 0 {
+		t.Fatalf("no latency ops recorded: %+v", s)
+	}
+	// Disabling stops the sleeps too.
+	inj.Disable()
+	before := inj.Stats().LatencyOps
+	go func() { _, _ = srv.Write([]byte("fast now\n")) }()
+	if _, err := cli.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if after := inj.Stats().LatencyOps; after != before {
+		t.Fatalf("disabled injector still injected latency (%d -> %d)", before, after)
+	}
+}
