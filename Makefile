@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke alloc-bench-smoke assoc-bench-smoke stream-bench-smoke stream-chaos obs-smoke cover experiments clean
+.PHONY: all build vet test race bench bench-smoke alloc-bench-smoke assoc-bench-smoke shard-bench-smoke stream-bench-smoke stream-chaos obs-smoke cover experiments clean
 
 # The default check path race-checks everything: the control plane is
 # deliberately concurrent (heartbeats, reconnect supervisors, chaos tests),
 # so plain `make` must catch data races, not just failures.
-all: build vet test race bench-smoke alloc-bench-smoke assoc-bench-smoke stream-bench-smoke stream-chaos obs-smoke
+all: build vet test race bench-smoke alloc-bench-smoke assoc-bench-smoke shard-bench-smoke stream-bench-smoke stream-chaos obs-smoke
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,9 @@ bench:
 	$(GO) run ./cmd/benchjson -match 'BenchmarkStreamEvents|Goodput' \
 		-derive stream_goodput_ratio=BenchmarkStreamGoodput/BenchmarkPeriodicGoodput:goodput_mbps \
 		< bench_output.txt > BENCH_stream.json
+	$(GO) run ./cmd/benchjson -match '^BenchmarkShard' \
+		-derive shard_speedup_2000ap=BenchmarkShardSolve2000AP1W/BenchmarkShardSolve2000AP8W \
+		< bench_output.txt > BENCH_shard.json
 
 # One-iteration smoke pass over every benchmark: catches bit-rot in the
 # benchmark code without paying for real measurements. -short elides the
@@ -57,6 +60,14 @@ alloc-bench-smoke:
 assoc-bench-smoke:
 	$(GO) test -short -run 'TestAssoc(ChurnGolden|SweepWorkersDeterminism)' \
 		-bench '^BenchmarkAssoc' -benchtime=1x -count=1 ./internal/core/ > /dev/null
+
+# Smoke the component-sharding harness: the determinism/oracle/partition
+# suites and the campus fallback regression, plus one iteration of the
+# sharded 2000-AP benchmark pair (the unsharded baseline is elided by
+# -short; real numbers come from `bench`).
+shard-bench-smoke:
+	$(GO) test -short -run 'TestContentionComponents|TestAllocSharded|TestAllocWideBandGolden' \
+		-bench '^BenchmarkShard' -benchtime=1x -count=1 ./internal/core/ > /dev/null
 
 # Smoke the streaming controller harness: one iteration of the event-rate
 # and paired goodput benchmarks, piped through benchjson with the

@@ -121,6 +121,7 @@ func serve(args []string) {
 	obsAddr := fs.String("obs-addr", "", "serve /metrics, /healthz, /debug/vars and pprof on this address")
 	allocWorkers := fs.Int("alloc-workers", 0, "parallel rank-evaluation workers for Algorithm 2 (0 = GOMAXPROCS)")
 	assocWorkers := fs.Int("assoc-workers", 0, "parallel roaming-sweep workers for Algorithm 1 (0 = GOMAXPROCS)")
+	shardWorkers := fs.Int("shard-workers", 0, "component-sharded Algorithm 2: solve independent contention components on this many workers (0 = off)")
 	stream := fs.Bool("stream", false, "event-driven mode: reallocate the dirty hear-graph neighbourhood on every fresh report instead of waiting for -period")
 	streamDebounce := fs.Duration("stream-debounce", ctlnet.DefaultStreamDebounce, "wake-to-drain delay coalescing report bursts (with -stream; negative disables)")
 	streamWatchdog := fs.Duration("stream-watchdog", 0, "max age of the last full pass before the stream forces one (with -stream; 0 = -period, negative disables)")
@@ -134,6 +135,7 @@ func serve(args []string) {
 	s := ctlnet.NewServer(*seed)
 	s.Log = logger
 	s.Alloc.Workers = *allocWorkers
+	s.Alloc.ShardWorkers = *shardWorkers
 	s.Assoc.Workers = *assocWorkers
 	s.ReportTTL = *reportTTL
 	s.HelloTimeout = *helloTimeout

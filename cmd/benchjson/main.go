@@ -1,8 +1,9 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // map from benchmark name to its measured figures, for the BENCH_phy.json
 // trajectory the repo tracks across PRs. A "_meta" entry records the git
-// commit the numbers were measured at (omitted when git is unavailable);
-// readers decoding into map[string]Result simply see it as a zero Result.
+// commit the numbers were measured at, plus a git_dirty flag when the tree
+// held uncommitted changes (omitted when git is unavailable); readers
+// decoding into map[string]Result simply see it as a zero Result.
 //
 // Usage:
 //
@@ -158,7 +159,14 @@ func main() {
 		out[d.key] = map[string]float64{"ratio": nv / dv}
 	}
 	if sha := gitSHA(); sha != "" {
-		out["_meta"] = map[string]string{"git_sha": sha}
+		meta := map[string]string{"git_sha": sha}
+		if gitDirty() {
+			// The stamp names HEAD, but the numbers were measured on top of
+			// uncommitted changes — mark it so a stale-looking sha in a
+			// committed artifact is a visible provenance bug, not a mystery.
+			meta["git_dirty"] = "true"
+		}
+		out["_meta"] = meta
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -176,4 +184,10 @@ func gitSHA() string {
 		return ""
 	}
 	return strings.TrimSpace(string(out))
+}
+
+// gitDirty reports whether the working tree differs from HEAD.
+func gitDirty() bool {
+	out, err := exec.Command("git", "status", "--porcelain").Output()
+	return err == nil && len(strings.TrimSpace(string(out))) > 0
 }

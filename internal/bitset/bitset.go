@@ -1,0 +1,165 @@
+// Package bitset provides small fixed-capacity multi-word bitsets for the
+// incremental engines in internal/core. The engines map every distinct
+// 20 MHz spectrum component to one bit and reduce channel-conflict tests to
+// mask intersection; a single uint64 capped them at 64 components, which a
+// campus-scale band exceeds. A Set is a []uint64 whose length (the word
+// count) is fixed when the owning state is built, so every operation is a
+// straight word loop with no bounds decisions, no allocation, and a
+// single-word fast path that keeps the common small-band case as cheap as
+// the raw uint64 it replaces.
+//
+// Operations that combine two sets require equal word counts; the engines
+// guarantee this by construction (all masks of one state share one Field).
+// Like the raw-word code it replaces, the package does not range-check bit
+// indices against capacity — callers size the set first (see Words).
+package bitset
+
+import "math/bits"
+
+// Set is a little-endian multi-word bitset: bit i lives in word i/64. The
+// value is a slice header, so passing and storing Sets never copies words;
+// two Sets may alias the same storage (Field hands out aliased views).
+type Set []uint64
+
+// Words returns the word count needed to hold nbits bits (at least 1, so a
+// zero-component state still has a valid empty mask to intersect against).
+func Words(nbits int) int {
+	if nbits <= 0 {
+		return 1
+	}
+	return (nbits + 63) / 64
+}
+
+// New returns an empty set with the given word count.
+func New(words int) Set { return make(Set, words) }
+
+// SetBit sets bit i.
+func (s Set) SetBit(i uint) { s[i/64] |= 1 << (i % 64) }
+
+// Test reports whether bit i is set.
+func (s Set) Test(i uint) bool { return s[i/64]&(1<<(i%64)) != 0 }
+
+// Clear zeroes every word.
+func (s Set) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Copy overwrites s with o. The word counts must match.
+func (s Set) Copy(o Set) { copy(s, o) }
+
+// IsZero reports whether no bit is set.
+func (s Set) IsZero() bool {
+	if len(s) == 1 {
+		return s[0] == 0
+	}
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o hold the same bits.
+func (s Set) Equal(o Set) bool {
+	if len(s) == 1 {
+		return s[0] == o[0]
+	}
+	for i, w := range s {
+		if w != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and o share any set bit — the channel
+// conflict test, and the reason this package exists.
+func (s Set) Intersects(o Set) bool {
+	if len(s) == 1 {
+		return s[0]&o[0] != 0
+	}
+	for i, w := range s {
+		if w&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// And keeps in s only the bits also set in o (s &= o).
+func (s Set) And(o Set) {
+	for i := range s {
+		s[i] &= o[i]
+	}
+}
+
+// AndNot clears in s every bit set in o (s &^= o).
+func (s Set) AndNot(o Set) {
+	for i := range s {
+		s[i] &^= o[i]
+	}
+}
+
+// Or adds to s every bit set in o (s |= o).
+func (s Set) Or(o Set) {
+	if len(s) == 1 {
+		s[0] |= o[0]
+		return
+	}
+	for i := range s {
+		s[i] |= o[i]
+	}
+}
+
+// PopCount returns the number of set bits.
+func (s Set) PopCount() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Field is a dense arena of n equally-sized Sets in one backing slice —
+// the per-AP (or per-channel) mask tables of an engine state. One
+// allocation, cache-friendly iteration, and O(words) whole-table copy via
+// CopyFrom for the worker-view resynchronization path.
+type Field struct {
+	words int
+	data  []uint64
+}
+
+// NewField returns a Field of n all-zero sets of the given word count.
+func NewField(n, words int) Field {
+	return Field{words: words, data: make([]uint64, n*words)}
+}
+
+// Len returns the number of sets in the field.
+func (f Field) Len() int {
+	if f.words == 0 {
+		return 0
+	}
+	return len(f.data) / f.words
+}
+
+// Words returns the per-set word count.
+func (f Field) Words() int { return f.words }
+
+// At returns the i-th set as a view aliasing the field's storage: writes
+// through the view mutate the field.
+func (f Field) At(i int) Set {
+	lo := i * f.words
+	return Set(f.data[lo : lo+f.words : lo+f.words])
+}
+
+// CopyFrom overwrites the field's contents with src's. The shapes must
+// match (same word count and set count).
+func (f Field) CopyFrom(src Field) { copy(f.data, src.data) }
+
+// Clone returns a deep copy of the field.
+func (f Field) Clone() Field {
+	return Field{words: f.words, data: append([]uint64(nil), f.data...)}
+}

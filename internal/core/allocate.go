@@ -29,6 +29,7 @@ package core
 import (
 	"runtime"
 	"sort"
+	"time"
 
 	"acorn/internal/spectrum"
 	"acorn/internal/wlan"
@@ -57,8 +58,21 @@ type AllocOptions struct {
 	// may perform; zero means unbounded (every AP may switch once, the
 	// paper's rule). Large deployments use it to bound per-period
 	// reconfiguration churn; benchmarks use it to bound measured work.
-	// Both search paths apply it identically.
+	// Both search paths apply it identically. Under sharding the cap is
+	// per component (each subproblem is its own search).
 	MaxSwitchesPerPeriod int
+	// ShardWorkers, when positive, runs the search component-sharded:
+	// the populated contention graph is split into connected components
+	// and each component is solved as an independent subproblem, fanned
+	// across this many workers with a deterministic serial merge
+	// (components.go). The result is bit-identical for every ShardWorkers
+	// value, and each component matches the reference oracle run on the
+	// same subproblem — but the sharded search is not bit-identical to the
+	// unsharded one: ε and the switch budget apply per component, and the
+	// merged estimates sum over solved components. Zero or negative keeps
+	// the whole-network search. Requires the default *Estimator; other
+	// estimators ignore it.
+	ShardWorkers int
 	// Only, when non-nil, restricts which APs may switch: APs absent from
 	// the set keep their current channel and are never ranked, though their
 	// cells still price every candidate evaluation. The streaming controller
@@ -92,6 +106,13 @@ func (o AllocOptions) workers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return o.Workers
+}
+
+func (o AllocOptions) shardWorkers() int {
+	if o.ShardWorkers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.ShardWorkers
 }
 
 // switchBudget returns the per-period switch cap as a sentinel-free count.
@@ -151,6 +172,28 @@ type AllocStats struct {
 	History []SwitchRecord
 	// Evals counts the evaluation work behind the search.
 	Evals EvalStats
+
+	// Fallback marks a run (or, under sharding, any component) that priced
+	// candidates with the generic full-sweep reference path instead of the
+	// incremental engine — the latch the obs fallback counter watches.
+	Fallback bool
+	// SpectrumComponents is the number of distinct 20 MHz components the
+	// engine assigned mask bits to (under sharding: the largest component's
+	// count). The engines handle any number; this reports the scale.
+	SpectrumComponents int
+	// GraphComponents is the number of connected components of the
+	// populated contention graph; LargestComponent is the AP count of the
+	// biggest one. Zero when the generic path ran (it builds no graph).
+	GraphComponents  int
+	LargestComponent int
+	// SolvedComponents and ShardWorkersUsed describe the sharded solve:
+	// how many components held an eligible AP (and were therefore solved)
+	// and how wide the worker fan-out was. ComponentDurations holds each
+	// solved component's wall time, in component order. All zero/nil when
+	// the search ran unsharded.
+	SolvedComponents   int
+	ShardWorkersUsed   int
+	ComponentDurations []time.Duration
 }
 
 // SwitchRecord captures one inner-loop decision of Algorithm 2: the
@@ -194,6 +237,11 @@ type ThroughputEstimator interface {
 // other estimator takes the generic path.
 func AllocateChannels(n *wlan.Network, cfg *wlan.Config, est ThroughputEstimator, opts AllocOptions) (*wlan.Config, AllocStats) {
 	if e, ok := est.(*Estimator); ok {
+		if opts.ShardWorkers > 0 {
+			if out, st, ok := allocateSharded(n, cfg, e, opts); ok {
+				return out, st
+			}
+		}
 		if st := newAllocState(n, cfg, e); st != nil {
 			return allocateIncremental(cfg, st, opts)
 		}
@@ -208,7 +256,7 @@ func AllocateChannels(n *wlan.Network, cfg *wlan.Config, est ThroughputEstimator
 func allocateGeneric(n *wlan.Network, cfg *wlan.Config, est ThroughputEstimator, opts AllocOptions) (*wlan.Config, AllocStats) {
 	cur := cfg.Clone()
 	channels := n.Band.AllChannels()
-	stats := AllocStats{InitialEstimate: est.NetworkThroughput(cur)}
+	stats := AllocStats{InitialEstimate: est.NetworkThroughput(cur), Fallback: true}
 	prevPeriod := stats.InitialEstimate
 	y := prevPeriod
 	// The candidate order is fixed for the whole search: sort once and

@@ -61,7 +61,16 @@ type allocRunner struct {
 func allocateIncremental(cfg *wlan.Config, st *allocState, opts AllocOptions) (*wlan.Config, AllocStats) {
 	cur := cfg.Clone()
 	nAP := len(st.apIDs)
-	stats := AllocStats{InitialEstimate: st.base.curY}
+	stats := AllocStats{
+		InitialEstimate:    st.base.curY,
+		SpectrumComponents: st.nComp,
+		GraphComponents:    len(st.comps),
+	}
+	for _, comp := range st.comps {
+		if len(comp) > stats.LargestComponent {
+			stats.LargestComponent = len(comp)
+		}
+	}
 	prevPeriod := stats.InitialEstimate
 	y := prevPeriod
 

@@ -28,12 +28,17 @@ package core
 //
 // Channel conflicts reduce to bitmask intersection: each 20 MHz component
 // gets one bit, a channel's mask is the OR of its component bits, and
-// Conflicts(a, b) ⟺ mask(a)&mask(b) != 0. This removes the slice
-// allocations of spectrum.Channel.Conflicts from the hot path.
+// Conflicts(a, b) ⟺ mask(a) ∩ mask(b) ≠ ∅. This removes the slice
+// allocations of spectrum.Channel.Conflicts from the hot path. Masks are
+// multi-word bitsets (internal/bitset) whose word count is fixed when the
+// state is built from the number of distinct components in play, so a
+// campus-scale band with hundreds of components runs on the same engine —
+// there is no 64-component fallback.
 
 import (
 	"sort"
 
+	"acorn/internal/bitset"
 	"acorn/internal/spectrum"
 	"acorn/internal/wlan"
 )
@@ -69,10 +74,20 @@ type allocState struct {
 
 	// channels is the candidate color set (band order, as the generic
 	// path iterates it); chMask and chWidthIdx are its per-candidate
-	// conflict masks and atd column indices.
+	// conflict masks and atd column indices. compWords is the mask word
+	// count (fixed at build from nComp, the number of distinct 20 MHz
+	// components across the band and the current configuration).
 	channels   []spectrum.Channel
-	chMask     []uint64
+	chMask     bitset.Field
 	chWidthIdx []uint8
+	compWords  int
+	nComp      int
+
+	// comps lists the connected components of the populated contention
+	// graph, each a sorted slice of AP indices, ordered by smallest member
+	// (see components.go). The sharded solver fans these across workers;
+	// the metrics report their count and sizes.
+	comps [][]int32
 
 	// base is the committed configuration's view; scratch views for
 	// worker-parallel rank scans are cloned from it on demand.
@@ -90,15 +105,18 @@ type allocState struct {
 // instead of re-deriving anything.
 type allocView struct {
 	st      *allocState
-	mask    []uint64
+	mask    bitset.Field
 	wIdx    []uint8
 	cellY   []float64
 	curY    float64
 	version uint64
 
-	// Apply/revert scratch for evalMove.
+	// Apply/revert scratch for evalMove: touched cells, their saved terms,
+	// and the moving AP's saved mask (multi-word, so it cannot ride in a
+	// register like the old uint64 did).
 	touched []int32
 	savedY  []float64
+	oldMask bitset.Set
 
 	// evals accumulates this view's work counters; the runner folds them
 	// into the run totals after every parallel round, keeping the totals
@@ -107,9 +125,11 @@ type allocView struct {
 }
 
 // newAllocState builds the incremental state for one run, or returns nil
-// when the configuration cannot be represented (a populated AP without an
-// assigned channel, or more than 64 distinct 20 MHz components in play) —
-// the caller then falls back to the generic path, which handles anything.
+// when the configuration cannot be represented (an empty band, or a
+// populated AP without an assigned channel) — the caller then falls back to
+// the generic path, which handles anything. The component count no longer
+// bounds representability: masks are sized to fit whatever the band and the
+// configuration hold.
 func newAllocState(n *wlan.Network, cfg *wlan.Config, est *Estimator) *allocState {
 	st := &allocState{
 		n:         n,
@@ -136,31 +156,37 @@ func newAllocState(n *wlan.Network, cfg *wlan.Config, est *Estimator) *allocStat
 	})
 
 	// Component → bit assignment: band components first, then whatever the
-	// current configuration holds beyond the band.
+	// current configuration holds beyond the band. Two passes — the first
+	// enumerates every component in play so the mask word count is known
+	// before any mask is built, the second fills the masks (and can no
+	// longer encounter a new component).
 	compBit := make(map[spectrum.ChannelID]uint, 16)
-	maskOf := func(ch spectrum.Channel) (uint64, bool) {
-		var m uint64
+	enumerate := func(ch spectrum.Channel) {
 		for _, comp := range ch.Components() {
-			bit, ok := compBit[comp]
-			if !ok {
-				bit = uint(len(compBit))
-				if bit >= 64 {
-					return 0, false
-				}
-				compBit[comp] = bit
+			if _, ok := compBit[comp]; !ok {
+				compBit[comp] = uint(len(compBit))
 			}
-			m |= 1 << bit
 		}
-		return m, true
 	}
-	st.chMask = make([]uint64, len(st.channels))
+	for _, ch := range st.channels {
+		enumerate(ch)
+	}
+	for _, ap := range n.APs {
+		if ch := cfg.Channels[ap.ID]; !ch.IsZero() {
+			enumerate(ch)
+		}
+	}
+	st.nComp = len(compBit)
+	st.compWords = bitset.Words(st.nComp)
+	maskInto := func(dst bitset.Set, ch spectrum.Channel) {
+		for _, comp := range ch.Components() {
+			dst.SetBit(compBit[comp])
+		}
+	}
+	st.chMask = bitset.NewField(len(st.channels), st.compWords)
 	st.chWidthIdx = make([]uint8, len(st.channels))
 	for ci, ch := range st.channels {
-		m, ok := maskOf(ch)
-		if !ok {
-			return nil
-		}
-		st.chMask[ci] = m
+		maskInto(st.chMask.At(ci), ch)
 		st.chWidthIdx[ci] = widthIdx(ch.Width)
 	}
 
@@ -182,9 +208,10 @@ func newAllocState(n *wlan.Network, cfg *wlan.Config, est *Estimator) *allocStat
 	// nothing and conflict with nothing when unassigned).
 	v := &st.base
 	v.st = st
-	v.mask = make([]uint64, len(n.APs))
+	v.mask = bitset.NewField(len(n.APs), st.compWords)
 	v.wIdx = make([]uint8, len(n.APs))
 	v.cellY = make([]float64, len(n.APs))
+	v.oldMask = bitset.New(st.compWords)
 	for i, ap := range n.APs {
 		ch := cfg.Channels[ap.ID]
 		if ch.IsZero() {
@@ -193,11 +220,7 @@ func newAllocState(n *wlan.Network, cfg *wlan.Config, est *Estimator) *allocStat
 			}
 			continue
 		}
-		m, ok := maskOf(ch)
-		if !ok {
-			return nil
-		}
-		v.mask[i] = m
+		maskInto(v.mask.At(i), ch)
 		v.wIdx[i] = widthIdx(ch.Width)
 	}
 
@@ -230,6 +253,10 @@ func newAllocState(n *wlan.Network, cfg *wlan.Config, est *Estimator) *allocStat
 			}
 		}
 	}
+
+	// Connected components of the populated contention graph — the units
+	// of independence the sharded solver and the metrics report on.
+	st.comps = contentionComponents(st.neighbors, st.popIdx)
 
 	// Seed the per-cell terms and the cached total.
 	for _, i := range st.popIdx {
@@ -276,10 +303,11 @@ func (st *allocState) contendPair(i, j int, clientsOf [][]*wlan.Client) bool {
 // newView clones the base view for a worker.
 func (st *allocState) newView() *allocView {
 	v := &allocView{
-		st:    st,
-		mask:  append([]uint64(nil), st.base.mask...),
-		wIdx:  append([]uint8(nil), st.base.wIdx...),
-		cellY: append([]float64(nil), st.base.cellY...),
+		st:      st,
+		mask:    st.base.mask.Clone(),
+		wIdx:    append([]uint8(nil), st.base.wIdx...),
+		cellY:   append([]float64(nil), st.base.cellY...),
+		oldMask: bitset.New(st.compWords),
 	}
 	v.curY = st.base.curY
 	v.version = st.base.version
@@ -292,7 +320,7 @@ func (v *allocView) syncFrom(base *allocView) {
 	if v.version == base.version {
 		return
 	}
-	copy(v.mask, base.mask)
+	v.mask.CopyFrom(base.mask)
 	copy(v.wIdx, base.wIdx)
 	copy(v.cellY, base.cellY)
 	v.curY = base.curY
@@ -313,10 +341,10 @@ func (v *allocView) recompute(i int) {
 		v.cellY[i] = 0
 		return
 	}
-	m := v.mask[i]
+	m := v.mask.At(i)
 	contenders := 0
 	for _, j := range st.neighbors[i] {
-		if v.mask[j]&m != 0 {
+		if v.mask.At(int(j)).Intersects(m) {
 			contenders++
 		}
 	}
@@ -339,10 +367,10 @@ func (v *allocView) resum() float64 {
 // width column w": it recomputes the affected cells, resums, and reverts.
 // Bit-identical to a full estimator sweep of the hypothetical
 // configuration.
-func (v *allocView) evalMove(i int, m uint64, w uint8) float64 {
+func (v *allocView) evalMove(i int, m bitset.Set, w uint8) float64 {
 	st := v.st
-	old := v.mask[i]
-	if m == old || st.populated[i] == 0 {
+	maskI := v.mask.At(i)
+	if m.Equal(maskI) || st.populated[i] == 0 {
 		// Same channel, or a cell that contributes nothing and conflicts
 		// with nothing: the objective cannot change.
 		return v.curY
@@ -350,16 +378,18 @@ func (v *allocView) evalMove(i int, m uint64, w uint8) float64 {
 	v.evals.DeltaEvals++
 	v.touched = v.touched[:0]
 	v.savedY = v.savedY[:0]
+	old := v.oldMask
+	old.Copy(maskI)
 	oldW := v.wIdx[i]
 
 	v.touched = append(v.touched, int32(i))
 	v.savedY = append(v.savedY, v.cellY[i])
-	v.mask[i] = m
+	maskI.Copy(m)
 	v.wIdx[i] = w
 	v.recompute(i)
 	for _, j := range st.neighbors[i] {
-		nm := v.mask[j]
-		if (nm&old != 0) != (nm&m != 0) {
+		nm := v.mask.At(int(j))
+		if nm.Intersects(old) != nm.Intersects(m) {
 			v.touched = append(v.touched, j)
 			v.savedY = append(v.savedY, v.cellY[j])
 			v.recompute(int(j))
@@ -370,7 +400,7 @@ func (v *allocView) evalMove(i int, m uint64, w uint8) float64 {
 	for k, j := range v.touched {
 		v.cellY[j] = v.savedY[k]
 	}
-	v.mask[i] = old
+	maskI.Copy(old)
 	v.wIdx[i] = oldW
 	return total
 }
@@ -385,7 +415,7 @@ func (v *allocView) rankOf(i int) (int, float64) {
 	v.evals.RankEvals++
 	bestCi, bestY := 0, -1.0
 	for ci := range st.channels {
-		y := v.evalMove(i, st.chMask[ci], st.chWidthIdx[ci])
+		y := v.evalMove(i, st.chMask.At(ci), st.chWidthIdx[ci])
 		if y > bestY {
 			bestCi, bestY = ci, y
 		}
@@ -399,17 +429,18 @@ func (v *allocView) rankOf(i int) (int, float64) {
 // total — the same bits commitMove's own resum would produce.
 func (st *allocState) commitMove(i, ci int) []int32 {
 	v := &st.base
-	m, w := st.chMask[ci], st.chWidthIdx[ci]
-	old := v.mask[i]
+	m, w := st.chMask.At(ci), st.chWidthIdx[ci]
+	old := v.oldMask // scratch is free here: commits never overlap an eval
+	old.Copy(v.mask.At(i))
 	changed := st.commitScratch[:0]
 
-	v.mask[i] = m
+	v.mask.At(i).Copy(m)
 	v.wIdx[i] = w
 	changed = append(changed, int32(i))
 	v.recompute(i)
 	for _, j := range st.neighbors[i] {
-		nm := v.mask[j]
-		if (nm&old != 0) != (nm&m != 0) {
+		nm := v.mask.At(int(j))
+		if nm.Intersects(old) != nm.Intersects(m) {
 			changed = append(changed, j)
 			v.recompute(int(j))
 		}

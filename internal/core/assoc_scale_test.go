@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -526,16 +527,28 @@ func BenchmarkAssocReferenceSweep50AP(b *testing.B) {
 }
 
 func benchAssocIncremental(b *testing.B, workers int) {
+	if workers < 1 {
+		// sweep() clamps workers<1 to the sequential fast path, so "0 means
+		// GOMAXPROCS" must be resolved here — passing 0 through silently
+		// benchmarked the sequential loop under the Parallel name.
+		workers = runtime.GOMAXPROCS(0)
+	}
 	n, cfg := scaleSetup(b, 50, 40, 42)
 	clients := n.Clients
 	b.ReportAllocs()
 	b.ResetTimer()
+	var total sweepStats
 	for i := 0; i < b.N; i++ {
 		// The engine build is inside the measured region: the comparison is
 		// one sweep from cold, like the reference (deployments amortize the
 		// build across sweeps via the Controller, so this is conservative).
 		drv := newEngineDriver(b, n, cfg.Clone(), workers)
-		drv.sweepFresh(clients)
+		_, sst := drv.eng.sweep(clients, sweepFresh, 0, workers)
+		total.rounds += sst.rounds
+		total.overlayNanos += sst.overlayNanos
+	}
+	if total.rounds > 0 {
+		b.ReportMetric(float64(total.overlayNanos)/float64(total.rounds), "overlay-ns/round")
 	}
 }
 

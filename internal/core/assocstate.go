@@ -43,14 +43,18 @@ package core
 // equivalence suite can require == rather than ≈.
 //
 // Like the allocator engine, channel conflicts reduce to bitmask
-// intersection (≤64 distinct 20 MHz components; beyond that the constructor
-// returns nil and callers fall back to the reference path, which handles
-// anything).
+// intersection. Masks are multi-word bitsets sized at engine build from the
+// components of the band plus the bound configuration, so any component
+// count is representable; if a later configuration brings components beyond
+// the built capacity, bind() fails and the Controller rebuilds the engine
+// with wider masks — the reference path is never needed for component
+// count.
 
 import (
 	"math/bits"
 	"sort"
 
+	"acorn/internal/bitset"
 	"acorn/internal/spectrum"
 	"acorn/internal/units"
 	"acorn/internal/wlan"
@@ -71,8 +75,13 @@ type assocEngine struct {
 	apIDs   []string
 	apIdx   map[string]int
 	chans   []spectrum.Channel
-	mask    []uint64
+	mask    bitset.Field
 	compBit map[spectrum.ChannelID]uint
+	// compCap is the mask bit capacity (compWords·64). A configuration
+	// whose component set outgrows it fails syncChannels, and the
+	// Controller rebuilds the engine with wider masks.
+	compWords int
+	compCap   uint
 
 	// override is true when the network's contention predicate is replaced
 	// wholesale (measurement-driven deployments); client terms are skipped
@@ -170,9 +179,10 @@ func (s *assocEngineStats) add(o assocEngineStats) {
 }
 
 // newAssocEngine builds the engine for the given binding, or returns nil
-// when the configuration cannot be represented (more than 64 distinct 20 MHz
-// components, or an associated client the network does not know) — callers
-// then use the reference path.
+// when the configuration cannot be represented (an associated client the
+// network does not know) — callers then use the reference path. Component
+// count never prevents a build: masks are sized to fit the band and the
+// bound configuration.
 func newAssocEngine(n *wlan.Network, cfg *wlan.Config) *assocEngine {
 	e := &assocEngine{
 		n:           n,
@@ -181,7 +191,6 @@ func newAssocEngine(n *wlan.Network, cfg *wlan.Config) *assocEngine {
 		apIDs:       make([]string, len(n.APs)),
 		apIdx:       make(map[string]int, len(n.APs)),
 		chans:       make([]spectrum.Channel, len(n.APs)),
-		mask:        make([]uint64, len(n.APs)),
 		compBit:     make(map[spectrum.ChannelID]uint, 16),
 		pop:         make([]int, len(n.APs)),
 		cntHome:     make([][]int32, len(n.APs)),
@@ -196,8 +205,31 @@ func newAssocEngine(n *wlan.Network, cfg *wlan.Config) *assocEngine {
 		e.apIDs[i] = ap.ID
 		e.apIdx[ap.ID] = i
 	}
+	// Size the masks from every component in sight — the band (what a
+	// reallocation can assign) plus the bound configuration (which may
+	// hold channels beyond the band). New components arriving later fill
+	// the headroom up to compCap; past that, bind() rebuilds wider.
+	for _, ch := range n.Band.AllChannels() {
+		for _, comp := range ch.Components() {
+			if _, ok := e.compBit[comp]; !ok {
+				e.compBit[comp] = uint(len(e.compBit))
+			}
+		}
+	}
+	for _, ap := range e.aps {
+		if ch := cfg.Channels[ap.ID]; !ch.IsZero() {
+			for _, comp := range ch.Components() {
+				if _, ok := e.compBit[comp]; !ok {
+					e.compBit[comp] = uint(len(e.compBit))
+				}
+			}
+		}
+	}
+	e.compWords = bitset.Words(len(e.compBit))
+	e.compCap = uint(e.compWords) * 64
+	e.mask = bitset.NewField(len(e.aps), e.compWords)
 	if !e.syncChannels(cfg) {
-		return nil
+		return nil // unreachable: capacity was sized from this cfg
 	}
 	e.override = n.ContendOverride != nil
 	e.apapDir = make([][]bool, len(e.aps))
@@ -236,37 +268,39 @@ func newAssocEngine(n *wlan.Network, cfg *wlan.Config) *assocEngine {
 }
 
 // syncChannels refreshes the per-AP channel/mask mirrors from cfg. It fails
-// (engine unrepresentable) when the component set outgrows 64 bits.
+// (engine masks too narrow) when the component set outgrows the capacity
+// the engine was built with — the caller then rebuilds with wider masks.
 func (e *assocEngine) syncChannels(cfg *wlan.Config) bool {
 	for i, ap := range e.aps {
 		ch := cfg.Channels[ap.ID]
-		m, ok := e.maskOf(ch)
-		if !ok {
+		if !e.maskInto(e.mask.At(i), ch) {
 			return false
 		}
 		e.chans[i] = ch
-		e.mask[i] = m
 	}
 	return true
 }
 
-func (e *assocEngine) maskOf(ch spectrum.Channel) (uint64, bool) {
+// maskInto writes ch's conflict mask into dst (a zero mask for the zero
+// channel, which conflicts with nothing, like Channel.Conflicts). It fails
+// when a new component would exceed the mask capacity.
+func (e *assocEngine) maskInto(dst bitset.Set, ch spectrum.Channel) bool {
+	dst.Clear()
 	if ch.IsZero() {
-		return 0, true // conflicts with nothing, like Channel.Conflicts
+		return true
 	}
-	var m uint64
 	for _, comp := range ch.Components() {
 		bit, ok := e.compBit[comp]
 		if !ok {
 			bit = uint(len(e.compBit))
-			if bit >= 64 {
-				return 0, false
+			if bit >= e.compCap {
+				return false
 			}
 			e.compBit[comp] = bit
 		}
-		m |= 1 << bit
+		dst.SetBit(bit)
 	}
-	return m, true
+	return true
 }
 
 // bind revalidates the engine against the (possibly new) configuration
@@ -485,7 +519,7 @@ func (e *assocEngine) delayOf(a int, st *assocClient, ch spectrum.Channel, ov *d
 // the same 1/(contenders+1).
 func (e *assocEngine) trialAccessShare(a int, st *assocClient) float64 {
 	h := st.home
-	ma := e.mask[a]
+	ma := e.mask.At(a)
 	contenders := 0
 	for o := range e.aps {
 		if o == a {
@@ -498,7 +532,7 @@ func (e *assocEngine) trialAccessShare(a int, st *assocClient) float64 {
 		if popT == 0 {
 			continue
 		}
-		if ma&e.mask[o] == 0 {
+		if !ma.Intersects(e.mask.At(o)) {
 			continue
 		}
 		var contend bool

@@ -21,13 +21,20 @@ package core
 // (the move edits exactly the cells h and b: their memberships — felt
 // through ClientsOf — and their populations and pair counts, which enter
 // another cell's M only through channel-conflict-gated contender terms).
-// The first client whose candidates intersect the round's dirty set defers,
-// along with everything after it, to the next round — keeping the processed
-// set a strict prefix of the input order. A deferred client re-evaluates
-// against the updated state next round, so by induction every applied
-// decision equals the one the sequential loop would have produced, bit for
-// bit, regardless of worker count. The first pending client is always clean
-// (nothing precedes it in its round), so every round makes progress.
+// A client whose candidates intersect the round's dirty set defers to the
+// next round; clean clients keep applying. Deferral must poison forward:
+// a deferred client re-evaluates next round and may move anywhere in
+// {home} ∪ cands, so those cells (and their channels) join the dirty set
+// the moment it defers — any later client entangled with them defers too.
+// Clients in independent contention components never intersect each other's
+// dirty sets, so disjoint campuses drain concurrently within a round
+// instead of serializing behind another component's deferral (the sweep
+// half of the component-sharding story; see components.go and DESIGN.md
+// §13). A deferred client re-evaluates against the updated state next
+// round, so by induction every applied decision equals the one the
+// sequential loop would have produced, bit for bit, regardless of worker
+// count. The first pending client is always clean (nothing precedes it in
+// its round), so every round makes progress.
 //
 // Roaming sweeps defer rarely: most decisions are "stay", and staying moves
 // nothing, so rounds drain whole batches. Mass reshuffles degrade toward
@@ -37,7 +44,9 @@ package core
 import (
 	"sort"
 	"sync"
+	"time"
 
+	"acorn/internal/bitset"
 	"acorn/internal/wlan"
 )
 
@@ -52,9 +61,13 @@ const (
 	sweepSticky
 )
 
-// sweepStats summarizes one sweep's round structure.
+// sweepStats summarizes one sweep's round structure. overlayNanos is the
+// wall time spent in the frozen-round overlay machinery (worker fan-out
+// plus serial merge) — the parallelization overhead the benchmarks report
+// per round.
 type sweepStats struct {
 	rounds, moves, deferrals int
+	overlayNanos             int64
 }
 
 // delayOverlay is a worker-private write layer over the engine's beacon
@@ -82,15 +95,15 @@ func (e *assocEngine) evalOne(cst *assocClient, mode sweepMode, margin float64, 
 
 // sweepDirty reports whether any of the client's candidate APs intersects
 // the round's dirty set (by identity or by channel conflict).
-func (e *assocEngine) sweepDirty(cst *assocClient, dirtyAPs []uint64, dirtyComp uint64) bool {
+func (e *assocEngine) sweepDirty(cst *assocClient, dirtyAPs []uint64, dirtyComp bitset.Set, anyComp bool) bool {
 	for w, word := range cst.candBits {
 		if word&dirtyAPs[w] != 0 {
 			return true
 		}
 	}
-	if dirtyComp != 0 {
+	if anyComp {
 		for _, a := range cst.cands {
-			if e.mask[a]&dirtyComp != 0 {
+			if e.mask.At(int(a)).Intersects(dirtyComp) {
 				return true
 			}
 		}
@@ -146,6 +159,13 @@ func (e *assocEngine) sweep(clients []*wlan.Client, mode sweepMode, margin float
 	results := make([]AssociationDecision, len(clients))
 	words := (len(e.aps) + 63) / 64
 	dirtyAPs := make([]uint64, words)
+	dirtyComp := bitset.New(e.compWords)
+	// Worker overlays live for the whole sweep (cleared after each merge):
+	// a fresh map per round showed up as the dominant parallelization
+	// overhead on all-stay sweeps, where rounds drain thousands of clients
+	// and the maps grow large just to be thrown away.
+	overlays := make([]*delayOverlay, 0, workers)
+	var deferredScratch []int
 	for len(pending) > 0 {
 		sst.rounds++
 		// Build the reverse association index before the read-only fan-out
@@ -156,16 +176,20 @@ func (e *assocEngine) sweep(clients []*wlan.Client, mode sweepMode, margin float
 				results[ci] = e.evalOne(states[ci], mode, margin, nil)
 			}
 		} else {
-			overlays := make([]*delayOverlay, 0, workers)
+			ovStart := time.Now()
 			var wg sync.WaitGroup
 			chunk := (len(pending) + workers - 1) / workers
+			nw := 0
 			for lo := 0; lo < len(pending); lo += chunk {
 				hi := lo + chunk
 				if hi > len(pending) {
 					hi = len(pending)
 				}
-				ov := &delayOverlay{m: make(map[assocDelayKey]float64)}
-				overlays = append(overlays, ov)
+				if nw == len(overlays) {
+					overlays = append(overlays, &delayOverlay{m: make(map[assocDelayKey]float64)})
+				}
+				ov := overlays[nw]
+				nw++
 				wg.Add(1)
 				go func(idx []int, ov *delayOverlay) {
 					defer wg.Done()
@@ -175,7 +199,7 @@ func (e *assocEngine) sweep(clients []*wlan.Client, mode sweepMode, margin float
 				}(pending[lo:hi], ov)
 			}
 			wg.Wait()
-			for _, ov := range overlays {
+			for _, ov := range overlays[:nw] {
 				for k, v := range ov.m {
 					// Two workers may have computed the same key; index it
 					// once so eviction purges cannot double-count.
@@ -185,20 +209,39 @@ func (e *assocEngine) sweep(clients []*wlan.Client, mode sweepMode, margin float
 					e.beaconDelay[k] = v
 				}
 				e.stats.add(ov.stats)
+				clear(ov.m)
+				ov.stats = assocEngineStats{}
 			}
+			sst.overlayNanos += time.Since(ovStart).Nanoseconds()
 		}
-		// Serial application in input order, stopping at the first client
-		// the round's own moves may have invalidated.
-		applied := 0
+		// Serial application in input order. A client entangled with the
+		// round's dirty state defers; everyone else applies. Deferring
+		// poisons forward: the deferred client may move anywhere in
+		// {home} ∪ cands next round, so those cells join the dirty set and
+		// later entangled clients defer with it. Independent contention
+		// components never entangle, so they drain in the same round.
+		deferred := deferredScratch[:0]
 		for i := range dirtyAPs {
 			dirtyAPs[i] = 0
 		}
-		var dirtyComp uint64
-		anyMove := false
-		for k, ci := range pending {
+		dirtyComp.Clear()
+		anyDirt := false
+		for _, ci := range pending {
 			cst := states[ci]
-			if anyMove && e.sweepDirty(cst, dirtyAPs, dirtyComp) {
-				break
+			if anyDirt && e.sweepDirty(cst, dirtyAPs, dirtyComp, true) {
+				// Deferral: mark every cell the re-evaluation could touch.
+				if h := cst.home; h >= 0 {
+					dirtyAPs[h/64] |= 1 << (uint(h) % 64)
+					dirtyComp.Or(e.mask.At(h))
+				}
+				for w, word := range cst.candBits {
+					dirtyAPs[w] |= word
+				}
+				for _, a := range cst.cands {
+					dirtyComp.Or(e.mask.At(int(a)))
+				}
+				deferred = append(deferred, ci)
+				continue
 			}
 			d := results[ci]
 			decisions[ci] = d
@@ -211,20 +254,21 @@ func (e *assocEngine) sweep(clients []*wlan.Client, mode sweepMode, margin float
 			if h := cst.home; target != h {
 				if h >= 0 {
 					dirtyAPs[h/64] |= 1 << (uint(h) % 64)
-					dirtyComp |= e.mask[h]
+					dirtyComp.Or(e.mask.At(h))
 				}
 				if target >= 0 {
 					dirtyAPs[target/64] |= 1 << (uint(target) % 64)
-					dirtyComp |= e.mask[target]
+					dirtyComp.Or(e.mask.At(target))
 				}
 				e.applyHome(cst.c.ID, cst, target)
 				sst.moves++
-				anyMove = true
+				anyDirt = true
 			}
-			applied = k + 1
 		}
-		sst.deferrals += len(pending) - applied
-		pending = pending[applied:]
+		sst.deferrals += len(deferred)
+		copy(pending, deferred)
+		pending = pending[:len(deferred)]
+		deferredScratch = deferred
 	}
 	return decisions, sst
 }

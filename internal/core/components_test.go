@@ -1,0 +1,496 @@
+package core
+
+// Tests for the component decomposition and the component-sharded solver
+// (components.go, DESIGN.md §13), plus the >64-spectrum-component fixtures
+// that prove the multi-word bitset lift: the fallback latches are gone, so
+// bands wider than one machine word must run entirely on the incremental
+// engines and still match the reference oracles bit for bit.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"acorn/internal/obs"
+	"acorn/internal/rf"
+	"acorn/internal/spectrum"
+	"acorn/internal/stats"
+	"acorn/internal/units"
+	"acorn/internal/wlan"
+)
+
+// multiBuildingNetwork builds a campus: `buildings` dense floors (scaleNetwork
+// geometry: square grid, 60 m pitch) spaced kilometers apart, so each building
+// is one connected contention component and the campus is an exact disjoint
+// union. clientsPerAP clients jitter around each AP as in scaleNetwork.
+func multiBuildingNetwork(buildings, apsPer, clientsPer int, seed int64) (*wlan.Network, []*wlan.Client) {
+	rng := stats.NewRand(seed)
+	bcols := int(math.Ceil(math.Sqrt(float64(buildings))))
+	cols := int(math.Ceil(math.Sqrt(float64(apsPer))))
+	const (
+		pitch   = 60.0
+		spacing = 5000.0 // far beyond carrier-sense range of any AP
+	)
+	aps := make([]*wlan.AP, 0, buildings*apsPer)
+	clients := make([]*wlan.Client, 0, buildings*apsPer*clientsPer)
+	for b := 0; b < buildings; b++ {
+		ox := float64(b%bcols) * spacing
+		oy := float64(b/bcols) * spacing
+		for i := 0; i < apsPer; i++ {
+			ap := &wlan.AP{
+				ID: fmt.Sprintf("ap%05d", b*apsPer+i),
+				Pos: rf.Point{
+					X: ox + float64(i%cols)*pitch + rng.Float64()*8,
+					Y: oy + float64(i/cols)*pitch + rng.Float64()*8,
+				},
+				TxPower: 18,
+			}
+			aps = append(aps, ap)
+			for k := 0; k < clientsPer; k++ {
+				c := &wlan.Client{
+					ID: fmt.Sprintf("u%06d", (b*apsPer+i)*clientsPer+k),
+					Pos: rf.Point{
+						X: ap.Pos.X + (rng.Float64()-0.5)*50,
+						Y: ap.Pos.Y + (rng.Float64()-0.5)*50,
+					},
+				}
+				if rng.Float64() < 0.33 {
+					c.ExtraLoss = map[string]units.DB{ap.ID: units.DB(6 + rng.Float64()*18)}
+				}
+				clients = append(clients, c)
+			}
+		}
+	}
+	return wlan.NewNetwork(aps, clients), clients
+}
+
+// multiBuildingSetup is the cached campus fixture: random initial channels
+// and engine-built associations, shared by tests and the shard benchmarks
+// (AllocateChannels never mutates its inputs). band, when non-nil, replaces
+// the default 12-channel plan before anything is assigned.
+func multiBuildingSetup(tb testing.TB, buildings, apsPer, clientsPer int, seed int64, band *spectrum.Band) (*wlan.Network, *wlan.Config) {
+	tb.Helper()
+	key := fmt.Sprintf("%d/%d/%d/%d/%d", buildings, apsPer, clientsPer, seed, bandKey(band))
+	if v, ok := campusCache.Load(key); ok {
+		f := v.(*scaleFixture)
+		return f.n, f.cfg
+	}
+	n, clients := multiBuildingNetwork(buildings, apsPer, clientsPer, seed)
+	if band != nil {
+		n.Band = band
+	}
+	cfg := wlan.NewConfig()
+	rng := stats.NewRand(seed)
+	RandomInitial(n, cfg, rng.Intn)
+	e := newAssocEngine(n, cfg)
+	if e == nil {
+		tb.Fatal("association engine rejected the campus fixture")
+	}
+	e.sweep(clients, sweepFresh, 0, 1)
+	v, _ := campusCache.LoadOrStore(key, &scaleFixture{n: n, cfg: cfg})
+	f := v.(*scaleFixture)
+	return f.n, f.cfg
+}
+
+func bandKey(b *spectrum.Band) int {
+	if b == nil {
+		return 0
+	}
+	return b.NumChannels20()
+}
+
+var campusCache sync.Map
+
+// wideBand returns a band of n20 20 MHz channels (spaced like the 5 GHz
+// plan, consecutive plan entries bonding into 40 MHz channels). n20 > 64
+// forces multi-word co-existence masks everywhere.
+func wideBand(n20 int) *spectrum.Band {
+	ids := make([]spectrum.ChannelID, n20)
+	for i := range ids {
+		ids[i] = spectrum.ChannelID(36 + 4*i)
+	}
+	return spectrum.NewBand(ids)
+}
+
+// TestContentionComponents pins the partitioner: a 5-building campus splits
+// into exactly 5 components that partition the populated cells, the
+// standalone conflict-graph build agrees with allocState's adjacency, and
+// the graph is identical for any worker count.
+func TestContentionComponents(t *testing.T) {
+	const buildings, apsPer = 5, 9
+	n, cfg := multiBuildingSetup(t, buildings, apsPer, 2, 11, nil)
+	st := newAllocState(n, cfg, NewEstimator(n))
+	if st == nil {
+		t.Fatal("newAllocState rejected the campus fixture")
+	}
+	if len(st.comps) != buildings {
+		t.Fatalf("allocState found %d components, want %d", len(st.comps), buildings)
+	}
+	seen := make(map[int32]bool)
+	for ci, comp := range st.comps {
+		if len(comp) == 0 {
+			t.Fatalf("component %d is empty", ci)
+		}
+		building := int(comp[0]) / apsPer
+		for k, i := range comp {
+			if seen[i] {
+				t.Fatalf("AP index %d appears in two components", i)
+			}
+			seen[i] = true
+			if k > 0 && comp[k-1] >= i {
+				t.Fatalf("component %d not strictly ascending at %d", ci, k)
+			}
+			if int(i)/apsPer != building {
+				t.Fatalf("component %d mixes buildings %d and %d", ci, building, int(i)/apsPer)
+			}
+		}
+	}
+	if len(seen) != len(st.popIdx) {
+		t.Fatalf("components cover %d cells, want %d populated", len(seen), len(st.popIdx))
+	}
+
+	ref := buildConflictGraph(n, cfg, 1)
+	for _, workers := range []int{1, 4} {
+		g := buildConflictGraph(n, cfg, workers)
+		if len(g.comps) != len(st.comps) {
+			t.Fatalf("workers=%d: graph found %d components, allocState %d", workers, len(g.comps), len(st.comps))
+		}
+		for ci := range g.comps {
+			if fmt.Sprint(g.comps[ci]) != fmt.Sprint(st.comps[ci]) {
+				t.Fatalf("workers=%d: component %d = %v, allocState has %v", workers, ci, g.comps[ci], st.comps[ci])
+			}
+		}
+		for i := range g.neighbors {
+			if fmt.Sprint(g.neighbors[i]) != fmt.Sprint(ref.neighbors[i]) {
+				t.Fatalf("workers=%d: neighbors[%d] = %v, want %v", workers, i, g.neighbors[i], ref.neighbors[i])
+			}
+			if fmt.Sprint(g.neighbors[i]) != fmt.Sprint(st.neighbors[i]) {
+				t.Fatalf("workers=%d: neighbors[%d] = %v, allocState has %v", workers, i, g.neighbors[i], st.neighbors[i])
+			}
+		}
+	}
+}
+
+// shardOpts bounds the sharded equivalence runs: two periods of at most two
+// switches per component.
+var shardOpts = AllocOptions{MaxPeriods: 2, MaxSwitchesPerPeriod: 2}
+
+// allocFingerprint captures everything the determinism contract promises to
+// be bit-identical across worker counts.
+func allocFingerprint(cfg *wlan.Config, st AllocStats) string {
+	g := alloc200Record(cfg, st)
+	g.Periods = st.Periods
+	data, _ := json.Marshal(g)
+	return fmt.Sprintf("%s|graph=%d|solved=%d|evals=%+v", data, st.GraphComponents, st.SolvedComponents, st.Evals)
+}
+
+// TestAllocShardedDeterministicAcrossWorkers runs the component-sharded
+// solver at ShardWorkers 1/2/8 on a 6-building campus and requires the full
+// fingerprint — channels, switch history, trajectory, estimates, eval
+// counters — to be bit-identical (the -race run of this test is the
+// scheduler-interleaving half of the proof).
+func TestAllocShardedDeterministicAcrossWorkers(t *testing.T) {
+	n, cfg := multiBuildingSetup(t, 6, 8, 3, 7, nil)
+	var want string
+	var wantStats AllocStats
+	for _, workers := range []int{1, 2, 8} {
+		opts := shardOpts
+		opts.ShardWorkers = workers
+		out, st := AllocateChannels(n, cfg, NewEstimator(n), opts)
+		if st.GraphComponents != 6 {
+			t.Fatalf("ShardWorkers=%d: %d graph components, want 6", workers, st.GraphComponents)
+		}
+		if st.SolvedComponents != 6 {
+			t.Fatalf("ShardWorkers=%d: solved %d components, want 6", workers, st.SolvedComponents)
+		}
+		if st.Fallback {
+			t.Fatalf("ShardWorkers=%d: generic fallback latched", workers)
+		}
+		if len(st.ComponentDurations) != st.SolvedComponents {
+			t.Fatalf("ShardWorkers=%d: %d component durations, want %d", workers, len(st.ComponentDurations), st.SolvedComponents)
+		}
+		got := allocFingerprint(out, st)
+		if want == "" {
+			want, wantStats = got, st
+			if st.Switches == 0 {
+				t.Fatal("fixture produced no switches; the determinism check is vacuous")
+			}
+			t.Logf("fixture: %d switches across %d components", st.Switches, st.GraphComponents)
+			continue
+		}
+		if got != want {
+			t.Errorf("ShardWorkers=%d diverges from ShardWorkers=1:\ngot  %s\nwant %s", workers, got, want)
+		}
+	}
+
+	// The merged estimates must be the ordered sums of the per-component
+	// totals, and the trajectory monotone non-decreasing (greedy switches
+	// only ever improve their component, and the offsets preserve that
+	// globally).
+	for i := 1; i < len(wantStats.Trajectory); i++ {
+		if wantStats.Trajectory[i] < wantStats.Trajectory[i-1] {
+			t.Errorf("merged trajectory not monotone at %d: %v -> %v", i, wantStats.Trajectory[i-1], wantStats.Trajectory[i])
+		}
+	}
+}
+
+// TestAllocShardedMatchesComponentOracles is the sharded path's bit-exactness
+// contract: every solved component must reproduce, bit for bit, what the
+// generic full-sweep reference produces on that component's induced
+// subproblem (channels, switch history, estimates), and the merged totals
+// must be the ordered sums of the per-component totals.
+func TestAllocShardedMatchesComponentOracles(t *testing.T) {
+	n, cfg := multiBuildingSetup(t, 6, 8, 3, 7, nil)
+	est := NewEstimator(n)
+	opts := shardOpts
+	opts.ShardWorkers = 2
+	out, st := AllocateChannels(n, cfg, est, opts)
+
+	g := buildConflictGraph(n, cfg, 1)
+	subOpts := shardOpts
+	subOpts.Workers = 1
+	var initial, final float64
+	switches := 0
+	for ci, comp := range g.comps {
+		subN, subCfg := buildSubproblem(n, cfg, comp, g.clientsOf)
+		oracleEst := NewEstimator(subN)
+		oracleEst.MeasurementNoiseDB = est.MeasurementNoiseDB
+		oracleOut, oracleSt := allocateGeneric(subN, subCfg, oracleEst, subOpts)
+		for _, i := range comp {
+			apID := n.APs[i].ID
+			if out.Channels[apID] != oracleOut.Channels[apID] {
+				t.Errorf("component %d: AP %s on %v, oracle says %v", ci, apID, out.Channels[apID], oracleOut.Channels[apID])
+			}
+		}
+		initial += oracleSt.InitialEstimate
+		final += oracleSt.FinalEstimate
+		switches += oracleSt.Switches
+	}
+	if math.Float64bits(st.InitialEstimate) != math.Float64bits(initial) {
+		t.Errorf("merged initial %s, oracle sum %s", hexFloat(st.InitialEstimate), hexFloat(initial))
+	}
+	if math.Float64bits(st.FinalEstimate) != math.Float64bits(final) {
+		t.Errorf("merged final %s, oracle sum %s", hexFloat(st.FinalEstimate), hexFloat(final))
+	}
+	if st.Switches != switches {
+		t.Errorf("merged %d switches, oracle sum %d", st.Switches, switches)
+	}
+}
+
+// TestAllocShardedOnlyWakesOwnComponent pins the property the streaming
+// controller's neighbourhood re-optimization relies on: restricting Only to
+// one building solves exactly that component and leaves every other
+// building's channels untouched.
+func TestAllocShardedOnlyWakesOwnComponent(t *testing.T) {
+	const buildings, apsPer = 6, 8
+	n, cfg := multiBuildingSetup(t, buildings, apsPer, 3, 7, nil)
+	only := make(map[string]bool)
+	for i := 0; i < apsPer; i++ {
+		only[n.APs[i].ID] = true
+	}
+	opts := shardOpts
+	opts.ShardWorkers = 4
+	opts.Only = only
+	out, st := AllocateChannels(n, cfg, NewEstimator(n), opts)
+	if st.GraphComponents != buildings {
+		t.Fatalf("%d graph components, want %d", st.GraphComponents, buildings)
+	}
+	if st.SolvedComponents != 1 {
+		t.Fatalf("solved %d components, want 1 (only building 0 is dirty)", st.SolvedComponents)
+	}
+	for i := apsPer; i < len(n.APs); i++ {
+		apID := n.APs[i].ID
+		if out.Channels[apID] != cfg.Channels[apID] {
+			t.Errorf("AP %s outside the dirty component switched %v -> %v", apID, cfg.Channels[apID], out.Channels[apID])
+		}
+	}
+	for _, rec := range st.History {
+		if !only[rec.AP] {
+			t.Errorf("history reports a switch by ineligible AP %s", rec.AP)
+		}
+	}
+}
+
+// --- >64-spectrum-component fixtures (the lifted ceiling) ------------------
+
+const allocWideGoldenPath = "testdata/allocwide_golden.json"
+
+// wideSetup is the >64-spectrum-component allocator fixture: one dense
+// 36-AP floor on a 72-channel band (72 20 MHz components + 36 bonded pairs,
+// so every co-existence mask spans two words).
+func wideSetup(tb testing.TB) (*wlan.Network, *wlan.Config) {
+	return multiBuildingSetup(tb, 1, 36, 2, 5, wideBand(72))
+}
+
+// TestAllocWideBandGolden replays the incremental engine on the 72-channel
+// fixture against a golden generated from the generic full-sweep reference
+// (-update), at worker counts 1/2/8. Before the multi-word lift this
+// topology latched the generic fallback; now it must run incrementally and
+// still be bit-exact.
+func TestAllocWideBandGolden(t *testing.T) {
+	n, cfg := wideSetup(t)
+	opts := AllocOptions{MaxPeriods: 2, MaxSwitchesPerPeriod: 4}
+	if *updateGolden {
+		gotCfg, st := allocateGeneric(n, cfg, NewEstimator(n), opts)
+		if err := os.MkdirAll(filepath.Dir(allocWideGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(alloc200Record(gotCfg, st), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(allocWideGoldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d switches)", allocWideGoldenPath, st.Switches)
+		return
+	}
+	raw, err := os.ReadFile(allocWideGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	var want alloc200Golden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("corrupt golden: %v", err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			o := opts
+			o.Workers = workers
+			gotCfg, st := AllocateChannels(n, cfg, NewEstimator(n), o)
+			if st.Fallback {
+				t.Fatal("wide band latched the generic fallback; the ceiling is back")
+			}
+			if st.SpectrumComponents != 72 {
+				t.Fatalf("%d spectrum components, want 72", st.SpectrumComponents)
+			}
+			if st.Evals.FullEvals > 0 {
+				t.Fatalf("%d full evaluations; wide band must run on deltas", st.Evals.FullEvals)
+			}
+			got := alloc200Record(gotCfg, st)
+			if got.Periods != want.Periods || got.Switches != want.Switches {
+				t.Fatalf("periods/switches = %d/%d, want %d/%d", got.Periods, got.Switches, want.Periods, want.Switches)
+			}
+			if got.Initial != want.Initial || got.Final != want.Final {
+				t.Errorf("estimates %s/%s, want %s/%s (bit-exact)", got.Initial, got.Final, want.Initial, want.Final)
+			}
+			for apID, ch := range want.Channels {
+				if got.Channels[apID] != ch {
+					t.Errorf("AP %s on %s, want %s", apID, got.Channels[apID], ch)
+				}
+			}
+			if len(got.Trajectory) != len(want.Trajectory) {
+				t.Fatalf("trajectory has %d points, want %d", len(got.Trajectory), len(want.Trajectory))
+			}
+			for i := range want.Trajectory {
+				if got.Trajectory[i] != want.Trajectory[i] {
+					t.Errorf("trajectory[%d] = %s, want %s (bit-exact)", i, got.Trajectory[i], want.Trajectory[i])
+				}
+			}
+			for i := range want.Winners {
+				if i < len(got.Winners) && got.Winners[i] != want.Winners[i] {
+					t.Errorf("switch %d = %+v, want %+v", i, got.Winners[i], want.Winners[i])
+				}
+			}
+		})
+	}
+}
+
+// TestAssocWideBandSweepMatchesReference drives the association engine's
+// sweeps on the 72-channel fixture (two-word masks in sweepDirty and the
+// access-share trials) against the sequential beacon-path oracle, at worker
+// counts 1/2/8, requiring bit-identical decisions and final associations.
+func TestAssocWideBandSweepMatchesReference(t *testing.T) {
+	n, cfg := wideSetup(t)
+	clients := n.Clients
+	for _, workers := range []int{1, 2, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			oracle := &oracleDriver{n: n, cfg: cfg.Clone()}
+			engine := newEngineDriver(t, n, cfg.Clone(), workers)
+			if engine.eng.compWords < 2 {
+				t.Fatalf("engine masks span %d word(s), fixture should force 2", engine.eng.compWords)
+			}
+			for round := 0; round < 2; round++ {
+				want := oracle.sweepSticky(clients, 0.05)
+				got := engine.sweepSticky(clients, 0.05)
+				for i := range want {
+					if !decisionsEqual(want[i], got[i]) {
+						t.Fatalf("round %d sticky decision %d: engine %+v, oracle %+v", round, i, got[i], want[i])
+					}
+				}
+				want = oracle.sweepFresh(clients)
+				got = engine.sweepFresh(clients)
+				for i := range want {
+					if !decisionsEqual(want[i], got[i]) {
+						t.Fatalf("round %d fresh decision %d: engine %+v, oracle %+v", round, i, got[i], want[i])
+					}
+				}
+			}
+			assocMapsEqual(t, "wide-band sweep", oracle.config(), engine.config())
+		})
+	}
+}
+
+// TestCampusZeroFallbacks is the headline regression for the lifted ceiling:
+// a 100-building, 1000-AP campus on a 104-channel band — over 100 contention
+// components and 104 spectrum components — must run entirely on the
+// incremental engines. The obs counters that used to track the 64-component
+// fallback latches must stay at zero.
+func TestCampusZeroFallbacks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-AP campus fixture skipped in -short")
+	}
+	n, clients := multiBuildingNetwork(100, 10, 1, 23)
+	n.Band = wideBand(104)
+	ctrl, err := NewController(n, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ctrl.Obs = reg
+	ctrl.Alloc = AllocOptions{ShardWorkers: 4, MaxPeriods: 1, MaxSwitchesPerPeriod: 1}
+	ctrl.AdmitAll(clients)
+	st := ctrl.Reallocate()
+
+	if st.Fallback {
+		t.Error("allocation latched the generic fallback")
+	}
+	if st.Evals.FullEvals > 0 {
+		t.Errorf("%d full evaluations; campus must run on deltas", st.Evals.FullEvals)
+	}
+	if st.GraphComponents != 100 {
+		t.Errorf("%d graph components, want 100", st.GraphComponents)
+	}
+	if st.SolvedComponents != 100 {
+		t.Errorf("solved %d components, want 100", st.SolvedComponents)
+	}
+	if st.SpectrumComponents != 104 {
+		t.Errorf("%d spectrum components, want 104", st.SpectrumComponents)
+	}
+	if v := reg.Counter("acorn_core_alloc_fallbacks_total",
+		"allocations served by the generic full-sweep path").Value(); v != 0 {
+		t.Errorf("acorn_core_alloc_fallbacks_total = %d, want 0", v)
+	}
+	if v := reg.Counter("acorn_core_assoc_engine_fallbacks_total",
+		"bindings the association engine could not represent (reference path used)").Value(); v != 0 {
+		t.Errorf("acorn_core_assoc_engine_fallbacks_total = %d, want 0", v)
+	}
+	if v := reg.Gauge("acorn_core_alloc_graph_components",
+		"contention-graph components in the last sharded allocation").Value(); v != 100 {
+		t.Errorf("acorn_core_alloc_graph_components = %v, want 100", v)
+	}
+	if v := reg.Counter("acorn_core_alloc_sharded_solves_total",
+		"component-sharded Algorithm-2 runs").Value(); v != 1 {
+		t.Errorf("acorn_core_alloc_sharded_solves_total = %d, want 1", v)
+	}
+	if v := reg.Counter("acorn_core_alloc_components_solved_total",
+		"contention components solved by the sharded allocator").Value(); v != 100 {
+		t.Errorf("acorn_core_alloc_components_solved_total = %d, want 100", v)
+	}
+}

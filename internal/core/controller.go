@@ -242,6 +242,32 @@ func RecordAllocMetrics(reg *obs.Registry, st AllocStats, cfg *wlan.Config) {
 			"fraction of rank lookups served from the dirty-rank cache in the last reallocation").
 			Set(float64(st.Evals.RankCacheHits) / float64(scans))
 	}
+	if st.Fallback {
+		reg.Counter("acorn_core_alloc_fallbacks_total",
+			"Algorithm-2 runs (or sharded components) priced by the generic reference path instead of the incremental engine").Inc()
+	}
+	reg.Gauge("acorn_core_alloc_spectrum_components",
+		"distinct 20 MHz components the engine assigned mask bits to in the last reallocation").
+		Set(float64(st.SpectrumComponents))
+	if st.GraphComponents > 0 {
+		reg.Gauge("acorn_core_alloc_graph_components",
+			"connected components of the populated contention graph in the last reallocation").
+			Set(float64(st.GraphComponents))
+		reg.Gauge("acorn_core_alloc_largest_component_aps",
+			"populated APs in the largest contention component of the last reallocation").
+			Set(float64(st.LargestComponent))
+	}
+	if st.ShardWorkersUsed > 0 {
+		reg.Counter("acorn_core_alloc_sharded_solves_total",
+			"component-sharded Algorithm-2 runs completed").Inc()
+		reg.Counter("acorn_core_alloc_components_solved_total",
+			"contention components solved across all sharded reallocations").Add(uint64(st.SolvedComponents))
+		h := reg.Histogram("acorn_core_alloc_component_solve_seconds",
+			"per-component solve wall time of sharded reallocations", nil)
+		for _, d := range st.ComponentDurations {
+			h.Observe(d.Seconds())
+		}
+	}
 	var w20, w40 int
 	for _, ch := range cfg.Channels {
 		switch ch.Width {
@@ -296,6 +322,9 @@ func (c *Controller) publishSweep(sst sweepStats) {
 		"association moves applied by sweeps").Add(uint64(sst.moves))
 	reg.Counter("acorn_core_roam_sweep_deferrals_total",
 		"client evaluations deferred to a later round by the dirty test").Add(uint64(sst.deferrals))
+	reg.Histogram("acorn_core_roam_sweep_overlay_seconds",
+		"per-sweep wall time spent in the frozen-round overlay machinery (fan-out + merge)", nil).
+		Observe(float64(sst.overlayNanos) / 1e9)
 	c.publishEngineStats()
 }
 

@@ -1,0 +1,56 @@
+package core
+
+// The benchmark pair behind BENCH_shard.json: one bounded Algorithm-2 pass
+// over a 2000-AP campus (40 buildings of 50 APs, kilometers apart — 40
+// independent contention components), solved by the component-sharded path
+// on 1 worker versus 8. The derived shard_speedup_2000ap ratio is the
+// multi-worker speedup; the unsharded whole-network run is included for
+// context (it prices the same pass through one global state build).
+
+import (
+	"runtime"
+	"testing"
+)
+
+var shardBenchOpts = AllocOptions{MaxPeriods: 1, MaxSwitchesPerPeriod: 2}
+
+func benchShardSolve(b *testing.B, shardWorkers int) {
+	n, cfg := multiBuildingSetup(b, 40, 50, 2, 77, nil)
+	est := NewEstimator(n)
+	opts := shardBenchOpts
+	opts.ShardWorkers = shardWorkers
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last AllocStats
+	for i := 0; i < b.N; i++ {
+		_, last = AllocateChannels(n, cfg, est, opts)
+	}
+	b.ReportMetric(float64(last.GraphComponents), "components")
+	b.ReportMetric(float64(last.LargestComponent), "largest_comp_aps")
+}
+
+func BenchmarkShardSolve2000AP1W(b *testing.B) {
+	benchShardSolve(b, 1)
+}
+
+func BenchmarkShardSolve2000AP8W(b *testing.B) {
+	benchShardSolve(b, 8)
+}
+
+// BenchmarkShardUnsharded2000AP prices the same pass without sharding: one
+// whole-network incremental state (its contention scan is the quadratic
+// term sharding sidesteps), rank workers at GOMAXPROCS.
+func BenchmarkShardUnsharded2000AP(b *testing.B) {
+	if testing.Short() {
+		b.Skip("whole-network 2000-AP state build takes seconds per run")
+	}
+	n, cfg := multiBuildingSetup(b, 40, 50, 2, 77, nil)
+	est := NewEstimator(n)
+	opts := shardBenchOpts
+	opts.Workers = runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AllocateChannels(n, cfg, est, opts)
+	}
+}

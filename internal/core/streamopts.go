@@ -125,7 +125,11 @@ type StreamOptions struct {
 	// Zero means DefaultStreamRoamMargin; negative disables.
 	RoamMargin float64
 	// Alloc tunes the bounded local re-optimizations (Workers, Epsilon,
-	// MaxPeriods); Only is owned by the stream and must stay nil.
+	// MaxPeriods); Only is owned by the stream and must stay nil. Setting
+	// Alloc.ShardWorkers makes every re-optimization component-sharded:
+	// a dirty cell's neighbourhood wakes only the contention components it
+	// touches, and independent components solve on parallel workers
+	// (components.go).
 	Alloc AllocOptions
 	// AssocWorkers bounds the parallelism of full-pass roaming sweeps.
 	AssocWorkers int
