@@ -32,6 +32,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -186,8 +187,17 @@ func gitSHA() string {
 	return strings.TrimSpace(string(out))
 }
 
-// gitDirty reports whether the working tree differs from HEAD.
+// gitDirty reports whether tracked files differ from HEAD — excluding the
+// BENCH_*.json artifacts themselves, which this very pipeline rewrites
+// mid-run (a bench run must not flag its own output as provenance drift).
 func gitDirty() bool {
-	out, err := exec.Command("git", "status", "--porcelain").Output()
-	return err == nil && len(strings.TrimSpace(string(out))) > 0
+	err := exec.Command("git", "diff", "--quiet", "HEAD", "--", ":(exclude)BENCH_*.json").Run()
+	if err == nil {
+		return false
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) && ee.ExitCode() == 1 {
+		return true
+	}
+	return false // git unavailable or odd state: stamp is best-effort
 }
