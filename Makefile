@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke alloc-bench-smoke assoc-bench-smoke shard-bench-smoke stream-bench-smoke stream-chaos obs-smoke cover experiments clean
+.PHONY: all build vet test race bench bench-smoke alloc-bench-smoke assoc-bench-smoke shard-bench-smoke stream-bench-smoke trace-bench-smoke stream-chaos obs-smoke cover experiments clean
 
 # The default check path race-checks everything: the control plane is
 # deliberately concurrent (heartbeats, reconnect supervisors, chaos tests),
 # so plain `make` must catch data races, not just failures.
-all: build vet test race bench-smoke alloc-bench-smoke assoc-bench-smoke shard-bench-smoke stream-bench-smoke stream-chaos obs-smoke
+all: build vet test race bench-smoke alloc-bench-smoke assoc-bench-smoke shard-bench-smoke stream-bench-smoke trace-bench-smoke stream-chaos obs-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,9 @@ bench:
 	$(GO) run ./cmd/benchjson -match '^BenchmarkShard' \
 		-derive shard_speedup_2000ap=BenchmarkShardSolve2000AP1W/BenchmarkShardSolve2000AP8W \
 		< bench_output.txt > BENCH_shard.json
+	$(GO) run ./cmd/benchjson -match 'BenchmarkStreamTraced' \
+		-derive trace_overhead=BenchmarkStreamTracedOn/BenchmarkStreamTracedOff \
+		< bench_output.txt > BENCH_trace.json
 
 # One-iteration smoke pass over every benchmark: catches bit-rot in the
 # benchmark code without paying for real measurements. -short elides the
@@ -81,6 +84,19 @@ stream-bench-smoke:
 		< stream_bench_smoke.txt > /dev/null
 	rm -f stream_bench_smoke.txt
 
+# Smoke the tracing-overhead harness: one iteration of the traced
+# benchmark pair (identical event mix, tracing off vs every-event), piped
+# through benchjson with the On/Off overhead derivation so the whole
+# BENCH_trace.json pipeline is exercised. Real numbers come from `bench`,
+# which regenerates the artifact from full-length runs.
+trace-bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkStreamTraced' -benchmem \
+		-benchtime=1x -count=1 ./internal/core/ | tee trace_bench_smoke.txt > /dev/null
+	$(GO) run ./cmd/benchjson -match 'BenchmarkStreamTraced' \
+		-derive trace_overhead=BenchmarkStreamTracedOn/BenchmarkStreamTracedOff \
+		< trace_bench_smoke.txt > BENCH_trace.json
+	rm -f trace_bench_smoke.txt
+
 # Chaos suite, short mode, under the race detector: connection resets,
 # latency/jitter, short writes and report storms against the streaming
 # server, asserting convergence and the per-AP switch-rate bound.
@@ -102,4 +118,4 @@ experiments:
 	$(GO) run ./cmd/experiments all
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt stream_bench_smoke.txt
+	rm -f cover.out test_output.txt bench_output.txt stream_bench_smoke.txt trace_bench_smoke.txt

@@ -44,6 +44,17 @@
 //	    acornd or acornctl serve/agent) and pretty-print the health
 //	    checks and a metrics snapshot.
 //
+//	acornctl trace -addr host:port [-n 200] [-top 10]
+//	    Fetch /debug/trace and /debug/slo from a process started with
+//	    -trace-sample (and optionally -slo-p99-ms) and print the slowest
+//	    recent spans with per-stage latency breakdowns plus SLO status.
+//
+// serve also accepts -trace-sample N (record every Nth reallocation pass
+// as a span: queue/view/assoc/alloc/gate/push stage timings at
+// /debug/trace) and, with -stream, -slo-p99-ms B (watch the windowed p99
+// of receipt-to-push latency against a budget of B ms at /debug/slo,
+// optionally capturing a CPU profile to -slo-profile on breach).
+//
 // serve and agent accept -obs-addr to expose their own /metrics, /healthz,
 // /debug/vars and pprof endpoints, and -log-level to set the log
 // threshold (debug|info|warn|error|off).
@@ -62,6 +73,7 @@ import (
 	"acorn/internal/ctlnet"
 	"acorn/internal/faultnet"
 	"acorn/internal/obs"
+	"acorn/internal/profiling"
 	"acorn/internal/spectrum"
 )
 
@@ -70,7 +82,7 @@ var logger = obs.DefaultLogger.Named("acornctl")
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: acornctl serve|agent|demo|obs [flags]")
+		fmt.Fprintln(os.Stderr, "usage: acornctl serve|agent|demo|obs|trace [flags]")
 		os.Exit(2)
 	}
 	switch os.Args[1] {
@@ -82,6 +94,8 @@ func main() {
 		demo(os.Args[2:])
 	case "obs":
 		obsCmd(os.Args[2:])
+	case "trace":
+		traceCmd(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "acornctl: unknown command %q\n", os.Args[1])
 		os.Exit(2)
@@ -129,11 +143,43 @@ func serve(args []string) {
 	switchStreak := fs.Int("switch-streak", core.DefaultGateStreak, "hysteresis: consecutive evaluations that must propose the same switch before it commits (with -stream)")
 	switchRate := fs.Float64("switch-rate", core.DefaultGateRatePerHour, "per-AP sustained switch-rate limit, switches/hour (with -stream; negative disables)")
 	switchBurst := fs.Int("switch-burst", core.DefaultGateBurst, "per-AP switch token-bucket burst capacity (with -stream)")
+	traceSample := fs.Int("trace-sample", 0, "pass span tracing: trace every Nth reallocation pass, served at /debug/trace (0 = off, 1 = everything)")
+	traceRing := fs.Int("trace-ring", 0, "finished-span ring capacity behind /debug/trace (0 = default 4096)")
+	sloP99 := fs.Float64("slo-p99-ms", 0, "pass-latency SLO: breach when the windowed p99 of receipt-to-push latency exceeds this many milliseconds, served at /debug/slo (0 = off; with -stream)")
+	sloProfile := fs.String("slo-profile", "", "capture a 5s CPU profile to this file on the first SLO breach per cooldown (with -slo-p99-ms)")
 	_ = fs.Parse(args)
 	setLevel(*logLevel)
 
 	s := ctlnet.NewServer(*seed)
 	s.Log = logger
+	var tracer *obs.Tracer
+	if *traceSample > 0 {
+		tracer = ctlnet.NewServerTracer(*traceRing, *traceSample, nil)
+		s.Tracer = tracer
+	}
+	var slo *obs.SLO
+	if *stream && *sloP99 > 0 {
+		profilePath := *sloProfile
+		slo = obs.NewSLO(obs.SLOOptions{
+			Name:   "ctlnet_pass_p99",
+			Budget: time.Duration(*sloP99 * float64(time.Millisecond)),
+			OnBreach: func(b obs.Breach) {
+				logger.Warn("SLO breach", "slo", b.Name, "p", b.Quantile,
+					"value", b.Value, "budget", b.Budget, "window", b.Count)
+				if profilePath == "" {
+					return
+				}
+				go func() {
+					if err := profiling.CaptureCPU(profilePath, 5*time.Second); err != nil {
+						logger.Warn("SLO breach profile capture failed", "err", err)
+					} else {
+						logger.Warn("SLO breach CPU profile captured", "path", profilePath)
+					}
+				}()
+			},
+		})
+		s.SLO = slo
+	}
 	s.Alloc.Workers = *allocWorkers
 	s.Alloc.ShardWorkers = *shardWorkers
 	s.Assoc.Workers = *assocWorkers
@@ -178,7 +224,15 @@ func serve(args []string) {
 		}
 		return obs.OK(fmt.Sprintf("last reallocation %v ago", age))
 	})
-	if srv := serveObs(*obsAddr, health); srv != nil {
+	if *obsAddr != "" {
+		srvOpts := obs.ServerOptions{Health: health, Log: logger, Tracer: tracer}
+		if slo != nil {
+			srvOpts.SLOs = []*obs.SLO{slo}
+		}
+		srv, err := obs.Serve(*obsAddr, srvOpts)
+		if err != nil {
+			logger.Fatalf("acornctl: %v", err)
+		}
 		defer srv.Close(0)
 	}
 

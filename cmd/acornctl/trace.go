@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"acorn/internal/obs"
+)
+
+// traceCmd implements `acornctl trace`: fetch a process's /debug/trace and
+// /debug/slo endpoints (exposed via -obs-addr with -trace-sample) and
+// render the slowest recent spans with a per-stage breakdown.
+func traceCmd(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7432", "introspection address (the target's -obs-addr)")
+	n := fs.Int("n", 200, "how many recent spans to fetch")
+	top := fs.Int("top", 10, "how many spans to print, slowest first")
+	timeout := fs.Duration("timeout", 5*time.Second, "HTTP timeout")
+	_ = fs.Parse(args)
+
+	client := &http.Client{Timeout: *timeout}
+	base := "http://" + *addr
+
+	spans, err := fetchSpans(client, fmt.Sprintf("%s/debug/trace?n=%d", base, *n))
+	if err != nil {
+		logger.Fatalf("acornctl trace: %v", err)
+	}
+
+	var slos []obs.SLOStatus
+	if err := fetchJSON(client, base+"/debug/slo", &slos); err == nil {
+		for _, st := range slos {
+			state := "ok"
+			if st.Breached {
+				state = "BREACHED"
+			}
+			fmt.Printf("slo %-28s p%-5g %8.3fms / budget %.3fms  [%s]  window=%d breaches=%d\n",
+				st.Name, st.Quantile*100, st.CurrentMs, st.BudgetMs,
+				state, st.WindowCount, st.Breaches)
+		}
+		if len(slos) > 0 {
+			fmt.Println()
+		}
+	}
+
+	if len(spans) == 0 {
+		fmt.Println("no spans recorded (is the target running with -trace-sample > 0?)")
+		return
+	}
+
+	sort.Slice(spans, func(i, j int) bool { return spans[i].TotalNs > spans[j].TotalNs })
+	if len(spans) > *top {
+		spans = spans[:*top]
+	}
+	fmt.Printf("slowest %d of %d spans:\n", len(spans), *n)
+	for _, sp := range spans {
+		key := sp.Key
+		if key != "" {
+			key = " " + key
+		}
+		fmt.Printf("  #%-6d %-8s%s  total %s\n",
+			sp.ID, sp.Kind, key, time.Duration(sp.TotalNs))
+		// Stages sorted by duration, largest first, with their share.
+		type kv struct {
+			name string
+			ns   int64
+		}
+		stages := make([]kv, 0, len(sp.Stages))
+		for name, ns := range sp.Stages {
+			stages = append(stages, kv{name, ns})
+		}
+		sort.Slice(stages, func(i, j int) bool {
+			if stages[i].ns != stages[j].ns {
+				return stages[i].ns > stages[j].ns
+			}
+			return stages[i].name < stages[j].name
+		})
+		for _, st := range stages {
+			share := 0.0
+			if sp.TotalNs > 0 {
+				share = 100 * float64(st.ns) / float64(sp.TotalNs)
+			}
+			fmt.Printf("    %-10s %12s  %5.1f%%\n", st.name, time.Duration(st.ns), share)
+		}
+		attrs := make([]string, 0, len(sp.Attrs))
+		for name := range sp.Attrs {
+			attrs = append(attrs, name)
+		}
+		sort.Strings(attrs)
+		for _, name := range attrs {
+			fmt.Printf("    %-10s %12s  (n=%d, attribution)\n",
+				name, time.Duration(sp.Attrs[name]), sp.Counts[name])
+		}
+	}
+}
+
+// fetchSpans GETs a /debug/trace JSONL stream and decodes each line.
+func fetchSpans(client *http.Client, url string) ([]obs.SpanView, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	var spans []obs.SpanView
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var sp obs.SpanView
+		if err := json.Unmarshal(line, &sp); err != nil {
+			return nil, fmt.Errorf("%s: bad span line: %v", url, err)
+		}
+		spans = append(spans, sp)
+	}
+	return spans, sc.Err()
+}

@@ -29,6 +29,11 @@
 // -obs-hold keeps the process alive after a local solve so the endpoints
 // can be scraped; -log-level sets the leveled logger's threshold; -trace
 // streams the solver's JSONL convergence trace to a file ("-" = stdout).
+// With -stream, -trace-sample N traces every Nth pipeline event as a span
+// (per-stage receive-to-applied timings, served as JSONL at /debug/trace),
+// and -slo-p99-ms B watches the windowed p99 decision latency against a
+// budget of B milliseconds at /debug/slo, optionally capturing a CPU
+// profile to -slo-profile when the budget is breached.
 //
 // Topology file format:
 //
@@ -50,6 +55,7 @@ import (
 	"acorn"
 	"acorn/internal/core"
 	"acorn/internal/obs"
+	"acorn/internal/profiling"
 	"acorn/internal/topofile"
 	"acorn/internal/units"
 )
@@ -81,6 +87,10 @@ func main() {
 	switchStreak := flag.Int("switch-streak", 1, "hysteresis: consecutive evaluations that must propose the same switch before it commits (with -stream; default 1 so a one-shot solve can commit)")
 	switchRate := flag.Float64("switch-rate", core.DefaultGateRatePerHour, "per-AP sustained switch-rate limit, switches/hour (with -stream; negative disables)")
 	switchBurst := flag.Int("switch-burst", core.DefaultGateBurst, "per-AP switch token-bucket burst capacity (with -stream)")
+	traceSample := flag.Int("trace-sample", 0, "per-event pipeline span tracing: trace every Nth stream event, served at /debug/trace (0 = off, 1 = everything; with -stream)")
+	traceRing := flag.Int("trace-ring", 0, "finished-span ring capacity behind /debug/trace (0 = default 4096)")
+	sloP99 := flag.Float64("slo-p99-ms", 0, "decision-latency SLO: breach when the windowed p99 exceeds this many milliseconds, served at /debug/slo (0 = off; with -stream)")
+	sloProfile := flag.String("slo-profile", "", "capture a 5s CPU profile to this file on the first SLO breach per cooldown (with -slo-p99-ms)")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(*logLevel)
@@ -94,10 +104,43 @@ func main() {
 		logger.Fatalf("acornd: %v", err)
 	}
 
+	// Tracing and SLO monitoring are built before the introspection server
+	// so /debug/trace and /debug/slo can serve them.
+	var tracer *obs.Tracer
+	if *stream && *traceSample > 0 {
+		tracer = core.NewStreamTracer(*traceRing, *traceSample, nil)
+	}
+	var slo *obs.SLO
+	if *stream && *sloP99 > 0 {
+		profilePath := *sloProfile
+		slo = obs.NewSLO(obs.SLOOptions{
+			Name:   "stream_decision_p99",
+			Budget: time.Duration(*sloP99 * float64(time.Millisecond)),
+			OnBreach: func(b obs.Breach) {
+				logger.Warn("SLO breach", "slo", b.Name, "p", b.Quantile,
+					"value", b.Value, "budget", b.Budget, "window", b.Count)
+				if profilePath == "" {
+					return
+				}
+				go func() {
+					if err := profiling.CaptureCPU(profilePath, 5*time.Second); err != nil {
+						logger.Warn("SLO breach profile capture failed", "err", err)
+					} else {
+						logger.Warn("SLO breach CPU profile captured", "path", profilePath)
+					}
+				}()
+			},
+		})
+	}
+
 	health := obs.NewHealth()
 	var obsSrv *obs.IntrospectionServer
 	if *obsAddr != "" {
-		obsSrv, err = obs.Serve(*obsAddr, obs.ServerOptions{Health: health, Log: logger})
+		srvOpts := obs.ServerOptions{Health: health, Log: logger, Tracer: tracer}
+		if slo != nil {
+			srvOpts.SLOs = []*obs.SLO{slo}
+		}
+		obsSrv, err = obs.Serve(*obsAddr, srvOpts)
 		if err != nil {
 			logger.Fatalf("acornd: %v", err)
 		}
@@ -156,6 +199,8 @@ func main() {
 				RatePerHour: *switchRate,
 				Burst:       *switchBurst,
 			},
+			Tracer: tracer,
+			SLO:    slo,
 		})
 		for _, c := range clients {
 			sc.Offer(core.Event{Kind: core.EventArrive, Client: c})

@@ -172,6 +172,11 @@ type AllocStats struct {
 	History []SwitchRecord
 	// Evals counts the evaluation work behind the search.
 	Evals EvalStats
+	// RankNanos is wall time spent inside fresh rank evaluations
+	// (runRanks), summed over the run — trace attribution for the
+	// streaming pipeline. A timing, not a count: unlike Evals it varies
+	// run to run and is excluded from determinism comparisons.
+	RankNanos int64
 
 	// Fallback marks a run (or, under sharding, any component) that priced
 	// candidates with the generic full-sweep reference path instead of the

@@ -27,6 +27,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"acorn/internal/wlan"
 )
@@ -111,7 +112,9 @@ func allocateIncremental(cfg *wlan.Config, st *allocState, opts AllocOptions) (*
 					r.dirty = append(r.dirty, i)
 				}
 			}
+			rankT0 := time.Now()
 			r.runRanks(opts.workers())
+			stats.RankNanos += time.Since(rankT0).Nanoseconds()
 			stats.Evals.RankCacheHits += remaining - len(r.dirty)
 
 			// Winner selection: strict > scan in lexicographic AP order,

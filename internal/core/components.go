@@ -300,6 +300,7 @@ func allocateSharded(n *wlan.Network, cfg *wlan.Config, est *Estimator, opts All
 			stats.Periods = r.stats.Periods
 		}
 		stats.Evals.add(r.stats.Evals)
+		stats.RankNanos += r.stats.RankNanos
 		if r.stats.Fallback {
 			stats.Fallback = true
 		}

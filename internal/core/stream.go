@@ -82,6 +82,12 @@ type Event struct {
 	// ClientID names the subject for EventDepart; for the other kinds it is
 	// derived from Client when empty.
 	ClientID string
+	// Recv is the upstream receive instant (e.g. when ctlnet read the
+	// report off the wire). When set and tracing is on, the event's span
+	// starts here, so the "ingest" stage attributes transport and
+	// handling time before enqueue. Zero means the span starts at
+	// enqueue. Latency metrics are unaffected (still enqueue-to-applied).
+	Recv time.Time
 }
 
 // key returns the coalescing key (the subject client's ID).
@@ -101,6 +107,10 @@ type streamEntry struct {
 	ev   Event
 	at   time.Time // first enqueue time — decision latency is measured from here
 	dead bool
+	// span traces the entry through the pipeline. Coalescing keeps the
+	// original span (matching at); a dead entry's span is simply
+	// abandoned — only finished spans are ever exported.
+	span obs.SpanRef
 }
 
 // StreamController wraps a Controller with the event-driven mode. Offer may
@@ -108,12 +118,15 @@ type streamEntry struct {
 // pump side is serialized internally. Use Start/Stop for a background
 // consumer, or call Pump directly for deterministic replay.
 type StreamController struct {
-	ctrl *Controller
-	opts StreamOptions
-	gate *SwitchGate
-	log  *obs.Logger
-	m    *streamMetrics
-	now  func() time.Time
+	ctrl   *Controller
+	opts   StreamOptions
+	gate   *SwitchGate
+	log    *obs.Logger
+	m      *streamMetrics
+	now    func() time.Time
+	tracer *obs.Tracer // nil = tracing off
+	latWin *obs.Window // sliding window behind the windowed quantiles
+	slo    *obs.SLO    // nil = no budget monitor
 
 	// mu guards the queue and the counter block.
 	mu      sync.Mutex
@@ -132,6 +145,7 @@ type StreamController struct {
 	deferred map[string]bool
 	lastFull time.Time
 	lat      *latRing
+	curBatch []*streamEntry // batch being pumped; reoptimize marks its spans
 
 	wake  chan struct{}
 	stopc chan struct{}
@@ -164,12 +178,24 @@ func NewStreamController(ctrl *Controller, opts StreamOptions) *StreamController
 		log:      obsLoggerOr(opts.Log),
 		m:        bindStreamMetrics(ctrl.registry()),
 		now:      now,
+		tracer:   opts.Tracer,
+		latWin:   obs.NewWindow(opts.latencyWindow(), 0, nil, now),
+		slo:      opts.SLO,
 		pending:  make(map[string]*streamEntry),
 		deferred: make(map[string]bool),
 		lastFull: now(),
 		lat:      newLatRing(opts.RecordLatencies),
 		wake:     make(chan struct{}, 1),
 	}
+	// Windowed quantiles as live gauges: unlike the cumulative decision
+	// histogram these answer "how is the stream doing right now".
+	reg := ctrl.registry()
+	reg.GaugeFunc("acorn_stream_decision_p50_window_seconds",
+		"windowed p50 decision latency (last LatencyWindow)",
+		func() float64 { return s.latWin.Quantile(0.50) })
+	reg.GaugeFunc("acorn_stream_decision_p99_window_seconds",
+		"windowed p99 decision latency (last LatencyWindow)",
+		func() float64 { return s.latWin.Quantile(0.99) })
 	return s
 }
 
@@ -275,6 +301,14 @@ func (s *StreamController) appendLocked(key string, ev Event) {
 		s.shedLocked()
 	}
 	en := &streamEntry{ev: ev, at: s.now()}
+	if s.tracer != nil {
+		origin := ev.Recv
+		if origin.IsZero() {
+			origin = en.at
+		}
+		en.span = s.tracer.Begin(ev.Kind.String(), key, origin)
+		en.span.Mark(TraceStageIngest)
+	}
 	s.queue = append(s.queue, en)
 	s.live++
 	s.pending[key] = en
@@ -381,13 +415,25 @@ func (s *StreamController) Pump() int {
 	defer s.pumpMu.Unlock()
 
 	batch := s.take(s.opts.maxBatch())
+	s.curBatch = batch
+	for _, en := range batch {
+		en.span.Mark(TraceStageQueue)
+	}
 	dirty := make(map[string]bool)
 	for _, en := range batch {
-		for _, ap := range s.apply(en.ev) {
+		// Batch peers ahead of this event apply between its queue mark and
+		// this one; peers behind it are charged by the second batch mark
+		// below (stage durations accumulate).
+		en.span.Mark(TraceStageBatch)
+		for _, ap := range s.apply(en) {
 			if ap != "" {
 				dirty[ap] = true
 			}
 		}
+		en.span.Mark(TraceStageAdmit)
+	}
+	for _, en := range batch {
+		en.span.Mark(TraceStageBatch)
 	}
 
 	now := s.now()
@@ -405,7 +451,11 @@ func (s *StreamController) Pump() int {
 				s.bump(func(c *streamCounters) { c.engineDeferrals++ })
 			}
 		} else {
-			s.reoptimize(s.ctrl.conflictNeighbourhood(dirty), false, &s.c.localReopts, s.m.localReopts)
+			only := s.ctrl.conflictNeighbourhood(dirty)
+			for _, en := range batch {
+				en.span.Mark(TraceStageNeigh)
+			}
+			s.reoptimize(only, false, &s.c.localReopts, s.m.localReopts)
 		}
 	}
 
@@ -417,7 +467,11 @@ func (s *StreamController) Pump() int {
 		d := done.Sub(en.at)
 		s.m.decision.Observe(d.Seconds())
 		s.lat.add(d)
+		s.latWin.Observe(d.Seconds())
+		s.slo.Observe(d)
+		en.span.MarkEnd(TraceStageFinal)
 	}
+	s.curBatch = nil
 	if n := len(batch); n > 0 {
 		s.bump(func(c *streamCounters) { c.applied += uint64(n) })
 		s.m.applied.Add(uint64(n))
@@ -436,27 +490,38 @@ func (s *StreamController) bump(f func(*streamCounters)) {
 }
 
 // apply executes one event against the wrapped controller and returns the
-// AP IDs it dirtied (previous and new homes of the subject client).
-func (s *StreamController) apply(ev Event) []string {
+// AP IDs it dirtied (previous and new homes of the subject client). The
+// association-engine call is attributed into the entry's span so a span
+// separates "admission stage" from "engine evaluation inside it".
+func (s *StreamController) apply(en *streamEntry) []string {
 	c := s.ctrl
+	ev := en.ev
+	var t0 time.Time
+	if en.span.Active() {
+		t0 = s.tracer.Now()
+	}
+	var dirty []string
 	switch ev.Kind {
 	case EventArrive:
 		s.ensureMember(ev.Client)
 		d := c.Admit(ev.Client)
-		return []string{d.APID}
+		dirty = []string{d.APID}
 	case EventDepart:
 		id := ev.key()
 		prev := c.cfg.Assoc[id]
 		c.Evict(id)
 		c.Network.RemoveClient(id)
-		return []string{prev}
+		dirty = []string{prev}
 	case EventReport:
 		s.ensureMember(ev.Client)
 		prev := c.cfg.Assoc[ev.Client.ID]
 		d := c.Roam(ev.Client, s.opts.roamMargin())
-		return []string{prev, d.APID}
+		dirty = []string{prev, d.APID}
 	}
-	return nil
+	if en.span.Active() {
+		en.span.Attr(TraceAttrAssocEval, s.tracer.Now().Sub(t0), 1)
+	}
+	return dirty
 }
 
 // ensureMember makes u a member of the wrapped network, replacing a stale
@@ -567,6 +632,12 @@ func (s *StreamController) reoptimize(only map[string]bool, bypassStreak bool, c
 	opts.Only = only
 	_, st := AllocateChannels(c.Network, c.cfg, est, opts)
 	span.End()
+	for _, en := range s.curBatch {
+		// Every span in the batch waited on this re-optimization; charge
+		// the stage to all of them and attribute the rank-evaluation share.
+		en.span.Attr(TraceAttrRankEval, time.Duration(st.RankNanos), uint64(st.Evals.RankEvals))
+		en.span.Mark(TraceStageReopt)
+	}
 	if st.Evals.FullEvals > 0 {
 		// The incremental engine silently fell back to the generic sweep —
 		// count it; the saturation machinery will degrade if it persists.
@@ -605,6 +676,9 @@ func (s *StreamController) reoptimize(only map[string]bool, bypassStreak bool, c
 		s.m.switches.Add(uint64(applied))
 	}
 	RecordAllocMetrics(c.registry(), st, c.cfg)
+	for _, en := range s.curBatch {
+		en.span.Mark(TraceStageGate)
+	}
 }
 
 // Start launches the background consumer: it pumps on every Offer wake-up
@@ -680,13 +754,25 @@ func (s *StreamController) Stats() StreamStats {
 	}
 	s.mu.Unlock()
 	out.Gate = s.gate.Stats()
+	// Windowed quantiles: what the stream looks like over the last
+	// LatencyWindow — a late-run regression shows here while the
+	// cumulative figures still average it away.
+	out.LatencyP50 = time.Duration(s.latWin.Quantile(0.50) * float64(time.Second))
+	out.LatencyP99 = time.Duration(s.latWin.Quantile(0.99) * float64(time.Second))
+	out.LatencyWindowCount = s.latWin.Count()
 	if s.lat != nil {
-		out.LatencyP50 = s.lat.quantile(0.50)
-		out.LatencyP99 = s.lat.quantile(0.99)
+		out.LatencyP50Cum = s.lat.quantile(0.50)
+		out.LatencyP99Cum = s.lat.quantile(0.99)
 		out.LatencyCount = s.lat.count()
 	}
 	return out
 }
+
+// Tracer returns the stream's tracer (nil when tracing is off).
+func (s *StreamController) Tracer() *obs.Tracer { return s.tracer }
+
+// LatencyWindow exposes the sliding window behind the windowed quantiles.
+func (s *StreamController) LatencyWindow() *obs.Window { return s.latWin }
 
 // conflictNeighbourhood expands a dirty AP set one hop through the
 // association engine's contention aggregates: an AP joins the neighbourhood

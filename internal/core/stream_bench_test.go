@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"acorn/internal/obs"
 )
 
 // BenchmarkStreamEvents measures the streaming controller's sustained event
@@ -53,9 +55,73 @@ func BenchmarkStreamEvents(b *testing.B) {
 
 	st := s.Stats()
 	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "events/s")
-	b.ReportMetric(float64(st.LatencyP50.Nanoseconds()), "p50_ns")
-	b.ReportMetric(float64(st.LatencyP99.Nanoseconds()), "p99_ns")
+	b.ReportMetric(float64(st.LatencyP50Cum.Nanoseconds()), "p50_ns")
+	b.ReportMetric(float64(st.LatencyP99Cum.Nanoseconds()), "p99_ns")
 	if st.Offered > 0 {
 		b.ReportMetric(float64(st.ShedReports+st.ShedCritical)/float64(st.Offered), "shed_frac")
 	}
+}
+
+// benchStreamTraced is the shared body of the BenchmarkStreamTracedOff/On
+// pair: the exact event mix of BenchmarkStreamEvents, with span tracing
+// either absent or at sample rate 1. The Off/On delta is the tracing
+// overhead contract reported in BENCH_trace.json; b.ReportAllocs makes the
+// disabled path's zero-allocation promise visible in the output.
+func benchStreamTraced(b *testing.B, tracer *obs.Tracer) {
+	ctrl, n := streamFixture(b, 16, 1)
+	opts := StreamOptions{
+		MaxBatch:        256,
+		RecordLatencies: 1 << 16,
+		Gate:            GateOptions{Streak: 1, RatePerHour: 60, Burst: 10},
+	}
+	if tracer != nil {
+		opts.Tracer = tracer
+	}
+	s := NewStreamController(ctrl, opts)
+
+	const pool = 128
+	live := make([]string, 0, pool)
+	for i := 0; i < pool; i++ {
+		id := fmt.Sprintf("u%04d", i)
+		s.Offer(Event{Kind: EventArrive, Client: clientNear(n, i, id)})
+		live = append(live, id)
+	}
+	s.Pump()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		switch i % 16 {
+		case 0:
+			s.Offer(Event{Kind: EventDepart, ClientID: live[i/16%pool]})
+		case 1:
+			id := live[(i/16)%pool]
+			s.Offer(Event{Kind: EventArrive, Client: clientNear(n, i, id)})
+		default:
+			s.Offer(Event{Kind: EventReport, Client: clientNear(n, i, live[i%pool])})
+		}
+		if i%64 == 63 {
+			s.Pump()
+		}
+	}
+	for s.Pump() > 0 {
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "events/s")
+	if tracer != nil {
+		if snap := tracer.Snapshot(1); len(snap) == 0 {
+			b.Fatalf("tracing enabled but no spans recorded")
+		}
+	}
+}
+
+// BenchmarkStreamTracedOff is the tracing-disabled baseline (nil tracer).
+func BenchmarkStreamTracedOff(b *testing.B) { benchStreamTraced(b, nil) }
+
+// BenchmarkStreamTracedOn runs the same mix with every event traced.
+func BenchmarkStreamTracedOn(b *testing.B) {
+	benchStreamTraced(b, NewStreamTracer(4096, 1, nil))
 }

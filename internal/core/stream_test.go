@@ -165,8 +165,11 @@ func TestStreamPumpMembershipAndConservation(t *testing.T) {
 		t.Fatalf("event conservation broken: offered %d, accounted %d (%+v)",
 			st.Offered, accounted, st)
 	}
-	if st.LatencyCount == 0 || st.LatencyP50 <= 0 {
-		t.Fatalf("decision latencies not recorded: %+v", st)
+	if st.LatencyCount == 0 || st.LatencyP50Cum <= 0 {
+		t.Fatalf("decision latencies not recorded in ring: %+v", st)
+	}
+	if st.LatencyWindowCount == 0 || st.LatencyP50 <= 0 {
+		t.Fatalf("windowed decision latencies not recorded: %+v", st)
 	}
 }
 

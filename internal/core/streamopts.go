@@ -158,9 +158,24 @@ type StreamOptions struct {
 	// nothing is dropped silently even with logging off). Nil means obs.Nop.
 	Log *obs.Logger
 	// RecordLatencies keeps a ring of the last N per-event decision
-	// latencies so benchmarks can report exact p50/p99 quantiles; zero
-	// disables the ring (the obs histogram is always fed).
+	// latencies so benchmarks can report exact cumulative p50/p99
+	// quantiles; zero disables the ring (the obs histogram and the
+	// sliding latency window are always fed).
 	RecordLatencies int
+
+	// Tracer records one pipeline span per queued event (stage catalog in
+	// streamtrace.go; build one with NewStreamTracer). Nil disables
+	// tracing — the disabled path is a handful of nil checks and adds no
+	// allocations.
+	Tracer *obs.Tracer
+	// LatencyWindow is the sliding window behind StreamStats.LatencyP50/
+	// LatencyP99 and the windowed-quantile gauges. Zero means
+	// DefaultStreamLatencyWindow.
+	LatencyWindow time.Duration
+	// SLO, when non-nil, receives every decision latency; a breach of its
+	// budget fires its hook (the daemons wire it to a CPU-profile
+	// capture). Build it over the same clock as Now for replay.
+	SLO *obs.SLO
 }
 
 // Stream defaults.
@@ -170,6 +185,7 @@ const (
 	DefaultStreamRoamMargin     = 0.05
 	DefaultStreamDegradeAfter   = 2 * time.Second
 	DefaultStreamWatchdogPeriod = 2 * time.Minute
+	DefaultStreamLatencyWindow  = 30 * time.Second
 )
 
 func (o StreamOptions) maxQueue() int {
@@ -230,6 +246,13 @@ func (o StreamOptions) watchdogPeriod() time.Duration {
 		return DefaultStreamWatchdogPeriod
 	}
 	return o.WatchdogPeriod
+}
+
+func (o StreamOptions) latencyWindow() time.Duration {
+	if o.LatencyWindow <= 0 {
+		return DefaultStreamLatencyWindow
+	}
+	return o.LatencyWindow
 }
 
 func (o StreamOptions) now() func() time.Time {

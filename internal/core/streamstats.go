@@ -87,12 +87,21 @@ type StreamStats struct {
 	// Gate is the switch gate's snapshot.
 	Gate GateStats
 	// LatencyP50/LatencyP99 are decision-latency quantiles (enqueue to
-	// applied) over the ring of the last StreamOptions.RecordLatencies
-	// events; zero when recording is disabled or nothing was recorded.
-	LatencyP50 time.Duration
-	LatencyP99 time.Duration
-	// LatencyCount is how many samples the quantiles summarize.
-	LatencyCount int
+	// applied) over the sliding StreamOptions.LatencyWindow — "how is the
+	// stream doing right now", so a late-run regression is visible
+	// instead of averaged into the whole run. LatencyWindowCount is how
+	// many samples are inside the window.
+	LatencyP50         time.Duration
+	LatencyP99         time.Duration
+	LatencyWindowCount uint64
+	// LatencyP50Cum/LatencyP99Cum are the exact (sort-on-read) quantiles
+	// over the ring of the last StreamOptions.RecordLatencies events —
+	// effectively whole-run for bounded runs, which is what benchmarks
+	// report; zero when recording is disabled. LatencyCount is how many
+	// samples that ring holds.
+	LatencyP50Cum time.Duration
+	LatencyP99Cum time.Duration
+	LatencyCount  int
 }
 
 // latRing is a fixed-size ring of the most recent decision latencies; the

@@ -1,0 +1,78 @@
+package core
+
+// Trace-stage catalog of the streaming pipeline. One span is begun per
+// queued event (at enqueue, origin = upstream receive time when stamped)
+// and marked at every stage boundary the pump crosses, so a finished
+// span's stage durations sum exactly to its receive-to-applied time — the
+// attribution the "milliseconds to microseconds" ROADMAP item needs.
+// Batch-shared work (neighbourhood expansion, re-optimization, gating) is
+// charged to every span in the batch: each event did wait on it.
+
+import (
+	"time"
+
+	"acorn/internal/obs"
+)
+
+// Stage indices for StreamController spans (names in StreamTraceStages).
+const (
+	// TraceStageIngest: upstream receive (Event.Recv) to enqueue. Zero
+	// when events carry no receive stamp.
+	TraceStageIngest = iota
+	// TraceStageQueue: enqueue to batch dequeue — pure queue wait,
+	// including time spent being coalesced over.
+	TraceStageQueue
+	// TraceStageBatch: waiting on batch peers' admissions (charged both
+	// before and after the event's own apply; durations accumulate).
+	TraceStageBatch
+	// TraceStageAdmit: the event's own membership/association work
+	// (Admit, Roam or Evict through the association engine).
+	TraceStageAdmit
+	// TraceStageNeigh: conflict-neighbourhood expansion of the batch's
+	// dirty AP set.
+	TraceStageNeigh
+	// TraceStageReopt: Algorithm 2 over the neighbourhood (plus any
+	// deferred-batch or watchdog re-optimization the batch waited on).
+	TraceStageReopt
+	// TraceStageGate: gate verdicts, config install and metric publish.
+	TraceStageGate
+	// TraceStageFinal: latency bookkeeping after the pipeline proper.
+	TraceStageFinal
+
+	numTraceStages
+)
+
+// StreamTraceStages names the stream stages, indexed by the constants
+// above. Passed to obs.NewTracer by NewStreamTracer and the daemons.
+var StreamTraceStages = []string{
+	"ingest", "queue", "batch", "admit", "neigh", "reopt", "gate", "final",
+}
+
+// Attribution bucket indices (names in StreamTraceAttrs). Attribution is
+// additive and sits outside the stage partition: it answers "of the reopt
+// stage, how much was rank evaluation", not "where did the wall time go".
+const (
+	// TraceAttrRankEval: wall time inside fresh channel-rank evaluations
+	// (AllocStats.RankNanos) and the count of such evaluations.
+	TraceAttrRankEval = iota
+	// TraceAttrAssocEval: wall time inside the association engine call of
+	// the event's own apply (count = 1 per apply).
+	TraceAttrAssocEval
+)
+
+// StreamTraceAttrs names the stream attribution buckets.
+var StreamTraceAttrs = []string{"rank_eval", "assoc_eval"}
+
+// NewStreamTracer builds a tracer configured for StreamController spans.
+// ring <= 0 picks the default; sample follows obs.TracerOptions semantics
+// (0 off, 1 everything, N one-in-N); now may be nil (time.Now) — pass the
+// stream's virtual clock for deterministic replay.
+func NewStreamTracer(ring, sample int, now func() time.Time) *obs.Tracer {
+	return obs.NewTracer(obs.TracerOptions{
+		Ring:   ring,
+		Sample: sample,
+		Stages: StreamTraceStages,
+		Attrs:  StreamTraceAttrs,
+		Now:    now,
+	})
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"acorn/internal/obs"
+	"acorn/internal/profiling"
+	"acorn/internal/wlan"
+)
+
+// TestStreamSpansPartitionLatency is the attribution acceptance check: under
+// a virtual clock, every finished span's per-stage durations must sum
+// exactly to its total, and the total must equal the enqueue-to-applied
+// latency the stats ring recorded for the same pump. "Every microsecond is
+// attributed" is a structural property of the Mark partition, so the
+// comparison is exact, not a tolerance band.
+func TestStreamSpansPartitionLatency(t *testing.T) {
+	ctrl, n := streamFixture(t, 4, 3)
+	vc := newVclock()
+	tr := NewStreamTracer(256, 1, vc.now)
+	s := NewStreamController(ctrl, StreamOptions{
+		Now:             vc.now,
+		Tracer:          tr,
+		RecordLatencies: 256,
+	})
+
+	// Churn: arrivals, reports against the live set, and departures, with
+	// the clock advancing between offers so queue time is non-zero.
+	clients := make([]*wlan.Client, 0, 6)
+	for i := 0; i < 6; i++ {
+		u := clientNear(n, i, fmt.Sprintf("c%d", i))
+		clients = append(clients, u)
+		s.Offer(Event{Kind: EventArrive, Client: u})
+		vc.advance(3 * time.Millisecond)
+	}
+	s.Pump()
+	for i, u := range clients {
+		s.Offer(Event{Kind: EventReport, Client: clientNear(n, i+8, u.ID)})
+		vc.advance(2 * time.Millisecond)
+	}
+	s.Pump()
+	// Depart after the reports have drained — a depart offered on top of a
+	// queued report would coalesce into the report's span.
+	s.Offer(Event{Kind: EventDepart, ClientID: clients[0].ID})
+	vc.advance(5 * time.Millisecond)
+	s.Pump()
+
+	spans := tr.Snapshot(0)
+	if len(spans) == 0 {
+		t.Fatalf("no spans recorded")
+	}
+	kinds := map[string]int{}
+	for _, sp := range spans {
+		kinds[sp.Kind]++
+		var sum int64
+		for _, ns := range sp.Stages {
+			sum += ns
+		}
+		if sum != sp.TotalNs {
+			t.Fatalf("span %d (%s %s): stage sum %d != total %d (%+v)",
+				sp.ID, sp.Kind, sp.Key, sum, sp.TotalNs, sp.Stages)
+		}
+		if sp.TotalNs <= 0 {
+			t.Fatalf("span %d: non-positive total %d under advancing clock", sp.ID, sp.TotalNs)
+		}
+		for stage := range sp.Stages {
+			found := false
+			for _, name := range StreamTraceStages {
+				if stage == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("span %d charged unknown stage %q", sp.ID, stage)
+			}
+		}
+	}
+	for _, k := range []string{"arrive", "report", "depart"} {
+		if kinds[k] == 0 {
+			t.Fatalf("no spans of kind %q (got %v)", k, kinds)
+		}
+	}
+
+	// Cross-check against the stats ring: the largest span total must equal
+	// the largest recorded latency — both are "oldest entry in its pump's
+	// batch", measured on the same virtual clock.
+	st := s.Stats()
+	var maxSpan time.Duration
+	for _, sp := range spans {
+		if d := time.Duration(sp.TotalNs); d > maxSpan {
+			maxSpan = d
+		}
+	}
+	var maxLat time.Duration
+	for _, d := range s.lat.buf[:s.lat.next] {
+		if d > maxLat {
+			maxLat = d
+		}
+	}
+	if maxSpan != maxLat {
+		t.Fatalf("max span total %v != max ring latency %v (stats %+v)", maxSpan, maxLat, st)
+	}
+
+}
+
+// tickClock is a virtual clock that advances a fixed amount on every read,
+// so every pipeline stage (all executed between two clock reads) gets a
+// non-zero duration and shows up in the span's stage map.
+type tickClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *tickClock) now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+// TestStreamReportSpansChargeAllStages drives reports through a local
+// re-optimization with a self-ticking clock and asserts the spans carry the
+// full stage walk — queue, batch, admit, neigh, reopt, gate, final — plus
+// the engine attribution buckets (rank_eval from the allocator, assoc_eval
+// from the association engine).
+func TestStreamReportSpansChargeAllStages(t *testing.T) {
+	ctrl, n := streamFixture(t, 4, 3)
+	tc := &tickClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC), step: 100 * time.Microsecond}
+	tr := NewStreamTracer(256, 1, tc.now)
+	s := NewStreamController(ctrl, StreamOptions{Now: tc.now, Tracer: tr})
+
+	for i := 0; i < 4; i++ {
+		s.Offer(Event{Kind: EventArrive, Client: clientNear(n, i, fmt.Sprintf("c%d", i))})
+	}
+	s.Pump()
+	for i := 0; i < 4; i++ {
+		s.Offer(Event{Kind: EventReport, Client: clientNear(n, i+8, fmt.Sprintf("c%d", i))})
+	}
+	s.Pump()
+
+	if st := s.Stats(); st.LocalReopts == 0 {
+		t.Fatalf("fixture did not exercise local re-optimization: %+v", st)
+	}
+	sawReport := false
+	for _, sp := range tr.Snapshot(0) {
+		if sp.Kind != "report" {
+			continue
+		}
+		sawReport = true
+		for _, stage := range []string{"queue", "batch", "admit", "neigh", "reopt", "gate", "final"} {
+			if sp.Stages[stage] <= 0 {
+				t.Fatalf("report span %s missing stage %q: %v", sp.Key, stage, sp.Stages)
+			}
+		}
+		if sp.Attrs["assoc_eval"] <= 0 || sp.Counts["assoc_eval"] == 0 {
+			t.Fatalf("report span %s missing assoc_eval attribution: attrs=%v counts=%v",
+				sp.Key, sp.Attrs, sp.Counts)
+		}
+		if sp.Counts["rank_eval"] == 0 {
+			t.Fatalf("report span %s missing rank_eval attribution: counts=%v", sp.Key, sp.Counts)
+		}
+		// The partition property holds for any monotone clock: stage sums
+		// can lag the total only by the reads between last Mark and End.
+		var sum int64
+		for _, ns := range sp.Stages {
+			sum += ns
+		}
+		if sum > sp.TotalNs || sp.TotalNs-sum > int64(time.Millisecond) {
+			t.Fatalf("report span %s stage sum %d vs total %d out of tolerance", sp.Key, sum, sp.TotalNs)
+		}
+	}
+	if !sawReport {
+		t.Fatalf("no report spans recorded")
+	}
+}
+
+// TestStreamSLOBreachCapturesProfile induces a pipeline stall under a
+// virtual clock — 10ms of decision latency against a 1ms budget — and
+// asserts the SLO monitor breaches and its hook lands a CPU profile
+// artifact on disk, exercising the full flight-recorder path.
+func TestStreamSLOBreachCapturesProfile(t *testing.T) {
+	ctrl, n := streamFixture(t, 4, 3)
+	vc := newVclock()
+	profPath := filepath.Join(t.TempDir(), "slo_breach.pprof")
+	captured := make(chan error, 1)
+	slo := obs.NewSLO(obs.SLOOptions{
+		Name:       "stream_decision_p99",
+		Budget:     time.Millisecond,
+		MinCount:   4,
+		CheckEvery: time.Nanosecond,
+		Now:        vc.now,
+		Win:        obs.NewWindow(30*time.Second, 0, nil, vc.now),
+		OnBreach: func(b obs.Breach) {
+			captured <- profiling.CaptureCPU(profPath, 50*time.Millisecond)
+		},
+	})
+	s := NewStreamController(ctrl, StreamOptions{Now: vc.now, SLO: slo})
+
+	// Two stalled pumps: checks are throttled per Observe timestamp, so the
+	// second pump (clock advanced past the first pump's check) re-evaluates
+	// with a full window and trips the budget.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 4; i++ {
+			id := fmt.Sprintf("c%d_%d", round, i)
+			s.Offer(Event{Kind: EventArrive, Client: clientNear(n, round*4+i, id)})
+			vc.advance(10 * time.Millisecond) // every event waits 10ms+ in queue
+		}
+		s.Pump()
+	}
+
+	st := slo.Status()
+	if st.Breaches == 0 || !st.Breached {
+		t.Fatalf("induced stall did not trip the SLO: %+v", st)
+	}
+	select {
+	case err := <-captured:
+		if err != nil {
+			t.Fatalf("breach hook capture failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("breach hook never fired")
+	}
+	fi, err := os.Stat(profPath)
+	if err != nil {
+		t.Fatalf("no profile artifact: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Fatalf("profile artifact is empty")
+	}
+}
+
+// TestStreamTracerDisabledIsInert pins the "tracing off costs nothing"
+// contract at the controller level: with no tracer configured, spans are
+// dead refs and Stats still works.
+func TestStreamTracerDisabledIsInert(t *testing.T) {
+	ctrl, n := streamFixture(t, 4, 3)
+	vc := newVclock()
+	s := NewStreamController(ctrl, StreamOptions{Now: vc.now})
+	for i := 0; i < 4; i++ {
+		s.Offer(Event{Kind: EventArrive, Client: clientNear(n, i, fmt.Sprintf("c%d", i))})
+		vc.advance(time.Millisecond)
+	}
+	s.Pump()
+	if s.Tracer() != nil {
+		t.Fatalf("tracer should be nil when unset")
+	}
+	if st := s.Stats(); st.Applied != 4 {
+		t.Fatalf("pump broken without tracer: %+v", st)
+	}
+}
+
+// TestStreamCoalescingKeepsOriginalSpan: a report folded into a queued
+// report keeps the first span (origin = first enqueue), so queue time of
+// the coalesced wait is attributed, not lost.
+func TestStreamCoalescingKeepsOriginalSpan(t *testing.T) {
+	ctrl, n := streamFixture(t, 4, 3)
+	vc := newVclock()
+	tr := NewStreamTracer(64, 1, vc.now)
+	s := NewStreamController(ctrl, StreamOptions{Now: vc.now, Tracer: tr})
+
+	u := clientNear(n, 0, "c0")
+	s.Offer(Event{Kind: EventArrive, Client: u})
+	s.Pump()
+
+	s.Offer(Event{Kind: EventReport, Client: clientNear(n, 1, "c0")})
+	vc.advance(20 * time.Millisecond)
+	s.Offer(Event{Kind: EventReport, Client: clientNear(n, 2, "c0")}) // coalesces
+	vc.advance(5 * time.Millisecond)
+	s.Pump()
+
+	var reportSpans []obs.SpanView
+	for _, sp := range tr.Snapshot(0) {
+		if sp.Kind == "report" {
+			reportSpans = append(reportSpans, sp)
+		}
+	}
+	if len(reportSpans) != 1 {
+		t.Fatalf("want exactly one report span after coalescing, got %d", len(reportSpans))
+	}
+	if total := time.Duration(reportSpans[0].TotalNs); total != 25*time.Millisecond {
+		t.Fatalf("coalesced span should start at first enqueue: total %v, want 25ms", total)
+	}
+}

@@ -50,6 +50,14 @@ type Server struct {
 	// Obs receives control-plane metrics; nil means obs.Default. Set it
 	// before Serve — the metric handles bind lazily on first use.
 	Obs *obs.Registry
+	// Tracer, when non-nil, records one span per reallocation pass (see
+	// trace.go for the stage catalog). Build it with NewServerTracer and
+	// set it before Serve; nil costs nothing on the hot paths.
+	Tracer *obs.Tracer
+	// SLO, when non-nil, observes every streaming pass's receipt-to-push
+	// latency so a windowed quantile can be held against a budget (and a
+	// breach hook can capture a profile). Set before Serve.
+	SLO *obs.SLO
 
 	// HelloTimeout bounds how long an accepted connection may sit silent
 	// before the hello arrives. Zero means DefaultHelloTimeout; negative
@@ -85,6 +93,9 @@ type Server struct {
 
 	metricsOnce sync.Once
 	metrics     *serverMetrics
+
+	stormOnce sync.Once
+	stormLog  *obs.Logger
 
 	listener net.Listener
 	wg       sync.WaitGroup
@@ -236,6 +247,18 @@ func (s *Server) log() *obs.Logger {
 	return obs.Nop
 }
 
+// stormLogger is the rate-limited logger for per-message hot paths (stale
+// report storms, failing streaming passes): at most a couple of lines per
+// second, with the suppressed count reported on the next line through. One
+// shared bucket per server — a storm is a storm regardless of which agent
+// session observes it.
+func (s *Server) stormLogger() *obs.Logger {
+	s.stormOnce.Do(func() {
+		s.stormLog = s.log().Limited(2, 5)
+	})
+	return s.stormLog
+}
+
 // Serve accepts connections on l until the listener is closed. It returns
 // the listener's terminal error (net.ErrClosed after Close).
 func (s *Server) Serve(l net.Listener) error {
@@ -382,7 +405,7 @@ func (s *Server) handle(conn net.Conn) {
 			if had && rep.Seq != 0 && rep.Seq < prev.rep.Seq {
 				s.mu.Unlock()
 				m.reportsStale.Inc()
-				s.log().Warn("ignoring stale report", "ap", hello.APID,
+				s.stormLogger().Warn("ignoring stale report", "ap", hello.APID,
 					"seq", rep.Seq, "have", prev.rep.Seq)
 				continue
 			}
@@ -402,7 +425,7 @@ func (s *Server) handle(conn net.Conn) {
 			if replay {
 				m.reportsReplayed.Inc()
 			} else if s.Stream.Enabled {
-				s.markDirty(hello.APID)
+				s.markDirty(hello.APID, recv)
 			}
 		default:
 			s.reject(conn, "unexpected message")
@@ -459,7 +482,16 @@ func (s *Server) push(ac *agentConn, apID string, ch spectrum.Channel) {
 // burst + rate·W switches per AP in any window W), but not the K-streak
 // hysteresis.
 func (s *Server) Reallocate() (map[string]spectrum.Channel, error) {
-	return s.reallocate(nil, true)
+	var span obs.SpanRef
+	if s.Tracer != nil {
+		span = s.Tracer.Begin("full", "", s.Tracer.Now())
+		span.Mark(PassStageQueue) // a direct call has no queue wait
+	}
+	out, err := s.reallocate(nil, true, span)
+	if err == nil {
+		span.MarkEnd(PassStageFinal)
+	}
+	return out, err
 }
 
 // reallocate is the shared engine behind the periodic full pass (only nil)
@@ -467,7 +499,13 @@ func (s *Server) Reallocate() (map[string]spectrum.Channel, error) {
 // hear-graph neighbours; every other AP holds its channel). In stream mode
 // each proposed switch is replayed through the switch gate; vetoed switches
 // keep the AP's previous assignment.
-func (s *Server) reallocate(only map[string]bool, bypassStreak bool) (map[string]spectrum.Channel, error) {
+//
+// pspan is the caller's pass span (a dead ref when tracing is off): the
+// stage boundaries crossed here — view build, association sweep, channel
+// search, gating, pushes — are marked into it, and the search's rank-
+// evaluation time is attributed. The caller Ends the span; an errored pass
+// leaves it unfinished, which the tracer never exports.
+func (s *Server) reallocate(only map[string]bool, bypassStreak bool, pspan obs.SpanRef) (map[string]spectrum.Channel, error) {
 	m := s.m()
 	span := m.reg.Histogram("acorn_ctlnet_reallocate_seconds",
 		"wall time of one networked reallocation (view build + search + push)", nil).Start()
@@ -519,6 +557,7 @@ func (s *Server) reallocate(only map[string]bool, bypassStreak bool) (map[string
 		}
 	}
 	s.mu.Unlock()
+	pspan.Mark(PassStageView)
 	// Re-run Algorithm 1 over the view before allocating, so the channel
 	// search prices the associations the view's geometry actually supports.
 	// Today's views anchor every client next to its reporting AP, so this
@@ -539,10 +578,13 @@ func (s *Server) reallocate(only map[string]bool, bypassStreak bool) (map[string
 	}
 	m.reg.Counter("acorn_ctlnet_view_roam_moves_total",
 		"clients the pre-allocation roaming sweep moved away from their reported AP").Add(uint64(moves))
+	pspan.Mark(PassStageAssoc)
 	est := core.NewEstimator(n)
 	opts := s.Alloc
 	opts.Only = only
 	alloc, allocStats := core.AllocateChannels(n, cfg, est, opts)
+	pspan.Mark(PassStageAlloc)
+	pspan.Attr(PassAttrRankEval, time.Duration(allocStats.RankNanos), uint64(allocStats.Evals.RankEvals))
 
 	out := s.gateAndInstall(prevAssign, only, bypassStreak, alloc.Channels, allocStats.History)
 	s.mu.Lock()
@@ -555,6 +597,7 @@ func (s *Server) reallocate(only map[string]bool, bypassStreak bool) (map[string
 	}
 	s.lastRealloc = time.Now()
 	s.mu.Unlock()
+	pspan.Mark(PassStageGate)
 	for apID, ac := range conns {
 		ch, ok := out[apID]
 		if !ok {
@@ -569,6 +612,7 @@ func (s *Server) reallocate(only map[string]bool, bypassStreak bool) (map[string
 		}
 		s.push(ac, apID, ch)
 	}
+	pspan.Mark(PassStagePush)
 	m.reallocs.Inc()
 	if only == nil {
 		s.noteFullPass()

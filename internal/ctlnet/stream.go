@@ -18,10 +18,12 @@ package ctlnet
 // paths).
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"acorn/internal/core"
+	"acorn/internal/obs"
 )
 
 // Default stream-mode tuning.
@@ -67,6 +69,7 @@ type streamState struct {
 	mu       sync.Mutex
 	gate     *core.SwitchGate
 	dirty    map[string]bool
+	earliest time.Time // receive time of the oldest report in the dirty set
 	wake     chan struct{}
 	stopc    chan struct{}
 	lastFull time.Time
@@ -133,8 +136,10 @@ func (s *Server) stopStream() {
 	}
 }
 
-// markDirty records that an AP's view changed and wakes the consumer.
-func (s *Server) markDirty(apID string) {
+// markDirty records that an AP's view changed and wakes the consumer. recv
+// is the report's receive time; the oldest one in the dirty set becomes the
+// origin of the next pass's span, so queue + debounce dwell is attributed.
+func (s *Server) markDirty(apID string, recv time.Time) {
 	st := &s.stream
 	st.mu.Lock()
 	if st.dirty == nil {
@@ -145,6 +150,9 @@ func (s *Server) markDirty(apID string) {
 		st.coalesced++
 	}
 	st.dirty[apID] = true
+	if st.earliest.IsZero() || recv.Before(st.earliest) {
+		st.earliest = recv
+	}
 	wake := st.wake
 	s.m().streamDirty.Set(float64(len(st.dirty)))
 	st.mu.Unlock()
@@ -156,26 +164,34 @@ func (s *Server) markDirty(apID string) {
 	}
 }
 
-// takeDirty drains the dirty set.
-func (s *Server) takeDirty() map[string]bool {
+// takeDirty drains the dirty set, returning it with the receive time of
+// its oldest report (zero when empty).
+func (s *Server) takeDirty() (map[string]bool, time.Time) {
 	st := &s.stream
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if len(st.dirty) == 0 {
-		return nil
+		return nil, time.Time{}
 	}
 	out := st.dirty
+	earliest := st.earliest
 	st.dirty = make(map[string]bool)
+	st.earliest = time.Time{}
 	s.m().streamDirty.Set(0)
-	return out
+	return out, earliest
 }
 
-// requeueDirty puts a failed pass's work back so the trigger is not lost.
-func (s *Server) requeueDirty(dirty map[string]bool) {
+// requeueDirty puts a failed pass's work back so the trigger is not lost;
+// the pass's origin is restored too, so the retry's latency still counts
+// from the original receipt.
+func (s *Server) requeueDirty(dirty map[string]bool, earliest time.Time) {
 	st := &s.stream
 	st.mu.Lock()
 	for ap := range dirty {
 		st.dirty[ap] = true
+	}
+	if !earliest.IsZero() && (st.earliest.IsZero() || earliest.Before(st.earliest)) {
+		st.earliest = earliest
 	}
 	s.m().streamDirty.Set(float64(len(st.dirty)))
 	st.mu.Unlock()
@@ -244,9 +260,11 @@ func (s *Server) runStream(stopc chan struct{}, wake chan struct{}) {
 }
 
 // streamPass runs one neighbourhood-restricted, gated reallocation over the
-// currently dirty APs. A failed pass requeues its dirty set.
+// currently dirty APs. A failed pass requeues its dirty set. The pass is
+// traced as one span from the oldest triggering report's receipt to the
+// last push, and its latency feeds the server's SLO monitor.
 func (s *Server) streamPass() {
-	dirty := s.takeDirty()
+	dirty, earliest := s.takeDirty()
 	if len(dirty) == 0 {
 		return
 	}
@@ -255,14 +273,27 @@ func (s *Server) streamPass() {
 		return // every dirty id was unknown; nothing to do
 	}
 	m := s.m()
-	if _, err := s.reallocate(only, false); err != nil {
+	var span obs.SpanRef
+	if s.Tracer != nil {
+		origin := earliest
+		if origin.IsZero() {
+			origin = s.Tracer.Now()
+		}
+		span = s.Tracer.Begin("stream", fmt.Sprintf("aps=%d", len(only)), origin)
+		span.Mark(PassStageQueue)
+	}
+	if _, err := s.reallocate(only, false, span); err != nil {
 		s.stream.mu.Lock()
 		s.stream.failed++
 		s.stream.mu.Unlock()
 		m.streamFailures.Inc()
-		s.log().Warn("stream pass failed, requeueing", "dirty", len(dirty), "err", err)
-		s.requeueDirty(dirty)
+		s.stormLogger().Warn("stream pass failed, requeueing", "dirty", len(dirty), "err", err)
+		s.requeueDirty(dirty, earliest)
 		return
+	}
+	span.MarkEnd(PassStageFinal)
+	if !earliest.IsZero() {
+		s.SLO.Observe(time.Since(earliest))
 	}
 	s.stream.mu.Lock()
 	s.stream.passes++

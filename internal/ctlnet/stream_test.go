@@ -443,7 +443,7 @@ func TestServerGateStreakHysteresis(t *testing.T) {
 
 	// First streamed evaluation: the proposal is new, so the streak rule
 	// vetoes it and the assignment must not move.
-	second, err := s.reallocate(nil, false)
+	second, err := s.reallocate(nil, false, obs.SpanRef{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -456,7 +456,7 @@ func TestServerGateStreakHysteresis(t *testing.T) {
 
 	// Second consecutive evaluation of the same proposal: it commits, and
 	// the contending APs separate.
-	third, err := s.reallocate(nil, false)
+	third, err := s.reallocate(nil, false, obs.SpanRef{})
 	if err != nil {
 		t.Fatal(err)
 	}

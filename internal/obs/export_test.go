@@ -1,0 +1,115 @@
+package obs
+
+// Prometheus-text edge cases: label values that need escaping, histograms
+// whose sums went non-finite, and the empty registry. The exposition format
+// is consumed by external scrapers, so malformed output is a quiet
+// integration break — these tests pin the corners.
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.CounterVec("acorn_test_escapes_total", "label escaping", "class")
+	cases := map[string]string{
+		`plain`:       `"plain"`,
+		`has"quote`:   `"has\"quote"`,
+		`back\slash`:  `"back\\slash"`,
+		"line\nbreak": `"line\nbreak"`,
+		"tab\there":   `"tab\there"`,
+	}
+	for raw := range cases {
+		vec.With(raw).Inc()
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for raw, quoted := range cases {
+		want := "acorn_test_escapes_total{class=" + quoted + "} 1"
+		if !strings.Contains(out, want) {
+			t.Errorf("label %q: missing %q in:\n%s", raw, want, out)
+		}
+	}
+	// No label value may leak a literal newline into the middle of a line:
+	// every line must start with a metric name or a # comment.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "acorn_") {
+			continue
+		}
+		t.Errorf("raw newline escaped a label value, orphan line %q", line)
+	}
+}
+
+func TestPrometheusNonFiniteHistogramSums(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("acorn_test_nonfinite_seconds", "non-finite sums", []float64{1, 10})
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "acorn_test_nonfinite_seconds_sum NaN") {
+		t.Errorf("NaN sum not rendered as NaN:\n%s", out)
+	}
+	if !strings.Contains(out, "acorn_test_nonfinite_seconds_count 3") {
+		t.Errorf("count must keep counting past non-finite values:\n%s", out)
+	}
+	// The +Inf bucket is cumulative and must equal the count even when the
+	// observations themselves were non-finite.
+	if !strings.Contains(out, `acorn_test_nonfinite_seconds_bucket{le="+Inf"} 3`) {
+		t.Errorf("+Inf bucket wrong:\n%s", out)
+	}
+
+	// Snapshot must carry the same values without panicking on NaN.
+	var found bool
+	for _, snap := range reg.Snapshot() {
+		if snap.Name == "acorn_test_nonfinite_seconds" {
+			found = true
+			if snap.Sum == nil || !math.IsNaN(*snap.Sum) {
+				t.Errorf("snapshot sum = %v, want NaN", snap.Sum)
+			}
+			if snap.Count == nil || *snap.Count != 3 {
+				t.Errorf("snapshot count = %v", snap.Count)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("histogram missing from snapshot")
+	}
+}
+
+func TestPrometheusInfGaugeRendering(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("acorn_test_inf_gauge", "inf gauge").Set(math.Inf(1))
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "acorn_test_inf_gauge +Inf") {
+		t.Errorf("+Inf gauge not rendered:\n%s", b.String())
+	}
+}
+
+func TestPrometheusEmptyRegistry(t *testing.T) {
+	reg := NewRegistry()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("empty registry produced output: %q", b.String())
+	}
+	if snaps := reg.Snapshot(); len(snaps) != 0 {
+		t.Errorf("empty registry snapshot: %+v", snaps)
+	}
+}

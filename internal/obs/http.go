@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"time"
 )
 
@@ -19,6 +20,11 @@ type ServerOptions struct {
 	Health *Health
 	// Log receives server lifecycle lines; nil means Nop.
 	Log *Logger
+	// Tracer backs /debug/trace; nil serves an empty span stream (the
+	// endpoint always exists so probes need no feature detection).
+	Tracer *Tracer
+	// SLOs back /debug/slo.
+	SLOs []*SLO
 }
 
 func (o ServerOptions) registry() *Registry {
@@ -89,6 +95,37 @@ func NewHandler(opts ServerOptions) http.Handler {
 		})
 	})
 
+	// Recent finished spans as JSONL, newest first. ?n= bounds the count
+	// (default 100); acornctl trace consumes this.
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, sp := range opts.Tracer.Snapshot(n) {
+			_ = enc.Encode(sp)
+		}
+	})
+
+	// SLO monitors: a JSON array so multiple budgets (stream decision,
+	// pass latency, ...) share one endpoint.
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, _ *http.Request) {
+		out := make([]SLOStatus, 0, len(opts.SLOs))
+		for _, s := range opts.SLOs {
+			if s != nil {
+				out = append(out, s.Status())
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+
 	// pprof on our own mux (the package's init only touches
 	// http.DefaultServeMux, which we deliberately do not serve).
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -103,7 +140,7 @@ func NewHandler(opts ServerOptions) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("acorn introspection\n\n/metrics\n/healthz\n/debug/vars\n/debug/pprof/\n"))
+		_, _ = w.Write([]byte("acorn introspection\n\n/metrics\n/healthz\n/debug/vars\n/debug/trace\n/debug/slo\n/debug/pprof/\n"))
 	})
 	return mux
 }

@@ -64,7 +64,8 @@ func ParseLevel(s string) (Level, error) {
 // a suppressed call is one atomic load and returns before formatting.
 type Logger struct {
 	s     *logSink
-	attrs string // preformatted " key=value" suffix
+	attrs string      // preformatted " key=value" suffix
+	lim   *logLimiter // per-call-site token bucket; nil means unlimited
 }
 
 type logSink struct {
@@ -100,14 +101,61 @@ func (l *Logger) Enabled(level Level) bool {
 }
 
 // Named returns a child logger whose lines carry component=name. Children
-// share the parent's sink and level.
+// share the parent's sink and level (and the parent's rate limit, if any).
 func (l *Logger) Named(name string) *Logger {
-	return &Logger{s: l.s, attrs: l.attrs + " component=" + name}
+	return &Logger{s: l.s, attrs: l.attrs + " component=" + name, lim: l.lim}
 }
 
 // With returns a child logger whose lines carry the given key=value pairs.
 func (l *Logger) With(kv ...any) *Logger {
-	return &Logger{s: l.s, attrs: l.attrs + formatKV(kv)}
+	return &Logger{s: l.s, attrs: l.attrs + formatKV(kv), lim: l.lim}
+}
+
+// Limited returns a child logger throttled by its own token bucket: at
+// most burst lines back-to-back, refilling at perSec lines per second.
+// Suppressed lines are counted, and the count is attached as a
+// suppressed=N pair to the next line that does get through, so a 10x
+// report storm can't melt the log sink yet never vanishes silently. Each
+// Limited call creates an independent bucket — make one per hot call site
+// (at construction, not per call) and reuse it.
+func (l *Logger) Limited(perSec float64, burst int) *Logger {
+	if burst < 1 {
+		burst = 1
+	}
+	lim := &logLimiter{rate: perSec, burst: float64(burst), tokens: float64(burst)}
+	return &Logger{s: l.s, attrs: l.attrs, lim: lim}
+}
+
+// logLimiter is the token bucket behind Limited.
+type logLimiter struct {
+	mu         sync.Mutex
+	rate       float64
+	burst      float64
+	tokens     float64
+	last       time.Time
+	suppressed uint64
+}
+
+// allow consumes a token if one is available, returning how many lines
+// were suppressed since the last allowed one.
+func (lim *logLimiter) allow(now time.Time) (suppressed uint64, ok bool) {
+	lim.mu.Lock()
+	defer lim.mu.Unlock()
+	if !lim.last.IsZero() {
+		lim.tokens += now.Sub(lim.last).Seconds() * lim.rate
+		if lim.tokens > lim.burst {
+			lim.tokens = lim.burst
+		}
+	}
+	lim.last = now
+	if lim.tokens < 1 {
+		lim.suppressed++
+		return 0, false
+	}
+	lim.tokens--
+	suppressed = lim.suppressed
+	lim.suppressed = 0
+	return suppressed, true
 }
 
 // Log emits one line at the given level: the message, then the logger's
@@ -116,9 +164,19 @@ func (l *Logger) Log(level Level, msg string, kv ...any) {
 	if !l.Enabled(level) {
 		return
 	}
-	line := fmt.Sprintf("%s %-5s %s%s%s\n",
+	var tail string
+	if l.lim != nil {
+		n, ok := l.lim.allow(l.s.now())
+		if !ok {
+			return
+		}
+		if n > 0 {
+			tail = fmt.Sprintf(" suppressed=%d", n)
+		}
+	}
+	line := fmt.Sprintf("%s %-5s %s%s%s%s\n",
 		l.s.now().Format("2006/01/02 15:04:05"),
-		strings.ToUpper(level.String()), msg, l.attrs, formatKV(kv))
+		strings.ToUpper(level.String()), msg, l.attrs, formatKV(kv), tail)
 	l.s.mu.Lock()
 	defer l.s.mu.Unlock()
 	_, _ = io.WriteString(l.s.w, line)

@@ -124,3 +124,60 @@ func TestFatalfExits(t *testing.T) {
 		t.Errorf("Fatalf: exited=%d out=%q", exited, buf.String())
 	}
 }
+
+func TestLimitedSuppressesAndReportsTail(t *testing.T) {
+	l, buf := testLogger(LevelInfo)
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	l.s.now = func() time.Time { return now }
+
+	// 1 line/s, burst 2: a 10-line storm gets 2 through.
+	lim := l.Limited(1, 2)
+	for i := 0; i < 10; i++ {
+		lim.Warn("storm", "i", i)
+	}
+	if got := strings.Count(buf.String(), "storm"); got != 2 {
+		t.Fatalf("burst let %d lines through, want 2:\n%s", got, buf.String())
+	}
+
+	// After 3s the bucket refills (capped at burst); the next line carries
+	// the suppressed count so the storm never vanishes silently.
+	now = now.Add(3 * time.Second)
+	lim.Warn("after storm")
+	out := buf.String()
+	if !strings.Contains(out, "after storm") {
+		t.Fatalf("refilled bucket still suppressing:\n%s", out)
+	}
+	if !strings.Contains(out, "suppressed=8") {
+		t.Fatalf("suppressed tail count missing:\n%s", out)
+	}
+
+	// A quiet follow-up must not repeat the stale count.
+	lim.Warn("quiet")
+	if strings.Count(buf.String(), "suppressed=") != 1 {
+		t.Fatalf("suppressed count repeated:\n%s", buf.String())
+	}
+}
+
+func TestLimitedIndependentOfLevelFiltering(t *testing.T) {
+	l, buf := testLogger(LevelWarn)
+	lim := l.Limited(1, 1)
+	// Below-level lines must not consume tokens or count as suppressed.
+	for i := 0; i < 5; i++ {
+		lim.Debug("invisible")
+	}
+	lim.Warn("visible")
+	out := buf.String()
+	if !strings.Contains(out, "visible") || strings.Contains(out, "suppressed=") {
+		t.Fatalf("level filtering interacted with the limiter:\n%s", out)
+	}
+}
+
+func TestLimitedChildrenShareBucket(t *testing.T) {
+	l, buf := testLogger(LevelInfo)
+	lim := l.Limited(1, 1).Named("ctlnet")
+	lim.Warn("first")
+	lim.Warn("second") // same bucket through the Named child
+	if got := strings.Count(buf.String(), "WARN"); got != 1 {
+		t.Fatalf("Named child lost the limiter: %d lines\n%s", got, buf.String())
+	}
+}

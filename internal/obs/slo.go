@@ -1,0 +1,213 @@
+package obs
+
+// SLO monitoring over sliding-window quantiles. An SLO watches one latency
+// stream: every Observe feeds the window, and at most once per CheckEvery
+// the windowed quantile is compared against the budget. Crossing it counts
+// a breach and — cooldown permitting — fires the hook, which is how a
+// latency regression arrives with its own CPU profile attached (the
+// daemons wire OnBreach to profiling.CaptureCPU). The hook runs outside
+// the monitor's lock, so it may call Status or capture profiles freely.
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOOptions configures an SLO monitor.
+type SLOOptions struct {
+	// Name labels the SLO in /debug/slo and breach logs.
+	Name string
+	// Quantile is the watched quantile (0..1). Zero means 0.99.
+	Quantile float64
+	// Budget is the latency budget the quantile must stay under. The
+	// monitor is inert (never breaches) when zero.
+	Budget time.Duration
+	// Window is the sliding window the quantile is computed over, used
+	// when Win is nil. Zero means 30s.
+	Window time.Duration
+	// Win optionally supplies a pre-built window (to share bucket layout
+	// or a virtual clock).
+	Win *Window
+	// MinCount is the minimum in-window sample count before the quantile
+	// is judged at all — a two-sample window breaching a p99 is noise.
+	// Zero means 8.
+	MinCount uint64
+	// CheckEvery throttles evaluation: Observe is per-event and a
+	// quantile read merges the window, so checks are rate-limited. Zero
+	// means 1s.
+	CheckEvery time.Duration
+	// Cooldown is the minimum spacing between hook firings (profile
+	// captures are expensive and one flame graph per incident is enough).
+	// Zero means 60s.
+	Cooldown time.Duration
+	// Now replaces time.Now for deterministic tests. Nil means time.Now.
+	Now func() time.Time
+	// OnBreach fires on a breach, at most once per Cooldown.
+	OnBreach func(Breach)
+}
+
+// Breach describes one SLO violation at evaluation time.
+type Breach struct {
+	Name     string        `json:"name"`
+	Quantile float64       `json:"quantile"`
+	Value    time.Duration `json:"value"`
+	Budget   time.Duration `json:"budget"`
+	Count    uint64        `json:"count"`
+	At       time.Time     `json:"at"`
+}
+
+// SLO is a windowed-quantile budget monitor. Safe for concurrent use;
+// nil-receiver-safe so instrumented code needs no guards.
+type SLO struct {
+	name       string
+	q          float64
+	budget     time.Duration
+	minCount   uint64
+	checkEvery time.Duration
+	cooldown   time.Duration
+	win        *Window
+	now        func() time.Time
+	onBreach   func(Breach)
+
+	mu         sync.Mutex
+	lastCheck  time.Time
+	lastFire   time.Time
+	lastBreach time.Time
+	breached   bool
+	breaches   uint64
+	current    time.Duration
+	count      uint64
+}
+
+// NewSLO builds a monitor from opts.
+func NewSLO(opts SLOOptions) *SLO {
+	s := &SLO{
+		name:       opts.Name,
+		q:          opts.Quantile,
+		budget:     opts.Budget,
+		minCount:   opts.MinCount,
+		checkEvery: opts.CheckEvery,
+		cooldown:   opts.Cooldown,
+		win:        opts.Win,
+		now:        opts.Now,
+		onBreach:   opts.OnBreach,
+	}
+	if s.q <= 0 || s.q > 1 {
+		s.q = 0.99
+	}
+	if s.minCount == 0 {
+		s.minCount = 8
+	}
+	if s.checkEvery <= 0 {
+		s.checkEvery = time.Second
+	}
+	if s.cooldown <= 0 {
+		s.cooldown = time.Minute
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	if s.win == nil {
+		s.win = NewWindow(opts.Window, 0, nil, s.now)
+	}
+	return s
+}
+
+// Window exposes the backing window (shared quantile reads, dashboards).
+func (s *SLO) Window() *Window {
+	if s == nil {
+		return nil
+	}
+	return s.win
+}
+
+// Observe feeds one latency into the window and evaluates the budget if a
+// check is due. Nil-safe.
+func (s *SLO) Observe(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.win.Observe(d.Seconds())
+	now := s.now()
+	s.mu.Lock()
+	if now.Sub(s.lastCheck) < s.checkEvery {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	s.Check()
+}
+
+// Check evaluates the budget immediately (Observe throttles through it).
+// Nil-safe.
+func (s *SLO) Check() {
+	if s == nil {
+		return
+	}
+	now := s.now()
+	count := s.win.Count()
+	cur := time.Duration(s.win.Quantile(s.q) * float64(time.Second))
+
+	var fire func(Breach)
+	var br Breach
+	s.mu.Lock()
+	s.lastCheck = now
+	s.current = cur
+	s.count = count
+	if s.budget > 0 && count >= s.minCount && cur > s.budget {
+		s.breached = true
+		s.breaches++
+		s.lastBreach = now
+		if s.onBreach != nil && (s.lastFire.IsZero() || now.Sub(s.lastFire) >= s.cooldown) {
+			s.lastFire = now
+			fire = s.onBreach
+			br = Breach{Name: s.name, Quantile: s.q, Value: cur,
+				Budget: s.budget, Count: count, At: now}
+		}
+	} else {
+		s.breached = false
+	}
+	s.mu.Unlock()
+	if fire != nil {
+		fire(br)
+	}
+}
+
+// SLOStatus is the JSON-facing snapshot served at /debug/slo.
+type SLOStatus struct {
+	Name        string  `json:"name"`
+	Quantile    float64 `json:"quantile"`
+	BudgetMs    float64 `json:"budget_ms"`
+	CurrentMs   float64 `json:"current_ms"`
+	WindowCount uint64  `json:"window_count"`
+	Breached    bool    `json:"breached"`
+	Breaches    uint64  `json:"breaches_total"`
+	LastBreach  string  `json:"last_breach,omitempty"`
+}
+
+// Status snapshots the monitor, refreshing the quantile so a quiet stream
+// still reports current numbers.
+func (s *SLO) Status() SLOStatus {
+	if s == nil {
+		return SLOStatus{}
+	}
+	count := s.win.Count()
+	cur := time.Duration(s.win.Quantile(s.q) * float64(time.Second))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.current = cur
+	s.count = count
+	st := SLOStatus{
+		Name:        s.name,
+		Quantile:    s.q,
+		BudgetMs:    float64(s.budget) / float64(time.Millisecond),
+		CurrentMs:   float64(cur) / float64(time.Millisecond),
+		WindowCount: count,
+		Breached:    s.breached,
+		Breaches:    s.breaches,
+	}
+	if !s.lastBreach.IsZero() {
+		st.LastBreach = s.lastBreach.UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}

@@ -1,0 +1,399 @@
+package obs
+
+// Per-event span tracing: the attribution layer behind the SLO work.
+//
+// A Tracer owns a fixed-size ring of span records. Producers claim a slot
+// with one atomic CAS (Begin), stamp stage boundaries into it as the event
+// moves through the pipeline (Mark), and seal it (End). Every slot carries
+// a seqlock-style state word — generation<<1 | busy — so a wrapped ring
+// never corrupts a record: a stale SpanRef's CAS simply fails and the ref
+// goes dead. All access to a record happens while holding the slot's busy
+// bit, so readers (Snapshot) and writers exclude each other without any
+// mutex and the whole hot path allocates nothing.
+//
+// The stage model makes attribution exact by construction: Mark(stage)
+// charges the time since the previous Mark to that stage, so the per-stage
+// durations of a finished span sum to its Total (End charges the tail the
+// same way). Stages may repeat — durations accumulate — which lets a
+// batched pipeline charge "waiting on batch peers" both before and after
+// an event's own work. Attr buckets are additive side-channels (e.g. rank
+// evaluation time inside the re-optimization stage) and deliberately do
+// not participate in the partition.
+//
+// Same discipline as the metrics registry: zero dependencies, and the
+// disabled path (nil *Tracer, or a dead SpanRef) is a couple of nil checks
+// — no allocations, no atomics.
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// MaxTraceStages bounds the per-span stage and attribution arrays; records
+// stay fixed-size so slots never allocate.
+const MaxTraceStages = 12
+
+// TracerOptions configures a Tracer.
+type TracerOptions struct {
+	// Ring is the number of span slots, rounded up to a power of two.
+	// Zero means DefaultTraceRing.
+	Ring int
+	// Sample records one in every Sample eligible events: 0 disables
+	// recording entirely, 1 records everything, N>1 records 1-in-N.
+	// Adjustable later via SetSample.
+	Sample int
+	// Stages names the pipeline stages, indexed by the stage constants the
+	// instrumented subsystem defines. At most MaxTraceStages.
+	Stages []string
+	// Attrs names the additive attribution buckets. At most MaxTraceStages.
+	Attrs []string
+	// Now replaces time.Now for deterministic replay. Nil means time.Now.
+	Now func() time.Time
+}
+
+// DefaultTraceRing is the default span-slot count.
+const DefaultTraceRing = 4096
+
+// SpanRecord is one traced event as stored in the ring. Stages holds the
+// Mark-partitioned durations (their sum equals Total for a finished span);
+// Attrs/Counts hold the additive attribution buckets.
+type SpanRecord struct {
+	ID     uint64
+	Kind   string
+	Key    string
+	Start  time.Time
+	Total  time.Duration
+	Done   bool
+	Stages [MaxTraceStages]time.Duration
+	Attrs  [MaxTraceStages]time.Duration
+	Counts [MaxTraceStages]uint64
+
+	last time.Duration // elapsed-at-previous-Mark; internal partition cursor
+}
+
+// traceSlot pairs a record with its seqlock word: state = gen<<1 | busy.
+// Any party holding the busy bit (set by a successful CAS from the even
+// value) has exclusive access to rec.
+type traceSlot struct {
+	state atomic.Uint64
+	rec   SpanRecord
+}
+
+// Tracer records spans into a fixed ring. All methods are safe for
+// concurrent use and nil-receiver-safe, so call sites need no guards.
+type Tracer struct {
+	slots  []traceSlot
+	mask   uint64
+	stages []string
+	attrs  []string
+	nowFn  func() time.Time
+
+	sample  atomic.Int64
+	seq     atomic.Uint64 // sampling sequence
+	cursor  atomic.Uint64 // next slot claim index (= next span ID)
+	started atomic.Uint64 // spans actually begun
+	dropped atomic.Uint64 // claims abandoned because every tried slot was busy
+}
+
+// NewTracer builds a tracer. It panics when more than MaxTraceStages stage
+// or attribution names are given — a configuration bug, caught at startup
+// like the registry's name validation.
+func NewTracer(opts TracerOptions) *Tracer {
+	if len(opts.Stages) > MaxTraceStages {
+		panic("obs: too many trace stages")
+	}
+	if len(opts.Attrs) > MaxTraceStages {
+		panic("obs: too many trace attrs")
+	}
+	ring := opts.Ring
+	if ring <= 0 {
+		ring = DefaultTraceRing
+	}
+	size := 1
+	for size < ring {
+		size <<= 1
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	t := &Tracer{
+		slots:  make([]traceSlot, size),
+		mask:   uint64(size - 1),
+		stages: append([]string(nil), opts.Stages...),
+		attrs:  append([]string(nil), opts.Attrs...),
+		nowFn:  now,
+	}
+	t.sample.Store(int64(opts.Sample))
+	return t
+}
+
+// SetSample changes the sampling rate: 0 off, 1 everything, N>1 one-in-N.
+func (t *Tracer) SetSample(n int) {
+	if t != nil {
+		t.sample.Store(int64(n))
+	}
+}
+
+// Sample returns the current sampling rate.
+func (t *Tracer) Sample() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.sample.Load())
+}
+
+// Now returns the tracer's clock reading (time.Now unless injected); on a
+// nil tracer it falls back to time.Now so attribution code needs no guard.
+func (t *Tracer) Now() time.Time {
+	if t == nil {
+		return time.Now()
+	}
+	return t.nowFn()
+}
+
+// Stages returns the configured stage names.
+func (t *Tracer) Stages() []string {
+	if t == nil {
+		return nil
+	}
+	return append([]string(nil), t.stages...)
+}
+
+// Attrs returns the configured attribution names.
+func (t *Tracer) Attrs() []string {
+	if t == nil {
+		return nil
+	}
+	return append([]string(nil), t.attrs...)
+}
+
+// Started returns how many spans were begun; Dropped how many claims were
+// abandoned because every tried slot was mid-write (vanishingly rare: the
+// busy window is a few stores).
+func (t *Tracer) Started() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.started.Load()
+}
+
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// SpanRef is a value handle onto a live span. The zero value (and any ref
+// whose slot has been reclaimed by ring wrap-around) is dead: every method
+// is a cheap no-op on it. Refs are not goroutine-safe individually, but
+// distinct refs may be used concurrently.
+type SpanRef struct {
+	t    *Tracer
+	slot *traceSlot
+	gen  uint64
+}
+
+// Begin claims a span. kind/key label it (both may be interned strings —
+// Begin never copies or allocates). origin is the span's start instant;
+// zero means now. A dead ref is returned when tracing is off or the event
+// lost the sampling draw.
+func (t *Tracer) Begin(kind, key string, origin time.Time) SpanRef {
+	if t == nil {
+		return SpanRef{}
+	}
+	n := t.sample.Load()
+	if n <= 0 {
+		return SpanRef{}
+	}
+	if n > 1 && t.seq.Add(1)%uint64(n) != 0 {
+		return SpanRef{}
+	}
+	if origin.IsZero() {
+		origin = t.nowFn()
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		gen := t.cursor.Add(1) - 1
+		slot := &t.slots[gen&t.mask]
+		old := slot.state.Load()
+		if old&1 == 1 {
+			continue // mid-write by a stale owner or a reader; take the next slot
+		}
+		if !slot.state.CompareAndSwap(old, gen<<1|1) {
+			continue
+		}
+		slot.rec = SpanRecord{ID: gen, Kind: kind, Key: key, Start: origin}
+		slot.state.Store(gen << 1)
+		t.started.Add(1)
+		return SpanRef{t: t, slot: slot, gen: gen}
+	}
+	t.dropped.Add(1)
+	return SpanRef{}
+}
+
+// Active reports whether the ref still points at a live span; callers use
+// it to skip building attribution inputs when nobody is listening.
+func (r *SpanRef) Active() bool { return r.t != nil }
+
+// acquire takes the slot's busy bit for this ref's generation. A nil
+// return means the ref is dead (never live, slot reclaimed by wrap-around,
+// or pathologically contended) — the ref is killed so later calls are
+// single nil checks.
+func (r *SpanRef) acquire() *SpanRecord {
+	if r.t == nil {
+		return nil
+	}
+	want := r.gen << 1
+	for i := 0; ; i++ {
+		if r.slot.state.CompareAndSwap(want, want|1) {
+			return &r.slot.rec
+		}
+		if cur := r.slot.state.Load(); cur>>1 != r.gen || i >= 8 {
+			r.t = nil
+			return nil
+		}
+		// Same generation, briefly busy (a Snapshot reader): spin.
+	}
+}
+
+func (r *SpanRef) release() { r.slot.state.Store(r.gen << 1) }
+
+// Mark charges the time since the previous Mark (or Begin) to stage. Out
+// of range stages are dropped without advancing the partition cursor.
+func (r *SpanRef) Mark(stage int) {
+	rec := r.acquire()
+	if rec == nil {
+		return
+	}
+	el := r.t.nowFn().Sub(rec.Start)
+	if stage >= 0 && stage < MaxTraceStages {
+		rec.Stages[stage] += el - rec.last
+		rec.last = el
+	}
+	r.release()
+}
+
+// Attr adds d and n into attribution bucket attr. Attribution is additive
+// and outside the stage partition: it answers "of the reopt stage, how
+// much was rank evaluation", not "where did the wall time go".
+func (r *SpanRef) Attr(attr int, d time.Duration, n uint64) {
+	rec := r.acquire()
+	if rec == nil {
+		return
+	}
+	if attr >= 0 && attr < MaxTraceStages {
+		rec.Attrs[attr] += d
+		rec.Counts[attr] += n
+	}
+	r.release()
+}
+
+// End charges the tail to no stage, seals the span (Total, Done) and kills
+// the ref.
+func (r *SpanRef) End() {
+	rec := r.acquire()
+	if rec == nil {
+		return
+	}
+	rec.Total = r.t.nowFn().Sub(rec.Start)
+	rec.Done = true
+	r.release()
+	r.t = nil
+}
+
+// MarkEnd charges time-since-last-mark to stage and seals the span with the
+// same clock reading, so the stage partition sums to Total exactly even on
+// a real clock (separate Mark+End calls can drift by the nanoseconds
+// between their two reads).
+func (r *SpanRef) MarkEnd(stage int) {
+	rec := r.acquire()
+	if rec == nil {
+		return
+	}
+	el := r.t.nowFn().Sub(rec.Start)
+	if stage >= 0 && stage < MaxTraceStages {
+		rec.Stages[stage] += el - rec.last
+		rec.last = el
+	}
+	rec.Total = el
+	rec.Done = true
+	r.release()
+	r.t = nil
+}
+
+// SpanView is the JSON-facing form of a finished span. Stage and attr maps
+// carry only non-zero entries.
+type SpanView struct {
+	ID      uint64            `json:"id"`
+	Kind    string            `json:"kind"`
+	Key     string            `json:"key,omitempty"`
+	Start   time.Time         `json:"start"`
+	TotalNs int64             `json:"total_ns"`
+	Stages  map[string]int64  `json:"stages,omitempty"`
+	Attrs   map[string]int64  `json:"attrs,omitempty"`
+	Counts  map[string]uint64 `json:"counts,omitempty"`
+}
+
+// Snapshot copies up to max finished spans out of the ring, newest first
+// (max <= 0 means all). Slots mid-write are skipped, never waited on.
+func (t *Tracer) Snapshot(max int) []SpanView {
+	if t == nil {
+		return nil
+	}
+	recs := make([]SpanRecord, 0, len(t.slots))
+	for i := range t.slots {
+		slot := &t.slots[i]
+		cur := slot.state.Load()
+		if cur&1 == 1 {
+			continue
+		}
+		if !slot.state.CompareAndSwap(cur, cur|1) {
+			continue
+		}
+		rec := slot.rec
+		slot.state.Store(cur)
+		if rec.Done {
+			recs = append(recs, rec)
+		}
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].ID > recs[b].ID })
+	if max > 0 && len(recs) > max {
+		recs = recs[:max]
+	}
+	out := make([]SpanView, len(recs))
+	for i, rec := range recs {
+		out[i] = t.view(rec)
+	}
+	return out
+}
+
+func (t *Tracer) view(rec SpanRecord) SpanView {
+	v := SpanView{
+		ID:      rec.ID,
+		Kind:    rec.Kind,
+		Key:     rec.Key,
+		Start:   rec.Start,
+		TotalNs: rec.Total.Nanoseconds(),
+	}
+	for i, name := range t.stages {
+		if d := rec.Stages[i]; d != 0 {
+			if v.Stages == nil {
+				v.Stages = make(map[string]int64, len(t.stages))
+			}
+			v.Stages[name] = d.Nanoseconds()
+		}
+	}
+	for i, name := range t.attrs {
+		if rec.Attrs[i] != 0 || rec.Counts[i] != 0 {
+			if v.Attrs == nil {
+				v.Attrs = make(map[string]int64, len(t.attrs))
+				v.Counts = make(map[string]uint64, len(t.attrs))
+			}
+			v.Attrs[name] = rec.Attrs[i].Nanoseconds()
+			v.Counts[name] = rec.Counts[i]
+		}
+	}
+	return v
+}

@@ -1,0 +1,199 @@
+package obs
+
+// Sliding-window histogram views. The cumulative Histogram answers "how
+// has the process behaved since boot" — useless for spotting a regression
+// that started two minutes ago. A Window keeps the same bucketed shape but
+// time-sliced: observations land in the slice covering their instant, a
+// quantile read merges only the slices inside the window, and slices older
+// than the window are reused in place. Memory is fixed (slices × buckets),
+// a write is one mutex hop plus a binary search, and the clock is
+// injectable so virtual-time replays (internal/dynamic) age the window
+// exactly as fast as the simulation runs.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefWindowBuckets is the default bucket layout: 1µs to ~11s at factor
+// 1.5 — tight enough that an interpolated p99 is meaningful for both
+// microsecond no-op decisions and multi-millisecond re-optimizations.
+func DefWindowBuckets() []float64 { return ExpBuckets(1e-6, 1.5, 40) }
+
+// Window is a sliding-window histogram. Safe for concurrent use.
+type Window struct {
+	mu     sync.Mutex
+	bounds []float64
+	slices []windowSlice
+	slice  time.Duration
+	now    func() time.Time
+}
+
+// windowSlice is one time slice: counts has len(bounds)+1 entries, the
+// last being the overflow (+Inf) bucket.
+type windowSlice struct {
+	epoch  int64 // now / slice duration; -1 while never used
+	counts []uint64
+	count  uint64
+	sum    float64
+}
+
+// NewWindow builds a window covering span, split into nslices slices, over
+// the given bucket bounds. Zero/nil arguments pick defaults: 30s, 15
+// slices, DefWindowBuckets, time.Now.
+func NewWindow(span time.Duration, nslices int, bounds []float64, now func() time.Time) *Window {
+	if span <= 0 {
+		span = 30 * time.Second
+	}
+	if nslices <= 0 {
+		nslices = 15
+	}
+	if bounds == nil {
+		bounds = DefWindowBuckets()
+	}
+	if now == nil {
+		now = time.Now
+	}
+	w := &Window{
+		bounds: append([]float64(nil), bounds...),
+		slices: make([]windowSlice, nslices),
+		slice:  span / time.Duration(nslices),
+		now:    now,
+	}
+	if w.slice <= 0 {
+		w.slice = time.Millisecond
+	}
+	for i := range w.slices {
+		w.slices[i] = windowSlice{epoch: -1, counts: make([]uint64, len(bounds)+1)}
+	}
+	return w
+}
+
+// Span returns the window's covered duration.
+func (w *Window) Span() time.Duration {
+	if w == nil {
+		return 0
+	}
+	return w.slice * time.Duration(len(w.slices))
+}
+
+// epochAt quantizes an instant to a slice epoch.
+func (w *Window) epochAt(t time.Time) int64 { return t.UnixNano() / int64(w.slice) }
+
+// current returns the slice for epoch, recycling it if it last held an
+// older epoch. Callers hold w.mu.
+func (w *Window) current(epoch int64) *windowSlice {
+	n := int64(len(w.slices))
+	s := &w.slices[((epoch%n)+n)%n]
+	if s.epoch != epoch {
+		s.epoch = epoch
+		s.count = 0
+		s.sum = 0
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+	}
+	return s
+}
+
+// Observe records one value at the window's current instant. Nil-safe.
+func (w *Window) Observe(v float64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	s := w.current(w.epochAt(w.now()))
+	s.counts[sort.SearchFloat64s(w.bounds, v)]++
+	s.count++
+	s.sum += v
+	w.mu.Unlock()
+}
+
+// merged folds the in-window slices into one histogram. Callers hold w.mu.
+func (w *Window) merged() ([]uint64, uint64, float64) {
+	cur := w.epochAt(w.now())
+	oldest := cur - int64(len(w.slices)) + 1
+	counts := make([]uint64, len(w.bounds)+1)
+	var total uint64
+	var sum float64
+	for i := range w.slices {
+		s := &w.slices[i]
+		if s.epoch < oldest || s.epoch > cur {
+			continue
+		}
+		for b, c := range s.counts {
+			counts[b] += c
+		}
+		total += s.count
+		sum += s.sum
+	}
+	return counts, total, sum
+}
+
+// Count returns how many observations are inside the window right now.
+func (w *Window) Count() uint64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, total, _ := w.merged()
+	return total
+}
+
+// Sum returns the sum of in-window observations.
+func (w *Window) Sum() float64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, _, sum := w.merged()
+	return sum
+}
+
+// Quantile returns the p-quantile (0..1) of the in-window observations,
+// linearly interpolated inside the landing bucket (Prometheus
+// histogram_quantile semantics). Zero when the window is empty; the
+// highest finite bound when the quantile lands in the overflow bucket.
+func (w *Window) Quantile(p float64) float64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	counts, total, _ := w.merged()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for b, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			if b >= len(w.bounds) {
+				return w.bounds[len(w.bounds)-1]
+			}
+			lo := 0.0
+			if b > 0 {
+				lo = w.bounds[b-1]
+			}
+			return lo + (w.bounds[b]-lo)*(rank-cum)/float64(c)
+		}
+		cum = next
+	}
+	return w.bounds[len(w.bounds)-1]
+}

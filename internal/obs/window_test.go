@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestWindowQuantileTracksRecentOnly(t *testing.T) {
+	clk := newTraceClock()
+	w := NewWindow(10*time.Second, 10, nil, clk.now)
+
+	// A slow era: 100 observations around 8ms.
+	for i := 0; i < 100; i++ {
+		w.Observe(8e-3)
+	}
+	if q := w.Quantile(0.99); q < 4e-3 || q > 16e-3 {
+		t.Fatalf("p99 of 8ms era = %v", q)
+	}
+	if w.Count() != 100 {
+		t.Fatalf("count = %d", w.Count())
+	}
+
+	// Time passes beyond the window: the slow era must age out entirely.
+	clk.advance(11 * time.Second)
+	if c := w.Count(); c != 0 {
+		t.Fatalf("stale observations survived the window: count=%d", c)
+	}
+	if q := w.Quantile(0.99); q != 0 {
+		t.Fatalf("empty window quantile = %v, want 0", q)
+	}
+
+	// A fast era: the quantile must reflect it, not the all-time mix.
+	for i := 0; i < 100; i++ {
+		w.Observe(20e-6)
+	}
+	if q := w.Quantile(0.99); q < 10e-6 || q > 40e-6 {
+		t.Fatalf("p99 of 20µs era = %v (all-time mixing?)", q)
+	}
+}
+
+func TestWindowGradualAging(t *testing.T) {
+	clk := newTraceClock()
+	w := NewWindow(10*time.Second, 10, nil, clk.now)
+	// One observation per second for 20s: only ~10 stay in-window.
+	for i := 0; i < 20; i++ {
+		w.Observe(1e-3)
+		clk.advance(time.Second)
+	}
+	if c := w.Count(); c < 8 || c > 11 {
+		t.Fatalf("in-window count = %d, want ~10", c)
+	}
+}
+
+func TestWindowQuantileOrdering(t *testing.T) {
+	clk := newTraceClock()
+	w := NewWindow(30*time.Second, 0, nil, clk.now)
+	// Bimodal: 90 fast (≈10µs), 10 slow (≈5ms).
+	for i := 0; i < 90; i++ {
+		w.Observe(10e-6)
+	}
+	for i := 0; i < 10; i++ {
+		w.Observe(5e-3)
+	}
+	p50, p99 := w.Quantile(0.50), w.Quantile(0.99)
+	if p50 > 1e-4 {
+		t.Errorf("p50 = %v, want ≈10µs", p50)
+	}
+	if p99 < 1e-3 {
+		t.Errorf("p99 = %v, want ≈5ms", p99)
+	}
+	if p99 < p50 {
+		t.Errorf("quantiles not monotone: p50=%v p99=%v", p50, p99)
+	}
+	if s := w.Sum(); math.Abs(s-(90*10e-6+10*5e-3)) > 1e-9 {
+		t.Errorf("sum = %v", s)
+	}
+}
+
+func TestWindowOverflowBucket(t *testing.T) {
+	clk := newTraceClock()
+	w := NewWindow(30*time.Second, 0, nil, clk.now)
+	w.Observe(1e9) // beyond the highest bound
+	if q := w.Quantile(0.99); q <= 0 {
+		t.Fatalf("overflow quantile = %v, want highest finite bound", q)
+	}
+}
+
+func TestWindowNilSafety(t *testing.T) {
+	var w *Window
+	w.Observe(1)
+	if w.Quantile(0.5) != 0 || w.Count() != 0 || w.Sum() != 0 || w.Span() != 0 {
+		t.Error("nil window must be inert")
+	}
+}
+
+func TestSLOBreachCountingAndCooldown(t *testing.T) {
+	clk := newTraceClock()
+	var fired []Breach
+	s := NewSLO(SLOOptions{
+		Name:       "decision_p99",
+		Quantile:   0.99,
+		Budget:     time.Millisecond,
+		Window:     10 * time.Second,
+		MinCount:   4,
+		CheckEvery: time.Second,
+		Cooldown:   30 * time.Second,
+		Now:        clk.now,
+		OnBreach:   func(b Breach) { fired = append(fired, b) },
+	})
+
+	// Healthy traffic: well under budget, no breach.
+	for i := 0; i < 10; i++ {
+		s.Observe(50 * time.Microsecond)
+		clk.advance(200 * time.Millisecond)
+	}
+	s.Check()
+	if st := s.Status(); st.Breached || st.Breaches != 0 {
+		t.Fatalf("healthy stream breached: %+v", st)
+	}
+
+	// A stall: observations far over budget.
+	for i := 0; i < 10; i++ {
+		s.Observe(20 * time.Millisecond)
+		clk.advance(200 * time.Millisecond)
+	}
+	s.Check()
+	st := s.Status()
+	if !st.Breached || st.Breaches == 0 {
+		t.Fatalf("stall did not breach: %+v", st)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("hook fired %d times, want 1 (cooldown)", len(fired))
+	}
+	if fired[0].Value <= fired[0].Budget || fired[0].Name != "decision_p99" {
+		t.Fatalf("breach payload: %+v", fired[0])
+	}
+
+	// Still breaching inside the cooldown: counted, not re-fired.
+	for i := 0; i < 5; i++ {
+		s.Observe(20 * time.Millisecond)
+		clk.advance(time.Second)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("hook re-fired inside cooldown: %d", len(fired))
+	}
+
+	// After the cooldown, a persisting breach fires again.
+	clk.advance(31 * time.Second)
+	for i := 0; i < 10; i++ {
+		s.Observe(20 * time.Millisecond)
+		clk.advance(time.Second)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("hook did not re-fire after cooldown: %d", len(fired))
+	}
+
+	// Recovery: fast traffic ages the stall out; breached clears.
+	clk.advance(11 * time.Second)
+	for i := 0; i < 20; i++ {
+		s.Observe(10 * time.Microsecond)
+		clk.advance(time.Second)
+	}
+	s.Check()
+	if st := s.Status(); st.Breached {
+		t.Fatalf("did not recover: %+v", st)
+	}
+}
+
+func TestSLOMinCountGuards(t *testing.T) {
+	clk := newTraceClock()
+	s := NewSLO(SLOOptions{Budget: time.Millisecond, MinCount: 8, Now: clk.now})
+	s.Observe(time.Second) // one terrible sample, below MinCount
+	s.Check()
+	if st := s.Status(); st.Breached {
+		t.Fatalf("breached on %d samples (MinCount 8): %+v", st.WindowCount, st)
+	}
+}
+
+func TestSLONilSafety(t *testing.T) {
+	var s *SLO
+	s.Observe(time.Second)
+	s.Check()
+	if st := s.Status(); st.Breached || s.Window() != nil {
+		t.Errorf("nil SLO must be inert: %+v", st)
+	}
+}

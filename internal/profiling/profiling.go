@@ -8,6 +8,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
+	"time"
 )
 
 // Start begins CPU profiling to cpuPath (if non-empty) and arranges for a
@@ -46,4 +48,46 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 		}
 		return nil
 	}, nil
+}
+
+// captureBusy serializes CaptureCPU callers: the runtime supports only one
+// CPU profile at a time, and SLO-breach hooks can fire from several
+// goroutines at once. Extra callers return ErrCaptureBusy instead of
+// queueing, so a storm of breaches yields one profile, not a pile-up.
+var captureBusy atomic.Bool
+
+// ErrCaptureBusy reports that a CPU capture was skipped because another one
+// (started here or via Start) is already running.
+var ErrCaptureBusy = fmt.Errorf("profiling: a CPU capture is already running")
+
+// CaptureCPU records a CPU profile of duration d into path, blocking until
+// the capture completes. It is the SLO-breach flight recorder: call it from
+// a breach hook (usually in a goroutine) to snapshot what the process was
+// doing while the pipeline was slow. Only one capture runs at a time;
+// concurrent calls fail fast with ErrCaptureBusy. On any error the partial
+// file is removed.
+func CaptureCPU(path string, d time.Duration) error {
+	if d <= 0 {
+		d = 5 * time.Second
+	}
+	if !captureBusy.CompareAndSwap(false, true) {
+		return ErrCaptureBusy
+	}
+	defer captureBusy.Store(false)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("profiling: %w", err)
+	}
+	time.Sleep(d)
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return fmt.Errorf("profiling: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,65 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCaptureCPUWritesProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	if err := CaptureCPU(path, 50*time.Millisecond); err != nil {
+		t.Fatalf("CaptureCPU: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Fatalf("profile file is empty")
+	}
+}
+
+func TestCaptureCPUSingleflight(t *testing.T) {
+	// Deterministic half: with the busy flag held, a capture fails fast.
+	if !captureBusy.CompareAndSwap(false, true) {
+		t.Fatalf("busy flag unexpectedly set at test start")
+	}
+	err := CaptureCPU(filepath.Join(t.TempDir(), "cpu.pprof"), 10*time.Millisecond)
+	captureBusy.Store(false)
+	if err != ErrCaptureBusy {
+		t.Fatalf("want ErrCaptureBusy while a capture is running, got %v", err)
+	}
+
+	// Concurrent half: N racers, every outcome is success or busy, at
+	// least one succeeds, and the flag is clear at the end.
+	dir := t.TempDir()
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = CaptureCPU(filepath.Join(dir, "cpu"+string(rune('a'+i))+".pprof"), 50*time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	ok := 0
+	for _, err := range errs {
+		switch err {
+		case nil:
+			ok++
+		case ErrCaptureBusy:
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if ok == 0 {
+		t.Fatalf("no capture succeeded")
+	}
+	if captureBusy.Load() {
+		t.Fatalf("busy flag left set after captures finished")
+	}
+}

@@ -62,4 +62,68 @@ head -1 "$TMP/trace.jsonl" | grep -q '"event":"reallocate_start"' || {
     exit 1
 }
 
-echo "obs-smoke: ok ($ADDR)"
+# Second instance: event-driven solve with per-event span tracing and a
+# (generous) decision-latency SLO, so /debug/trace and /debug/slo have
+# content to serve. Separate instance because -stream changes which
+# solver metrics the first instance's assertions cover.
+PORT2=$((PORT + 1))
+ADDR2="127.0.0.1:$PORT2"
+"$TMP/acornd" -obs-addr "$ADDR2" -obs-hold 60s -log-level warn \
+    -stream -trace-sample 1 -slo-p99-ms 60000 >/dev/null 2>&1 &
+PID2=$!
+cleanup2() {
+    kill "$PID2" 2>/dev/null || true
+}
+trap 'cleanup2; cleanup' EXIT INT TERM
+
+i=0
+until curl -fsS "http://$ADDR2/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "obs-smoke: $ADDR2 never came up" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# /debug/trace serves one JSON object per line; every span must carry a
+# total and a stage breakdown, and the stream solve must have produced at
+# least one span.
+SPANS="$(curl -fsS "http://$ADDR2/debug/trace?n=50")"
+NSPANS="$(printf '%s\n' "$SPANS" | grep -c '"total_ns"' || true)"
+if [ "$NSPANS" -lt 1 ]; then
+    echo "obs-smoke: /debug/trace served no spans: $SPANS" >&2
+    exit 1
+fi
+printf '%s\n' "$SPANS" | while IFS= read -r line; do
+    [ -n "$line" ] || continue
+    case "$line" in
+    {*\"total_ns\"*}) ;;
+    *)
+        echo "obs-smoke: /debug/trace line not a span object: $line" >&2
+        exit 1
+        ;;
+    esac
+done
+printf '%s\n' "$SPANS" | grep -q '"stages"' || {
+    echo "obs-smoke: /debug/trace spans carry no stage breakdown" >&2
+    exit 1
+}
+
+# /debug/slo serves the monitor list; the stream SLO must be present with
+# a populated window and no breach (the budget is 60 s).
+SLO="$(curl -fsS "http://$ADDR2/debug/slo")"
+printf '%s' "$SLO" | grep -q '"name": "stream_decision_p99"' || {
+    echo "obs-smoke: /debug/slo is missing stream_decision_p99: $SLO" >&2
+    exit 1
+}
+printf '%s' "$SLO" | grep -Eq '"window_count": [1-9]' || {
+    echo "obs-smoke: stream_decision_p99 window is empty: $SLO" >&2
+    exit 1
+}
+printf '%s' "$SLO" | grep -q '"breached": false' || {
+    echo "obs-smoke: stream_decision_p99 breached under a 60s budget: $SLO" >&2
+    exit 1
+}
+
+echo "obs-smoke: ok ($ADDR, $ADDR2)"
