@@ -2,18 +2,41 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke alloc-bench-smoke assoc-bench-smoke shard-bench-smoke stream-bench-smoke trace-bench-smoke stream-chaos obs-smoke cover experiments clean
+# Scratch directory for bench output and pinned tools (gitignored).
+BUILD_DIR ?= build
+
+# staticcheck is pinned so `make all` means the same thing on every
+# machine; the target below resolves a PATH install, a previously pinned
+# build, or a fresh module fetch, in that order.
+STATICCHECK_VERSION ?= 2024.1.1
+
+.PHONY: all build vet staticcheck test race bench bench-smoke alloc-bench-smoke assoc-bench-smoke shard-bench-smoke stream-bench-smoke trace-bench-smoke build-bench-smoke stream-chaos obs-smoke cover experiments clean
 
 # The default check path race-checks everything: the control plane is
 # deliberately concurrent (heartbeats, reconnect supervisors, chaos tests),
 # so plain `make` must catch data races, not just failures.
-all: build vet test race bench-smoke alloc-bench-smoke assoc-bench-smoke shard-bench-smoke stream-bench-smoke trace-bench-smoke stream-chaos obs-smoke
+all: build vet staticcheck test race bench-smoke alloc-bench-smoke assoc-bench-smoke shard-bench-smoke stream-bench-smoke trace-bench-smoke build-bench-smoke stream-chaos obs-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. Resolution order: a staticcheck already on
+# PATH, the pinned copy under $(BUILD_DIR)/bin, or a fresh pinned install
+# (needs network for the module fetch). Offline with no binary available
+# the target degrades to a loud skip rather than failing `make all`.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	elif [ -x $(BUILD_DIR)/bin/staticcheck ]; then \
+		$(BUILD_DIR)/bin/staticcheck ./... ; \
+	elif GOBIN=$(abspath $(BUILD_DIR)/bin) $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) 2>/dev/null; then \
+		$(BUILD_DIR)/bin/staticcheck ./... ; \
+	else \
+		echo "staticcheck: no binary on PATH and module fetch unavailable; skipping"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -26,24 +49,28 @@ race:
 # the allocator-scaling figures (reference vs incremental, with the 200-AP
 # speedup ratio derived from the same run) in BENCH_alloc.json.
 bench:
-	$(GO) test -bench=. -benchmem -count=1 ./... | tee bench_output.txt
-	$(GO) run ./cmd/benchjson < bench_output.txt > BENCH_phy.json
+	@mkdir -p $(BUILD_DIR)
+	$(GO) test -bench=. -benchmem -count=1 ./... | tee $(BUILD_DIR)/bench_output.txt
+	$(GO) run ./cmd/benchjson < $(BUILD_DIR)/bench_output.txt > BENCH_phy.json
 	$(GO) run ./cmd/benchjson -match '^BenchmarkAlloc' \
 		-derive alloc_speedup_200ap=BenchmarkAllocReference200AP/BenchmarkAllocIncremental200AP \
 		-derive alloc_speedup_50ap=BenchmarkAllocReference50AP/BenchmarkAllocIncremental50AP \
-		< bench_output.txt > BENCH_alloc.json
+		< $(BUILD_DIR)/bench_output.txt > BENCH_alloc.json
 	$(GO) run ./cmd/benchjson -match '^BenchmarkAssoc' \
 		-derive assoc_speedup_50ap=BenchmarkAssocReferenceSweep50AP/BenchmarkAssocIncrementalSweep50AP \
-		< bench_output.txt > BENCH_assoc.json
+		< $(BUILD_DIR)/bench_output.txt > BENCH_assoc.json
 	$(GO) run ./cmd/benchjson -match 'BenchmarkStreamEvents|Goodput' \
 		-derive stream_goodput_ratio=BenchmarkStreamGoodput/BenchmarkPeriodicGoodput:goodput_mbps \
-		< bench_output.txt > BENCH_stream.json
+		< $(BUILD_DIR)/bench_output.txt > BENCH_stream.json
 	$(GO) run ./cmd/benchjson -match '^BenchmarkShard' \
 		-derive shard_speedup_2000ap=BenchmarkShardSolve2000AP1W/BenchmarkShardSolve2000AP8W \
-		< bench_output.txt > BENCH_shard.json
+		< $(BUILD_DIR)/bench_output.txt > BENCH_shard.json
 	$(GO) run ./cmd/benchjson -match 'BenchmarkStreamTraced' \
 		-derive trace_overhead=BenchmarkStreamTracedOn/BenchmarkStreamTracedOff \
-		< bench_output.txt > BENCH_trace.json
+		< $(BUILD_DIR)/bench_output.txt > BENCH_trace.json
+	$(GO) run ./cmd/benchjson -match '^BenchmarkGraphBuild' \
+		-derive build_speedup_2000ap=BenchmarkGraphBuildFullScan2000AP/BenchmarkGraphBuildIndexed2000AP \
+		< $(BUILD_DIR)/bench_output.txt > BENCH_build.json
 
 # One-iteration smoke pass over every benchmark: catches bit-rot in the
 # benchmark code without paying for real measurements. -short elides the
@@ -77,12 +104,13 @@ shard-bench-smoke:
 # goodput-vs-periodic derivation so the whole BENCH_stream.json pipeline is
 # exercised (output goes to a scratch file — real numbers come from `bench`).
 stream-bench-smoke:
+	@mkdir -p $(BUILD_DIR)
 	$(GO) test -run '^$$' -bench 'BenchmarkStreamEvents|Goodput' \
-		-benchtime=1x -count=1 ./internal/core/ ./internal/dynamic/ | tee stream_bench_smoke.txt > /dev/null
+		-benchtime=1x -count=1 ./internal/core/ ./internal/dynamic/ | tee $(BUILD_DIR)/stream_bench_smoke.txt > /dev/null
 	$(GO) run ./cmd/benchjson -match 'BenchmarkStreamEvents|Goodput' \
 		-derive stream_goodput_ratio=BenchmarkStreamGoodput/BenchmarkPeriodicGoodput:goodput_mbps \
-		< stream_bench_smoke.txt > /dev/null
-	rm -f stream_bench_smoke.txt
+		< $(BUILD_DIR)/stream_bench_smoke.txt > /dev/null
+	rm -f $(BUILD_DIR)/stream_bench_smoke.txt
 
 # Smoke the tracing-overhead harness: one iteration of the traced
 # benchmark pair (identical event mix, tracing off vs every-event), piped
@@ -90,12 +118,29 @@ stream-bench-smoke:
 # BENCH_trace.json pipeline is exercised. Real numbers come from `bench`,
 # which regenerates the artifact from full-length runs.
 trace-bench-smoke:
+	@mkdir -p $(BUILD_DIR)
 	$(GO) test -run '^$$' -bench 'BenchmarkStreamTraced' -benchmem \
-		-benchtime=1x -count=1 ./internal/core/ | tee trace_bench_smoke.txt > /dev/null
+		-benchtime=1x -count=1 ./internal/core/ | tee $(BUILD_DIR)/trace_bench_smoke.txt > /dev/null
 	$(GO) run ./cmd/benchjson -match 'BenchmarkStreamTraced' \
 		-derive trace_overhead=BenchmarkStreamTracedOn/BenchmarkStreamTracedOff \
-		< trace_bench_smoke.txt > BENCH_trace.json
-	rm -f trace_bench_smoke.txt
+		< $(BUILD_DIR)/trace_bench_smoke.txt > BENCH_trace.json
+	rm -f $(BUILD_DIR)/trace_bench_smoke.txt
+
+# Smoke the spatial-index graph-build harness: the equivalence and churn
+# suites, plus one iteration of the indexed/full-scan benchmark pair piped
+# through benchjson with the speedup derivation so the whole
+# BENCH_build.json pipeline is exercised per build. Real numbers come from
+# `bench`, which regenerates the artifact from full-length runs.
+build-bench-smoke:
+	@mkdir -p $(BUILD_DIR)
+	$(GO) test -run 'TestSpatial|TestPartition|TestClientChurn' \
+		-count=1 ./internal/core/ > /dev/null
+	$(GO) test -run '^$$' -bench 'BenchmarkGraphBuild' \
+		-benchtime=1x -count=1 ./internal/core/ | tee $(BUILD_DIR)/build_bench_smoke.txt > /dev/null
+	$(GO) run ./cmd/benchjson -match '^BenchmarkGraphBuild' \
+		-derive build_speedup_2000ap=BenchmarkGraphBuildFullScan2000AP/BenchmarkGraphBuildIndexed2000AP \
+		< $(BUILD_DIR)/build_bench_smoke.txt > BENCH_build.json
+	rm -f $(BUILD_DIR)/build_bench_smoke.txt
 
 # Chaos suite, short mode, under the race detector: connection resets,
 # latency/jitter, short writes and report storms against the streaming
@@ -118,4 +163,5 @@ experiments:
 	$(GO) run ./cmd/experiments all
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt stream_bench_smoke.txt trace_bench_smoke.txt
+	rm -f cover.out test_output.txt bench_output.txt
+	rm -rf $(BUILD_DIR)

@@ -136,6 +136,8 @@ func serve(args []string) {
 	allocWorkers := fs.Int("alloc-workers", 0, "parallel rank-evaluation workers for Algorithm 2 (0 = GOMAXPROCS)")
 	assocWorkers := fs.Int("assoc-workers", 0, "parallel roaming-sweep workers for Algorithm 1 (0 = GOMAXPROCS)")
 	shardWorkers := fs.Int("shard-workers", 0, "component-sharded Algorithm 2: solve independent contention components on this many workers (0 = off)")
+	spatialIndex := fs.Bool("spatial-index", true, "prune the contention-graph pair scan with the uniform-grid spatial index (exact — the graph is bit-identical; false forces the full O(P²) scan)")
+	gridCellM := fs.Float64("grid-cell-m", 0, "spatial-index grid cell size in meters (0 = the carrier-sense cutoff radius)")
 	stream := fs.Bool("stream", false, "event-driven mode: reallocate the dirty hear-graph neighbourhood on every fresh report instead of waiting for -period")
 	streamDebounce := fs.Duration("stream-debounce", ctlnet.DefaultStreamDebounce, "wake-to-drain delay coalescing report bursts (with -stream; negative disables)")
 	streamWatchdog := fs.Duration("stream-watchdog", 0, "max age of the last full pass before the stream forces one (with -stream; 0 = -period, negative disables)")
@@ -182,6 +184,8 @@ func serve(args []string) {
 	}
 	s.Alloc.Workers = *allocWorkers
 	s.Alloc.ShardWorkers = *shardWorkers
+	s.Alloc.NoSpatialIndex = !*spatialIndex
+	s.Alloc.GridCellM = *gridCellM
 	s.Assoc.Workers = *assocWorkers
 	s.ReportTTL = *reportTTL
 	s.HelloTimeout = *helloTimeout

@@ -80,6 +80,23 @@ type AllocOptions struct {
 	// neighbourhood. Both search paths apply it identically; nil means every
 	// AP is eligible (the paper's rule).
 	Only map[string]bool
+	// NoSpatialIndex disables the uniform-grid candidate pruning of the
+	// contention-graph builds (spatial.go); every populated pair then
+	// reaches the exact predicate. The resulting graph — and therefore the
+	// allocation — is bit-identical either way (the index is a conservative
+	// pre-filter); the flag exists as a measurement baseline and an escape
+	// hatch.
+	NoSpatialIndex bool
+	// GridCellM overrides the spatial index's cell size in meters. Zero (the
+	// default) uses the carrier-sense cutoff radius, which makes a
+	// neighborhood query touch at most a 3×3 cell block.
+	GridCellM float64
+	// Partition, when non-nil, lets a sharded solve reuse the association
+	// engine's incrementally maintained contention partition instead of
+	// rebuilding the conflict graph (partition.go). Ignored unless the
+	// handle is valid for exactly the (network, configuration) being solved;
+	// the Controller and StreamController attach it on their own calls.
+	Partition *ContentionPartition
 }
 
 // eligible reports whether apID may switch under the Only restriction.
@@ -199,6 +216,19 @@ type AllocStats struct {
 	SolvedComponents   int
 	ShardWorkersUsed   int
 	ComponentDurations []time.Duration
+	// GraphPairsScanned counts populated AP pairs that reached the exact
+	// contention predicate during the run's top-level graph build;
+	// GraphPairsPruned counts pairs the spatial index proved incapable of
+	// contending (zero on full scans). SpatialIndex reports whether the
+	// index ran. All zero/false when the run reused a maintained partition
+	// or took the generic path (neither builds a graph).
+	GraphPairsScanned int
+	GraphPairsPruned  int
+	SpatialIndex      bool
+	// PartitionReused marks a sharded run that skipped the graph build
+	// entirely by reusing the association engine's incrementally maintained
+	// contention partition.
+	PartitionReused bool
 }
 
 // SwitchRecord captures one inner-loop decision of Algorithm 2: the
@@ -247,7 +277,7 @@ func AllocateChannels(n *wlan.Network, cfg *wlan.Config, est ThroughputEstimator
 				return out, st
 			}
 		}
-		if st := newAllocState(n, cfg, e); st != nil {
+		if st := newAllocState(n, cfg, e, opts); st != nil {
 			return allocateIncremental(cfg, st, opts)
 		}
 	}

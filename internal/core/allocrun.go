@@ -66,6 +66,9 @@ func allocateIncremental(cfg *wlan.Config, st *allocState, opts AllocOptions) (*
 		InitialEstimate:    st.base.curY,
 		SpectrumComponents: st.nComp,
 		GraphComponents:    len(st.comps),
+		GraphPairsScanned:  st.pairsScanned,
+		GraphPairsPruned:   st.pairsPruned,
+		SpatialIndex:       st.spatial,
 	}
 	for _, comp := range st.comps {
 		if len(comp) > stats.LargestComponent {

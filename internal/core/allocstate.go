@@ -89,6 +89,13 @@ type allocState struct {
 	// the metrics report their count and sizes.
 	comps [][]int32
 
+	// pairsScanned/pairsPruned count the populated pairs that reached
+	// contendPair vs. were pruned by the spatial index during the graph
+	// build; spatial records whether the index ran (see spatial.go).
+	pairsScanned int
+	pairsPruned  int
+	spatial      bool
+
 	// base is the committed configuration's view; scratch views for
 	// worker-parallel rank scans are cloned from it on demand.
 	base allocView
@@ -129,8 +136,9 @@ type allocView struct {
 // populated AP without an assigned channel) — the caller then falls back to
 // the generic path, which handles anything. The component count no longer
 // bounds representability: masks are sized to fit whatever the band and the
-// configuration hold.
-func newAllocState(n *wlan.Network, cfg *wlan.Config, est *Estimator) *allocState {
+// configuration hold. opts supplies the spatial-index knobs of the
+// contention-graph build; the graph is identical with or without the index.
+func newAllocState(n *wlan.Network, cfg *wlan.Config, est *Estimator, opts AllocOptions) *allocState {
 	st := &allocState{
 		n:         n,
 		apIDs:     make([]string, len(n.APs)),
@@ -243,13 +251,33 @@ func newAllocState(n *wlan.Network, cfg *wlan.Config, est *Estimator) *allocStat
 	// replicates wlan.Network.Contend for the pair (i, j) — the same
 	// direction the estimator's cache would fix on first query — but walks
 	// only the two cells' clients instead of every client in the network.
-	for a := 0; a < len(st.popIdx); a++ {
-		i := st.popIdx[a]
-		for b := a + 1; b < len(st.popIdx); b++ {
-			j := st.popIdx[b]
-			if st.contendPair(i, j, clientsOf) {
-				st.neighbors[i] = append(st.neighbors[i], int32(j))
-				st.neighbors[j] = append(st.neighbors[j], int32(i))
+	// When the spatial index yields a sound cutoff, only candidate pairs
+	// reach the predicate; pruned pairs provably cannot contend, so the
+	// adjacency is identical either way (candidates arrive in the same
+	// (a ascending, j ascending) order the full scan uses).
+	if rows, scanned, ok := spatialCandidates(n, st.popIdx, clientsOf, opts); ok {
+		st.spatial = true
+		st.pairsScanned = scanned
+		st.pairsPruned = totalPairs(len(st.popIdx)) - scanned
+		for a, i := range st.popIdx {
+			for _, j32 := range rows[a] {
+				j := int(j32)
+				if st.contendPair(i, j, clientsOf) {
+					st.neighbors[i] = append(st.neighbors[i], int32(j))
+					st.neighbors[j] = append(st.neighbors[j], int32(i))
+				}
+			}
+		}
+	} else {
+		st.pairsScanned = totalPairs(len(st.popIdx))
+		for a := 0; a < len(st.popIdx); a++ {
+			i := st.popIdx[a]
+			for b := a + 1; b < len(st.popIdx); b++ {
+				j := st.popIdx[b]
+				if st.contendPair(i, j, clientsOf) {
+					st.neighbors[i] = append(st.neighbors[i], int32(j))
+					st.neighbors[j] = append(st.neighbors[j], int32(i))
+				}
 			}
 		}
 	}

@@ -51,10 +51,12 @@ package core
 // count.
 
 import (
+	"math"
 	"math/bits"
 	"sort"
 
 	"acorn/internal/bitset"
+	"acorn/internal/geo"
 	"acorn/internal/spectrum"
 	"acorn/internal/units"
 	"acorn/internal/wlan"
@@ -92,6 +94,15 @@ type assocEngine struct {
 	// transmit powers differ). In override mode it holds the override's
 	// verdict for the ordered pair.
 	apapDir [][]bool
+	// apapNbr[a] lists the o with the unordered AP↔AP contention term true
+	// (apapDir in the lower-index-transmits direction) — the static edge
+	// lists the partition unions along population transitions.
+	apapNbr [][]int32
+
+	// part is the incrementally maintained contention partition
+	// (partition.go), rebuilt with the engine and updated by the
+	// applyHome/ensureState hooks.
+	part *contentionPartition
 
 	// pop is the cell population K per AP (associations to APs the network
 	// does not know are tracked by the configuration but price as nothing,
@@ -169,6 +180,13 @@ type assocEngineStats struct {
 	// memoHits/memoMisses count beacon-delay memo lookups.
 	memoHits   int
 	memoMisses int
+	// partUpdates counts incremental partition hook invocations;
+	// partRefreshes counts lazy dirty-group re-partitions; partRebuilds
+	// counts from-scratch partition constructions (one per engine build —
+	// client-only churn must keep this flat, which the stream tests pin).
+	partUpdates   int
+	partRefreshes int
+	partRebuilds  int
 }
 
 func (s *assocEngineStats) add(o assocEngineStats) {
@@ -176,6 +194,9 @@ func (s *assocEngineStats) add(o assocEngineStats) {
 	s.fastBeacons += o.fastBeacons
 	s.memoHits += o.memoHits
 	s.memoMisses += o.memoMisses
+	s.partUpdates += o.partUpdates
+	s.partRefreshes += o.partRefreshes
+	s.partRebuilds += o.partRebuilds
 }
 
 // newAssocEngine builds the engine for the given binding, or returns nil
@@ -233,19 +254,36 @@ func newAssocEngine(n *wlan.Network, cfg *wlan.Config) *assocEngine {
 	}
 	e.override = n.ContendOverride != nil
 	e.apapDir = make([][]bool, len(e.aps))
-	for a, apA := range e.aps {
-		row := make([]bool, len(e.aps))
-		for o, apO := range e.aps {
-			if o == a {
-				continue
-			}
-			if e.override {
-				row[o] = n.ContendOverride(apA.ID, apO.ID)
-			} else {
-				row[o] = n.Prop.RxPower(apA.TxPower, apA.Pos.DistanceTo(apO.Pos), 0) >= n.CSThreshold
+	for a := range e.aps {
+		e.apapDir[a] = make([]bool, len(e.aps))
+	}
+	if !e.buildApapSpatial() {
+		for a, apA := range e.aps {
+			row := e.apapDir[a]
+			for o, apO := range e.aps {
+				if o == a {
+					continue
+				}
+				if e.override {
+					row[o] = n.ContendOverride(apA.ID, apO.ID)
+				} else {
+					row[o] = n.Prop.RxPower(apA.TxPower, apA.Pos.DistanceTo(apO.Pos), 0) >= n.CSThreshold
+				}
 			}
 		}
-		e.apapDir[a] = row
+	}
+	// The unordered AP↔AP contention term reads the lower-index-transmits
+	// direction only; materialize it once as symmetric neighbor lists for
+	// the partition's population-transition unions.
+	e.apapNbr = make([][]int32, len(e.aps))
+	for a := range e.aps {
+		row := e.apapDir[a]
+		for o := a + 1; o < len(e.aps); o++ {
+			if row[o] {
+				e.apapNbr[a] = append(e.apapNbr[a], int32(o))
+				e.apapNbr[o] = append(e.apapNbr[o], int32(a))
+			}
+		}
 	}
 	for i := range e.cntHome {
 		e.cntHome[i] = make([]int32, len(e.aps))
@@ -264,7 +302,49 @@ func newAssocEngine(n *wlan.Network, cfg *wlan.Config) *assocEngine {
 			e.addHeardCounts(hi, st, +1)
 		}
 	}
+	e.part = newContentionPartition(e)
 	return e
+}
+
+// buildApapSpatial fills apapDir through per-row grid queries instead of
+// the O(APs²) distance scan: row a's true entries all lie within the
+// carrier-sense range of a's transmit power (rf.CarrierSenseRange is a
+// conservative upper bound), so querying the AP grid at that radius and
+// running the exact predicate on the survivors reproduces the full scan's
+// rows bit-identically. Returns false — leaving the full scan to run —
+// under a contention override (verdicts are not geometric) or when the
+// propagation model exposes no invertible bound.
+func (e *assocEngine) buildApapSpatial() bool {
+	if e.override || len(e.aps) < 2 {
+		return false
+	}
+	radii := make([]float64, len(e.aps))
+	maxR := 0.0
+	for a, ap := range e.aps {
+		r, ok := e.n.Prop.CarrierSenseRange(ap.TxPower, e.n.CSThreshold)
+		if !ok || math.IsInf(r, 0) || math.IsNaN(r) {
+			return false
+		}
+		radii[a] = r
+		if r > maxR {
+			maxR = r
+		}
+	}
+	g := geo.NewGrid(maxR)
+	for a, ap := range e.aps {
+		g.Add(int32(a), ap.Pos.X, ap.Pos.Y)
+	}
+	for a, apA := range e.aps {
+		row := e.apapDir[a]
+		g.VisitWithin(apA.Pos.X, apA.Pos.Y, radii[a], func(o32 int32) {
+			o := int(o32)
+			if o == a {
+				return
+			}
+			row[o] = e.n.Prop.RxPower(apA.TxPower, apA.Pos.DistanceTo(e.aps[o].Pos), 0) >= e.n.CSThreshold
+		})
+	}
+	return true
 }
 
 // syncChannels refreshes the per-AP channel/mask mirrors from cfg. It fails
@@ -326,10 +406,19 @@ func (e *assocEngine) bind(cfg *wlan.Config) bool {
 		// The client set changed. Arrivals are handled lazily; what must
 		// never happen is a client leaving the network while still
 		// associated (the reference contention walk would stop seeing it).
+		// An associated client replaced by a new incarnation (same ID, new
+		// object — refreshed geometry) is absorbed incrementally: ensureState
+		// retires the old hearing contributions and adopts the new ones, so
+		// a membership-churn batch never forces a whole-engine rebuild.
 		for id := range cfg.Assoc {
 			st := e.clients[id]
-			if st == nil || e.n.Client(id) != st.c {
+			if st == nil {
 				return false
+			}
+			if u := e.n.Client(id); u == nil {
+				return false
+			} else if u != st.c {
+				e.ensureState(u)
 			}
 		}
 		e.nClientsSeen = len(e.n.Clients)
@@ -354,6 +443,9 @@ func (e *assocEngine) ensureState(u *wlan.Client) *assocClient {
 		// delay-memo entries (by incarnation index), and its link caches.
 		if st.home >= 0 {
 			e.addHeardCounts(st.home, st, -1)
+			if e.part != nil {
+				e.part.afterRemove(e, st.home, st)
+			}
 		}
 		e.purgeDelayMemo(st.idx)
 		st.idx = e.nextIdx
@@ -378,6 +470,9 @@ func (e *assocEngine) ensureState(u *wlan.Client) *assocClient {
 	})
 	if st.home >= 0 {
 		e.addHeardCounts(st.home, st, +1)
+		if e.part != nil {
+			e.part.afterAdd(e, st.home, st)
+		}
 	}
 	return st
 }
@@ -431,13 +526,20 @@ func (e *assocEngine) applyHome(id string, st *assocClient, target int) {
 	}
 	_, had := e.cfg.Assoc[id]
 	if st.home >= 0 {
-		e.pop[st.home]--
-		e.addHeardCounts(st.home, st, -1)
+		old := st.home
+		e.pop[old]--
+		e.addHeardCounts(old, st, -1)
+		if e.part != nil {
+			e.part.afterRemove(e, old, st)
+		}
 	}
 	st.home = target
 	if target >= 0 {
 		e.pop[target]++
 		e.addHeardCounts(target, st, +1)
+		if e.part != nil {
+			e.part.afterAdd(e, target, st)
+		}
 		e.cfg.SetAssoc(id, e.apIDs[target])
 		if !had {
 			e.expectAssocLen++

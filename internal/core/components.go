@@ -94,13 +94,18 @@ type conflictGraph struct {
 	clientsOf [][]*wlan.Client
 	neighbors [][]int32
 	comps     [][]int32
+
+	// pairsScanned/pairsPruned/spatial mirror allocState's build stats.
+	pairsScanned int
+	pairsPruned  int
+	spatial      bool
 }
 
-func buildConflictGraph(n *wlan.Network, cfg *wlan.Config, workers int) *conflictGraph {
+func buildConflictGraph(n *wlan.Network, cfg *wlan.Config, workers int, opts AllocOptions) *conflictGraph {
 	g := &conflictGraph{
 		apIdx:     make(map[string]int, len(n.APs)),
 		populated: make([]int, len(n.APs)),
-		clientsOf: make([][]*wlan.Client, len(n.APs)),
+		clientsOf: clientsByHome(n, cfg),
 		neighbors: make([][]int32, len(n.APs)),
 	}
 	for i, ap := range n.APs {
@@ -111,22 +116,28 @@ func buildConflictGraph(n *wlan.Network, cfg *wlan.Config, workers int) *conflic
 			g.populated[i]++
 		}
 	}
-	for _, c := range n.Clients {
-		if home, ok := g.apIdx[cfg.Assoc[c.ID]]; ok {
-			g.clientsOf[home] = append(g.clientsOf[home], c)
-		}
-	}
 	for i := range g.populated {
 		if g.populated[i] > 0 {
 			g.popIdx = append(g.popIdx, i)
 		}
 	}
 
-	// Pair scan: all populated pairs (a < b), chunked by row across
-	// workers. st.contendPair needs only the fields mirrored here, so a
-	// throwaway allocState shell carries them.
+	// Pair scan: candidate pairs (a < b), chunked by row across workers.
+	// st.contendPair needs only the fields mirrored here, so a throwaway
+	// allocState shell carries them. With a sound cutoff the rows hold the
+	// spatial candidates; otherwise row a covers popIdx[a+1:] — either way
+	// verdicts are pure and land in per-pair slots, so the graph is
+	// identical for any worker count, with or without the index.
 	shell := &allocState{n: n}
 	p := len(g.popIdx)
+	rows, scanned, spatial := spatialCandidates(n, g.popIdx, g.clientsOf, opts)
+	g.spatial = spatial
+	if spatial {
+		g.pairsScanned = scanned
+		g.pairsPruned = totalPairs(p) - scanned
+	} else {
+		g.pairsScanned = totalPairs(p)
+	}
 	verdicts := make([][]bool, p)
 	if workers > p {
 		workers = p
@@ -150,12 +161,20 @@ func buildConflictGraph(n *wlan.Network, cfg *wlan.Config, workers int) *conflic
 					return
 				}
 				i := g.popIdx[a]
-				row := make([]bool, p-a-1)
-				for k := range row {
-					j := g.popIdx[a+1+k]
-					row[k] = shell.contendPair(i, j, g.clientsOf)
+				if spatial {
+					row := make([]bool, len(rows[a]))
+					for k, j32 := range rows[a] {
+						row[k] = shell.contendPair(i, int(j32), g.clientsOf)
+					}
+					verdicts[a] = row
+				} else {
+					row := make([]bool, p-a-1)
+					for k := range row {
+						j := g.popIdx[a+1+k]
+						row[k] = shell.contendPair(i, j, g.clientsOf)
+					}
+					verdicts[a] = row
 				}
-				verdicts[a] = row
 			}
 		}()
 	}
@@ -165,6 +184,9 @@ func buildConflictGraph(n *wlan.Network, cfg *wlan.Config, workers int) *conflic
 		for k, hit := range verdicts[a] {
 			if hit {
 				j := g.popIdx[a+1+k]
+				if spatial {
+					j = int(rows[a][k])
+				}
 				g.neighbors[i] = append(g.neighbors[i], int32(j))
 				g.neighbors[j] = append(g.neighbors[j], int32(i))
 			}
@@ -175,6 +197,23 @@ func buildConflictGraph(n *wlan.Network, cfg *wlan.Config, workers int) *conflic
 	}
 	g.comps = contentionComponents(g.neighbors, g.popIdx)
 	return g
+}
+
+// clientsByHome buckets the network's clients by their home AP index, in
+// n.Clients order — the association snapshot both the graph build and the
+// subproblem extraction walk.
+func clientsByHome(n *wlan.Network, cfg *wlan.Config) [][]*wlan.Client {
+	apIdx := make(map[string]int, len(n.APs))
+	for i, ap := range n.APs {
+		apIdx[ap.ID] = i
+	}
+	clientsOf := make([][]*wlan.Client, len(n.APs))
+	for _, c := range n.Clients {
+		if home, ok := apIdx[cfg.Assoc[c.ID]]; ok {
+			clientsOf[home] = append(clientsOf[home], c)
+		}
+	}
+	return clientsOf
 }
 
 // shardResult is one component's solved subproblem.
@@ -194,14 +233,35 @@ func allocateSharded(n *wlan.Network, cfg *wlan.Config, est *Estimator, opts All
 		return nil, AllocStats{}, false
 	}
 	workers := opts.shardWorkers()
-	g := buildConflictGraph(n, cfg, workers)
+
+	// The component partition either comes from the association engine's
+	// incrementally maintained partition (attached by the Controller or
+	// StreamController, valid for exactly this binding) or from a fresh
+	// conflict-graph build. The maintained partition is kept equal to the
+	// built one by construction (partition.go), so the solve below cannot
+	// tell them apart — it only needs the components and the per-AP client
+	// buckets.
+	var comps [][]int32
+	var clientsOf [][]*wlan.Client
+	var graphStats AllocStats
+	if opts.Partition.validFor(n, cfg) {
+		comps = opts.Partition.components()
+		clientsOf = clientsByHome(n, cfg)
+		graphStats.PartitionReused = true
+	} else {
+		g := buildConflictGraph(n, cfg, workers, opts)
+		comps, clientsOf = g.comps, g.clientsOf
+		graphStats.GraphPairsScanned = g.pairsScanned
+		graphStats.GraphPairsPruned = g.pairsPruned
+		graphStats.SpatialIndex = g.spatial
+	}
 
 	// Only components holding at least one eligible AP are solved; the
 	// rest keep their channels untouched and cost nothing — the property
 	// the streaming controller's neighbourhood re-optimization relies on
 	// (a dirty cell wakes its own component, not the campus).
 	var jobs []int
-	for ci, comp := range g.comps {
+	for ci, comp := range comps {
 		for _, i := range comp {
 			if opts.eligible(n.APs[i].ID) {
 				jobs = append(jobs, ci)
@@ -211,12 +271,16 @@ func allocateSharded(n *wlan.Network, cfg *wlan.Config, est *Estimator, opts All
 	}
 
 	stats := AllocStats{
-		GraphComponents:    len(g.comps),
+		GraphComponents:    len(comps),
 		SolvedComponents:   len(jobs),
 		ShardWorkersUsed:   workers,
 		ComponentDurations: make([]time.Duration, len(jobs)),
+		GraphPairsScanned:  graphStats.GraphPairsScanned,
+		GraphPairsPruned:   graphStats.GraphPairsPruned,
+		SpatialIndex:       graphStats.SpatialIndex,
+		PartitionReused:    graphStats.PartitionReused,
 	}
-	for _, comp := range g.comps {
+	for _, comp := range comps {
 		if len(comp) > stats.LargestComponent {
 			stats.LargestComponent = len(comp)
 		}
@@ -235,6 +299,7 @@ func allocateSharded(n *wlan.Network, cfg *wlan.Config, est *Estimator, opts All
 	subOpts.ShardWorkers = 0 // no recursive sharding: one component is connected
 	subOpts.Workers = 1      // parallelism comes from components, not rank scans
 	subOpts.Only = nil       // restored below
+	subOpts.Partition = nil  // the handle is for the whole network, not a subproblem
 	results := make([]shardResult, len(jobs))
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -255,8 +320,8 @@ func allocateSharded(n *wlan.Network, cfg *wlan.Config, est *Estimator, opts All
 					return
 				}
 				start := time.Now()
-				comp := g.comps[jobs[k]]
-				subN, subCfg := buildSubproblem(n, cfg, comp, g.clientsOf)
+				comp := comps[jobs[k]]
+				subN, subCfg := buildSubproblem(n, cfg, comp, clientsOf)
 				subEst := NewEstimator(subN)
 				subEst.MeasurementNoiseDB = est.MeasurementNoiseDB
 				o := subOpts

@@ -123,7 +123,7 @@ func wideBand(n20 int) *spectrum.Band {
 func TestContentionComponents(t *testing.T) {
 	const buildings, apsPer = 5, 9
 	n, cfg := multiBuildingSetup(t, buildings, apsPer, 2, 11, nil)
-	st := newAllocState(n, cfg, NewEstimator(n))
+	st := newAllocState(n, cfg, NewEstimator(n), AllocOptions{})
 	if st == nil {
 		t.Fatal("newAllocState rejected the campus fixture")
 	}
@@ -153,9 +153,9 @@ func TestContentionComponents(t *testing.T) {
 		t.Fatalf("components cover %d cells, want %d populated", len(seen), len(st.popIdx))
 	}
 
-	ref := buildConflictGraph(n, cfg, 1)
+	ref := buildConflictGraph(n, cfg, 1, AllocOptions{})
 	for _, workers := range []int{1, 4} {
-		g := buildConflictGraph(n, cfg, workers)
+		g := buildConflictGraph(n, cfg, workers, AllocOptions{})
 		if len(g.comps) != len(st.comps) {
 			t.Fatalf("workers=%d: graph found %d components, allocState %d", workers, len(g.comps), len(st.comps))
 		}
@@ -250,7 +250,7 @@ func TestAllocShardedMatchesComponentOracles(t *testing.T) {
 	opts.ShardWorkers = 2
 	out, st := AllocateChannels(n, cfg, est, opts)
 
-	g := buildConflictGraph(n, cfg, 1)
+	g := buildConflictGraph(n, cfg, 1, AllocOptions{})
 	subOpts := shardOpts
 	subOpts.Workers = 1
 	var initial, final float64

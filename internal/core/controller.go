@@ -124,6 +124,12 @@ func (c *Controller) publishEngineStats() {
 		"beacon delay lookups served from the engine memo").Add(uint64(cur.memoHits - c.enginePub.memoHits))
 	reg.Counter("acorn_core_assoc_delay_memo_misses_total",
 		"beacon delay lookups computed and memoized").Add(uint64(cur.memoMisses - c.enginePub.memoMisses))
+	reg.Counter("acorn_core_partition_updates_total",
+		"incremental contention-partition hook updates applied by the association engine").Add(uint64(cur.partUpdates - c.enginePub.partUpdates))
+	reg.Counter("acorn_core_partition_refreshes_total",
+		"lazy dirty-group re-partitions of the maintained contention partition").Add(uint64(cur.partRefreshes - c.enginePub.partRefreshes))
+	reg.Counter("acorn_core_partition_rebuilds_total",
+		"from-scratch contention-partition constructions (one per engine build)").Add(uint64(cur.partRebuilds - c.enginePub.partRebuilds))
 	c.enginePub = cur
 }
 
@@ -184,14 +190,18 @@ func (c *Controller) Reallocate() AllocStats {
 	// The association engine shares its link caches with the allocator:
 	// a vended estimator reuses the measured reference SNRs and the
 	// per-(link, width) delay memo across reallocations (same float
-	// expressions as NewEstimator, so allocations are unchanged).
+	// expressions as NewEstimator, so allocations are unchanged). The
+	// engine's incrementally maintained contention partition rides along so
+	// a sharded solve skips the graph build entirely.
 	var est *Estimator
+	opts := c.Alloc
 	if e := c.engineFor(); e != nil {
 		est = e.vendEstimator()
+		opts.Partition = e.partitionHandle()
 	} else {
 		est = NewEstimator(c.Network)
 	}
-	next, st := AllocateChannels(c.Network, c.cfg, est, c.Alloc)
+	next, st := AllocateChannels(c.Network, c.cfg, est, opts)
 	c.cfg = next
 	// New channels may make a previously unrepresentable binding
 	// representable again; let the next association path retry the engine.
@@ -256,6 +266,23 @@ func RecordAllocMetrics(reg *obs.Registry, st AllocStats, cfg *wlan.Config) {
 		reg.Gauge("acorn_core_alloc_largest_component_aps",
 			"populated APs in the largest contention component of the last reallocation").
 			Set(float64(st.LargestComponent))
+	}
+	reg.Counter("acorn_core_graph_pairs_scanned_total",
+		"AP pairs tested by the exact contention predicate during conflict-graph builds").Add(uint64(st.GraphPairsScanned))
+	reg.Counter("acorn_core_graph_pairs_pruned_total",
+		"AP pairs proven non-contending by the spatial index without an exact test").Add(uint64(st.GraphPairsPruned))
+	if st.SpatialIndex {
+		reg.Counter("acorn_core_graph_spatial_builds_total",
+			"conflict-graph builds that ran on spatial-index candidates instead of the full pair scan").Inc()
+	}
+	if tot := st.GraphPairsScanned + st.GraphPairsPruned; tot > 0 {
+		reg.Gauge("acorn_core_graph_candidate_ratio",
+			"fraction of AP pairs the spatial index left for exact testing in the last graph build").
+			Set(float64(st.GraphPairsScanned) / float64(tot))
+	}
+	if st.PartitionReused {
+		reg.Counter("acorn_core_alloc_partition_reuses_total",
+			"sharded solves that reused the engine-maintained contention partition instead of rebuilding the conflict graph").Inc()
 	}
 	if st.ShardWorkersUsed > 0 {
 		reg.Counter("acorn_core_alloc_sharded_solves_total",

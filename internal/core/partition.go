@@ -1,0 +1,321 @@
+package core
+
+// Incrementally maintained contention partition (the PR-9 tentpole's
+// second leg; DESIGN.md §15).
+//
+// The sharded solver needs the connected components of the populated
+// contention graph, and before this file it rebuilt that graph from
+// scratch on every solve — O(P²) pair scans per stream pump even when one
+// client moved one cell. But the association engine already maintains
+// every aggregate the contention predicate reads:
+//
+//	contendPair(i, j)  ⟺  apapDir[min][max]            (AP↔AP term)
+//	                     ∨ cntHome[i][j] > 0            (i's clients heard by j)
+//	                     ∨ cntHome[j][i] > 0            (j's clients heard by i)
+//
+// restricted to populated i, j (override mode reduces to the first term,
+// exactly as wlan.Network.Contend skips the client walk). Contention is
+// channel-independent, so channel swaps never touch the partition; only
+// client churn does, and each move changes O(|heardBy|) pair supports —
+// the same deltas applyHome already applies to cntHome.
+//
+// The partition therefore rides the engine's own update hooks:
+//
+//   - Edge appearance (a support count crossing zero upward, or a cell
+//     becoming populated) is handled eagerly by union-find union — merges
+//     are cheap and exact.
+//   - Edge disappearance can split a component, which union-find cannot do
+//     eagerly; the affected component is marked dirty and lazily
+//     re-partitioned from the maintained adjacency on the next query
+//     (components()), in time linear in the dirty components' size. Every
+//     adjacency edge keeps both endpoints in one union-find group by
+//     construction, so the refresh never needs to look outside the dirty
+//     groups.
+//
+// The invariants the equivalence suite pins:
+//
+//	I1 (adjacency exactness). After every engine mutation, adj holds
+//	    exactly the pairs with contendPair true over the current
+//	    association map.
+//	I2 (grouping soundness). Every adj edge's endpoints share a
+//	    union-find root; dirty groups may be coarser than the true
+//	    components, never finer.
+//	I3 (query exactness). components() — refresh then group — equals
+//	    contentionComponents of a freshly built conflict graph, element
+//	    for element.
+//
+// Full rebuilds happen only when the engine itself is rebuilt (AP set or
+// representability changes) — client-only churn performs zero of them,
+// which acorn_core_partition_rebuilds_total pins in the stream tests.
+
+import (
+	"math/bits"
+
+	"acorn/internal/wlan"
+)
+
+// ContentionPartition is the exported handle AllocOptions carries: an
+// opaque reference to one engine's maintained partition, valid only for
+// the exact (network, configuration) binding the engine is bound to.
+type ContentionPartition struct {
+	e *assocEngine
+}
+
+// validFor reports whether the handle may serve a solve of (n, cfg): same
+// network object, same configuration object, same AP set the engine
+// snapshotted, and a live partition. A nil handle is simply invalid.
+func (h *ContentionPartition) validFor(n *wlan.Network, cfg *wlan.Config) bool {
+	return h != nil && h.e != nil && h.e.part != nil &&
+		h.e.n == n && h.e.cfg == cfg && len(n.APs) == len(h.e.aps)
+}
+
+// components returns the current partition of the populated contention
+// graph in the canonical order of contentionComponents: each component an
+// ascending slice of AP indices, components ordered by smallest member.
+func (h *ContentionPartition) components() [][]int32 {
+	return h.e.part.components(h.e)
+}
+
+// contentionPartition is the engine-owned state: a union-find forest over
+// AP indices, the exact contention adjacency, and the lazy dirty set.
+type contentionPartition struct {
+	parent []int32
+	adj    []map[int32]struct{}
+	// dirty holds AP indices whose union-find group must be re-partitioned
+	// before the next query (an incident edge disappeared, or a populated
+	// neighbor left).
+	dirty map[int32]struct{}
+}
+
+// newContentionPartition builds the partition from the engine's freshly
+// seeded aggregates, in O(APs + apap edges + Σ|heardBy|). Counted as the
+// one full rebuild an engine build performs.
+func newContentionPartition(e *assocEngine) *contentionPartition {
+	p := &contentionPartition{
+		parent: make([]int32, len(e.aps)),
+		adj:    make([]map[int32]struct{}, len(e.aps)),
+		dirty:  make(map[int32]struct{}),
+	}
+	for i := range p.parent {
+		p.parent[i] = int32(i)
+	}
+	for a, nbrs := range e.apapNbr {
+		if e.pop[a] == 0 {
+			continue
+		}
+		for _, o := range nbrs {
+			if int(o) > a && e.pop[o] > 0 {
+				p.addEdge(int32(a), o)
+			}
+		}
+	}
+	if !e.override {
+		for _, st := range e.clients {
+			if st.home >= 0 {
+				p.clientEdges(e, st.home, st)
+			}
+		}
+	}
+	e.stats.partRebuilds++
+	return p
+}
+
+// clientEdges unions home h with every populated AP that carrier-senses
+// the client — the edges this client's presence supports.
+func (p *contentionPartition) clientEdges(e *assocEngine, h int, st *assocClient) {
+	forEachHeard(st, func(o int) {
+		if o != h && e.pop[o] > 0 {
+			p.addEdge(int32(h), int32(o))
+		}
+	})
+}
+
+// forEachHeard walks the set bits of the client's hearing bitset.
+func forEachHeard(st *assocClient, f func(o int)) {
+	for w, word := range st.heard {
+		for word != 0 {
+			o := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			f(o)
+		}
+	}
+}
+
+func (p *contentionPartition) find(i int32) int32 {
+	for p.parent[i] != i {
+		p.parent[i] = p.parent[p.parent[i]] // path halving
+		i = p.parent[i]
+	}
+	return i
+}
+
+func (p *contentionPartition) union(a, b int32) {
+	ra, rb := p.find(a), p.find(b)
+	if ra != rb {
+		p.parent[rb] = ra
+	}
+}
+
+// addEdge records the contention edge {a, b} (idempotent) and merges the
+// groups. Safe to call while either group is dirty: the refresh rebuilds
+// from the adjacency, which now includes this edge.
+func (p *contentionPartition) addEdge(a, b int32) {
+	if p.adj[a] == nil {
+		p.adj[a] = make(map[int32]struct{}, 4)
+	}
+	if p.adj[b] == nil {
+		p.adj[b] = make(map[int32]struct{}, 4)
+	}
+	if _, ok := p.adj[a][b]; ok {
+		return
+	}
+	p.adj[a][b] = struct{}{}
+	p.adj[b][a] = struct{}{}
+	p.union(a, b)
+}
+
+// dropEdge removes the edge {a, b} if present and marks the (shared, by
+// I2) group dirty — the removal may have split it.
+func (p *contentionPartition) dropEdge(a, b int32) {
+	if _, ok := p.adj[a][b]; !ok {
+		return
+	}
+	delete(p.adj[a], b)
+	delete(p.adj[b], a)
+	p.dirty[a] = struct{}{}
+	p.dirty[b] = struct{}{}
+}
+
+// afterAdd runs after applyHome/ensureState added the client's hearing
+// counts to home t: population transitions open apap and inbound-client
+// edges, and each newly supported outbound count opens its edge. O(APs)
+// only when t just became populated; O(|heardBy|) otherwise.
+func (p *contentionPartition) afterAdd(e *assocEngine, t int, st *assocClient) {
+	e.stats.partUpdates++
+	if e.pop[t] == 1 {
+		// t joined the node set: its static AP↔AP edges and the edges
+		// supported by *other* cells' clients heard at t become live.
+		for _, o := range e.apapNbr[t] {
+			if e.pop[o] > 0 {
+				p.addEdge(int32(t), o)
+			}
+		}
+		if !e.override {
+			for h2 := range e.cntHome {
+				if h2 != t && e.pop[h2] > 0 && e.cntHome[h2][t] > 0 {
+					p.addEdge(int32(h2), int32(t))
+				}
+			}
+		}
+	}
+	if !e.override {
+		forEachHeard(st, func(o int) {
+			if o != t && e.pop[o] > 0 {
+				p.addEdge(int32(t), int32(o))
+			}
+		})
+	}
+}
+
+// afterRemove runs after applyHome/ensureState subtracted the client's
+// hearing counts from home h (and after pop[h] was decremented, when it
+// was): a depopulated cell drops out with all its edges; otherwise each
+// support count that hit zero re-checks its edge's remaining support.
+func (p *contentionPartition) afterRemove(e *assocEngine, h int, st *assocClient) {
+	e.stats.partUpdates++
+	if e.pop[h] == 0 {
+		for o := range p.adj[h] {
+			delete(p.adj[o], int32(h))
+			p.dirty[o] = struct{}{}
+		}
+		if len(p.adj[h]) > 0 {
+			p.adj[h] = nil
+			p.dirty[int32(h)] = struct{}{}
+		}
+		return
+	}
+	if e.override {
+		return // client terms never support override-mode edges
+	}
+	forEachHeard(st, func(o int) {
+		if o == h || e.cntHome[h][o] != 0 {
+			return
+		}
+		// The last h→o support is gone; the edge survives only on the
+		// static AP term or the reverse client term.
+		if !e.apapEdge(h, o) && e.cntHome[o][h] == 0 {
+			p.dropEdge(int32(h), int32(o))
+		}
+	})
+}
+
+// refresh re-partitions the dirty union-find groups from the maintained
+// adjacency: members of dirty groups are reset to singletons and re-unioned
+// along their edges. Edges never cross group boundaries (I2), so clean
+// groups are untouched. Linear in APs + dirty groups' edges.
+func (p *contentionPartition) refresh(e *assocEngine) {
+	if len(p.dirty) == 0 {
+		return
+	}
+	roots := make(map[int32]struct{}, len(p.dirty))
+	for d := range p.dirty {
+		roots[p.find(d)] = struct{}{}
+	}
+	var members []int32
+	for i := range p.parent {
+		if _, hit := roots[p.find(int32(i))]; hit {
+			members = append(members, int32(i))
+		}
+	}
+	for _, m := range members {
+		p.parent[m] = m
+	}
+	for _, m := range members {
+		for o := range p.adj[m] {
+			p.union(m, o)
+		}
+	}
+	p.dirty = make(map[int32]struct{})
+	e.stats.partRefreshes++
+}
+
+// components refreshes and groups: populated APs in ascending order,
+// bucketed by root — which yields exactly contentionComponents' canonical
+// form (each component ascending, ordered by smallest member).
+func (p *contentionPartition) components(e *assocEngine) [][]int32 {
+	p.refresh(e)
+	var comps [][]int32
+	slot := make(map[int32]int)
+	for i := range e.aps {
+		if e.pop[i] == 0 {
+			continue
+		}
+		r := p.find(int32(i))
+		if k, ok := slot[r]; ok {
+			comps[k] = append(comps[k], int32(i))
+		} else {
+			slot[r] = len(comps)
+			comps = append(comps, []int32{int32(i)})
+		}
+	}
+	return comps
+}
+
+// apapEdge reports the static AP↔AP term of contendPair for the unordered
+// pair {a, o}: the lower index transmits, matching the direction the pair
+// scan fixes (and, in override mode, the override's verdict for that
+// ordered pair).
+func (e *assocEngine) apapEdge(a, o int) bool {
+	if a < o {
+		return e.apapDir[a][o]
+	}
+	return e.apapDir[o][a]
+}
+
+// partitionHandle returns the engine's exported partition handle.
+func (e *assocEngine) partitionHandle() *ContentionPartition {
+	if e == nil || e.part == nil {
+		return nil
+	}
+	return &ContentionPartition{e: e}
+}

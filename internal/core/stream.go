@@ -107,6 +107,10 @@ type streamEntry struct {
 	ev   Event
 	at   time.Time // first enqueue time — decision latency is measured from here
 	dead bool
+	// noop marks a report whose roaming decision changed nothing (same
+	// incarnation, same AP): it dirties nothing and feeds the no-op
+	// latency ring instead of being hidden in the overall quantiles.
+	noop bool
 	// span traces the entry through the pipeline. Coalescing keeps the
 	// original span (matching at); a dead entry's span is simply
 	// abandoned — only finished spans are ever exported.
@@ -145,6 +149,7 @@ type StreamController struct {
 	deferred map[string]bool
 	lastFull time.Time
 	lat      *latRing
+	noopLat  *latRing       // no-op report decisions only (the fast-path floor)
 	curBatch []*streamEntry // batch being pumped; reoptimize marks its spans
 
 	wake  chan struct{}
@@ -156,7 +161,7 @@ type StreamController struct {
 type streamCounters struct {
 	offered, coalesced, annihilated uint64
 	shedReports, shedCritical       uint64
-	applied                         uint64
+	applied, noopSkips              uint64
 	maxDepth                        int
 	degradations                    uint64
 	localReopts, batchedReopts      uint64
@@ -185,6 +190,7 @@ func NewStreamController(ctrl *Controller, opts StreamOptions) *StreamController
 		deferred: make(map[string]bool),
 		lastFull: now(),
 		lat:      newLatRing(opts.RecordLatencies),
+		noopLat:  newLatRing(opts.RecordLatencies),
 		wake:     make(chan struct{}, 1),
 	}
 	// Windowed quantiles as live gauges: unlike the cumulative decision
@@ -467,6 +473,9 @@ func (s *StreamController) Pump() int {
 		d := done.Sub(en.at)
 		s.m.decision.Observe(d.Seconds())
 		s.lat.add(d)
+		if en.noop {
+			s.noopLat.add(d)
+		}
 		s.latWin.Observe(d.Seconds())
 		s.slo.Observe(d)
 		en.span.MarkEnd(TraceStageFinal)
@@ -513,9 +522,23 @@ func (s *StreamController) apply(en *streamEntry) []string {
 		c.Network.RemoveClient(id)
 		dirty = []string{prev}
 	case EventReport:
+		// A report for the incarnation the network already holds carries no
+		// new geometry; if the roaming decision then keeps the client where
+		// it was, no maintained aggregate moved and the event is a pure
+		// no-op — skip the conflict-neighbourhood re-optimization entirely.
+		// A refreshed incarnation (new *wlan.Client under the same ID) must
+		// still re-optimize even when the client stays put: its hearing sets
+		// changed the contention state.
+		sameInc := c.Network.Client(ev.Client.ID) == ev.Client
 		s.ensureMember(ev.Client)
 		prev := c.cfg.Assoc[ev.Client.ID]
 		d := c.Roam(ev.Client, s.opts.roamMargin())
+		if sameInc && d.APID == prev {
+			en.noop = true
+			s.bump(func(cs *streamCounters) { cs.noopSkips++ })
+			s.m.noopSkips.Inc()
+			break
+		}
 		dirty = []string{prev, d.APID}
 	}
 	if en.span.Active() {
@@ -623,12 +646,15 @@ func (s *StreamController) reoptimize(only map[string]bool, bypassStreak bool, c
 
 	span := s.m.reopt.Start()
 	var est *Estimator
+	opts := s.opts.Alloc
 	if e := c.engineFor(); e != nil {
 		est = e.vendEstimator()
+		// Reuse the engine's incrementally maintained contention partition:
+		// an Only-restricted re-optimization then skips the graph build.
+		opts.Partition = e.partitionHandle()
 	} else {
 		est = NewEstimator(c.Network)
 	}
-	opts := s.opts.Alloc
 	opts.Only = only
 	_, st := AllocateChannels(c.Network, c.cfg, est, opts)
 	span.End()
@@ -739,6 +765,7 @@ func (s *StreamController) Stats() StreamStats {
 		ShedReports:     s.c.shedReports,
 		ShedCritical:    s.c.shedCritical,
 		Applied:         s.c.applied,
+		NoopSkips:       s.c.noopSkips,
 		Depth:           s.live,
 		QueueLen:        len(s.queue) - s.head,
 		MaxDepth:        s.c.maxDepth,
@@ -764,6 +791,11 @@ func (s *StreamController) Stats() StreamStats {
 		out.LatencyP50Cum = s.lat.quantile(0.50)
 		out.LatencyP99Cum = s.lat.quantile(0.99)
 		out.LatencyCount = s.lat.count()
+	}
+	if s.noopLat != nil {
+		out.NoopLatencyP50 = s.noopLat.quantile(0.50)
+		out.NoopLatencyP99 = s.noopLat.quantile(0.99)
+		out.NoopLatencyCount = s.noopLat.count()
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"acorn/internal/obs"
+	"acorn/internal/wlan"
 )
 
 // BenchmarkStreamEvents measures the streaming controller's sustained event
@@ -22,12 +23,17 @@ func BenchmarkStreamEvents(b *testing.B) {
 		Gate:            GateOptions{Streak: 1, RatePerHour: 60, Burst: 10},
 	})
 
-	// A live population to report against.
+	// A live population to report against. cur tracks each slot's current
+	// incarnation so steady-state reports can resend the same object — the
+	// shape the no-op fast path exists for.
 	const pool = 128
 	live := make([]string, 0, pool)
+	cur := make([]*wlan.Client, pool)
 	for i := 0; i < pool; i++ {
 		id := fmt.Sprintf("u%04d", i)
-		s.Offer(Event{Kind: EventArrive, Client: clientNear(n, i, id)})
+		c := clientNear(n, i, id)
+		cur[i] = c
+		s.Offer(Event{Kind: EventArrive, Client: c})
 		live = append(live, id)
 	}
 	s.Pump()
@@ -39,10 +45,20 @@ func BenchmarkStreamEvents(b *testing.B) {
 		case 0: // churn: depart one, arrive a replacement
 			s.Offer(Event{Kind: EventDepart, ClientID: live[i/16%pool]})
 		case 1:
-			id := live[(i/16)%pool]
-			s.Offer(Event{Kind: EventArrive, Client: clientNear(n, i, id)})
+			slot := (i / 16) % pool
+			cur[slot] = clientNear(n, i, live[slot])
+			s.Offer(Event{Kind: EventArrive, Client: cur[slot]})
 		default: // measurement refresh
-			s.Offer(Event{Kind: EventReport, Client: clientNear(n, i, live[i%pool])})
+			slot := i % pool
+			if i%2 == 0 {
+				// Steady-state heartbeat: same incarnation, unchanged
+				// geometry — the no-op fast path.
+				s.Offer(Event{Kind: EventReport, Client: cur[slot]})
+			} else {
+				// Geometry update: a new incarnation re-optimizes.
+				cur[slot] = clientNear(n, i, live[slot])
+				s.Offer(Event{Kind: EventReport, Client: cur[slot]})
+			}
 		}
 		if i%64 == 63 {
 			s.Pump()
@@ -57,6 +73,10 @@ func BenchmarkStreamEvents(b *testing.B) {
 	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "events/s")
 	b.ReportMetric(float64(st.LatencyP50Cum.Nanoseconds()), "p50_ns")
 	b.ReportMetric(float64(st.LatencyP99Cum.Nanoseconds()), "p99_ns")
+	b.ReportMetric(float64(st.NoopLatencyP99.Nanoseconds()), "noop_p99_ns")
+	if st.Applied > 0 {
+		b.ReportMetric(float64(st.NoopSkips)/float64(st.Applied), "noop_frac")
+	}
 	if st.Offered > 0 {
 		b.ReportMetric(float64(st.ShedReports+st.ShedCritical)/float64(st.Offered), "shed_frac")
 	}

@@ -59,6 +59,11 @@ type StreamStats struct {
 	ShedCritical uint64
 	// Applied counts events the pump has fully processed.
 	Applied uint64
+	// NoopSkips counts report events whose roaming decision kept the same
+	// incarnation on the same AP: the pump skips the conflict-neighbourhood
+	// re-optimization outright for them (nothing in the contention state
+	// changed), so they ride the cheapest path through the stream.
+	NoopSkips uint64
 	// Depth is the current number of live queued entries; QueueLen includes
 	// not-yet-compacted tombstones; MaxDepth is the high-water Depth.
 	Depth    int
@@ -102,6 +107,12 @@ type StreamStats struct {
 	LatencyP50Cum time.Duration
 	LatencyP99Cum time.Duration
 	LatencyCount  int
+	// NoopLatencyP50/NoopLatencyP99 are the same exact ring quantiles
+	// restricted to no-op report decisions — the latency floor of the
+	// fast path, which BENCH_stream reports alongside the overall figures.
+	NoopLatencyP50   time.Duration
+	NoopLatencyP99   time.Duration
+	NoopLatencyCount int
 }
 
 // latRing is a fixed-size ring of the most recent decision latencies; the
@@ -181,6 +192,7 @@ type streamMetrics struct {
 	vetoes       *obs.CounterVec
 	degraded     *obs.Gauge
 	degradations *obs.Counter
+	noopSkips    *obs.Counter
 	localReopts  *obs.Counter
 	batched      *obs.Counter
 	fullPasses   *obs.Counter
@@ -216,6 +228,8 @@ func bindStreamMetrics(reg *obs.Registry) *streamMetrics {
 			"1 while the streaming controller is in deferred batched mode"),
 		degradations: reg.Counter("acorn_stream_degradations_total",
 			"transitions into deferred batched mode"),
+		noopSkips: reg.Counter("acorn_core_stream_noop_skips_total",
+			"report events whose no-op roaming decision skipped re-optimization"),
 		localReopts: reg.Counter("acorn_stream_local_reopts_total",
 			"bounded conflict-neighbourhood re-optimizations"),
 		batched: reg.Counter("acorn_stream_batched_reopts_total",

@@ -1,0 +1,183 @@
+// Package geo provides a uniform-grid spatial index over points in the
+// plane. It exists for one job: turning the O(P²) pair scans of the
+// contention-graph builders into neighborhood queries with a conservative
+// cutoff radius (DESIGN.md §15). The index is deliberately simple — points
+// are bucketed by floor-divided cell coordinates, and a range query visits
+// the cell block covering the query disc — because correctness of the
+// consumers rests only on VisitWithin never missing a point inside the
+// radius, never on it being minimal.
+//
+// Negative coordinates are first-class: cell coordinates are signed
+// (math.Floor of v/cell) and packed into a single uint64 bucket key. Any
+// query or point set the integer cell arithmetic cannot represent safely —
+// non-finite values, coordinates beyond the int32 cell range, an infinite
+// radius, or a query block larger than the point set — degrades to an exact
+// linear scan over every stored point, so the visit contract holds
+// unconditionally.
+package geo
+
+import "math"
+
+// Grid is a uniform-grid spatial index. Build it with NewGrid, populate it
+// with Add, then query with VisitWithin. Not safe for concurrent mutation;
+// concurrent VisitWithin calls on an immutable grid are safe.
+type Grid struct {
+	cell float64
+
+	// Flat point storage; buckets hold indices into it. The flat arrays
+	// double as the fallback scan order, so degraded queries visit points
+	// in insertion order.
+	ids []int32
+	xs  []float64
+	ys  []float64
+
+	buckets map[uint64][]int32
+
+	// Occupied cell bounding box, for clamping query blocks.
+	minCX, maxCX int32
+	minCY, maxCY int32
+}
+
+// maxCell bounds |cell coordinate| so the int32 packing in cellKey cannot
+// overflow; coordinates outside are handled by the linear-scan fallback.
+const maxCell = math.MaxInt32 - 1
+
+// NewGrid creates an empty grid with the given cell size in the points'
+// units. A non-positive or non-finite cell size is clamped to 1.
+func NewGrid(cellSize float64) *Grid {
+	if !(cellSize > 0) || math.IsInf(cellSize, 1) {
+		cellSize = 1
+	}
+	return &Grid{
+		cell:    cellSize,
+		buckets: make(map[uint64][]int32),
+		minCX:   math.MaxInt32, maxCX: math.MinInt32,
+		minCY: math.MaxInt32, maxCY: math.MinInt32,
+	}
+}
+
+// Len returns the number of stored points.
+func (g *Grid) Len() int { return len(g.ids) }
+
+// CellCoord maps one coordinate to its signed cell index. Values whose cell
+// falls outside the packable int32 range (including NaN/Inf) report
+// ok=false; Add then stores the point outside the buckets, reachable only
+// by the fallback scan.
+func CellCoord(v, cell float64) (int32, bool) {
+	c := math.Floor(v / cell)
+	if math.IsNaN(c) || c < -maxCell || c > maxCell {
+		return 0, false
+	}
+	return int32(c), true
+}
+
+// CellKey packs a signed cell coordinate pair into one bucket key. Distinct
+// pairs map to distinct keys (two int32 halves, no hashing).
+func CellKey(cx, cy int32) uint64 {
+	return uint64(uint32(cx))<<32 | uint64(uint32(cy))
+}
+
+// Add stores a point. The id is the caller's tag, returned verbatim by
+// VisitWithin; duplicate ids and duplicate positions are allowed.
+func (g *Grid) Add(id int32, x, y float64) {
+	slot := int32(len(g.ids))
+	g.ids = append(g.ids, id)
+	g.xs = append(g.xs, x)
+	g.ys = append(g.ys, y)
+	cx, okX := CellCoord(x, g.cell)
+	cy, okY := CellCoord(y, g.cell)
+	if !okX || !okY {
+		// Unbucketable point (non-finite or astronomically far): every
+		// query must degrade to the linear scan to keep the visit
+		// contract, which the unbounded box below forces.
+		g.minCX, g.maxCX = math.MinInt32, math.MaxInt32
+		g.minCY, g.maxCY = math.MinInt32, math.MaxInt32
+		return
+	}
+	key := CellKey(cx, cy)
+	g.buckets[key] = append(g.buckets[key], slot)
+	if cx < g.minCX {
+		g.minCX = cx
+	}
+	if cx > g.maxCX {
+		g.maxCX = cx
+	}
+	if cy < g.minCY {
+		g.minCY = cy
+	}
+	if cy > g.maxCY {
+		g.maxCY = cy
+	}
+}
+
+// VisitWithin calls visit for every stored point whose Euclidean distance
+// to (x, y) is at most r (squared-distance comparison; callers that derive
+// r from float arithmetic should carry their own relative margin, as
+// rf.CarrierSenseRange does). Points are visited at most once each, in a
+// deterministic order for a given grid. Queries the cell arithmetic cannot
+// bound — and any grid holding an unbucketable point — fall back to an
+// exact scan of all points.
+func (g *Grid) VisitWithin(x, y, r float64, visit func(id int32)) {
+	if len(g.ids) == 0 {
+		return
+	}
+	if !(r >= 0) {
+		return // NaN or negative radius: the disc is empty
+	}
+	r2 := r * r
+	c0x, ok1 := CellCoord(x-r, g.cell)
+	c1x, ok2 := CellCoord(x+r, g.cell)
+	c0y, ok3 := CellCoord(y-r, g.cell)
+	c1y, ok4 := CellCoord(y+r, g.cell)
+	if !ok1 || !ok2 || !ok3 || !ok4 || g.minCX > g.maxCX {
+		g.scanAll(x, y, r2, visit)
+		return
+	}
+	// Clamp the block to occupied cells; a block no smaller than the point
+	// count would walk more buckets than points, so scan instead.
+	c0x, c1x = clampRange(c0x, c1x, g.minCX, g.maxCX)
+	c0y, c1y = clampRange(c0y, c1y, g.minCY, g.maxCY)
+	if c0x > c1x || c0y > c1y {
+		return // the disc misses every occupied cell
+	}
+	cells := (int64(c1x) - int64(c0x) + 1) * (int64(c1y) - int64(c0y) + 1)
+	if cells > int64(len(g.ids)) {
+		g.scanAll(x, y, r2, visit)
+		return
+	}
+	for cx := c0x; ; cx++ {
+		for cy := c0y; ; cy++ {
+			for _, slot := range g.buckets[CellKey(cx, cy)] {
+				dx, dy := g.xs[slot]-x, g.ys[slot]-y
+				if dx*dx+dy*dy <= r2 {
+					visit(g.ids[slot])
+				}
+			}
+			if cy == c1y {
+				break
+			}
+		}
+		if cx == c1x {
+			break
+		}
+	}
+}
+
+func (g *Grid) scanAll(x, y, r2 float64, visit func(id int32)) {
+	for slot := range g.ids {
+		dx, dy := g.xs[slot]-x, g.ys[slot]-y
+		if dx*dx+dy*dy <= r2 {
+			visit(g.ids[slot])
+		}
+	}
+}
+
+func clampRange(lo, hi, min, max int32) (int32, int32) {
+	if lo < min {
+		lo = min
+	}
+	if hi > max {
+		hi = max
+	}
+	return lo, hi
+}

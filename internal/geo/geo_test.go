@@ -1,0 +1,217 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bruteWithin is the oracle: an exact scan with the same squared-distance
+// comparison VisitWithin uses.
+func bruteWithin(ids []int32, xs, ys []float64, x, y, r float64, out map[int32]int) {
+	r2 := r * r
+	for i := range ids {
+		dx, dy := xs[i]-x, ys[i]-y
+		if dx*dx+dy*dy <= r2 {
+			out[ids[i]]++
+		}
+	}
+}
+
+func collect(g *Grid, x, y, r float64) map[int32]int {
+	got := map[int32]int{}
+	g.VisitWithin(x, y, r, func(id int32) { got[id]++ })
+	return got
+}
+
+func sameVisits(t *testing.T, got, want map[int32]int, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: visited %d distinct ids, oracle found %d", ctx, len(got), len(want))
+	}
+	for id, n := range want {
+		if got[id] != n {
+			t.Fatalf("%s: id %d visited %d times, oracle says %d", ctx, id, got[id], n)
+		}
+	}
+}
+
+// TestVisitWithinMatchesBruteForce drives random point sets — including
+// negative coordinates and points landing exactly on cell boundaries —
+// against the exact-scan oracle over a spread of cell sizes and radii.
+func TestVisitWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		cell := []float64{0.5, 1, 7.3, 60}[trial%4]
+		g := NewGrid(cell)
+		n := rng.Intn(80) + 1
+		ids := make([]int32, n)
+		xs, ys := make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			ids[i] = int32(i % 13) // duplicate ids on purpose
+			xs[i] = (rng.Float64() - 0.5) * 400
+			ys[i] = (rng.Float64() - 0.5) * 400
+			if i%5 == 0 {
+				xs[i] = math.Trunc(xs[i]/cell) * cell // on a cell boundary
+			}
+			g.Add(ids[i], xs[i], ys[i])
+		}
+		for q := 0; q < 20; q++ {
+			x := (rng.Float64() - 0.5) * 500
+			y := (rng.Float64() - 0.5) * 500
+			r := rng.Float64() * 120
+			want := map[int32]int{}
+			bruteWithin(ids, xs, ys, x, y, r, want)
+			sameVisits(t, collect(g, x, y, r), want, "random trial")
+		}
+	}
+}
+
+// TestVisitWithinDegenerate covers the fallback paths: infinite radius,
+// zero radius on coincident points, NaN queries, unbucketable points, and
+// an empty grid.
+func TestVisitWithinDegenerate(t *testing.T) {
+	g := NewGrid(10)
+	for i := int32(0); i < 5; i++ {
+		g.Add(i, -3.25, -3.25) // all points coincident, negative coords
+	}
+	if got := collect(g, -3.25, -3.25, 0); len(got) != 5 {
+		t.Fatalf("zero-radius query on coincident points visited %d ids, want 5", len(got))
+	}
+	if got := collect(g, 1e9, -1e9, math.Inf(1)); len(got) != 5 {
+		t.Fatalf("infinite-radius query visited %d ids, want 5", len(got))
+	}
+	if got := collect(g, math.NaN(), 0, 5); len(got) != 0 {
+		t.Fatalf("NaN query visited %d ids, want 0", len(got))
+	}
+	if got := collect(g, 0, 0, math.NaN()); len(got) != 0 {
+		t.Fatalf("NaN radius visited %d ids, want 0", len(got))
+	}
+
+	// A point beyond the packable cell range poisons the box and forces
+	// exact scans — which must still find everything.
+	g.Add(99, 1e18, 0)
+	if got := collect(g, -3.25, -3.25, 1); len(got) != 5 {
+		t.Fatalf("post-poison near query visited %d ids, want 5", len(got))
+	}
+	if got := collect(g, 1e18, 0, 1); got[99] != 1 {
+		t.Fatalf("far point not reachable after poisoning: %v", got)
+	}
+
+	empty := NewGrid(0) // non-positive cell clamps, stays usable
+	if got := collect(empty, 0, 0, 100); len(got) != 0 {
+		t.Fatalf("empty grid visited %d ids", len(got))
+	}
+}
+
+// TestCellKeyDistinct pins the packing: distinct cell coordinate pairs map
+// to distinct keys across the signed range.
+func TestCellKeyDistinct(t *testing.T) {
+	coords := []int32{math.MinInt32 + 1, -maxCell, -65536, -1, 0, 1, 65536, maxCell}
+	seen := map[uint64][2]int32{}
+	for _, cx := range coords {
+		for _, cy := range coords {
+			k := CellKey(cx, cy)
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("CellKey collision: (%d,%d) and (%d,%d) -> %#x", cx, cy, prev[0], prev[1], k)
+			}
+			seen[k] = [2]int32{cx, cy}
+		}
+	}
+}
+
+// TestVisitOrderDeterministic pins that two identical queries visit the
+// same ids in the same order (consumers sort anyway, but determinism keeps
+// candidate stats reproducible).
+func TestVisitOrderDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := NewGrid(5)
+	for i := int32(0); i < 200; i++ {
+		g.Add(i, rng.Float64()*100-50, rng.Float64()*100-50)
+	}
+	var a, b []int32
+	g.VisitWithin(0, 0, 30, func(id int32) { a = append(a, id) })
+	g.VisitWithin(0, 0, 30, func(id int32) { b = append(b, id) })
+	if len(a) != len(b) {
+		t.Fatalf("repeat query sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("visit order diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	sorted := append([]int32(nil), a...)
+	sort.Slice(sorted, func(x, y int) bool { return sorted[x] < sorted[y] })
+	if len(sorted) == 0 {
+		t.Fatal("query unexpectedly empty")
+	}
+}
+
+// FuzzCellCoordKey fuzzes the cell arithmetic with arbitrary (including
+// negative and non-finite) coordinates: CellCoord must agree with
+// math.Floor wherever it claims ok, and CellKey must be injective on the
+// reported cells.
+func FuzzCellCoordKey(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0)
+	f.Add(-3.7, 12.2, 0.5)
+	f.Add(-1e12, 1e12, 7.3)
+	f.Add(math.Inf(-1), math.NaN(), 3.0)
+	f.Fuzz(func(t *testing.T, x, y, cell float64) {
+		if !(cell > 0) || math.IsInf(cell, 1) {
+			cell = 1
+		}
+		cx, okX := CellCoord(x, cell)
+		cy, okY := CellCoord(y, cell)
+		if okX {
+			want := math.Floor(x / cell)
+			if float64(cx) != want {
+				t.Fatalf("CellCoord(%g, %g) = %d, want floor %g", x, cell, cx, want)
+			}
+		}
+		if okX && okY {
+			k := CellKey(cx, cy)
+			if gx, gy := int32(k>>32), int32(k&0xffffffff); gx != cx || gy != cy {
+				t.Fatalf("CellKey not invertible: (%d,%d) -> %#x -> (%d,%d)", cx, cy, k, gx, gy)
+			}
+		}
+	})
+}
+
+// FuzzVisitWithin fuzzes a small grid against the brute-force oracle with
+// arbitrary geometry, the strongest statement of the visit contract.
+func FuzzVisitWithin(f *testing.F) {
+	f.Add(int64(1), 1.0, 0.0, 0.0, 10.0)
+	f.Add(int64(9), 60.0, -200.0, 300.0, 75.0)
+	f.Add(int64(42), 0.25, -1e9, 1e9, 1e6)
+	f.Fuzz(func(t *testing.T, seed int64, cell, qx, qy, r float64) {
+		if math.IsNaN(cell) {
+			cell = 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGrid(cell)
+		n := rng.Intn(40) + 1
+		ids := make([]int32, n)
+		xs, ys := make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			ids[i] = int32(i)
+			xs[i] = (rng.Float64() - 0.5) * 2e4
+			ys[i] = (rng.Float64() - 0.5) * 2e4
+			g.Add(ids[i], xs[i], ys[i])
+		}
+		want := map[int32]int{}
+		if r >= 0 && !math.IsNaN(qx) && !math.IsNaN(qy) {
+			bruteWithin(ids, xs, ys, qx, qy, r, want)
+		}
+		got := map[int32]int{}
+		g.VisitWithin(qx, qy, r, func(id int32) { got[id]++ })
+		if len(got) != len(want) {
+			t.Fatalf("visited %d ids, oracle %d (cell=%g q=(%g,%g) r=%g)", len(got), len(want), cell, qx, qy, r)
+		}
+		for id, c := range want {
+			if got[id] != c {
+				t.Fatalf("id %d visited %d times, oracle %d", id, got[id], c)
+			}
+		}
+	})
+}

@@ -66,6 +66,36 @@ func (m PathLossModel) RxPower(tx units.DBm, distanceM float64, extra units.DB) 
 	return tx.Minus(m.PathLoss(distanceM, extra))
 }
 
+// CarrierSenseRange inverts the path-loss model at a receive threshold: it
+// returns a distance r (meters) such that RxPower(tx, d, 0) >= threshold
+// implies d <= r. The model is monotone in distance for a positive exponent
+// (PathLoss grows with 10·n·log10(d)), so the exact crossover is
+//
+//	r* = 10^((tx − threshold − ReferenceLoss + AntennaGain) / (10·n))
+//
+// and the sub-meter clamp of PathLoss is covered by flooring the bound at
+// the reference distance. The returned radius is r* inflated by a 1e-6
+// relative margin — about nine orders of magnitude above the accumulated
+// float error of the log10/pow round trip and of squared-distance
+// comparisons — so a spatial index may prune any pair farther than r
+// without ever disagreeing with the exact predicate. ok is false when the
+// exponent is not positive (the model is not invertible; callers must fall
+// back to exhaustive scans).
+func (m PathLossModel) CarrierSenseRange(tx units.DBm, threshold units.DBm) (float64, bool) {
+	if !(m.Exponent > 0) {
+		return 0, false
+	}
+	exp := (float64(tx) - float64(threshold) - float64(m.ReferenceLoss) + float64(m.AntennaGain)) / (10 * m.Exponent)
+	r := math.Pow(10, exp)
+	if math.IsNaN(r) {
+		return 0, false
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r * (1 + 1e-6), true
+}
+
 // ChannelJitter returns the deterministic, per-(link, channel) SNR jitter in
 // dB that models the residual frequency dependence of link quality. For the
 // MIMO links of the paper's testbed this variation is negligible (Fig 8

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"acorn/internal/spectrum"
+	"acorn/internal/units"
 )
 
 func TestDistance(t *testing.T) {
@@ -104,5 +105,60 @@ func TestChannelJitterNegligibleVsSNRScale(t *testing.T) {
 	}
 	if maxAbs >= 1.0 {
 		t.Errorf("max channel jitter %v dB should stay below 1 dB", maxAbs)
+	}
+}
+
+// TestCarrierSenseRangeBounds pins the inverse against RxPower itself: any
+// distance at which the receive power clears the threshold must sit inside
+// the returned radius, and distances just past the radius must not.
+func TestCarrierSenseRangeBounds(t *testing.T) {
+	m := DefaultIndoor5GHz()
+	for _, tx := range []units.DBm{0, 10, 18, 23, 30} {
+		for _, cs := range []units.DBm{-62, -75, -82, -90} {
+			r, ok := m.CarrierSenseRange(tx, cs)
+			if !ok {
+				t.Fatalf("CarrierSenseRange(%v, %v) not invertible", tx, cs)
+			}
+			if r < 1 {
+				t.Fatalf("CarrierSenseRange(%v, %v) = %v below the reference distance", tx, cs, r)
+			}
+			// Sweep distances across the crossover; the implication
+			// RxPower >= cs  =>  d <= r must hold at every sample.
+			for f := 0.01; f < 4; f *= 1.17 {
+				d := r * f
+				if m.RxPower(tx, d, 0) >= cs && d > r {
+					t.Fatalf("tx=%v cs=%v: RxPower at d=%v clears threshold beyond radius %v", tx, cs, d, r)
+				}
+			}
+			// Just inside the exact crossover the threshold must clear
+			// (the radius is a bound, not a loose estimate).
+			if inside := r / (1 + 1e-3); inside >= 1 {
+				if m.RxPower(tx, inside, 0) < cs {
+					t.Fatalf("tx=%v cs=%v: radius %v overshoots — threshold missed at %v", tx, cs, r, inside)
+				}
+			}
+		}
+	}
+}
+
+// TestCarrierSenseRangeDegenerate covers the non-invertible and clamped
+// cases.
+func TestCarrierSenseRangeDegenerate(t *testing.T) {
+	m := DefaultIndoor5GHz()
+	m.Exponent = 0
+	if _, ok := m.CarrierSenseRange(18, -82); ok {
+		t.Fatal("zero exponent must not be invertible")
+	}
+	m.Exponent = -2
+	if _, ok := m.CarrierSenseRange(18, -82); ok {
+		t.Fatal("negative exponent must not be invertible")
+	}
+	m = DefaultIndoor5GHz()
+	// A threshold the transmitter cannot clear even at the reference
+	// distance: the bound clamps to (just above) 1 m and the predicate is
+	// false everywhere — still a valid conservative radius.
+	r, ok := m.CarrierSenseRange(-100, -20)
+	if !ok || r < 1 {
+		t.Fatalf("clamped range = %v, %v; want >= 1, true", r, ok)
 	}
 }
