@@ -10,12 +10,12 @@ BUILD_DIR ?= build
 # build, or a fresh module fetch, in that order.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build vet staticcheck test race bench bench-smoke alloc-bench-smoke assoc-bench-smoke shard-bench-smoke stream-bench-smoke trace-bench-smoke build-bench-smoke stream-chaos obs-smoke cover experiments clean
+.PHONY: all build vet staticcheck test race bench bench-smoke alloc-bench-smoke assoc-bench-smoke shard-bench-smoke stream-bench-smoke trace-bench-smoke build-bench-smoke fleet-bench fleet-bench-smoke stream-chaos obs-smoke cover experiments clean
 
 # The default check path race-checks everything: the control plane is
 # deliberately concurrent (heartbeats, reconnect supervisors, chaos tests),
 # so plain `make` must catch data races, not just failures.
-all: build vet staticcheck test race bench-smoke alloc-bench-smoke assoc-bench-smoke shard-bench-smoke stream-bench-smoke trace-bench-smoke build-bench-smoke stream-chaos obs-smoke
+all: build vet staticcheck test race bench-smoke alloc-bench-smoke assoc-bench-smoke shard-bench-smoke stream-bench-smoke trace-bench-smoke build-bench-smoke fleet-bench-smoke stream-chaos obs-smoke
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,10 @@ bench:
 	$(GO) run ./cmd/benchjson -match '^BenchmarkGraphBuild' \
 		-derive build_speedup_2000ap=BenchmarkGraphBuildFullScan2000AP/BenchmarkGraphBuildIndexed2000AP \
 		< $(BUILD_DIR)/bench_output.txt > BENCH_build.json
+	$(GO) run ./cmd/benchjson -match 'BenchmarkFleet|BenchmarkServerPush' \
+		-derive fleet_wire_ratio_v1_v2=BenchmarkFleetWireV1/BenchmarkFleetWireV2:bytes_on_wire \
+		-derive push_alloc_ratio_v1_v2=BenchmarkServerPushV1/BenchmarkServerPushV2:allocs_per_push_batch \
+		< $(BUILD_DIR)/bench_output.txt > BENCH_fleet.json
 
 # One-iteration smoke pass over every benchmark: catches bit-rot in the
 # benchmark code without paying for real measurements. -short elides the
@@ -141,6 +145,42 @@ build-bench-smoke:
 		-derive build_speedup_2000ap=BenchmarkGraphBuildFullScan2000AP/BenchmarkGraphBuildIndexed2000AP \
 		< $(BUILD_DIR)/build_bench_smoke.txt > BENCH_build.json
 	rm -f $(BUILD_DIR)/build_bench_smoke.txt
+
+# Regenerate BENCH_fleet.json from real fleet runs: the 10k-agent
+# convergence headline (minutes on one core), the fixed-profile wire pair
+# whose bytes-on-wire ratio is the v1-vs-v2 framing win, and the server
+# push pair whose per-batch allocation ratio shows the outbox's zero-alloc
+# v2 path. Both ratios are derived in the same run.
+fleet-bench:
+	@mkdir -p $(BUILD_DIR)
+	$(GO) test -run '^$$' -bench 'BenchmarkFleet|BenchmarkServerPush' -benchmem \
+		-benchtime=1x -count=1 -timeout 60m ./internal/ctlnet/ ./internal/fleetsim/ \
+		| tee $(BUILD_DIR)/fleet_bench.txt
+	$(GO) run ./cmd/benchjson -match 'BenchmarkFleet|BenchmarkServerPush' \
+		-derive fleet_wire_ratio_v1_v2=BenchmarkFleetWireV1/BenchmarkFleetWireV2:bytes_on_wire \
+		-derive push_alloc_ratio_v1_v2=BenchmarkServerPushV1/BenchmarkServerPushV2:allocs_per_push_batch \
+		< $(BUILD_DIR)/fleet_bench.txt > BENCH_fleet.json
+	rm -f $(BUILD_DIR)/fleet_bench.txt
+
+# Smoke the fleet harness: the 200-agent convergence test, one -short
+# iteration of the wire and push benchmark pairs, and the full benchjson
+# derive pipeline into a scratch file whose schema is asserted (the
+# committed BENCH_fleet.json comes from `fleet-bench`, not from here).
+fleet-bench-smoke:
+	@mkdir -p $(BUILD_DIR)
+	$(GO) test -run 'TestFleetConverges$$' -count=1 ./internal/fleetsim/ > /dev/null
+	$(GO) test -short -run '^$$' -bench 'BenchmarkFleetWire|BenchmarkServerPush' -benchmem \
+		-benchtime=1x -count=1 ./internal/ctlnet/ ./internal/fleetsim/ \
+		| tee $(BUILD_DIR)/fleet_bench_smoke.txt > /dev/null
+	$(GO) run ./cmd/benchjson -match 'BenchmarkFleet|BenchmarkServerPush' \
+		-derive fleet_wire_ratio_v1_v2=BenchmarkFleetWireV1/BenchmarkFleetWireV2:bytes_on_wire \
+		-derive push_alloc_ratio_v1_v2=BenchmarkServerPushV1/BenchmarkServerPushV2:allocs_per_push_batch \
+		< $(BUILD_DIR)/fleet_bench_smoke.txt > $(BUILD_DIR)/fleet_bench_smoke.json
+	@grep -q fleet_wire_ratio_v1_v2 $(BUILD_DIR)/fleet_bench_smoke.json || \
+		{ echo "fleet-bench-smoke: wire ratio missing from benchjson output"; exit 1; }
+	@grep -q push_alloc_ratio_v1_v2 $(BUILD_DIR)/fleet_bench_smoke.json || \
+		{ echo "fleet-bench-smoke: alloc ratio missing from benchjson output"; exit 1; }
+	rm -f $(BUILD_DIR)/fleet_bench_smoke.txt $(BUILD_DIR)/fleet_bench_smoke.json
 
 # Chaos suite, short mode, under the race detector: connection resets,
 # latency/jitter, short writes and report storms against the streaming

@@ -2,6 +2,7 @@
 //
 //	acornctl serve -addr :7431 [-period 30m] [-report-ttl 3h]
 //	              [-hello-timeout 10s] [-peer-timeout 90s]
+//	              [-server-shards 0] [-shard-queue 4096]
 //	              [-stream] [-stream-debounce 25ms] [-stream-watchdog 0]
 //	              [-switch-margin 0.02] [-switch-streak 2]
 //	              [-switch-rate 12] [-switch-burst 3]
@@ -23,7 +24,7 @@
 //	    (default: -period), so vetoed or failed work is never stranded.
 //
 //	acornctl agent -addr host:7431 -id AP1 [-report meas.json]
-//	              [-period 30s] [-heartbeat 15s]
+//	              [-period 30s] [-heartbeat 15s] [-frame 2]
 //	              [-backoff-min 500ms] [-backoff-max 1m]
 //	    Run one AP agent with automatic reconnection: jittered
 //	    exponential backoff between attempts, hello re-sent on every
@@ -38,6 +39,16 @@
 //	    the wire is wrapped in a fault injector (connection resets,
 //	    delays, corrupt bytes) and the agents reconnect through the
 //	    faults until the allocation converges anyway.
+//
+//	acornctl fleet [-agents 1000] [-frame 2] [-server-shards 0]
+//	              [-duration 3s] [-report-period 2s] [-heartbeat 5s]
+//	              [-churn 0.1] [-storm 0.1] [-transport pipe] [-json]
+//	    Boot an in-process fleet of reconnecting agents against a real
+//	    sharded controller and measure the control plane at scale:
+//	    convergence time, sustained report rate, push tail latency,
+//	    bytes on the wire, and recovery from connection churn and
+//	    report storms. The default pipe transport needs no file
+//	    descriptors, so fleets of tens of thousands fit in one process.
 //
 //	acornctl obs -addr host:port
 //	    Fetch a running process's introspection endpoints (-obs-addr on
@@ -82,7 +93,7 @@ var logger = obs.DefaultLogger.Named("acornctl")
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: acornctl serve|agent|demo|obs|trace [flags]")
+		fmt.Fprintln(os.Stderr, "usage: acornctl serve|agent|demo|fleet|obs|trace [flags]")
 		os.Exit(2)
 	}
 	switch os.Args[1] {
@@ -92,6 +103,8 @@ func main() {
 		agent(os.Args[2:])
 	case "demo":
 		demo(os.Args[2:])
+	case "fleet":
+		fleet(os.Args[2:])
 	case "obs":
 		obsCmd(os.Args[2:])
 	case "trace":
@@ -136,6 +149,8 @@ func serve(args []string) {
 	allocWorkers := fs.Int("alloc-workers", 0, "parallel rank-evaluation workers for Algorithm 2 (0 = GOMAXPROCS)")
 	assocWorkers := fs.Int("assoc-workers", 0, "parallel roaming-sweep workers for Algorithm 1 (0 = GOMAXPROCS)")
 	shardWorkers := fs.Int("shard-workers", 0, "component-sharded Algorithm 2: solve independent contention components on this many workers (0 = off)")
+	serverShards := fs.Int("server-shards", 0, "inbound accept/IO shards feeding the controller through bounded queues (0 = min(8, GOMAXPROCS))")
+	shardQueue := fs.Int("shard-queue", 0, "per-shard report queue capacity; a full queue sheds oldest-first (0 = default 4096)")
 	spatialIndex := fs.Bool("spatial-index", true, "prune the contention-graph pair scan with the uniform-grid spatial index (exact — the graph is bit-identical; false forces the full O(P²) scan)")
 	gridCellM := fs.Float64("grid-cell-m", 0, "spatial-index grid cell size in meters (0 = the carrier-sense cutoff radius)")
 	stream := fs.Bool("stream", false, "event-driven mode: reallocate the dirty hear-graph neighbourhood on every fresh report instead of waiting for -period")
@@ -187,6 +202,7 @@ func serve(args []string) {
 	s.Alloc.NoSpatialIndex = !*spatialIndex
 	s.Alloc.GridCellM = *gridCellM
 	s.Assoc.Workers = *assocWorkers
+	s.Shards = ctlnet.ShardConfig{N: *serverShards, QueueCap: *shardQueue}
 	s.ReportTTL = *reportTTL
 	s.HelloTimeout = *helloTimeout
 	s.PeerTimeout = *peerTimeout
@@ -270,6 +286,7 @@ func agent(args []string) {
 	reportPath := fs.String("report", "", "JSON file with the ctlnet.Report to stream (empty = clientless)")
 	period := fs.Duration("period", 30*time.Second, "measurement report interval")
 	heartbeat := fs.Duration("heartbeat", ctlnet.DefaultHeartbeatInterval, "ping interval keeping the session alive")
+	frame := fs.Int("frame", 2, "wire framing version to request: 2 = batched binary frames (falls back to JSON against an old controller), 1 = JSON lines")
 	backoffMin := fs.Duration("backoff-min", 500*time.Millisecond, "first reconnect delay")
 	backoffMax := fs.Duration("backoff-max", time.Minute, "reconnect delay cap")
 	logLevel := fs.String("log-level", "info", "log threshold: debug|info|warn|error|off")
@@ -294,7 +311,7 @@ func agent(args []string) {
 		ctlnet.Hello{APID: *id, TxPowerDBm: *txPower},
 		ctlnet.ReconnectOptions{
 			Backoff: ctlnet.Backoff{Min: *backoffMin, Max: *backoffMax},
-			Agent:   ctlnet.AgentOptions{HeartbeatInterval: *heartbeat},
+			Agent:   ctlnet.AgentOptions{HeartbeatInterval: *heartbeat, Frame: *frame},
 			Log:     logger,
 		})
 	if err != nil {

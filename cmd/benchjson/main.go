@@ -58,7 +58,8 @@ var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 // derivation is one -derive spec: out = metric(numer) / metric(denom),
 // where metric defaults to ns_per_op and an optional ":name" suffix on the
-// denominator selects a custom Extra metric instead.
+// denominator selects another metric: one of the builtins ("ns_per_op",
+// "bytes_per_op", "allocs_per_op") or a custom Extra metric by its unit.
 type derivation struct {
 	key, numer, denom string
 	metric            string // "" means ns_per_op
@@ -149,7 +150,13 @@ func main() {
 		numer, okN := results[d.numer]
 		denom, okD := results[d.denom]
 		nv, dv := numer.NsPerOp, denom.NsPerOp
-		if d.metric != "" {
+		switch d.metric {
+		case "", "ns_per_op":
+		case "bytes_per_op":
+			nv, dv = numer.BytesPerOp, denom.BytesPerOp
+		case "allocs_per_op":
+			nv, dv = numer.AllocsPerOp, denom.AllocsPerOp
+		default:
 			nv, dv = numer.Extra[d.metric], denom.Extra[d.metric]
 		}
 		if !okN || !okD || dv == 0 {

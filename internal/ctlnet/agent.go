@@ -30,25 +30,39 @@ type AgentOptions struct {
 	// WriteTimeout bounds each outbound write. Zero means
 	// DefaultWriteTimeout; negative disables write deadlines.
 	WriteTimeout time.Duration
-	// Obs receives session metrics (heartbeat RTTs); nil means
-	// obs.Default.
+	// Frame selects the wire framing the agent offers in its hello: zero
+	// and FrameV2 request batched binary frames (a v1 controller simply
+	// never acks, and the session stays on JSON lines); FrameV1 pins
+	// newline-delimited JSON.
+	Frame int
+	// ReadBufBytes sizes the connection's buffered reader. Zero means
+	// 64 KiB; fleet-scale harnesses shrink it so tens of thousands of
+	// in-process agents stay affordable.
+	ReadBufBytes int
+	// Obs receives session metrics (heartbeat RTTs, wire bytes); nil
+	// means obs.Default.
 	Obs *obs.Registry
 }
 
 // Agent is the AP-side endpoint: it says hello, streams reports, and
 // receives channel assignments. A background heartbeat keeps the session
 // alive and lets both ends detect a dead peer within PeerTimeout.
+//
+// All writes after the hello flow through a per-connection outbox that
+// batches pending reports and heartbeats into one write, and — once the
+// controller acks frame v2 — encodes them as binary frames.
 type Agent struct {
 	apID string
 	conn net.Conn
 	r    *bufio.Reader
+	dec  *frameDecoder
+	ob   *outbox
 	opts AgentOptions
-	wmu  sync.Mutex
-	seq  uint64 // guarded by wmu; last report sequence stamped
 
 	rttHist *obs.Histogram
 
 	mu      sync.Mutex
+	seq     uint64 // last report sequence stamped
 	current spectrum.Channel
 	updates chan spectrum.Channel
 	readErr error
@@ -81,6 +95,36 @@ func NewAgent(conn net.Conn, hello Hello) (*Agent, error) {
 	return NewAgentOpts(conn, hello, AgentOptions{})
 }
 
+// agentWire bundles the agent-side wire counters, bound once per registry.
+type agentWire struct {
+	out *outboxMetrics
+	rx  *obs.Counter
+}
+
+var agentWireCache sync.Map // *obs.Registry → *agentWire
+
+func agentWireMetrics(reg *obs.Registry) *agentWire {
+	if w, ok := agentWireCache.Load(reg); ok {
+		return w.(*agentWire)
+	}
+	w := &agentWire{
+		out: &outboxMetrics{
+			txBytes: reg.Counter("acorn_ctlnet_agent_tx_bytes_total",
+				"bytes written to the controller by agents"),
+			txBatches: reg.Counter("acorn_ctlnet_agent_tx_batches_total",
+				"batched writes to the controller by agents"),
+			txMsgs: reg.Counter("acorn_ctlnet_agent_tx_msgs_total",
+				"messages written to the controller by agents"),
+			reportsCoalesced: reg.Counter("acorn_ctlnet_agent_reports_coalesced_total",
+				"reports replaced latest-wins in an agent outbox before hitting the wire"),
+		},
+		rx: reg.Counter("acorn_ctlnet_agent_rx_bytes_total",
+			"bytes read from the controller by agents"),
+	}
+	actual, _ := agentWireCache.LoadOrStore(reg, w)
+	return actual.(*agentWire)
+}
+
 // NewAgentOpts runs the agent protocol over an existing connection. The
 // hello is sent immediately; a background reader collects assignments and a
 // background pinger keeps the session alive.
@@ -89,18 +133,29 @@ func NewAgentOpts(conn net.Conn, hello Hello, opts AgentOptions) (*Agent, error)
 		conn.Close()
 		return nil, fmt.Errorf("ctlnet: agent requires an AP id")
 	}
+	reg := obs.Or(opts.Obs)
+	wire := agentWireMetrics(reg)
+	rbuf := opts.ReadBufBytes
+	if rbuf <= 0 {
+		rbuf = 64 << 10
+	}
 	a := &Agent{
 		apID: hello.APID,
 		conn: conn,
-		r:    bufio.NewReaderSize(conn, 64<<10),
+		r:    bufio.NewReaderSize(&countingReader{r: conn, c: wire.rx}, rbuf),
+		dec:  &frameDecoder{},
+		ob:   newOutbox(conn, timeout(opts.WriteTimeout, DefaultWriteTimeout), wire.out),
 		opts: opts,
-		rttHist: obs.Or(opts.Obs).Histogram("acorn_ctlnet_heartbeat_rtt_seconds",
+		rttHist: reg.Histogram("acorn_ctlnet_heartbeat_rtt_seconds",
 			"agent-measured ping/pong round-trip time",
 			[]float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}),
 		updates: make(chan spectrum.Channel, 1),
 		done:    make(chan struct{}),
 	}
-	if err := a.send(&Envelope{Type: TypeHello, Hello: &hello}); err != nil {
+	if opts.Frame != FrameV1 {
+		hello.Frame = FrameV2
+	}
+	if err := a.ob.writeDirect(&Envelope{Type: TypeHello, Hello: &hello}); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -111,18 +166,9 @@ func NewAgentOpts(conn net.Conn, hello Hello, opts AgentOptions) (*Agent, error)
 	return a, nil
 }
 
-// send writes one envelope under the write lock and deadline.
-func (a *Agent) send(env *Envelope) error {
-	a.wmu.Lock()
-	defer a.wmu.Unlock()
-	if d := timeout(a.opts.WriteTimeout, DefaultWriteTimeout); d > 0 {
-		_ = a.conn.SetWriteDeadline(time.Now().Add(d))
-	}
-	return writeMsg(a.conn, env)
-}
-
-// pingLoop sends a heartbeat every interval until the session ends. A
-// failed ping tears the connection down so the read loop notices promptly.
+// pingLoop enqueues a heartbeat every interval until the session ends. A
+// dead outbox (failed write) tears the connection down so the read loop
+// notices promptly.
 func (a *Agent) pingLoop(interval time.Duration) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
@@ -137,7 +183,7 @@ func (a *Agent) pingLoop(interval time.Duration) {
 			a.pingSeq = seq
 			a.pingAt = time.Now()
 			a.mu.Unlock()
-			if err := a.send(&Envelope{Type: TypePing, Ping: &Heartbeat{Seq: seq}}); err != nil {
+			if err := a.ob.enqueuePing(seq); err != nil {
 				a.conn.Close()
 				return
 			}
@@ -152,7 +198,7 @@ func (a *Agent) readLoop() {
 		if peerTimeout > 0 {
 			_ = a.conn.SetReadDeadline(time.Now().Add(peerTimeout))
 		}
-		env, err := readMsg(a.r)
+		env, err := readMsgAny(a.r, a.dec)
 		if err != nil {
 			a.mu.Lock()
 			a.readErr = err
@@ -190,6 +236,11 @@ func (a *Agent) readLoop() {
 			a.mu.Unlock()
 			if rtt > 0 {
 				a.rttHist.Observe(rtt.Seconds())
+			}
+		case TypeFrame:
+			// The controller accepts binary frames: flip our writes to v2.
+			if env.Frame.V >= FrameV2 {
+				a.ob.setV2()
 			}
 		default:
 			// Any future message type only matters for the read deadline
@@ -231,22 +282,21 @@ func channelFromAssign(as *Assign) (spectrum.Channel, error) {
 
 // SendReport streams one measurement report. The APID field is filled in;
 // so is Seq when zero (a caller-provided Seq — e.g. a reconnect replay —
-// is preserved).
+// is preserved). Delivery is asynchronous through the outbox: a report
+// still queued when the next one arrives is replaced latest-wins, and a
+// write failure kills the session (the caller's reconnect machinery
+// replays the last report).
 func (a *Agent) SendReport(rep Report) error {
 	rep.APID = a.apID
-	a.wmu.Lock()
+	a.mu.Lock()
 	if rep.Seq == 0 {
 		a.seq++
 		rep.Seq = a.seq
 	} else if rep.Seq > a.seq {
 		a.seq = rep.Seq
 	}
-	if d := timeout(a.opts.WriteTimeout, DefaultWriteTimeout); d > 0 {
-		_ = a.conn.SetWriteDeadline(time.Now().Add(d))
-	}
-	err := writeMsg(a.conn, &Envelope{Type: TypeReport, Report: &rep})
-	a.wmu.Unlock()
-	return err
+	a.mu.Unlock()
+	return a.ob.enqueueReport(&rep)
 }
 
 // Updates returns the channel on which new assignments arrive. Only the

@@ -1,0 +1,228 @@
+package ctlnet
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// frameReader wraps encoded wire bytes for readMsgAny.
+func frameReader(data []byte) *bufio.Reader {
+	return bufio.NewReader(bytes.NewReader(data))
+}
+
+// TestFrameRoundTripAllKinds encodes one frame carrying every message kind
+// and decodes it back through readMsgAny, asserting field equality. The
+// scratch-reuse contract means each envelope is checked before the next
+// call.
+func TestFrameRoundTripAllKinds(t *testing.T) {
+	var enc frameEncoder
+	enc.begin()
+	enc.FrameAck(FrameV2)
+	enc.Hello(&Hello{APID: "ap-1", TxPowerDBm: 17.5, Frame: FrameV2})
+	rep := Report{
+		APID: "ap-1", Seq: 42,
+		Clients: []ClientObs{{ClientID: "c0", SNR20dB: 23.25}, {ClientID: "c1", SNR20dB: 31}},
+		Hears:   []string{"ap-2", "ap-3"},
+	}
+	enc.Report(&rep)
+	enc.Assign(&Assign{APID: "ap-1", WidthMHz: 40, Primary: 36, Secondary: 40})
+	enc.Error("boom")
+	enc.Ping(7)
+	enc.Pong(8)
+	data, err := enc.finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := frameReader(data)
+	dec := &frameDecoder{}
+	next := func() *Envelope {
+		t.Helper()
+		env, err := readMsgAny(r, dec)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return env
+	}
+
+	if env := next(); env.Type != TypeFrame || env.Frame.V != FrameV2 {
+		t.Fatalf("ack = %+v", env)
+	}
+	if env := next(); env.Type != TypeHello || *env.Hello != (Hello{APID: "ap-1", TxPowerDBm: 17.5, Frame: FrameV2}) {
+		t.Fatalf("hello = %+v", env.Hello)
+	}
+	env := next()
+	if env.Type != TypeReport || env.Report.APID != rep.APID || env.Report.Seq != rep.Seq {
+		t.Fatalf("report = %+v", env.Report)
+	}
+	if len(env.Report.Clients) != 2 || env.Report.Clients[1] != rep.Clients[1] {
+		t.Fatalf("report clients = %+v", env.Report.Clients)
+	}
+	if len(env.Report.Hears) != 2 || env.Report.Hears[0] != "ap-2" || env.Report.Hears[1] != "ap-3" {
+		t.Fatalf("report hears = %+v", env.Report.Hears)
+	}
+	if env := next(); env.Type != TypeAssign || *env.Assign != (Assign{APID: "ap-1", WidthMHz: 40, Primary: 36, Secondary: 40}) {
+		t.Fatalf("assign = %+v", env.Assign)
+	}
+	if env := next(); env.Type != TypeError || env.Error.Reason != "boom" {
+		t.Fatalf("error = %+v", env.Error)
+	}
+	if env := next(); env.Type != TypePing || env.Ping.Seq != 7 {
+		t.Fatalf("ping = %+v", env)
+	}
+	if env := next(); env.Type != TypePong || env.Pong.Seq != 8 {
+		t.Fatalf("pong = %+v", env)
+	}
+	if _, err := readMsgAny(r, dec); err != io.EOF {
+		t.Fatalf("after frame: err = %v, want EOF", err)
+	}
+}
+
+// TestFrameMixedWithJSON interleaves a JSON line between two frames on one
+// stream: the peeked-magic dispatch must route each correctly.
+func TestFrameMixedWithJSON(t *testing.T) {
+	var enc frameEncoder
+	enc.begin()
+	enc.Pong(1)
+	f1, _ := enc.finish()
+	var buf bytes.Buffer
+	buf.Write(f1)
+	if err := writeMsg(&buf, &Envelope{Type: TypePing, Ping: &Heartbeat{Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	enc.begin()
+	enc.Pong(3)
+	f2, _ := enc.finish()
+	buf.Write(f2)
+
+	r := frameReader(buf.Bytes())
+	dec := &frameDecoder{}
+	for i, want := range []struct {
+		typ string
+		seq uint64
+	}{{TypePong, 1}, {TypePing, 2}, {TypePong, 3}} {
+		env, err := readMsgAny(r, dec)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if env.Type != want.typ {
+			t.Fatalf("msg %d: type %q, want %q", i, env.Type, want.typ)
+		}
+	}
+}
+
+// TestFrameBeforeNegotiation asserts a frame byte on a connection that
+// never negotiated v2 (nil decoder) is a tagged protocol violation, not a
+// panic or a hang.
+func TestFrameBeforeNegotiation(t *testing.T) {
+	var enc frameEncoder
+	enc.begin()
+	enc.Pong(1)
+	data, _ := enc.finish()
+	_, err := readMsgAny(frameReader(data), nil)
+	if !errors.Is(err, errMalformed) {
+		t.Fatalf("err = %v, want errMalformed", err)
+	}
+}
+
+// TestFrameBounds drives the decoder with structurally hostile frames and
+// asserts each is rejected with errMalformed (protocol violation) or the
+// proper transport error (truncation), never accepted or panicking.
+func TestFrameBounds(t *testing.T) {
+	valid := func() []byte {
+		var enc frameEncoder
+		enc.begin()
+		enc.Pong(1)
+		data, _ := enc.finish()
+		return append([]byte(nil), data...)
+	}()
+
+	cases := []struct {
+		name      string
+		data      []byte
+		malformed bool // else: expect a transport truncation error
+	}{
+		{"truncated header", valid[:3], true},
+		{"wrong version", func() []byte {
+			d := append([]byte(nil), valid...)
+			d[1] = 3
+			return d
+		}(), true},
+		{"zero payload", []byte{frameMagic, FrameV2, 0, 0, 0, 0}, true},
+		{"oversized payload length", []byte{frameMagic, FrameV2, 0xFF, 0xFF, 0xFF, 0xFF}, true},
+		{"truncated payload", valid[:len(valid)-1], false},
+		{"unknown kind", func() []byte {
+			var enc frameEncoder
+			enc.begin()
+			enc.buf = append(enc.buf, 99)
+			d, _ := enc.finish()
+			return append([]byte(nil), d...)
+		}(), true},
+		{"oversized string", func() []byte {
+			var enc frameEncoder
+			enc.begin()
+			enc.buf = append(enc.buf, kindError)
+			enc.uint(maxFrameStr + 1)
+			d, _ := enc.finish()
+			return append([]byte(nil), d...)
+		}(), true},
+		{"oversized group", func() []byte {
+			var enc frameEncoder
+			enc.begin()
+			enc.buf = append(enc.buf, kindReport)
+			enc.str("ap")
+			enc.uint(0)                 // seq
+			enc.uint(maxFrameItems + 1) // client count
+			d, _ := enc.finish()
+			return append([]byte(nil), d...)
+		}(), true},
+		{"truncated varint", func() []byte {
+			var enc frameEncoder
+			enc.begin()
+			enc.buf = append(enc.buf, kindPong) // body missing entirely
+			d, _ := enc.finish()
+			return append([]byte(nil), d...)
+		}(), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := readMsgAny(frameReader(tc.data), &frameDecoder{})
+			if err == nil {
+				t.Fatal("hostile frame accepted")
+			}
+			if tc.malformed && !errors.Is(err, errMalformed) {
+				t.Fatalf("err = %v, want errMalformed", err)
+			}
+			if !tc.malformed && !(errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)) {
+				t.Fatalf("err = %v, want truncation", err)
+			}
+		})
+	}
+}
+
+// TestFrameSmallerThanJSON pins the point of the exercise: the same report
+// batch costs materially fewer bytes framed than as JSON lines.
+func TestFrameSmallerThanJSON(t *testing.T) {
+	rep := Report{
+		APID: "ap-00042", Seq: 1234,
+		Clients: []ClientObs{{ClientID: "c0", SNR20dB: 23.25}, {ClientID: "c1", SNR20dB: 31.5}},
+		Hears:   []string{"ap-00041", "ap-00043"},
+	}
+	var enc frameEncoder
+	enc.begin()
+	enc.Report(&rep)
+	v2, err := enc.finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if err := writeMsg(&v1, &Envelope{Type: TypeReport, Report: &rep}); err != nil {
+		t.Fatal(err)
+	}
+	if len(v2)*2 >= v1.Len() {
+		t.Fatalf("v2 frame %d bytes vs v1 line %d bytes: want at least 2x smaller", len(v2), v1.Len())
+	}
+}

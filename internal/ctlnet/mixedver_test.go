@@ -1,0 +1,112 @@
+package ctlnet
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"acorn/internal/obs"
+	"acorn/internal/spectrum"
+)
+
+// fixtureReport is the deterministic measurement fixture: AP i reports two
+// clients with fixed SNRs and hears its neighbours in a cluster of four.
+func fixtureReport(i, n int) Report {
+	id := fmt.Sprintf("mv-%03d", i)
+	rep := Report{
+		APID: id,
+		Clients: []ClientObs{
+			{ClientID: "c0", SNR20dB: 20 + float64(i%7)},
+			{ClientID: "c1", SNR20dB: 26 + float64(i%5)},
+		},
+	}
+	cluster := i / 4
+	for p := cluster * 4; p < (cluster+1)*4 && p < n; p++ {
+		if p != i {
+			rep.Hears = append(rep.Hears, fmt.Sprintf("mv-%03d", p))
+		}
+	}
+	return rep
+}
+
+// runMixedFixture boots len(frames) agents — agent i negotiating frames[i]
+// — against a fresh server, replays the fixture, reallocates, and returns
+// the server's stored assignments once every agent holds exactly its own.
+func runMixedFixture(t *testing.T, frames []int) map[string]spectrum.Channel {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(99)
+	s.Obs = obs.NewRegistry()
+	go func() { _ = s.Serve(l) }()
+	defer s.Close()
+
+	n := len(frames)
+	agents := make([]*Agent, n)
+	for i, fv := range frames {
+		a, err := DialOpts(l.Addr().String(),
+			Hello{APID: fmt.Sprintf("mv-%03d", i), TxPowerDBm: 20},
+			AgentOptions{Frame: fv, Obs: s.Obs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		agents[i] = a
+		if err := a.SendReport(fixtureReport(i, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForReports(t, s, n)
+	want, err := s.Reallocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ok := 0
+		for i, a := range agents {
+			if a.Current() == want[fmt.Sprintf("mv-%03d", i)] {
+				ok++
+			}
+		}
+		if ok == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d agents converged", ok, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return s.Assignments()
+}
+
+// TestMixedVersionFleetConverges replays the same fixture through an
+// all-v1 fleet and a mixed v1/v2 fleet on servers seeded identically: the
+// wire framing must be invisible to the allocation — final assignment
+// tables bit-equal — and every agent must end up holding its assignment.
+func TestMixedVersionFleetConverges(t *testing.T) {
+	const n = 24
+	allV1 := make([]int, n)
+	mixed := make([]int, n)
+	for i := range allV1 {
+		allV1[i] = FrameV1
+		if i%2 == 0 {
+			mixed[i] = FrameV2
+		} else {
+			mixed[i] = FrameV1
+		}
+	}
+	base := runMixedFixture(t, allV1)
+	got := runMixedFixture(t, mixed)
+	if len(base) != len(got) {
+		t.Fatalf("assignment counts differ: v1 %d, mixed %d", len(base), len(got))
+	}
+	for ap, ch := range base {
+		if got[ap] != ch {
+			t.Fatalf("ap %s: all-v1 %+v, mixed %+v", ap, ch, got[ap])
+		}
+	}
+}

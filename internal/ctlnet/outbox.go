@@ -1,0 +1,415 @@
+package ctlnet
+
+// outbox is the per-connection write side shared by server and agent. All
+// outbound traffic is enqueued into latest-wins slots and drained by an
+// on-demand writer goroutine into one batched write per wakeup — a v2
+// frame, or concatenated JSON lines for a v1 peer. The design kills two
+// fleet-scale problems at once:
+//
+//   - Slow-peer isolation: the enqueue path never blocks on the network.
+//     A peer that stops reading stalls only its own writer goroutine,
+//     which dies with the connection at the write deadline.
+//   - Redundant traffic: assignments coalesce latest-wins while queued,
+//     and an assignment identical to the last one written to this
+//     connection is dropped entirely (state dedup, kolide-style) — an
+//     unchanged fleet costs no push bytes at all.
+//
+// A write error marks the outbox dead and closes the connection, so the
+// peer's read loop notices and the usual reconnect machinery takes over —
+// the same semantics the old synchronous send path had.
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"acorn/internal/obs"
+)
+
+// outboxMetrics are the wire-level counters an outbox feeds, bound once
+// per registry and shared by every connection on that endpoint.
+type outboxMetrics struct {
+	txBytes   *obs.Counter
+	txBatches *obs.Counter
+	txMsgs    *obs.Counter
+
+	// Server-side push accounting; nil on agents.
+	pushDeduped   *obs.Counter
+	pushCoalesced *obs.Counter
+	pushErrors    *obs.Counter
+	pushWin       *obs.Window
+
+	// Agent-side report accounting; nil on servers.
+	reportsCoalesced *obs.Counter
+}
+
+type outbox struct {
+	conn         net.Conn
+	writeTimeout time.Duration
+	m            *outboxMetrics
+
+	// wmu serializes raw connection writes: the writer goroutine's batch
+	// writes and the synchronous terminal error line must never interleave
+	// bytes on the wire.
+	wmu sync.Mutex
+
+	mu      sync.Mutex
+	v2      bool
+	running bool
+	dead    bool
+	err     error
+
+	sendAck  int // frame version to acknowledge; 0 none pending
+	pongs    []uint64
+	pings    []uint64
+	report   *Report // latest-wins pending report (agent side)
+	assign   Assign  // latest-wins pending assignment (server side)
+	hasAsg   bool
+	assignAt time.Time // enqueue time of the pending assignment
+
+	lastPushed Assign // last assignment written, for state dedup
+	hasPushed  bool
+	// asgScratch carries the taken assignment from flush to writeBatch;
+	// a field (not a local) so taking its address never heap-allocates.
+	// Only the writer goroutine touches it.
+	asgScratch Assign
+
+	// spare buffers swapped with the pending slices at flush time, so the
+	// steady state recycles two arrays instead of allocating per batch.
+	sparePongs []uint64
+	sparePings []uint64
+
+	enc  frameEncoder
+	vbuf []byte // reused v1 JSON batch buffer
+}
+
+func newOutbox(conn net.Conn, writeTimeout time.Duration, m *outboxMetrics) *outbox {
+	return &outbox{conn: conn, writeTimeout: writeTimeout, m: m}
+}
+
+// setV2 flips the write side to binary frames (agent side, on ack).
+func (o *outbox) setV2() {
+	o.mu.Lock()
+	o.v2 = true
+	o.mu.Unlock()
+}
+
+// Err returns the terminal write error, if any.
+func (o *outbox) Err() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}
+
+// kick starts the writer if it is not running. Callers hold o.mu.
+func (o *outbox) kick() {
+	if o.dead || o.running {
+		return
+	}
+	o.running = true
+	go o.writer()
+}
+
+func (o *outbox) enqueueAck(v int) {
+	o.mu.Lock()
+	o.sendAck = v
+	o.kick()
+	o.mu.Unlock()
+}
+
+func (o *outbox) enqueuePong(seq uint64) {
+	o.mu.Lock()
+	o.pongs = append(o.pongs, seq)
+	o.kick()
+	o.mu.Unlock()
+}
+
+func (o *outbox) enqueuePing(seq uint64) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.dead {
+		return o.err
+	}
+	o.pings = append(o.pings, seq)
+	o.kick()
+	return nil
+}
+
+// enqueueReport queues a report, coalescing latest-wins against a pending
+// one. The replacement is sequence-aware: a caller-stamped older sequence
+// (a reconnect replay racing a fresh report) never overwrites a newer
+// pending one — it is dropped, exactly as the server would drop it.
+func (o *outbox) enqueueReport(rep *Report) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.dead {
+		return o.err
+	}
+	if o.report != nil {
+		if rep.Seq != 0 && o.report.Seq != 0 && rep.Seq < o.report.Seq {
+			return nil
+		}
+		if o.m.reportsCoalesced != nil {
+			o.m.reportsCoalesced.Inc()
+		}
+	}
+	o.report = rep
+	o.kick()
+	return nil
+}
+
+// pushOutcome classifies what enqueueAssign did with an assignment.
+type pushOutcome int
+
+const (
+	pushEnqueued pushOutcome = iota
+	pushDeduped
+	pushDead
+)
+
+// enqueueAssign queues an assignment push. An assignment identical to the
+// last one written on this connection (with nothing newer pending) is
+// deduplicated away; a pending assignment is replaced latest-wins.
+func (o *outbox) enqueueAssign(a Assign, at time.Time) pushOutcome {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.dead {
+		return pushDead
+	}
+	if !o.hasAsg && o.hasPushed && o.lastPushed == a {
+		if o.m.pushDeduped != nil {
+			o.m.pushDeduped.Inc()
+		}
+		return pushDeduped
+	}
+	if o.hasAsg && o.m.pushCoalesced != nil {
+		o.m.pushCoalesced.Inc()
+	}
+	o.assign = a
+	o.hasAsg = true
+	o.assignAt = at
+	o.kick()
+	return pushEnqueued
+}
+
+// sendError writes a terminal v1 JSON error line, bypassing the batch
+// queue: the error must be readable by any peer (v2 readers handle both
+// framings) and must hit the wire before the caller drops the connection.
+func (o *outbox) sendError(reason string) {
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
+	if o.writeTimeout > 0 {
+		_ = o.conn.SetWriteDeadline(time.Now().Add(o.writeTimeout))
+	}
+	_ = writeMsg(o.conn, &Envelope{Type: TypeError, Error: &Error{Reason: reason}})
+}
+
+// writeDirect writes one v1 JSON message synchronously (the agent's hello,
+// which always precedes negotiation).
+func (o *outbox) writeDirect(env *Envelope) error {
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
+	if o.writeTimeout > 0 {
+		_ = o.conn.SetWriteDeadline(time.Now().Add(o.writeTimeout))
+	}
+	return writeMsg(o.conn, env)
+}
+
+// writer drains pending state into batched writes until the outbox is
+// empty or dead. Spawned on the empty→nonempty transition, it exits as
+// soon as there is nothing to send, so an idle connection costs no
+// goroutine.
+func (o *outbox) writer() {
+	for {
+		wrote, err := o.flush()
+		if err != nil {
+			o.mu.Lock()
+			o.dead = true
+			o.err = err
+			o.running = false
+			o.mu.Unlock()
+			if o.m.pushErrors != nil {
+				o.m.pushErrors.Inc()
+			}
+			// Closing the connection makes the peer's (and our own) read
+			// loop notice the failure promptly.
+			o.conn.Close()
+			return
+		}
+		if !wrote {
+			o.mu.Lock()
+			if o.empty() || o.dead {
+				o.running = false
+				o.mu.Unlock()
+				return
+			}
+			o.mu.Unlock()
+		}
+	}
+}
+
+// empty reports whether nothing is pending. Callers hold o.mu.
+func (o *outbox) empty() bool {
+	return o.sendAck == 0 && len(o.pongs) == 0 && len(o.pings) == 0 &&
+		o.report == nil && !o.hasAsg
+}
+
+// flush writes at most one batch, reporting whether anything was written.
+func (o *outbox) flush() (bool, error) {
+	o.mu.Lock()
+	if o.dead {
+		err := o.err
+		o.mu.Unlock()
+		return false, err
+	}
+	if o.empty() {
+		o.mu.Unlock()
+		return false, nil
+	}
+	ack := o.sendAck
+	o.sendAck = 0
+	pongs := o.pongs
+	o.pongs = o.sparePongs[:0]
+	o.sparePongs = nil
+	pings := o.pings
+	o.pings = o.sparePings[:0]
+	o.sparePings = nil
+	rep := o.report
+	o.report = nil
+	var asg *Assign
+	var asgAt time.Time
+	if o.hasAsg {
+		o.asgScratch = o.assign
+		asg = &o.asgScratch
+		asgAt = o.assignAt
+		o.hasAsg = false
+		o.lastPushed = o.assign
+		o.hasPushed = true
+	}
+	v2 := o.v2
+	o.mu.Unlock()
+
+	err := o.writeBatch(v2, ack, pongs, pings, rep, asg)
+	if err == nil && asg != nil && o.m.pushWin != nil && !asgAt.IsZero() {
+		o.m.pushWin.Observe(time.Since(asgAt).Seconds())
+	}
+
+	// Recycle the drained slices for the next batch.
+	o.mu.Lock()
+	if o.sparePongs == nil {
+		o.sparePongs = pongs[:0]
+	}
+	if o.sparePings == nil {
+		o.sparePings = pings[:0]
+	}
+	o.mu.Unlock()
+	return true, err
+}
+
+// writeBatch encodes one batch in the connection's framing and writes it
+// with a single conn.Write under the write deadline.
+func (o *outbox) writeBatch(v2 bool, ack int, pongs, pings []uint64, rep *Report, asg *Assign) error {
+	var data []byte
+	msgs := uint64(len(pongs) + len(pings))
+	if ack != 0 {
+		msgs++
+	}
+	if rep != nil {
+		msgs++
+	}
+	if asg != nil {
+		msgs++
+	}
+	if v2 {
+		o.enc.begin()
+		if ack != 0 {
+			o.enc.FrameAck(ack)
+		}
+		for _, s := range pongs {
+			o.enc.Pong(s)
+		}
+		for _, s := range pings {
+			o.enc.Ping(s)
+		}
+		if rep != nil {
+			o.enc.Report(rep)
+		}
+		if asg != nil {
+			o.enc.Assign(asg)
+		}
+		var err error
+		data, err = o.enc.finish()
+		if err != nil {
+			return err
+		}
+	} else {
+		buf := o.vbuf[:0]
+		appendLine := func(env *Envelope) error {
+			b, err := json.Marshal(env)
+			if err != nil {
+				return err
+			}
+			buf = append(buf, b...)
+			buf = append(buf, '\n')
+			return nil
+		}
+		if ack != 0 {
+			if err := appendLine(&Envelope{Type: TypeFrame, Frame: &FrameInfo{V: ack}}); err != nil {
+				return err
+			}
+		}
+		for _, s := range pongs {
+			if err := appendLine(&Envelope{Type: TypePong, Pong: &Heartbeat{Seq: s}}); err != nil {
+				return err
+			}
+		}
+		for _, s := range pings {
+			if err := appendLine(&Envelope{Type: TypePing, Ping: &Heartbeat{Seq: s}}); err != nil {
+				return err
+			}
+		}
+		if rep != nil {
+			if err := appendLine(&Envelope{Type: TypeReport, Report: rep}); err != nil {
+				return err
+			}
+		}
+		if asg != nil {
+			if err := appendLine(&Envelope{Type: TypeAssign, Assign: asg}); err != nil {
+				return err
+			}
+		}
+		o.vbuf = buf
+		data = buf
+	}
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
+	if o.writeTimeout > 0 {
+		_ = o.conn.SetWriteDeadline(time.Now().Add(o.writeTimeout))
+	}
+	if _, err := o.conn.Write(data); err != nil {
+		return err
+	}
+	if o.m.txBytes != nil {
+		o.m.txBytes.Add(uint64(len(data)))
+		o.m.txBatches.Inc()
+		o.m.txMsgs.Add(msgs)
+	}
+	return nil
+}
+
+// countingReader counts bytes read from the underlying connection into a
+// shared counter — one atomic add per buffered refill, not per message.
+type countingReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 && cr.c != nil {
+		cr.c.Add(uint64(n))
+	}
+	return n, err
+}

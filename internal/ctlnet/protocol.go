@@ -29,6 +29,11 @@ const (
 	TypeError  = "error"
 	TypePing   = "ping"
 	TypePong   = "pong"
+	// TypeFrame is the controller's framing acknowledgement: it is sent
+	// only to agents whose hello requested frame version 2 (a v1 peer
+	// would reject the unknown type), and tells the agent it may switch
+	// its own writes to binary frames.
+	TypeFrame = "frame"
 )
 
 // errMalformed tags protocol violations (as opposed to transport errors),
@@ -49,6 +54,14 @@ type Envelope struct {
 	Error  *Error     `json:"error,omitempty"`
 	Ping   *Heartbeat `json:"ping,omitempty"`
 	Pong   *Heartbeat `json:"pong,omitempty"`
+	Frame  *FrameInfo `json:"frame,omitempty"`
+}
+
+// FrameInfo is the body of the framing acknowledgement.
+type FrameInfo struct {
+	// V is the frame version the controller will accept and emit on this
+	// connection (currently always FrameV2).
+	V int `json:"v"`
 }
 
 // Heartbeat is the body of ping and pong keepalives. A peer answers every
@@ -63,6 +76,12 @@ type Hello struct {
 	APID string `json:"apID"`
 	// TxPowerDBm is the AP's transmit power.
 	TxPowerDBm float64 `json:"txPowerDBm"`
+	// Frame is the highest wire framing version the agent can read (see
+	// frame.go). Zero or FrameV1 keeps newline-delimited JSON; FrameV2
+	// asks the controller to switch the connection to batched binary
+	// frames. omitempty keeps the hello bit-for-bit identical for v1
+	// peers that never set it.
+	Frame int `json:"frame,omitempty"`
 }
 
 // ClientObs is one measured client link.
@@ -169,6 +188,10 @@ func readMsg(r *bufio.Reader) (*Envelope, error) {
 	case TypePong:
 		if env.Pong == nil {
 			return nil, protoErrf("pong without body")
+		}
+	case TypeFrame:
+		if env.Frame == nil {
+			return nil, protoErrf("frame without body")
 		}
 	default:
 		return nil, protoErrf("unknown message type %q", env.Type)

@@ -133,6 +133,10 @@ func (ra *ReconnectingAgent) run(ctx context.Context, addr string, hello Hello, 
 		log = obs.Nop
 	}
 	log = log.With("ap", ra.apID)
+	// Retry chatter is token-bucketed per agent: a fleet-wide controller
+	// outage otherwise logs every retry of every agent, and at 10k agents
+	// that is its own storm. The suppressed count rides the next line.
+	rl := log.Limited(1, 3)
 	reg := obs.Or(opts.Obs)
 	if opts.Agent.Obs == nil {
 		opts.Agent.Obs = opts.Obs
@@ -173,7 +177,7 @@ func (ra *ReconnectingAgent) run(ctx context.Context, addr string, hello Hello, 
 		if err != nil {
 			dialFailures.Inc()
 			ra.setErr(err)
-			log.Warnf("reconnect dial: %v (retry in %v)", err, delay)
+			rl.Warnf("reconnect dial: %v (retry in %v)", err, delay)
 			if !sleepCtx(ctx, bo.jittered(delay, rng)) {
 				return
 			}
@@ -184,7 +188,7 @@ func (ra *ReconnectingAgent) run(ctx context.Context, addr string, hello Hello, 
 		if err != nil {
 			dialFailures.Inc()
 			ra.setErr(err)
-			log.Warnf("reconnect hello: %v (retry in %v)", err, delay)
+			rl.Warnf("reconnect hello: %v (retry in %v)", err, delay)
 			if !sleepCtx(ctx, bo.jittered(delay, rng)) {
 				return
 			}
@@ -205,7 +209,7 @@ func (ra *ReconnectingAgent) run(ctx context.Context, addr string, hello Hello, 
 			// Replay keeps its original Seq: the controller treats an
 			// equal sequence as current, never as a rollback.
 			if err := ag.SendReport(*replay); err != nil {
-				log.Warnf("reconnect replay: %v", err)
+				rl.Warnf("reconnect replay: %v", err)
 			}
 		}
 
@@ -237,7 +241,7 @@ func (ra *ReconnectingAgent) run(ctx context.Context, addr string, hello Hello, 
 		}
 		sessionDrops.Inc()
 		ra.setErr(ag.Err())
-		log.Warnf("session ended: %v (retry in %v)", ag.Err(), delay)
+		rl.Warnf("session ended: %v (retry in %v)", ag.Err(), delay)
 		if !sleepCtx(ctx, bo.jittered(delay, rng)) {
 			return
 		}

@@ -81,8 +81,14 @@ type Server struct {
 	// mark their AP dirty and a consumer goroutine runs gated,
 	// neighbourhood-restricted passes (see stream.go). Set before Serve.
 	Stream StreamConfig
+	// Shards sizes the inbound accept/IO sharding (see shard.go). The
+	// zero value picks min(8, GOMAXPROCS) shards with default queues.
+	// Set before Serve.
+	Shards ShardConfig
 
-	stream streamState
+	stream    streamState
+	shardSet  []*shard
+	shardStop chan struct{}
 
 	mu          sync.Mutex
 	agents      map[string]*agentConn // by AP ID
@@ -123,6 +129,15 @@ type serverMetrics struct {
 	streamFailures  *obs.Counter
 	streamWatchdog  *obs.Counter
 	streamVetoes    *obs.Counter
+
+	shardReports   *obs.CounterVec
+	shardCoalesced *obs.CounterVec
+	shardShed      *obs.CounterVec
+	shardBatches   *obs.CounterVec
+
+	rxBytes *obs.Counter
+	pushWin *obs.Window
+	outm    *outboxMetrics
 }
 
 // m returns the lazily bound metric handles.
@@ -165,6 +180,31 @@ func (s *Server) m() *serverMetrics {
 				"watchdog-forced full passes in stream mode"),
 			streamVetoes: reg.Counter("acorn_ctlnet_stream_switch_vetoes_total",
 				"proposed channel switches the anti-flap gate refused"),
+			shardReports: reg.CounterVec("acorn_ctlnet_shard_reports_total",
+				"reports entering each inbound shard queue", "shard"),
+			shardCoalesced: reg.CounterVec("acorn_ctlnet_shard_reports_coalesced_total",
+				"reports coalesced latest-wins in a shard queue before apply", "shard"),
+			shardShed: reg.CounterVec("acorn_ctlnet_shard_reports_shed_total",
+				"reports shed oldest-first from a full shard queue", "shard"),
+			shardBatches: reg.CounterVec("acorn_ctlnet_shard_batches_total",
+				"report batches each shard pump applied to the controller", "shard"),
+			rxBytes: reg.Counter("acorn_ctlnet_server_rx_bytes_total",
+				"bytes read from agent connections"),
+			pushWin: obs.NewWindow(15*time.Minute, 15, nil, nil),
+		}
+		s.metrics.outm = &outboxMetrics{
+			txBytes: reg.Counter("acorn_ctlnet_server_tx_bytes_total",
+				"bytes written to agent connections"),
+			txBatches: reg.Counter("acorn_ctlnet_server_tx_batches_total",
+				"batched writes to agent connections"),
+			txMsgs: reg.Counter("acorn_ctlnet_server_tx_msgs_total",
+				"messages written to agent connections"),
+			pushDeduped: reg.Counter("acorn_ctlnet_pushes_deduped_total",
+				"assignment pushes dropped because the connection already holds that assignment"),
+			pushCoalesced: reg.Counter("acorn_ctlnet_pushes_coalesced_total",
+				"queued assignment pushes replaced latest-wins before hitting the wire"),
+			pushErrors:  s.metrics.pushErrors,
+			pushWin:     s.metrics.pushWin,
 		}
 		reg.GaugeFunc("acorn_ctlnet_last_reallocation_age_seconds",
 			"seconds since the last successful reallocation (-1 before the first)",
@@ -207,7 +247,7 @@ func (s *Server) LastReallocation() (time.Time, bool) {
 
 type agentConn struct {
 	conn net.Conn
-	wmu  sync.Mutex
+	ob   *outbox
 }
 
 // storedReport is a report plus the bookkeeping Reallocate needs to age it.
@@ -260,12 +300,29 @@ func (s *Server) stormLogger() *obs.Logger {
 }
 
 // Serve accepts connections on l until the listener is closed. It returns
-// the listener's terminal error (net.ErrClosed after Close).
+// the listener's terminal error (net.ErrClosed after Close). Connections
+// are spread over the configured accept/IO shards: shard 0's accept loop
+// runs on the calling goroutine, the rest run concurrently against the
+// same listener.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	s.listener = l
 	s.mu.Unlock()
 	s.startStream()
+	shards := s.startShards()
+	for _, sh := range shards[1:] {
+		sh := sh
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.acceptLoop(l, sh)
+		}()
+	}
+	return s.acceptLoop(l, shards[0])
+}
+
+// acceptLoop accepts connections for one shard until the listener fails.
+func (s *Server) acceptLoop(l net.Listener, sh *shard) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -274,7 +331,7 @@ func (s *Server) Serve(l net.Listener) error {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.handle(conn)
+			s.handle(conn, sh)
 		}()
 	}
 }
@@ -291,6 +348,7 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.stopStream()
+	s.stopShards()
 	var err error
 	if l != nil {
 		err = l.Close()
@@ -304,14 +362,18 @@ func (s *Server) Close() error {
 
 // handle runs one agent session: hello, then a stream of reports and pings.
 // Every accepted connection gets a read deadline before the first byte is
-// read, so a mute client cannot pin this goroutine.
-func (s *Server) handle(conn net.Conn) {
+// read, so a mute client cannot pin this goroutine. Reports are handed to
+// the session's shard queue (applied asynchronously by the shard pump);
+// all outbound traffic goes through the per-connection outbox.
+func (s *Server) handle(conn net.Conn, sh *shard) {
 	defer conn.Close()
 	if d := timeout(s.HelloTimeout, DefaultHelloTimeout); d > 0 {
 		_ = conn.SetReadDeadline(time.Now().Add(d))
 	}
-	r := bufio.NewReaderSize(conn, 64<<10)
 	m := s.m()
+	r := bufio.NewReaderSize(&countingReader{r: conn, c: m.rxBytes}, 64<<10)
+	// The hello always arrives as a v1 JSON line — an agent cannot know
+	// the server speaks v2 before the ack.
 	env, err := readMsg(r)
 	if err != nil {
 		m.helloRejects.Inc()
@@ -333,7 +395,14 @@ func (s *Server) handle(conn net.Conn) {
 		s.reject(conn, "empty AP id")
 		return
 	}
-	ac := &agentConn{conn: conn}
+	ob := newOutbox(conn, timeout(s.WriteTimeout, DefaultWriteTimeout), m.outm)
+	wantV2 := hello.Frame >= FrameV2
+	if wantV2 {
+		// The agent can read v2 frames from its first byte; everything we
+		// send it — starting with the ack itself — goes out framed.
+		ob.v2 = true
+	}
+	ac := &agentConn{conn: conn, ob: ob}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -351,6 +420,9 @@ func (s *Server) handle(conn net.Conn) {
 	m.agentsConnected.Inc()
 	m.agentConnected.With(hello.APID).Set(1)
 	s.log().Info("agent connected", "ap", hello.APID, "addr", conn.RemoteAddr())
+	if wantV2 {
+		ob.enqueueAck(FrameV2)
+	}
 
 	// Only the live connection is forgotten on exit: the hello and last
 	// report stay behind as the AP's last-known-good view.
@@ -372,15 +444,19 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 	}
 
+	var dec *frameDecoder
+	if wantV2 {
+		dec = &frameDecoder{}
+	}
 	peerTimeout := timeout(s.PeerTimeout, DefaultPeerTimeout)
 	for {
 		if peerTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(peerTimeout))
 		}
-		env, err := readMsg(r)
+		env, err := readMsgAny(r, dec)
 		if err != nil {
 			if errors.Is(err, errMalformed) {
-				s.reject(conn, err.Error())
+				ob.sendError(err.Error())
 			}
 			if !errors.Is(err, net.ErrClosed) {
 				s.log().Warn("agent session error", "ap", hello.APID, "err", err)
@@ -390,45 +466,15 @@ func (s *Server) handle(conn net.Conn) {
 		switch env.Type {
 		case TypePing:
 			m.heartbeats.Inc()
-			if err := s.send(ac, &Envelope{Type: TypePong, Pong: &Heartbeat{Seq: env.Ping.Seq}}); err != nil {
-				s.log().Warn("pong failed", "ap", hello.APID, "err", err)
-				return
-			}
+			ob.enqueuePong(env.Ping.Seq)
 		case TypeReport:
 			if env.Report.APID != hello.APID {
-				s.reject(conn, "report for foreign AP id")
+				ob.sendError("report for foreign AP id")
 				return
 			}
-			rep := *env.Report
-			s.mu.Lock()
-			prev, had := s.reports[hello.APID]
-			if had && rep.Seq != 0 && rep.Seq < prev.rep.Seq {
-				s.mu.Unlock()
-				m.reportsStale.Inc()
-				s.stormLogger().Warn("ignoring stale report", "ap", hello.APID,
-					"seq", rep.Seq, "have", prev.rep.Seq)
-				continue
-			}
-			// An equal non-zero sequence is a reconnect replay: the agent is
-			// re-sending the measurement we already hold so the view survives
-			// the reconnect. Accept it, but keep the original receive time —
-			// a replay carries no new measurement, so it must not reset the
-			// TTL clock and launder a quarantined view back to fresh.
-			replay := had && rep.Seq != 0 && rep.Seq == prev.rep.Seq
-			recv := time.Now()
-			if replay {
-				recv = prev.recv
-			}
-			s.reports[hello.APID] = storedReport{rep: rep, recv: recv}
-			s.mu.Unlock()
-			m.reportsTotal.Inc()
-			if replay {
-				m.reportsReplayed.Inc()
-			} else if s.Stream.Enabled {
-				s.markDirty(hello.APID, recv)
-			}
+			sh.offer(hello.APID, *env.Report, time.Now())
 		default:
-			s.reject(conn, "unexpected message")
+			ob.sendError("unexpected message")
 			return
 		}
 	}
@@ -441,30 +487,58 @@ func (s *Server) reject(conn net.Conn, reason string) {
 	_ = writeMsg(conn, &Envelope{Type: TypeError, Error: &Error{Reason: reason}})
 }
 
-// send writes one envelope to an agent under its write lock and deadline.
-func (s *Server) send(ac *agentConn, env *Envelope) error {
-	ac.wmu.Lock()
-	defer ac.wmu.Unlock()
-	if d := timeout(s.WriteTimeout, DefaultWriteTimeout); d > 0 {
-		_ = ac.conn.SetWriteDeadline(time.Now().Add(d))
-	}
-	return writeMsg(ac.conn, env)
-}
-
-// push sends an assignment to one agent.
+// push enqueues an assignment to one agent's outbox. Delivery is
+// asynchronous: the outbox batches it with any pending traffic, replaces
+// it latest-wins if a newer assignment lands first, and drops it entirely
+// when the connection already holds an identical assignment (state dedup).
+// A write failure closes the connection, which the session's read loop
+// notices — the same recovery path a synchronous failure took.
 func (s *Server) push(ac *agentConn, apID string, ch spectrum.Channel) {
 	m := s.m()
-	m.pushes.Inc()
-	msg := &Envelope{Type: TypeAssign, Assign: &Assign{
+	a := Assign{
 		APID:      apID,
 		WidthMHz:  int(ch.Width),
 		Primary:   int(ch.Primary),
 		Secondary: int(ch.Secondary),
-	}}
-	if err := s.send(ac, msg); err != nil {
-		m.pushErrors.Inc()
-		s.log().Warn("assignment push failed", "ap", apID, "err", err)
 	}
+	switch ac.ob.enqueueAssign(a, time.Now()) {
+	case pushEnqueued:
+		m.pushes.Inc()
+	case pushDead:
+		m.pushErrors.Inc()
+		s.log().Warn("assignment push failed", "ap", apID, "err", ac.ob.Err())
+	case pushDeduped:
+		// Counted by the outbox; nothing to do.
+	}
+}
+
+// ReportedAgents returns how many APs currently hold a stored report.
+func (s *Server) ReportedAgents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.reports)
+}
+
+// Assignments returns a copy of the current assignment table.
+func (s *Server) Assignments() map[string]spectrum.Channel {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]spectrum.Channel, len(s.assign))
+	for k, v := range s.assign {
+		out[k] = v
+	}
+	return out
+}
+
+// PushLatencyQuantile returns the p-quantile of recent assignment push
+// latency (enqueue to write completion) over the server's sliding window,
+// 0 before any push.
+func (s *Server) PushLatencyQuantile(p float64) time.Duration {
+	w := s.m().pushWin
+	if w.Count() == 0 {
+		return 0
+	}
+	return time.Duration(w.Quantile(p) * float64(time.Second))
 }
 
 // Reallocate rebuilds the network view from the latest reports, runs
