@@ -117,6 +117,8 @@ func agentWireMetrics(reg *obs.Registry) *agentWire {
 				"messages written to the controller by agents"),
 			reportsCoalesced: reg.Counter("acorn_ctlnet_agent_reports_coalesced_total",
 				"reports replaced latest-wins in an agent outbox before hitting the wire"),
+			reportsSame: reg.Counter("acorn_ctlnet_agent_reports_same_total",
+				"unchanged reports collapsed to a seq-only report-same frame (v2)"),
 		},
 		rx: reg.Counter("acorn_ctlnet_agent_rx_bytes_total",
 			"bytes read from the controller by agents"),

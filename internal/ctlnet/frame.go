@@ -63,6 +63,13 @@ const (
 	kindPing
 	kindPong
 	kindFrameAck
+
+	// kindReportSame re-submits the connection's previous report under a
+	// new sequence number, kolide-style: a fleet's steady state is mostly
+	// agents re-confirming an unchanged measurement, and confirming it
+	// should cost a handful of bytes, not a re-encoding of every client.
+	// Valid only after a full kindReport on the same connection.
+	kindReportSame
 )
 
 // frameEncoder builds one outbound frame. The buffer is reused across
@@ -120,6 +127,14 @@ func (e *frameEncoder) Report(rep *Report) {
 	}
 }
 
+// ReportSame re-submits the receiver's last decoded report with a new
+// sequence number. The encoder must only emit it after a full Report on
+// the same connection (the outbox tracks that).
+func (e *frameEncoder) ReportSame(seq uint64) {
+	e.buf = append(e.buf, kindReportSame)
+	e.uint(seq)
+}
+
 func (e *frameEncoder) Assign(a *Assign) {
 	e.buf = append(e.buf, kindAssign)
 	e.str(a.APID)
@@ -163,6 +178,11 @@ type frameDecoder struct {
 	errb  Error
 	hello Hello
 	ack   FrameInfo
+
+	// lastRep is the most recent fully-decoded report on this connection,
+	// the expansion base for kindReportSame. The expanded Report shares its
+	// Clients/Hears slices — reports are immutable once decoded.
+	lastRep *Report
 }
 
 // readFrame reads one complete frame header and payload from r. Transport
@@ -312,6 +332,23 @@ func (d *frameDecoder) next() (*Envelope, error) {
 				return nil, err
 			}
 		}
+		d.lastRep = rep
+		env.Type, env.Report = TypeReport, rep
+	case kindReportSame:
+		var seq uint64
+		if seq, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if d.lastRep == nil {
+			return nil, protoErrf("report-same without a prior report")
+		}
+		rep := &Report{
+			APID:    d.lastRep.APID,
+			Seq:     seq,
+			Clients: d.lastRep.Clients,
+			Hears:   d.lastRep.Hears,
+		}
+		d.lastRep = rep
 		env.Type, env.Report = TypeReport, rep
 	case kindAssign:
 		var a Assign

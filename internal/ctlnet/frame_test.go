@@ -28,6 +28,7 @@ func TestFrameRoundTripAllKinds(t *testing.T) {
 		Hears:   []string{"ap-2", "ap-3"},
 	}
 	enc.Report(&rep)
+	enc.ReportSame(43)
 	enc.Assign(&Assign{APID: "ap-1", WidthMHz: 40, Primary: 36, Secondary: 40})
 	enc.Error("boom")
 	enc.Ping(7)
@@ -63,6 +64,14 @@ func TestFrameRoundTripAllKinds(t *testing.T) {
 	}
 	if len(env.Report.Hears) != 2 || env.Report.Hears[0] != "ap-2" || env.Report.Hears[1] != "ap-3" {
 		t.Fatalf("report hears = %+v", env.Report.Hears)
+	}
+	env = next()
+	if env.Type != TypeReport || env.Report.APID != rep.APID || env.Report.Seq != 43 {
+		t.Fatalf("report-same = %+v", env.Report)
+	}
+	if len(env.Report.Clients) != 2 || env.Report.Clients[1] != rep.Clients[1] ||
+		len(env.Report.Hears) != 2 || env.Report.Hears[0] != "ap-2" {
+		t.Fatalf("report-same expansion = %+v", env.Report)
 	}
 	if env := next(); env.Type != TypeAssign || *env.Assign != (Assign{APID: "ap-1", WidthMHz: 40, Primary: 36, Secondary: 40}) {
 		t.Fatalf("assign = %+v", env.Assign)
@@ -179,6 +188,13 @@ func TestFrameBounds(t *testing.T) {
 			d, _ := enc.finish()
 			return append([]byte(nil), d...)
 		}(), true},
+		{"report-same without prior report", func() []byte {
+			var enc frameEncoder
+			enc.begin()
+			enc.ReportSame(5)
+			d, _ := enc.finish()
+			return append([]byte(nil), d...)
+		}(), true},
 		{"truncated varint", func() []byte {
 			var enc frameEncoder
 			enc.begin()
@@ -200,6 +216,69 @@ func TestFrameBounds(t *testing.T) {
 				t.Fatalf("err = %v, want truncation", err)
 			}
 		})
+	}
+}
+
+// captureConn records written bytes so tests can inspect and decode the
+// exact wire traffic an outbox produced.
+type captureConn struct {
+	discardConn
+	buf bytes.Buffer
+}
+
+func (c *captureConn) Write(p []byte) (int, error) { return c.buf.Write(p) }
+
+// TestReportSameCollapses pins the steady-state chatter win: an unchanged
+// report re-sent on a v2 connection collapses to a seq-only report-same
+// frame that the receiver expands to the full prior content, and any
+// content change goes back to a full report.
+func TestReportSameCollapses(t *testing.T) {
+	cc := &captureConn{}
+	ob := newOutbox(cc, 0, &outboxMetrics{})
+	ob.setV2()
+
+	rep := func(seq uint64, snr float64) *Report {
+		return &Report{
+			APID: "ap-00042", Seq: seq,
+			Clients: []ClientObs{{ClientID: "c0", SNR20dB: snr}, {ClientID: "c1", SNR20dB: 31.5}},
+			Hears:   []string{"ap-00041", "ap-00043"},
+		}
+	}
+	if err := ob.writeBatch(true, 0, nil, nil, rep(1, 23.25), nil); err != nil {
+		t.Fatal(err)
+	}
+	full := cc.buf.Len()
+	if err := ob.writeBatch(true, 0, nil, nil, rep(2, 23.25), nil); err != nil {
+		t.Fatal(err)
+	}
+	same := cc.buf.Len() - full
+	if same >= full/4 {
+		t.Fatalf("report-same frame is %d bytes vs %d full: want at least 4x smaller", same, full)
+	}
+	if err := ob.writeBatch(true, 0, nil, nil, rep(3, 24.0), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	r := frameReader(cc.buf.Bytes())
+	dec := &frameDecoder{}
+	for i, want := range []struct {
+		seq uint64
+		snr float64
+	}{{1, 23.25}, {2, 23.25}, {3, 24.0}} {
+		env, err := readMsgAny(r, dec)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if env.Type != TypeReport || env.Report.Seq != want.seq {
+			t.Fatalf("msg %d = %+v", i, env)
+		}
+		if env.Report.APID != "ap-00042" || len(env.Report.Clients) != 2 ||
+			env.Report.Clients[0].SNR20dB != want.snr || len(env.Report.Hears) != 2 {
+			t.Fatalf("msg %d content = %+v", i, env.Report)
+		}
+	}
+	if _, err := readMsgAny(r, dec); err != io.EOF {
+		t.Fatalf("after stream: err = %v, want EOF", err)
 	}
 }
 

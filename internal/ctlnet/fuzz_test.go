@@ -78,6 +78,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		e.Hello(&Hello{APID: "ap-1", TxPowerDBm: 20, Frame: FrameV2})
 		e.Report(&Report{APID: "ap-1", Seq: 7,
 			Clients: []ClientObs{{ClientID: "c0", SNR20dB: 30}}, Hears: []string{"ap-2"}})
+		e.ReportSame(8)
 		e.Assign(&Assign{APID: "ap-1", WidthMHz: 20, Primary: 1})
 		e.Error("nope")
 		e.Ping(1)
@@ -93,6 +94,7 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{frameMagic, FrameV2, 0xFF, 0xFF, 0xFF, 0xFF, 0}) // oversized length
 	f.Add([]byte{frameMagic, FrameV2, 0, 0, 0, 1, 99})            // unknown kind
 	f.Add(frame(func(e *frameEncoder) { e.uint(1 << 40) }))       // garbage body
+	f.Add(frame(func(e *frameEncoder) { e.ReportSame(3) }))       // report-same, no prior report
 	// A JSON line then a frame on the same stream.
 	mixed := []byte(`{"type":"ping","ping":{"seq":4}}` + "\n")
 	f.Add(append(mixed, full...))

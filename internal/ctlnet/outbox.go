@@ -43,6 +43,7 @@ type outboxMetrics struct {
 
 	// Agent-side report accounting; nil on servers.
 	reportsCoalesced *obs.Counter
+	reportsSame      *obs.Counter
 }
 
 type outbox struct {
@@ -75,6 +76,16 @@ type outbox struct {
 	// a field (not a local) so taking its address never heap-allocates.
 	// Only the writer goroutine touches it.
 	asgScratch Assign
+
+	// lastRep is a private deep copy of the last full report framed on
+	// this connection. A follow-up report with identical content collapses
+	// to a seq-only kindReportSame — the kolide-style state-hash channel
+	// that makes an unchanged fleet's re-confirmations nearly free. Only
+	// the writer goroutine touches it; a private copy so callers mutating
+	// a sent report's slices can't desync us from the peer's expansion
+	// base. v2 connections only — JSON peers always get the full report.
+	lastRep    Report
+	hasLastRep bool
 
 	// spare buffers swapped with the pending slices at flush time, so the
 	// steady state recycles two arrays instead of allocating per batch.
@@ -334,7 +345,19 @@ func (o *outbox) writeBatch(v2 bool, ack int, pongs, pings []uint64, rep *Report
 			o.enc.Ping(s)
 		}
 		if rep != nil {
-			o.enc.Report(rep)
+			if o.hasLastRep && equalReportBody(rep, &o.lastRep) {
+				o.enc.ReportSame(rep.Seq)
+				if o.m.reportsSame != nil {
+					o.m.reportsSame.Inc()
+				}
+			} else {
+				o.enc.Report(rep)
+				o.lastRep.APID = rep.APID
+				o.lastRep.Seq = rep.Seq
+				o.lastRep.Clients = append(o.lastRep.Clients[:0], rep.Clients...)
+				o.lastRep.Hears = append(o.lastRep.Hears[:0], rep.Hears...)
+				o.hasLastRep = true
+			}
 		}
 		if asg != nil {
 			o.enc.Assign(asg)
@@ -397,6 +420,26 @@ func (o *outbox) writeBatch(v2 bool, ack int, pongs, pings []uint64, rep *Report
 		o.m.txMsgs.Add(msgs)
 	}
 	return nil
+}
+
+// equalReportBody reports whether two reports carry identical measurement
+// content (sequence numbers excluded — they differ by design between a
+// report and its re-confirmation).
+func equalReportBody(a, b *Report) bool {
+	if a.APID != b.APID || len(a.Clients) != len(b.Clients) || len(a.Hears) != len(b.Hears) {
+		return false
+	}
+	for i := range a.Clients {
+		if a.Clients[i] != b.Clients[i] {
+			return false
+		}
+	}
+	for i := range a.Hears {
+		if a.Hears[i] != b.Hears[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // countingReader counts bytes read from the underlying connection into a

@@ -118,6 +118,9 @@ type Result struct {
 	// ReportsPerSec is the sustained apply rate over the steady phase.
 	ReportsApplied uint64  `json:"reports_applied"`
 	ReportsPerSec  float64 `json:"reports_per_sec"`
+	// ReportsSame counts unchanged reports the v2 agents collapsed to
+	// seq-only report-same frames (zero in a v1 fleet).
+	ReportsSame uint64 `json:"reports_same"`
 	// ShardCoalesced/ShardShed count reports absorbed latest-wins in
 	// shard queues and reports shed from a full queue (zero in a
 	// well-sized run).
@@ -410,6 +413,7 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 	}
 	res.ShardCoalesced = sumSeries(reg, "acorn_ctlnet_shard_reports_coalesced_total")
 	res.ShardShed = sumSeries(reg, "acorn_ctlnet_shard_reports_shed_total")
+	res.ReportsSame = counterVal(reg, "acorn_ctlnet_agent_reports_same_total")
 	res.PushesEnqueued = counterVal(reg, "acorn_ctlnet_assignment_pushes_total")
 	res.PushesDeduped = counterVal(reg, "acorn_ctlnet_pushes_deduped_total")
 	res.PushErrors = counterVal(reg, "acorn_ctlnet_assignment_push_errors_total")
